@@ -1,0 +1,74 @@
+//! The application-kernel interface consumed by the trace generator.
+
+use samr_geom::Grid2;
+
+use crate::numerics;
+
+/// A reference PDE solver driving SAMR adaptation.
+///
+/// A kernel advances its own uniform reference solution (at a resolution
+/// chosen at construction) and exposes a *normalized feature indicator*
+/// over the unit square: the trace generator samples the indicator at each
+/// refinement level's cell centers and flags cells where it exceeds the
+/// level's threshold. This mirrors the paper's trace methodology: the
+/// hierarchy sequence depends on the application physics only, never on
+/// the partitioning.
+pub trait Kernel {
+    /// Short kernel name as used in the paper ("TP2D", "BL2D", …).
+    fn name(&self) -> &'static str;
+
+    /// One-line description of the scenario.
+    fn description(&self) -> String;
+
+    /// Advance the reference solution by one coarse time step and refresh
+    /// the indicator field.
+    fn advance_coarse_step(&mut self);
+
+    /// Current physical time.
+    fn time(&self) -> f64;
+
+    /// The indicator field over the reference grid, normalized to `[0,1]`.
+    fn indicator_field(&self) -> &Grid2<f64>;
+
+    /// Feature indicator at unit-square coordinates (bilinear sample of
+    /// [`Kernel::indicator_field`]).
+    fn indicator(&self, u: f64, v: f64) -> f64 {
+        numerics::sample_unit(self.indicator_field(), u, v)
+    }
+
+    /// Flagging threshold for refinement level `level` (flag a level-
+    /// `level` cell when the indicator at its center exceeds this).
+    /// Thresholds must be non-decreasing in `level` so that deeper levels
+    /// refine progressively narrower bands around the strongest features.
+    fn threshold(&self, level: usize) -> f64;
+
+    /// Aspect ratio hint `(wx, wy)`: relative extents of the physical
+    /// domain. The trace generator uses it to pick a base grid of matching
+    /// shape (RM2D runs in a 2:1 shock tube; the others are square).
+    fn aspect(&self) -> (i64, i64) {
+        (1, 1)
+    }
+}
+
+/// Exponentially tightening per-level thresholds: `base * ratio^level`,
+/// clamped to 0.95. The common choice for all four kernels; each picks its
+/// own `base` and `ratio`.
+pub fn geometric_threshold(base: f64, growth: f64, level: usize) -> f64 {
+    (base * growth.powi(level as i32)).min(0.95)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometric_threshold_grows_and_clamps() {
+        let t0 = geometric_threshold(0.1, 1.8, 0);
+        let t1 = geometric_threshold(0.1, 1.8, 1);
+        let t5 = geometric_threshold(0.1, 1.8, 5);
+        assert!((t0 - 0.1).abs() < 1e-12);
+        assert!(t1 > t0);
+        assert!(t5 <= 0.95);
+        assert_eq!(geometric_threshold(0.9, 3.0, 4), 0.95);
+    }
+}

@@ -1,0 +1,45 @@
+//! # samr-apps — the paper's four SAMR application kernels
+//!
+//! §5.1.1 of the paper evaluates the model on four "real-world" SAMR
+//! application kernels: a 2-D transport benchmark (TP2D, from the GrACE
+//! distribution), the Buckley–Leverett oil–water flow model (BL2D, from
+//! IPARS), a scalar wave / numerical relativity kernel (SC2D, from
+//! Cactus), and a Richtmyer–Meshkov compressible-turbulence instability
+//! (RM2D, from the Caltech VTF). The originals are not available, so this
+//! crate implements each kernel *as a real 2-D PDE solver* of the same
+//! equation family (see `DESIGN.md` §2 for the substitution argument):
+//!
+//! - [`tp2d`]: linear transport under a differentially rotating velocity
+//!   field (first-order upwind) — quasi-periodic, "seemingly random"
+//!   adaptation dynamics;
+//! - [`bl2d`]: Buckley–Leverett two-phase flow with a pulsed corner
+//!   injector (Godunov upwinding of the convex fractional-flow function) —
+//!   an expanding saturation front with strongly oscillatory refinement;
+//! - [`sc2d`]: the scalar wave equation (leapfrog) — an expanding,
+//!   reflecting, refocusing wave ring with oscillatory refinement;
+//! - [`rm2d`]: the compressible Euler equations (Rusanov flux) with a
+//!   shock-accelerated perturbed density interface — the fingering
+//!   Richtmyer–Meshkov instability with turbulent, random-looking
+//!   adaptation.
+//!
+//! Each kernel advances a uniform *reference* solution and exposes a
+//! normalized feature indicator; [`tracegen`] samples the indicator at
+//! every level's resolution, flags, buffers, clusters (Berger–Rigoutsos)
+//! and properly nests patches, producing the trace that both the model and
+//! the execution simulator consume — the exact §5.1 set-up: 5 levels of
+//! factor-2 space/time refinement, regridding every 4 steps per level,
+//! granularity 2, 100 coarse steps.
+
+#![warn(missing_docs)]
+
+pub mod bl2d;
+pub mod kernel;
+pub mod numerics;
+pub mod rm2d;
+pub mod sc2d;
+pub mod tp2d;
+pub mod tracegen;
+
+pub use kernel::Kernel;
+pub use samr_trace::HierarchyTrace;
+pub use tracegen::{generate_trace, AppKind, TraceGenConfig};

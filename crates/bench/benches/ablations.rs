@@ -1,0 +1,180 @@
+//! Ablation experiments for the design choices DESIGN.md §6 calls out.
+//!
+//! Each bench measures the ablated pipeline and prints (once) the
+//! quality deltas that justify the paper's choices:
+//!
+//! - **ABL1** — β_m denominator `|H_t|` vs `|H_{t-1}|` (§4.4): correlation
+//!   against measured migration under each choice;
+//! - **ABL2** — the §4.2 absolute-importance grid-size weighting of
+//!   Trade-off 2 on/off: how much the request signal tracks grid-size
+//!   peaks;
+//! - **ablation_sfc** — fully vs partially ordered SFC in the hybrid: the
+//!   migration inflation the paper suspects ("perhaps due to the
+//!   partially ordered space-filling curve", §5.2);
+//! - **ablation_cluster_eff** — Berger–Rigoutsos efficiency threshold:
+//!   patch count and β_c aggressiveness.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use samr::apps::{generate_trace, AppKind};
+use samr::model::model::{BetaMDenominatorConfig, ModelConfig};
+use samr::model::ModelPipeline;
+use samr::sim::metrics::pearson;
+use samr::sim::{simulate_trace, SimConfig};
+use samr_bench::{bench_config, bench_trace};
+use samr_grid::ClusterOptions;
+use samr_partition::{HybridParams, HybridPartitioner};
+use std::sync::Once;
+
+/// ABL1: the β_m denominator.
+fn ablation_bm_denominator(c: &mut Criterion) {
+    let trace = bench_trace(AppKind::Sc2d);
+    let sim = simulate_trace(
+        &trace,
+        &HybridPartitioner::default(),
+        &SimConfig::default(),
+    );
+    let measured: Vec<f64> = sim.steps.iter().skip(1).map(|s| s.rel_migration).collect();
+    let once = Once::new();
+    c.bench_function("ablation_bm_denominator", |b| {
+        b.iter(|| {
+            let paper = ModelPipeline::new().run(&trace);
+            let ablated = ModelPipeline::with_config(ModelConfig {
+                denominator: BetaMDenominatorConfig::Previous,
+                ..ModelConfig::default()
+            })
+            .run(&trace);
+            let bm_cur: Vec<f64> = paper.iter().skip(1).map(|s| s.beta_m).collect();
+            let bm_prev: Vec<f64> = ablated.iter().skip(1).map(|s| s.beta_m).collect();
+            let (r_cur, r_prev) = (pearson(&bm_cur, &measured), pearson(&bm_prev, &measured));
+            once.call_once(|| {
+                println!(
+                    "\nABL1 (SC2D): β_m vs measured migration — |H_t| denominator r={r_cur:.3}, |H_t-1| denominator r={r_prev:.3}"
+                )
+            });
+            std::hint::black_box(r_cur - r_prev)
+        })
+    });
+}
+
+/// ABL2: the absolute-importance grid-size weighting.
+fn ablation_importance(c: &mut Criterion) {
+    let trace = bench_trace(AppKind::Sc2d);
+    let once = Once::new();
+    c.bench_function("ablation_importance", |b| {
+        b.iter(|| {
+            let weighted = ModelPipeline::new().run(&trace);
+            let unweighted = ModelPipeline::with_config(ModelConfig {
+                weight_by_grid_size: false,
+                ..ModelConfig::default()
+            })
+            .run(&trace);
+            // The weighted request must track grid size; the unweighted
+            // one must not.
+            let points: Vec<f64> = trace
+                .snapshots
+                .iter()
+                .map(|s| s.hierarchy.total_points() as f64)
+                .collect();
+            let req_w: Vec<f64> = weighted.iter().map(|s| s.tradeoff2.request).collect();
+            let req_u: Vec<f64> = unweighted.iter().map(|s| s.tradeoff2.request).collect();
+            let (rw, ru) = (pearson(&req_w, &points), pearson(&req_u, &points));
+            once.call_once(|| {
+                println!(
+                    "\nABL2 (SC2D): Trade-off 2 request vs grid size — weighted r={rw:.3}, unweighted r={ru:.3}"
+                )
+            });
+            std::hint::black_box(rw - ru)
+        })
+    });
+}
+
+/// Fully vs partially ordered SFC in the hybrid partitioner.
+fn ablation_sfc(c: &mut Criterion) {
+    let trace = bench_trace(AppKind::Bl2d);
+    let once = Once::new();
+    c.bench_function("ablation_sfc", |b| {
+        b.iter(|| {
+            let partial = simulate_trace(
+                &trace,
+                &HybridPartitioner::default(), // partial ordering default
+                &SimConfig::default(),
+            );
+            let full = simulate_trace(
+                &trace,
+                &HybridPartitioner::new(HybridParams {
+                    full_order: true,
+                    ..HybridParams::default()
+                }),
+                &SimConfig::default(),
+            );
+            let mig = |r: &samr::sim::SimResult| {
+                r.steps.iter().map(|s| s.rel_migration).sum::<f64>() / r.steps.len() as f64
+            };
+            let (mp, mf) = (mig(&partial), mig(&full));
+            once.call_once(|| {
+                println!(
+                    "\nablation_sfc (BL2D): mean relative migration — partial order {mp:.3}, full order {mf:.3}"
+                )
+            });
+            std::hint::black_box(mp - mf)
+        })
+    });
+}
+
+/// Berger–Rigoutsos efficiency threshold.
+fn ablation_cluster_eff(c: &mut Criterion) {
+    let once = Once::new();
+    let mut cfg_lo = bench_config();
+    cfg_lo.cluster = ClusterOptions {
+        min_efficiency: 0.5,
+        ..ClusterOptions::paper_defaults()
+    };
+    cfg_lo.steps = 12;
+    let mut cfg_hi = cfg_lo.clone();
+    cfg_hi.cluster.min_efficiency = 0.9;
+    c.bench_function("ablation_cluster_eff", |b| {
+        b.iter(|| {
+            let lo = generate_trace(AppKind::Sc2d, &cfg_lo);
+            let hi = generate_trace(AppKind::Sc2d, &cfg_hi);
+            let stats = |t: &samr::trace::HierarchyTrace| {
+                let patches: usize = t
+                    .snapshots
+                    .iter()
+                    .map(|s| {
+                        s.hierarchy
+                            .levels
+                            .iter()
+                            .map(|l| l.patch_count())
+                            .sum::<usize>()
+                    })
+                    .sum();
+                let bc: f64 = t
+                    .snapshots
+                    .iter()
+                    .map(|s| samr::model::tradeoff1::beta_c(&s.hierarchy, 16))
+                    .sum::<f64>()
+                    / t.len() as f64;
+                (patches, bc)
+            };
+            let (p_lo, bc_lo) = stats(&lo);
+            let (p_hi, bc_hi) = stats(&hi);
+            once.call_once(|| {
+                println!(
+                    "\nablation_cluster_eff (SC2D, 12 steps): eff 0.5 -> {p_lo} patches, mean β_c {bc_lo:.3}; eff 0.9 -> {p_hi} patches, mean β_c {bc_hi:.3}"
+                )
+            });
+            std::hint::black_box(p_lo + p_hi)
+        })
+    });
+}
+
+fn configure() -> Criterion {
+    Criterion::default().sample_size(10)
+}
+
+criterion_group! {
+    name = ablations;
+    config = configure();
+    targets = ablation_bm_denominator, ablation_importance, ablation_sfc, ablation_cluster_eff
+}
+criterion_main!(ablations);

@@ -1,0 +1,148 @@
+//! Figure-regeneration benches: one group per data figure of the paper.
+//!
+//! Each bench runs the figure's full analysis pipeline (model + partition
+//! + execution simulation) over the shared cached trace and prints the
+//! resulting series summary once, so `cargo bench` both regenerates the
+//! paper's rows and measures the cost of producing them. Trace generation
+//! itself is excluded from the measured region (it is the substrate, not
+//! the contribution) and is benchmarked separately in `kernels`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use samr::apps::AppKind;
+use samr::experiments::{configs, ValidationRun};
+use samr::meta::compare_on_trace;
+use samr::model::ModelPipeline;
+use samr::sim::SimConfig;
+use samr_bench::bench_trace;
+use std::sync::Once;
+
+fn validation_figure(c: &mut Criterion, id: &str, kind: AppKind) {
+    let trace = bench_trace(kind);
+    let sim_cfg = configs::sim();
+    let once = Once::new();
+    c.bench_function(id, |b| {
+        b.iter(|| {
+            let run = ValidationRun::from_trace(kind, &trace, &sim_cfg);
+            once.call_once(|| println!("\n{}\n", run.summary()));
+            std::hint::black_box(run.migration_shape.correlation)
+        })
+    });
+}
+
+/// Figure 1: BL2D load imbalance and communication under a static P.
+fn fig1_bl2d_dynamics(c: &mut Criterion) {
+    let trace = bench_trace(AppKind::Bl2d);
+    let sim_cfg = configs::sim();
+    let once = Once::new();
+    c.bench_function("fig1_bl2d_dynamics", |b| {
+        b.iter(|| {
+            let run = ValidationRun::from_trace(AppKind::Bl2d, &trace, &sim_cfg);
+            let imb: Vec<f64> = run.sim.steps.iter().map(|s| s.load_imbalance).collect();
+            let comm: Vec<f64> = run.sim.steps.iter().map(|s| s.rel_comm).collect();
+            once.call_once(|| {
+                println!(
+                    "\nFigure 1 (BL2D, static P): imbalance mean {:.3} range [{:.3},{:.3}]; rel comm mean {:.3}\n",
+                    imb.iter().sum::<f64>() / imb.len() as f64,
+                    imb.iter().cloned().fold(f64::INFINITY, f64::min),
+                    imb.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+                    comm.iter().sum::<f64>() / comm.len() as f64,
+                );
+            });
+            std::hint::black_box(imb.len() + comm.len())
+        })
+    });
+}
+
+/// Figure 3 (right): the continuous classification-space locus.
+fn fig3_state_locus(c: &mut Criterion) {
+    let once = Once::new();
+    c.bench_function("fig3_state_locus", |b| {
+        b.iter(|| {
+            let mut total_arc = 0.0;
+            for kind in AppKind::ALL {
+                let trace = bench_trace(kind);
+                let curve = ModelPipeline::new().state_curve(&trace);
+                once.call_once(|| {
+                    println!(
+                        "\nFigure 3R: {} locus arc length {:.3}, {} octant transitions",
+                        kind.name(),
+                        curve.arc_length(),
+                        curve.octant_transitions()
+                    );
+                });
+                total_arc += curve.arc_length();
+            }
+            std::hint::black_box(total_arc)
+        })
+    });
+}
+
+fn fig4_rm2d(c: &mut Criterion) {
+    validation_figure(c, "fig4_rm2d", AppKind::Rm2d);
+}
+
+fn fig5_bl2d(c: &mut Criterion) {
+    validation_figure(c, "fig5_bl2d", AppKind::Bl2d);
+}
+
+fn fig6_sc2d(c: &mut Criterion) {
+    validation_figure(c, "fig6_sc2d", AppKind::Sc2d);
+}
+
+fn fig7_tp2d(c: &mut Criterion) {
+    validation_figure(c, "fig7_tp2d", AppKind::Tp2d);
+}
+
+/// QUAL1: the shape statistics across all four applications at once.
+fn qual_shape_stats(c: &mut Criterion) {
+    let sim_cfg = configs::sim();
+    let once = Once::new();
+    c.bench_function("qual_shape_stats", |b| {
+        b.iter(|| {
+            let mut worst_mig_r = f64::INFINITY;
+            for kind in AppKind::ALL {
+                let trace = bench_trace(kind);
+                let run = ValidationRun::from_trace(kind, &trace, &sim_cfg);
+                worst_mig_r = worst_mig_r.min(run.migration_shape.correlation);
+                once.call_once(|| println!("\nQUAL1 worst-case checks run over 4 apps"));
+            }
+            std::hint::black_box(worst_mig_r)
+        })
+    });
+}
+
+/// META1: static vs dynamic selection.
+fn meta_vs_static(c: &mut Criterion) {
+    let once = Once::new();
+    c.bench_function("meta_vs_static", |b| {
+        b.iter(|| {
+            let mut sum = 0.0;
+            for kind in AppKind::ALL {
+                let trace = bench_trace(kind);
+                let res = compare_on_trace(&trace, &SimConfig::default());
+                once.call_once(|| {
+                    println!(
+                        "\nMETA1 ({} shown once): meta/best {:.3}, meta/worst {:.3}",
+                        kind.name(),
+                        res.meta_vs_best(),
+                        res.meta_vs_worst()
+                    );
+                });
+                sum += res.meta_vs_best();
+            }
+            std::hint::black_box(sum)
+        })
+    });
+}
+
+fn configure() -> Criterion {
+    Criterion::default().sample_size(10)
+}
+
+criterion_group! {
+    name = figures;
+    config = configure();
+    targets = fig1_bl2d_dynamics, fig3_state_locus, fig4_rm2d, fig5_bl2d,
+              fig6_sc2d, fig7_tp2d, qual_shape_stats, meta_vs_static
+}
+criterion_main!(figures);

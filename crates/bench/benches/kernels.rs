@@ -1,0 +1,140 @@
+//! Micro-benchmarks of the computational kernels everything else is
+//! built from: box algebra, space-filling curves, clustering, the model
+//! penalties and the solvers' trace generation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use samr::model::tradeoff3::{beta_m, hierarchy_overlap};
+use samr_apps::{generate_trace, AppKind, TraceGenConfig};
+use samr_bench::{bench_trace, representative_hierarchy};
+use samr_geom::sfc::{hilbert_key, morton_key};
+use samr_geom::{boxops, Point2, Rect2, Region};
+use samr_grid::{cluster_flags, ClusterOptions, FlagField};
+
+fn random_rects(n: usize, seed: u64) -> Vec<Rect2> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let x = rng.random_range(0i64..200);
+            let y = rng.random_range(0i64..200);
+            let w = rng.random_range(1i64..30);
+            let h = rng.random_range(1i64..30);
+            Rect2::new(Point2::new(x, y), Point2::new(x + w, y + h))
+        })
+        .collect()
+}
+
+fn box_algebra(c: &mut Criterion) {
+    let mut g = c.benchmark_group("box_algebra");
+    let rects = random_rects(256, 7);
+    g.throughput(Throughput::Elements(256 * 256));
+    g.bench_function("pairwise_overlap_256x256", |b| {
+        b.iter(|| boxops::pairwise_overlap_cells(&rects, &rects))
+    });
+    let small = random_rects(64, 9);
+    g.bench_function("disjointify_64", |b| {
+        b.iter(|| boxops::disjointify(&small))
+    });
+    g.bench_function("region_union_2x64", |b| {
+        let a = Region::from_boxes(&small);
+        let other = Region::from_boxes(&random_rects(64, 11));
+        b.iter(|| a.union(&other).cells())
+    });
+    g.finish();
+}
+
+fn sfc_keys(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sfc_keys");
+    g.throughput(Throughput::Elements(1 << 16));
+    g.bench_function("morton_64k", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for y in 0..256u64 {
+                for x in 0..256u64 {
+                    acc = acc.wrapping_add(morton_key(x, y));
+                }
+            }
+            acc
+        })
+    });
+    g.bench_function("hilbert_64k", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for y in 0..256u64 {
+                for x in 0..256u64 {
+                    acc = acc.wrapping_add(hilbert_key(8, x, y));
+                }
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+fn clustering(c: &mut Criterion) {
+    let mut g = c.benchmark_group("berger_rigoutsos");
+    // A wavefront-like ring of flags on a 256^2 grid: the real workload
+    // shape of the grid generator.
+    let flags = FlagField::from_fn(Rect2::from_extents(256, 256), |p| {
+        let dx = p.x as f64 - 127.5;
+        let dy = p.y as f64 - 127.5;
+        let r = (dx * dx + dy * dy).sqrt();
+        (80.0..=92.0).contains(&r)
+    });
+    g.bench_function("ring_256", |b| {
+        b.iter(|| cluster_flags(&flags, &ClusterOptions::paper_defaults()))
+    });
+    let scattered = FlagField::from_fn(Rect2::from_extents(256, 256), |p| {
+        (p.x * 7 + p.y * 13) % 29 == 0
+    });
+    g.bench_function("scattered_256", |b| {
+        b.iter(|| cluster_flags(&scattered, &ClusterOptions::paper_defaults()))
+    });
+    g.finish();
+}
+
+fn model_penalties(c: &mut Criterion) {
+    let mut g = c.benchmark_group("model_penalties");
+    let trace = bench_trace(AppKind::Sc2d);
+    let mid = trace.len() / 2;
+    let (a, b2) = (trace.hierarchy(mid), trace.hierarchy(mid + 1));
+    g.bench_function("beta_m_pair", |b| b.iter(|| beta_m(a, b2)));
+    g.bench_function("hierarchy_overlap_pair", |b| {
+        b.iter(|| hierarchy_overlap(a, b2))
+    });
+    let h = representative_hierarchy(AppKind::Sc2d);
+    g.bench_function("beta_c", |b| {
+        b.iter(|| samr::model::tradeoff1::beta_c(&h, 16))
+    });
+    g.bench_function("beta_l", |b| {
+        b.iter(|| samr::model::tradeoff1::beta_l(&h, 2, 16))
+    });
+    g.finish();
+}
+
+fn trace_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace_generation");
+    g.sample_size(10);
+    let cfg = TraceGenConfig::smoke();
+    for kind in AppKind::ALL {
+        g.bench_function(format!("smoke_{}", kind.name()), |b| {
+            b.iter_batched(
+                || cfg.clone(),
+                |cfg| generate_trace(kind, &cfg),
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    kernels,
+    box_algebra,
+    sfc_keys,
+    clustering,
+    model_penalties,
+    trace_generation
+);
+criterion_main!(kernels);

@@ -1,0 +1,78 @@
+//! Partitioner benchmarks: the three families on the hardest hierarchy
+//! of each application trace, across processor counts — the paper's §4.3
+//! argument that partitioning *speed* is a tradable quantity needs actual
+//! speed numbers per family.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use samr_apps::AppKind;
+use samr_bench::representative_hierarchy;
+use samr_partition::{
+    DomainSfcPartitioner, HybridPartitioner, PatchPartitioner, Partitioner,
+};
+use std::sync::Once;
+
+fn partitioner_families(c: &mut Criterion) {
+    let mut g = c.benchmark_group("partition");
+    let once = Once::new();
+    for kind in [AppKind::Sc2d, AppKind::Rm2d] {
+        let h = representative_hierarchy(kind);
+        once.call_once(|| {
+            println!(
+                "\nrepresentative {}: {} levels, {} patches, {} points",
+                kind.name(),
+                h.depth(),
+                h.levels.iter().map(|l| l.patch_count()).sum::<usize>(),
+                h.total_points()
+            )
+        });
+        for nprocs in [16usize, 64] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("domain_sfc_{}", kind.name()), nprocs),
+                &nprocs,
+                |b, &n| {
+                    let p = DomainSfcPartitioner::default();
+                    b.iter(|| p.partition(&h, n))
+                },
+            );
+            g.bench_with_input(
+                BenchmarkId::new(format!("patch_{}", kind.name()), nprocs),
+                &nprocs,
+                |b, &n| {
+                    let p = PatchPartitioner::default();
+                    b.iter(|| p.partition(&h, n))
+                },
+            );
+            g.bench_with_input(
+                BenchmarkId::new(format!("hybrid_{}", kind.name()), nprocs),
+                &nprocs,
+                |b, &n| {
+                    let p = HybridPartitioner::default();
+                    b.iter(|| p.partition(&h, n))
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn simulation_step(c: &mut Criterion) {
+    use samr_sim::{simulate_trace, SimConfig};
+    let mut g = c.benchmark_group("simulate_trace");
+    g.sample_size(10);
+    let trace = samr_bench::bench_trace(AppKind::Bl2d);
+    for (name, p) in [
+        (
+            "hybrid",
+            Box::new(HybridPartitioner::default()) as Box<dyn Partitioner + Sync>,
+        ),
+        ("domain_sfc", Box::new(DomainSfcPartitioner::default())),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| simulate_trace(&trace, p.as_ref(), &SimConfig::default()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(partitioners, partitioner_families, simulation_step);
+criterion_main!(partitioners);

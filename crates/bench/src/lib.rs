@@ -1,0 +1,52 @@
+//! # samr-bench — benchmark harness support
+//!
+//! The actual benchmarks live in `benches/`:
+//!
+//! - `figures`: one group per data figure of the paper (Figures 1, 3
+//!   right, 4–7) — each bench runs the regeneration pipeline on the
+//!   shared cached trace and prints the series summary once;
+//! - `kernels`: micro-benchmarks of the hot computational kernels (box
+//!   intersection, region algebra, SFC keys, Berger–Rigoutsos, β_m);
+//! - `partitioners`: the three partitioner families on representative
+//!   hierarchies at several processor counts;
+//! - `ablations`: the design-choice experiments from DESIGN.md §6 (β_m
+//!   denominator, grid-size weighting, SFC ordering, cluster efficiency).
+//!
+//! This crate body only hosts shared helpers.
+
+use samr::experiments::cached_trace;
+use samr_apps::{AppKind, TraceGenConfig};
+use samr_grid::GridHierarchy;
+use samr_trace::HierarchyTrace;
+use std::sync::Arc;
+
+/// The benchmark trace configuration: the reduced experiment config (the
+/// full paper config is run by the examples; benches favour wall-clock).
+pub fn bench_config() -> TraceGenConfig {
+    samr::experiments::configs::reduced()
+}
+
+/// Cached trace for benchmarking.
+pub fn bench_trace(kind: AppKind) -> Arc<HierarchyTrace> {
+    cached_trace(kind, &bench_config())
+}
+
+/// A representative mid-run hierarchy (deep, many patches) of an
+/// application — the unit input for partitioner and model benches.
+pub fn representative_hierarchy(kind: AppKind) -> GridHierarchy {
+    let trace = bench_trace(kind);
+    // Pick the snapshot with the most patches: the hardest instance.
+    trace
+        .snapshots
+        .iter()
+        .max_by_key(|s| {
+            s.hierarchy
+                .levels
+                .iter()
+                .map(|l| l.patch_count())
+                .sum::<usize>()
+        })
+        .expect("non-empty trace")
+        .hierarchy
+        .clone()
+}

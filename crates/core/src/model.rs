@@ -1,0 +1,290 @@
+//! The end-to-end model pipeline: trace in, per-step classification out.
+//!
+//! This is the program of §5.1: "the trace-file is processed by a program
+//! implementing our proposed model. This program outputs β_m and β_c for
+//! each time-step." It also produces the full classification point
+//! (d1, d2, d3) so the locus of Figure 3 (right) can be plotted, and the
+//! meta-partitioner can consume the state directly.
+
+use crate::space::{ClassificationPoint, StateCurve};
+use crate::tradeoff1::{beta_c, beta_l, dimension1};
+use crate::tradeoff2::{Tradeoff2, Tradeoff2State};
+use crate::tradeoff3::{beta_m_with, BetaMDenominator};
+use samr_trace::HierarchyTrace;
+use serde::{Deserialize, Serialize};
+
+/// Model configuration.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct ModelConfig {
+    /// Atomic-unit size for the β_l workload sampling.
+    pub unit: i64,
+    /// Reference processor count (system parameter) for the β_c cut
+    /// surface.
+    pub p_ref: usize,
+    /// β_m denominator (the paper's choice is `Current`; `Previous` is
+    /// the ablation).
+    pub denominator: BetaMDenominatorConfig,
+    /// Apply the §4.2 absolute-importance grid-size weighting inside
+    /// Trade-off 2 (ablation ABL2 turns it off).
+    pub weight_by_grid_size: bool,
+    /// Time scale of the invocation-interval normalization (in trace
+    /// time units).
+    pub interval_scale: f64,
+}
+
+/// Serializable mirror of [`BetaMDenominator`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum BetaMDenominatorConfig {
+    /// `|H_t|` (the paper's choice).
+    Current,
+    /// `|H_{t-1}|` (ablation).
+    Previous,
+}
+
+impl From<BetaMDenominatorConfig> for BetaMDenominator {
+    fn from(c: BetaMDenominatorConfig) -> Self {
+        match c {
+            BetaMDenominatorConfig::Current => BetaMDenominator::Current,
+            BetaMDenominatorConfig::Previous => BetaMDenominator::Previous,
+        }
+    }
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        Self {
+            unit: 2,
+            p_ref: 16,
+            denominator: BetaMDenominatorConfig::Current,
+            weight_by_grid_size: true,
+            interval_scale: 1.0,
+        }
+    }
+}
+
+/// The model's output for one coarse time step.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct ModelState {
+    /// Coarse step index.
+    pub step: u32,
+    /// Ab-initio load-imbalance penalty.
+    pub beta_l: f64,
+    /// Ab-initio worst-case communication penalty.
+    pub beta_c: f64,
+    /// Data-migration penalty (0 at the first step: no previous
+    /// hierarchy).
+    pub beta_m: f64,
+    /// Trade-off 2 quantities.
+    pub tradeoff2: Tradeoff2,
+    /// The continuous classification point.
+    pub point: ClassificationPoint,
+}
+
+/// Walks a hierarchy trace and emits one [`ModelState`] per snapshot.
+#[derive(Clone, Debug, Default)]
+pub struct ModelPipeline {
+    /// Configuration used for every step.
+    pub config: ModelConfig,
+}
+
+impl ModelPipeline {
+    /// Pipeline with default (paper) configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pipeline with explicit configuration.
+    pub fn with_config(config: ModelConfig) -> Self {
+        Self { config }
+    }
+
+    /// Run the model over a whole trace.
+    pub fn run(&self, trace: &HierarchyTrace) -> Vec<ModelState> {
+        let mut out = Vec::with_capacity(trace.len());
+        let mut t2 = Tradeoff2State::new(self.config.interval_scale);
+        for (i, snap) in trace.snapshots.iter().enumerate() {
+            let h = &snap.hierarchy;
+            let bl = beta_l(h, self.config.unit, self.config.p_ref);
+            let bc = beta_c(h, self.config.p_ref);
+            let bm = if i == 0 {
+                0.0
+            } else {
+                beta_m_with(
+                    trace.hierarchy(i - 1),
+                    h,
+                    self.config.denominator.into(),
+                )
+            };
+            let t2q = t2.observe(
+                snap.time,
+                h.total_points(),
+                &[bl, bc, bm],
+                self.config.weight_by_grid_size,
+            );
+            out.push(ModelState {
+                step: snap.step,
+                beta_l: bl,
+                beta_c: bc,
+                beta_m: bm,
+                tradeoff2: t2q,
+                point: ClassificationPoint::new(dimension1(bl, bc), t2q.d2, bm),
+            });
+        }
+        out
+    }
+
+    /// Run the model and return the locus curve (Figure 3 right).
+    pub fn state_curve(&self, trace: &HierarchyTrace) -> StateCurve {
+        let mut curve = StateCurve::default();
+        for s in self.run(trace) {
+            curve.push(s.step, s.point);
+        }
+        curve
+    }
+}
+
+/// Convenience: the β_m series of a trace (the model side of the
+/// Figures 4–7 right panels).
+pub fn beta_m_series(trace: &HierarchyTrace) -> Vec<f64> {
+    ModelPipeline::new().run(trace).iter().map(|s| s.beta_m).collect()
+}
+
+/// Convenience: the β_c series of a trace (the model side of the
+/// Figures 4–7 left panels).
+pub fn beta_c_series(trace: &HierarchyTrace) -> Vec<f64> {
+    ModelPipeline::new().run(trace).iter().map(|s| s.beta_c).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use samr_geom::Rect2;
+    use samr_grid::GridHierarchy;
+    use samr_trace::{Snapshot, TraceMeta};
+
+    fn r(x0: i64, y0: i64, x1: i64, y1: i64) -> Rect2 {
+        Rect2::from_coords(x0, y0, x1, y1)
+    }
+
+    fn trace_moving() -> HierarchyTrace {
+        let meta = TraceMeta {
+            app: "SYN".into(),
+            description: "moving box".into(),
+            base_domain: Rect2::from_extents(32, 32),
+            ratio: 2,
+            max_levels: 2,
+            regrid_interval: 4,
+            min_block: 2,
+            seed: 0,
+        };
+        let mut t = HierarchyTrace::new(meta);
+        for i in 0..8u32 {
+            let off = i as i64 * 4;
+            t.push(Snapshot {
+                step: i,
+                time: i as f64,
+                hierarchy: GridHierarchy::from_level_rects(
+                    Rect2::from_extents(32, 32),
+                    2,
+                    &[vec![], vec![r(off, 0, off + 15, 15)]],
+                ),
+            });
+        }
+        t
+    }
+
+    #[test]
+    fn pipeline_emits_one_state_per_snapshot() {
+        let trace = trace_moving();
+        let states = ModelPipeline::new().run(&trace);
+        assert_eq!(states.len(), trace.len());
+        assert_eq!(states[0].beta_m, 0.0);
+        for s in &states {
+            assert!((0.0..=1.0).contains(&s.beta_l));
+            assert!((0.0..=1.0).contains(&s.beta_c));
+            assert!((0.0..=1.0).contains(&s.beta_m));
+            assert!((0.0..=1.0).contains(&s.point.d1));
+            assert!((0.0..=1.0).contains(&s.point.d2));
+            assert!((0.0..=1.0).contains(&s.point.d3));
+        }
+    }
+
+    #[test]
+    fn moving_box_sustains_beta_m() {
+        let trace = trace_moving();
+        let states = ModelPipeline::new().run(&trace);
+        for s in &states[1..] {
+            // Base 1024 cells static, level-1 box 256 cells shifted by 4:
+            // overlap 1024 + 12*16 = 1216 of 1280 => β_m = 64/1280 = 0.05
+            // at every step.
+            assert!(
+                (s.beta_m - 0.05).abs() < 1e-9,
+                "step {} had β_m {}",
+                s.step,
+                s.beta_m
+            );
+        }
+    }
+
+    #[test]
+    fn d3_equals_beta_m() {
+        let trace = trace_moving();
+        for s in ModelPipeline::new().run(&trace) {
+            assert_eq!(s.point.d3, s.beta_m);
+        }
+    }
+
+    #[test]
+    fn state_curve_matches_run() {
+        let trace = trace_moving();
+        let p = ModelPipeline::new();
+        let curve = p.state_curve(&trace);
+        assert_eq!(curve.len(), trace.len());
+        assert!(curve.arc_length() > 0.0);
+    }
+
+    #[test]
+    fn series_helpers_agree_with_pipeline() {
+        let trace = trace_moving();
+        let states = ModelPipeline::new().run(&trace);
+        let bm = beta_m_series(&trace);
+        let bc = beta_c_series(&trace);
+        for (i, s) in states.iter().enumerate() {
+            assert_eq!(bm[i], s.beta_m);
+            assert_eq!(bc[i], s.beta_c);
+        }
+    }
+
+    #[test]
+    fn ablation_denominator_changes_growth_steps() {
+        let meta = TraceMeta {
+            app: "SYN".into(),
+            description: "growing".into(),
+            base_domain: Rect2::from_extents(32, 32),
+            ratio: 2,
+            max_levels: 2,
+            regrid_interval: 4,
+            min_block: 2,
+            seed: 0,
+        };
+        let mut t = HierarchyTrace::new(meta);
+        for (i, size) in [7i64, 31].iter().enumerate() {
+            t.push(Snapshot {
+                step: i as u32,
+                time: i as f64,
+                hierarchy: GridHierarchy::from_level_rects(
+                    Rect2::from_extents(32, 32),
+                    2,
+                    &[vec![], vec![r(0, 0, *size, *size)]],
+                ),
+            });
+        }
+        let paper = ModelPipeline::new().run(&t);
+        let ablated = ModelPipeline::with_config(ModelConfig {
+            denominator: BetaMDenominatorConfig::Previous,
+            ..ModelConfig::default()
+        })
+        .run(&t);
+        assert!(paper[1].beta_m > ablated[1].beta_m);
+    }
+}

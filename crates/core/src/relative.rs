@@ -1,0 +1,76 @@
+//! Grid-relative metrics (§4.1).
+//!
+//! > "Data migration between time-steps t−1 and t should be normalized
+//! > with respect to grid size, i.e. the number of grid points, in the
+//! > grid hierarchy at time-step t−1. Consequently, a 100-percent data
+//! > migration translates to that all points in the grid are moved.
+//! > Communication should be normalized with respect to work load. A
+//! > 100-percent communication at a coarse time-step would translate to
+//! > all points in the grid being involved in communications at all local
+//! > time steps involved in the particular coarse time-step."
+//!
+//! These normalizations make migration and communication comparable
+//! *across applications* (like the de-facto-standard percent load
+//! imbalance) and are what the model's penalties are validated against.
+
+use samr_grid::GridHierarchy;
+
+/// Grid-relative data migration: `moved / |H_{t-1}|`. 1.0 = every point
+/// of the previous grid moved.
+pub fn relative_migration(moved_points: u64, prev: &GridHierarchy) -> f64 {
+    moved_points as f64 / prev.total_points().max(1) as f64
+}
+
+/// Grid-relative communication: `comm / W_t` where
+/// `W_t = Σ_l N_l·ratio^l`. 1.0 = every point communicates at every local
+/// step of the coarse step.
+pub fn relative_communication(comm_points: u64, h: &GridHierarchy) -> f64 {
+    comm_points as f64 / h.workload().max(1) as f64
+}
+
+/// The de-facto-standard load-imbalance percentage: heaviest processor
+/// load over average load, as a ratio (>= 1).
+pub fn load_imbalance_ratio(loads: &[u64]) -> f64 {
+    if loads.is_empty() {
+        return 1.0;
+    }
+    let max = *loads.iter().max().unwrap();
+    let sum: u64 = loads.iter().sum();
+    if sum == 0 {
+        return 1.0;
+    }
+    max as f64 / (sum as f64 / loads.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use samr_geom::Rect2;
+
+    #[test]
+    fn migration_normalizes_by_previous_size() {
+        let prev = GridHierarchy::base_only(Rect2::from_extents(10, 10), 2);
+        assert_eq!(relative_migration(50, &prev), 0.5);
+        assert_eq!(relative_migration(100, &prev), 1.0);
+        assert_eq!(relative_migration(0, &prev), 0.0);
+    }
+
+    #[test]
+    fn communication_normalizes_by_workload() {
+        let h = GridHierarchy::from_level_rects(
+            Rect2::from_extents(10, 10),
+            2,
+            &[vec![], vec![Rect2::from_coords(0, 0, 9, 9)]],
+        );
+        // W = 100 + 100*2 = 300.
+        assert_eq!(relative_communication(150, &h), 0.5);
+    }
+
+    #[test]
+    fn imbalance_ratio_basics() {
+        assert_eq!(load_imbalance_ratio(&[]), 1.0);
+        assert_eq!(load_imbalance_ratio(&[0, 0]), 1.0);
+        assert_eq!(load_imbalance_ratio(&[10, 10]), 1.0);
+        assert_eq!(load_imbalance_ratio(&[30, 10]), 1.5);
+    }
+}

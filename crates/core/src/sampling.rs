@@ -1,0 +1,123 @@
+//! Ab-initio sampling of the grid hierarchy.
+//!
+//! The model's inputs are *samples of application state* taken directly
+//! from the unpartitioned hierarchy (§4: "a model for sampling and
+//! translating these samples of the given application parameters (such as
+//! the grid hierarchy) … into the partitioner-centric classification
+//! space"). This module computes the composite-workload distribution over
+//! the base domain, which feeds the reconstructed load-imbalance penalty
+//! β_l. It deliberately does **not** reuse partitioner code: the model
+//! must remain independent of any particular partitioning.
+
+use samr_geom::{Point2, Rect2};
+use samr_grid::GridHierarchy;
+
+/// Composite workload (cell updates per coarse step) of each `unit`-sized
+/// block of the base domain, row-major over the block grid. The sum over
+/// all units equals `h.workload()`.
+pub fn unit_workloads(h: &GridHierarchy, unit: i64) -> Vec<u64> {
+    assert!(unit >= 1);
+    let domain = h.base_domain;
+    let e = domain.extent();
+    let dims = ((e.x + unit - 1) / unit, (e.y + unit - 1) / unit);
+    let mut weights = vec![0u64; (dims.0 * dims.1) as usize];
+    for (l, level) in h.levels.iter().enumerate() {
+        let scale = h.ratio.pow(l as u32);
+        let w = (h.ratio as u64).pow(l as u32);
+        for patch in &level.patches {
+            let base_fp = patch.rect.coarsen(scale);
+            let u_lo = (base_fp.lo() - domain.lo()).div_floor(unit);
+            let u_hi = (base_fp.hi() - domain.lo()).div_floor(unit);
+            for uy in u_lo.y..=u_hi.y.min(dims.1 - 1) {
+                for ux in u_lo.x..=u_hi.x.min(dims.0 - 1) {
+                    let unit_box = Rect2::new(
+                        Point2::new(domain.lo().x + ux * unit, domain.lo().y + uy * unit),
+                        Point2::new(
+                            (domain.lo().x + ux * unit + unit - 1).min(domain.hi().x),
+                            (domain.lo().y + uy * unit + unit - 1).min(domain.hi().y),
+                        ),
+                    );
+                    let overlap = patch.rect.overlap_cells(&unit_box.refine(scale));
+                    weights[(uy * dims.0 + ux) as usize] += overlap * w;
+                }
+            }
+        }
+    }
+    weights
+}
+
+/// Gini coefficient of a non-negative weight distribution, in `[0, 1)`:
+/// 0 = perfectly uniform, →1 = all mass in one unit. The model uses it as
+/// the ab-initio *imbalance potential* of the workload distribution.
+pub fn gini(weights: &[u64]) -> f64 {
+    let n = weights.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let total: u64 = weights.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let mut sorted: Vec<u64> = weights.to_vec();
+    sorted.sort_unstable();
+    // G = (2 Σ_i i·x_i) / (n Σ x) − (n+1)/n  with 1-based i over sorted x.
+    let weighted: f64 = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| (i as f64 + 1.0) * x as f64)
+        .sum();
+    (2.0 * weighted / (n as f64 * total as f64) - (n as f64 + 1.0) / n as f64).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(x0: i64, y0: i64, x1: i64, y1: i64) -> Rect2 {
+        Rect2::from_coords(x0, y0, x1, y1)
+    }
+
+    #[test]
+    fn unit_workloads_sum_to_workload() {
+        let h = GridHierarchy::from_level_rects(
+            Rect2::from_extents(16, 16),
+            2,
+            &[vec![], vec![r(8, 8, 23, 23)], vec![r(24, 24, 39, 39)]],
+        );
+        for unit in [1, 2, 4] {
+            let w = unit_workloads(&h, unit);
+            assert_eq!(w.iter().sum::<u64>(), h.workload(), "unit {unit}");
+        }
+    }
+
+    #[test]
+    fn uniform_grid_zero_gini() {
+        let h = GridHierarchy::base_only(Rect2::from_extents(16, 16), 2);
+        let w = unit_workloads(&h, 2);
+        assert!(gini(&w) < 1e-12);
+    }
+
+    #[test]
+    fn localized_refinement_raises_gini() {
+        let flat = GridHierarchy::base_only(Rect2::from_extents(32, 32), 2);
+        let localized = GridHierarchy::from_level_rects(
+            Rect2::from_extents(32, 32),
+            2,
+            &[vec![], vec![r(0, 0, 15, 15)], vec![r(0, 0, 15, 15)]],
+        );
+        let g_flat = gini(&unit_workloads(&flat, 2));
+        let g_loc = gini(&unit_workloads(&localized, 2));
+        assert!(g_loc > g_flat + 0.2, "{g_flat} vs {g_loc}");
+    }
+
+    #[test]
+    fn gini_extremes() {
+        assert_eq!(gini(&[]), 0.0);
+        assert_eq!(gini(&[0, 0, 0]), 0.0);
+        assert!(gini(&[5, 5, 5, 5]) < 1e-12);
+        // All mass in one of many units approaches 1.
+        let mut w = vec![0u64; 100];
+        w[7] = 1000;
+        assert!(gini(&w) > 0.95);
+    }
+}

@@ -1,0 +1,140 @@
+//! The continuous partitioner-centric classification space (§4, Figure 3
+//! right).
+//!
+//! Unlike the octant approach (relative, discrete), the proposed space is
+//! **absolute and continuous**: a state sampling maps onto a point in
+//! `[0,1]³`, and "the locus of all such points, as a simulation evolves,
+//! will be a curve in the same space. […] This enables not only a coarse
+//! grained partitioner selection, but also an extremely fine grained
+//! partitioner configuration."
+
+use serde::{Deserialize, Serialize};
+
+/// A point in the partitioner-centric classification space.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct ClassificationPoint {
+    /// Dimension I — communication vs. load balance: 0 → optimize
+    /// communication, 1 → optimize load balance.
+    pub d1: f64,
+    /// Dimension II — speed vs. overall quality: 0 → optimize speed (any
+    /// partitioning will do), 1 → optimize quality (invest time).
+    pub d2: f64,
+    /// Dimension III — data migration: 0 → no migration pressure, 1 →
+    /// expect the whole grid to move.
+    pub d3: f64,
+}
+
+impl ClassificationPoint {
+    /// Construct, clamping every coordinate into `[0, 1]`.
+    pub fn new(d1: f64, d2: f64, d3: f64) -> Self {
+        Self {
+            d1: d1.clamp(0.0, 1.0),
+            d2: d2.clamp(0.0, 1.0),
+            d3: d3.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Euclidean distance to another point (used by the meta-partitioner
+    /// to damp configuration thrashing).
+    pub fn distance(&self, other: &Self) -> f64 {
+        let dx = self.d1 - other.d1;
+        let dy = self.d2 - other.d2;
+        let dz = self.d3 - other.d3;
+        (dx * dx + dy * dy + dz * dz).sqrt()
+    }
+
+    /// The octant of the discrete legacy space this point falls into
+    /// (bit 0: d1 ≥ ½, bit 1: d2 ≥ ½, bit 2: d3 ≥ ½) — the coarse
+    /// projection the octant approach would have used.
+    pub fn octant(&self) -> u8 {
+        u8::from(self.d1 >= 0.5) | (u8::from(self.d2 >= 0.5) << 1) | (u8::from(self.d3 >= 0.5) << 2)
+    }
+}
+
+/// The locus of classification points over a run — the curve of Figure 3
+/// (right).
+#[derive(Clone, PartialEq, Debug, Default, Serialize, Deserialize)]
+pub struct StateCurve {
+    /// `(coarse step, point)` in step order.
+    pub points: Vec<(u32, ClassificationPoint)>,
+}
+
+impl StateCurve {
+    /// Append a sample.
+    pub fn push(&mut self, step: u32, p: ClassificationPoint) {
+        self.points.push((step, p));
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Total arc length of the curve — a scalar measure of how much the
+    /// partitioning requirements moved over the run (the paper's argument
+    /// for dynamic re-selection is precisely that this is large).
+    pub fn arc_length(&self) -> f64 {
+        self.points
+            .windows(2)
+            .map(|w| w[0].1.distance(&w[1].1))
+            .sum()
+    }
+
+    /// How many times the coarse octant projection changes along the
+    /// curve — the number of discrete re-selections the octant approach
+    /// would have made.
+    pub fn octant_transitions(&self) -> usize {
+        self.points
+            .windows(2)
+            .filter(|w| w[0].1.octant() != w[1].1.octant())
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_clamps() {
+        let p = ClassificationPoint::new(-0.5, 0.5, 1.5);
+        assert_eq!(p.d1, 0.0);
+        assert_eq!(p.d2, 0.5);
+        assert_eq!(p.d3, 1.0);
+    }
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = ClassificationPoint::new(0.0, 0.0, 0.0);
+        let b = ClassificationPoint::new(1.0, 0.0, 0.0);
+        assert!((a.distance(&b) - 1.0).abs() < 1e-12);
+        let c = ClassificationPoint::new(1.0, 1.0, 1.0);
+        assert!((a.distance(&c) - 3f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn octant_projection() {
+        assert_eq!(ClassificationPoint::new(0.1, 0.1, 0.1).octant(), 0);
+        assert_eq!(ClassificationPoint::new(0.9, 0.1, 0.1).octant(), 1);
+        assert_eq!(ClassificationPoint::new(0.1, 0.9, 0.1).octant(), 2);
+        assert_eq!(ClassificationPoint::new(0.1, 0.1, 0.9).octant(), 4);
+        assert_eq!(ClassificationPoint::new(0.9, 0.9, 0.9).octant(), 7);
+    }
+
+    #[test]
+    fn curve_accumulates() {
+        let mut c = StateCurve::default();
+        assert!(c.is_empty());
+        c.push(0, ClassificationPoint::new(0.0, 0.0, 0.0));
+        c.push(1, ClassificationPoint::new(1.0, 0.0, 0.0));
+        c.push(2, ClassificationPoint::new(1.0, 1.0, 0.0));
+        assert_eq!(c.len(), 3);
+        assert!((c.arc_length() - 2.0).abs() < 1e-12);
+        assert_eq!(c.octant_transitions(), 2);
+    }
+}

@@ -1,0 +1,219 @@
+//! Dense rectangular buffers over a box domain.
+
+use crate::point::Point2;
+use crate::rect::Rect2;
+
+/// A dense, row-major 2-D array of `T` covering the cells of a [`Rect2`].
+///
+/// Used for solution fields in the application kernels and for refinement
+/// flag masks feeding the Berger–Rigoutsos clusterer. Indexing is by global
+/// cell coordinates (the domain's own index space), which keeps solver
+/// stencils and flag transfers free of per-patch offset bookkeeping.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Grid2<T> {
+    domain: Rect2,
+    data: Vec<T>,
+}
+
+impl<T: Clone> Grid2<T> {
+    /// Allocate a grid over `domain`, filled with `fill`.
+    pub fn new(domain: Rect2, fill: T) -> Self {
+        let n = domain.cells() as usize;
+        Self {
+            domain,
+            data: vec![fill; n],
+        }
+    }
+
+    /// Re-fill every cell with `value` (reuses the allocation).
+    pub fn fill(&mut self, value: T) {
+        for v in &mut self.data {
+            *v = value.clone();
+        }
+    }
+}
+
+impl<T> Grid2<T> {
+    /// Build a grid from a closure evaluated at every cell.
+    pub fn from_fn(domain: Rect2, mut f: impl FnMut(Point2) -> T) -> Self {
+        let mut data = Vec::with_capacity(domain.cells() as usize);
+        for y in domain.lo().y..=domain.hi().y {
+            for x in domain.lo().x..=domain.hi().x {
+                data.push(f(Point2::new(x, y)));
+            }
+        }
+        Self { domain, data }
+    }
+
+    /// The box this grid covers.
+    #[inline]
+    pub fn domain(&self) -> Rect2 {
+        self.domain
+    }
+
+    /// Immutable access to a cell.
+    #[inline]
+    pub fn get(&self, p: Point2) -> &T {
+        &self.data[self.domain.linear_index(p)]
+    }
+
+    /// Mutable access to a cell.
+    #[inline]
+    pub fn get_mut(&mut self, p: Point2) -> &mut T {
+        let i = self.domain.linear_index(p);
+        &mut self.data[i]
+    }
+
+    /// Set a cell.
+    #[inline]
+    pub fn set(&mut self, p: Point2, v: T) {
+        let i = self.domain.linear_index(p);
+        self.data[i] = v;
+    }
+
+    /// Raw row-major data slice.
+    #[inline]
+    pub fn data(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Raw mutable row-major data slice.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Iterate `(cell, &value)` in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (Point2, &T)> + '_ {
+        self.domain.iter_cells().zip(self.data.iter())
+    }
+
+    /// One row of the grid as a slice (cells `lo.x ..= hi.x` at height `y`).
+    #[inline]
+    pub fn row(&self, y: i64) -> &[T] {
+        let w = self.domain.extent().x as usize;
+        let start = self
+            .domain
+            .linear_index(Point2::new(self.domain.lo().x, y));
+        &self.data[start..start + w]
+    }
+
+    /// One row of the grid as a mutable slice.
+    #[inline]
+    pub fn row_mut(&mut self, y: i64) -> &mut [T] {
+        let w = self.domain.extent().x as usize;
+        let start = self
+            .domain
+            .linear_index(Point2::new(self.domain.lo().x, y));
+        &mut self.data[start..start + w]
+    }
+}
+
+impl Grid2<bool> {
+    /// Count the `true` cells (flagged cells for the clusterer).
+    pub fn count_true(&self) -> u64 {
+        self.data.iter().filter(|&&b| b).count() as u64
+    }
+
+    /// Count the `true` cells inside `window`.
+    pub fn count_true_in(&self, window: &Rect2) -> u64 {
+        match self.domain.intersect(window) {
+            None => 0,
+            Some(w) => {
+                let mut n = 0;
+                for y in w.lo().y..=w.hi().y {
+                    let row = self.row(y);
+                    let off = (w.lo().x - self.domain.lo().x) as usize;
+                    let len = w.extent().x as usize;
+                    n += row[off..off + len].iter().filter(|&&b| b).count() as u64;
+                }
+                n
+            }
+        }
+    }
+}
+
+impl Grid2<f64> {
+    /// Maximum absolute value over the grid (0.0 for an all-zero grid).
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0f64, |m, v| m.max(v.abs()))
+    }
+
+    /// Sum of all values.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dom() -> Rect2 {
+        Rect2::from_coords(-1, -1, 2, 1)
+    }
+
+    #[test]
+    fn new_fills() {
+        let g = Grid2::new(dom(), 7i32);
+        assert_eq!(g.data().len(), 12);
+        assert!(g.data().iter().all(|&v| v == 7));
+    }
+
+    #[test]
+    fn from_fn_and_get() {
+        let g = Grid2::from_fn(dom(), |p| p.x * 10 + p.y);
+        assert_eq!(*g.get(Point2::new(-1, -1)), -11);
+        assert_eq!(*g.get(Point2::new(2, 1)), 21);
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut g = Grid2::new(dom(), 0i64);
+        g.set(Point2::new(0, 0), 42);
+        *g.get_mut(Point2::new(1, 1)) = 9;
+        assert_eq!(*g.get(Point2::new(0, 0)), 42);
+        assert_eq!(*g.get(Point2::new(1, 1)), 9);
+    }
+
+    #[test]
+    fn rows_are_contiguous() {
+        let g = Grid2::from_fn(dom(), |p| p.x);
+        assert_eq!(g.row(0), &[-1, 0, 1, 2]);
+        let mut g = g;
+        g.row_mut(1)[0] = 99;
+        assert_eq!(*g.get(Point2::new(-1, 1)), 99);
+    }
+
+    #[test]
+    fn iter_matches_domain_order() {
+        let g = Grid2::from_fn(dom(), |p| p);
+        for (p, v) in g.iter() {
+            assert_eq!(p, *v);
+        }
+    }
+
+    #[test]
+    fn bool_counts() {
+        let g = Grid2::from_fn(dom(), |p| p.x >= 0);
+        assert_eq!(g.count_true(), 9);
+        assert_eq!(g.count_true_in(&Rect2::from_coords(0, 0, 2, 1)), 6);
+        assert_eq!(g.count_true_in(&Rect2::from_coords(5, 5, 6, 6)), 0);
+        // Window partially outside the domain clips.
+        assert_eq!(g.count_true_in(&Rect2::from_coords(2, 1, 10, 10)), 1);
+    }
+
+    #[test]
+    fn f64_reductions() {
+        let g = Grid2::from_fn(dom(), |p| -(p.x as f64));
+        assert_eq!(g.max_abs(), 2.0);
+        assert!((g.sum() - (-6.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fill_resets() {
+        let mut g = Grid2::new(dom(), 1u8);
+        g.fill(3);
+        assert!(g.data().iter().all(|&v| v == 3));
+    }
+}

@@ -1,0 +1,40 @@
+//! # samr-geom — integer index-space geometry for SAMR
+//!
+//! Structured adaptive mesh refinement (SAMR) manipulates *logically
+//! rectangular* index boxes: patches of a grid hierarchy are boxes, a
+//! partitioner cuts boxes, the data-migration penalty of the paper is a sum
+//! of box intersections. This crate provides the exact-arithmetic geometry
+//! substrate that everything else builds on:
+//!
+//! - [`Point2`]: 2-D integer lattice points;
+//! - [`Rect2`]: non-empty axis-aligned boxes with inclusive bounds, with
+//!   refinement/coarsening (the factor-2 space refinement of the paper),
+//!   intersection, growth (ghost regions) and splitting;
+//! - [`boxops`]: algebra on box lists — subtraction, disjointification,
+//!   coalescing and exact union areas;
+//! - [`Region`]: a canonicalized disjoint union of boxes supporting the set
+//!   algebra the simulator needs (what part of a ghost region belongs to
+//!   which owner, what part of a level is covered by the next one, …);
+//! - [`Grid2`]: a dense buffer over a box domain (solution fields and
+//!   refinement flag masks);
+//! - [`sfc`]: Morton and Hilbert space-filling curves used by the
+//!   domain-based partitioners.
+//!
+//! All arithmetic is `i64`/`u64` and exact: the model of the paper is a
+//! *deterministic* function of the grid hierarchy, and the reproduction
+//! keeps it bit-reproducible across runs and thread counts.
+
+#![warn(missing_docs)]
+
+pub mod boxops;
+pub mod dense;
+pub mod point;
+pub mod rect;
+pub mod region;
+pub mod sfc;
+
+pub use dense::Grid2;
+pub use point::Point2;
+pub use rect::{Axis, Rect2};
+pub use region::Region;
+pub use sfc::{sfc_key, SfcCurve};

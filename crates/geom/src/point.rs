@@ -1,0 +1,227 @@
+//! 2-D integer lattice points.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A point on the 2-D integer index lattice.
+///
+/// Coordinates are `i64` so that refining a box (multiplying coordinates by
+/// the refinement factor) can never overflow for realistic hierarchy depths:
+/// the paper's configuration is a base grid of at most a few hundred cells
+/// per side with 5 levels of factor-2 refinement.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Point2 {
+    /// Coordinate along the first (x) axis.
+    pub x: i64,
+    /// Coordinate along the second (y) axis.
+    pub y: i64,
+}
+
+impl Point2 {
+    /// Create a point from its coordinates.
+    #[inline]
+    pub const fn new(x: i64, y: i64) -> Self {
+        Self { x, y }
+    }
+
+    /// The origin `(0, 0)`.
+    pub const ZERO: Self = Self::new(0, 0);
+
+    /// The unit point `(1, 1)`.
+    pub const ONE: Self = Self::new(1, 1);
+
+    /// Component-wise minimum.
+    #[inline]
+    pub fn min(self, other: Self) -> Self {
+        Self::new(self.x.min(other.x), self.y.min(other.y))
+    }
+
+    /// Component-wise maximum.
+    #[inline]
+    pub fn max(self, other: Self) -> Self {
+        Self::new(self.x.max(other.x), self.y.max(other.y))
+    }
+
+    /// Component-wise multiplication.
+    #[inline]
+    pub fn scale(self, f: i64) -> Self {
+        Self::new(self.x * f, self.y * f)
+    }
+
+    /// Component-wise Euclidean floor division (rounds towards negative
+    /// infinity), which is the correct coarsening map for cell indices:
+    /// coarsening cell `-1` by factor 2 must give cell `-1`, not `0`.
+    #[inline]
+    pub fn div_floor(self, f: i64) -> Self {
+        Self::new(self.x.div_euclid(f), self.y.div_euclid(f))
+    }
+
+    /// `true` if both coordinates of `self` are `<=` those of `other`.
+    #[inline]
+    pub fn le(self, other: Self) -> bool {
+        self.x <= other.x && self.y <= other.y
+    }
+
+    /// Sum of coordinates (useful for L1 norms of offsets).
+    #[inline]
+    pub fn l1(self) -> i64 {
+        self.x.abs() + self.y.abs()
+    }
+
+    /// Access a coordinate by axis index (0 = x, 1 = y).
+    #[inline]
+    pub fn get(self, axis: crate::rect::Axis) -> i64 {
+        match axis {
+            crate::rect::Axis::X => self.x,
+            crate::rect::Axis::Y => self.y,
+        }
+    }
+
+    /// Return a copy with the coordinate on `axis` replaced by `v`.
+    #[inline]
+    pub fn with(self, axis: crate::rect::Axis, v: i64) -> Self {
+        match axis {
+            crate::rect::Axis::X => Self::new(v, self.y),
+            crate::rect::Axis::Y => Self::new(self.x, v),
+        }
+    }
+}
+
+impl fmt::Debug for Point2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl fmt::Display for Point2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl Add for Point2 {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Self::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl AddAssign for Point2 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        self.x += rhs.x;
+        self.y += rhs.y;
+    }
+}
+
+impl Sub for Point2 {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        Self::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl SubAssign for Point2 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Self) {
+        self.x -= rhs.x;
+        self.y -= rhs.y;
+    }
+}
+
+impl Mul<i64> for Point2 {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: i64) -> Self {
+        self.scale(rhs)
+    }
+}
+
+impl Div<i64> for Point2 {
+    type Output = Self;
+    #[inline]
+    fn div(self, rhs: i64) -> Self {
+        self.div_floor(rhs)
+    }
+}
+
+impl Neg for Point2 {
+    type Output = Self;
+    #[inline]
+    fn neg(self) -> Self {
+        Self::new(-self.x, -self.y)
+    }
+}
+
+impl From<(i64, i64)> for Point2 {
+    #[inline]
+    fn from((x, y): (i64, i64)) -> Self {
+        Self::new(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rect::Axis;
+
+    #[test]
+    fn arithmetic_basics() {
+        let a = Point2::new(3, -2);
+        let b = Point2::new(-1, 5);
+        assert_eq!(a + b, Point2::new(2, 3));
+        assert_eq!(a - b, Point2::new(4, -7));
+        assert_eq!(a * 2, Point2::new(6, -4));
+        assert_eq!(-a, Point2::new(-3, 2));
+    }
+
+    #[test]
+    fn min_max_are_componentwise() {
+        let a = Point2::new(3, -2);
+        let b = Point2::new(-1, 5);
+        assert_eq!(a.min(b), Point2::new(-1, -2));
+        assert_eq!(a.max(b), Point2::new(3, 5));
+    }
+
+    #[test]
+    fn div_floor_rounds_toward_negative_infinity() {
+        assert_eq!(Point2::new(-1, -2).div_floor(2), Point2::new(-1, -1));
+        assert_eq!(Point2::new(-3, 3).div_floor(2), Point2::new(-2, 1));
+        assert_eq!(Point2::new(4, 5).div_floor(2), Point2::new(2, 2));
+        // Operator form routes through div_floor.
+        assert_eq!(Point2::new(-5, 7) / 4, Point2::new(-2, 1));
+    }
+
+    #[test]
+    fn le_requires_both_axes() {
+        assert!(Point2::new(1, 1).le(Point2::new(2, 1)));
+        assert!(!Point2::new(1, 2).le(Point2::new(2, 1)));
+    }
+
+    #[test]
+    fn axis_accessors_roundtrip() {
+        let p = Point2::new(7, 9);
+        assert_eq!(p.get(Axis::X), 7);
+        assert_eq!(p.get(Axis::Y), 9);
+        assert_eq!(p.with(Axis::X, 1), Point2::new(1, 9));
+        assert_eq!(p.with(Axis::Y, 1), Point2::new(7, 1));
+    }
+
+    #[test]
+    fn l1_norm() {
+        assert_eq!(Point2::new(-3, 4).l1(), 7);
+        assert_eq!(Point2::ZERO.l1(), 0);
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut p = Point2::new(1, 1);
+        p += Point2::new(2, 3);
+        assert_eq!(p, Point2::new(3, 4));
+        p -= Point2::new(1, 1);
+        assert_eq!(p, Point2::new(2, 3));
+    }
+}

@@ -1,0 +1,454 @@
+//! Axis-aligned integer boxes with inclusive bounds.
+
+use crate::point::Point2;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The two coordinate axes of the 2-D index space.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Axis {
+    /// First axis.
+    X,
+    /// Second axis.
+    Y,
+}
+
+impl Axis {
+    /// Both axes, in order.
+    pub const ALL: [Axis; 2] = [Axis::X, Axis::Y];
+
+    /// The other axis.
+    #[inline]
+    pub fn other(self) -> Axis {
+        match self {
+            Axis::X => Axis::Y,
+            Axis::Y => Axis::X,
+        }
+    }
+}
+
+/// A non-empty axis-aligned box of grid cells, `lo ..= hi` on both axes.
+///
+/// `Rect2` is the unit of currency of the whole reproduction: SAMR patches,
+/// partition fragments, ghost regions and flag clusters are all `Rect2`s.
+/// The type maintains the invariant `lo <= hi` component-wise, so a `Rect2`
+/// always contains at least one cell; operations that can produce an empty
+/// result (intersection, shrinking) return `Option<Rect2>`. Keeping
+/// emptiness out of the representation removes a whole class of
+/// degenerate-box bugs from the box algebra that the paper's β_m penalty
+/// (a triple sum of box intersections) relies on.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Rect2 {
+    lo: Point2,
+    hi: Point2,
+}
+
+impl Rect2 {
+    /// Create a box from inclusive corners. Panics if `lo > hi` on any axis;
+    /// use [`Rect2::try_new`] for fallible construction.
+    #[inline]
+    #[track_caller]
+    pub fn new(lo: Point2, hi: Point2) -> Self {
+        assert!(
+            lo.le(hi),
+            "Rect2::new: lo {lo:?} must be <= hi {hi:?} on both axes"
+        );
+        Self { lo, hi }
+    }
+
+    /// Create a box from inclusive corners, returning `None` if it would be
+    /// empty.
+    #[inline]
+    pub fn try_new(lo: Point2, hi: Point2) -> Option<Self> {
+        if lo.le(hi) {
+            Some(Self { lo, hi })
+        } else {
+            None
+        }
+    }
+
+    /// Convenience constructor from scalar corner coordinates.
+    #[inline]
+    #[track_caller]
+    pub fn from_coords(x0: i64, y0: i64, x1: i64, y1: i64) -> Self {
+        Self::new(Point2::new(x0, y0), Point2::new(x1, y1))
+    }
+
+    /// The box `[0, nx-1] x [0, ny-1]`. Panics if either extent is zero.
+    #[inline]
+    #[track_caller]
+    pub fn from_extents(nx: i64, ny: i64) -> Self {
+        assert!(nx > 0 && ny > 0, "extents must be positive: {nx} x {ny}");
+        Self::new(Point2::ZERO, Point2::new(nx - 1, ny - 1))
+    }
+
+    /// A single-cell box.
+    #[inline]
+    pub fn cell(p: Point2) -> Self {
+        Self { lo: p, hi: p }
+    }
+
+    /// Inclusive lower corner.
+    #[inline]
+    pub fn lo(&self) -> Point2 {
+        self.lo
+    }
+
+    /// Inclusive upper corner.
+    #[inline]
+    pub fn hi(&self) -> Point2 {
+        self.hi
+    }
+
+    /// Number of cells along each axis (always positive).
+    #[inline]
+    pub fn extent(&self) -> Point2 {
+        self.hi - self.lo + Point2::ONE
+    }
+
+    /// Number of cells along `axis`.
+    #[inline]
+    pub fn len(&self, axis: Axis) -> i64 {
+        self.extent().get(axis)
+    }
+
+    /// Total number of cells in the box.
+    #[inline]
+    pub fn cells(&self) -> u64 {
+        let e = self.extent();
+        (e.x as u64) * (e.y as u64)
+    }
+
+    /// Number of cells on the boundary ring of the box (cells with at least
+    /// one face on the box surface). This drives the worst-case ghost-cell
+    /// communication estimate `β_c`.
+    #[inline]
+    pub fn perimeter_cells(&self) -> u64 {
+        let e = self.extent();
+        if e.x <= 2 || e.y <= 2 {
+            self.cells()
+        } else {
+            self.cells() - ((e.x - 2) as u64) * ((e.y - 2) as u64)
+        }
+    }
+
+    /// The axis along which the box is longest (ties go to X).
+    #[inline]
+    pub fn longest_axis(&self) -> Axis {
+        let e = self.extent();
+        if e.y > e.x {
+            Axis::Y
+        } else {
+            Axis::X
+        }
+    }
+
+    /// `true` if the cell `p` lies inside the box.
+    #[inline]
+    pub fn contains_point(&self, p: Point2) -> bool {
+        self.lo.le(p) && p.le(self.hi)
+    }
+
+    /// `true` if `other` lies entirely inside `self`.
+    #[inline]
+    pub fn contains_rect(&self, other: &Rect2) -> bool {
+        self.lo.le(other.lo) && other.hi.le(self.hi)
+    }
+
+    /// `true` if the boxes share at least one cell.
+    #[inline]
+    pub fn intersects(&self, other: &Rect2) -> bool {
+        self.lo.x <= other.hi.x
+            && other.lo.x <= self.hi.x
+            && self.lo.y <= other.hi.y
+            && other.lo.y <= self.hi.y
+    }
+
+    /// The common cells of two boxes, if any. This is the `∩` of the paper's
+    /// β_m definition.
+    #[inline]
+    pub fn intersect(&self, other: &Rect2) -> Option<Rect2> {
+        Rect2::try_new(self.lo.max(other.lo), self.hi.min(other.hi))
+    }
+
+    /// Number of cells shared by two boxes (0 if disjoint). Cheaper than
+    /// materializing the intersection box when only the count is needed —
+    /// the β_m inner loop uses this.
+    #[inline]
+    pub fn overlap_cells(&self, other: &Rect2) -> u64 {
+        let w = (self.hi.x.min(other.hi.x) - self.lo.x.max(other.lo.x) + 1).max(0) as u64;
+        let h = (self.hi.y.min(other.hi.y) - self.lo.y.max(other.lo.y) + 1).max(0) as u64;
+        w * h
+    }
+
+    /// Smallest box containing both inputs.
+    #[inline]
+    pub fn bounding_union(&self, other: &Rect2) -> Rect2 {
+        Rect2 {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Grow the box by `g >= 0` cells on every side (ghost region of width
+    /// `g`).
+    #[inline]
+    pub fn grow(&self, g: i64) -> Rect2 {
+        debug_assert!(g >= 0);
+        Rect2 {
+            lo: self.lo - Point2::new(g, g),
+            hi: self.hi + Point2::new(g, g),
+        }
+    }
+
+    /// Shrink the box by `g >= 0` cells on every side; `None` if nothing
+    /// remains.
+    #[inline]
+    pub fn shrink(&self, g: i64) -> Option<Rect2> {
+        debug_assert!(g >= 0);
+        Rect2::try_new(self.lo + Point2::new(g, g), self.hi - Point2::new(g, g))
+    }
+
+    /// Translate the box by an offset.
+    #[inline]
+    pub fn translate(&self, d: Point2) -> Rect2 {
+        Rect2 {
+            lo: self.lo + d,
+            hi: self.hi + d,
+        }
+    }
+
+    /// Refine the box by an integer factor `r >= 1`: the resulting fine box
+    /// covers exactly the same physical area. Cell `i` refines to cells
+    /// `i*r ..= i*r + r-1`, matching Berger–Colella index conventions.
+    #[inline]
+    pub fn refine(&self, r: i64) -> Rect2 {
+        debug_assert!(r >= 1);
+        Rect2 {
+            lo: self.lo * r,
+            hi: self.hi * r + Point2::new(r - 1, r - 1),
+        }
+    }
+
+    /// Coarsen the box by an integer factor `r >= 1`: the resulting coarse
+    /// box is the smallest coarse box *covering* the fine box. Uses floor
+    /// division so negative indices coarsen correctly.
+    #[inline]
+    pub fn coarsen(&self, r: i64) -> Rect2 {
+        debug_assert!(r >= 1);
+        Rect2 {
+            lo: self.lo.div_floor(r),
+            hi: self.hi.div_floor(r),
+        }
+    }
+
+    /// Split the box into `([lo, c], [c+1, hi])` along `axis`. Panics unless
+    /// `lo(axis) <= c < hi(axis)` — both halves are non-empty by
+    /// construction.
+    #[inline]
+    #[track_caller]
+    pub fn split_at(&self, axis: Axis, c: i64) -> (Rect2, Rect2) {
+        assert!(
+            self.lo.get(axis) <= c && c < self.hi.get(axis),
+            "split coordinate {c} outside the interior of {self:?} on {axis:?}"
+        );
+        let left = Rect2 {
+            lo: self.lo,
+            hi: self.hi.with(axis, c),
+        };
+        let right = Rect2 {
+            lo: self.lo.with(axis, c + 1),
+            hi: self.hi,
+        };
+        (left, right)
+    }
+
+    /// Split the box into two roughly equal halves along its longest axis;
+    /// `None` if the box is a single cell.
+    pub fn bisect(&self) -> Option<(Rect2, Rect2)> {
+        let axis = self.longest_axis();
+        if self.len(axis) < 2 {
+            return None;
+        }
+        let mid = self.lo.get(axis) + (self.len(axis) / 2) - 1;
+        Some(self.split_at(axis, mid))
+    }
+
+    /// Iterate over every cell of the box in row-major (y-outer) order.
+    pub fn iter_cells(&self) -> impl Iterator<Item = Point2> + '_ {
+        let (lo, hi) = (self.lo, self.hi);
+        (lo.y..=hi.y).flat_map(move |y| (lo.x..=hi.x).map(move |x| Point2::new(x, y)))
+    }
+
+    /// Row-major linear index of a cell within the box. Panics in debug
+    /// builds if the cell is outside.
+    #[inline]
+    pub fn linear_index(&self, p: Point2) -> usize {
+        debug_assert!(self.contains_point(p), "{p:?} not in {self:?}");
+        let e = self.extent();
+        ((p.y - self.lo.y) * e.x + (p.x - self.lo.x)) as usize
+    }
+}
+
+impl fmt::Debug for Rect2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}..{}, {}..{}]",
+            self.lo.x, self.hi.x, self.lo.y, self.hi.y
+        )
+    }
+}
+
+impl fmt::Display for Rect2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(x0: i64, y0: i64, x1: i64, y1: i64) -> Rect2 {
+        Rect2::from_coords(x0, y0, x1, y1)
+    }
+
+    #[test]
+    fn construction_and_extent() {
+        let b = r(0, 0, 3, 1);
+        assert_eq!(b.extent(), Point2::new(4, 2));
+        assert_eq!(b.cells(), 8);
+        assert_eq!(b.len(Axis::X), 4);
+        assert_eq!(b.len(Axis::Y), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "lo")]
+    fn invalid_construction_panics() {
+        let _ = r(2, 0, 1, 0);
+    }
+
+    #[test]
+    fn try_new_rejects_empty() {
+        assert!(Rect2::try_new(Point2::new(1, 0), Point2::new(0, 0)).is_none());
+        assert!(Rect2::try_new(Point2::ZERO, Point2::ZERO).is_some());
+    }
+
+    #[test]
+    fn single_cell_box() {
+        let c = Rect2::cell(Point2::new(5, -3));
+        assert_eq!(c.cells(), 1);
+        assert_eq!(c.perimeter_cells(), 1);
+        assert!(c.contains_point(Point2::new(5, -3)));
+    }
+
+    #[test]
+    fn intersection_matches_overlap_count() {
+        let a = r(0, 0, 9, 9);
+        let b = r(5, 5, 14, 14);
+        let i = a.intersect(&b).unwrap();
+        assert_eq!(i, r(5, 5, 9, 9));
+        assert_eq!(i.cells(), a.overlap_cells(&b));
+        assert!(a.intersects(&b));
+    }
+
+    #[test]
+    fn disjoint_boxes_do_not_intersect() {
+        let a = r(0, 0, 4, 4);
+        let b = r(5, 0, 9, 4); // adjacent, not overlapping
+        assert!(!a.intersects(&b));
+        assert!(a.intersect(&b).is_none());
+        assert_eq!(a.overlap_cells(&b), 0);
+    }
+
+    #[test]
+    fn refine_coarsen_roundtrip_covers() {
+        let b = r(1, 2, 5, 7);
+        let f = b.refine(2);
+        assert_eq!(f, r(2, 4, 11, 15));
+        assert_eq!(f.cells(), b.cells() * 4);
+        assert_eq!(f.coarsen(2), b);
+    }
+
+    #[test]
+    fn coarsen_negative_indices_floor() {
+        let b = r(-3, -1, 2, 2);
+        assert_eq!(b.coarsen(2), r(-2, -1, 1, 1));
+    }
+
+    #[test]
+    fn coarsen_then_refine_contains_original() {
+        let b = r(1, 1, 6, 5);
+        let cov = b.coarsen(4).refine(4);
+        assert!(cov.contains_rect(&b));
+    }
+
+    #[test]
+    fn grow_shrink() {
+        let b = r(2, 2, 5, 5);
+        assert_eq!(b.grow(2), r(0, 0, 7, 7));
+        assert_eq!(b.grow(1).shrink(1), Some(b));
+        assert!(r(0, 0, 1, 1).shrink(1).is_none());
+    }
+
+    #[test]
+    fn perimeter_counts() {
+        assert_eq!(r(0, 0, 3, 3).perimeter_cells(), 12); // 16 - 4 interior
+        assert_eq!(r(0, 0, 1, 5).perimeter_cells(), 12); // thin box: all cells
+        assert_eq!(r(0, 0, 0, 0).perimeter_cells(), 1);
+    }
+
+    #[test]
+    fn split_and_bisect() {
+        let b = r(0, 0, 9, 3);
+        let (l, rr) = b.split_at(Axis::X, 4);
+        assert_eq!(l, r(0, 0, 4, 3));
+        assert_eq!(rr, r(5, 0, 9, 3));
+        assert_eq!(l.cells() + rr.cells(), b.cells());
+
+        let (top, bot) = b.bisect().unwrap();
+        assert_eq!(top.cells() + bot.cells(), b.cells());
+        assert!(Rect2::cell(Point2::ZERO).bisect().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "split coordinate")]
+    fn split_at_edge_panics() {
+        let b = r(0, 0, 3, 3);
+        let _ = b.split_at(Axis::X, 3); // right half would be empty
+    }
+
+    #[test]
+    fn iter_cells_row_major() {
+        let b = r(0, 0, 1, 1);
+        let cells: Vec<_> = b.iter_cells().collect();
+        assert_eq!(
+            cells,
+            vec![
+                Point2::new(0, 0),
+                Point2::new(1, 0),
+                Point2::new(0, 1),
+                Point2::new(1, 1)
+            ]
+        );
+        for (i, c) in b.iter_cells().enumerate() {
+            assert_eq!(b.linear_index(c), i);
+        }
+    }
+
+    #[test]
+    fn bounding_union_contains_both() {
+        let a = r(0, 0, 2, 2);
+        let b = r(5, 1, 6, 8);
+        let u = a.bounding_union(&b);
+        assert!(u.contains_rect(&a) && u.contains_rect(&b));
+        assert_eq!(u, r(0, 0, 6, 8));
+    }
+
+    #[test]
+    fn longest_axis_tie_goes_to_x() {
+        assert_eq!(r(0, 0, 3, 3).longest_axis(), Axis::X);
+        assert_eq!(r(0, 0, 1, 5).longest_axis(), Axis::Y);
+    }
+}

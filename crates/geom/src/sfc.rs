@@ -1,0 +1,220 @@
+//! Space-filling curves: Morton (Z-order) and Hilbert.
+//!
+//! Domain-based SAMR partitioners (Parashar–Browne style, and the coarse
+//! Core partitioning step of the hybrid partitioner) linearize the base
+//! domain with a space-filling curve and cut the 1-D sequence into
+//! processor chunks. The paper notes (§5.2) that a *partially ordered* SFC
+//! mapping trades ordering quality for speed and may inflate data
+//! migration — both full and partial orderings are provided so that this
+//! trade-off is reproducible (ablation `ablation_sfc`).
+
+use serde::{Deserialize, Serialize};
+
+/// Which space-filling curve to use for domain linearization.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum SfcCurve {
+    /// Morton / Z-order: bit interleaving. Cheap, moderate locality.
+    Morton,
+    /// Hilbert curve: better locality (no long jumps), slightly costlier.
+    Hilbert,
+}
+
+/// Number of bits per axis supported by the `u64` keys (32 bits per axis
+/// when interleaved).
+pub const MAX_ORDER: u32 = 31;
+
+/// Interleave the low 32 bits of `v` with zeros ("part 1 by 1").
+#[inline]
+fn part1by1(v: u64) -> u64 {
+    let mut x = v & 0xffff_ffff;
+    x = (x | (x << 16)) & 0x0000_ffff_0000_ffff;
+    x = (x | (x << 8)) & 0x00ff_00ff_00ff_00ff;
+    x = (x | (x << 4)) & 0x0f0f_0f0f_0f0f_0f0f;
+    x = (x | (x << 2)) & 0x3333_3333_3333_3333;
+    x = (x | (x << 1)) & 0x5555_5555_5555_5555;
+    x
+}
+
+/// Inverse of [`part1by1`]: compact every other bit.
+#[inline]
+fn compact1by1(v: u64) -> u64 {
+    let mut x = v & 0x5555_5555_5555_5555;
+    x = (x | (x >> 1)) & 0x3333_3333_3333_3333;
+    x = (x | (x >> 2)) & 0x0f0f_0f0f_0f0f_0f0f;
+    x = (x | (x >> 4)) & 0x00ff_00ff_00ff_00ff;
+    x = (x | (x >> 8)) & 0x0000_ffff_0000_ffff;
+    x = (x | (x >> 16)) & 0x0000_0000_ffff_ffff;
+    x
+}
+
+/// Morton key of a non-negative cell coordinate pair.
+#[inline]
+pub fn morton_key(x: u64, y: u64) -> u64 {
+    debug_assert!(x < (1 << 32) && y < (1 << 32));
+    part1by1(x) | (part1by1(y) << 1)
+}
+
+/// Inverse Morton: key back to `(x, y)`.
+#[inline]
+pub fn morton_decode(key: u64) -> (u64, u64) {
+    (compact1by1(key), compact1by1(key >> 1))
+}
+
+/// Hilbert curve distance of the cell `(x, y)` in a `2^order x 2^order`
+/// grid, using the classic quadrant-rotation construction.
+pub fn hilbert_key(order: u32, x: u64, y: u64) -> u64 {
+    debug_assert!(order <= MAX_ORDER);
+    debug_assert!(x < (1u64 << order) && y < (1u64 << order));
+    let n = 1u64 << order;
+    let (mut x, mut y) = (x, y);
+    let mut d: u64 = 0;
+    let mut s: u64 = n / 2;
+    while s > 0 {
+        let rx = u64::from((x & s) > 0);
+        let ry = u64::from((y & s) > 0);
+        d += s * s * ((3 * rx) ^ ry);
+        // Rotate the quadrant so the sub-square is traversed in canonical
+        // orientation on the next iteration.
+        if ry == 0 {
+            if rx == 1 {
+                x = n - 1 - x;
+                y = n - 1 - y;
+            }
+            std::mem::swap(&mut x, &mut y);
+        }
+        s /= 2;
+    }
+    d
+}
+
+/// Inverse Hilbert: curve distance back to `(x, y)` in a
+/// `2^order x 2^order` grid.
+pub fn hilbert_decode(order: u32, d: u64) -> (u64, u64) {
+    let (mut x, mut y) = (0u64, 0u64);
+    let mut t = d;
+    let mut s = 1u64;
+    while s < (1u64 << order) {
+        let rx = 1 & (t / 2);
+        let ry = 1 & (t ^ rx);
+        // Rotate.
+        if ry == 0 {
+            if rx == 1 {
+                x = s - 1 - x;
+                y = s - 1 - y;
+            }
+            std::mem::swap(&mut x, &mut y);
+        }
+        x += s * rx;
+        y += s * ry;
+        t /= 4;
+        s *= 2;
+    }
+    (x, y)
+}
+
+/// SFC key of a non-negative cell coordinate pair under the chosen curve.
+/// `order` must satisfy `x, y < 2^order`; Morton ignores `order` beyond the
+/// debug assertion.
+#[inline]
+pub fn sfc_key(curve: SfcCurve, order: u32, x: u64, y: u64) -> u64 {
+    match curve {
+        SfcCurve::Morton => morton_key(x, y),
+        SfcCurve::Hilbert => hilbert_key(order, x, y),
+    }
+}
+
+/// Smallest `order` such that a `2^order` square contains `n` cells per
+/// side.
+pub fn order_for(n: u64) -> u32 {
+    let mut order = 0;
+    while (1u64 << order) < n {
+        order += 1;
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn morton_roundtrip() {
+        for x in 0..17u64 {
+            for y in 0..17u64 {
+                let k = morton_key(x, y);
+                assert_eq!(morton_decode(k), (x, y));
+            }
+        }
+    }
+
+    #[test]
+    fn morton_first_cells() {
+        // Z-order over a 2x2 block: (0,0), (1,0), (0,1), (1,1).
+        assert_eq!(morton_key(0, 0), 0);
+        assert_eq!(morton_key(1, 0), 1);
+        assert_eq!(morton_key(0, 1), 2);
+        assert_eq!(morton_key(1, 1), 3);
+    }
+
+    #[test]
+    fn hilbert_is_a_bijection() {
+        let order = 4;
+        let n = 1u64 << order;
+        let mut seen = HashSet::new();
+        for x in 0..n {
+            for y in 0..n {
+                let d = hilbert_key(order, x, y);
+                assert!(d < n * n);
+                assert!(seen.insert(d), "duplicate key {d} at ({x},{y})");
+                assert_eq!(hilbert_decode(order, d), (x, y));
+            }
+        }
+    }
+
+    #[test]
+    fn hilbert_consecutive_cells_are_adjacent() {
+        // The defining property of the Hilbert curve: consecutive keys map
+        // to 4-adjacent cells. Morton does not have it; Hilbert must.
+        let order = 5;
+        let n = 1u64 << order;
+        let mut prev = hilbert_decode(order, 0);
+        for d in 1..n * n {
+            let cur = hilbert_decode(order, d);
+            let dist = (cur.0 as i64 - prev.0 as i64).abs() + (cur.1 as i64 - prev.1 as i64).abs();
+            assert_eq!(dist, 1, "jump at d={d}: {prev:?} -> {cur:?}");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn morton_has_jumps_hilbert_does_not() {
+        // Sanity check that the two curves are genuinely different.
+        let order = 3;
+        let n = 1u64 << order;
+        let mut morton_jumps = 0;
+        for d in 1..n * n {
+            let a = morton_decode(d - 1);
+            let b = morton_decode(d);
+            if (b.0 as i64 - a.0 as i64).abs() + (b.1 as i64 - a.1 as i64).abs() > 1 {
+                morton_jumps += 1;
+            }
+        }
+        assert!(morton_jumps > 0);
+    }
+
+    #[test]
+    fn order_for_sizes() {
+        assert_eq!(order_for(1), 0);
+        assert_eq!(order_for(2), 1);
+        assert_eq!(order_for(3), 2);
+        assert_eq!(order_for(64), 6);
+        assert_eq!(order_for(65), 7);
+    }
+
+    #[test]
+    fn sfc_key_dispatch() {
+        assert_eq!(sfc_key(SfcCurve::Morton, 4, 3, 5), morton_key(3, 5));
+        assert_eq!(sfc_key(SfcCurve::Hilbert, 4, 3, 5), hilbert_key(4, 3, 5));
+    }
+}

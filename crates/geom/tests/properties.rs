@@ -1,0 +1,172 @@
+//! Property-based tests for the geometry substrate.
+//!
+//! The box algebra underpins every measured quantity in the reproduction
+//! (β_m is literally a sum of box intersections), so its invariants are
+//! checked against brute-force cell enumeration on randomly generated
+//! boxes.
+
+use proptest::prelude::*;
+use samr_geom::boxops;
+use samr_geom::{Point2, Rect2, Region};
+use samr_geom::sfc::{hilbert_decode, hilbert_key, morton_decode, morton_key};
+
+/// Strategy: a box with corners in [-40, 40] and extents in [1, 24].
+fn arb_rect() -> impl Strategy<Value = Rect2> {
+    (-40i64..40, -40i64..40, 1i64..24, 1i64..24).prop_map(|(x, y, w, h)| {
+        Rect2::new(Point2::new(x, y), Point2::new(x + w - 1, y + h - 1))
+    })
+}
+
+fn arb_rect_list(max: usize) -> impl Strategy<Value = Vec<Rect2>> {
+    prop::collection::vec(arb_rect(), 1..max)
+}
+
+/// Brute-force cell count of a union by membership testing over the
+/// bounding box.
+fn brute_union_cells(boxes: &[Rect2]) -> u64 {
+    let bb = boxes
+        .iter()
+        .skip(1)
+        .fold(boxes[0], |acc, b| acc.bounding_union(b));
+    bb.iter_cells()
+        .filter(|c| boxes.iter().any(|b| b.contains_point(*c)))
+        .count() as u64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn intersection_is_commutative_and_correct(a in arb_rect(), b in arb_rect()) {
+        prop_assert_eq!(a.intersect(&b), b.intersect(&a));
+        prop_assert_eq!(a.overlap_cells(&b), b.overlap_cells(&a));
+        match a.intersect(&b) {
+            Some(i) => {
+                prop_assert!(a.contains_rect(&i) && b.contains_rect(&i));
+                prop_assert_eq!(i.cells(), a.overlap_cells(&b));
+            }
+            None => prop_assert_eq!(a.overlap_cells(&b), 0),
+        }
+    }
+
+    #[test]
+    fn subtraction_partitions_the_minuend(a in arb_rect(), b in arb_rect()) {
+        let pieces = boxops::subtract(&a, &b);
+        // Pieces are disjoint from b and from each other, stay inside a,
+        // and together with a∩b tile a exactly.
+        let mut total = 0u64;
+        for (i, p) in pieces.iter().enumerate() {
+            prop_assert!(a.contains_rect(p));
+            prop_assert!(!p.intersects(&b));
+            for q in &pieces[i + 1..] {
+                prop_assert!(!p.intersects(q));
+            }
+            total += p.cells();
+        }
+        prop_assert_eq!(total + a.overlap_cells(&b), a.cells());
+    }
+
+    #[test]
+    fn disjointify_preserves_union_cells(boxes in arb_rect_list(8)) {
+        let dis = boxops::disjointify(&boxes);
+        for (i, p) in dis.iter().enumerate() {
+            for q in &dis[i + 1..] {
+                prop_assert!(!p.intersects(q), "{:?} vs {:?}", p, q);
+            }
+        }
+        prop_assert_eq!(boxops::total_cells(&dis), brute_union_cells(&boxes));
+    }
+
+    #[test]
+    fn coalesce_preserves_cells_and_disjointness(boxes in arb_rect_list(8)) {
+        let dis = boxops::disjointify(&boxes);
+        let merged = boxops::coalesce(&dis);
+        prop_assert_eq!(boxops::total_cells(&merged), boxops::total_cells(&dis));
+        for (i, p) in merged.iter().enumerate() {
+            for q in &merged[i + 1..] {
+                prop_assert!(!p.intersects(q));
+            }
+        }
+        prop_assert!(merged.len() <= dis.len());
+    }
+
+    #[test]
+    fn region_algebra_is_set_algebra(xs in arb_rect_list(6), ys in arb_rect_list(6)) {
+        let a = Region::from_boxes(&xs);
+        let b = Region::from_boxes(&ys);
+        let union = a.union(&b);
+        let inter = a.intersect(&b);
+        let diff = a.subtract(&b);
+        // |A ∪ B| = |A| + |B| - |A ∩ B|
+        prop_assert_eq!(union.cells(), a.cells() + b.cells() - inter.cells());
+        // A = (A \ B) ⊎ (A ∩ B)
+        prop_assert_eq!(diff.cells() + inter.cells(), a.cells());
+        prop_assert_eq!(diff.overlap_cells(&b), 0);
+        // Membership spot check across the bounding box.
+        if let Some(bb) = union.bounding_box() {
+            for c in bb.iter_cells().step_by(7) {
+                let in_a = a.contains_point(c);
+                let in_b = b.contains_point(c);
+                prop_assert_eq!(union.contains_point(c), in_a || in_b);
+                prop_assert_eq!(inter.contains_point(c), in_a && in_b);
+                prop_assert_eq!(diff.contains_point(c), in_a && !in_b);
+            }
+        }
+    }
+
+    #[test]
+    fn refine_coarsen_inverse_on_regions(boxes in arb_rect_list(5), r in 2i64..5) {
+        let reg = Region::from_boxes(&boxes);
+        // refine then coarsen is the identity on the cell set.
+        let rt = reg.refine(r).coarsen(r);
+        prop_assert!(rt.same_cells(&reg));
+    }
+
+    #[test]
+    fn refine_scales_area(a in arb_rect(), r in 1i64..6) {
+        prop_assert_eq!(a.refine(r).cells(), a.cells() * (r * r) as u64);
+    }
+
+    #[test]
+    fn pairwise_overlap_is_symmetric(xs in arb_rect_list(6), ys in arb_rect_list(6)) {
+        prop_assert_eq!(
+            boxops::pairwise_overlap_cells(&xs, &ys),
+            boxops::pairwise_overlap_cells(&ys, &xs)
+        );
+    }
+
+    #[test]
+    fn covers_iff_covered_cells_equal(a in arb_rect(), bs in arb_rect_list(6)) {
+        let covered = boxops::covered_cells(&a, &bs);
+        prop_assert_eq!(boxops::covers(&a, &bs), covered == a.cells());
+        prop_assert!(covered <= a.cells());
+    }
+
+    #[test]
+    fn morton_roundtrips(x in 0u64..100_000, y in 0u64..100_000) {
+        prop_assert_eq!(morton_decode(morton_key(x, y)), (x, y));
+    }
+
+    #[test]
+    fn hilbert_roundtrips(order in 1u32..10, xy in (0u64..1024, 0u64..1024)) {
+        let n = 1u64 << order;
+        let (x, y) = (xy.0 % n, xy.1 % n);
+        let d = hilbert_key(order, x, y);
+        prop_assert!(d < n * n);
+        prop_assert_eq!(hilbert_decode(order, d), (x, y));
+    }
+
+    #[test]
+    fn bisect_halves_tile_the_box(a in arb_rect()) {
+        if let Some((l, r)) = a.bisect() {
+            prop_assert_eq!(l.cells() + r.cells(), a.cells());
+            prop_assert!(!l.intersects(&r));
+            prop_assert!(a.contains_rect(&l) && a.contains_rect(&r));
+            // Balanced within one slab.
+            let axis = a.longest_axis();
+            prop_assert!((l.len(axis) - r.len(axis)).abs() <= 1);
+        } else {
+            prop_assert_eq!(a.cells(), 1);
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! Refinement flag fields.
+
+use samr_geom::{Grid2, Point2, Rect2};
+
+/// A boolean mask over a box domain marking cells that need refinement.
+///
+/// Application error estimators produce one `FlagField` per level at every
+/// regrid; the Berger–Rigoutsos clusterer turns it into patch boxes. The
+/// field also supports the standard *flag buffering* step (dilating the
+/// flagged set) that keeps features inside their refined patches until the
+/// next regrid — the paper's applications regrid every 4 steps per level,
+/// so features can drift a few cells between regrids.
+#[derive(Clone, PartialEq, Debug)]
+pub struct FlagField {
+    grid: Grid2<bool>,
+}
+
+impl FlagField {
+    /// An all-clear flag field over `domain`.
+    pub fn new(domain: Rect2) -> Self {
+        Self {
+            grid: Grid2::new(domain, false),
+        }
+    }
+
+    /// Build from a predicate evaluated at every cell.
+    pub fn from_fn(domain: Rect2, f: impl FnMut(Point2) -> bool) -> Self {
+        Self {
+            grid: Grid2::from_fn(domain, f),
+        }
+    }
+
+    /// The domain of the mask.
+    pub fn domain(&self) -> Rect2 {
+        self.grid.domain()
+    }
+
+    /// Is the cell flagged? Cells outside the domain read as unflagged.
+    #[inline]
+    pub fn is_set(&self, p: Point2) -> bool {
+        self.grid.domain().contains_point(p) && *self.grid.get(p)
+    }
+
+    /// Flag one cell (ignored when outside the domain).
+    #[inline]
+    pub fn set(&mut self, p: Point2) {
+        if self.grid.domain().contains_point(p) {
+            self.grid.set(p, true);
+        }
+    }
+
+    /// Flag every cell of `rect` (clipped to the domain).
+    pub fn set_rect(&mut self, rect: &Rect2) {
+        if let Some(w) = self.grid.domain().intersect(rect) {
+            for y in w.lo().y..=w.hi().y {
+                let dom = self.grid.domain();
+                let row = self.grid.row_mut(y);
+                let off = (w.lo().x - dom.lo().x) as usize;
+                let len = w.extent().x as usize;
+                for v in &mut row[off..off + len] {
+                    *v = true;
+                }
+            }
+        }
+    }
+
+    /// Number of flagged cells.
+    pub fn count(&self) -> u64 {
+        self.grid.count_true()
+    }
+
+    /// Number of flagged cells inside `window`.
+    pub fn count_in(&self, window: &Rect2) -> u64 {
+        self.grid.count_true_in(window)
+    }
+
+    /// `true` if no cell is flagged.
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// Tightest box containing all flagged cells, or `None` if empty.
+    pub fn bounding_box(&self) -> Option<Rect2> {
+        let d = self.grid.domain();
+        let (mut xmin, mut xmax) = (i64::MAX, i64::MIN);
+        let (mut ymin, mut ymax) = (i64::MAX, i64::MIN);
+        for y in d.lo().y..=d.hi().y {
+            let row = self.grid.row(y);
+            for (i, &v) in row.iter().enumerate() {
+                if v {
+                    let x = d.lo().x + i as i64;
+                    xmin = xmin.min(x);
+                    xmax = xmax.max(x);
+                    ymin = ymin.min(y);
+                    ymax = ymax.max(y);
+                }
+            }
+        }
+        if xmin > xmax {
+            None
+        } else {
+            Some(Rect2::from_coords(xmin, ymin, xmax, ymax))
+        }
+    }
+
+    /// Dilate the flagged set by `buffer` cells in the Chebyshev metric
+    /// (the standard SAMR flag-buffer step), clipped to the domain.
+    pub fn buffer(&self, buffer: i64) -> FlagField {
+        assert!(buffer >= 0);
+        if buffer == 0 {
+            return self.clone();
+        }
+        let d = self.grid.domain();
+        let mut out = FlagField::new(d);
+        for y in d.lo().y..=d.hi().y {
+            let row = self.grid.row(y);
+            for (i, &v) in row.iter().enumerate() {
+                if v {
+                    let x = d.lo().x + i as i64;
+                    out.set_rect(&Rect2::cell(Point2::new(x, y)).grow(buffer));
+                }
+            }
+        }
+        out
+    }
+
+    /// Column signature within `window`: flagged-cell count for each `x`.
+    /// Clipped to the domain; `window` must intersect the domain.
+    pub fn signature_x(&self, window: &Rect2) -> Vec<u32> {
+        let w = self
+            .grid
+            .domain()
+            .intersect(window)
+            .expect("signature window outside flag domain");
+        let mut sig = vec![0u32; w.extent().x as usize];
+        for y in w.lo().y..=w.hi().y {
+            let row = self.grid.row(y);
+            let off = (w.lo().x - self.grid.domain().lo().x) as usize;
+            for (i, &v) in row[off..off + sig.len()].iter().enumerate() {
+                sig[i] += u32::from(v);
+            }
+        }
+        sig
+    }
+
+    /// Row signature within `window`: flagged-cell count for each `y`.
+    pub fn signature_y(&self, window: &Rect2) -> Vec<u32> {
+        let w = self
+            .grid
+            .domain()
+            .intersect(window)
+            .expect("signature window outside flag domain");
+        let mut sig = vec![0u32; w.extent().y as usize];
+        for (j, y) in (w.lo().y..=w.hi().y).enumerate() {
+            let row = self.grid.row(y);
+            let off = (w.lo().x - self.grid.domain().lo().x) as usize;
+            let len = w.extent().x as usize;
+            sig[j] = row[off..off + len].iter().map(|&v| u32::from(v)).sum();
+        }
+        sig
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d() -> Rect2 {
+        Rect2::from_extents(8, 8)
+    }
+
+    #[test]
+    fn set_and_query() {
+        let mut f = FlagField::new(d());
+        assert!(f.is_empty());
+        f.set(Point2::new(3, 4));
+        assert!(f.is_set(Point2::new(3, 4)));
+        assert!(!f.is_set(Point2::new(4, 3)));
+        assert!(!f.is_set(Point2::new(100, 100))); // outside: unflagged
+        assert_eq!(f.count(), 1);
+    }
+
+    #[test]
+    fn set_outside_is_ignored() {
+        let mut f = FlagField::new(d());
+        f.set(Point2::new(-1, 0));
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn set_rect_clips() {
+        let mut f = FlagField::new(d());
+        f.set_rect(&Rect2::from_coords(6, 6, 10, 10));
+        assert_eq!(f.count(), 4); // only [6..7]^2 is inside
+    }
+
+    #[test]
+    fn bounding_box_tightens() {
+        let mut f = FlagField::new(d());
+        assert_eq!(f.bounding_box(), None);
+        f.set(Point2::new(2, 3));
+        f.set(Point2::new(5, 6));
+        assert_eq!(f.bounding_box(), Some(Rect2::from_coords(2, 3, 5, 6)));
+    }
+
+    #[test]
+    fn buffer_dilates_chebyshev() {
+        let mut f = FlagField::new(d());
+        f.set(Point2::new(4, 4));
+        let b = f.buffer(1);
+        assert_eq!(b.count(), 9);
+        assert!(b.is_set(Point2::new(3, 3)));
+        assert!(b.is_set(Point2::new(5, 5)));
+        assert!(!b.is_set(Point2::new(2, 4)));
+        // Buffering at the domain edge clips.
+        let mut e = FlagField::new(d());
+        e.set(Point2::new(0, 0));
+        assert_eq!(e.buffer(1).count(), 4);
+    }
+
+    #[test]
+    fn buffer_zero_is_identity() {
+        let f = FlagField::from_fn(d(), |p| p.x == p.y);
+        assert_eq!(f.buffer(0), f);
+    }
+
+    #[test]
+    fn signatures_count_rows_and_columns() {
+        let f = FlagField::from_fn(d(), |p| p.x >= 2 && p.x <= 3 && p.y >= 1 && p.y <= 4);
+        let w = Rect2::from_coords(0, 0, 7, 7);
+        let sx = f.signature_x(&w);
+        let sy = f.signature_y(&w);
+        assert_eq!(sx, vec![0, 0, 4, 4, 0, 0, 0, 0]);
+        assert_eq!(sy, vec![0, 2, 2, 2, 2, 0, 0, 0]);
+        assert_eq!(
+            sx.iter().map(|&v| v as u64).sum::<u64>(),
+            f.count()
+        );
+    }
+
+    #[test]
+    fn signatures_respect_window() {
+        let f = FlagField::from_fn(d(), |_| true);
+        let w = Rect2::from_coords(2, 3, 4, 5);
+        assert_eq!(f.signature_x(&w), vec![3, 3, 3]);
+        assert_eq!(f.signature_y(&w), vec![3, 3, 3]);
+    }
+}

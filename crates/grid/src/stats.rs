@@ -1,0 +1,302 @@
+//! Hierarchy statistics and refinement-pattern descriptors.
+//!
+//! Two consumers:
+//! - the paper's model (`samr-core`) needs `|H|`, the workload `W`, and
+//!   per-level surface measures;
+//! - the octant-approach baseline classifier (§3) needs *refinement
+//!   pattern* (localized ↔ scattered) and *activity dynamics* descriptors.
+
+use crate::hierarchy::GridHierarchy;
+use samr_geom::{boxops, Rect2};
+use serde::{Deserialize, Serialize};
+
+/// Per-level and aggregate statistics of one hierarchy snapshot.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct HierarchyStats {
+    /// Grid points per level.
+    pub cells_per_level: Vec<u64>,
+    /// Patch count per level.
+    pub patches_per_level: Vec<usize>,
+    /// Boundary-ring cells per level (worst-case ghost surface).
+    pub boundary_per_level: Vec<u64>,
+    /// Total grid points `|H|`.
+    pub total_points: u64,
+    /// Workload `W = Σ_l N_l·r^l` (cell updates per coarse step).
+    pub workload: u64,
+    /// Fraction of the base domain covered by refinement.
+    pub refined_fraction: f64,
+    /// Localization of the refinement pattern in `[0, 1]`:
+    /// 1 = all refinement concentrated in one compact blob, 0 = refinement
+    /// spread evenly over the whole domain. Defined as
+    /// `1 − (refined bounding-box area / domain area)` blended with the
+    /// blob compactness (refined cells / refined bounding-box area).
+    pub localization: f64,
+    /// Number of disconnected refined clusters at level 1 (patch adjacency
+    /// components) — the "scattered" count of the octant approach.
+    pub cluster_count: usize,
+}
+
+impl HierarchyStats {
+    /// Compute all statistics for a hierarchy.
+    pub fn compute(h: &GridHierarchy) -> Self {
+        let cells_per_level: Vec<u64> = h.levels.iter().map(|l| l.cells()).collect();
+        let patches_per_level: Vec<usize> = h.levels.iter().map(|l| l.patch_count()).collect();
+        let boundary_per_level: Vec<u64> = h.levels.iter().map(|l| l.boundary_cells()).collect();
+        let total_points = cells_per_level.iter().sum();
+        let workload = h.workload();
+        let refined_fraction = h.refined_fraction();
+
+        let (localization, cluster_count) = if h.levels.len() < 2 {
+            (1.0, 0)
+        } else {
+            let rects = h.levels[1].rects();
+            let refined_cells = boxops::total_cells(&rects);
+            let bbox = rects
+                .iter()
+                .skip(1)
+                .fold(rects[0], |acc, b| acc.bounding_union(b));
+            let domain1 = h.domain_at_level(1);
+            let spread = bbox.cells() as f64 / domain1.cells() as f64;
+            let compact = refined_cells as f64 / bbox.cells() as f64;
+            // Compact blob in a small part of the domain → localized (≈1);
+            // sparse patches spanning the domain → scattered (≈0).
+            let localization = (1.0 - spread) * compact.sqrt() + compact * spread;
+            (localization.clamp(0.0, 1.0), connected_components(&rects))
+        };
+
+        Self {
+            cells_per_level,
+            patches_per_level,
+            boundary_per_level,
+            total_points,
+            workload,
+            refined_fraction,
+            localization,
+            cluster_count,
+        }
+    }
+
+    /// Number of levels present.
+    pub fn depth(&self) -> usize {
+        self.cells_per_level.len()
+    }
+
+    /// Surface-to-volume ratio of a level (0 when the level is absent or
+    /// empty). The ArMADA framework used exactly this box operation for its
+    /// octant classification.
+    pub fn surface_to_volume(&self, level: usize) -> f64 {
+        match (
+            self.boundary_per_level.get(level),
+            self.cells_per_level.get(level),
+        ) {
+            (Some(&b), Some(&c)) if c > 0 => b as f64 / c as f64,
+            _ => 0.0,
+        }
+    }
+}
+
+/// Label each box with its connected component under edge adjacency (boxes
+/// touching along a face are connected; corner-only contact is not).
+/// Labels are dense, deterministic (smallest box index in the component
+/// determines ordering) and returned per input box.
+pub fn component_labels(rects: &[Rect2]) -> Vec<usize> {
+    let n = rects.len();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut Vec<usize>, i: usize) -> usize {
+        if parent[i] != i {
+            let root = find(parent, parent[i]);
+            parent[i] = root;
+        }
+        parent[i]
+    }
+    for i in 0..n {
+        for j in (i + 1)..n {
+            // Touching along a face: grow one box by 1 and test overlap.
+            // Corner-only contact gives exactly a 1x1 overlap of the grown
+            // box sitting diagonally off both corners; exclude it.
+            if let Some(ov) = rects[i].grow(1).intersect(&rects[j]) {
+                let e = ov.extent();
+                let corner_only = e.x == 1 && e.y == 1 && !rects[i].intersects(&rects[j]) && {
+                    let a = &rects[i];
+                    (ov.lo().x < a.lo().x || ov.lo().x > a.hi().x)
+                        && (ov.lo().y < a.lo().y || ov.lo().y > a.hi().y)
+                };
+                if !corner_only {
+                    let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                    if ri != rj {
+                        parent[ri.max(rj)] = ri.min(rj);
+                    }
+                }
+            }
+        }
+    }
+    // Densify root ids into 0..k in first-appearance order.
+    let mut labels = vec![usize::MAX; n];
+    let mut next = 0usize;
+    let mut map: Vec<(usize, usize)> = Vec::new();
+    for i in 0..n {
+        let root = find(&mut parent, i);
+        let id = match map.iter().find(|(r, _)| *r == root) {
+            Some((_, id)) => *id,
+            None => {
+                map.push((root, next));
+                next += 1;
+                next - 1
+            }
+        };
+        labels[i] = id;
+    }
+    labels
+}
+
+/// Connected components of a box set under edge adjacency (boxes touching
+/// along a face are connected).
+pub fn connected_components(rects: &[Rect2]) -> usize {
+    if rects.is_empty() {
+        return 0;
+    }
+    component_labels(rects).iter().max().map_or(0, |m| m + 1)
+}
+
+/// Activity-dynamics descriptor between two consecutive snapshots (octant
+/// dimension "activity dynamics", §3.3): relative change in grid size and
+/// in refined structure.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct ActivityDynamics {
+    /// `| |H_t| − |H_{t-1}| | / max(|H_t|, |H_{t-1}|)` in `[0, 1]`.
+    pub size_change: f64,
+    /// Fraction of the union of refined regions (level ≥ 1, projected to
+    /// the base grid) that changed between the snapshots, in `[0, 1]`.
+    pub structure_change: f64,
+}
+
+impl ActivityDynamics {
+    /// Compute the descriptor for a consecutive pair.
+    pub fn between(prev: &GridHierarchy, cur: &GridHierarchy) -> Self {
+        let (a, b) = (prev.total_points(), cur.total_points());
+        let size_change = if a.max(b) == 0 {
+            0.0
+        } else {
+            (a.abs_diff(b)) as f64 / a.max(b) as f64
+        };
+        let (ra, rb) = (projected_refined(prev), projected_refined(cur));
+        let union = ra.union(&rb);
+        let structure_change = if union.is_empty() {
+            0.0
+        } else {
+            let inter = ra.intersect(&rb);
+            1.0 - inter.cells() as f64 / union.cells() as f64
+        };
+        Self {
+            size_change,
+            structure_change,
+        }
+    }
+}
+
+fn projected_refined(h: &GridHierarchy) -> samr_geom::Region {
+    if h.levels.len() < 2 {
+        return samr_geom::Region::empty();
+    }
+    h.levels[1].region().coarsen(h.ratio)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hierarchy::GridHierarchy;
+
+    fn r(x0: i64, y0: i64, x1: i64, y1: i64) -> Rect2 {
+        Rect2::from_coords(x0, y0, x1, y1)
+    }
+
+    fn h(levels: &[Vec<Rect2>]) -> GridHierarchy {
+        GridHierarchy::from_level_rects(Rect2::from_extents(32, 32), 2, levels)
+    }
+
+    #[test]
+    fn base_only_stats() {
+        let s = HierarchyStats::compute(&h(&[vec![]]));
+        assert_eq!(s.total_points, 1024);
+        assert_eq!(s.workload, 1024);
+        assert_eq!(s.depth(), 1);
+        assert_eq!(s.refined_fraction, 0.0);
+        assert_eq!(s.cluster_count, 0);
+    }
+
+    #[test]
+    fn workload_weights_levels() {
+        let s = HierarchyStats::compute(&h(&[vec![], vec![r(0, 0, 15, 15)]]));
+        assert_eq!(s.cells_per_level, vec![1024, 256]);
+        assert_eq!(s.workload, 1024 + 256 * 2);
+    }
+
+    #[test]
+    fn localized_beats_scattered() {
+        // One compact blob vs four spread-out blobs of the same total area.
+        let local = HierarchyStats::compute(&h(&[vec![], vec![r(10, 10, 17, 17)]]));
+        let scattered = HierarchyStats::compute(&h(&[
+            vec![],
+            vec![
+                r(0, 0, 3, 3),
+                r(56, 0, 59, 3),
+                r(0, 56, 3, 59),
+                r(56, 56, 59, 59),
+            ],
+        ]));
+        assert!(local.localization > scattered.localization);
+        assert_eq!(local.cluster_count, 1);
+        assert_eq!(scattered.cluster_count, 4);
+    }
+
+    #[test]
+    fn surface_to_volume() {
+        let s = HierarchyStats::compute(&h(&[vec![], vec![r(0, 0, 7, 7)]]));
+        // 8x8 patch: boundary 28, cells 64.
+        assert!((s.surface_to_volume(1) - 28.0 / 64.0).abs() < 1e-12);
+        assert_eq!(s.surface_to_volume(7), 0.0);
+    }
+
+    #[test]
+    fn components_faces_connect_corners_do_not() {
+        assert_eq!(connected_components(&[]), 0);
+        assert_eq!(connected_components(&[r(0, 0, 1, 1)]), 1);
+        // Face-adjacent.
+        assert_eq!(connected_components(&[r(0, 0, 1, 1), r(2, 0, 3, 1)]), 1);
+        // Corner contact only.
+        assert_eq!(connected_components(&[r(0, 0, 1, 1), r(2, 2, 3, 3)]), 2);
+        // Separated.
+        assert_eq!(connected_components(&[r(0, 0, 1, 1), r(5, 0, 6, 1)]), 2);
+        // Chain a-b-c counts once.
+        assert_eq!(
+            connected_components(&[r(0, 0, 1, 1), r(2, 0, 3, 1), r(4, 0, 5, 1)]),
+            1
+        );
+    }
+
+    #[test]
+    fn activity_dynamics_zero_for_identical() {
+        let a = h(&[vec![], vec![r(4, 4, 11, 11)]]);
+        let d = ActivityDynamics::between(&a, &a.clone());
+        assert_eq!(d.size_change, 0.0);
+        assert_eq!(d.structure_change, 0.0);
+    }
+
+    #[test]
+    fn activity_dynamics_detects_motion() {
+        let a = h(&[vec![], vec![r(4, 4, 11, 11)]]);
+        let b = h(&[vec![], vec![r(12, 12, 19, 19)]]);
+        let d = ActivityDynamics::between(&a, &b);
+        assert_eq!(d.size_change, 0.0); // same size...
+        assert!(d.structure_change > 0.9); // ...completely different place
+    }
+
+    #[test]
+    fn activity_dynamics_detects_growth() {
+        let a = h(&[vec![], vec![r(4, 4, 11, 11)]]);
+        let b = h(&[vec![], vec![r(4, 4, 19, 19)]]);
+        let d = ActivityDynamics::between(&a, &b);
+        assert!(d.size_change > 0.0);
+        assert!(d.structure_change > 0.0 && d.structure_change < 1.0);
+    }
+}

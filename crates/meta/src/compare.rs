@@ -1,0 +1,203 @@
+//! Static vs. dynamic partitioner selection on a trace — the
+//! proof-of-concept experiment (DESIGN.md META1).
+//!
+//! The paper motivates the meta-partitioner with Figure 1 (a static P
+//! leaves execution time on the table) and the ArMADA result ("even with
+//! such a simple model, execution times were reduced"). This driver makes
+//! that claim measurable: run a trace through every static partitioner
+//! and through the [`MetaPartitioner`], under the same machine model, and
+//! compare total estimated execution times.
+
+use crate::meta::MetaPartitioner;
+use crate::octant_meta::OctantMetaPartitioner;
+use samr_partition::{
+    DomainSfcPartitioner, HybridPartitioner, Partition, PatchPartitioner, Partitioner,
+};
+use samr_sim::simulate::step_metrics;
+use samr_sim::{SimConfig, StepMetrics};
+use samr_trace::HierarchyTrace;
+use serde::{Deserialize, Serialize};
+
+/// Result of one partitioner (static or dynamic) over a trace.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct RunOutcome {
+    /// Partitioner name.
+    pub name: String,
+    /// Total estimated execution time.
+    pub total_time: f64,
+    /// Mean load imbalance over the run.
+    pub mean_imbalance: f64,
+    /// Mean grid-relative communication.
+    pub mean_rel_comm: f64,
+    /// Mean grid-relative migration.
+    pub mean_rel_migration: f64,
+}
+
+/// Outcome of the full comparison.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct ComparisonResult {
+    /// Static partitioner outcomes.
+    pub static_runs: Vec<RunOutcome>,
+    /// The meta-partitioner (continuous classification) outcome.
+    pub meta_run: RunOutcome,
+    /// The octant-approach baseline (discrete ArMADA-style
+    /// classification) outcome — the legacy selector §3 critiques.
+    pub octant_run: RunOutcome,
+}
+
+impl ComparisonResult {
+    /// The best static outcome (an *oracle* static choice — stronger than
+    /// what a user could pick a priori).
+    pub fn best_static(&self) -> &RunOutcome {
+        self.static_runs
+            .iter()
+            .min_by(|a, b| a.total_time.total_cmp(&b.total_time))
+            .expect("at least one static partitioner")
+    }
+
+    /// The worst static outcome (the cost of picking wrong, once, for the
+    /// whole run).
+    pub fn worst_static(&self) -> &RunOutcome {
+        self.static_runs
+            .iter()
+            .max_by(|a, b| a.total_time.total_cmp(&b.total_time))
+            .expect("at least one static partitioner")
+    }
+
+    /// Meta time / best static time (< 1 means the dynamic selection beat
+    /// even the oracle static choice).
+    pub fn meta_vs_best(&self) -> f64 {
+        self.meta_run.total_time / self.best_static().total_time
+    }
+
+    /// Meta time / worst static time.
+    pub fn meta_vs_worst(&self) -> f64 {
+        self.meta_run.total_time / self.worst_static().total_time
+    }
+}
+
+/// Run one (possibly stateful) partitioner sequentially over a trace.
+/// Sequential order is required for the meta-partitioner, whose
+/// classification depends on the previous hierarchy.
+pub fn run_sequential(
+    trace: &HierarchyTrace,
+    partitioner: &dyn Partitioner,
+    cfg: &SimConfig,
+) -> (Vec<StepMetrics>, f64) {
+    let mut steps: Vec<StepMetrics> = Vec::with_capacity(trace.len());
+    let mut parts: Vec<Partition> = Vec::with_capacity(trace.len());
+    let mut total = 0.0;
+    for (i, snap) in trace.snapshots.iter().enumerate() {
+        let h = &snap.hierarchy;
+        let (part, cost) = if cfg.reuse_unchanged && i > 0 && trace.hierarchy(i - 1) == h {
+            (parts[i - 1].clone(), 0.0)
+        } else {
+            (partitioner.partition(h, cfg.nprocs), partitioner.cost_estimate(h))
+        };
+        parts.push(part);
+        let prev = if i > 0 {
+            Some((trace.hierarchy(i - 1), &parts[i - 1]))
+        } else {
+            None
+        };
+        let m = step_metrics(snap.step, h, &parts[i], prev, cfg, cost);
+        total += m.step_time;
+        steps.push(m);
+    }
+    (steps, total)
+}
+
+fn outcome(name: String, steps: &[StepMetrics], total: f64) -> RunOutcome {
+    let n = steps.len().max(1) as f64;
+    RunOutcome {
+        name,
+        total_time: total,
+        mean_imbalance: steps.iter().map(|s| s.load_imbalance).sum::<f64>() / n,
+        mean_rel_comm: steps.iter().map(|s| s.rel_comm).sum::<f64>() / n,
+        mean_rel_migration: steps.iter().map(|s| s.rel_migration).sum::<f64>() / n,
+    }
+}
+
+/// Compare the three static partitioner families (default configurations)
+/// against the meta-partitioner on one trace.
+pub fn compare_on_trace(trace: &HierarchyTrace, cfg: &SimConfig) -> ComparisonResult {
+    let statics: Vec<Box<dyn Partitioner>> = vec![
+        Box::new(DomainSfcPartitioner::default()),
+        Box::new(PatchPartitioner::default()),
+        Box::new(HybridPartitioner::default()),
+    ];
+    let static_runs = statics
+        .iter()
+        .map(|p| {
+            let (steps, total) = run_sequential(trace, p.as_ref(), cfg);
+            outcome(p.name(), &steps, total)
+        })
+        .collect();
+    let meta = MetaPartitioner::for_machine(&cfg.machine);
+    let (steps, total) = run_sequential(trace, &meta, cfg);
+    let octant = OctantMetaPartitioner::new();
+    let (osteps, ototal) = run_sequential(trace, &octant, cfg);
+    ComparisonResult {
+        static_runs,
+        meta_run: outcome(meta.name(), &steps, total),
+        octant_run: outcome(octant.name(), &osteps, ototal),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use samr_apps::{generate_trace, AppKind, TraceGenConfig};
+
+    fn cfg() -> SimConfig {
+        SimConfig {
+            nprocs: 8,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn comparison_produces_all_outcomes() {
+        let trace = generate_trace(AppKind::Tp2d, &TraceGenConfig::smoke());
+        let res = compare_on_trace(&trace, &cfg());
+        assert_eq!(res.static_runs.len(), 3);
+        assert!(res.meta_run.total_time > 0.0);
+        for r in &res.static_runs {
+            assert!(r.total_time > 0.0);
+            assert!(r.mean_imbalance >= 1.0);
+        }
+    }
+
+    #[test]
+    fn meta_is_competitive_with_static_choices() {
+        // The proof-of-concept claim: dynamic selection should not lose
+        // badly to the oracle static choice and should beat the worst
+        // static choice.
+        let trace = generate_trace(AppKind::Bl2d, &TraceGenConfig::smoke());
+        let res = compare_on_trace(&trace, &cfg());
+        assert!(
+            res.meta_vs_worst() < 1.0,
+            "meta ({}) should beat the worst static ({})",
+            res.meta_run.total_time,
+            res.worst_static().total_time
+        );
+        assert!(
+            res.meta_vs_best() < 1.6,
+            "meta ({}) should stay near the best static ({})",
+            res.meta_run.total_time,
+            res.best_static().total_time
+        );
+    }
+
+    #[test]
+    fn sequential_runner_matches_simulate_for_stateless() {
+        use samr_sim::simulate_trace;
+        let trace = generate_trace(AppKind::Sc2d, &TraceGenConfig::smoke());
+        let p = DomainSfcPartitioner::default();
+        let cfg = cfg();
+        let (steps, total) = run_sequential(&trace, &p, &cfg);
+        let par = simulate_trace(&trace, &p, &cfg);
+        assert_eq!(steps, par.steps);
+        assert!((total - par.total_time).abs() < 1e-9);
+    }
+}

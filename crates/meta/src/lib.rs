@@ -1,0 +1,31 @@
+//! # samr-meta — the adaptive meta-partitioner
+//!
+//! "The goal of the adaptive meta-partitioner is to provide [adaptive
+//! run-time management] for parallel SAMR applications": select and
+//! configure the most appropriate partitioning technique at run time,
+//! based on the current application and system state (Figure 2 of the
+//! paper). The classification model of `samr-core` supplies the state as
+//! a continuous point `(d1, d2, d3)`; this crate supplies:
+//!
+//! - [`selector`]: the mapping from classification point to partitioner
+//!   selection *and configuration* — coarse-grained family choice plus
+//!   fine-grained parameter steering, with hysteresis against thrashing;
+//! - [`meta`]: [`meta::MetaPartitioner`], a stateful
+//!   [`samr_partition::Partitioner`] that re-classifies at every
+//!   invocation and delegates to the selected technique;
+//! - [`compare`]: the experiment driver comparing every *static*
+//!   partitioner choice against the dynamic meta-partitioner on a trace —
+//!   the proof-of-concept claim (§1/§3: even simple dynamic selection
+//!   reduces execution times) made reproducible.
+
+#![warn(missing_docs)]
+
+pub mod compare;
+pub mod meta;
+pub mod octant_meta;
+pub mod selector;
+
+pub use compare::{compare_on_trace, ComparisonResult};
+pub use meta::MetaPartitioner;
+pub use octant_meta::OctantMetaPartitioner;
+pub use selector::{PartitionerChoice, Selector, SelectorConfig};

@@ -1,0 +1,246 @@
+//! Composite workload weighting of the base domain.
+//!
+//! Domain-based SAMR partitioners cut the *base domain* and take all
+//! overlaid refined cells along with the cut. The unit of currency is an
+//! *atomic unit*: a small square block of base cells (Nature+Fable exposes
+//! the atomic-unit size as a tuning parameter). Each unit's weight is the
+//! full composite workload of the column of cells above it:
+//! `Σ_l |level_l ∩ refine(unit)| · ratio^l`.
+
+use samr_geom::sfc::{order_for, sfc_key, SfcCurve};
+use samr_geom::{Point2, Rect2};
+use samr_grid::GridHierarchy;
+
+/// The base domain diced into atomic units with composite weights.
+#[derive(Clone, Debug)]
+pub struct UnitGrid {
+    /// Base cells per unit side.
+    pub unit: i64,
+    /// Units along x and y.
+    pub dims: (i64, i64),
+    /// Base-domain origin (unit (0,0) starts here).
+    pub origin: Point2,
+    /// Row-major composite workload per unit.
+    pub weights: Vec<u64>,
+}
+
+impl UnitGrid {
+    /// The base-space box of unit `(ux, uy)` (clipped to the domain for
+    /// edge units when the domain is not a multiple of the unit size).
+    pub fn unit_rect(&self, domain: &Rect2, ux: i64, uy: i64) -> Rect2 {
+        let lo = Point2::new(self.origin.x + ux * self.unit, self.origin.y + uy * self.unit);
+        let hi = Point2::new(lo.x + self.unit - 1, lo.y + self.unit - 1);
+        Rect2::new(lo, hi)
+            .intersect(domain)
+            .expect("unit inside domain")
+    }
+
+    /// Total weight over all units (equals the hierarchy workload).
+    pub fn total_weight(&self) -> u64 {
+        self.weights.iter().sum()
+    }
+
+    /// Weight of unit `(ux, uy)`.
+    pub fn weight(&self, ux: i64, uy: i64) -> u64 {
+        self.weights[(uy * self.dims.0 + ux) as usize]
+    }
+}
+
+/// Dice the base domain of `h` into `unit`-sized atomic units and compute
+/// the composite workload of each.
+pub fn composite_unit_weights(h: &GridHierarchy, unit: i64) -> UnitGrid {
+    assert!(unit >= 1);
+    let domain = h.base_domain;
+    let e = domain.extent();
+    let dims = ((e.x + unit - 1) / unit, (e.y + unit - 1) / unit);
+    let mut weights = vec![0u64; (dims.0 * dims.1) as usize];
+    for (l, level) in h.levels.iter().enumerate() {
+        let scale = h.ratio.pow(l as u32);
+        let w = (h.ratio as u64).pow(l as u32);
+        for patch in &level.patches {
+            // Footprint of the patch on the base grid, then on units.
+            let base_fp = patch.rect.coarsen(scale);
+            let u_lo = (base_fp.lo() - domain.lo()).div_floor(unit);
+            let u_hi = (base_fp.hi() - domain.lo()).div_floor(unit);
+            for uy in u_lo.y..=u_hi.y.min(dims.1 - 1) {
+                for ux in u_lo.x..=u_hi.x.min(dims.0 - 1) {
+                    let unit_box = Rect2::new(
+                        Point2::new(domain.lo().x + ux * unit, domain.lo().y + uy * unit),
+                        Point2::new(
+                            domain.lo().x + ux * unit + unit - 1,
+                            domain.lo().y + uy * unit + unit - 1,
+                        ),
+                    );
+                    let fine_unit = unit_box.refine(scale);
+                    let overlap = patch.rect.overlap_cells(&fine_unit);
+                    weights[(uy * dims.0 + ux) as usize] += overlap * w;
+                }
+            }
+        }
+    }
+    UnitGrid {
+        unit,
+        dims,
+        origin: domain.lo(),
+        weights,
+    }
+}
+
+/// Linearize the units of `grid` along a space-filling curve.
+///
+/// With `full_order = true` the exact curve ordering is used. With
+/// `full_order = false` the *partially ordered* variant the paper
+/// attributes to Nature+Fable is used: units are bucketed by the top bits
+/// of their SFC key (buckets of `2^(2*partial_level)` curve positions) and
+/// kept in row-major order inside each bucket — cheaper to compute
+/// incrementally, at some locality cost.
+pub fn sfc_order(grid: &UnitGrid, curve: SfcCurve, full_order: bool) -> Vec<(i64, i64)> {
+    let order = order_for(grid.dims.0.max(grid.dims.1) as u64);
+    let mut units: Vec<(u64, i64, i64)> = Vec::with_capacity((grid.dims.0 * grid.dims.1) as usize);
+    for uy in 0..grid.dims.1 {
+        for ux in 0..grid.dims.0 {
+            let key = sfc_key(curve, order, ux as u64, uy as u64);
+            // Partial ordering: keep only the top 4 levels of the curve
+            // (buckets of 2^(2*(order-4)) positions); ties resolved by the
+            // row-major push order (sort is stable).
+            let eff_key = if full_order || order <= 4 {
+                key
+            } else {
+                key >> (2 * (order - 4))
+            };
+            units.push((eff_key, ux, uy));
+        }
+    }
+    units.sort_by_key(|&(k, _, _)| k);
+    units.into_iter().map(|(_, ux, uy)| (ux, uy)).collect()
+}
+
+/// Split an SFC-ordered unit sequence into `nprocs` contiguous chunks of
+/// near-equal weight (greedy prefix walk against the ideal running
+/// quota). Returns the owner of every unit in sequence order.
+pub fn split_contiguous(grid: &UnitGrid, order: &[(i64, i64)], nprocs: usize) -> Vec<u32> {
+    assert!(nprocs >= 1);
+    let total = grid.total_weight() as f64;
+    let mut owners = Vec::with_capacity(order.len());
+    let mut acc = 0.0f64;
+    let mut proc = 0u32;
+    for &(ux, uy) in order {
+        let w = grid.weight(ux, uy) as f64;
+        // Advance to the next processor when the running total has passed
+        // this processor's quota boundary (midpoint rule so a big unit
+        // lands on whichever side it overlaps more).
+        while proc + 1 < nprocs as u32
+            && acc + 0.5 * w > total * (proc + 1) as f64 / nprocs as f64
+        {
+            proc += 1;
+        }
+        owners.push(proc);
+        acc += w;
+    }
+    owners
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(x0: i64, y0: i64, x1: i64, y1: i64) -> Rect2 {
+        Rect2::from_coords(x0, y0, x1, y1)
+    }
+
+    fn hierarchy() -> GridHierarchy {
+        GridHierarchy::from_level_rects(
+            Rect2::from_extents(16, 16),
+            2,
+            &[vec![], vec![r(8, 8, 15, 15)], vec![r(20, 20, 27, 27)]],
+        )
+    }
+
+    #[test]
+    fn weights_sum_to_workload() {
+        let h = hierarchy();
+        for unit in [1, 2, 4, 8] {
+            let g = composite_unit_weights(&h, unit);
+            assert_eq!(g.total_weight(), h.workload(), "unit={unit}");
+        }
+    }
+
+    #[test]
+    fn refined_units_are_heavier() {
+        let h = hierarchy();
+        let g = composite_unit_weights(&h, 2);
+        // Unit at base cells [4..5]^2 sits under the level-1 patch
+        // ([8..15]^2 fine = [4..7]^2 base).
+        let heavy = g.weight(2, 2);
+        let light = g.weight(0, 0);
+        assert_eq!(light, 4); // bare base cells
+        assert!(heavy > light);
+        // Unit under both level 1 and level 2: base cells [5..5]... level 2
+        // box [20..27]^2 coarsens to base [5..6]^2.
+        let heaviest = g.weight(2, 2).max(g.weight(3, 3));
+        assert!(heaviest >= 4 + 2 * 16);
+    }
+
+    #[test]
+    fn unit_rect_clips_at_domain_edge() {
+        let h = GridHierarchy::base_only(Rect2::from_extents(10, 10), 2);
+        let g = composite_unit_weights(&h, 4);
+        assert_eq!(g.dims, (3, 3));
+        assert_eq!(g.unit_rect(&h.base_domain, 2, 2), r(8, 8, 9, 9));
+        assert_eq!(g.total_weight(), 100);
+    }
+
+    #[test]
+    fn sfc_order_is_a_permutation() {
+        let h = hierarchy();
+        let g = composite_unit_weights(&h, 2);
+        for curve in [SfcCurve::Morton, SfcCurve::Hilbert] {
+            for full in [false, true] {
+                let ord = sfc_order(&g, curve, full);
+                assert_eq!(ord.len(), (g.dims.0 * g.dims.1) as usize);
+                let mut seen = std::collections::HashSet::new();
+                for &(ux, uy) in &ord {
+                    assert!(seen.insert((ux, uy)));
+                    assert!(ux < g.dims.0 && uy < g.dims.1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_hilbert_order_has_unit_steps() {
+        let h = GridHierarchy::base_only(Rect2::from_extents(16, 16), 2);
+        let g = composite_unit_weights(&h, 2); // 8x8 units
+        let ord = sfc_order(&g, SfcCurve::Hilbert, true);
+        for w in ord.windows(2) {
+            let d = (w[1].0 - w[0].0).abs() + (w[1].1 - w[0].1).abs();
+            assert_eq!(d, 1);
+        }
+    }
+
+    #[test]
+    fn split_balances_uniform_weights() {
+        let h = GridHierarchy::base_only(Rect2::from_extents(16, 16), 2);
+        let g = composite_unit_weights(&h, 2);
+        let ord = sfc_order(&g, SfcCurve::Morton, true);
+        let owners = split_contiguous(&g, &ord, 4);
+        let mut loads = [0u64; 4];
+        for (i, &(ux, uy)) in ord.iter().enumerate() {
+            loads[owners[i] as usize] += g.weight(ux, uy);
+        }
+        let max = *loads.iter().max().unwrap() as f64;
+        let avg = loads.iter().sum::<u64>() as f64 / 4.0;
+        assert!(max / avg < 1.05, "{loads:?}");
+        // Owners are monotone along the curve (contiguous chunks).
+        assert!(owners.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn split_single_proc_owns_all() {
+        let h = hierarchy();
+        let g = composite_unit_weights(&h, 4);
+        let ord = sfc_order(&g, SfcCurve::Hilbert, false);
+        let owners = split_contiguous(&g, &ord, 1);
+        assert!(owners.iter().all(|&o| o == 0));
+    }
+}

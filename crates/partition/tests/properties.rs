@@ -1,0 +1,126 @@
+//! Property-based tests: every partitioner family must emit valid
+//! partitions (disjoint owner-tagged fragments exactly tiling the
+//! patches, workload conserved) on randomly shaped hierarchies and at
+//! arbitrary processor counts.
+
+use proptest::prelude::*;
+use samr_geom::sfc::SfcCurve;
+use samr_geom::{Point2, Rect2};
+use samr_grid::GridHierarchy;
+use samr_partition::patch_part::PatchAssign;
+use samr_partition::{
+    validate_partition, DomainSfcParams, DomainSfcPartitioner, HybridParams, HybridPartitioner,
+    PatchParams, PatchPartitioner, Partitioner,
+};
+
+/// A random 1-3 level properly nested hierarchy on a rectangular base.
+fn arb_hierarchy() -> impl Strategy<Value = GridHierarchy> {
+    let base = (16i64..48, 16i64..48);
+    let blobs = prop::collection::vec((0.0f64..1.0, 0.0f64..1.0, 0.1f64..0.4), 1..4);
+    (base, blobs, any::<bool>()).prop_map(|((bx, by), blobs, deep)| {
+        // Place disjoint blobs in base space, then refine.
+        let mut placed: Vec<Rect2> = Vec::new();
+        for (fx, fy, fs) in blobs {
+            let w = ((bx as f64 * fs) as i64).clamp(2, bx - 2);
+            let h = ((by as f64 * fs) as i64).clamp(2, by - 2);
+            let x = ((bx as f64 - w as f64) * fx) as i64;
+            let y = ((by as f64 - h as f64) * fy) as i64;
+            let cand = Rect2::new(Point2::new(x, y), Point2::new(x + w - 1, y + h - 1));
+            if placed.iter().all(|p| !p.intersects(&cand)) {
+                placed.push(cand);
+            }
+        }
+        let l1: Vec<Rect2> = placed.iter().map(|b| b.refine(2)).collect();
+        let mut levels = vec![vec![], l1.clone()];
+        if deep && !l1.is_empty() {
+            if let Some(inner) = l1[0].shrink(2) {
+                if inner.extent().x >= 2 && inner.extent().y >= 2 {
+                    levels.push(vec![inner.refine(2)]);
+                }
+            }
+        }
+        GridHierarchy::from_level_rects(Rect2::from_extents(bx, by), 2, &levels)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn domain_sfc_all_configs_valid(
+        h in arb_hierarchy(),
+        nprocs in 1usize..20,
+        unit in 1i64..5,
+        full in any::<bool>(),
+        hilbert in any::<bool>(),
+    ) {
+        let p = DomainSfcPartitioner::new(DomainSfcParams {
+            atomic_unit: unit,
+            curve: if hilbert { SfcCurve::Hilbert } else { SfcCurve::Morton },
+            full_order: full,
+        });
+        let part = p.partition(&h, nprocs);
+        prop_assert_eq!(validate_partition(&h, &part), Ok(()));
+        prop_assert_eq!(part.loads(2).iter().sum::<u64>(), h.workload());
+    }
+
+    #[test]
+    fn patch_both_assignments_valid(
+        h in arb_hierarchy(),
+        nprocs in 1usize..20,
+        split in 0.5f64..4.0,
+        lpt in any::<bool>(),
+    ) {
+        let p = PatchPartitioner::new(PatchParams {
+            split_factor: split,
+            min_block: 2,
+            assign: if lpt { PatchAssign::Lpt } else { PatchAssign::SfcChunk },
+        });
+        let part = p.partition(&h, nprocs);
+        prop_assert_eq!(validate_partition(&h, &part), Ok(()));
+        prop_assert_eq!(part.loads(2).iter().sum::<u64>(), h.workload());
+    }
+
+    #[test]
+    fn hybrid_all_configs_valid(
+        h in arb_hierarchy(),
+        nprocs in 1usize..20,
+        bilevel in 1usize..4,
+        fractional in any::<bool>(),
+        full in any::<bool>(),
+    ) {
+        let p = HybridPartitioner::new(HybridParams {
+            atomic_unit: 2,
+            curve: SfcCurve::Morton,
+            full_order: full,
+            bilevel_size: bilevel,
+            hue_blocks_per_proc: 2,
+            fractional_blocking: fractional,
+        });
+        let part = p.partition(&h, nprocs);
+        prop_assert_eq!(validate_partition(&h, &part), Ok(()));
+        prop_assert_eq!(part.loads(2).iter().sum::<u64>(), h.workload());
+    }
+
+    #[test]
+    fn partitioning_is_deterministic(h in arb_hierarchy(), nprocs in 1usize..16) {
+        let p = HybridPartitioner::default();
+        prop_assert_eq!(p.partition(&h, nprocs), p.partition(&h, nprocs));
+        let q = DomainSfcPartitioner::default();
+        prop_assert_eq!(q.partition(&h, nprocs), q.partition(&h, nprocs));
+    }
+
+    #[test]
+    fn imbalance_no_worse_than_proc_count(h in arb_hierarchy(), nprocs in 1usize..16) {
+        // max/avg can never exceed nprocs (all load on one processor).
+        for part in [
+            DomainSfcPartitioner::default().partition(&h, nprocs),
+            PatchPartitioner::default().partition(&h, nprocs),
+            HybridPartitioner::default().partition(&h, nprocs),
+        ] {
+            let imb = part.load_imbalance(2);
+            prop_assert!(imb <= nprocs as f64 + 1e-9);
+            prop_assert!(imb >= 1.0 - 1e-9);
+        }
+    }
+}

@@ -1,0 +1,346 @@
+//! Communication-volume accounting from fragment overlaps.
+
+use samr_grid::GridHierarchy;
+use samr_partition::Partition;
+
+/// Intra-level ghost-cell exchange volume for one coarse time step, in
+/// grid-point transfers.
+///
+/// Every fragment needs a ghost shell of width `ghost` filled from
+/// same-level neighbours at **every local time step**; level `l` performs
+/// `ratio^l` local steps per coarse step, so each ghost cell owned by a
+/// different processor counts `ratio^l` times. Ghost cells outside every
+/// patch are physical-boundary cells and cost nothing; ghost cells in a
+/// fragment of the *same* owner are local copies and cost nothing.
+pub fn intra_level_comm(h: &GridHierarchy, part: &Partition, ghost: i64) -> u64 {
+    let mut total = 0u64;
+    for (l, lp) in part.levels.iter().enumerate() {
+        let mult = (h.ratio as u64).pow(l as u32);
+        let frags = &lp.fragments;
+        let mut level_cells = 0u64;
+        for f in frags {
+            let shell = f.rect.grow(ghost);
+            for g in frags {
+                if g.owner == f.owner {
+                    continue;
+                }
+                // Cells of g inside f's ghost shell but not inside f.
+                let overlap = shell.overlap_cells(&g.rect);
+                if overlap > 0 {
+                    // f.rect and g.rect are disjoint, so the whole overlap
+                    // lies in the shell ring.
+                    level_cells += overlap;
+                }
+            }
+        }
+        total += level_cells * mult;
+    }
+    total
+}
+
+/// Inter-level parent–child transfer volume for one coarse time step, in
+/// grid-point transfers.
+///
+/// Prolongation (boundary fill + initialization) and restriction
+/// (projection of the fine solution onto the parent) move every fine cell
+/// whose parent coarse cell lives on a *different* processor. The fine
+/// level synchronizes with its parent once per fine local step, so level
+/// `l+1`'s mismatched cells count `ratio^(l+1)` times.
+///
+/// Strictly domain-based partitions have zero inter-level volume by
+/// construction — the property the paper highlights in §2.2.
+pub fn inter_level_comm(h: &GridHierarchy, part: &Partition) -> u64 {
+    let mut total = 0u64;
+    for l in 0..part.levels.len().saturating_sub(1) {
+        let mult = (h.ratio as u64).pow((l + 1) as u32);
+        let coarse = &part.levels[l].fragments;
+        let fine = &part.levels[l + 1].fragments;
+        let mut mismatched_fine_cells = 0u64;
+        for ff in fine {
+            // Parent region of the fine fragment in coarse index space.
+            let parent = ff.rect.coarsen(h.ratio);
+            for cf in coarse {
+                if cf.owner == ff.owner {
+                    continue;
+                }
+                let coarse_overlap = parent.intersect(&cf.rect);
+                if let Some(ov) = coarse_overlap {
+                    // Convert back to fine cells covered by that overlap.
+                    let fine_cov = ov.refine(h.ratio).overlap_cells(&ff.rect);
+                    mismatched_fine_cells += fine_cov;
+                }
+            }
+        }
+        total += mismatched_fine_cells * mult;
+    }
+    total
+}
+
+/// Total communication *transfer volume* for one coarse step
+/// (intra + inter), counting every directed transfer.
+pub fn total_comm(h: &GridHierarchy, part: &Partition, ghost: i64) -> u64 {
+    intra_level_comm(h, part, ghost) + inter_level_comm(h, part)
+}
+
+/// Intra-level *involvement* count: grid points that are sent to at least
+/// one other processor, counted once per local time step (level `l`
+/// points count `ratio^l` times). This matches the paper's §4.1
+/// normalization exactly: 100 % ⇔ "all points in the grid being involved
+/// in communications at all local time steps".
+pub fn intra_level_involved(h: &GridHierarchy, part: &Partition, ghost: i64) -> u64 {
+    let mut total = 0u64;
+    let mut clips: Vec<samr_geom::Rect2> = Vec::new();
+    for (l, lp) in part.levels.iter().enumerate() {
+        let mult = (h.ratio as u64).pow(l as u32);
+        let frags = &lp.fragments;
+        let mut level_points = 0u64;
+        for f in frags {
+            clips.clear();
+            for g in frags {
+                if g.owner == f.owner {
+                    continue;
+                }
+                if let Some(c) = g.rect.grow(ghost).intersect(&f.rect) {
+                    clips.push(c);
+                }
+            }
+            if !clips.is_empty() {
+                level_points += samr_geom::boxops::union_cells(&clips);
+            }
+        }
+        total += level_points * mult;
+    }
+    total
+}
+
+/// Grid points involved in communication per coarse step (the §4.1
+/// numerator): intra-level involvement plus inter-level parent–child
+/// involvement (each remotely-parented fine cell counts once per fine
+/// local step).
+pub fn involved_comm_points(h: &GridHierarchy, part: &Partition, ghost: i64) -> u64 {
+    intra_level_involved(h, part, ghost) + inter_level_comm(h, part)
+}
+
+/// Per-processor communication volume (sent + received grid points per
+/// coarse step), used by the execution-time model.
+pub fn per_proc_comm(h: &GridHierarchy, part: &Partition, ghost: i64) -> Vec<u64> {
+    let mut vols = vec![0u64; part.nprocs];
+    for (l, lp) in part.levels.iter().enumerate() {
+        let mult = (h.ratio as u64).pow(l as u32);
+        for f in &lp.fragments {
+            let shell = f.rect.grow(ghost);
+            for g in &lp.fragments {
+                if g.owner == f.owner {
+                    continue;
+                }
+                let overlap = shell.overlap_cells(&g.rect);
+                if overlap > 0 {
+                    vols[f.owner as usize] += overlap * mult; // received
+                    vols[g.owner as usize] += overlap * mult; // sent
+                }
+            }
+        }
+    }
+    // Inter-level contributions.
+    for l in 0..part.levels.len().saturating_sub(1) {
+        let mult = (h.ratio as u64).pow((l + 1) as u32);
+        for ff in &part.levels[l + 1].fragments {
+            let parent = ff.rect.coarsen(h.ratio);
+            for cf in &part.levels[l].fragments {
+                if cf.owner == ff.owner {
+                    continue;
+                }
+                if let Some(ov) = parent.intersect(&cf.rect) {
+                    let fine_cov = ov.refine(h.ratio).overlap_cells(&ff.rect) * mult;
+                    vols[ff.owner as usize] += fine_cov;
+                    vols[cf.owner as usize] += fine_cov;
+                }
+            }
+        }
+    }
+    vols
+}
+
+/// Worst-case ghost surface of a hierarchy, ignoring the partition: every
+/// patch-boundary cell communicates at every local step. This is the
+/// quantity the ab-initio β_c penalty is built from (aggressive by
+/// design, §5.2).
+pub fn worst_case_comm(h: &GridHierarchy, ghost: i64) -> u64 {
+    let mut total = 0u64;
+    for (l, level) in h.levels.iter().enumerate() {
+        let mult = (h.ratio as u64).pow(l as u32);
+        let cells: u64 = level
+            .patches
+            .iter()
+            .map(|p| {
+                // Boundary ring of width `ghost` (cells within `ghost` of
+                // the patch surface).
+                let e = p.rect.extent();
+                if e.x <= 2 * ghost || e.y <= 2 * ghost {
+                    p.rect.cells()
+                } else {
+                    p.rect.cells()
+                        - ((e.x - 2 * ghost) as u64) * ((e.y - 2 * ghost) as u64)
+                }
+            })
+            .sum();
+        total += cells * mult;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use samr_geom::Rect2;
+    use samr_partition::{Fragment, LevelPartition};
+
+    fn r(x0: i64, y0: i64, x1: i64, y1: i64) -> Rect2 {
+        Rect2::from_coords(x0, y0, x1, y1)
+    }
+
+    fn base_hierarchy() -> GridHierarchy {
+        GridHierarchy::base_only(Rect2::from_extents(8, 8), 2)
+    }
+
+    fn split_partition(owner_b: u32) -> Partition {
+        Partition {
+            nprocs: 2,
+            levels: vec![LevelPartition {
+                fragments: vec![
+                    Fragment { rect: r(0, 0, 3, 7), owner: 0 },
+                    Fragment { rect: r(4, 0, 7, 7), owner: owner_b },
+                ],
+            }],
+        }
+    }
+
+    #[test]
+    fn single_owner_no_comm() {
+        let h = base_hierarchy();
+        let part = split_partition(0);
+        assert_eq!(intra_level_comm(&h, &part, 1), 0);
+        assert_eq!(total_comm(&h, &part, 1), 0);
+    }
+
+    #[test]
+    fn two_owner_split_exchanges_one_column_each_way() {
+        let h = base_hierarchy();
+        let part = split_partition(1);
+        // Fragment A's ghost shell covers column x=4 of B (8 cells) and
+        // vice versa: 16 transfers per step, multiplier 1 at level 0.
+        assert_eq!(intra_level_comm(&h, &part, 1), 16);
+        // Wider ghost doubles it.
+        assert_eq!(intra_level_comm(&h, &part, 2), 32);
+    }
+
+    #[test]
+    fn per_proc_comm_is_symmetric_for_symmetric_split() {
+        let h = base_hierarchy();
+        let part = split_partition(1);
+        let v = per_proc_comm(&h, &part, 1);
+        assert_eq!(v, vec![16, 16]);
+    }
+
+    #[test]
+    fn level_multiplier_counts_local_steps() {
+        // Same split but at level 1: the exchange happens twice per
+        // coarse step (ratio 2).
+        let h = GridHierarchy::from_level_rects(
+            Rect2::from_extents(8, 8),
+            2,
+            &[vec![], vec![r(0, 0, 7, 7)]],
+        );
+        let part = Partition {
+            nprocs: 2,
+            levels: vec![
+                LevelPartition {
+                    fragments: vec![Fragment { rect: r(0, 0, 7, 7), owner: 0 }],
+                },
+                LevelPartition {
+                    fragments: vec![
+                        Fragment { rect: r(0, 0, 3, 7), owner: 0 },
+                        Fragment { rect: r(4, 0, 7, 7), owner: 1 },
+                    ],
+                },
+            ],
+        };
+        assert_eq!(intra_level_comm(&h, &part, 1), 16 * 2);
+    }
+
+    #[test]
+    fn inter_level_zero_when_colocated() {
+        let h = GridHierarchy::from_level_rects(
+            Rect2::from_extents(8, 8),
+            2,
+            &[vec![], vec![r(4, 4, 11, 11)]],
+        );
+        // Domain-based style: fine fragment sits on the same proc as its
+        // parent cells.
+        let part = Partition {
+            nprocs: 2,
+            levels: vec![
+                LevelPartition {
+                    fragments: vec![
+                        Fragment { rect: r(0, 0, 7, 3), owner: 0 },
+                        Fragment { rect: r(0, 4, 7, 7), owner: 1 },
+                    ],
+                },
+                LevelPartition {
+                    fragments: vec![
+                        Fragment { rect: r(4, 4, 11, 7), owner: 0 },
+                        Fragment { rect: r(4, 8, 11, 11), owner: 1 },
+                    ],
+                },
+            ],
+        };
+        assert_eq!(inter_level_comm(&h, &part), 0);
+    }
+
+    #[test]
+    fn inter_level_counts_mismatched_fine_cells() {
+        let h = GridHierarchy::from_level_rects(
+            Rect2::from_extents(8, 8),
+            2,
+            &[vec![], vec![r(4, 4, 11, 11)]],
+        );
+        // Whole base on proc 0, whole fine level on proc 1: every fine
+        // cell (64) is mismatched, multiplier ratio^1 = 2.
+        let part = Partition {
+            nprocs: 2,
+            levels: vec![
+                LevelPartition {
+                    fragments: vec![Fragment { rect: r(0, 0, 7, 7), owner: 0 }],
+                },
+                LevelPartition {
+                    fragments: vec![Fragment { rect: r(4, 4, 11, 11), owner: 1 }],
+                },
+            ],
+        };
+        assert_eq!(inter_level_comm(&h, &part), 64 * 2);
+        let v = per_proc_comm(&h, &part, 1);
+        assert_eq!(v[0], 128);
+        assert_eq!(v[1], 128);
+    }
+
+    #[test]
+    fn worst_case_bounds_actual_for_interior_splits() {
+        // The ab-initio worst case assumes every patch boundary cell talks
+        // every local step; an actual 2-way split only pays along the cut.
+        let h = base_hierarchy();
+        let part = split_partition(1);
+        assert!(worst_case_comm(&h, 1) >= intra_level_comm(&h, &part, 1));
+    }
+
+    #[test]
+    fn worst_case_thin_patch_counts_all_cells() {
+        let h = GridHierarchy::from_level_rects(
+            Rect2::from_extents(8, 8),
+            2,
+            &[vec![], vec![r(0, 0, 15, 1)]],
+        );
+        // Level 1 patch is 16x2: all 32 cells are boundary; x2 local steps;
+        // base 8x8 has boundary ring 28 cells x1.
+        assert_eq!(worst_case_comm(&h, 1), 28 + 32 * 2);
+    }
+}

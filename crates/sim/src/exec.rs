@@ -1,0 +1,123 @@
+//! Machine model: cell counts to execution-time estimates.
+//!
+//! The paper's classification model consumes "system parameters (such as
+//! CPU speed and communication bandwidth)". The simulator is trace-driven
+//! and platform-free, but the meta-partitioner experiments need a clock to
+//! compare *static* versus *dynamic* partitioner selection — this model is
+//! that clock. Times are in abstract microsecond-like units; only ratios
+//! matter.
+
+use serde::{Deserialize, Serialize};
+
+/// Cost coefficients of the abstract parallel machine.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct MachineModel {
+    /// Time to update one grid point for one local step.
+    pub cell_update: f64,
+    /// Time to transfer one grid point between processors (inverse
+    /// bandwidth).
+    pub cell_transfer: f64,
+    /// Fixed per-fragment-pair latency charged on the heaviest
+    /// communicator (message count proxy).
+    pub message_latency: f64,
+    /// Time to move one grid point at redistribution (migration is bulk
+    /// transfer: cheaper per point than fine-grained ghost exchange).
+    pub migration_transfer: f64,
+    /// Time per abstract partitioner cost unit.
+    pub partition_unit: f64,
+}
+
+impl Default for MachineModel {
+    fn default() -> Self {
+        // A mid-2000s cluster in spirit: computation fast, communication
+        // an order of magnitude more expensive per point, migration
+        // streamed at bulk bandwidth.
+        Self {
+            cell_update: 1.0,
+            cell_transfer: 8.0,
+            message_latency: 50.0,
+            migration_transfer: 2.0,
+            partition_unit: 5.0,
+        }
+    }
+}
+
+impl MachineModel {
+    /// A communication-starved interconnect (higher transfer cost):
+    /// shifts the optimum toward communication-minimizing partitioners.
+    pub fn slow_network() -> Self {
+        Self {
+            cell_transfer: 40.0,
+            migration_transfer: 10.0,
+            message_latency: 200.0,
+            ..Self::default()
+        }
+    }
+
+    /// A compute-bound machine (slow CPUs, fast network): shifts the
+    /// optimum toward load balance.
+    pub fn slow_cpu() -> Self {
+        Self {
+            cell_update: 10.0,
+            ..Self::default()
+        }
+    }
+
+    /// Execution-time estimate of one coarse step: the slowest processor's
+    /// compute + communication time (bulk-synchronous step), plus
+    /// redistribution costs when a repartitioning happened.
+    ///
+    /// `loads` are weighted cell updates per processor, `comm` grid-point
+    /// transfers per processor, `migration_out` grid points leaving each
+    /// processor at the regrid, `partition_cost` the partitioner's
+    /// abstract invocation cost (0 when no repartitioning).
+    pub fn step_time(
+        &self,
+        loads: &[u64],
+        comm: &[u64],
+        migration_out: &[u64],
+        partition_cost: f64,
+    ) -> f64 {
+        let slowest = loads
+            .iter()
+            .zip(comm)
+            .map(|(&l, &c)| l as f64 * self.cell_update + c as f64 * self.cell_transfer)
+            .fold(0.0f64, f64::max);
+        let migration = migration_out
+            .iter()
+            .map(|&m| m as f64 * self.migration_transfer)
+            .fold(0.0f64, f64::max);
+        slowest + migration + partition_cost * self.partition_unit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_time_takes_slowest_processor() {
+        let m = MachineModel::default();
+        let t = m.step_time(&[100, 10], &[0, 0], &[0, 0], 0.0);
+        assert_eq!(t, 100.0);
+        // Communication on the light processor can make it the slowest.
+        let t = m.step_time(&[100, 10], &[0, 100], &[0, 0], 0.0);
+        assert_eq!(t, 10.0 + 800.0);
+    }
+
+    #[test]
+    fn migration_and_partitioning_add_up() {
+        let m = MachineModel::default();
+        let t = m.step_time(&[10, 10], &[0, 0], &[5, 3], 2.0);
+        assert_eq!(t, 10.0 + 5.0 * 2.0 + 2.0 * 5.0);
+    }
+
+    #[test]
+    fn presets_change_the_balance() {
+        let base = MachineModel::default();
+        let net = MachineModel::slow_network();
+        let cpu = MachineModel::slow_cpu();
+        assert!(net.cell_transfer > base.cell_transfer);
+        assert!(cpu.cell_update > base.cell_update);
+    }
+}

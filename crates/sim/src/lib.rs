@@ -1,0 +1,34 @@
+//! # samr-sim — trace-driven SAMR execution simulator
+//!
+//! The paper's measurements come from software "that simulates the
+//! execution of the Berger–Colella SAMR algorithm … driven by an
+//! application execution trace obtained from a single processor run"
+//! (§5.1.3), computing per-regrid-step load balance, communication, data
+//! migration and overheads for a chosen partitioner and processor count.
+//! This crate is that simulator:
+//!
+//! - [`comm`]: intra-level ghost-cell communication (per local time step)
+//!   and inter-level parent–child transfers, counted exactly from fragment
+//!   overlaps;
+//! - [`migration`]: grid points whose owner changes between consecutive
+//!   partitionings — the numerator of the paper's grid-relative data
+//!   migration metric;
+//! - [`metrics`]: the per-step record ([`StepMetrics`]) with both raw cell
+//!   counts and the paper's §4.1 *grid-relative* normalizations;
+//! - [`exec`]: a machine model turning cell counts into execution-time
+//!   estimates (used by the meta-partitioner experiments);
+//! - [`simulate`]: the driver that runs a whole
+//!   [`samr_trace::HierarchyTrace`] through a partitioner, in parallel
+//!   over snapshots (partitioners are pure functions of the hierarchy).
+
+#![warn(missing_docs)]
+
+pub mod comm;
+pub mod exec;
+pub mod metrics;
+pub mod migration;
+pub mod simulate;
+
+pub use exec::MachineModel;
+pub use metrics::{SeriesSummary, StepMetrics};
+pub use simulate::{simulate_trace, SimConfig, SimResult};

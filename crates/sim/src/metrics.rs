@@ -1,0 +1,229 @@
+//! Per-step metrics and series summaries.
+
+use serde::{Deserialize, Serialize};
+
+/// The measured quantities of one coarse time step, both raw and in the
+/// paper's §4.1 grid-relative normalizations.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct StepMetrics {
+    /// Coarse step index.
+    pub step: u32,
+    /// Grid points `|H_t|`.
+    pub total_points: u64,
+    /// Workload `W_t = Σ_l N_l·r^l`.
+    pub workload: u64,
+    /// Load imbalance: max processor load / average load (1.0 = perfect).
+    pub load_imbalance: f64,
+    /// Raw communication volume of the step (grid-point transfers).
+    pub comm_cells: u64,
+    /// Grid-relative communication: `comm_cells / W_t` (§4.1: 100 % = all
+    /// points communicate at all local steps).
+    pub rel_comm: f64,
+    /// Raw migration volume against the previous step (grid points moved).
+    pub migration_cells: u64,
+    /// Grid-relative migration: `migration_cells / |H_{t-1}|` (§4.1:
+    /// 100 % = the whole previous grid moved). Zero at step 0.
+    pub rel_migration: f64,
+    /// Partitioner invocation cost estimate (abstract units).
+    pub partition_cost: f64,
+    /// Number of fragments in the step's partition.
+    pub fragments: usize,
+    /// Execution-time estimate of the step under the machine model, in
+    /// machine-model time units.
+    pub step_time: f64,
+}
+
+/// Aggregate description of a metric series — the "shape" statistics the
+/// validation compares between model and measurement (§5.2 talks about
+/// trends, oscillation periods, peaks and valleys rather than absolute
+/// values).
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct SeriesSummary {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+    /// Minimum value.
+    pub min: f64,
+    /// Maximum value.
+    pub max: f64,
+}
+
+impl SeriesSummary {
+    /// Summarize a series (empty series gives zeros).
+    pub fn of(xs: &[f64]) -> Self {
+        if xs.is_empty() {
+            return Self {
+                mean: 0.0,
+                std: 0.0,
+                min: 0.0,
+                max: 0.0,
+            };
+        }
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        Self {
+            mean,
+            std: var.sqrt(),
+            min: xs.iter().cloned().fold(f64::INFINITY, f64::min),
+            max: xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+}
+
+/// Pearson correlation of two equal-length series; 0.0 when degenerate
+/// (constant input or empty).
+pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "series lengths differ");
+    let n = a.len() as f64;
+    if a.is_empty() {
+        return 0.0;
+    }
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    if va <= 0.0 || vb <= 0.0 {
+        return 0.0;
+    }
+    cov / (va.sqrt() * vb.sqrt())
+}
+
+/// Lag (in steps, within `±max_lag`) at which the cross-correlation of
+/// `a` against `b` peaks: positive means `a` *leads* `b` (a's features
+/// appear earlier). Used to check the paper's remark that β_m
+/// "occasionally peaks one time-step before" the measured migration.
+pub fn peak_lag(a: &[f64], b: &[f64], max_lag: i64) -> i64 {
+    assert_eq!(a.len(), b.len());
+    let mut best = (f64::NEG_INFINITY, 0i64);
+    for lag in -max_lag..=max_lag {
+        // Correlate a[i] with b[i + lag].
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..a.len() as i64 {
+            let j = i + lag;
+            if j >= 0 && (j as usize) < b.len() {
+                xs.push(a[i as usize]);
+                ys.push(b[j as usize]);
+            }
+        }
+        let r = pearson(&xs, &ys);
+        if r > best.0 {
+            best = (r, lag);
+        }
+    }
+    best.1
+}
+
+/// Dominant oscillation period of a series (in steps) estimated from the
+/// first non-trivial peak of the autocorrelation, or `None` for
+/// non-oscillatory series.
+pub fn dominant_period(xs: &[f64]) -> Option<usize> {
+    let n = xs.len();
+    if n < 8 {
+        return None;
+    }
+    let mean = xs.iter().sum::<f64>() / n as f64;
+    let denom: f64 = xs.iter().map(|x| (x - mean) * (x - mean)).sum();
+    if denom <= 0.0 {
+        return None;
+    }
+    let auto = |lag: usize| -> f64 {
+        let mut s = 0.0;
+        for i in 0..n - lag {
+            s += (xs[i] - mean) * (xs[i + lag] - mean);
+        }
+        s / denom
+    };
+    // Find the first local maximum of the autocorrelation after it first
+    // dips below zero (standard period detection).
+    let half = n / 2;
+    let mut lag = 1;
+    while lag < half && auto(lag) > 0.0 {
+        lag += 1;
+    }
+    if lag >= half {
+        return None;
+    }
+    let mut best = (f64::NEG_INFINITY, 0usize);
+    for k in lag..half {
+        let v = auto(k);
+        if v > best.0 {
+            best = (v, k);
+        }
+    }
+    if best.0 > 0.15 {
+        Some(best.1)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_constant_series() {
+        let s = SeriesSummary::of(&[2.0, 2.0, 2.0]);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 2.0);
+    }
+
+    #[test]
+    fn summary_of_empty() {
+        let s = SeriesSummary::of(&[]);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn pearson_perfect_correlation() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&a, &b) - 1.0).abs() < 1e-12);
+        let c = [4.0, 3.0, 2.0, 1.0];
+        assert!((pearson(&a, &c) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_degenerate_is_zero() {
+        assert_eq!(pearson(&[1.0, 1.0], &[2.0, 3.0]), 0.0);
+        assert_eq!(pearson(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn peak_lag_detects_shift() {
+        // b is a copy of a delayed by 2 steps: a leads by 2.
+        let a: Vec<f64> = (0..40).map(|i| ((i as f64) * 0.7).sin()).collect();
+        let b: Vec<f64> = (0..40)
+            .map(|i| (((i as f64) - 2.0) * 0.7).sin())
+            .collect();
+        assert_eq!(peak_lag(&a, &b, 5), 2);
+        assert_eq!(peak_lag(&b, &a, 5), -2);
+        assert_eq!(peak_lag(&a, &a, 5), 0);
+    }
+
+    #[test]
+    fn dominant_period_of_sine() {
+        let xs: Vec<f64> = (0..64)
+            .map(|i| (std::f64::consts::TAU * i as f64 / 8.0).sin())
+            .collect();
+        let p = dominant_period(&xs).expect("period found");
+        assert!((7..=9).contains(&p), "period {p}");
+    }
+
+    #[test]
+    fn dominant_period_of_noise_free_ramp_is_none() {
+        let xs: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        assert_eq!(dominant_period(&xs), None);
+    }
+}

@@ -1,0 +1,292 @@
+//! Data-migration accounting between consecutive partitionings.
+
+use samr_geom::boxops;
+use samr_grid::GridHierarchy;
+use samr_partition::Partition;
+
+/// Number of grid points transmitted at the redistribution between the
+/// distribution of `H_{t-1}` and that of `H_t` — the Berger–Colella
+/// regrid data-transfer accounting:
+///
+/// 1. **surviving cells** (same level, present at both steps) whose owner
+///    changed are copied from the old owner;
+/// 2. **newly created cells** (refined into existence at `t`) are filled
+///    by interpolation from their parent level — a transfer whenever the
+///    parent cell's (new) owner differs from the fine cell's owner.
+///
+/// Cells that disappear (coarsened away) are deleted in place and cost
+/// nothing.
+pub fn migration_cells(
+    prev: &GridHierarchy,
+    prev_part: &Partition,
+    cur: &GridHierarchy,
+    cur_part: &Partition,
+) -> u64 {
+    moved_survivors(prev_part, cur_part) + interpolation_transfers(prev, cur, cur_part)
+}
+
+/// Component 1: same-level cells that exist at both steps and changed
+/// owner.
+pub fn moved_survivors(prev_part: &Partition, cur_part: &Partition) -> u64 {
+    let mut moved = 0u64;
+    let levels = prev_part.levels.len().min(cur_part.levels.len());
+    for l in 0..levels {
+        for old in &prev_part.levels[l].fragments {
+            for new in &cur_part.levels[l].fragments {
+                if old.owner != new.owner {
+                    moved += old.rect.overlap_cells(&new.rect);
+                }
+            }
+        }
+    }
+    moved
+}
+
+/// Component 2: newly refined cells interpolated from a remote parent.
+/// Counted in fine grid points.
+pub fn interpolation_transfers(
+    prev: &GridHierarchy,
+    cur: &GridHierarchy,
+    cur_part: &Partition,
+) -> u64 {
+    let mut transfers = 0u64;
+    for l in 1..cur.levels.len() {
+        let prev_rects: Vec<samr_geom::Rect2> = if l < prev.levels.len() {
+            prev.levels[l].rects()
+        } else {
+            Vec::new()
+        };
+        let coarse = &cur_part.levels[l - 1].fragments;
+        for frag in &cur_part.levels[l].fragments {
+            // The part of this fragment that did not exist at t-1.
+            for new_piece in boxops::subtract_all(&frag.rect, &prev_rects) {
+                let parent = new_piece.coarsen(cur.ratio);
+                for cf in coarse {
+                    if cf.owner == frag.owner {
+                        continue;
+                    }
+                    if let Some(ov) = parent.intersect(&cf.rect) {
+                        transfers += ov.refine(cur.ratio).overlap_cells(&new_piece);
+                    }
+                }
+            }
+        }
+    }
+    transfers
+}
+
+/// Per-processor outbound migration volume (grid points leaving each
+/// processor at the redistribution, including interpolation sources), for
+/// the execution-time model.
+pub fn per_proc_migration(
+    prev: &GridHierarchy,
+    prev_part: &Partition,
+    cur: &GridHierarchy,
+    cur_part: &Partition,
+    nprocs: usize,
+) -> Vec<u64> {
+    let mut out = vec![0u64; nprocs];
+    let levels = prev_part.levels.len().min(cur_part.levels.len());
+    for l in 0..levels {
+        for old in &prev_part.levels[l].fragments {
+            for new in &cur_part.levels[l].fragments {
+                if old.owner != new.owner {
+                    out[old.owner as usize] += old.rect.overlap_cells(&new.rect);
+                }
+            }
+        }
+    }
+    // Interpolation sources: the parent-cell owner ships the data.
+    for l in 1..cur.levels.len() {
+        let prev_rects: Vec<samr_geom::Rect2> = if l < prev.levels.len() {
+            prev.levels[l].rects()
+        } else {
+            Vec::new()
+        };
+        let coarse = &cur_part.levels[l - 1].fragments;
+        for frag in &cur_part.levels[l].fragments {
+            for new_piece in boxops::subtract_all(&frag.rect, &prev_rects) {
+                let parent = new_piece.coarsen(cur.ratio);
+                for cf in coarse {
+                    if cf.owner == frag.owner {
+                        continue;
+                    }
+                    if let Some(ov) = parent.intersect(&cf.rect) {
+                        out[cf.owner as usize] +=
+                            ov.refine(cur.ratio).overlap_cells(&new_piece);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use samr_geom::Rect2;
+    use samr_partition::{Fragment, LevelPartition};
+
+    fn r(x0: i64, y0: i64, x1: i64, y1: i64) -> Rect2 {
+        Rect2::from_coords(x0, y0, x1, y1)
+    }
+
+    fn h8() -> GridHierarchy {
+        GridHierarchy::base_only(Rect2::from_extents(8, 8), 2)
+    }
+
+    fn part(split_x: i64) -> Partition {
+        Partition {
+            nprocs: 2,
+            levels: vec![LevelPartition {
+                fragments: vec![
+                    Fragment { rect: r(0, 0, split_x, 7), owner: 0 },
+                    Fragment { rect: r(split_x + 1, 0, 7, 7), owner: 1 },
+                ],
+            }],
+        }
+    }
+
+    #[test]
+    fn identical_partitions_migrate_nothing() {
+        let h = h8();
+        let p = part(3);
+        assert_eq!(migration_cells(&h, &p, &h, &p), 0);
+    }
+
+    #[test]
+    fn shifted_cut_moves_the_band() {
+        let h = h8();
+        let a = part(3);
+        let b = part(5);
+        // Columns 4..5 (16 cells) move from proc 1 to proc 0.
+        assert_eq!(migration_cells(&h, &a, &h, &b), 16);
+        let out = per_proc_migration(&h, &a, &h, &b, 2);
+        assert_eq!(out, vec![0, 16]);
+        // Reverse direction mirrors.
+        assert_eq!(per_proc_migration(&h, &b, &h, &a, 2), vec![16, 0]);
+    }
+
+    #[test]
+    fn owner_swap_moves_everything() {
+        let h = h8();
+        let a = part(3);
+        let mut b = part(3);
+        for f in &mut b.levels[0].fragments {
+            f.owner = 1 - f.owner;
+        }
+        assert_eq!(migration_cells(&h, &a, &h, &b), 64);
+    }
+
+    #[test]
+    fn vanished_level_does_not_migrate() {
+        // Level present before, gone now: deletion, not migration.
+        let h_prev = GridHierarchy::from_level_rects(
+            Rect2::from_extents(8, 8),
+            2,
+            &[vec![], vec![r(4, 4, 11, 11)]],
+        );
+        let p_prev = Partition {
+            nprocs: 2,
+            levels: vec![
+                LevelPartition {
+                    fragments: vec![Fragment { rect: r(0, 0, 7, 7), owner: 0 }],
+                },
+                LevelPartition {
+                    fragments: vec![Fragment { rect: r(4, 4, 11, 11), owner: 1 }],
+                },
+            ],
+        };
+        let h_cur = h8();
+        let p_cur = Partition {
+            nprocs: 2,
+            levels: vec![LevelPartition {
+                fragments: vec![Fragment { rect: r(0, 0, 7, 7), owner: 0 }],
+            }],
+        };
+        assert_eq!(migration_cells(&h_prev, &p_prev, &h_cur, &p_cur), 0);
+    }
+
+    #[test]
+    fn moved_refinement_migrates_surviving_overlap() {
+        // Level-1 box moves 4 fine cells right; owner of the overlap
+        // changes from 0 to 1 => overlap cells migrate.
+        let h_prev = GridHierarchy::from_level_rects(
+            Rect2::from_extents(8, 8),
+            2,
+            &[vec![], vec![r(4, 4, 11, 11)]],
+        );
+        let h_cur = GridHierarchy::from_level_rects(
+            Rect2::from_extents(8, 8),
+            2,
+            &[vec![], vec![r(8, 4, 15, 11)]],
+        );
+        let p_prev = Partition {
+            nprocs: 2,
+            levels: vec![
+                LevelPartition {
+                    fragments: vec![Fragment { rect: r(0, 0, 7, 7), owner: 0 }],
+                },
+                LevelPartition {
+                    fragments: vec![Fragment { rect: r(4, 4, 11, 11), owner: 0 }],
+                },
+            ],
+        };
+        let p_cur = Partition {
+            nprocs: 2,
+            levels: vec![
+                LevelPartition {
+                    fragments: vec![Fragment { rect: r(0, 0, 7, 7), owner: 0 }],
+                },
+                LevelPartition {
+                    fragments: vec![Fragment { rect: r(8, 4, 15, 11), owner: 1 }],
+                },
+            ],
+        };
+        // Overlap [8..11]x[4..11] = 32 cells changed owner (survivors)
+        // plus the 32 newly created cells [12..15]x[4..11] interpolated
+        // from base cells owned by proc 0 while the fine fragment sits on
+        // proc 1.
+        assert_eq!(moved_survivors(&p_prev, &p_cur), 32);
+        assert_eq!(interpolation_transfers(&h_prev, &h_cur, &p_cur), 32);
+        assert_eq!(migration_cells(&h_prev, &p_prev, &h_cur, &p_cur), 64);
+    }
+
+    #[test]
+    fn colocated_new_cells_are_free() {
+        // New refinement whose parent cells live on the same processor:
+        // interpolation is local, no transfer.
+        let h_prev = h8();
+        let h_cur = GridHierarchy::from_level_rects(
+            Rect2::from_extents(8, 8),
+            2,
+            &[vec![], vec![r(4, 4, 11, 11)]],
+        );
+        let p_prev = Partition {
+            nprocs: 2,
+            levels: vec![LevelPartition {
+                fragments: vec![Fragment { rect: r(0, 0, 7, 7), owner: 0 }],
+            }],
+        };
+        let p_cur = Partition {
+            nprocs: 2,
+            levels: vec![
+                LevelPartition {
+                    fragments: vec![Fragment { rect: r(0, 0, 7, 7), owner: 0 }],
+                },
+                LevelPartition {
+                    fragments: vec![Fragment { rect: r(4, 4, 11, 11), owner: 0 }],
+                },
+            ],
+        };
+        assert_eq!(migration_cells(&h_prev, &p_prev, &h_cur, &p_cur), 0);
+        // Same new cells on the other processor: all 64 are interpolated
+        // remotely.
+        let mut p_remote = p_cur.clone();
+        p_remote.levels[1].fragments[0].owner = 1;
+        assert_eq!(migration_cells(&h_prev, &p_prev, &h_cur, &p_remote), 64);
+        let out = per_proc_migration(&h_prev, &p_prev, &h_cur, &p_remote, 2);
+        assert_eq!(out, vec![64, 0]); // proc 0 ships the parent data
+    }
+}

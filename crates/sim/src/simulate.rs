@@ -1,0 +1,359 @@
+//! The trace-driven simulation driver.
+
+use crate::comm::{involved_comm_points, per_proc_comm, total_comm};
+use crate::exec::MachineModel;
+use crate::metrics::StepMetrics;
+use crate::migration::{migration_cells, per_proc_migration};
+use samr_grid::GridHierarchy;
+use samr_partition::{Partition, Partitioner};
+use samr_trace::HierarchyTrace;
+use serde::{Deserialize, Serialize};
+
+/// Simulation configuration.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Number of processors to distribute over.
+    pub nprocs: usize,
+    /// Ghost-cell width of the numerical scheme.
+    pub ghost_width: i64,
+    /// Machine cost model for execution-time estimates.
+    pub machine: MachineModel,
+    /// Reuse the previous distribution when the hierarchy did not change
+    /// between steps (no repartitioning cost, no migration). The paper's
+    /// set-up redistributes at every regrid; steps without a regrid keep
+    /// the data in place.
+    pub reuse_unchanged: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            nprocs: 16,
+            ghost_width: 1,
+            machine: MachineModel::default(),
+            reuse_unchanged: true,
+        }
+    }
+}
+
+/// The outcome of simulating a trace under one partitioner.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct SimResult {
+    /// Partitioner name (with configuration).
+    pub partitioner: String,
+    /// Processor count.
+    pub nprocs: usize,
+    /// Per-step metrics.
+    pub steps: Vec<StepMetrics>,
+    /// Total estimated execution time (machine-model units).
+    pub total_time: f64,
+}
+
+impl SimResult {
+    /// The grid-relative communication series.
+    pub fn rel_comm(&self) -> Vec<f64> {
+        self.steps.iter().map(|s| s.rel_comm).collect()
+    }
+
+    /// The grid-relative migration series.
+    pub fn rel_migration(&self) -> Vec<f64> {
+        self.steps.iter().map(|s| s.rel_migration).collect()
+    }
+
+    /// The load-imbalance series.
+    pub fn load_imbalance(&self) -> Vec<f64> {
+        self.steps.iter().map(|s| s.load_imbalance).collect()
+    }
+}
+
+/// Compute the metrics of one step given the previous step's state.
+/// `repartitioned` controls whether partitioning cost and migration are
+/// charged.
+#[allow(clippy::too_many_arguments)]
+pub fn step_metrics(
+    step: u32,
+    h: &GridHierarchy,
+    part: &Partition,
+    prev: Option<(&GridHierarchy, &Partition)>,
+    cfg: &SimConfig,
+    partition_cost: f64,
+) -> StepMetrics {
+    let total_points = h.total_points();
+    let workload = h.workload();
+    let comm_cells = total_comm(h, part, cfg.ghost_width);
+    // The §4.1 grid-relative metric counts *involved points*, not directed
+    // transfers; `comm_cells` keeps the transfer volume for the time model.
+    let rel_comm =
+        involved_comm_points(h, part, cfg.ghost_width) as f64 / workload.max(1) as f64;
+    let (migration, rel_migration, mig_out) = match prev {
+        Some((ph, pp)) => {
+            let m = migration_cells(ph, pp, h, part);
+            let prev_points = ph.total_points().max(1);
+            (
+                m,
+                m as f64 / prev_points as f64,
+                per_proc_migration(ph, pp, h, part, cfg.nprocs),
+            )
+        }
+        None => (0, 0.0, vec![0; cfg.nprocs]),
+    };
+    let loads = part.loads(h.ratio);
+    let comm_per_proc = per_proc_comm(h, part, cfg.ghost_width);
+    let step_time = cfg
+        .machine
+        .step_time(&loads, &comm_per_proc, &mig_out, partition_cost);
+    StepMetrics {
+        step,
+        total_points,
+        workload,
+        load_imbalance: part.load_imbalance(h.ratio),
+        comm_cells,
+        rel_comm,
+        migration_cells: migration,
+        rel_migration,
+        partition_cost,
+        fragments: part.fragment_count(),
+        step_time,
+    }
+}
+
+/// Run a whole trace through `partitioner` on `cfg.nprocs` processors.
+///
+/// Partitions are computed in parallel over snapshots (a partitioner is a
+/// pure function of the hierarchy), then metrics are accumulated in step
+/// order — the result is identical for any thread count.
+pub fn simulate_trace(
+    trace: &HierarchyTrace,
+    partitioner: &(dyn Partitioner + Sync),
+    cfg: &SimConfig,
+) -> SimResult {
+    assert!(!trace.is_empty(), "cannot simulate an empty trace");
+    let n = trace.len();
+    let mut partitions: Vec<Option<Partition>> = Vec::with_capacity(n);
+    partitions.resize_with(n, || None);
+
+    // Parallel partitioning in contiguous chunks.
+    let threads = std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(1)
+        .min(n)
+        .min(8);
+    let chunk = n.div_ceil(threads);
+    crossbeam::scope(|s| {
+        for (ci, slots) in partitions.chunks_mut(chunk).enumerate() {
+            let start = ci * chunk;
+            s.spawn(move |_| {
+                for (off, slot) in slots.iter_mut().enumerate() {
+                    let h = trace.hierarchy(start + off);
+                    *slot = Some(partitioner.partition(h, cfg.nprocs));
+                }
+            });
+        }
+    })
+    .expect("partitioning worker panicked");
+
+    let mut steps = Vec::with_capacity(n);
+    let mut total_time = 0.0;
+    let mut effective: Vec<Partition> = Vec::with_capacity(n);
+    for (i, snap) in trace.snapshots.iter().enumerate() {
+        let h = &snap.hierarchy;
+        let mut repartitioned = true;
+        if cfg.reuse_unchanged && i > 0 && trace.hierarchy(i - 1) == h {
+            // Nothing regridded: keep data in place.
+            let prev = effective[i - 1].clone();
+            effective.push(prev);
+            repartitioned = false;
+        } else {
+            effective.push(partitions[i].take().expect("partition computed"));
+        }
+        let part = &effective[i];
+        let cost = if repartitioned {
+            partitioner.cost_estimate(h)
+        } else {
+            0.0
+        };
+        let prev = if i > 0 {
+            Some((trace.hierarchy(i - 1), &effective[i - 1]))
+        } else {
+            None
+        };
+        let m = step_metrics(snap.step, h, part, prev, cfg, cost);
+        total_time += m.step_time;
+        steps.push(m);
+    }
+    SimResult {
+        partitioner: partitioner.name(),
+        nprocs: cfg.nprocs,
+        steps,
+        total_time,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use samr_geom::Rect2;
+    use samr_grid::GridHierarchy;
+    use samr_partition::{DomainSfcPartitioner, HybridPartitioner, PatchPartitioner};
+    use samr_trace::{Snapshot, TraceMeta};
+
+    fn r(x0: i64, y0: i64, x1: i64, y1: i64) -> Rect2 {
+        Rect2::from_coords(x0, y0, x1, y1)
+    }
+
+    /// A synthetic trace: a refined box sweeping across the domain.
+    fn moving_trace(steps: u32) -> HierarchyTrace {
+        let meta = TraceMeta {
+            app: "SYN".into(),
+            description: "moving refinement".into(),
+            base_domain: Rect2::from_extents(32, 32),
+            ratio: 2,
+            max_levels: 3,
+            regrid_interval: 4,
+            min_block: 2,
+            seed: 0,
+        };
+        let mut t = HierarchyTrace::new(meta);
+        for i in 0..steps {
+            let off = (i as i64 * 2) % 30;
+            let l1 = r(off * 2, 16, off * 2 + 15, 31);
+            let l2 = l1.refine(2).shrink(4).unwrap();
+            t.push(Snapshot {
+                step: i,
+                time: i as f64,
+                hierarchy: GridHierarchy::from_level_rects(
+                    Rect2::from_extents(32, 32),
+                    2,
+                    &[vec![], vec![l1], vec![l2]],
+                ),
+            });
+        }
+        t
+    }
+
+    /// A static trace: the same hierarchy at every step.
+    fn static_trace(steps: u32) -> HierarchyTrace {
+        let meta = TraceMeta {
+            app: "SYN".into(),
+            description: "static refinement".into(),
+            base_domain: Rect2::from_extents(32, 32),
+            ratio: 2,
+            max_levels: 2,
+            regrid_interval: 4,
+            min_block: 2,
+            seed: 0,
+        };
+        let mut t = HierarchyTrace::new(meta);
+        for i in 0..steps {
+            t.push(Snapshot {
+                step: i,
+                time: i as f64,
+                hierarchy: GridHierarchy::from_level_rects(
+                    Rect2::from_extents(32, 32),
+                    2,
+                    &[vec![], vec![r(16, 16, 47, 47)]],
+                ),
+            });
+        }
+        t
+    }
+
+    #[test]
+    fn static_trace_reuses_partition_no_migration() {
+        let trace = static_trace(6);
+        let cfg = SimConfig {
+            nprocs: 4,
+            ..SimConfig::default()
+        };
+        let res = simulate_trace(&trace, &DomainSfcPartitioner::default(), &cfg);
+        assert_eq!(res.steps.len(), 6);
+        for s in &res.steps[1..] {
+            assert_eq!(s.migration_cells, 0, "step {}", s.step);
+            assert_eq!(s.partition_cost, 0.0);
+        }
+        // Step 0 pays the initial partitioning.
+        assert!(res.steps[0].partition_cost > 0.0);
+    }
+
+    #[test]
+    fn moving_trace_migrates() {
+        let trace = moving_trace(8);
+        let cfg = SimConfig {
+            nprocs: 4,
+            ..SimConfig::default()
+        };
+        let res = simulate_trace(&trace, &DomainSfcPartitioner::default(), &cfg);
+        let total_mig: u64 = res.steps.iter().map(|s| s.migration_cells).sum();
+        assert!(total_mig > 0, "a moving feature must migrate data");
+        // Relative metrics are sane.
+        for s in &res.steps {
+            assert!(s.rel_migration >= 0.0 && s.rel_migration <= 1.5);
+            assert!(s.rel_comm >= 0.0);
+            assert!(s.load_imbalance >= 1.0 - 1e-12);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let trace = moving_trace(6);
+        let cfg = SimConfig {
+            nprocs: 5,
+            ..SimConfig::default()
+        };
+        let a = simulate_trace(&trace, &HybridPartitioner::default(), &cfg);
+        let b = simulate_trace(&trace, &HybridPartitioner::default(), &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn domain_based_has_no_inter_level_comm() {
+        use crate::comm::inter_level_comm;
+        let trace = moving_trace(3);
+        let p = DomainSfcPartitioner::default();
+        for snap in &trace.snapshots {
+            let part = p.partition(&snap.hierarchy, 4);
+            assert_eq!(inter_level_comm(&snap.hierarchy, &part), 0);
+        }
+    }
+
+    #[test]
+    fn patch_based_pays_inter_level_comm() {
+        use crate::comm::inter_level_comm;
+        let trace = moving_trace(3);
+        let p = PatchPartitioner::default();
+        let mut any = 0u64;
+        for snap in &trace.snapshots {
+            let part = p.partition(&snap.hierarchy, 4);
+            any += inter_level_comm(&snap.hierarchy, &part);
+        }
+        assert!(any > 0, "patch-based should split parents from children");
+    }
+
+    #[test]
+    fn single_proc_trivial_metrics() {
+        let trace = moving_trace(4);
+        let cfg = SimConfig {
+            nprocs: 1,
+            ..SimConfig::default()
+        };
+        let res = simulate_trace(&trace, &PatchPartitioner::default(), &cfg);
+        for s in &res.steps {
+            assert_eq!(s.comm_cells, 0);
+            assert_eq!(s.migration_cells, 0);
+            assert!((s.load_imbalance - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn step_time_accumulates() {
+        let trace = moving_trace(5);
+        let cfg = SimConfig {
+            nprocs: 4,
+            ..SimConfig::default()
+        };
+        let res = simulate_trace(&trace, &HybridPartitioner::default(), &cfg);
+        let sum: f64 = res.steps.iter().map(|s| s.step_time).sum();
+        assert!((res.total_time - sum).abs() < 1e-9);
+        assert!(res.total_time > 0.0);
+    }
+}

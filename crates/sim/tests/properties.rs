@@ -1,0 +1,123 @@
+//! Property-based tests on the simulator's measured quantities.
+
+use proptest::prelude::*;
+use samr_geom::{Point2, Rect2};
+use samr_grid::GridHierarchy;
+use samr_partition::{DomainSfcPartitioner, HybridPartitioner, PatchPartitioner, Partitioner};
+use samr_sim::comm::{
+    inter_level_comm, intra_level_comm, intra_level_involved, involved_comm_points, total_comm,
+};
+use samr_sim::migration::{migration_cells, moved_survivors};
+
+fn arb_hierarchy() -> impl Strategy<Value = GridHierarchy> {
+    let blob = (2i64..20, 2i64..20, 2i64..10, 2i64..10);
+    (blob, any::<bool>()).prop_map(|((x, y, w, h), deep)| {
+        let l1 = Rect2::new(
+            Point2::new(x, y),
+            Point2::new((x + w).min(31), (y + h).min(31)),
+        )
+        .refine(2);
+        let mut levels = vec![vec![], vec![l1]];
+        if deep {
+            if let Some(inner) = l1.shrink(2) {
+                if inner.extent().x >= 2 && inner.extent().y >= 2 {
+                    levels.push(vec![inner.refine(2)]);
+                }
+            }
+        }
+        GridHierarchy::from_level_rects(Rect2::from_extents(32, 32), 2, &levels)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn single_processor_is_silent(h in arb_hierarchy()) {
+        for part in [
+            DomainSfcPartitioner::default().partition(&h, 1),
+            PatchPartitioner::default().partition(&h, 1),
+            HybridPartitioner::default().partition(&h, 1),
+        ] {
+            prop_assert_eq!(total_comm(&h, &part, 1), 0);
+            prop_assert_eq!(involved_comm_points(&h, &part, 1), 0);
+        }
+    }
+
+    #[test]
+    fn comm_monotone_in_ghost_width(h in arb_hierarchy(), nprocs in 2usize..12) {
+        let part = HybridPartitioner::default().partition(&h, nprocs);
+        let g1 = intra_level_comm(&h, &part, 1);
+        let g2 = intra_level_comm(&h, &part, 2);
+        let g3 = intra_level_comm(&h, &part, 3);
+        prop_assert!(g1 <= g2 && g2 <= g3);
+        let i1 = intra_level_involved(&h, &part, 1);
+        let i2 = intra_level_involved(&h, &part, 2);
+        prop_assert!(i1 <= i2);
+    }
+
+    #[test]
+    fn involvement_never_exceeds_transfers(h in arb_hierarchy(), nprocs in 2usize..12) {
+        // Each involved point participates in >= 1 directed transfer.
+        for part in [
+            DomainSfcPartitioner::default().partition(&h, nprocs),
+            PatchPartitioner::default().partition(&h, nprocs),
+            HybridPartitioner::default().partition(&h, nprocs),
+        ] {
+            prop_assert!(
+                intra_level_involved(&h, &part, 1) <= intra_level_comm(&h, &part, 1)
+            );
+        }
+    }
+
+    #[test]
+    fn involvement_bounded_by_workload(h in arb_hierarchy(), nprocs in 2usize..12) {
+        // Intra-level: a point is involved at most once per local step.
+        let part = DomainSfcPartitioner::default().partition(&h, nprocs);
+        prop_assert!(intra_level_involved(&h, &part, 1) <= h.workload());
+    }
+
+    #[test]
+    fn domain_based_never_pays_interlevel(h in arb_hierarchy(), nprocs in 2usize..12) {
+        let part = DomainSfcPartitioner::default().partition(&h, nprocs);
+        prop_assert_eq!(inter_level_comm(&h, &part), 0);
+    }
+
+    #[test]
+    fn identical_partitions_never_migrate(h in arb_hierarchy(), nprocs in 1usize..12) {
+        let part = HybridPartitioner::default().partition(&h, nprocs);
+        prop_assert_eq!(migration_cells(&h, &part, &h, &part), 0);
+    }
+
+    #[test]
+    fn survivor_migration_is_symmetric_in_magnitude(
+        a in arb_hierarchy(),
+        b in arb_hierarchy(),
+        nprocs in 2usize..8,
+    ) {
+        // Moving data from distribution A to B touches the same surviving
+        // cells as B to A (ownership changes are symmetric on the
+        // intersection).
+        let p = DomainSfcPartitioner::default();
+        let pa = p.partition(&a, nprocs);
+        let pb = p.partition(&b, nprocs);
+        prop_assert_eq!(
+            moved_survivors(&pa, &pb),
+            moved_survivors(&pb, &pa)
+        );
+    }
+
+    #[test]
+    fn migration_bounded_by_union_size(
+        a in arb_hierarchy(),
+        b in arb_hierarchy(),
+        nprocs in 2usize..8,
+    ) {
+        let p = HybridPartitioner::default();
+        let pa = p.partition(&a, nprocs);
+        let pb = p.partition(&b, nprocs);
+        let m = migration_cells(&a, &pa, &b, &pb);
+        // Survivors <= |A ∩ B| <= |A|; interpolation transfers <= |B|.
+        prop_assert!(m <= a.total_points() + b.total_points());
+    }
+}

@@ -1,0 +1,292 @@
+//! Trace serialization: JSON-lines and a compact binary format.
+//!
+//! JSON-lines is the interchange/inspection format (one snapshot per line,
+//! greppable, diff-able); the binary format is for large parameter sweeps
+//! where trace I/O would otherwise dominate. Both roundtrip exactly.
+
+use crate::trace::{HierarchyTrace, Snapshot, TraceMeta};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use samr_geom::{Point2, Rect2};
+use samr_grid::{GridHierarchy, Level};
+use std::io::{self, BufRead, Write};
+
+/// Magic bytes of the binary format.
+const MAGIC: &[u8; 8] = b"SAMRTRC1";
+
+/// Errors from trace deserialization.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// JSON (de)serialization failure.
+    Json(serde_json::Error),
+    /// Structural problem in the encoded data.
+    Format(String),
+}
+
+impl std::fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "trace I/O error: {e}"),
+            Self::Json(e) => write!(f, "trace JSON error: {e}"),
+            Self::Format(m) => write!(f, "trace format error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {}
+
+impl From<io::Error> for TraceIoError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for TraceIoError {
+    fn from(e: serde_json::Error) -> Self {
+        Self::Json(e)
+    }
+}
+
+/// Write a trace as JSON-lines: the first line is the metadata, every
+/// following line one snapshot.
+pub fn write_jsonl<W: Write>(trace: &HierarchyTrace, mut w: W) -> Result<(), TraceIoError> {
+    serde_json::to_writer(&mut w, &trace.meta)?;
+    w.write_all(b"\n")?;
+    for s in &trace.snapshots {
+        serde_json::to_writer(&mut w, s)?;
+        w.write_all(b"\n")?;
+    }
+    Ok(())
+}
+
+/// Read a JSON-lines trace written by [`write_jsonl`].
+pub fn read_jsonl<R: BufRead>(r: R) -> Result<HierarchyTrace, TraceIoError> {
+    let mut lines = r.lines();
+    let meta_line = lines
+        .next()
+        .ok_or_else(|| TraceIoError::Format("empty trace stream".into()))??;
+    let meta: TraceMeta = serde_json::from_str(&meta_line)?;
+    let mut trace = HierarchyTrace::new(meta);
+    for line in lines {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let snap: Snapshot = serde_json::from_str(&line)?;
+        trace.try_push(snap).map_err(TraceIoError::Format)?;
+    }
+    Ok(trace)
+}
+
+/// Encode a trace into the compact binary format.
+pub fn encode_binary(trace: &HierarchyTrace) -> Bytes {
+    let mut buf = BytesMut::with_capacity(1 << 16);
+    buf.put_slice(MAGIC);
+    let meta_json = serde_json::to_vec(&trace.meta).expect("meta serializes");
+    buf.put_u32_le(meta_json.len() as u32);
+    buf.put_slice(&meta_json);
+    buf.put_u32_le(trace.snapshots.len() as u32);
+    for s in &trace.snapshots {
+        buf.put_u32_le(s.step);
+        buf.put_f64_le(s.time);
+        put_rect(&mut buf, &s.hierarchy.base_domain);
+        buf.put_u8(s.hierarchy.ratio as u8);
+        buf.put_u16_le(s.hierarchy.levels.len() as u16);
+        for level in &s.hierarchy.levels {
+            buf.put_u32_le(level.patches.len() as u32);
+            for p in &level.patches {
+                put_rect(&mut buf, &p.rect);
+            }
+        }
+    }
+    buf.freeze()
+}
+
+/// Decode a binary trace produced by [`encode_binary`].
+pub fn decode_binary(mut data: Bytes) -> Result<HierarchyTrace, TraceIoError> {
+    let need = |data: &Bytes, n: usize| -> Result<(), TraceIoError> {
+        if data.remaining() < n {
+            Err(TraceIoError::Format(format!(
+                "truncated trace: need {n} more bytes, have {}",
+                data.remaining()
+            )))
+        } else {
+            Ok(())
+        }
+    };
+    need(&data, 8)?;
+    let mut magic = [0u8; 8];
+    data.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(TraceIoError::Format("bad magic".into()));
+    }
+    need(&data, 4)?;
+    let meta_len = data.get_u32_le() as usize;
+    need(&data, meta_len)?;
+    let meta_json = data.split_to(meta_len);
+    let meta: TraceMeta = serde_json::from_slice(&meta_json)?;
+    let mut trace = HierarchyTrace::new(meta);
+    need(&data, 4)?;
+    let n_snaps = data.get_u32_le();
+    for _ in 0..n_snaps {
+        need(&data, 4 + 8)?;
+        let step = data.get_u32_le();
+        let time = data.get_f64_le();
+        let base = get_rect(&mut data, &need)?;
+        need(&data, 3)?;
+        let ratio = data.get_u8() as i64;
+        if !(2..=16).contains(&ratio) {
+            return Err(TraceIoError::Format(format!(
+                "implausible refinement ratio {ratio}"
+            )));
+        }
+        let n_levels = data.get_u16_le() as usize;
+        if n_levels > 32 {
+            return Err(TraceIoError::Format(format!(
+                "implausible level count {n_levels}"
+            )));
+        }
+        let mut level_rects: Vec<Vec<Rect2>> = Vec::with_capacity(n_levels);
+        for _ in 0..n_levels {
+            need(&data, 4)?;
+            let n_patches = data.get_u32_le() as usize;
+            // Bound the allocation by the bytes actually present: each
+            // patch needs 16 bytes, so a hostile count fails here instead
+            // of reserving gigabytes.
+            need(&data, n_patches.saturating_mul(16))?;
+            let mut rects = Vec::with_capacity(n_patches);
+            for _ in 0..n_patches {
+                rects.push(get_rect(&mut data, &need)?);
+            }
+            level_rects.push(rects);
+        }
+        let hierarchy = GridHierarchy {
+            base_domain: base,
+            ratio,
+            levels: level_rects.iter().map(|r| Level::from_rects(r)).collect(),
+        };
+        trace
+            .try_push(Snapshot {
+                step,
+                time,
+                hierarchy,
+            })
+            .map_err(TraceIoError::Format)?;
+    }
+    Ok(trace)
+}
+
+fn put_rect(buf: &mut BytesMut, r: &Rect2) {
+    buf.put_i32_le(r.lo().x as i32);
+    buf.put_i32_le(r.lo().y as i32);
+    buf.put_i32_le(r.hi().x as i32);
+    buf.put_i32_le(r.hi().y as i32);
+}
+
+fn get_rect(
+    data: &mut Bytes,
+    need: &impl Fn(&Bytes, usize) -> Result<(), TraceIoError>,
+) -> Result<Rect2, TraceIoError> {
+    need(data, 16)?;
+    let x0 = data.get_i32_le() as i64;
+    let y0 = data.get_i32_le() as i64;
+    let x1 = data.get_i32_le() as i64;
+    let y1 = data.get_i32_le() as i64;
+    Rect2::try_new(Point2::new(x0, y0), Point2::new(x1, y1))
+        .ok_or_else(|| TraceIoError::Format(format!("empty rect [{x0},{y0}]..[{x1},{y1}]")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> HierarchyTrace {
+        let meta = TraceMeta {
+            app: "TEST".into(),
+            description: "io roundtrip".into(),
+            base_domain: Rect2::from_extents(16, 16),
+            ratio: 2,
+            max_levels: 5,
+            regrid_interval: 4,
+            min_block: 2,
+            seed: 7,
+        };
+        let mut t = HierarchyTrace::new(meta);
+        for step in 0..5u32 {
+            let off = step as i64;
+            let l1 = Rect2::from_coords(2 + off, 2 + off, 11 + off, 11 + off);
+            let l2 = l1.refine(2).shrink(4).unwrap();
+            t.push(Snapshot {
+                step,
+                time: step as f64 * 0.25,
+                hierarchy: GridHierarchy::from_level_rects(
+                    Rect2::from_extents(16, 16),
+                    2,
+                    &[vec![], vec![l1], vec![l2]],
+                ),
+            });
+        }
+        t
+    }
+
+    #[test]
+    fn jsonl_roundtrip() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_jsonl(&t, &mut buf).unwrap();
+        let back = read_jsonl(io::BufReader::new(&buf[..])).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn jsonl_is_line_oriented() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_jsonl(&t, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), 1 + t.len());
+        assert!(text.lines().next().unwrap().contains("\"app\":\"TEST\""));
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let t = sample_trace();
+        let bytes = encode_binary(&t);
+        let back = decode_binary(bytes).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn binary_is_much_smaller_than_json() {
+        let t = sample_trace();
+        let mut json = Vec::new();
+        write_jsonl(&t, &mut json).unwrap();
+        let bin = encode_binary(&t);
+        assert!(bin.len() * 2 < json.len(), "{} vs {}", bin.len(), json.len());
+    }
+
+    #[test]
+    fn decode_rejects_bad_magic() {
+        let err = decode_binary(Bytes::from_static(b"NOTMAGIC....")).unwrap_err();
+        assert!(matches!(err, TraceIoError::Format(_)));
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let t = sample_trace();
+        let bytes = encode_binary(&t);
+        for cut in [3usize, 9, 20, bytes.len() - 5] {
+            let err = decode_binary(bytes.slice(..cut)).unwrap_err();
+            assert!(
+                matches!(err, TraceIoError::Format(_) | TraceIoError::Json(_)),
+                "cut at {cut} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_stream_is_an_error() {
+        assert!(read_jsonl(io::BufReader::new(&b""[..])).is_err());
+    }
+}

@@ -1,0 +1,24 @@
+//! # samr-trace — grid-hierarchy traces
+//!
+//! The paper's entire validation methodology is *trace-driven* (§5.1.3):
+//! an application execution trace captures the state of the SAMR grid
+//! hierarchy at every regrid step, **independent of any partitioning**, and
+//! is then consumed twice — once by the model (producing `β_m`, `β_c` per
+//! step) and once by the partitioner + execution simulator (producing the
+//! actual relative migration and communication). This crate is that trace:
+//!
+//! - [`Snapshot`]: the hierarchy at one coarse time step;
+//! - [`HierarchyTrace`]: the full sequence plus run metadata;
+//! - [`io`]: JSON-lines (human-inspectable) and compact binary
+//!   serialization;
+//! - [`TraceStats`]: aggregate descriptors of a trace (size dynamics,
+//!   depth usage) used by the experiment harness.
+
+#![warn(missing_docs)]
+
+pub mod io;
+pub mod stats;
+pub mod trace;
+
+pub use stats::TraceStats;
+pub use trace::{HierarchyTrace, Snapshot, TraceMeta};

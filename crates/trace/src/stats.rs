@@ -1,0 +1,146 @@
+//! Aggregate statistics of a trace.
+
+use crate::trace::HierarchyTrace;
+use serde::{Deserialize, Serialize};
+
+/// Summary of the size dynamics of a trace — the quantities the paper's
+/// §4.2 discussion of "absolute importance" revolves around (grid size
+/// doubling/halving between steps, local minima vs. peaks).
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Number of snapshots.
+    pub steps: usize,
+    /// Smallest `|H_t|` over the trace.
+    pub min_points: u64,
+    /// Largest `|H_t|` over the trace.
+    pub max_points: u64,
+    /// Mean `|H_t|`.
+    pub mean_points: f64,
+    /// Largest step-to-step growth ratio `|H_t| / |H_{t-1}|`.
+    pub max_growth: f64,
+    /// Largest step-to-step shrink ratio `|H_{t-1}| / |H_t|`.
+    pub max_shrink: f64,
+    /// Maximum hierarchy depth used anywhere in the trace.
+    pub max_depth: usize,
+    /// Mean number of patches per snapshot (levels >= 1).
+    pub mean_patches: f64,
+}
+
+impl TraceStats {
+    /// Compute statistics over a non-empty trace.
+    pub fn compute(trace: &HierarchyTrace) -> Self {
+        assert!(!trace.is_empty(), "cannot summarize an empty trace");
+        let points: Vec<u64> = trace
+            .snapshots
+            .iter()
+            .map(|s| s.hierarchy.total_points())
+            .collect();
+        let mut max_growth = 1.0f64;
+        let mut max_shrink = 1.0f64;
+        for w in points.windows(2) {
+            let (a, b) = (w[0] as f64, w[1] as f64);
+            if a > 0.0 {
+                max_growth = max_growth.max(b / a);
+            }
+            if b > 0.0 {
+                max_shrink = max_shrink.max(a / b);
+            }
+        }
+        let patch_counts: Vec<usize> = trace
+            .snapshots
+            .iter()
+            .map(|s| {
+                s.hierarchy
+                    .levels
+                    .iter()
+                    .skip(1)
+                    .map(|l| l.patch_count())
+                    .sum()
+            })
+            .collect();
+        Self {
+            steps: trace.len(),
+            min_points: *points.iter().min().unwrap(),
+            max_points: *points.iter().max().unwrap(),
+            mean_points: points.iter().sum::<u64>() as f64 / points.len() as f64,
+            max_growth,
+            max_shrink,
+            max_depth: trace
+                .snapshots
+                .iter()
+                .map(|s| s.hierarchy.depth())
+                .max()
+                .unwrap(),
+            mean_patches: patch_counts.iter().sum::<usize>() as f64 / patch_counts.len() as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{Snapshot, TraceMeta};
+    use samr_geom::Rect2;
+    use samr_grid::GridHierarchy;
+
+    fn build() -> HierarchyTrace {
+        let meta = TraceMeta {
+            app: "TEST".into(),
+            description: String::new(),
+            base_domain: Rect2::from_extents(16, 16),
+            ratio: 2,
+            max_levels: 5,
+            regrid_interval: 4,
+            min_block: 2,
+            seed: 0,
+        };
+        let mut t = HierarchyTrace::new(meta);
+        let sizes: [Option<Rect2>; 4] = [
+            None,
+            Some(Rect2::from_coords(0, 0, 15, 15)),
+            Some(Rect2::from_coords(0, 0, 7, 7)),
+            None,
+        ];
+        for (i, l1) in sizes.iter().enumerate() {
+            let rects = match l1 {
+                Some(r) => vec![vec![], vec![*r]],
+                None => vec![vec![]],
+            };
+            t.push(Snapshot {
+                step: i as u32,
+                time: i as f64,
+                hierarchy: GridHierarchy::from_level_rects(Rect2::from_extents(16, 16), 2, &rects),
+            });
+        }
+        t
+    }
+
+    #[test]
+    fn stats_capture_extremes() {
+        let s = TraceStats::compute(&build());
+        assert_eq!(s.steps, 4);
+        assert_eq!(s.min_points, 256);
+        assert_eq!(s.max_points, 256 + 256);
+        assert_eq!(s.max_depth, 2);
+        // 256 -> 512 doubles; 512 -> 320 shrinks; 320 -> 256 shrinks.
+        assert!((s.max_growth - 2.0).abs() < 1e-12);
+        assert!(s.max_shrink > 1.5);
+        assert!((s.mean_patches - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_trace_panics() {
+        let meta = TraceMeta {
+            app: "T".into(),
+            description: String::new(),
+            base_domain: Rect2::from_extents(4, 4),
+            ratio: 2,
+            max_levels: 2,
+            regrid_interval: 4,
+            min_block: 2,
+            seed: 0,
+        };
+        let _ = TraceStats::compute(&HierarchyTrace::new(meta));
+    }
+}

@@ -1,0 +1,192 @@
+//! Trace container types.
+
+use samr_geom::Rect2;
+use samr_grid::GridHierarchy;
+use serde::{Deserialize, Serialize};
+
+/// Metadata describing how a trace was produced — the paper's §5.1.1
+/// experimental configuration.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct TraceMeta {
+    /// Application kernel name (e.g. "BL2D").
+    pub app: String,
+    /// Free-text description of the scenario.
+    pub description: String,
+    /// Base-grid domain (level 0 index space).
+    pub base_domain: Rect2,
+    /// Space/time refinement factor between levels (paper: 2).
+    pub ratio: i64,
+    /// Maximum number of levels (paper: 5).
+    pub max_levels: usize,
+    /// Regrid interval in local steps per level (paper: 4).
+    pub regrid_interval: u32,
+    /// Minimum block dimension / granularity (paper: 2).
+    pub min_block: i64,
+    /// RNG seed used by the generator, for exact reproducibility.
+    pub seed: u64,
+}
+
+/// The grid hierarchy at one coarse time step.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Coarse time-step index (0-based).
+    pub step: u32,
+    /// Physical simulation time of the snapshot.
+    pub time: f64,
+    /// The (unpartitioned) grid hierarchy.
+    pub hierarchy: GridHierarchy,
+}
+
+/// A sequence of hierarchy snapshots, one per coarse time step.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct HierarchyTrace {
+    /// Run configuration.
+    pub meta: TraceMeta,
+    /// Snapshots ordered by `step`.
+    pub snapshots: Vec<Snapshot>,
+}
+
+impl HierarchyTrace {
+    /// Create an empty trace with the given metadata.
+    pub fn new(meta: TraceMeta) -> Self {
+        Self {
+            meta,
+            snapshots: Vec::new(),
+        }
+    }
+
+    /// Number of snapshots.
+    pub fn len(&self) -> usize {
+        self.snapshots.len()
+    }
+
+    /// `true` if the trace has no snapshots.
+    pub fn is_empty(&self) -> bool {
+        self.snapshots.is_empty()
+    }
+
+    /// Append a snapshot; panics if steps are not strictly increasing or
+    /// the hierarchy violates its structural invariants (the trace is the
+    /// contract between the generator and both consumers, so it is
+    /// validated at the boundary). Deserializers, which handle untrusted
+    /// bytes, use [`HierarchyTrace::try_push`] instead.
+    pub fn push(&mut self, snap: Snapshot) {
+        self.try_push(snap)
+            .unwrap_or_else(|e| panic!("invalid snapshot: {e}"));
+    }
+
+    /// Fallible variant of [`HierarchyTrace::push`]: returns an error
+    /// instead of panicking when the snapshot is malformed.
+    pub fn try_push(&mut self, snap: Snapshot) -> Result<(), String> {
+        if let Some(last) = self.snapshots.last() {
+            if snap.step <= last.step {
+                return Err(format!(
+                    "trace steps must be strictly increasing: {} after {}",
+                    snap.step, last.step
+                ));
+            }
+        }
+        snap.hierarchy
+            .validate(self.meta.min_block)
+            .map_err(|e| format!("invalid hierarchy at step {}: {e}", snap.step))?;
+        self.snapshots.push(snap);
+        Ok(())
+    }
+
+    /// Iterate over consecutive snapshot pairs `(H_{t-1}, H_t)` — the unit
+    /// the paper's β_m and relative migration are defined on.
+    pub fn pairs(&self) -> impl Iterator<Item = (&Snapshot, &Snapshot)> + '_ {
+        self.snapshots.windows(2).map(|w| (&w[0], &w[1]))
+    }
+
+    /// The hierarchy at snapshot index `i`.
+    pub fn hierarchy(&self, i: usize) -> &GridHierarchy {
+        &self.snapshots[i].hierarchy
+    }
+
+    /// The largest `|H_t|` over the *first* `upto + 1` snapshots — the
+    /// paper's §4.3 normalizer ("the largest grid encountered so far").
+    pub fn max_points_so_far(&self, upto: usize) -> u64 {
+        self.snapshots[..=upto]
+            .iter()
+            .map(|s| s.hierarchy.total_points())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn meta() -> TraceMeta {
+        TraceMeta {
+            app: "TEST".into(),
+            description: "unit-test trace".into(),
+            base_domain: Rect2::from_extents(16, 16),
+            ratio: 2,
+            max_levels: 5,
+            regrid_interval: 4,
+            min_block: 2,
+            seed: 42,
+        }
+    }
+
+    fn snap(step: u32, rects: Vec<Vec<Rect2>>) -> Snapshot {
+        Snapshot {
+            step,
+            time: step as f64 * 0.1,
+            hierarchy: GridHierarchy::from_level_rects(Rect2::from_extents(16, 16), 2, &rects),
+        }
+    }
+
+    #[test]
+    fn push_and_iterate_pairs() {
+        let mut t = HierarchyTrace::new(meta());
+        t.push(snap(0, vec![vec![]]));
+        t.push(snap(1, vec![vec![], vec![Rect2::from_coords(4, 4, 11, 11)]]));
+        t.push(snap(2, vec![vec![], vec![Rect2::from_coords(6, 6, 13, 13)]]));
+        assert_eq!(t.len(), 3);
+        let pairs: Vec<_> = t.pairs().collect();
+        assert_eq!(pairs.len(), 2);
+        assert_eq!(pairs[0].0.step, 0);
+        assert_eq!(pairs[1].1.step, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn push_rejects_non_monotone_steps() {
+        let mut t = HierarchyTrace::new(meta());
+        t.push(snap(1, vec![vec![]]));
+        t.push(snap(1, vec![vec![]]));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid hierarchy")]
+    fn push_rejects_invalid_hierarchy() {
+        let mut t = HierarchyTrace::new(meta());
+        // Overlapping level-1 patches.
+        t.push(snap(
+            0,
+            vec![
+                vec![],
+                vec![
+                    Rect2::from_coords(4, 4, 11, 11),
+                    Rect2::from_coords(10, 10, 13, 13),
+                ],
+            ],
+        ));
+    }
+
+    #[test]
+    fn max_points_so_far_is_running_max() {
+        let mut t = HierarchyTrace::new(meta());
+        t.push(snap(0, vec![vec![], vec![Rect2::from_coords(0, 0, 15, 15)]]));
+        t.push(snap(1, vec![vec![]]));
+        t.push(snap(2, vec![vec![], vec![Rect2::from_coords(0, 0, 7, 7)]]));
+        let p0 = t.hierarchy(0).total_points();
+        assert_eq!(t.max_points_so_far(0), p0);
+        assert_eq!(t.max_points_so_far(1), p0);
+        assert_eq!(t.max_points_so_far(2), p0);
+    }
+}

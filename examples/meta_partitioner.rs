@@ -1,0 +1,62 @@
+//! META1 experiment: static vs. dynamic partitioner selection.
+//!
+//! The paper's motivation (Figure 1, §3) and the ArMADA proof of concept:
+//! a static partitioner choice leaves execution time on the table; "even
+//! with such a simple model, execution times were reduced". This example
+//! runs every application trace under each static partitioner family and
+//! under the adaptive meta-partitioner, on three machine models
+//! (balanced, communication-starved, compute-bound), and reports total
+//! estimated execution times.
+
+use samr::apps::AppKind;
+use samr::experiments::{cached_trace, configs};
+use samr::meta::compare_on_trace;
+use samr::sim::{MachineModel, SimConfig};
+
+fn main() {
+    let reduced = std::env::args().any(|a| a == "--reduced");
+    let cfg = if reduced {
+        configs::reduced()
+    } else {
+        configs::paper()
+    };
+    let machines = [
+        ("balanced", MachineModel::default()),
+        ("slow-network", MachineModel::slow_network()),
+        ("slow-cpu", MachineModel::slow_cpu()),
+    ];
+    println!("app,machine,partitioner,total_time,mean_imbalance,mean_rel_comm,mean_rel_migration");
+    for kind in AppKind::ALL {
+        let trace = cached_trace(kind, &cfg);
+        for (mname, machine) in &machines {
+            let sim_cfg = SimConfig {
+                machine: *machine,
+                ..SimConfig::default()
+            };
+            let res = compare_on_trace(&trace, &sim_cfg);
+            for r in res
+                .static_runs
+                .iter()
+                .chain([&res.octant_run, &res.meta_run])
+            {
+                println!(
+                    "{},{},{},{:.0},{:.3},{:.4},{:.4}",
+                    kind.name(),
+                    mname,
+                    r.name,
+                    r.total_time,
+                    r.mean_imbalance,
+                    r.mean_rel_comm,
+                    r.mean_rel_migration
+                );
+            }
+            eprintln!(
+                "{} on {}: meta/best-static = {:.3}, meta/worst-static = {:.3}",
+                kind.name(),
+                mname,
+                res.meta_vs_best(),
+                res.meta_vs_worst()
+            );
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! Quickstart: generate a BL2D trace, run the model, print penalties.
+use samr::apps::{generate_trace, AppKind, TraceGenConfig};
+use samr::model::ModelPipeline;
+
+fn main() {
+    let trace = generate_trace(AppKind::Bl2d, &TraceGenConfig::smoke());
+    let states = ModelPipeline::new().run(&trace);
+    println!("step  beta_l  beta_c  beta_m   d1    d2    d3");
+    for s in &states {
+        println!(
+            "{:4}  {:.4}  {:.4}  {:.4}  {:.2}  {:.2}  {:.2}",
+            s.step, s.beta_l, s.beta_c, s.beta_m, s.point.d1, s.point.d2, s.point.d3
+        );
+    }
+}

@@ -1,0 +1,228 @@
+//! `samr` — command-line front end for the SAMR meta-partitioner
+//! reproduction.
+//!
+//! ```text
+//! samr generate <app> [--config paper|reduced|smoke] [--seed N] [--binary] [--out FILE]
+//! samr analyze  <trace-file>
+//! samr simulate <trace-file> [--partitioner NAME] [--nprocs N]
+//! samr compare  <trace-file> [--nprocs N]
+//! samr apps
+//! ```
+//!
+//! `generate` runs an application kernel and writes its hierarchy trace
+//! (JSON-lines by default, compact binary with `--binary`); `analyze`
+//! runs the paper's model over a trace and prints the per-step penalties;
+//! `simulate` partitions every snapshot and prints the measured per-step
+//! metrics; `compare` runs the META1 static-vs-dynamic comparison.
+
+use samr::apps::{generate_trace, AppKind, TraceGenConfig};
+use samr::meta::compare_on_trace;
+use samr::model::ModelPipeline;
+use samr::partition::{
+    DomainSfcPartitioner, HybridPartitioner, PatchPartitioner, Partitioner,
+};
+use samr::sim::{simulate_trace, SimConfig};
+use samr::trace::io::{decode_binary, encode_binary, read_jsonl, write_jsonl};
+use samr::trace::HierarchyTrace;
+use std::fs::File;
+use std::io::{BufReader, Read, Write};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  samr generate <app> [--config paper|reduced|smoke] [--seed N] [--binary] [--out FILE]\n  samr analyze  <trace-file>\n  samr simulate <trace-file> [--partitioner domain|patch|hybrid] [--nprocs N]\n  samr compare  <trace-file> [--nprocs N]\n  samr apps"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_app(name: &str) -> Option<AppKind> {
+    match name.to_ascii_uppercase().as_str() {
+        "TP2D" => Some(AppKind::Tp2d),
+        "BL2D" => Some(AppKind::Bl2d),
+        "SC2D" => Some(AppKind::Sc2d),
+        "RM2D" => Some(AppKind::Rm2d),
+        _ => None,
+    }
+}
+
+/// Value of `--flag V` in `args`, if present.
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+fn load_trace(path: &str) -> Result<HierarchyTrace, String> {
+    let mut file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    let mut head = [0u8; 8];
+    let n = file.read(&mut head).map_err(|e| format!("read {path}: {e}"))?;
+    let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    if n == 8 && &head == b"SAMRTRC1" {
+        let mut bytes = Vec::new();
+        BufReader::new(file)
+            .read_to_end(&mut bytes)
+            .map_err(|e| format!("read {path}: {e}"))?;
+        decode_binary(bytes.into()).map_err(|e| format!("decode {path}: {e}"))
+    } else {
+        read_jsonl(BufReader::new(file)).map_err(|e| format!("parse {path}: {e}"))
+    }
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let app = args
+        .first()
+        .and_then(|a| parse_app(a))
+        .ok_or("expected an application: TP2D | BL2D | SC2D | RM2D")?;
+    let mut cfg = match flag_value(args, "--config").as_deref() {
+        None | Some("paper") => TraceGenConfig::paper(),
+        Some("reduced") => samr::experiments::configs::reduced(),
+        Some("smoke") => TraceGenConfig::smoke(),
+        Some(other) => return Err(format!("unknown config '{other}'")),
+    };
+    if let Some(seed) = flag_value(args, "--seed") {
+        cfg.seed = seed.parse().map_err(|e| format!("bad seed: {e}"))?;
+    }
+    eprintln!(
+        "generating {} trace: {} steps, base {:?}, {} levels …",
+        app.name(),
+        cfg.steps,
+        cfg.base_cells,
+        cfg.max_levels
+    );
+    let trace = generate_trace(app, &cfg);
+    let out = flag_value(args, "--out")
+        .unwrap_or_else(|| format!("{}.trace", app.name().to_lowercase()));
+    let mut file = File::create(&out).map_err(|e| format!("create {out}: {e}"))?;
+    if has_flag(args, "--binary") {
+        file.write_all(&encode_binary(&trace))
+            .map_err(|e| format!("write {out}: {e}"))?;
+    } else {
+        write_jsonl(&trace, &mut file).map_err(|e| format!("write {out}: {e}"))?;
+    }
+    eprintln!("wrote {} snapshots to {out}", trace.len());
+    Ok(())
+}
+
+fn cmd_analyze(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("expected a trace file")?;
+    let trace = load_trace(path)?;
+    let states = ModelPipeline::new().run(&trace);
+    println!("step,beta_l,beta_c,beta_m,d1,d2,d3,request,offer,points,workload");
+    for (s, snap) in states.iter().zip(&trace.snapshots) {
+        println!(
+            "{},{:.6},{:.6},{:.6},{:.4},{:.4},{:.4},{:.4},{:.4},{},{}",
+            s.step,
+            s.beta_l,
+            s.beta_c,
+            s.beta_m,
+            s.point.d1,
+            s.point.d2,
+            s.point.d3,
+            s.tradeoff2.request,
+            s.tradeoff2.offer,
+            snap.hierarchy.total_points(),
+            snap.hierarchy.workload()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_simulate(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("expected a trace file")?;
+    let trace = load_trace(path)?;
+    let nprocs: usize = flag_value(args, "--nprocs")
+        .map(|v| v.parse().map_err(|e| format!("bad nprocs: {e}")))
+        .transpose()?
+        .unwrap_or(16);
+    let partitioner: Box<dyn Partitioner + Sync> =
+        match flag_value(args, "--partitioner").as_deref() {
+            None | Some("hybrid") => Box::new(HybridPartitioner::default()),
+            Some("domain") => Box::new(DomainSfcPartitioner::default()),
+            Some("patch") => Box::new(PatchPartitioner::default()),
+            Some(other) => return Err(format!("unknown partitioner '{other}'")),
+        };
+    let cfg = SimConfig {
+        nprocs,
+        ..SimConfig::default()
+    };
+    let res = simulate_trace(&trace, partitioner.as_ref(), &cfg);
+    println!("# partitioner: {} on {} processors", res.partitioner, nprocs);
+    println!("step,load_imbalance,rel_comm,rel_migration,comm_cells,migration_cells,step_time");
+    for s in &res.steps {
+        println!(
+            "{},{:.6},{:.6},{:.6},{},{},{:.1}",
+            s.step, s.load_imbalance, s.rel_comm, s.rel_migration, s.comm_cells,
+            s.migration_cells, s.step_time
+        );
+    }
+    eprintln!("total estimated execution time: {:.0}", res.total_time);
+    Ok(())
+}
+
+fn cmd_compare(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("expected a trace file")?;
+    let trace = load_trace(path)?;
+    let nprocs: usize = flag_value(args, "--nprocs")
+        .map(|v| v.parse().map_err(|e| format!("bad nprocs: {e}")))
+        .transpose()?
+        .unwrap_or(16);
+    let cfg = SimConfig {
+        nprocs,
+        ..SimConfig::default()
+    };
+    let res = compare_on_trace(&trace, &cfg);
+    println!("partitioner,total_time,mean_imbalance,mean_rel_comm,mean_rel_migration");
+    for r in res
+        .static_runs
+        .iter()
+        .chain([&res.octant_run, &res.meta_run])
+    {
+        println!(
+            "{},{:.0},{:.4},{:.4},{:.4}",
+            r.name, r.total_time, r.mean_imbalance, r.mean_rel_comm, r.mean_rel_migration
+        );
+    }
+    eprintln!(
+        "meta vs best static: {:.3}; meta vs worst static: {:.3}",
+        res.meta_vs_best(),
+        res.meta_vs_worst()
+    );
+    Ok(())
+}
+
+fn cmd_apps() -> Result<(), String> {
+    let cfg = TraceGenConfig::paper();
+    println!("app,description");
+    for kind in AppKind::ALL {
+        let kernel = samr::apps::tracegen::make_kernel(kind, &cfg);
+        println!("{},{}", kind.name(), kernel.description());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    let rest = &args[1..];
+    let result = match cmd.as_str() {
+        "generate" => cmd_generate(rest),
+        "analyze" => cmd_analyze(rest),
+        "simulate" => cmd_simulate(rest),
+        "compare" => cmd_compare(rest),
+        "apps" => cmd_apps(),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Cross-crate integration: the full trace → model / trace → partition →
+//! simulate pipeline holds its invariants for every application kernel
+//! and every partitioner family.
+
+use samr::apps::{generate_trace, AppKind, TraceGenConfig};
+use samr::experiments::cached_trace;
+use samr::model::ModelPipeline;
+use samr::partition::{
+    validate_partition, DomainSfcPartitioner, HybridPartitioner, PatchPartitioner, Partitioner,
+};
+use samr::sim::{simulate_trace, SimConfig};
+
+fn partitioners() -> Vec<Box<dyn Partitioner + Sync>> {
+    vec![
+        Box::new(DomainSfcPartitioner::default()),
+        Box::new(PatchPartitioner::default()),
+        Box::new(HybridPartitioner::default()),
+    ]
+}
+
+#[test]
+fn every_app_produces_valid_hierarchies() {
+    let cfg = TraceGenConfig::smoke();
+    for kind in AppKind::ALL {
+        let trace = cached_trace(kind, &cfg);
+        assert_eq!(trace.len(), cfg.steps as usize, "{}", kind.name());
+        for snap in &trace.snapshots {
+            snap.hierarchy
+                .validate(cfg.min_block)
+                .unwrap_or_else(|e| panic!("{} step {}: {e}", kind.name(), snap.step));
+            assert!(snap.hierarchy.depth() <= cfg.max_levels);
+        }
+    }
+}
+
+#[test]
+fn every_partitioner_tiles_every_snapshot() {
+    let cfg = TraceGenConfig::smoke();
+    for kind in AppKind::ALL {
+        let trace = cached_trace(kind, &cfg);
+        for p in partitioners() {
+            for nprocs in [3, 16] {
+                for snap in trace.snapshots.iter().step_by(3) {
+                    let part = p.partition(&snap.hierarchy, nprocs);
+                    validate_partition(&snap.hierarchy, &part).unwrap_or_else(|e| {
+                        panic!(
+                            "{} {} nprocs={nprocs} step {}: {e}",
+                            kind.name(),
+                            p.name(),
+                            snap.step
+                        )
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn simulation_is_deterministic_across_thread_counts() {
+    // The simulator parallelizes over snapshots; results must not depend
+    // on scheduling. Run twice and compare bit-for-bit.
+    let trace = cached_trace(AppKind::Sc2d, &TraceGenConfig::smoke());
+    let cfg = SimConfig {
+        nprocs: 8,
+        ..SimConfig::default()
+    };
+    let p = HybridPartitioner::default();
+    let a = simulate_trace(&trace, &p, &cfg);
+    let b = simulate_trace(&trace, &p, &cfg);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn trace_generation_is_reproducible() {
+    let cfg = TraceGenConfig::smoke();
+    let a = generate_trace(AppKind::Rm2d, &cfg);
+    let b = generate_trace(AppKind::Rm2d, &cfg);
+    assert_eq!(a, b);
+    // A different seed genuinely changes the trace.
+    let c = generate_trace(
+        AppKind::Rm2d,
+        &TraceGenConfig {
+            seed: cfg.seed + 1,
+            ..cfg
+        },
+    );
+    assert_ne!(a, c);
+}
+
+#[test]
+fn model_runs_on_every_trace_and_is_pure() {
+    let cfg = TraceGenConfig::smoke();
+    for kind in AppKind::ALL {
+        let trace = cached_trace(kind, &cfg);
+        let p = ModelPipeline::new();
+        let a = p.run(&trace);
+        let b = p.run(&trace);
+        assert_eq!(a, b, "{}", kind.name());
+        assert_eq!(a.len(), trace.len());
+    }
+}
+
+#[test]
+fn domain_based_never_pays_inter_level_comm() {
+    use samr::sim::comm::inter_level_comm;
+    let cfg = TraceGenConfig::smoke();
+    let p = DomainSfcPartitioner::default();
+    for kind in AppKind::ALL {
+        let trace = cached_trace(kind, &cfg);
+        for snap in trace.snapshots.iter().step_by(4) {
+            let part = p.partition(&snap.hierarchy, 8);
+            assert_eq!(
+                inter_level_comm(&snap.hierarchy, &part),
+                0,
+                "{} step {}",
+                kind.name(),
+                snap.step
+            );
+        }
+    }
+}
+
+#[test]
+fn workload_conservation_across_partitions() {
+    // Whatever the partitioner, per-processor loads sum to the hierarchy
+    // workload — no cells lost or duplicated.
+    let cfg = TraceGenConfig::smoke();
+    let trace = cached_trace(AppKind::Tp2d, &cfg);
+    for p in partitioners() {
+        for snap in trace.snapshots.iter().step_by(3) {
+            let part = p.partition(&snap.hierarchy, 7);
+            let loads = part.loads(snap.hierarchy.ratio);
+            assert_eq!(
+                loads.iter().sum::<u64>(),
+                snap.hierarchy.workload(),
+                "{} step {}",
+                p.name(),
+                snap.step
+            );
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests on the model invariants over randomly generated
+//! hierarchies and hierarchy pairs.
+
+use proptest::prelude::*;
+use samr::geom::{Point2, Rect2};
+use samr::grid::{GridHierarchy, Level};
+use samr::model::tradeoff1::{beta_c, beta_l, dimension1};
+use samr::model::tradeoff3::{beta_m, beta_m_with, hierarchy_overlap, BetaMDenominator};
+use samr::partition::{validate_partition, DomainSfcPartitioner, HybridPartitioner, Partitioner};
+
+/// Strategy: a random properly-nested 2-3 level hierarchy on a 32x32
+/// base. Level-1 boxes are sampled in base coordinates and refined so
+/// nesting holds by construction.
+fn arb_hierarchy() -> impl Strategy<Value = GridHierarchy> {
+    // Up to 3 disjoint level-1 footprint boxes in base space.
+    let footprint = prop::collection::vec((0i64..24, 0i64..24, 2i64..8, 2i64..8), 1..4);
+    (footprint, any::<bool>()).prop_map(|(boxes, deep)| {
+        // Make the base-space boxes disjoint by snapping them into
+        // disjoint quadrant slots when they collide.
+        let mut placed: Vec<Rect2> = Vec::new();
+        for (x, y, w, h) in boxes {
+            let cand = Rect2::new(
+                Point2::new(x, y),
+                Point2::new((x + w).min(31), (y + h).min(31)),
+            );
+            if placed.iter().all(|p| !p.intersects(&cand)) {
+                placed.push(cand);
+            }
+        }
+        if placed.is_empty() {
+            placed.push(Rect2::from_coords(4, 4, 9, 9));
+        }
+        let level1: Vec<Rect2> = placed.iter().map(|b| b.refine(2)).collect();
+        let mut levels = vec![vec![], level1];
+        if deep {
+            // Level 2 nested inside the first level-1 patch.
+            let inner = placed[0].refine(2);
+            if let Some(shrunk) = inner.shrink(1) {
+                if shrunk.extent().x >= 2 && shrunk.extent().y >= 2 {
+                    levels.push(vec![shrunk.refine(2)]);
+                }
+            }
+        }
+        GridHierarchy::from_level_rects(Rect2::from_extents(32, 32), 2, &levels)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn generated_hierarchies_are_valid(h in arb_hierarchy()) {
+        prop_assert!(h.validate(2).is_ok());
+    }
+
+    #[test]
+    fn beta_m_is_zero_iff_identical(h in arb_hierarchy()) {
+        prop_assert_eq!(beta_m(&h, &h.clone()), 0.0);
+    }
+
+    #[test]
+    fn beta_m_bounds_and_symmetric_overlap(a in arb_hierarchy(), b in arb_hierarchy()) {
+        let v = beta_m(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&v));
+        prop_assert_eq!(hierarchy_overlap(&a, &b), hierarchy_overlap(&b, &a));
+        // Denominator relation: same overlap, so the penalty with the
+        // smaller denominator is the larger one (before clamping).
+        let cur = beta_m_with(&a, &b, BetaMDenominator::Current);
+        let prev = beta_m_with(&a, &b, BetaMDenominator::Previous);
+        if b.total_points() >= a.total_points() {
+            prop_assert!(cur >= prev - 1e-12);
+        } else {
+            prop_assert!(cur <= prev + 1e-12);
+        }
+    }
+
+    #[test]
+    fn translation_increases_beta_m(h in arb_hierarchy(), d in 1i64..6) {
+        // Shifting all refined patches strictly reduces overlap, so β_m
+        // must not decrease.
+        let mut moved = h.clone();
+        for level in moved.levels.iter_mut().skip(1) {
+            let shifted: Vec<Rect2> = level
+                .patches
+                .iter()
+                .map(|p| p.rect.translate(Point2::new(d * 2, 0)))
+                .collect();
+            *level = Level::from_rects(&shifted);
+        }
+        // The shift may push patches outside the domain: skip those
+        // cases (validate would fail).
+        prop_assume!(moved.validate(1).is_ok());
+        let same = beta_m(&h, &h.clone());
+        let shifted = beta_m(&h, &moved);
+        prop_assert!(shifted >= same);
+    }
+
+    #[test]
+    fn penalties_always_in_range(h in arb_hierarchy()) {
+        let c = beta_c(&h, 16);
+        let l = beta_l(&h, 2, 16);
+        prop_assert!((0.0..=1.0).contains(&c));
+        prop_assert!((0.0..=1.0).contains(&l));
+        let d1 = dimension1(l, c);
+        prop_assert!((0.0..=1.0).contains(&d1));
+    }
+
+    #[test]
+    fn partitioners_tile_random_hierarchies(h in arb_hierarchy(), nprocs in 1usize..12) {
+        let sfc = DomainSfcPartitioner::default().partition(&h, nprocs);
+        prop_assert_eq!(validate_partition(&h, &sfc), Ok(()));
+        let hybrid = HybridPartitioner::default().partition(&h, nprocs);
+        prop_assert_eq!(validate_partition(&h, &hybrid), Ok(()));
+        // Loads conserve the workload.
+        prop_assert_eq!(sfc.loads(2).iter().sum::<u64>(), h.workload());
+        prop_assert_eq!(hybrid.loads(2).iter().sum::<u64>(), h.workload());
+    }
+
+    #[test]
+    fn beta_c_monotone_in_processors(h in arb_hierarchy(), p in 2usize..64) {
+        prop_assert!(beta_c(&h, p * 2) >= beta_c(&h, p) - 1e-12);
+    }
+}

@@ -1,0 +1,56 @@
+//! Trace serialization round-trips on real application traces, and the
+//! model is invariant under serialization (the §5.1 methodology depends
+//! on traces being a faithful interchange format).
+
+use samr::apps::{AppKind, TraceGenConfig};
+use samr::experiments::cached_trace;
+use samr::model::ModelPipeline;
+use samr::trace::io::{decode_binary, encode_binary, read_jsonl, write_jsonl};
+
+#[test]
+fn jsonl_roundtrip_on_real_traces() {
+    let cfg = TraceGenConfig::smoke();
+    for kind in AppKind::ALL {
+        let trace = cached_trace(kind, &cfg);
+        let mut buf = Vec::new();
+        write_jsonl(&trace, &mut buf).unwrap();
+        let back = read_jsonl(std::io::BufReader::new(&buf[..])).unwrap();
+        assert_eq!(*trace, back, "{}", kind.name());
+    }
+}
+
+#[test]
+fn binary_roundtrip_on_real_traces() {
+    let cfg = TraceGenConfig::smoke();
+    for kind in AppKind::ALL {
+        let trace = cached_trace(kind, &cfg);
+        let bytes = encode_binary(&trace);
+        let back = decode_binary(bytes).unwrap();
+        assert_eq!(*trace, back, "{}", kind.name());
+    }
+}
+
+#[test]
+fn model_is_invariant_under_serialization() {
+    let cfg = TraceGenConfig::smoke();
+    let trace = cached_trace(AppKind::Bl2d, &cfg);
+    let direct = ModelPipeline::new().run(&trace);
+    let roundtripped = decode_binary(encode_binary(&trace)).unwrap();
+    let indirect = ModelPipeline::new().run(&roundtripped);
+    assert_eq!(direct, indirect);
+}
+
+#[test]
+fn binary_is_compact() {
+    let cfg = TraceGenConfig::smoke();
+    let trace = cached_trace(AppKind::Sc2d, &cfg);
+    let mut json = Vec::new();
+    write_jsonl(&trace, &mut json).unwrap();
+    let bin = encode_binary(&trace);
+    assert!(
+        bin.len() * 3 < json.len(),
+        "binary {} vs jsonl {}",
+        bin.len(),
+        json.len()
+    );
+}
