@@ -98,7 +98,7 @@ pub fn par_rows(out: &mut Grid2<f64>, f: impl Fn(i64, i64) -> f64 + Sync) {
     }
     let data = out.data_mut();
     let rows_per = ny.div_ceil(threads);
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         let mut rest = data;
         let mut y0 = domain.lo().y;
         for _ in 0..threads {
@@ -110,7 +110,7 @@ pub fn par_rows(out: &mut Grid2<f64>, f: impl Fn(i64, i64) -> f64 + Sync) {
             rest = tail;
             let fy0 = y0;
             let fref = &f;
-            s.spawn(move |_| {
+            s.spawn(move || {
                 for (r, chunk) in band.chunks_mut(nx).enumerate() {
                     let y = fy0 + r as i64;
                     for (i, v) in chunk.iter_mut().enumerate() {
@@ -120,8 +120,7 @@ pub fn par_rows(out: &mut Grid2<f64>, f: impl Fn(i64, i64) -> f64 + Sync) {
             });
             y0 += band_rows as i64;
         }
-    })
-    .expect("row sweep worker panicked");
+    });
 }
 
 /// Allocate a zero field over `[0,nx-1] x [0,ny-1]`.
@@ -161,7 +160,7 @@ pub fn par_rows_n<const N: usize>(
     }
     let rows_per = ny.div_ceil(threads);
     let mut rests: Vec<&mut [f64]> = outs.into_iter().map(|g| g.data_mut()).collect();
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         let mut y0 = domain.lo().y;
         while y0 <= domain.hi().y {
             let band_rows = rows_per.min((domain.hi().y - y0 + 1) as usize);
@@ -174,7 +173,7 @@ pub fn par_rows_n<const N: usize>(
             }
             let fy0 = y0;
             let fref = &f;
-            s.spawn(move |_| {
+            s.spawn(move || {
                 for r in 0..band_rows {
                     let y = fy0 + r as i64;
                     for i in 0..nx {
@@ -187,8 +186,7 @@ pub fn par_rows_n<const N: usize>(
             });
             y0 += band_rows as i64;
         }
-    })
-    .expect("multi-field row sweep worker panicked");
+    });
 }
 
 #[cfg(test)]
@@ -267,9 +265,7 @@ mod tests {
     fn par_rows_n_matches_componentwise() {
         let mut a = zeros(48, 48);
         let mut b = zeros(48, 48);
-        par_rows_n([&mut a, &mut b], |x, y| {
-            [(x + y) as f64, (x * y) as f64]
-        });
+        par_rows_n([&mut a, &mut b], |x, y| [(x + y) as f64, (x * y) as f64]);
         let ea = Grid2::from_fn(Rect2::from_extents(48, 48), |p| (p.x + p.y) as f64);
         let eb = Grid2::from_fn(Rect2::from_extents(48, 48), |p| (p.x * p.y) as f64);
         assert_eq!(a, ea);

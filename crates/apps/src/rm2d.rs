@@ -369,7 +369,10 @@ mod tests {
             k.advance_coarse_step();
         }
         let e1 = k.total_energy();
-        assert!(((e1 - e0) / e0).abs() < 1e-10, "energy drifted: {e0} -> {e1}");
+        assert!(
+            ((e1 - e0) / e0).abs() < 1e-10,
+            "energy drifted: {e0} -> {e1}"
+        );
     }
 
     #[test]

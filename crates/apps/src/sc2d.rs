@@ -161,8 +161,8 @@ impl Kernel for Sc2d {
                         0.0
                     }
                 };
-                let lap = at(x + 1, y) + at(x - 1, y) + at(x, y + 1) + at(x, y - 1)
-                    - 4.0 * at(x, y);
+                let lap =
+                    at(x + 1, y) + at(x - 1, y) + at(x, y + 1) + at(x, y - 1) - 4.0 * at(x, y);
                 2.0 * at(x, y) - clamped(u_prev, x, y) + r2 * lap
             });
             // Rotate: prev <- u <- next.

@@ -18,9 +18,10 @@ use samr_geom::{Point2, Rect2};
 use samr_grid::nesting::{clip_to_nesting, shrink_within};
 use samr_grid::{cluster_flags, ClusterOptions, FlagField, GridHierarchy, Level};
 use samr_trace::{HierarchyTrace, Snapshot, TraceMeta};
+use serde::{Deserialize, Serialize};
 
 /// Which of the paper's four applications to run.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
 pub enum AppKind {
     /// 2-D transport benchmark (GrACE).
     Tp2d,
@@ -46,10 +47,23 @@ impl AppKind {
             AppKind::Rm2d => "RM2D",
         }
     }
+
+    /// Parse a kernel name, case-insensitively ("rm2d", "BL2D", ...).
+    /// The single name registry shared by the CLI and the campaign
+    /// engine.
+    pub fn parse(name: &str) -> Option<Self> {
+        match name.to_ascii_uppercase().as_str() {
+            "TP2D" => Some(AppKind::Tp2d),
+            "BL2D" => Some(AppKind::Bl2d),
+            "SC2D" => Some(AppKind::Sc2d),
+            "RM2D" => Some(AppKind::Rm2d),
+            _ => None,
+        }
+    }
 }
 
 /// Configuration for trace generation.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct TraceGenConfig {
     /// Number of coarse time steps (paper: 100).
     pub steps: u32,
@@ -123,7 +137,7 @@ impl TraceGenConfig {
     /// (regridding level `l` rebuilds all levels above it too); `None` when
     /// nothing is scheduled.
     pub fn scheduled_level(&self, t: u32) -> Option<usize> {
-        (1..self.max_levels).find(|&l| t % self.regrid_period(l) == 0)
+        (1..self.max_levels).find(|&l| t.is_multiple_of(self.regrid_period(l)))
     }
 }
 

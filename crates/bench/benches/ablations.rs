@@ -28,11 +28,7 @@ use std::sync::Once;
 /// ABL1: the β_m denominator.
 fn ablation_bm_denominator(c: &mut Criterion) {
     let trace = bench_trace(AppKind::Sc2d);
-    let sim = simulate_trace(
-        &trace,
-        &HybridPartitioner::default(),
-        &SimConfig::default(),
-    );
+    let sim = simulate_trace(&trace, &HybridPartitioner::default(), &SimConfig::default());
     let measured: Vec<f64> = sim.steps.iter().skip(1).map(|s| s.rel_migration).collect();
     let once = Once::new();
     c.bench_function("ablation_bm_denominator", |b| {

@@ -1,19 +1,21 @@
 //! Figure-regeneration benches: one group per data figure of the paper.
 //!
-//! Each bench runs the figure's full analysis pipeline (model + partition
-//! + execution simulation) over the shared cached trace and prints the
-//! resulting series summary once, so `cargo bench` both regenerates the
-//! paper's rows and measures the cost of producing them. Trace generation
-//! itself is excluded from the measured region (it is the substrate, not
-//! the contribution) and is benchmarked separately in `kernels`.
+//! Each bench runs the figure's full analysis pipeline (model, partition,
+//! execution simulation) through `samr-engine` over the shared cached
+//! trace and prints the resulting series summary once, so `cargo bench`
+//! both regenerates the paper's rows and measures the cost of producing
+//! them. The `campaign_sweep` bench measures the engine's rayon-parallel
+//! sweep itself. Trace generation is excluded from the measured regions
+//! (it is the substrate, not the contribution) and is benchmarked
+//! separately in `kernels`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use samr::apps::AppKind;
-use samr::experiments::{configs, ValidationRun};
+use samr::engine::{configs, Campaign, CampaignSpec, PartitionerSpec, ValidationRun};
 use samr::meta::compare_on_trace;
 use samr::model::ModelPipeline;
 use samr::sim::SimConfig;
-use samr_bench::bench_trace;
+use samr_bench::{bench_config, bench_trace};
 use std::sync::Once;
 
 fn validation_figure(c: &mut Criterion, id: &str, kind: AppKind) {
@@ -135,6 +137,27 @@ fn meta_vs_static(c: &mut Criterion) {
     });
 }
 
+/// The engine's sweep itself: a 4-app × 2-partitioner campaign over the
+/// warm trace store, rayon-parallel over scenarios.
+fn campaign_sweep(c: &mut Criterion) {
+    // Warm the shared store so only partition + simulate is measured.
+    for kind in AppKind::ALL {
+        bench_trace(kind);
+    }
+    let spec = CampaignSpec::new(bench_config()).partitioners([
+        PartitionerSpec::parse("hybrid").expect("registry name"),
+        PartitionerSpec::parse("domain-sfc").expect("registry name"),
+    ]);
+    let once = Once::new();
+    c.bench_function("campaign_sweep_4x2", |b| {
+        b.iter(|| {
+            let outcomes = Campaign::run(&spec);
+            once.call_once(|| println!("\ncampaign: {} scenarios per iteration\n", outcomes.len()));
+            std::hint::black_box(outcomes.len())
+        })
+    });
+}
+
 fn configure() -> Criterion {
     Criterion::default().sample_size(10)
 }
@@ -143,6 +166,7 @@ criterion_group! {
     name = figures;
     config = configure();
     targets = fig1_bl2d_dynamics, fig3_state_locus, fig4_rm2d, fig5_bl2d,
-              fig6_sc2d, fig7_tp2d, qual_shape_stats, meta_vs_static
+              fig6_sc2d, fig7_tp2d, qual_shape_stats, meta_vs_static,
+              campaign_sweep
 }
 criterion_main!(figures);

@@ -33,9 +33,7 @@ fn box_algebra(c: &mut Criterion) {
         b.iter(|| boxops::pairwise_overlap_cells(&rects, &rects))
     });
     let small = random_rects(64, 9);
-    g.bench_function("disjointify_64", |b| {
-        b.iter(|| boxops::disjointify(&small))
-    });
+    g.bench_function("disjointify_64", |b| b.iter(|| boxops::disjointify(&small)));
     g.bench_function("region_union_2x64", |b| {
         let a = Region::from_boxes(&small);
         let other = Region::from_boxes(&random_rects(64, 11));

@@ -6,9 +6,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use samr_apps::AppKind;
 use samr_bench::representative_hierarchy;
-use samr_partition::{
-    DomainSfcPartitioner, HybridPartitioner, PatchPartitioner, Partitioner,
-};
+use samr_partition::{DomainSfcPartitioner, HybridPartitioner, Partitioner, PatchPartitioner};
 use std::sync::Once;
 
 fn partitioner_families(c: &mut Criterion) {

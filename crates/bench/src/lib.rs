@@ -3,8 +3,9 @@
 //! The actual benchmarks live in `benches/`:
 //!
 //! - `figures`: one group per data figure of the paper (Figures 1, 3
-//!   right, 4–7) — each bench runs the regeneration pipeline on the
-//!   shared cached trace and prints the series summary once;
+//!   right, 4–7) — each bench runs the `samr-engine` regeneration
+//!   pipeline on the shared cached trace and prints the series summary
+//!   once, plus a whole-campaign sweep bench;
 //! - `kernels`: micro-benchmarks of the hot computational kernels (box
 //!   intersection, region algebra, SFC keys, Berger–Rigoutsos, β_m);
 //! - `partitioners`: the three partitioner families on representative
@@ -14,8 +15,8 @@
 //!
 //! This crate body only hosts shared helpers.
 
-use samr::experiments::cached_trace;
 use samr_apps::{AppKind, TraceGenConfig};
+use samr_engine::cached_trace;
 use samr_grid::GridHierarchy;
 use samr_trace::HierarchyTrace;
 use std::sync::Arc;
@@ -23,7 +24,7 @@ use std::sync::Arc;
 /// The benchmark trace configuration: the reduced experiment config (the
 /// full paper config is run by the examples; benches favour wall-clock).
 pub fn bench_config() -> TraceGenConfig {
-    samr::experiments::configs::reduced()
+    samr_engine::configs::reduced()
 }
 
 /// Cached trace for benchmarking.

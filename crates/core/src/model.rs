@@ -109,11 +109,7 @@ impl ModelPipeline {
             let bm = if i == 0 {
                 0.0
             } else {
-                beta_m_with(
-                    trace.hierarchy(i - 1),
-                    h,
-                    self.config.denominator.into(),
-                )
+                beta_m_with(trace.hierarchy(i - 1), h, self.config.denominator.into())
             };
             let t2q = t2.observe(
                 snap.time,
@@ -146,13 +142,21 @@ impl ModelPipeline {
 /// Convenience: the β_m series of a trace (the model side of the
 /// Figures 4–7 right panels).
 pub fn beta_m_series(trace: &HierarchyTrace) -> Vec<f64> {
-    ModelPipeline::new().run(trace).iter().map(|s| s.beta_m).collect()
+    ModelPipeline::new()
+        .run(trace)
+        .iter()
+        .map(|s| s.beta_m)
+        .collect()
 }
 
 /// Convenience: the β_c series of a trace (the model side of the
 /// Figures 4–7 left panels).
 pub fn beta_c_series(trace: &HierarchyTrace) -> Vec<f64> {
-    ModelPipeline::new().run(trace).iter().map(|s| s.beta_c).collect()
+    ModelPipeline::new()
+        .run(trace)
+        .iter()
+        .map(|s| s.beta_c)
+        .collect()
 }
 
 #[cfg(test)]

@@ -229,7 +229,12 @@ mod tests {
         let compact = h(&[vec![], vec![r(20, 20, 43, 43)]]);
         let scattered = h(&[
             vec![],
-            vec![r(0, 0, 7, 7), r(56, 0, 63, 7), r(0, 56, 7, 63), r(56, 56, 63, 63)],
+            vec![
+                r(0, 0, 7, 7),
+                r(56, 0, 63, 7),
+                r(0, 56, 7, 63),
+                r(56, 56, 63, 63),
+            ],
         ]);
         let mut c = ArmadaClassifier::new();
         c.classify(None, &compact);

@@ -136,11 +136,8 @@ mod tests {
                 }
             }
         }
-        let fragmented = GridHierarchy::from_level_rects(
-            Rect2::from_extents(32, 32),
-            2,
-            &[vec![], tiles],
-        );
+        let fragmented =
+            GridHierarchy::from_level_rects(Rect2::from_extents(32, 32), 2, &[vec![], tiles]);
         assert!(beta_c(&fragmented, 16) > beta_c(&compact, 16) + 0.1);
     }
 

@@ -56,11 +56,7 @@ pub fn beta_m(prev: &GridHierarchy, cur: &GridHierarchy) -> f64 {
 }
 
 /// β_m with an explicit denominator choice (for the ablation).
-pub fn beta_m_with(
-    prev: &GridHierarchy,
-    cur: &GridHierarchy,
-    denom: BetaMDenominator,
-) -> f64 {
+pub fn beta_m_with(prev: &GridHierarchy, cur: &GridHierarchy, denom: BetaMDenominator) -> f64 {
     let overlap = hierarchy_overlap(prev, cur) as f64;
     let d = match denom {
         BetaMDenominator::Current => cur.total_points(),

@@ -1,0 +1,275 @@
+//! Cartesian campaign expansion and rayon-parallel execution.
+
+use crate::scenario::{Scenario, ScenarioOutcome};
+use crate::spec::PartitionerSpec;
+use crate::store::cached_model;
+use rayon::prelude::*;
+use samr_apps::{AppKind, TraceGenConfig};
+use samr_sim::{MachineModel, SimConfig};
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+
+/// A declarative sweep: the cartesian product of applications,
+/// partitioner specifications, processor counts and ghost widths over
+/// one trace configuration and machine model.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CampaignSpec {
+    /// Applications to sweep.
+    pub apps: Vec<AppKind>,
+    /// Partitioner specifications to sweep.
+    pub partitioners: Vec<PartitionerSpec>,
+    /// Processor counts to sweep.
+    pub nprocs: Vec<usize>,
+    /// Ghost-cell widths to sweep.
+    pub ghost_widths: Vec<i64>,
+    /// Trace-generation configuration shared by every scenario.
+    pub trace: TraceGenConfig,
+    /// Machine cost model shared by every scenario.
+    pub machine: MachineModel,
+    /// Reuse the previous distribution on unchanged hierarchies (the
+    /// paper's set-up; see [`SimConfig::reuse_unchanged`]).
+    pub reuse_unchanged: bool,
+}
+
+impl CampaignSpec {
+    /// A campaign over all four applications with the default hybrid
+    /// partitioner, 16 processors and ghost width 1; extend with the
+    /// builder methods.
+    pub fn new(trace: TraceGenConfig) -> Self {
+        Self {
+            apps: AppKind::ALL.to_vec(),
+            partitioners: vec![PartitionerSpec::parse("hybrid").expect("registry name")],
+            nprocs: vec![16],
+            ghost_widths: vec![1],
+            trace,
+            machine: MachineModel::default(),
+            reuse_unchanged: true,
+        }
+    }
+
+    /// Replace the application axis (duplicates dropped, order kept).
+    pub fn apps(mut self, apps: impl IntoIterator<Item = AppKind>) -> Self {
+        self.apps = dedup_axis(apps);
+        self
+    }
+
+    /// Replace the partitioner axis (duplicates dropped, order kept).
+    pub fn partitioners(mut self, specs: impl IntoIterator<Item = PartitionerSpec>) -> Self {
+        self.partitioners = dedup_axis(specs);
+        self
+    }
+
+    /// Replace the processor-count axis (duplicates dropped, order
+    /// kept).
+    pub fn nprocs(mut self, nprocs: impl IntoIterator<Item = usize>) -> Self {
+        self.nprocs = dedup_axis(nprocs);
+        self
+    }
+
+    /// Replace the ghost-width axis (duplicates dropped, order kept).
+    pub fn ghost_widths(mut self, widths: impl IntoIterator<Item = i64>) -> Self {
+        self.ghost_widths = dedup_axis(widths);
+        self
+    }
+
+    /// Replace the machine model.
+    pub fn machine(mut self, machine: MachineModel) -> Self {
+        self.machine = machine;
+        self
+    }
+
+    /// Number of scenarios the spec expands to.
+    pub fn len(&self) -> usize {
+        self.apps.len() * self.partitioners.len() * self.nprocs.len() * self.ghost_widths.len()
+    }
+
+    /// `true` when at least one axis is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Expand the cartesian product into concrete scenarios, in a
+    /// deterministic app-major order (apps, then partitioners, then
+    /// processor counts, then ghost widths).
+    pub fn scenarios(&self) -> Vec<Scenario> {
+        let mut out = Vec::with_capacity(self.len());
+        for &app in &self.apps {
+            for &partitioner in &self.partitioners {
+                for &nprocs in &self.nprocs {
+                    for &ghost_width in &self.ghost_widths {
+                        out.push(Scenario {
+                            app,
+                            trace: self.trace.clone(),
+                            partitioner,
+                            sim: SimConfig {
+                                nprocs,
+                                ghost_width,
+                                machine: self.machine,
+                                reuse_unchanged: self.reuse_unchanged,
+                            },
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Drop exact duplicates from a sweep axis, preserving first-appearance
+/// order (a repeated value would expand to identical scenarios whose
+/// artifacts overwrite each other).
+fn dedup_axis<T: PartialEq>(values: impl IntoIterator<Item = T>) -> Vec<T> {
+    let mut out: Vec<T> = Vec::new();
+    for v in values {
+        if !out.contains(&v) {
+            out.push(v);
+        }
+    }
+    out
+}
+
+/// The campaign runner.
+pub struct Campaign;
+
+impl Campaign {
+    /// Expand and execute a campaign spec, rayon-parallel over
+    /// scenarios, returning outcomes in scenario order.
+    ///
+    /// Traces and model series are generated once per application up
+    /// front (in parallel) and shared through the process-wide store, so
+    /// the scenario sweep itself is pure partition-and-simulate work.
+    pub fn run(spec: &CampaignSpec) -> Vec<ScenarioOutcome> {
+        if spec.is_empty() {
+            return Vec::new();
+        }
+        // Warm the store: one trace + model per distinct application.
+        spec.apps.par_iter().for_each(|&app| {
+            cached_model(app, &spec.trace);
+        });
+        let scenarios = spec.scenarios();
+        scenarios.par_iter().map(Scenario::run).collect()
+    }
+
+    /// Run a campaign and write one CSV (per-step series) and one JSON
+    /// summary per scenario into `dir`, returning the outcomes and the
+    /// paths written. File names are the scenario slugs.
+    pub fn run_to_dir(
+        spec: &CampaignSpec,
+        dir: &Path,
+    ) -> std::io::Result<(Vec<ScenarioOutcome>, Vec<PathBuf>)> {
+        let outcomes = Self::run(spec);
+        let mut paths = Vec::with_capacity(outcomes.len() * 2);
+        let mut used: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
+        std::fs::create_dir_all(dir)?;
+        for outcome in &outcomes {
+            // Slugs encode (app, partitioner family, nprocs, ghost); two
+            // same-family partitioners with different parameters share
+            // one — suffix repeats so no artifact silently overwrites
+            // another.
+            let base = outcome.scenario.slug();
+            let n = used.entry(base.clone()).or_insert(0);
+            *n += 1;
+            let slug = if *n == 1 { base } else { format!("{base}-{n}") };
+            let csv_path = dir.join(format!("{slug}.csv"));
+            std::fs::write(&csv_path, outcome.to_csv())?;
+            let json_path = dir.join(format!("{slug}.json"));
+            let json =
+                serde_json::to_string_pretty(&outcome.summary()).expect("summary serializes");
+            std::fs::write(&json_path, json)?;
+            paths.push(csv_path);
+            paths.push(json_path);
+        }
+        Ok((outcomes, paths))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expansion_is_the_full_cartesian_product() {
+        let spec = CampaignSpec::new(TraceGenConfig::smoke())
+            .apps([AppKind::Rm2d, AppKind::Bl2d])
+            .partitioners([
+                PartitionerSpec::parse("hybrid").unwrap(),
+                PartitionerSpec::parse("domain-sfc").unwrap(),
+                PartitionerSpec::parse("meta").unwrap(),
+            ])
+            .nprocs([8, 16])
+            .ghost_widths([1, 2]);
+        assert_eq!(spec.len(), 2 * 3 * 2 * 2);
+        let scenarios = spec.scenarios();
+        assert_eq!(scenarios.len(), spec.len());
+        // Every slug unique: the product has no duplicate cells.
+        let mut slugs: Vec<String> = scenarios.iter().map(Scenario::slug).collect();
+        slugs.sort();
+        slugs.dedup();
+        assert_eq!(slugs.len(), scenarios.len());
+        // Deterministic app-major ordering.
+        assert_eq!(scenarios[0].slug(), "rm2d_hybrid_p8_g1");
+        assert_eq!(scenarios[1].slug(), "rm2d_hybrid_p8_g2");
+        assert_eq!(scenarios[2].slug(), "rm2d_hybrid_p16_g1");
+    }
+
+    #[test]
+    fn empty_axis_means_empty_campaign() {
+        let spec = CampaignSpec::new(TraceGenConfig::smoke()).nprocs([]);
+        assert!(spec.is_empty());
+        assert!(Campaign::run(&spec).is_empty());
+    }
+
+    #[test]
+    fn repeated_axis_values_are_deduplicated() {
+        // `--nprocs 16,16` must not expand to colliding duplicate
+        // scenarios whose artifacts would overwrite each other.
+        let spec = CampaignSpec::new(TraceGenConfig::smoke())
+            .apps([AppKind::Tp2d, AppKind::Tp2d])
+            .nprocs([16, 16, 8]);
+        assert_eq!(spec.apps, vec![AppKind::Tp2d]);
+        assert_eq!(spec.nprocs, vec![16, 8]);
+        assert_eq!(spec.len(), 2);
+    }
+
+    #[test]
+    fn colliding_slugs_get_distinct_artifact_names() {
+        use samr_partition::{HybridParams, PartitionerChoice};
+        // Two hybrid configurations share the "hybrid" slug; artifacts
+        // must not silently overwrite each other.
+        let spec = CampaignSpec::new(TraceGenConfig::smoke())
+            .apps([AppKind::Tp2d])
+            .partitioners([
+                PartitionerSpec::Static(PartitionerChoice::hybrid()),
+                PartitionerSpec::Static(PartitionerChoice::Hybrid(HybridParams {
+                    fractional_blocking: true,
+                    ..HybridParams::default()
+                })),
+            ])
+            .nprocs([4]);
+        let dir = std::env::temp_dir().join(format!("samr-engine-slugs-{}", std::process::id()));
+        let (outcomes, paths) = Campaign::run_to_dir(&spec, &dir).unwrap();
+        assert_eq!(outcomes.len(), 2);
+        let names: Vec<String> = paths
+            .iter()
+            .map(|p| p.file_name().unwrap().to_string_lossy().into_owned())
+            .collect();
+        assert!(names.contains(&"tp2d_hybrid_p4_g1.csv".to_string()));
+        assert!(
+            names.contains(&"tp2d_hybrid_p4_g1-2.csv".to_string()),
+            "{names:?}"
+        );
+        for p in &paths {
+            assert!(p.exists());
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn spec_roundtrips_through_json() {
+        let spec = CampaignSpec::new(TraceGenConfig::smoke()).nprocs([4, 32]);
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: CampaignSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(spec, back);
+    }
+}

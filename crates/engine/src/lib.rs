@@ -1,0 +1,62 @@
+//! # samr-engine — the campaign engine
+//!
+//! The paper's contribution is a *pipeline*: application trace → penalty
+//! model → partitioner selection → execution simulation. Before this
+//! crate existed, that wiring was copy-pasted across the facade's
+//! experiment harness, six examples, four criterion benches and the
+//! `samr` CLI, each hard-coding one (app × partitioner × nprocs)
+//! combination. `samr-engine` makes the sweep itself a first-class,
+//! composable, statically described artifact:
+//!
+//! - [`Scenario`]: one fully described pipeline run — application kind,
+//!   trace configuration, partitioner specification and simulation
+//!   configuration — with serde round-tripping, so a scenario can be
+//!   stored, diffed and reproduced from its JSON description alone;
+//! - [`PartitionerSpec`]: the registry naming every configured
+//!   partitioner family (static choices via
+//!   [`samr_partition::PartitionerChoice`], plus the adaptive
+//!   meta-partitioner and the octant baseline), shared by the selector,
+//!   the benches and the CLI instead of three ad-hoc match blocks;
+//! - [`Campaign`]: expansion of cartesian sweeps (apps × partitioners ×
+//!   processor counts × ghost widths) into scenarios, rayon-parallel
+//!   execution over a shared [`store`] of generated traces and model
+//!   series, and per-scenario CSV/JSON artifacts;
+//! - [`ValidationRun`]: the paper's §5.1 figure-regeneration bundle
+//!   (Figures 4–7), now assembled from campaign scenario outcomes;
+//! - [`store`]: the process-wide trace/model cache, keyed by the **full**
+//!   trace configuration (the facade's old cache omitted `max_levels`
+//!   and the clustering options from its key, so two configurations
+//!   differing only there collided and returned the wrong trace).
+//!
+//! Every future scaling experiment — more applications, more partitioner
+//! configurations, distributed campaign sharding — plugs into
+//! [`Campaign`] rather than re-wiring the pipeline by hand.
+//!
+//! ## Example
+//!
+//! ```
+//! use samr_engine::{Campaign, CampaignSpec, PartitionerSpec};
+//! use samr_apps::{AppKind, TraceGenConfig};
+//!
+//! let spec = CampaignSpec::new(TraceGenConfig::smoke())
+//!     .apps([AppKind::Bl2d])
+//!     .partitioners([PartitionerSpec::parse("hybrid").unwrap()])
+//!     .nprocs([4]);
+//! let outcomes = Campaign::run(&spec);
+//! assert_eq!(outcomes.len(), 1);
+//! assert!(outcomes[0].to_csv().lines().count() > 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod scenario;
+pub mod spec;
+pub mod store;
+pub mod validation;
+
+pub use campaign::{Campaign, CampaignSpec};
+pub use scenario::{Scenario, ScenarioOutcome, ScenarioSummary};
+pub use spec::PartitionerSpec;
+pub use store::{cached_model, cached_trace};
+pub use validation::{configs, ShapeStats, ValidationRun};

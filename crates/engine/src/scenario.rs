@@ -1,0 +1,230 @@
+//! One fully described pipeline run and its measured outcome.
+
+use crate::spec::PartitionerSpec;
+use crate::store::{cached_model, cached_trace};
+use crate::validation::ShapeStats;
+use samr_apps::{AppKind, TraceGenConfig};
+use samr_core::ModelState;
+use samr_sim::{SimConfig, SimResult};
+use samr_trace::HierarchyTrace;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// A statically described experiment: everything needed to reproduce one
+/// trace → model → partition → simulate run. Serializable, so scenarios
+/// can be stored next to their artifacts and re-run from the description
+/// alone.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Which application kernel produces the trace.
+    pub app: AppKind,
+    /// Trace-generation configuration (steps, levels, clustering, seed).
+    pub trace: TraceGenConfig,
+    /// Which partitioner to run.
+    pub partitioner: PartitionerSpec,
+    /// Simulation configuration (processor count, ghost width, machine).
+    pub sim: SimConfig,
+}
+
+impl Scenario {
+    /// Stable slug identifying the scenario inside its campaign, used
+    /// for artifact file names: `bl2d_hybrid_p16_g1`.
+    pub fn slug(&self) -> String {
+        format!(
+            "{}_{}_p{}_g{}",
+            self.app.name().to_lowercase(),
+            self.partitioner.slug(),
+            self.sim.nprocs,
+            self.sim.ghost_width,
+        )
+    }
+
+    /// Execute the scenario against the shared trace/model store.
+    pub fn run(&self) -> ScenarioOutcome {
+        let trace = cached_trace(self.app, &self.trace);
+        let model = cached_model(self.app, &self.trace);
+        run_on_trace(self, &trace, model)
+    }
+}
+
+/// Execute a scenario on an explicit trace and model series (the shared
+/// path behind [`Scenario::run`] and the figure-regeneration bundle).
+///
+/// Static partitioners are simulated snapshot-parallel; stateful
+/// selectors (whose decisions depend on invocation order) run strictly
+/// sequentially. Both paths produce identical metrics for a static
+/// partitioner, so the choice is an execution detail, not a semantic
+/// one.
+pub(crate) fn run_on_trace(
+    scenario: &Scenario,
+    trace: &HierarchyTrace,
+    model: Arc<Vec<ModelState>>,
+) -> ScenarioOutcome {
+    let sim = scenario.partitioner.simulate(trace, &scenario.sim);
+    // Step 0 has neither a migration measurement nor a β_m (no previous
+    // hierarchy); shape statistics compare from step 1 on.
+    let beta_c: Vec<f64> = model.iter().skip(1).map(|s| s.beta_c).collect();
+    let beta_m: Vec<f64> = model.iter().skip(1).map(|s| s.beta_m).collect();
+    let rel_comm: Vec<f64> = sim.steps.iter().skip(1).map(|s| s.rel_comm).collect();
+    let rel_mig: Vec<f64> = sim.steps.iter().skip(1).map(|s| s.rel_migration).collect();
+    ScenarioOutcome {
+        comm_shape: ShapeStats::compare(&beta_c, &rel_comm),
+        migration_shape: ShapeStats::compare(&beta_m, &rel_mig),
+        scenario: scenario.clone(),
+        sim,
+        model,
+    }
+}
+
+/// The measured outcome of one scenario.
+#[derive(Clone, Debug)]
+pub struct ScenarioOutcome {
+    /// The scenario that produced this outcome.
+    pub scenario: Scenario,
+    /// Per-step simulation metrics under the scenario's partitioner.
+    pub sim: SimResult,
+    /// Per-step model states over the same trace (shared across the
+    /// scenarios of one application).
+    pub model: Arc<Vec<ModelState>>,
+    /// Shape statistics: β_c vs. measured relative communication.
+    pub comm_shape: ShapeStats,
+    /// Shape statistics: β_m vs. measured relative migration.
+    pub migration_shape: ShapeStats,
+}
+
+impl ScenarioOutcome {
+    /// Render the per-step series as CSV: model penalties next to the
+    /// measured metrics, one row per coarse step.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "step,beta_l,beta_c,beta_m,rel_comm,rel_migration,load_imbalance,comm_cells,migration_cells,step_time,total_points\n",
+        );
+        for (m, s) in self.model.iter().zip(&self.sim.steps) {
+            out.push_str(&format!(
+                "{},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{},{},{:.1},{}\n",
+                m.step,
+                m.beta_l,
+                m.beta_c,
+                m.beta_m,
+                s.rel_comm,
+                s.rel_migration,
+                s.load_imbalance,
+                s.comm_cells,
+                s.migration_cells,
+                s.step_time,
+                s.total_points,
+            ));
+        }
+        out
+    }
+
+    /// The serializable summary recorded as the scenario's JSON artifact.
+    pub fn summary(&self) -> ScenarioSummary {
+        let n = self.sim.steps.len().max(1) as f64;
+        ScenarioSummary {
+            scenario: self.scenario.clone(),
+            partitioner_name: self.sim.partitioner.clone(),
+            steps: self.sim.steps.len(),
+            total_time: self.sim.total_time,
+            mean_imbalance: self.sim.steps.iter().map(|s| s.load_imbalance).sum::<f64>() / n,
+            mean_rel_comm: self.sim.steps.iter().map(|s| s.rel_comm).sum::<f64>() / n,
+            mean_rel_migration: self.sim.steps.iter().map(|s| s.rel_migration).sum::<f64>() / n,
+            comm_shape: self.comm_shape,
+            migration_shape: self.migration_shape,
+        }
+    }
+
+    /// One-line human-readable digest (printed by the CLI).
+    pub fn digest(&self) -> String {
+        let s = self.summary();
+        format!(
+            "{:24} total_time={:10.0} imbalance={:.3} rel_comm={:.4} rel_mig={:.4} comm_r={:.3} mig_r={:.3}",
+            self.scenario.slug(),
+            s.total_time,
+            s.mean_imbalance,
+            s.mean_rel_comm,
+            s.mean_rel_migration,
+            s.comm_shape.correlation,
+            s.migration_shape.correlation,
+        )
+    }
+}
+
+/// Aggregate summary of a scenario outcome — the JSON artifact schema.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ScenarioSummary {
+    /// The scenario description (reproducible from this alone).
+    pub scenario: Scenario,
+    /// Full configured partitioner name.
+    pub partitioner_name: String,
+    /// Number of simulated coarse steps.
+    pub steps: usize,
+    /// Total estimated execution time (machine-model units).
+    pub total_time: f64,
+    /// Mean load imbalance over the run.
+    pub mean_imbalance: f64,
+    /// Mean grid-relative communication.
+    pub mean_rel_comm: f64,
+    /// Mean grid-relative migration.
+    pub mean_rel_migration: f64,
+    /// β_c vs. measured communication shape statistics.
+    pub comm_shape: ShapeStats,
+    /// β_m vs. measured migration shape statistics.
+    pub migration_shape: ShapeStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scenario() -> Scenario {
+        Scenario {
+            app: AppKind::Bl2d,
+            trace: TraceGenConfig::smoke(),
+            partitioner: PartitionerSpec::parse("hybrid").unwrap(),
+            sim: SimConfig {
+                nprocs: 4,
+                ..SimConfig::default()
+            },
+        }
+    }
+
+    #[test]
+    fn scenario_roundtrips_through_json() {
+        let s = scenario();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Scenario = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn slug_is_stable_and_file_safe() {
+        assert_eq!(scenario().slug(), "bl2d_hybrid_p4_g1");
+    }
+
+    #[test]
+    fn outcome_rows_match_trace_length() {
+        let out = scenario().run();
+        assert_eq!(out.sim.steps.len(), out.model.len());
+        // Header plus one row per step.
+        assert_eq!(out.to_csv().lines().count(), out.model.len() + 1);
+    }
+
+    #[test]
+    fn stateful_and_static_specs_both_run() {
+        let mut meta = scenario();
+        meta.partitioner = PartitionerSpec::Meta;
+        let out = meta.run();
+        assert!(out.sim.total_time > 0.0);
+        assert_eq!(out.sim.nprocs, 4);
+    }
+
+    #[test]
+    fn summary_roundtrips_through_json() {
+        let out = scenario().run();
+        let json = serde_json::to_string_pretty(&out.summary()).unwrap();
+        let back: ScenarioSummary = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.scenario, out.scenario);
+        assert_eq!(back.steps, out.sim.steps.len());
+    }
+}

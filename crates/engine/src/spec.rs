@@ -1,0 +1,162 @@
+//! The partitioner registry: every partitioner the engine can run, by
+//! name.
+//!
+//! A [`PartitionerSpec`] is the serializable *description* of a
+//! partitioner — either a static configured family
+//! ([`PartitionerChoice`]) or one of the dynamic selectors (the adaptive
+//! meta-partitioner, the octant-approach baseline). The CLI parses specs
+//! from names, campaigns sweep over them, and scenario artifacts record
+//! them, so one registry replaces the per-consumer match blocks the
+//! facade, benches and CLI used to carry.
+
+use samr_meta::compare::run_sequential;
+use samr_meta::{MetaPartitioner, OctantMetaPartitioner};
+use samr_partition::{Partitioner, PartitionerChoice};
+use samr_sim::{simulate_trace, MachineModel, SimConfig, SimResult};
+use samr_trace::HierarchyTrace;
+use serde::{Deserialize, Serialize};
+
+/// A named, serializable partitioner specification.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum PartitionerSpec {
+    /// A static configured choice (family + parameters).
+    Static(PartitionerChoice),
+    /// The adaptive meta-partitioner (continuous classification); its
+    /// selector thresholds are derived from the scenario's machine model.
+    Meta,
+    /// The octant-approach baseline (discrete classification).
+    OctantMeta,
+}
+
+impl PartitionerSpec {
+    /// Every name [`PartitionerSpec::parse`] accepts, with the spec it
+    /// produces — the registry the CLI help and campaign sweeps use.
+    pub fn registry() -> Vec<(&'static str, PartitionerSpec)> {
+        vec![
+            ("domain-sfc", Self::Static(PartitionerChoice::domain_sfc())),
+            ("patch", Self::Static(PartitionerChoice::patch())),
+            ("hybrid", Self::Static(PartitionerChoice::hybrid())),
+            ("meta", Self::Meta),
+            ("octant-meta", Self::OctantMeta),
+        ]
+    }
+
+    /// Parse a spec from its registry name (`domain-sfc` — alias
+    /// `domain` —, `patch`, `hybrid`, `meta`, `octant-meta`).
+    pub fn parse(name: &str) -> Result<Self, String> {
+        let canonical = match name {
+            "domain" => "domain-sfc",
+            other => other,
+        };
+        Self::registry()
+            .into_iter()
+            .find(|(n, _)| *n == canonical)
+            .map(|(_, s)| s)
+            .ok_or_else(|| {
+                let names: Vec<&str> = Self::registry().iter().map(|(n, _)| *n).collect();
+                format!(
+                    "unknown partitioner '{name}' (expected one of {})",
+                    names.join(", ")
+                )
+            })
+    }
+
+    /// The registry name (stable slug used in artifact file names).
+    pub fn slug(&self) -> &'static str {
+        match self {
+            Self::Static(c) => match c {
+                PartitionerChoice::DomainSfc(_) => "domain-sfc",
+                PartitionerChoice::Patch(_) => "patch",
+                PartitionerChoice::Hybrid(_) => "hybrid",
+            },
+            Self::Meta => "meta",
+            Self::OctantMeta => "octant-meta",
+        }
+    }
+
+    /// Full configured name (as reported in results).
+    pub fn name(&self, machine: &MachineModel) -> String {
+        self.build(machine).name()
+    }
+
+    /// `true` for dynamic selectors whose decisions depend on invocation
+    /// order; their scenarios are simulated sequentially, never
+    /// snapshot-parallel.
+    pub fn stateful(&self) -> bool {
+        matches!(self, Self::Meta | Self::OctantMeta)
+    }
+
+    /// Materialize the partitioner for a machine (the machine model is
+    /// the system component of the meta-partitioner's PAC triple).
+    pub fn build(&self, machine: &MachineModel) -> Box<dyn Partitioner + Send + Sync> {
+        match self {
+            Self::Static(choice) => choice.boxed(),
+            Self::Meta => Box::new(MetaPartitioner::for_machine(machine)),
+            Self::OctantMeta => Box::new(OctantMetaPartitioner::new()),
+        }
+    }
+
+    /// Simulate a trace under this spec: snapshot-parallel for static
+    /// choices, strictly sequential for stateful selectors. The single
+    /// simulate entry point shared by scenario execution and the CLI.
+    pub fn simulate(&self, trace: &HierarchyTrace, cfg: &SimConfig) -> SimResult {
+        let partitioner = self.build(&cfg.machine);
+        if self.stateful() {
+            let (steps, total_time) = run_sequential(trace, partitioner.as_ref(), cfg);
+            SimResult {
+                partitioner: partitioner.name(),
+                nprocs: cfg.nprocs,
+                steps,
+                total_time,
+            }
+        } else {
+            simulate_trace(trace, partitioner.as_ref(), cfg)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_registry_name_parses_to_itself() {
+        for (name, spec) in PartitionerSpec::registry() {
+            assert_eq!(PartitionerSpec::parse(name).unwrap(), spec);
+            assert_eq!(spec.slug(), name);
+        }
+    }
+
+    #[test]
+    fn domain_alias_parses() {
+        assert_eq!(
+            PartitionerSpec::parse("domain").unwrap(),
+            PartitionerSpec::Static(PartitionerChoice::domain_sfc())
+        );
+    }
+
+    #[test]
+    fn unknown_names_are_rejected_with_the_registry() {
+        let err = PartitionerSpec::parse("simd").unwrap_err();
+        assert!(
+            err.contains("hybrid") && err.contains("octant-meta"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn only_dynamic_selectors_are_stateful() {
+        assert!(PartitionerSpec::Meta.stateful());
+        assert!(PartitionerSpec::OctantMeta.stateful());
+        assert!(!PartitionerSpec::parse("hybrid").unwrap().stateful());
+    }
+
+    #[test]
+    fn specs_roundtrip_through_json() {
+        for (_, spec) in PartitionerSpec::registry() {
+            let json = serde_json::to_string(&spec).unwrap();
+            let back: PartitionerSpec = serde_json::from_str(&json).unwrap();
+            assert_eq!(spec, back, "{json}");
+        }
+    }
+}

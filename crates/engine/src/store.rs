@@ -1,0 +1,114 @@
+//! Process-wide trace and model-series store.
+//!
+//! Trace generation costs tens of seconds at paper scale, and every
+//! figure, test, bench and campaign scenario wants the same traces; the
+//! model series over a trace is likewise shared by every scenario that
+//! sweeps partitioners or processor counts over the same application.
+//! This module keeps both behind one cache.
+//!
+//! **Cache key correctness.** The key is the application kind plus the
+//! *entire* serialized [`TraceGenConfig`]. The facade's original cache
+//! keyed on `(kind, steps, base_cells, ref_resolution, seed)` only, so
+//! two configurations differing in `max_levels` (or any clustering
+//! option) collided and silently returned the wrong cached trace —
+//! e.g. a 3-level smoke config poisoned a later 5-level request with the
+//! same step count. Serializing the full config makes the key total over
+//! every field, including ones added later.
+
+use samr_apps::{generate_trace, AppKind, TraceGenConfig};
+use samr_core::{ModelPipeline, ModelState};
+use samr_trace::HierarchyTrace;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// The full-configuration cache key of a trace request.
+pub fn trace_key(kind: AppKind, cfg: &TraceGenConfig) -> String {
+    let cfg_json = serde_json::to_string(cfg).expect("TraceGenConfig serializes");
+    format!("{}:{cfg_json}", kind.name())
+}
+
+type TraceCache = Mutex<HashMap<String, Arc<HierarchyTrace>>>;
+type ModelCache = Mutex<HashMap<String, Arc<Vec<ModelState>>>>;
+
+fn trace_cache() -> &'static TraceCache {
+    static CACHE: OnceLock<TraceCache> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn model_cache() -> &'static ModelCache {
+    static CACHE: OnceLock<ModelCache> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Generate (or fetch from the process-wide cache) the trace of an
+/// application under a configuration.
+///
+/// Generation happens outside the cache lock, so concurrent campaign
+/// workers asking for *different* traces generate them in parallel;
+/// concurrent requests for the same key may race to generate, in which
+/// case the first inserted trace wins and the others are dropped (the
+/// generator is deterministic, so all candidates are identical anyway).
+pub fn cached_trace(kind: AppKind, cfg: &TraceGenConfig) -> Arc<HierarchyTrace> {
+    let key = trace_key(kind, cfg);
+    if let Some(t) = trace_cache().lock().unwrap().get(&key) {
+        return Arc::clone(t);
+    }
+    let trace = Arc::new(generate_trace(kind, cfg));
+    Arc::clone(trace_cache().lock().unwrap().entry(key).or_insert(trace))
+}
+
+/// The model series (per-step penalties and classification points) over
+/// the cached trace of an application — computed once per configuration
+/// and shared by every scenario sweeping partitioners over it.
+pub fn cached_model(kind: AppKind, cfg: &TraceGenConfig) -> Arc<Vec<ModelState>> {
+    let key = trace_key(kind, cfg);
+    if let Some(m) = model_cache().lock().unwrap().get(&key) {
+        return Arc::clone(m);
+    }
+    let trace = cached_trace(kind, cfg);
+    let model = Arc::new(ModelPipeline::new().run(&trace));
+    Arc::clone(model_cache().lock().unwrap().entry(key).or_insert(model))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_distinguishes_level_depth() {
+        // The regression the old tuple key had: identical in every keyed
+        // field, different `max_levels`.
+        let shallow = TraceGenConfig {
+            max_levels: 3,
+            ..TraceGenConfig::smoke()
+        };
+        let deep = TraceGenConfig {
+            max_levels: 5,
+            ..TraceGenConfig::smoke()
+        };
+        assert_ne!(
+            trace_key(AppKind::Bl2d, &shallow),
+            trace_key(AppKind::Bl2d, &deep)
+        );
+        let a = cached_trace(AppKind::Bl2d, &shallow);
+        let b = cached_trace(AppKind::Bl2d, &deep);
+        assert!(!Arc::ptr_eq(&a, &b), "distinct configs must not collide");
+    }
+
+    #[test]
+    fn same_config_hits_the_cache() {
+        let cfg = TraceGenConfig::smoke();
+        let a = cached_trace(AppKind::Tp2d, &cfg);
+        let b = cached_trace(AppKind::Tp2d, &cfg);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn model_series_matches_trace_length() {
+        let cfg = TraceGenConfig::smoke();
+        let trace = cached_trace(AppKind::Sc2d, &cfg);
+        let model = cached_model(AppKind::Sc2d, &cfg);
+        assert_eq!(model.len(), trace.len());
+        assert!(Arc::ptr_eq(&model, &cached_model(AppKind::Sc2d, &cfg)));
+    }
+}

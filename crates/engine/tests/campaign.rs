@@ -1,0 +1,103 @@
+//! Campaign engine integration: expansion, artifacts and — the load-
+//! bearing property — bit-level determinism of campaign artifacts across
+//! repeated runs and across thread counts.
+
+use samr_apps::{AppKind, TraceGenConfig};
+use samr_engine::{Campaign, CampaignSpec, PartitionerSpec, Scenario};
+
+fn two_by_two() -> CampaignSpec {
+    CampaignSpec::new(TraceGenConfig::smoke())
+        .apps([AppKind::Tp2d, AppKind::Sc2d])
+        .partitioners([
+            PartitionerSpec::parse("hybrid").unwrap(),
+            PartitionerSpec::parse("domain-sfc").unwrap(),
+        ])
+        .nprocs([8])
+}
+
+/// All scenario CSVs of one campaign run, concatenated in scenario
+/// order with their slugs (the exact bytes `Campaign::run_to_dir`
+/// writes).
+fn campaign_csv_bytes(spec: &CampaignSpec) -> String {
+    Campaign::run(spec)
+        .iter()
+        .map(|o| format!("# {}\n{}", o.scenario.slug(), o.to_csv()))
+        .collect()
+}
+
+#[test]
+fn campaign_csv_is_byte_identical_across_runs_and_thread_counts() {
+    let spec = two_by_two();
+    let baseline = campaign_csv_bytes(&spec);
+    assert!(!baseline.is_empty());
+
+    // Same process, second run: cache hits everywhere, same bytes.
+    assert_eq!(baseline, campaign_csv_bytes(&spec), "second run differed");
+
+    // Forced single-threaded and oversubscribed pools: partitioning and
+    // scenario sweeps must not let scheduling order leak into results.
+    for threads in [1usize, 4] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("pool");
+        let bytes = pool.install(|| campaign_csv_bytes(&spec));
+        assert_eq!(
+            baseline, bytes,
+            "thread count {threads} changed the artifacts"
+        );
+    }
+}
+
+#[test]
+fn expansion_count_matches_axes_product() {
+    let spec = two_by_two().nprocs([4, 8, 16]).ghost_widths([1, 2]);
+    assert_eq!(spec.len(), 2 * 2 * 3 * 2);
+    assert_eq!(Campaign::run(&spec).len(), spec.len());
+}
+
+#[test]
+fn scenarios_roundtrip_through_json_inside_a_campaign() {
+    for scenario in two_by_two().scenarios() {
+        let json = serde_json::to_string(&scenario).unwrap();
+        let back: Scenario = serde_json::from_str(&json).unwrap();
+        assert_eq!(scenario, back);
+        assert_eq!(scenario.slug(), back.slug());
+    }
+}
+
+#[test]
+fn run_to_dir_writes_one_csv_and_one_json_per_scenario() {
+    let dir = std::env::temp_dir().join(format!(
+        "samr-engine-test-{}-{}",
+        std::process::id(),
+        "artifacts"
+    ));
+    let spec = two_by_two();
+    let (outcomes, paths) = Campaign::run_to_dir(&spec, &dir).expect("write artifacts");
+    assert_eq!(outcomes.len(), spec.len());
+    assert_eq!(paths.len(), 2 * outcomes.len());
+    for outcome in &outcomes {
+        let slug = outcome.scenario.slug();
+        let csv = std::fs::read_to_string(dir.join(format!("{slug}.csv"))).unwrap();
+        assert_eq!(csv, outcome.to_csv());
+        let json = std::fs::read_to_string(dir.join(format!("{slug}.json"))).unwrap();
+        let summary: samr_engine::ScenarioSummary = serde_json::from_str(&json).unwrap();
+        assert_eq!(summary.scenario, outcome.scenario);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn dynamic_selectors_run_inside_campaigns() {
+    let spec = CampaignSpec::new(TraceGenConfig::smoke())
+        .apps([AppKind::Bl2d])
+        .partitioners([PartitionerSpec::Meta, PartitionerSpec::OctantMeta])
+        .nprocs([8]);
+    let outcomes = Campaign::run(&spec);
+    assert_eq!(outcomes.len(), 2);
+    for o in &outcomes {
+        assert!(o.sim.total_time > 0.0);
+        assert_eq!(o.sim.steps.len(), o.model.len());
+    }
+}

@@ -92,9 +92,7 @@ impl<T> Grid2<T> {
     #[inline]
     pub fn row(&self, y: i64) -> &[T] {
         let w = self.domain.extent().x as usize;
-        let start = self
-            .domain
-            .linear_index(Point2::new(self.domain.lo().x, y));
+        let start = self.domain.linear_index(Point2::new(self.domain.lo().x, y));
         &self.data[start..start + w]
     }
 
@@ -102,9 +100,7 @@ impl<T> Grid2<T> {
     #[inline]
     pub fn row_mut(&mut self, y: i64) -> &mut [T] {
         let w = self.domain.extent().x as usize;
-        let start = self
-            .domain
-            .linear_index(Point2::new(self.domain.lo().x, y));
+        let start = self.domain.linear_index(Point2::new(self.domain.lo().x, y));
         &mut self.data[start..start + w]
     }
 }

@@ -163,7 +163,12 @@ impl Region {
 
 impl fmt::Debug for Region {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Region[{} boxes, {} cells]", self.boxes.len(), self.cells())
+        write!(
+            f,
+            "Region[{} boxes, {} cells]",
+            self.boxes.len(),
+            self.cells()
+        )
     }
 }
 

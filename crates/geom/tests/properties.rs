@@ -7,14 +7,13 @@
 
 use proptest::prelude::*;
 use samr_geom::boxops;
-use samr_geom::{Point2, Rect2, Region};
 use samr_geom::sfc::{hilbert_decode, hilbert_key, morton_decode, morton_key};
+use samr_geom::{Point2, Rect2, Region};
 
 /// Strategy: a box with corners in [-40, 40] and extents in [1, 24].
 fn arb_rect() -> impl Strategy<Value = Rect2> {
-    (-40i64..40, -40i64..40, 1i64..24, 1i64..24).prop_map(|(x, y, w, h)| {
-        Rect2::new(Point2::new(x, y), Point2::new(x + w - 1, y + h - 1))
-    })
+    (-40i64..40, -40i64..40, 1i64..24, 1i64..24)
+        .prop_map(|(x, y, w, h)| Rect2::new(Point2::new(x, y), Point2::new(x + w - 1, y + h - 1)))
 }
 
 fn arb_rect_list(max: usize) -> impl Strategy<Value = Vec<Rect2>> {

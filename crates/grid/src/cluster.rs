@@ -12,9 +12,10 @@
 use crate::flags::FlagField;
 use samr_geom::rect::Axis;
 use samr_geom::{Point2, Rect2};
+use serde::{Deserialize, Serialize};
 
 /// Tuning knobs of the Berger–Rigoutsos clusterer.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct ClusterOptions {
     /// Accept a box when `flagged / cells >= min_efficiency`.
     pub min_efficiency: f64,

@@ -232,10 +232,7 @@ mod tests {
         let sy = f.signature_y(&w);
         assert_eq!(sx, vec![0, 0, 4, 4, 0, 0, 0, 0]);
         assert_eq!(sy, vec![0, 2, 2, 2, 2, 0, 0, 0]);
-        assert_eq!(
-            sx.iter().map(|&v| v as u64).sum::<u64>(),
-            f.count()
-        );
+        assert_eq!(sx.iter().map(|&v| v as u64).sum::<u64>(), f.count());
     }
 
     #[test]

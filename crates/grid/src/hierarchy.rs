@@ -252,11 +252,17 @@ impl GridHierarchy {
             let domain = self.domain_at_level(l);
             for (i, p) in level.patches.iter().enumerate() {
                 if !domain.contains_rect(&p.rect) {
-                    return Err(HierarchyError::PatchOutsideDomain { level: l, patch: p.id });
+                    return Err(HierarchyError::PatchOutsideDomain {
+                        level: l,
+                        patch: p.id,
+                    });
                 }
                 let e = p.rect.extent();
                 if l > 0 && (e.x < min_block || e.y < min_block) {
-                    return Err(HierarchyError::BlockTooSmall { level: l, patch: p.id });
+                    return Err(HierarchyError::BlockTooSmall {
+                        level: l,
+                        patch: p.id,
+                    });
                 }
                 for q in &level.patches[i + 1..] {
                     if p.rect.intersects(&q.rect) {
@@ -272,7 +278,10 @@ impl GridHierarchy {
                 let parent = self.refined_region(l - 1);
                 for p in &level.patches {
                     if !boxops::covers(&p.rect, parent.boxes()) {
-                        return Err(HierarchyError::NotProperlyNested { level: l, patch: p.id });
+                        return Err(HierarchyError::NotProperlyNested {
+                            level: l,
+                            patch: p.id,
+                        });
                     }
                 }
             }

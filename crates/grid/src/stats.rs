@@ -131,22 +131,21 @@ pub fn component_labels(rects: &[Rect2]) -> Vec<usize> {
         }
     }
     // Densify root ids into 0..k in first-appearance order.
-    let mut labels = vec![usize::MAX; n];
     let mut next = 0usize;
     let mut map: Vec<(usize, usize)> = Vec::new();
-    for i in 0..n {
-        let root = find(&mut parent, i);
-        let id = match map.iter().find(|(r, _)| *r == root) {
-            Some((_, id)) => *id,
-            None => {
-                map.push((root, next));
-                next += 1;
-                next - 1
+    (0..n)
+        .map(|i| {
+            let root = find(&mut parent, i);
+            match map.iter().find(|(r, _)| *r == root) {
+                Some((_, id)) => *id,
+                None => {
+                    map.push((root, next));
+                    next += 1;
+                    next - 1
+                }
             }
-        };
-        labels[i] = id;
-    }
-    labels
+        })
+        .collect()
 }
 
 /// Connected components of a box set under edge adjacency (boxes touching

@@ -11,7 +11,7 @@
 use crate::meta::MetaPartitioner;
 use crate::octant_meta::OctantMetaPartitioner;
 use samr_partition::{
-    DomainSfcPartitioner, HybridPartitioner, Partition, PatchPartitioner, Partitioner,
+    DomainSfcPartitioner, HybridPartitioner, Partition, Partitioner, PatchPartitioner,
 };
 use samr_sim::simulate::step_metrics;
 use samr_sim::{SimConfig, StepMetrics};
@@ -92,7 +92,10 @@ pub fn run_sequential(
         let (part, cost) = if cfg.reuse_unchanged && i > 0 && trace.hierarchy(i - 1) == h {
             (parts[i - 1].clone(), 0.0)
         } else {
-            (partitioner.partition(h, cfg.nprocs), partitioner.cost_estimate(h))
+            (
+                partitioner.partition(h, cfg.nprocs),
+                partitioner.cost_estimate(h),
+            )
         };
         parts.push(part);
         let prev = if i > 0 {

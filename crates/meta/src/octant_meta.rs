@@ -17,8 +17,8 @@ use parking_lot::Mutex;
 use samr_core::octant::{ArmadaClassifier, Octant};
 use samr_grid::GridHierarchy;
 use samr_partition::{
-    DomainSfcParams, DomainSfcPartitioner, HybridParams, HybridPartitioner, PatchParams,
-    PatchPartitioner, Partition, Partitioner,
+    DomainSfcParams, DomainSfcPartitioner, HybridParams, HybridPartitioner, Partition, Partitioner,
+    PatchParams, PatchPartitioner,
 };
 
 /// Octant-approach baseline partitioner: classifies each hierarchy into a
@@ -125,10 +125,7 @@ mod tests {
         let hist = baseline.history();
         assert_eq!(hist.len(), 3);
         // The jump at step 3 must read as high dynamics.
-        assert_eq!(
-            hist[2].dynamics,
-            samr_core::octant::Axis3::HighDynamics
-        );
+        assert_eq!(hist[2].dynamics, samr_core::octant::Axis3::HighDynamics);
     }
 
     #[test]

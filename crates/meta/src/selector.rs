@@ -2,61 +2,13 @@
 
 use samr_core::ClassificationPoint;
 use samr_geom::sfc::SfcCurve;
-use samr_partition::{
-    DomainSfcParams, DomainSfcPartitioner, HybridParams, HybridPartitioner, PatchParams,
-    PatchPartitioner, Partition, Partitioner,
-};
-use samr_grid::GridHierarchy;
+use samr_partition::{DomainSfcParams, HybridParams, PatchParams};
 use serde::{Deserialize, Serialize};
 
-/// A fully configured partitioner choice.
-#[derive(Clone, Copy, Debug, PartialEq)]
-pub enum PartitionerChoice {
-    /// Domain-based SFC partitioning with the given parameters.
-    DomainSfc(DomainSfcParams),
-    /// Patch-based LPT partitioning with the given parameters.
-    Patch(PatchParams),
-    /// Hybrid Hue/Core bi-level partitioning with the given parameters.
-    Hybrid(HybridParams),
-}
-
-impl PartitionerChoice {
-    /// Short family name.
-    pub fn family(&self) -> &'static str {
-        match self {
-            Self::DomainSfc(_) => "domain-based",
-            Self::Patch(_) => "patch-based",
-            Self::Hybrid(_) => "hybrid",
-        }
-    }
-
-    /// Full configured name.
-    pub fn name(&self) -> String {
-        match self {
-            Self::DomainSfc(p) => DomainSfcPartitioner::new(*p).name(),
-            Self::Patch(p) => PatchPartitioner::new(*p).name(),
-            Self::Hybrid(p) => HybridPartitioner::new(*p).name(),
-        }
-    }
-
-    /// Partition a hierarchy with this choice.
-    pub fn partition(&self, h: &GridHierarchy, nprocs: usize) -> Partition {
-        match self {
-            Self::DomainSfc(p) => DomainSfcPartitioner::new(*p).partition(h, nprocs),
-            Self::Patch(p) => PatchPartitioner::new(*p).partition(h, nprocs),
-            Self::Hybrid(p) => HybridPartitioner::new(*p).partition(h, nprocs),
-        }
-    }
-
-    /// Invocation cost estimate of this choice.
-    pub fn cost_estimate(&self, h: &GridHierarchy) -> f64 {
-        match self {
-            Self::DomainSfc(p) => DomainSfcPartitioner::new(*p).cost_estimate(h),
-            Self::Patch(p) => PatchPartitioner::new(*p).cost_estimate(h),
-            Self::Hybrid(p) => HybridPartitioner::new(*p).cost_estimate(h),
-        }
-    }
-}
+// The configured-choice registry lives with the partitioner families in
+// `samr-partition` (one enum shared by the selector, the campaign engine,
+// the benches and the CLI); re-exported here for compatibility.
+pub use samr_partition::PartitionerChoice;
 
 /// What the selector consumes: the classification point plus the raw
 /// penalty amplitudes. Dimension 1 is a *relative* weight (the paper,
@@ -383,7 +335,7 @@ mod tests {
             ..SelectorConfig::default()
         });
         let first = s.select(&input(0.3, 0.3, 0.5, 0.1)); // domain-based
-        // One isolated vote for hybrid: selection holds.
+                                                          // One isolated vote for hybrid: selection holds.
         let v1 = s.select(&input(0.9, 0.15, 0.5, 0.1));
         assert_eq!(v1, first);
         // Second consecutive vote: now it switches.

@@ -1,0 +1,115 @@
+//! A fully configured, serializable partitioner choice.
+//!
+//! Every configured partitioner family in one enum — the single registry
+//! the meta-partitioner's selector, the campaign engine, the benches and
+//! the CLI all share (previously each kept its own ad-hoc match block).
+//! The enum is `serde`-serializable so a choice can ride inside a
+//! campaign scenario description and round-trip through JSON artifacts.
+
+use crate::hybrid::{HybridParams, HybridPartitioner};
+use crate::patch_part::{PatchParams, PatchPartitioner};
+use crate::sfc_part::{DomainSfcParams, DomainSfcPartitioner};
+use crate::types::{Partition, Partitioner};
+use samr_grid::GridHierarchy;
+use serde::{Deserialize, Serialize};
+
+/// A fully configured partitioner choice.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum PartitionerChoice {
+    /// Domain-based SFC partitioning with the given parameters.
+    DomainSfc(DomainSfcParams),
+    /// Patch-based LPT partitioning with the given parameters.
+    Patch(PatchParams),
+    /// Hybrid Hue/Core bi-level partitioning with the given parameters.
+    Hybrid(HybridParams),
+}
+
+impl PartitionerChoice {
+    /// Default-configured choices of the three families, in the paper's
+    /// presentation order.
+    pub const FAMILIES: [&'static str; 3] = ["domain-based", "patch-based", "hybrid"];
+
+    /// Short family name.
+    pub fn family(&self) -> &'static str {
+        match self {
+            Self::DomainSfc(_) => "domain-based",
+            Self::Patch(_) => "patch-based",
+            Self::Hybrid(_) => "hybrid",
+        }
+    }
+
+    /// Full configured name.
+    pub fn name(&self) -> String {
+        self.boxed().name()
+    }
+
+    /// Partition a hierarchy with this choice.
+    pub fn partition(&self, h: &GridHierarchy, nprocs: usize) -> Partition {
+        self.boxed().partition(h, nprocs)
+    }
+
+    /// Invocation cost estimate of this choice.
+    pub fn cost_estimate(&self, h: &GridHierarchy) -> f64 {
+        self.boxed().cost_estimate(h)
+    }
+
+    /// Materialize the configured partitioner behind a trait object.
+    pub fn boxed(&self) -> Box<dyn Partitioner + Send + Sync> {
+        match self {
+            Self::DomainSfc(p) => Box::new(DomainSfcPartitioner::new(*p)),
+            Self::Patch(p) => Box::new(PatchPartitioner::new(*p)),
+            Self::Hybrid(p) => Box::new(HybridPartitioner::new(*p)),
+        }
+    }
+
+    /// The default-configured domain-based choice.
+    pub fn domain_sfc() -> Self {
+        Self::DomainSfc(DomainSfcParams::default())
+    }
+
+    /// The default-configured patch-based choice.
+    pub fn patch() -> Self {
+        Self::Patch(PatchParams::default())
+    }
+
+    /// The default-configured hybrid choice (the paper's static neutral
+    /// set-up).
+    pub fn hybrid() -> Self {
+        Self::Hybrid(HybridParams::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use samr_geom::Rect2;
+
+    #[test]
+    fn families_are_distinct_and_named() {
+        let choices = [
+            PartitionerChoice::domain_sfc(),
+            PartitionerChoice::patch(),
+            PartitionerChoice::hybrid(),
+        ];
+        for (c, family) in choices.iter().zip(PartitionerChoice::FAMILIES) {
+            assert_eq!(c.family(), family);
+            assert!(!c.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn choice_partitions_like_the_underlying_partitioner() {
+        let h = GridHierarchy::from_level_rects(
+            Rect2::from_extents(32, 32),
+            2,
+            &[vec![], vec![Rect2::from_coords(8, 8, 23, 23)]],
+        );
+        let choice = PartitionerChoice::hybrid();
+        let direct = HybridPartitioner::default().partition(&h, 4);
+        assert_eq!(choice.partition(&h, 4), direct);
+        assert_eq!(
+            choice.cost_estimate(&h),
+            HybridPartitioner::default().cost_estimate(&h)
+        );
+    }
+}

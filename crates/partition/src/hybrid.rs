@@ -28,10 +28,11 @@ use samr_geom::sfc::{order_for, sfc_key, SfcCurve};
 use samr_geom::{boxops, Rect2, Region};
 use samr_grid::stats::component_labels;
 use samr_grid::GridHierarchy;
+use serde::{Deserialize, Serialize};
 
 /// Configuration of the hybrid partitioner (the tunables Nature+Fable
 /// exposes to the meta-partitioner).
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct HybridParams {
     /// Atomic-unit side length in base cells.
     pub atomic_unit: i64,
@@ -130,19 +131,14 @@ impl HybridPartitioner {
                     // The patch belongs to this core iff its footprint
                     // intersects it (components are disjoint, nesting makes
                     // the containment total).
-                    let inside: u64 = core
-                        .footprint
-                        .iter()
-                        .map(|b| fp.overlap_cells(b))
-                        .sum();
+                    let inside: u64 = core.footprint.iter().map(|b| fp.overlap_cells(b)).sum();
                     if inside > 0 {
                         core.weight += patch.rect.cells() * w;
                     }
                 }
             }
         }
-        let hue = Region::from_rect(h.base_domain)
-            .subtract_boxes(&footprint);
+        let hue = Region::from_rect(h.base_domain).subtract_boxes(&footprint);
         (cores, hue)
     }
 
@@ -208,10 +204,7 @@ impl HybridPartitioner {
         for uy in 0..dims.1 {
             for ux in 0..dims.0 {
                 let unit_box = Rect2::new(
-                    samr_geom::Point2::new(
-                        domain.lo().x + ux * unit,
-                        domain.lo().y + uy * unit,
-                    ),
+                    samr_geom::Point2::new(domain.lo().x + ux * unit, domain.lo().y + uy * unit),
                     samr_geom::Point2::new(
                         (domain.lo().x + ux * unit + unit - 1).min(domain.hi().x),
                         (domain.lo().y + uy * unit + unit - 1).min(domain.hi().y),
@@ -301,7 +294,11 @@ impl Partitioner for HybridPartitioner {
         format!(
             "hybrid-nf({:?},{},u{},bi{})",
             self.params.curve,
-            if self.params.full_order { "full" } else { "partial" },
+            if self.params.full_order {
+                "full"
+            } else {
+                "partial"
+            },
             self.params.atomic_unit,
             self.params.bilevel_size
         )
@@ -367,14 +364,15 @@ impl Partitioner for HybridPartitioner {
                 let deficit = (ideal - loads[owner as usize] as f64).max(0.0) as u64;
                 if deficit > 0 && rect.cells() > deficit {
                     let axis = rect.longest_axis();
-                    let want_len =
-                        ((deficit as f64 / rect.cells() as f64) * rect.len(axis) as f64).round()
-                            as i64;
+                    let want_len = ((deficit as f64 / rect.cells() as f64) * rect.len(axis) as f64)
+                        .round() as i64;
                     if want_len >= 1 && want_len < rect.len(axis) {
                         let cut = rect.lo().get(axis) + want_len - 1;
                         let (take, rest) = rect.split_at(axis, cut);
                         loads[owner as usize] += take.cells();
-                        part.levels[0].fragments.push(Fragment { rect: take, owner });
+                        part.levels[0]
+                            .fragments
+                            .push(Fragment { rect: take, owner });
                         queue.push(rest);
                         continue;
                     }
@@ -506,11 +504,7 @@ mod tests {
                 r(o * 2, 0, o * 2 + 3, 3)
             })
             .collect();
-        let h = GridHierarchy::from_level_rects(
-            Rect2::from_extents(64, 32),
-            2,
-            &[vec![], rects],
-        );
+        let h = GridHierarchy::from_level_rects(Rect2::from_extents(64, 32), 2, &[vec![], rects]);
         let part = HybridPartitioner::default().partition(&h, 2);
         assert_eq!(validate_partition(&h, &part), Ok(()));
     }

@@ -31,15 +31,15 @@
 
 #![warn(missing_docs)]
 
+pub mod choice;
 pub mod hybrid;
 pub mod patch_part;
 pub mod sfc_part;
 pub mod types;
 pub mod weights;
 
+pub use choice::PartitionerChoice;
 pub use hybrid::{HybridParams, HybridPartitioner};
 pub use patch_part::{PatchParams, PatchPartitioner};
 pub use sfc_part::{DomainSfcParams, DomainSfcPartitioner};
-pub use types::{
-    validate_partition, Fragment, LevelPartition, Partition, Partitioner, ProcId,
-};
+pub use types::{validate_partition, Fragment, LevelPartition, Partition, Partitioner, ProcId};

@@ -3,9 +3,10 @@
 use crate::types::{Fragment, LevelPartition, Partition, Partitioner, ProcId};
 use samr_geom::Rect2;
 use samr_grid::GridHierarchy;
+use serde::{Deserialize, Serialize};
 
 /// How pieces are assigned to processors.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum PatchAssign {
     /// Longest-processing-time greedy: best instantaneous balance, but
     /// assignments are unstable across regrids (high migration).
@@ -18,7 +19,7 @@ pub enum PatchAssign {
 }
 
 /// Configuration of the patch-based partitioner.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct PatchParams {
     /// Split patches whose weight exceeds `split_factor x` the ideal
     /// per-processor load at their level.
@@ -110,8 +111,7 @@ impl Partitioner for PatchPartitioner {
                     // LPT greedy: biggest piece to least-loaded processor.
                     // Sort is stable with a deterministic geometry
                     // tie-break.
-                    pieces
-                        .sort_by_key(|r| (std::cmp::Reverse(r.cells()), r.lo().y, r.lo().x));
+                    pieces.sort_by_key(|r| (std::cmp::Reverse(r.cells()), r.lo().y, r.lo().x));
                     let mut loads = vec![0u64; nprocs];
                     for rect in pieces {
                         let owner = loads
@@ -130,10 +130,7 @@ impl Partitioner for PatchPartitioner {
                     pieces.sort_by_key(|r| {
                         // Level index spaces are non-negative in this
                         // code base; clamp defensively for the key only.
-                        samr_geom::sfc::morton_key(
-                            r.lo().x.max(0) as u64,
-                            r.lo().y.max(0) as u64,
-                        )
+                        samr_geom::sfc::morton_key(r.lo().x.max(0) as u64, r.lo().y.max(0) as u64)
                     });
                     let total: u64 = pieces.iter().map(Rect2::cells).sum();
                     let mut acc = 0.0f64;
@@ -268,12 +265,18 @@ mod tests {
         let h0 = GridHierarchy::from_level_rects(
             Rect2::from_extents(32, 32),
             2,
-            &[vec![], vec![r(0, 0, 15, 7), r(20, 0, 31, 7), r(36, 0, 43, 7)]],
+            &[
+                vec![],
+                vec![r(0, 0, 15, 7), r(20, 0, 31, 7), r(36, 0, 43, 7)],
+            ],
         );
         let h1 = GridHierarchy::from_level_rects(
             Rect2::from_extents(32, 32),
             2,
-            &[vec![], vec![r(0, 0, 13, 7), r(18, 0, 33, 7), r(36, 0, 43, 7)]],
+            &[
+                vec![],
+                vec![r(0, 0, 13, 7), r(18, 0, 33, 7), r(36, 0, 43, 7)],
+            ],
         );
         let moved = |params: PatchParams| -> u64 {
             let p = PatchPartitioner::new(PatchParams {

@@ -5,9 +5,10 @@ use crate::weights::{composite_unit_weights, sfc_order, split_contiguous};
 use samr_geom::sfc::SfcCurve;
 use samr_geom::{boxops, Rect2};
 use samr_grid::GridHierarchy;
+use serde::{Deserialize, Serialize};
 
 /// Configuration of the domain-based SFC partitioner.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct DomainSfcParams {
     /// Atomic-unit side length in base cells.
     pub atomic_unit: i64,
@@ -68,7 +69,11 @@ impl Partitioner for DomainSfcPartitioner {
         format!(
             "domain-sfc({:?},{},u{})",
             self.params.curve,
-            if self.params.full_order { "full" } else { "partial" },
+            if self.params.full_order {
+                "full"
+            } else {
+                "partial"
+            },
             self.params.atomic_unit
         )
     }
@@ -117,7 +122,11 @@ impl Partitioner for DomainSfcPartitioner {
         let patches: usize = h.levels.iter().map(|l| l.patch_count()).sum();
         0.5 * units.max(1.0).log2() * units / 1000.0
             + patches as f64 / 10.0
-            + if self.params.full_order { 0.0 } else { -0.2 * units / 1000.0 }
+            + if self.params.full_order {
+                0.0
+            } else {
+                -0.2 * units / 1000.0
+            }
     }
 }
 
@@ -169,10 +178,10 @@ mod tests {
         let h = hierarchy();
         let part = DomainSfcPartitioner::default().partition(&h, 1);
         assert!((part.load_imbalance(2) - 1.0).abs() < 1e-12);
-        assert!(part.levels.iter().all(|l| l
-            .fragments
+        assert!(part
+            .levels
             .iter()
-            .all(|f| f.owner == 0)));
+            .all(|l| l.fragments.iter().all(|f| f.owner == 0)));
     }
 
     #[test]

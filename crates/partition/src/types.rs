@@ -125,7 +125,10 @@ pub fn validate_partition(h: &GridHierarchy, part: &Partition) -> Result<(), Str
         let frags: Vec<Rect2> = lp.fragments.iter().map(|f| f.rect).collect();
         for (i, f) in lp.fragments.iter().enumerate() {
             if (f.owner as usize) >= part.nprocs {
-                return Err(format!("level {l}: fragment owner {} out of range", f.owner));
+                return Err(format!(
+                    "level {l}: fragment owner {} out of range",
+                    f.owner
+                ));
             }
             for g in &lp.fragments[i + 1..] {
                 if f.rect.intersects(&g.rect) {
@@ -181,14 +184,26 @@ mod tests {
             levels: vec![
                 LevelPartition {
                     fragments: vec![
-                        Fragment { rect: r(0, 0, 3, 7), owner: 0 },
-                        Fragment { rect: r(4, 0, 7, 7), owner: 1 },
+                        Fragment {
+                            rect: r(0, 0, 3, 7),
+                            owner: 0,
+                        },
+                        Fragment {
+                            rect: r(4, 0, 7, 7),
+                            owner: 1,
+                        },
                     ],
                 },
                 LevelPartition {
                     fragments: vec![
-                        Fragment { rect: r(4, 4, 7, 11), owner: 0 },
-                        Fragment { rect: r(8, 4, 11, 11), owner: 1 },
+                        Fragment {
+                            rect: r(4, 4, 7, 11),
+                            owner: 0,
+                        },
+                        Fragment {
+                            rect: r(8, 4, 11, 11),
+                            owner: 1,
+                        },
                     ],
                 },
             ],

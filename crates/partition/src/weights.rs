@@ -28,7 +28,10 @@ impl UnitGrid {
     /// The base-space box of unit `(ux, uy)` (clipped to the domain for
     /// edge units when the domain is not a multiple of the unit size).
     pub fn unit_rect(&self, domain: &Rect2, ux: i64, uy: i64) -> Rect2 {
-        let lo = Point2::new(self.origin.x + ux * self.unit, self.origin.y + uy * self.unit);
+        let lo = Point2::new(
+            self.origin.x + ux * self.unit,
+            self.origin.y + uy * self.unit,
+        );
         let hi = Point2::new(lo.x + self.unit - 1, lo.y + self.unit - 1);
         Rect2::new(lo, hi)
             .intersect(domain)
@@ -129,8 +132,7 @@ pub fn split_contiguous(grid: &UnitGrid, order: &[(i64, i64)], nprocs: usize) ->
         // Advance to the next processor when the running total has passed
         // this processor's quota boundary (midpoint rule so a big unit
         // lands on whichever side it overlaps more).
-        while proc + 1 < nprocs as u32
-            && acc + 0.5 * w > total * (proc + 1) as f64 / nprocs as f64
+        while proc + 1 < nprocs as u32 && acc + 0.5 * w > total * (proc + 1) as f64 / nprocs as f64
         {
             proc += 1;
         }

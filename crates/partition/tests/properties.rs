@@ -10,7 +10,7 @@ use samr_grid::GridHierarchy;
 use samr_partition::patch_part::PatchAssign;
 use samr_partition::{
     validate_partition, DomainSfcParams, DomainSfcPartitioner, HybridParams, HybridPartitioner,
-    PatchParams, PatchPartitioner, Partitioner,
+    Partitioner, PatchParams, PatchPartitioner,
 };
 
 /// A random 1-3 level properly nested hierarchy on a rectangular base.

@@ -179,8 +179,7 @@ pub fn worst_case_comm(h: &GridHierarchy, ghost: i64) -> u64 {
                 if e.x <= 2 * ghost || e.y <= 2 * ghost {
                     p.rect.cells()
                 } else {
-                    p.rect.cells()
-                        - ((e.x - 2 * ghost) as u64) * ((e.y - 2 * ghost) as u64)
+                    p.rect.cells() - ((e.x - 2 * ghost) as u64) * ((e.y - 2 * ghost) as u64)
                 }
             })
             .sum();
@@ -208,8 +207,14 @@ mod tests {
             nprocs: 2,
             levels: vec![LevelPartition {
                 fragments: vec![
-                    Fragment { rect: r(0, 0, 3, 7), owner: 0 },
-                    Fragment { rect: r(4, 0, 7, 7), owner: owner_b },
+                    Fragment {
+                        rect: r(0, 0, 3, 7),
+                        owner: 0,
+                    },
+                    Fragment {
+                        rect: r(4, 0, 7, 7),
+                        owner: owner_b,
+                    },
                 ],
             }],
         }
@@ -255,12 +260,21 @@ mod tests {
             nprocs: 2,
             levels: vec![
                 LevelPartition {
-                    fragments: vec![Fragment { rect: r(0, 0, 7, 7), owner: 0 }],
+                    fragments: vec![Fragment {
+                        rect: r(0, 0, 7, 7),
+                        owner: 0,
+                    }],
                 },
                 LevelPartition {
                     fragments: vec![
-                        Fragment { rect: r(0, 0, 3, 7), owner: 0 },
-                        Fragment { rect: r(4, 0, 7, 7), owner: 1 },
+                        Fragment {
+                            rect: r(0, 0, 3, 7),
+                            owner: 0,
+                        },
+                        Fragment {
+                            rect: r(4, 0, 7, 7),
+                            owner: 1,
+                        },
                     ],
                 },
             ],
@@ -282,14 +296,26 @@ mod tests {
             levels: vec![
                 LevelPartition {
                     fragments: vec![
-                        Fragment { rect: r(0, 0, 7, 3), owner: 0 },
-                        Fragment { rect: r(0, 4, 7, 7), owner: 1 },
+                        Fragment {
+                            rect: r(0, 0, 7, 3),
+                            owner: 0,
+                        },
+                        Fragment {
+                            rect: r(0, 4, 7, 7),
+                            owner: 1,
+                        },
                     ],
                 },
                 LevelPartition {
                     fragments: vec![
-                        Fragment { rect: r(4, 4, 11, 7), owner: 0 },
-                        Fragment { rect: r(4, 8, 11, 11), owner: 1 },
+                        Fragment {
+                            rect: r(4, 4, 11, 7),
+                            owner: 0,
+                        },
+                        Fragment {
+                            rect: r(4, 8, 11, 11),
+                            owner: 1,
+                        },
                     ],
                 },
             ],
@@ -310,10 +336,16 @@ mod tests {
             nprocs: 2,
             levels: vec![
                 LevelPartition {
-                    fragments: vec![Fragment { rect: r(0, 0, 7, 7), owner: 0 }],
+                    fragments: vec![Fragment {
+                        rect: r(0, 0, 7, 7),
+                        owner: 0,
+                    }],
                 },
                 LevelPartition {
-                    fragments: vec![Fragment { rect: r(4, 4, 11, 11), owner: 1 }],
+                    fragments: vec![Fragment {
+                        rect: r(4, 4, 11, 11),
+                        owner: 1,
+                    }],
                 },
             ],
         };

@@ -204,9 +204,7 @@ mod tests {
     fn peak_lag_detects_shift() {
         // b is a copy of a delayed by 2 steps: a leads by 2.
         let a: Vec<f64> = (0..40).map(|i| ((i as f64) * 0.7).sin()).collect();
-        let b: Vec<f64> = (0..40)
-            .map(|i| (((i as f64) - 2.0) * 0.7).sin())
-            .collect();
+        let b: Vec<f64> = (0..40).map(|i| (((i as f64) - 2.0) * 0.7).sin()).collect();
         assert_eq!(peak_lag(&a, &b, 5), 2);
         assert_eq!(peak_lag(&b, &a, 5), -2);
         assert_eq!(peak_lag(&a, &a, 5), 0);

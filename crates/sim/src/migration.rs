@@ -112,8 +112,7 @@ pub fn per_proc_migration(
                         continue;
                     }
                     if let Some(ov) = parent.intersect(&cf.rect) {
-                        out[cf.owner as usize] +=
-                            ov.refine(cur.ratio).overlap_cells(&new_piece);
+                        out[cf.owner as usize] += ov.refine(cur.ratio).overlap_cells(&new_piece);
                     }
                 }
             }
@@ -141,8 +140,14 @@ mod tests {
             nprocs: 2,
             levels: vec![LevelPartition {
                 fragments: vec![
-                    Fragment { rect: r(0, 0, split_x, 7), owner: 0 },
-                    Fragment { rect: r(split_x + 1, 0, 7, 7), owner: 1 },
+                    Fragment {
+                        rect: r(0, 0, split_x, 7),
+                        owner: 0,
+                    },
+                    Fragment {
+                        rect: r(split_x + 1, 0, 7, 7),
+                        owner: 1,
+                    },
                 ],
             }],
         }
@@ -191,10 +196,16 @@ mod tests {
             nprocs: 2,
             levels: vec![
                 LevelPartition {
-                    fragments: vec![Fragment { rect: r(0, 0, 7, 7), owner: 0 }],
+                    fragments: vec![Fragment {
+                        rect: r(0, 0, 7, 7),
+                        owner: 0,
+                    }],
                 },
                 LevelPartition {
-                    fragments: vec![Fragment { rect: r(4, 4, 11, 11), owner: 1 }],
+                    fragments: vec![Fragment {
+                        rect: r(4, 4, 11, 11),
+                        owner: 1,
+                    }],
                 },
             ],
         };
@@ -202,7 +213,10 @@ mod tests {
         let p_cur = Partition {
             nprocs: 2,
             levels: vec![LevelPartition {
-                fragments: vec![Fragment { rect: r(0, 0, 7, 7), owner: 0 }],
+                fragments: vec![Fragment {
+                    rect: r(0, 0, 7, 7),
+                    owner: 0,
+                }],
             }],
         };
         assert_eq!(migration_cells(&h_prev, &p_prev, &h_cur, &p_cur), 0);
@@ -226,10 +240,16 @@ mod tests {
             nprocs: 2,
             levels: vec![
                 LevelPartition {
-                    fragments: vec![Fragment { rect: r(0, 0, 7, 7), owner: 0 }],
+                    fragments: vec![Fragment {
+                        rect: r(0, 0, 7, 7),
+                        owner: 0,
+                    }],
                 },
                 LevelPartition {
-                    fragments: vec![Fragment { rect: r(4, 4, 11, 11), owner: 0 }],
+                    fragments: vec![Fragment {
+                        rect: r(4, 4, 11, 11),
+                        owner: 0,
+                    }],
                 },
             ],
         };
@@ -237,10 +257,16 @@ mod tests {
             nprocs: 2,
             levels: vec![
                 LevelPartition {
-                    fragments: vec![Fragment { rect: r(0, 0, 7, 7), owner: 0 }],
+                    fragments: vec![Fragment {
+                        rect: r(0, 0, 7, 7),
+                        owner: 0,
+                    }],
                 },
                 LevelPartition {
-                    fragments: vec![Fragment { rect: r(8, 4, 15, 11), owner: 1 }],
+                    fragments: vec![Fragment {
+                        rect: r(8, 4, 15, 11),
+                        owner: 1,
+                    }],
                 },
             ],
         };
@@ -266,17 +292,26 @@ mod tests {
         let p_prev = Partition {
             nprocs: 2,
             levels: vec![LevelPartition {
-                fragments: vec![Fragment { rect: r(0, 0, 7, 7), owner: 0 }],
+                fragments: vec![Fragment {
+                    rect: r(0, 0, 7, 7),
+                    owner: 0,
+                }],
             }],
         };
         let p_cur = Partition {
             nprocs: 2,
             levels: vec![
                 LevelPartition {
-                    fragments: vec![Fragment { rect: r(0, 0, 7, 7), owner: 0 }],
+                    fragments: vec![Fragment {
+                        rect: r(0, 0, 7, 7),
+                        owner: 0,
+                    }],
                 },
                 LevelPartition {
-                    fragments: vec![Fragment { rect: r(4, 4, 11, 11), owner: 0 }],
+                    fragments: vec![Fragment {
+                        rect: r(4, 4, 11, 11),
+                        owner: 0,
+                    }],
                 },
             ],
         };

@@ -4,6 +4,7 @@ use crate::comm::{involved_comm_points, per_proc_comm, total_comm};
 use crate::exec::MachineModel;
 use crate::metrics::StepMetrics;
 use crate::migration::{migration_cells, per_proc_migration};
+use rayon::prelude::*;
 use samr_grid::GridHierarchy;
 use samr_partition::{Partition, Partitioner};
 use samr_trace::HierarchyTrace;
@@ -83,8 +84,7 @@ pub fn step_metrics(
     let comm_cells = total_comm(h, part, cfg.ghost_width);
     // The §4.1 grid-relative metric counts *involved points*, not directed
     // transfers; `comm_cells` keeps the transfer volume for the time model.
-    let rel_comm =
-        involved_comm_points(h, part, cfg.ghost_width) as f64 / workload.max(1) as f64;
+    let rel_comm = involved_comm_points(h, part, cfg.ghost_width) as f64 / workload.max(1) as f64;
     let (migration, rel_migration, mig_out) = match prev {
         Some((ph, pp)) => {
             let m = migration_cells(ph, pp, h, part);
@@ -119,9 +119,11 @@ pub fn step_metrics(
 
 /// Run a whole trace through `partitioner` on `cfg.nprocs` processors.
 ///
-/// Partitions are computed in parallel over snapshots (a partitioner is a
-/// pure function of the hierarchy), then metrics are accumulated in step
-/// order — the result is identical for any thread count.
+/// Partitions are computed rayon-parallel over snapshots (a partitioner
+/// is a pure function of the hierarchy), then metrics are accumulated in
+/// step order — the result is identical for any thread count, and
+/// per-snapshot partitioning shares one thread pool with campaign-level
+/// parallelism in `samr-engine`.
 pub fn simulate_trace(
     trace: &HierarchyTrace,
     partitioner: &(dyn Partitioner + Sync),
@@ -129,28 +131,10 @@ pub fn simulate_trace(
 ) -> SimResult {
     assert!(!trace.is_empty(), "cannot simulate an empty trace");
     let n = trace.len();
-    let mut partitions: Vec<Option<Partition>> = Vec::with_capacity(n);
-    partitions.resize_with(n, || None);
-
-    // Parallel partitioning in contiguous chunks.
-    let threads = std::thread::available_parallelism()
-        .map(|v| v.get())
-        .unwrap_or(1)
-        .min(n)
-        .min(8);
-    let chunk = n.div_ceil(threads);
-    crossbeam::scope(|s| {
-        for (ci, slots) in partitions.chunks_mut(chunk).enumerate() {
-            let start = ci * chunk;
-            s.spawn(move |_| {
-                for (off, slot) in slots.iter_mut().enumerate() {
-                    let h = trace.hierarchy(start + off);
-                    *slot = Some(partitioner.partition(h, cfg.nprocs));
-                }
-            });
-        }
-    })
-    .expect("partitioning worker panicked");
+    let mut partitions: Vec<Option<Partition>> = (0..n)
+        .into_par_iter()
+        .map(|i| Some(partitioner.partition(trace.hierarchy(i), cfg.nprocs)))
+        .collect();
 
     let mut steps = Vec::with_capacity(n);
     let mut total_time = 0.0;

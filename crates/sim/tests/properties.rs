@@ -3,7 +3,7 @@
 use proptest::prelude::*;
 use samr_geom::{Point2, Rect2};
 use samr_grid::GridHierarchy;
-use samr_partition::{DomainSfcPartitioner, HybridPartitioner, PatchPartitioner, Partitioner};
+use samr_partition::{DomainSfcPartitioner, HybridPartitioner, Partitioner, PatchPartitioner};
 use samr_sim::comm::{
     inter_level_comm, intra_level_comm, intra_level_involved, involved_comm_points, total_comm,
 };

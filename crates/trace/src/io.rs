@@ -263,7 +263,12 @@ mod tests {
         let mut json = Vec::new();
         write_jsonl(&t, &mut json).unwrap();
         let bin = encode_binary(&t);
-        assert!(bin.len() * 2 < json.len(), "{} vs {}", bin.len(), json.len());
+        assert!(
+            bin.len() * 2 < json.len(),
+            "{} vs {}",
+            bin.len(),
+            json.len()
+        );
     }
 
     #[test]

@@ -144,8 +144,14 @@ mod tests {
     fn push_and_iterate_pairs() {
         let mut t = HierarchyTrace::new(meta());
         t.push(snap(0, vec![vec![]]));
-        t.push(snap(1, vec![vec![], vec![Rect2::from_coords(4, 4, 11, 11)]]));
-        t.push(snap(2, vec![vec![], vec![Rect2::from_coords(6, 6, 13, 13)]]));
+        t.push(snap(
+            1,
+            vec![vec![], vec![Rect2::from_coords(4, 4, 11, 11)]],
+        ));
+        t.push(snap(
+            2,
+            vec![vec![], vec![Rect2::from_coords(6, 6, 13, 13)]],
+        ));
         assert_eq!(t.len(), 3);
         let pairs: Vec<_> = t.pairs().collect();
         assert_eq!(pairs.len(), 2);
@@ -181,7 +187,10 @@ mod tests {
     #[test]
     fn max_points_so_far_is_running_max() {
         let mut t = HierarchyTrace::new(meta());
-        t.push(snap(0, vec![vec![], vec![Rect2::from_coords(0, 0, 15, 15)]]));
+        t.push(snap(
+            0,
+            vec![vec![], vec![Rect2::from_coords(0, 0, 15, 15)]],
+        ));
         t.push(snap(1, vec![vec![]]));
         t.push(snap(2, vec![vec![], vec![Rect2::from_coords(0, 0, 7, 7)]]));
         let p0 = t.hierarchy(0).total_points();

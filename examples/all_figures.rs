@@ -1,12 +1,13 @@
-//! Regenerate every data figure of the paper in one run.
+//! Regenerate every data figure of the paper in one campaign.
 //!
-//! Writes `results/fig{4,5,6,7}_<app>.csv` (both panels of each
-//! validation figure plus the Figure-1 series), prints every figure's
-//! shape-statistics summary, and finishes with the META1 comparison.
-//! Pass `--reduced` for the fast variant.
+//! Expands the figure sweep (4 apps × {hybrid, domain-sfc}) through
+//! `samr-engine`'s `Campaign`, writes `results/fig{4,5,6,7}_<app>.csv`
+//! (both panels of each validation figure plus the Figure-1 series),
+//! prints every figure's shape-statistics summary, and finishes with the
+//! META1 comparison. Pass `--reduced` for the fast variant.
 
 use samr::apps::AppKind;
-use samr::experiments::{cached_trace, configs, ValidationRun};
+use samr::engine::{cached_trace, configs, ValidationRun};
 use samr::meta::compare_on_trace;
 use samr::sim::SimConfig;
 use std::fs;
@@ -21,20 +22,23 @@ fn main() {
     let sim_cfg = configs::sim();
     fs::create_dir_all("results").expect("create results dir");
 
-    println!("== Figures 4-7: model vs measurement ==");
-    for kind in AppKind::ALL {
-        let run = ValidationRun::execute(kind, &cfg, &sim_cfg);
+    println!("== Figures 4-7: model vs measurement (one campaign) ==");
+    let runs = ValidationRun::all_figures(&cfg, &sim_cfg);
+    for run in &runs {
         let path = format!(
             "results/fig{}_{}.csv",
             run.figure_number(),
-            kind.name().to_lowercase()
+            run.app.name().to_lowercase()
         );
         fs::write(&path, run.to_csv()).expect("write figure csv");
         println!("{}   [{path}]", run.summary());
     }
 
     println!("\n== Figure 1: BL2D dynamics under a static P (see fig5_bl2d.csv) ==");
-    let bl = ValidationRun::execute(AppKind::Bl2d, &cfg, &sim_cfg);
+    let bl = runs
+        .iter()
+        .find(|r| r.app == AppKind::Bl2d)
+        .expect("BL2D figure in campaign");
     let imb: Vec<f64> = bl.sim.steps.iter().map(|s| s.load_imbalance).collect();
     println!(
         "load imbalance mean {:.3}, range [{:.3}, {:.3}]",

@@ -26,7 +26,14 @@ fn main() {
         let pipeline = ModelPipeline::new();
         let curve = pipeline.state_curve(&trace);
         for (step, p) in &curve.points {
-            println!("{},{},{:.4},{:.4},{:.4}", kind.name(), step, p.d1, p.d2, p.d3);
+            println!(
+                "{},{},{:.4},{:.4},{:.4}",
+                kind.name(),
+                step,
+                p.d1,
+                p.d2,
+                p.d3
+            );
         }
         eprintln!(
             "{}: locus arc length {:.3} over {} steps; {} octant transitions \

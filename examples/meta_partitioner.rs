@@ -1,61 +1,80 @@
-//! META1 experiment: static vs. dynamic partitioner selection.
+//! META1 experiment: static vs. dynamic partitioner selection, as a
+//! campaign sweep.
 //!
 //! The paper's motivation (Figure 1, §3) and the ArMADA proof of concept:
 //! a static partitioner choice leaves execution time on the table; "even
 //! with such a simple model, execution times were reduced". This example
-//! runs every application trace under each static partitioner family and
-//! under the adaptive meta-partitioner, on three machine models
-//! (balanced, communication-starved, compute-bound), and reports total
-//! estimated execution times.
+//! expands one `Campaign` per machine model over the full partitioner
+//! registry (three static families, the octant baseline and the adaptive
+//! meta-partitioner) × all four applications, and reports total
+//! estimated execution times plus the meta/best-static and
+//! meta/worst-static ratios — all from the shared trace store, with no
+//! hand-wired pipeline.
 
 use samr::apps::AppKind;
-use samr::experiments::{cached_trace, configs};
-use samr::meta::compare_on_trace;
-use samr::sim::{MachineModel, SimConfig};
+use samr::engine::{Campaign, CampaignSpec, PartitionerSpec, ScenarioOutcome};
+use samr::sim::MachineModel;
 
 fn main() {
     let reduced = std::env::args().any(|a| a == "--reduced");
     let cfg = if reduced {
-        configs::reduced()
+        samr::engine::configs::reduced()
     } else {
-        configs::paper()
+        samr::engine::configs::paper()
     };
     let machines = [
         ("balanced", MachineModel::default()),
         ("slow-network", MachineModel::slow_network()),
         ("slow-cpu", MachineModel::slow_cpu()),
     ];
+    let registry: Vec<PartitionerSpec> = PartitionerSpec::registry()
+        .into_iter()
+        .map(|(_, s)| s)
+        .collect();
+
     println!("app,machine,partitioner,total_time,mean_imbalance,mean_rel_comm,mean_rel_migration");
-    for kind in AppKind::ALL {
-        let trace = cached_trace(kind, &cfg);
-        for (mname, machine) in &machines {
-            let sim_cfg = SimConfig {
-                machine: *machine,
-                ..SimConfig::default()
-            };
-            let res = compare_on_trace(&trace, &sim_cfg);
-            for r in res
-                .static_runs
+    for (mname, machine) in &machines {
+        let spec = CampaignSpec::new(cfg.clone())
+            .partitioners(registry.iter().copied())
+            .machine(*machine);
+        let outcomes = Campaign::run(&spec);
+        for outcome in &outcomes {
+            let s = outcome.summary();
+            println!(
+                "{},{},{},{:.0},{:.3},{:.4},{:.4}",
+                outcome.scenario.app.name(),
+                mname,
+                s.partitioner_name,
+                s.total_time,
+                s.mean_imbalance,
+                s.mean_rel_comm,
+                s.mean_rel_migration
+            );
+        }
+        for kind in AppKind::ALL {
+            let per_app: Vec<&ScenarioOutcome> =
+                outcomes.iter().filter(|o| o.scenario.app == kind).collect();
+            let static_times: Vec<f64> = per_app
                 .iter()
-                .chain([&res.octant_run, &res.meta_run])
-            {
-                println!(
-                    "{},{},{},{:.0},{:.3},{:.4},{:.4}",
-                    kind.name(),
-                    mname,
-                    r.name,
-                    r.total_time,
-                    r.mean_imbalance,
-                    r.mean_rel_comm,
-                    r.mean_rel_migration
-                );
-            }
+                .filter(|o| matches!(o.scenario.partitioner, PartitionerSpec::Static(_)))
+                .map(|o| o.sim.total_time)
+                .collect();
+            let meta_time = per_app
+                .iter()
+                .find(|o| o.scenario.partitioner == PartitionerSpec::Meta)
+                .map(|o| o.sim.total_time)
+                .expect("meta scenario in campaign");
+            let best = static_times.iter().cloned().fold(f64::INFINITY, f64::min);
+            let worst = static_times
+                .iter()
+                .cloned()
+                .fold(f64::NEG_INFINITY, f64::max);
             eprintln!(
                 "{} on {}: meta/best-static = {:.3}, meta/worst-static = {:.3}",
                 kind.name(),
                 mname,
-                res.meta_vs_best(),
-                res.meta_vs_worst()
+                meta_time / best,
+                meta_time / worst
             );
         }
     }

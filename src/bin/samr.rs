@@ -6,43 +6,39 @@
 //! samr analyze  <trace-file>
 //! samr simulate <trace-file> [--partitioner NAME] [--nprocs N]
 //! samr compare  <trace-file> [--nprocs N]
+//! samr campaign [--apps A,B] [--partitioners P,Q] [--nprocs N,M]
+//!               [--ghost-widths G,H] [--config paper|reduced|smoke]
+//!               [--machine balanced|slow-network|slow-cpu] [--out DIR]
 //! samr apps
+//! samr partitioners
 //! ```
 //!
 //! `generate` runs an application kernel and writes its hierarchy trace
 //! (JSON-lines by default, compact binary with `--binary`); `analyze`
 //! runs the paper's model over a trace and prints the per-step penalties;
 //! `simulate` partitions every snapshot and prints the measured per-step
-//! metrics; `compare` runs the META1 static-vs-dynamic comparison.
+//! metrics; `compare` runs the META1 static-vs-dynamic comparison;
+//! `campaign` expands a cartesian sweep (apps × partitioners × nprocs ×
+//! ghost widths), executes it rayon-parallel through `samr-engine`, and
+//! writes one CSV plus one JSON summary per scenario.
 
 use samr::apps::{generate_trace, AppKind, TraceGenConfig};
+use samr::engine::{configs, Campaign, CampaignSpec, PartitionerSpec};
 use samr::meta::compare_on_trace;
 use samr::model::ModelPipeline;
-use samr::partition::{
-    DomainSfcPartitioner, HybridPartitioner, PatchPartitioner, Partitioner,
-};
-use samr::sim::{simulate_trace, SimConfig};
+use samr::sim::{MachineModel, SimConfig};
 use samr::trace::io::{decode_binary, encode_binary, read_jsonl, write_jsonl};
 use samr::trace::HierarchyTrace;
 use std::fs::File;
 use std::io::{BufReader, Read, Write};
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  samr generate <app> [--config paper|reduced|smoke] [--seed N] [--binary] [--out FILE]\n  samr analyze  <trace-file>\n  samr simulate <trace-file> [--partitioner domain|patch|hybrid] [--nprocs N]\n  samr compare  <trace-file> [--nprocs N]\n  samr apps"
+        "usage:\n  samr generate <app> [--config paper|reduced|smoke] [--seed N] [--binary] [--out FILE]\n  samr analyze  <trace-file>\n  samr simulate <trace-file> [--partitioner NAME] [--nprocs N]\n  samr compare  <trace-file> [--nprocs N]\n  samr campaign [--apps A,B] [--partitioners P,Q] [--nprocs N,M] [--ghost-widths G,H]\n                [--config paper|reduced|smoke] [--machine balanced|slow-network|slow-cpu] [--out DIR]\n  samr apps\n  samr partitioners"
     );
     ExitCode::from(2)
-}
-
-fn parse_app(name: &str) -> Option<AppKind> {
-    match name.to_ascii_uppercase().as_str() {
-        "TP2D" => Some(AppKind::Tp2d),
-        "BL2D" => Some(AppKind::Bl2d),
-        "SC2D" => Some(AppKind::Sc2d),
-        "RM2D" => Some(AppKind::Rm2d),
-        _ => None,
-    }
 }
 
 /// Value of `--flag V` in `args`, if present.
@@ -56,10 +52,38 @@ fn has_flag(args: &[String], flag: &str) -> bool {
     args.iter().any(|a| a == flag)
 }
 
+fn parse_config(args: &[String]) -> Result<TraceGenConfig, String> {
+    match flag_value(args, "--config").as_deref() {
+        None | Some("paper") => Ok(configs::paper()),
+        Some("reduced") => Ok(configs::reduced()),
+        Some("smoke") => Ok(TraceGenConfig::smoke()),
+        Some(other) => Err(format!("unknown config '{other}'")),
+    }
+}
+
+/// Parse a comma-separated list through `parse`, or return the default.
+fn parse_list<T>(
+    args: &[String],
+    flag: &str,
+    default: Vec<T>,
+    parse: impl Fn(&str) -> Result<T, String>,
+) -> Result<Vec<T>, String> {
+    match flag_value(args, flag) {
+        None => Ok(default),
+        Some(list) => list
+            .split(',')
+            .filter(|s| !s.is_empty())
+            .map(parse)
+            .collect(),
+    }
+}
+
 fn load_trace(path: &str) -> Result<HierarchyTrace, String> {
     let mut file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
     let mut head = [0u8; 8];
-    let n = file.read(&mut head).map_err(|e| format!("read {path}: {e}"))?;
+    let n = file
+        .read(&mut head)
+        .map_err(|e| format!("read {path}: {e}"))?;
     let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
     if n == 8 && &head == b"SAMRTRC1" {
         let mut bytes = Vec::new();
@@ -75,14 +99,9 @@ fn load_trace(path: &str) -> Result<HierarchyTrace, String> {
 fn cmd_generate(args: &[String]) -> Result<(), String> {
     let app = args
         .first()
-        .and_then(|a| parse_app(a))
+        .and_then(|a| AppKind::parse(a))
         .ok_or("expected an application: TP2D | BL2D | SC2D | RM2D")?;
-    let mut cfg = match flag_value(args, "--config").as_deref() {
-        None | Some("paper") => TraceGenConfig::paper(),
-        Some("reduced") => samr::experiments::configs::reduced(),
-        Some("smoke") => TraceGenConfig::smoke(),
-        Some(other) => return Err(format!("unknown config '{other}'")),
-    };
+    let mut cfg = parse_config(args)?;
     if let Some(seed) = flag_value(args, "--seed") {
         cfg.seed = seed.parse().map_err(|e| format!("bad seed: {e}"))?;
     }
@@ -94,8 +113,8 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
         cfg.max_levels
     );
     let trace = generate_trace(app, &cfg);
-    let out = flag_value(args, "--out")
-        .unwrap_or_else(|| format!("{}.trace", app.name().to_lowercase()));
+    let out =
+        flag_value(args, "--out").unwrap_or_else(|| format!("{}.trace", app.name().to_lowercase()));
     let mut file = File::create(&out).map_err(|e| format!("create {out}: {e}"))?;
     if has_flag(args, "--binary") {
         file.write_all(&encode_binary(&trace))
@@ -138,25 +157,30 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         .map(|v| v.parse().map_err(|e| format!("bad nprocs: {e}")))
         .transpose()?
         .unwrap_or(16);
-    let partitioner: Box<dyn Partitioner + Sync> =
-        match flag_value(args, "--partitioner").as_deref() {
-            None | Some("hybrid") => Box::new(HybridPartitioner::default()),
-            Some("domain") => Box::new(DomainSfcPartitioner::default()),
-            Some("patch") => Box::new(PatchPartitioner::default()),
-            Some(other) => return Err(format!("unknown partitioner '{other}'")),
-        };
+    let spec = match flag_value(args, "--partitioner") {
+        None => PartitionerSpec::parse("hybrid")?,
+        Some(name) => PartitionerSpec::parse(&name)?,
+    };
     let cfg = SimConfig {
         nprocs,
         ..SimConfig::default()
     };
-    let res = simulate_trace(&trace, partitioner.as_ref(), &cfg);
-    println!("# partitioner: {} on {} processors", res.partitioner, nprocs);
+    let res = spec.simulate(&trace, &cfg);
+    println!(
+        "# partitioner: {} on {} processors",
+        res.partitioner, nprocs
+    );
     println!("step,load_imbalance,rel_comm,rel_migration,comm_cells,migration_cells,step_time");
     for s in &res.steps {
         println!(
             "{},{:.6},{:.6},{:.6},{},{},{:.1}",
-            s.step, s.load_imbalance, s.rel_comm, s.rel_migration, s.comm_cells,
-            s.migration_cells, s.step_time
+            s.step,
+            s.load_imbalance,
+            s.rel_comm,
+            s.rel_migration,
+            s.comm_cells,
+            s.migration_cells,
+            s.step_time
         );
     }
     eprintln!("total estimated execution time: {:.0}", res.total_time);
@@ -194,12 +218,86 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_campaign(args: &[String]) -> Result<(), String> {
+    let apps = parse_list(args, "--apps", AppKind::ALL.to_vec(), |name| {
+        AppKind::parse(name).ok_or_else(|| format!("unknown app '{name}'"))
+    })?;
+    let partitioners = parse_list(
+        args,
+        "--partitioners",
+        vec![PartitionerSpec::parse("hybrid")?],
+        PartitionerSpec::parse,
+    )?;
+    let nprocs = parse_list(args, "--nprocs", vec![16usize], |v| {
+        v.parse().map_err(|e| format!("bad nprocs '{v}': {e}"))
+    })?;
+    let ghost_widths = parse_list(args, "--ghost-widths", vec![1i64], |v| {
+        v.parse().map_err(|e| format!("bad ghost width '{v}': {e}"))
+    })?;
+    // Campaigns default to the reduced configuration: the full paper
+    // config is available with `--config paper` but generates each
+    // 100-step 5-level trace in tens of seconds.
+    let trace = match flag_value(args, "--config").as_deref() {
+        None | Some("reduced") => configs::reduced(),
+        Some("paper") => configs::paper(),
+        Some("smoke") => TraceGenConfig::smoke(),
+        Some(other) => return Err(format!("unknown config '{other}'")),
+    };
+    let machine = match flag_value(args, "--machine").as_deref() {
+        None | Some("balanced") => MachineModel::default(),
+        Some("slow-network") => MachineModel::slow_network(),
+        Some("slow-cpu") => MachineModel::slow_cpu(),
+        Some(other) => return Err(format!("unknown machine '{other}'")),
+    };
+    let out_dir =
+        PathBuf::from(flag_value(args, "--out").unwrap_or_else(|| "results/campaign".into()));
+    let spec = CampaignSpec::new(trace)
+        .apps(apps)
+        .partitioners(partitioners)
+        .nprocs(nprocs)
+        .ghost_widths(ghost_widths)
+        .machine(machine);
+    if spec.is_empty() {
+        return Err("campaign expands to zero scenarios".into());
+    }
+    eprintln!(
+        "campaign: {} scenarios ({} apps x {} partitioners x {} nprocs x {} ghost widths) -> {}",
+        spec.len(),
+        spec.apps.len(),
+        spec.partitioners.len(),
+        spec.nprocs.len(),
+        spec.ghost_widths.len(),
+        out_dir.display()
+    );
+    let (outcomes, paths) =
+        Campaign::run_to_dir(&spec, &out_dir).map_err(|e| format!("write artifacts: {e}"))?;
+    for outcome in &outcomes {
+        println!("{}", outcome.digest());
+    }
+    eprintln!(
+        "wrote {} artifacts ({} scenarios) to {}",
+        paths.len(),
+        outcomes.len(),
+        out_dir.display()
+    );
+    Ok(())
+}
+
 fn cmd_apps() -> Result<(), String> {
-    let cfg = TraceGenConfig::paper();
+    let cfg = configs::paper();
     println!("app,description");
     for kind in AppKind::ALL {
         let kernel = samr::apps::tracegen::make_kernel(kind, &cfg);
         println!("{},{}", kind.name(), kernel.description());
+    }
+    Ok(())
+}
+
+fn cmd_partitioners() -> Result<(), String> {
+    let machine = MachineModel::default();
+    println!("name,stateful,configured_name");
+    for (name, spec) in PartitionerSpec::registry() {
+        println!("{},{},{}", name, spec.stateful(), spec.name(&machine));
     }
     Ok(())
 }
@@ -215,7 +313,9 @@ fn main() -> ExitCode {
         "analyze" => cmd_analyze(rest),
         "simulate" => cmd_simulate(rest),
         "compare" => cmd_compare(rest),
+        "campaign" => cmd_campaign(rest),
         "apps" => cmd_apps(),
+        "partitioners" => cmd_partitioners(),
         _ => return usage(),
     };
     match result {

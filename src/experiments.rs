@@ -1,234 +1,15 @@
-//! The experiment harness: regenerates every data figure of the paper.
+//! Back-compatibility shim: the experiment harness lives in
+//! [`samr_engine`] now.
 //!
-//! One [`ValidationRun`] bundles everything a figure needs: the model
-//! series (β_c, β_m — the red curves of Figures 4–7), the measured series
-//! from the partitioned execution simulation (relative communication and
-//! migration — the blue curves), the load-imbalance series (Figure 1) and
-//! the *shape statistics* the paper's visual comparison corresponds to
-//! (correlations, amplitude ratios, peak lags, dominant oscillation
-//! periods). Used by the examples, the integration tests and the
-//! criterion benches so that all three report the same numbers.
+//! The trace cache, [`ShapeStats`], [`ValidationRun`] and the standard
+//! [`configs`] moved into the campaign engine (`samr-engine`, re-exported
+//! as [`crate::engine`]), which generalizes the single-figure pipeline
+//! this module used to hard-code into declarative cartesian sweeps. The
+//! original paths keep working through these re-exports; new code should
+//! depend on `samr::engine` (or `samr-engine` directly) and use
+//! [`samr_engine::Campaign`] for anything that runs more than one
+//! (app × partitioner × nprocs) combination.
 
-use samr_apps::{generate_trace, AppKind, TraceGenConfig};
-use samr_core::{ModelPipeline, ModelState};
-use samr_partition::{DomainSfcPartitioner, HybridPartitioner};
-use samr_sim::metrics::{dominant_period, peak_lag, pearson};
-use samr_sim::{simulate_trace, SeriesSummary, SimConfig, SimResult};
-use samr_trace::HierarchyTrace;
-use std::collections::HashMap;
-use std::sync::{Arc, Mutex, OnceLock};
-
-/// Cache of generated traces: trace generation costs tens of seconds at
-/// paper scale, and every figure, test and bench wants the same traces.
-fn trace_cache() -> &'static Mutex<HashMap<(AppKind, u32, i64, i64, u64), Arc<HierarchyTrace>>> {
-    static CACHE: OnceLock<Mutex<HashMap<(AppKind, u32, i64, i64, u64), Arc<HierarchyTrace>>>> =
-        OnceLock::new();
-    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
-}
-
-/// Generate (or fetch from the process-wide cache) the trace of an
-/// application under a configuration.
-pub fn cached_trace(kind: AppKind, cfg: &TraceGenConfig) -> Arc<HierarchyTrace> {
-    let key = (kind, cfg.steps, cfg.base_cells, cfg.ref_resolution, cfg.seed);
-    if let Some(t) = trace_cache().lock().unwrap().get(&key) {
-        return Arc::clone(t);
-    }
-    let trace = Arc::new(generate_trace(kind, cfg));
-    trace_cache()
-        .lock()
-        .unwrap()
-        .insert(key, Arc::clone(&trace));
-    trace
-}
-
-/// Shape statistics comparing a model series against a measured series —
-/// the quantitative version of the paper's visual §5.2 assessment.
-#[derive(Clone, Copy, Debug)]
-pub struct ShapeStats {
-    /// Pearson correlation between model and measurement.
-    pub correlation: f64,
-    /// `mean(model) / mean(measured)`: > 1 means the model is
-    /// "aggressive" (overshoots), < 1 "cautious".
-    pub amplitude_ratio: f64,
-    /// Lag (steps) at which cross-correlation peaks; positive = the model
-    /// *leads* the measurement.
-    pub model_lead: i64,
-    /// Dominant oscillation period of the model series, if any.
-    pub model_period: Option<usize>,
-    /// Dominant oscillation period of the measured series, if any.
-    pub measured_period: Option<usize>,
-}
-
-impl ShapeStats {
-    /// Compare a model series against a measurement.
-    pub fn compare(model: &[f64], measured: &[f64]) -> Self {
-        let m_mean = SeriesSummary::of(measured).mean;
-        Self {
-            correlation: pearson(model, measured),
-            amplitude_ratio: if m_mean > 0.0 {
-                SeriesSummary::of(model).mean / m_mean
-            } else {
-                f64::INFINITY
-            },
-            model_lead: peak_lag(model, measured, 4),
-            model_period: dominant_period(model),
-            measured_period: dominant_period(measured),
-        }
-    }
-}
-
-/// Everything needed to regenerate one of Figures 4–7 (plus Figure 1's
-/// series for BL2D): per-step model and measurement series and their
-/// shape statistics.
-pub struct ValidationRun {
-    /// Which application kernel.
-    pub app: AppKind,
-    /// Per-step model states (β_l, β_c, β_m, classification points).
-    pub model: Vec<ModelState>,
-    /// Simulation result under the static neutral hybrid set-up (§5.1.2).
-    pub sim: SimResult,
-    /// Secondary simulation under the clean domain-based SFC partitioner —
-    /// the paper's contribution (5), "complementary communication results
-    /// for dimension I using the new metric". The domain-based run has no
-    /// partial-ordering noise, so it isolates how well β_c tracks the
-    /// grid's inherent communication need.
-    pub sim_domain: SimResult,
-    /// Shape statistics: β_c vs. actual relative communication (left
-    /// panel, hybrid partitioner as in the paper's figures).
-    pub comm_shape: ShapeStats,
-    /// Shape statistics: β_c vs. the domain-based run's communication
-    /// (complementary dimension-I results).
-    pub comm_shape_domain: ShapeStats,
-    /// Shape statistics: β_m vs. actual relative migration (right panel).
-    pub migration_shape: ShapeStats,
-}
-
-impl ValidationRun {
-    /// Run the full §5.1 pipeline for one application: trace → model and
-    /// trace → Nature+Fable-style partitioning → execution simulation.
-    pub fn execute(app: AppKind, cfg: &TraceGenConfig, sim_cfg: &SimConfig) -> Self {
-        let trace = cached_trace(app, cfg);
-        Self::from_trace(app, &trace, sim_cfg)
-    }
-
-    /// Same, from an already generated trace.
-    pub fn from_trace(app: AppKind, trace: &HierarchyTrace, sim_cfg: &SimConfig) -> Self {
-        let model = ModelPipeline::new().run(trace);
-        let hybrid = HybridPartitioner::default();
-        let sim = simulate_trace(trace, &hybrid, sim_cfg);
-        let domain = DomainSfcPartitioner::default();
-        let sim_domain = simulate_trace(trace, &domain, sim_cfg);
-        // Step 0 has neither a migration measurement nor a β_m (no
-        // previous hierarchy); compare from step 1 on.
-        let beta_c: Vec<f64> = model.iter().skip(1).map(|s| s.beta_c).collect();
-        let beta_m: Vec<f64> = model.iter().skip(1).map(|s| s.beta_m).collect();
-        let rel_comm: Vec<f64> = sim.steps.iter().skip(1).map(|s| s.rel_comm).collect();
-        let rel_comm_dom: Vec<f64> = sim_domain
-            .steps
-            .iter()
-            .skip(1)
-            .map(|s| s.rel_comm)
-            .collect();
-        let rel_mig: Vec<f64> = sim.steps.iter().skip(1).map(|s| s.rel_migration).collect();
-        let comm_shape = ShapeStats::compare(&beta_c, &rel_comm);
-        let comm_shape_domain = ShapeStats::compare(&beta_c, &rel_comm_dom);
-        let migration_shape = ShapeStats::compare(&beta_m, &rel_mig);
-        Self {
-            app,
-            model,
-            sim,
-            sim_domain,
-            comm_shape,
-            comm_shape_domain,
-            migration_shape,
-        }
-    }
-
-    /// The figure number this run reproduces (paper order: RM2D=4,
-    /// BL2D=5, SC2D=6, TP2D=7).
-    pub fn figure_number(&self) -> u32 {
-        match self.app {
-            AppKind::Rm2d => 4,
-            AppKind::Bl2d => 5,
-            AppKind::Sc2d => 6,
-            AppKind::Tp2d => 7,
-        }
-    }
-
-    /// Render the figure data as CSV: one row per step with both panels'
-    /// series (plus load imbalance, which Figure 1 uses).
-    pub fn to_csv(&self) -> String {
-        let mut out = String::from(
-            "step,beta_l,beta_c,beta_m,rel_comm,rel_comm_domain,rel_migration,load_imbalance,total_points\n",
-        );
-        for ((m, s), sd) in self
-            .model
-            .iter()
-            .zip(&self.sim.steps)
-            .zip(&self.sim_domain.steps)
-        {
-            out.push_str(&format!(
-                "{},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{}\n",
-                m.step,
-                m.beta_l,
-                m.beta_c,
-                m.beta_m,
-                s.rel_comm,
-                sd.rel_comm,
-                s.rel_migration,
-                s.load_imbalance,
-                s.total_points
-            ));
-        }
-        out
-    }
-
-    /// One-paragraph textual summary of the shape comparison (printed by
-    /// the examples and recorded in EXPERIMENTS.md).
-    pub fn summary(&self) -> String {
-        format!(
-            "Figure {} ({}): comm[hybrid] r={:.3} amp={:.2} lead={}; comm[domain] r={:.3} amp={:.2}; migration r={:.3} amp={:.2} lead={}; periods model/measured comm {:?}/{:?} mig {:?}/{:?}",
-            self.figure_number(),
-            self.app.name(),
-            self.comm_shape.correlation,
-            self.comm_shape.amplitude_ratio,
-            self.comm_shape.model_lead,
-            self.comm_shape_domain.correlation,
-            self.comm_shape_domain.amplitude_ratio,
-            self.migration_shape.correlation,
-            self.migration_shape.amplitude_ratio,
-            self.migration_shape.model_lead,
-            self.comm_shape.model_period,
-            self.comm_shape.measured_period,
-            self.migration_shape.model_period,
-            self.migration_shape.measured_period,
-        )
-    }
-}
-
-/// The standard experiment configurations.
-pub mod configs {
-    use super::*;
-
-    /// The paper's full §5.1.1 configuration.
-    pub fn paper() -> TraceGenConfig {
-        TraceGenConfig::paper()
-    }
-
-    /// Reduced configuration for CI-speed integration tests: the same
-    /// pipeline and regrid schedule, smaller grids, 40 steps, 4 levels.
-    pub fn reduced() -> TraceGenConfig {
-        TraceGenConfig {
-            steps: 40,
-            base_cells: 48,
-            max_levels: 4,
-            ref_resolution: 96,
-            ..TraceGenConfig::paper()
-        }
-    }
-
-    /// The paper-faithful simulation configuration (16 processors).
-    pub fn sim() -> SimConfig {
-        SimConfig::default()
-    }
-}
+pub use samr_engine::configs;
+pub use samr_engine::store::cached_trace;
+pub use samr_engine::{ShapeStats, ValidationRun};

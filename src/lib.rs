@@ -18,6 +18,7 @@
 //! | [`sim`] | `samr-sim` | trace-driven execution simulator |
 //! | [`model`] | `samr-core` | the paper's model: penalties and classification space |
 //! | [`meta`] | `samr-meta` | the adaptive meta-partitioner |
+//! | [`engine`] | `samr-engine` | scenario descriptions, the partitioner registry, campaign sweeps |
 //!
 //! ## Quickstart
 //!
@@ -39,6 +40,7 @@ pub mod experiments;
 
 pub use samr_apps as apps;
 pub use samr_core as model;
+pub use samr_engine as engine;
 pub use samr_geom as geom;
 pub use samr_grid as grid;
 pub use samr_meta as meta;

@@ -6,7 +6,7 @@ use samr::apps::{generate_trace, AppKind, TraceGenConfig};
 use samr::experiments::cached_trace;
 use samr::model::ModelPipeline;
 use samr::partition::{
-    validate_partition, DomainSfcPartitioner, HybridPartitioner, PatchPartitioner, Partitioner,
+    validate_partition, DomainSfcPartitioner, HybridPartitioner, Partitioner, PatchPartitioner,
 };
 use samr::sim::{simulate_trace, SimConfig};
 

@@ -63,10 +63,10 @@ fn beta_c_is_aggressive_worst_case() {
     // on average ("reflects a worst-case scenario").
     for run in runs() {
         assert!(
-            run.comm_shape_domain.amplitude_ratio > 1.0,
+            run.comm_shape_domain.amplitude() > 1.0,
             "{}: β_c amplitude ratio {:.2} is not aggressive",
             run.app.name(),
-            run.comm_shape_domain.amplitude_ratio
+            run.comm_shape_domain.amplitude()
         );
     }
 }
@@ -79,7 +79,7 @@ fn beta_m_is_cautious_for_most_applications() {
     // three of the four kernels.
     let cautious = runs()
         .iter()
-        .filter(|r| r.migration_shape.amplitude_ratio < 1.0)
+        .filter(|r| r.migration_shape.amplitude() < 1.0)
         .count();
     assert!(cautious >= 3, "only {cautious}/4 applications cautious");
 }
@@ -102,7 +102,7 @@ fn bl2d_model_shows_the_pulse_period() {
 #[test]
 fn penalties_are_well_formed_series() {
     for run in runs() {
-        for s in &run.model {
+        for s in run.model.iter() {
             assert!((0.0..=1.0).contains(&s.beta_l));
             assert!((0.0..=1.0).contains(&s.beta_c));
             assert!((0.0..=1.0).contains(&s.beta_m));

@@ -1,0 +1,276 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Implements the subset the trace codec uses: an immutable, cheaply
+//! cloneable [`Bytes`] view with cursor-style little-endian reads
+//! ([`Buf`]), and a growable [`BytesMut`] with little-endian writes
+//! ([`BufMut`]).
+
+use std::ops::{Bound, Deref, RangeBounds};
+use std::sync::Arc;
+
+/// An immutable, reference-counted byte buffer. Cloning and slicing are
+/// O(1); [`Buf`] reads advance an internal cursor.
+#[derive(Clone, Debug)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// A view over a static byte string.
+    pub fn from_static(b: &'static [u8]) -> Self {
+        Self::from(b.to_vec())
+    }
+
+    /// Number of readable bytes remaining.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// `true` when no bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// A sub-view of the remaining bytes (O(1), shares the allocation).
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Self {
+        let lo = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(lo <= hi && hi <= self.len(), "slice out of range");
+        Self {
+            data: Arc::clone(&self.data),
+            start: self.start + lo,
+            end: self.start + hi,
+        }
+    }
+
+    /// Split off and return the first `n` bytes, advancing `self` past
+    /// them.
+    pub fn split_to(&mut self, n: usize) -> Self {
+        assert!(n <= self.len(), "split_to out of range");
+        let head = Self {
+            data: Arc::clone(&self.data),
+            start: self.start,
+            end: self.start + n,
+        };
+        self.start += n;
+        head
+    }
+
+    fn bytes(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+
+    fn take_array<const N: usize>(&mut self) -> [u8; N] {
+        let mut out = [0u8; N];
+        out.copy_from_slice(&self.bytes()[..N]);
+        self.start += N;
+        out
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Self {
+            data: Arc::new(v),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.bytes()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.bytes() == other.bytes()
+    }
+}
+
+impl Eq for Bytes {}
+
+/// Cursor-style reads over a byte source. Reads panic when fewer than the
+/// requested bytes remain (callers bound-check with [`Buf::remaining`]).
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Copy `dst.len()` bytes out, advancing the cursor.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    /// Read one byte.
+    fn get_u8(&mut self) -> u8;
+
+    /// Read a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16;
+
+    /// Read a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32;
+
+    /// Read a little-endian `i32`.
+    fn get_i32_le(&mut self) -> i32;
+
+    /// Read a little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64;
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(dst.len() <= self.len(), "copy_to_slice out of range");
+        dst.copy_from_slice(&self.bytes()[..dst.len()]);
+        self.start += dst.len();
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        u8::from_le_bytes(self.take_array::<1>())
+    }
+
+    fn get_u16_le(&mut self) -> u16 {
+        u16::from_le_bytes(self.take_array::<2>())
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.take_array::<4>())
+    }
+
+    fn get_i32_le(&mut self) -> i32 {
+        i32::from_le_bytes(self.take_array::<4>())
+    }
+
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_le_bytes(self.take_array::<8>())
+    }
+}
+
+/// A growable byte buffer with little-endian append operations.
+#[derive(Clone, Debug, Default)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    /// New buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Freeze into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.buf)
+    }
+}
+
+/// Append operations for byte buffers.
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8);
+
+    /// Append a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16);
+
+    /// Append a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32);
+
+    /// Append a little-endian `i32`.
+    fn put_i32_le(&mut self, v: i32);
+
+    /// Append a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64);
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+    }
+
+    fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn put_u16_le(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_i32_le(&mut self, v: i32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_f64_le(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let mut w = BytesMut::with_capacity(64);
+        w.put_slice(b"HDR");
+        w.put_u8(7);
+        w.put_u16_le(513);
+        w.put_u32_le(70_000);
+        w.put_i32_le(-9);
+        w.put_f64_le(0.25);
+        let mut r = w.freeze();
+        let mut hdr = [0u8; 3];
+        r.copy_to_slice(&mut hdr);
+        assert_eq!(&hdr, b"HDR");
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u16_le(), 513);
+        assert_eq!(r.get_u32_le(), 70_000);
+        assert_eq!(r.get_i32_le(), -9);
+        assert_eq!(r.get_f64_le(), 0.25);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn slice_and_split_share_data() {
+        let b = Bytes::from(vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(&b.slice(..3)[..], &[0, 1, 2]);
+        assert_eq!(&b.slice(2..5)[..], &[2, 3, 4]);
+        let mut c = b.clone();
+        let head = c.split_to(2);
+        assert_eq!(&head[..], &[0, 1]);
+        assert_eq!(&c[..], &[2, 3, 4, 5]);
+    }
+}

@@ -1,0 +1,292 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Supports the macro and builder surface the workspace's benches use
+//! (`criterion_group!`/`criterion_main!`, `bench_function`,
+//! `benchmark_group`, `bench_with_input`, `iter`, `iter_batched`,
+//! throughput annotations) with a deliberately simple measurement loop:
+//! one warm-up iteration, then `sample_size` timed iterations, reporting
+//! min/mean per-iteration wall time. No statistics, no plots, no
+//! comparison state — wall-clock signal only, with zero dependencies.
+//!
+//! When invoked with `--test` (as `cargo test --benches` does) each
+//! benchmark runs exactly once, so benches double as smoke tests.
+
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from discarding a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation (recorded, reported as-is).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Batch sizing policy for [`Bencher::iter_batched`]. The stand-in runs
+/// one batch per measured iteration regardless of the hint.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// One setup per iteration.
+    PerIteration,
+    /// Small inputs (hint only).
+    SmallInput,
+    /// Large inputs (hint only).
+    LargeInput,
+}
+
+/// A benchmark identifier: function name plus a parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            text: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.text)
+    }
+}
+
+/// Passed to benchmark closures; runs and times the measurement loop.
+pub struct Bencher<'a> {
+    samples: usize,
+    results: &'a mut Vec<Duration>,
+}
+
+impl Bencher<'_> {
+    /// Time `routine`, called once per measured iteration.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        black_box(routine()); // warm-up
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.results.push(t0.elapsed());
+        }
+    }
+
+    /// Time `routine` over inputs produced by `setup` (setup excluded
+    /// from the measurement).
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        black_box(routine(setup())); // warm-up
+        for _ in 0..self.samples {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.results.push(t0.elapsed());
+        }
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        // `cargo bench -- <filter>`; `--test` runs each bench once.
+        let test_mode = args.iter().any(|a| a == "--test");
+        let filter = args.iter().skip(1).find(|a| !a.starts_with('-')).cloned();
+        Self {
+            sample_size: 10,
+            test_mode,
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the number of measured iterations per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    fn effective_samples(&self, requested: usize) -> usize {
+        if self.test_mode {
+            1
+        } else {
+            requested.max(1)
+        }
+    }
+
+    fn run_one(
+        &mut self,
+        id: &str,
+        samples: usize,
+        throughput: Option<Throughput>,
+        f: &mut dyn FnMut(&mut Bencher),
+    ) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut results = Vec::with_capacity(samples);
+        let samples = self.effective_samples(samples);
+        f(&mut Bencher {
+            samples,
+            results: &mut results,
+        });
+        if results.is_empty() {
+            println!("{id:40} (no measurement)");
+            return;
+        }
+        let min = results.iter().min().copied().unwrap_or_default();
+        let total: Duration = results.iter().sum();
+        let mean = total / results.len() as u32;
+        let rate = match throughput {
+            Some(Throughput::Elements(n)) if mean.as_secs_f64() > 0.0 => {
+                format!("  {:>12.0} elem/s", n as f64 / mean.as_secs_f64())
+            }
+            Some(Throughput::Bytes(n)) if mean.as_secs_f64() > 0.0 => {
+                format!("  {:>12.0} B/s", n as f64 / mean.as_secs_f64())
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{id:40} min {:>12}  mean {:>12}  ({} samples){rate}",
+            format_duration(min),
+            format_duration(mean),
+            results.len()
+        );
+    }
+
+    /// Run one benchmark function.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let samples = self.sample_size;
+        self.run_one(&id, samples, None, &mut f);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the measured iteration count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Annotate per-iteration throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into());
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let throughput = self.throughput;
+        self.criterion.run_one(&id, samples, throughput, &mut f);
+        self
+    }
+
+    /// Run one parameterized benchmark in the group.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id);
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let throughput = self.throughput;
+        self.criterion
+            .run_one(&id, samples, throughput, &mut |b| f(b, input));
+        self
+    }
+
+    /// Finish the group.
+    pub fn finish(self) {}
+}
+
+/// Define a group of benchmark functions, optionally with a custom
+/// `Criterion` configuration.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define the benchmark binary entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

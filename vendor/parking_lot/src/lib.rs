@@ -1,0 +1,48 @@
+//! Offline stand-in for the `parking_lot` crate.
+//!
+//! The workspace builds without network access, so the handful of
+//! external crates it needs are vendored as minimal API-compatible
+//! subsets. This one provides `parking_lot::Mutex` — a mutex whose
+//! `lock()` returns the guard directly (no poisoning) — backed by
+//! `std::sync::Mutex`.
+
+use std::sync::PoisonError;
+
+/// A mutual-exclusion primitive with the `parking_lot` API shape:
+/// `lock()` never returns a `Result`.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+/// Guard returned by [`Mutex::lock`].
+pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+impl<T> Mutex<T> {
+    /// Create a new mutex.
+    pub const fn new(value: T) -> Self {
+        Self {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Consume the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the mutex, blocking until it is available. A panic in a
+    /// previous holder does not poison the lock (parking_lot semantics).
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}

@@ -1,0 +1,434 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Supports the subset the workspace's property tests use: the
+//! `proptest!` macro (with an optional `#![proptest_config(...)]`
+//! header), range and tuple strategies, `prop::collection::vec`,
+//! `any::<T>()`, `.prop_map(...)`, and `prop_assert!`/`prop_assert_eq!`.
+//!
+//! Differences from real proptest, deliberately accepted:
+//! - cases are drawn from a fixed per-test seed (deterministic across
+//!   runs and machines, no `PROPTEST_CASES` env handling);
+//! - failing cases are reported with their inputs but **not shrunk**.
+
+/// Strategy combinators and the [`Strategy`] trait.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating random values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draw one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Map generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// The strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty => $draw:ident),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.$draw(self.start, self.end)
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    // Widen before the +1 so `..=MAX` cannot overflow.
+                    rng.draw_inclusive(*self.start() as i128, *self.end() as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(
+        i8 => draw_i8, i16 => draw_i16, i32 => draw_i32, i64 => draw_i64,
+        u8 => draw_u8, u16 => draw_u16, u32 => draw_u32, u64 => draw_u64,
+        usize => draw_usize
+    );
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            rng.draw_f64(self.start, self.end)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($n:tt $s:ident),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$n.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (0 A, 1 B)
+        (0 A, 1 B, 2 C)
+        (0 A, 1 B, 2 C, 3 D)
+        (0 A, 1 B, 2 C, 3 D, 4 E)
+    }
+}
+
+/// `any::<T>()` support.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draw an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for u8 {
+        fn arbitrary(rng: &mut TestRng) -> u8 {
+            rng.next_u64() as u8
+        }
+    }
+
+    impl Arbitrary for u32 {
+        fn arbitrary(rng: &mut TestRng) -> u32 {
+            rng.next_u64() as u32
+        }
+    }
+
+    impl Arbitrary for u64 {
+        fn arbitrary(rng: &mut TestRng) -> u64 {
+            rng.next_u64()
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// A strategy producing any value of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.draw_usize(self.size.start, self.size.end.max(self.size.start + 1));
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A vector of `element` values with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+}
+
+/// Test-runner types: configuration, RNG, case errors.
+pub mod test_runner {
+    /// Per-test configuration.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// Configuration running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    /// A failed or rejected property case.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// The property did not hold.
+        Fail(String),
+        /// The inputs did not satisfy a `prop_assume!` precondition; the
+        /// case is skipped, not failed.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// Build a failure from a message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            Self::Fail(msg.into())
+        }
+
+        /// Build a rejection from a message.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            Self::Reject(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                Self::Fail(m) => write!(f, "{m}"),
+                Self::Reject(m) => write!(f, "rejected: {m}"),
+            }
+        }
+    }
+
+    /// Deterministic generator driving the strategies (SplitMix64).
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seed from a test name (stable across runs and platforms).
+        pub fn for_test(name: &str) -> Self {
+            // FNV-1a over the name gives every test its own stream.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            Self { state: h }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform `f64` in `[lo, hi)`.
+        pub fn draw_f64(&mut self, lo: f64, hi: f64) -> f64 {
+            let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            lo + u * (hi - lo)
+        }
+
+        fn draw_i128(&mut self, lo: i128, hi: i128) -> i128 {
+            assert!(lo < hi, "empty strategy range");
+            let span = (hi - lo) as u128;
+            let v = ((self.next_u64() as u128) * span) >> 64;
+            lo + v as i128
+        }
+
+        /// Uniform value in `[lo, hi]` (inclusive, pre-widened operands).
+        pub fn draw_inclusive(&mut self, lo: i128, hi: i128) -> i128 {
+            self.draw_i128(lo, hi + 1)
+        }
+    }
+
+    macro_rules! impl_draw {
+        ($($fn_name:ident => $t:ty),*) => {$(
+            impl TestRng {
+                /// Uniform value in `[lo, hi)`.
+                pub fn $fn_name(&mut self, lo: $t, hi: $t) -> $t {
+                    self.draw_i128(lo as i128, hi as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_draw!(
+        draw_i8 => i8, draw_i16 => i16, draw_i32 => i32, draw_i64 => i64,
+        draw_u8 => u8, draw_u16 => u16, draw_u32 => u32, draw_u64 => u64,
+        draw_usize => usize
+    );
+}
+
+/// Assert a condition inside a property, failing the case (not
+/// panicking) when it does not hold.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Skip the current case when its inputs do not satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, $($fmt)*);
+    }};
+}
+
+/// Define property tests: each function's arguments are drawn from the
+/// given strategies for every case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($config); $($rest)*);
+    };
+    (@run ($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            use $crate::strategy::Strategy as _;
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+            for case in 0..config.cases {
+                $(let $arg = ($strategy).generate(&mut rng);)*
+                // Describe inputs up front: the body may consume them.
+                let inputs = format!(
+                    concat!($(stringify!($arg), " = {:?}, ",)* ""),
+                    $(&$arg),*
+                );
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                match outcome {
+                    ::std::result::Result::Ok(())
+                    | ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Reject(_),
+                    ) => {}
+                    ::std::result::Result::Err(e) => panic!(
+                        "proptest case {}/{} failed: {}\n  inputs: {}",
+                        case + 1, config.cases, e, inputs
+                    ),
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// The proptest prelude: glob-import in property-test modules.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+
+    /// Namespaced strategy modules (`prop::collection::vec`, ...).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(x in -5i64..17, u in 0.0f64..1.0, b in any::<bool>()) {
+            prop_assert!((-5..17).contains(&x));
+            prop_assert!((0.0..1.0).contains(&u));
+            if b {
+                prop_assert!(x >= -5);
+            } else {
+                prop_assert!(x < 17);
+            }
+        }
+
+        #[test]
+        fn vec_lengths_respected(v in prop::collection::vec(any::<u8>(), 2..9)) {
+            prop_assert!(v.len() >= 2 && v.len() < 9);
+        }
+
+        #[test]
+        fn prop_map_applies(r in (0u64..10, 1u64..5).prop_map(|(a, b)| a * 10 + b)) {
+            prop_assert!(r % 10 >= 1 && r % 10 < 5);
+            prop_assert_eq!(r / 10, r / 10);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_test_name() {
+        use crate::strategy::Strategy as _;
+        let mut a = crate::test_runner::TestRng::for_test("t");
+        let mut b = crate::test_runner::TestRng::for_test("t");
+        let s = 0u64..1000;
+        for _ in 0..100 {
+            assert_eq!(s.generate(&mut a), s.generate(&mut b));
+        }
+    }
+}

@@ -1,0 +1,384 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Provides the data-parallel subset this workspace uses — `par_iter()`
+//! on slices, `into_par_iter()` on vectors and `usize` ranges, `map` +
+//! `collect`/`for_each`, and a [`ThreadPool`] whose `install` scopes the
+//! worker count — built on `std::thread::scope`.
+//!
+//! Results are always produced **in input order**: the executor splits
+//! the index space into contiguous chunks, each worker writes its own
+//! chunk's slots, and the joined output vector is assembled by index.
+//! Combined with pure per-item closures this makes every parallel map
+//! bit-identical for any thread count, which the engine's determinism
+//! tests assert.
+//!
+//! Like real rayon's single work-stealing pool, parallelism is bounded
+//! at one level: a parallel operation started *from inside* a worker
+//! thread runs sequentially on that worker instead of spawning another
+//! layer of threads. Without this, a campaign-level `par_iter` whose
+//! scenarios each call the simulator's snapshot-level `par_iter` would
+//! oversubscribe the machine quadratically.
+
+use std::cell::Cell;
+
+thread_local! {
+    /// Worker-count override installed by [`ThreadPool::install`].
+    static POOL_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+
+    /// Set on worker threads: nested parallel operations run inline.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// The number of worker threads parallel operations will use (1 inside
+/// a worker thread: nesting does not multiply).
+pub fn current_num_threads() -> usize {
+    if IN_WORKER.with(|w| w.get()) {
+        return 1;
+    }
+    POOL_OVERRIDE.with(|o| o.get()).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Run `f(0..n)` across the current worker count, returning results in
+/// index order.
+fn run_indexed<R: Send, F: Fn(usize) -> R + Sync>(n: usize, f: F) -> Vec<R> {
+    let threads = current_num_threads().clamp(1, n.max(1));
+    if n == 0 {
+        return Vec::new();
+    }
+    if threads == 1 {
+        return (0..n).map(f).collect();
+    }
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|s| {
+        for (ci, band) in slots.chunks_mut(chunk).enumerate() {
+            let start = ci * chunk;
+            let f = &f;
+            s.spawn(move || {
+                IN_WORKER.with(|w| w.set(true));
+                for (off, slot) in band.iter_mut().enumerate() {
+                    *slot = Some(f(start + off));
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("worker filled every slot"))
+        .collect()
+}
+
+/// A configured worker-count scope (stand-in for rayon's real pool).
+#[derive(Clone, Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `op` with this pool's worker count installed for every
+    /// parallel operation it performs on this thread.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let prev = POOL_OVERRIDE.with(|o| o.replace(Some(self.threads)));
+        let out = op();
+        POOL_OVERRIDE.with(|o| o.set(prev));
+        out
+    }
+
+    /// The pool's worker count.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+}
+
+/// Error building a thread pool (the stand-in cannot fail; the type
+/// exists for API compatibility).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for [`ThreadPool`].
+#[derive(Clone, Debug, Default)]
+pub struct ThreadPoolBuilder {
+    threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// Start building.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fix the worker count (0 = automatic).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    /// Build the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            threads: self.threads.unwrap_or_else(current_num_threads),
+        })
+    }
+}
+
+/// Run two closures, potentially in parallel, returning both results.
+pub fn join<A: Send, B: Send>(
+    a: impl FnOnce() -> A + Send,
+    b: impl FnOnce() -> B + Send,
+) -> (A, B) {
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(|| {
+            IN_WORKER.with(|w| w.set(true));
+            b()
+        });
+        let ra = a();
+        (ra, hb.join().expect("join closure panicked"))
+    })
+}
+
+// ---------------------------------------------------------------------
+// Parallel iterators.
+// ---------------------------------------------------------------------
+
+/// A parallel iterator over borrowed slice elements.
+pub struct SlicePar<'a, T> {
+    slice: &'a [T],
+}
+
+/// A parallel iterator over owned vector elements.
+pub struct VecPar<T> {
+    items: Vec<T>,
+}
+
+/// A parallel iterator over a `usize` range.
+pub struct RangePar {
+    range: std::ops::Range<usize>,
+}
+
+/// A mapped parallel iterator; consumed by `collect` or `for_each`.
+pub struct ParMap<I, F> {
+    inner: I,
+    f: F,
+}
+
+impl<'a, T: Sync> SlicePar<'a, T> {
+    /// Apply `f` to every element in parallel.
+    pub fn map<R, F: Fn(&'a T) -> R + Sync>(self, f: F) -> ParMap<Self, F> {
+        ParMap { inner: self, f }
+    }
+
+    /// Run `f` on every element in parallel.
+    pub fn for_each<F: Fn(&'a T) + Sync>(self, f: F) {
+        run_indexed(self.slice.len(), |i| f(&self.slice[i]));
+    }
+}
+
+impl<'a, T: Sync, R: Send, F: Fn(&'a T) -> R + Sync> ParMap<SlicePar<'a, T>, F> {
+    /// Collect the mapped results in input order.
+    pub fn collect<C: From<Vec<R>>>(self) -> C {
+        let slice = self.inner.slice;
+        let f = self.f;
+        C::from(run_indexed(slice.len(), |i| f(&slice[i])))
+    }
+}
+
+impl<T: Send + Sync> VecPar<T> {
+    /// Apply `f` to every element in parallel.
+    pub fn map<R, F: Fn(T) -> R + Sync>(self, f: F) -> ParMap<Self, F> {
+        ParMap { inner: self, f }
+    }
+}
+
+impl<T: Send + Sync, R: Send, F: Fn(T) -> R + Sync> ParMap<VecPar<T>, F> {
+    /// Collect the mapped results in input order.
+    pub fn collect<C: From<Vec<R>>>(self) -> C {
+        let mut items = self.inner.items;
+        let n = items.len();
+        let threads = current_num_threads().clamp(1, n.max(1));
+        let f = &self.f;
+        if threads == 1 || n == 0 {
+            return C::from(items.into_iter().map(f).collect());
+        }
+        // Contiguous chunks, one per worker, rejoined in input order.
+        let chunk = n.div_ceil(threads);
+        let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+        while !items.is_empty() {
+            let tail = items.split_off(chunk.min(items.len()));
+            chunks.push(std::mem::replace(&mut items, tail));
+        }
+        let mapped: Vec<Vec<R>> = std::thread::scope(|s| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|c| {
+                    s.spawn(move || {
+                        IN_WORKER.with(|w| w.set(true));
+                        c.into_iter().map(f).collect::<Vec<R>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("map worker panicked"))
+                .collect()
+        });
+        C::from(mapped.into_iter().flatten().collect())
+    }
+}
+
+impl RangePar {
+    /// Apply `f` to every index in parallel.
+    pub fn map<R, F: Fn(usize) -> R + Sync>(self, f: F) -> ParMap<Self, F> {
+        ParMap { inner: self, f }
+    }
+
+    /// Run `f` on every index in parallel.
+    pub fn for_each<F: Fn(usize) + Sync>(self, f: F) {
+        let start = self.range.start;
+        run_indexed(self.range.len(), |i| f(start + i));
+    }
+}
+
+impl<R: Send, F: Fn(usize) -> R + Sync> ParMap<RangePar, F> {
+    /// Collect the mapped results in input order.
+    pub fn collect<C: From<Vec<R>>>(self) -> C {
+        let start = self.inner.range.start;
+        let f = self.f;
+        C::from(run_indexed(self.inner.range.len(), |i| f(start + i)))
+    }
+}
+
+/// Types with a by-reference parallel iterator.
+pub trait IntoParallelRefIterator<'a> {
+    /// The parallel iterator type.
+    type Iter;
+
+    /// Parallel iterator over `&self`.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Iter = SlicePar<'a, T>;
+    fn par_iter(&'a self) -> SlicePar<'a, T> {
+        SlicePar { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Iter = SlicePar<'a, T>;
+    fn par_iter(&'a self) -> SlicePar<'a, T> {
+        SlicePar { slice: self }
+    }
+}
+
+/// Types convertible into an owning parallel iterator.
+pub trait IntoParallelIterator {
+    /// The parallel iterator type.
+    type Iter;
+
+    /// Convert into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send + Sync> IntoParallelIterator for Vec<T> {
+    type Iter = VecPar<T>;
+    fn into_par_iter(self) -> VecPar<T> {
+        VecPar { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Iter = RangePar;
+    fn into_par_iter(self) -> RangePar {
+        RangePar { range: self }
+    }
+}
+
+/// The rayon prelude: glob-import to get the parallel iterator methods.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let v: Vec<usize> = (0..1000).collect();
+        let doubled: Vec<usize> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_map_matches_sequential() {
+        let out: Vec<usize> = (0..257).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(out, (0..257).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn vec_into_par_iter_consumes_in_order() {
+        let v: Vec<String> = (0..100).map(|i| i.to_string()).collect();
+        let out: Vec<usize> = v.into_par_iter().map(|s| s.parse().unwrap()).collect();
+        assert_eq!(out, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pool_override_is_scoped() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let outside = current_num_threads();
+        pool.install(|| assert_eq!(current_num_threads(), 1));
+        assert_eq!(current_num_threads(), outside);
+    }
+
+    #[test]
+    fn nested_parallelism_stays_bounded_and_correct() {
+        // A nested par_iter must run inline on its worker (no second
+        // layer of threads) and still produce in-order results.
+        let outer: Vec<usize> = (0..16).collect();
+        let run = || {
+            outer
+                .par_iter()
+                .map(|&i| {
+                    assert_eq!(
+                        current_num_threads(),
+                        1,
+                        "worker threads must report a single-thread budget"
+                    );
+                    let inner: Vec<usize> = (0..8).into_par_iter().map(|j| i * 100 + j).collect();
+                    inner.iter().sum::<usize>()
+                })
+                .collect::<Vec<usize>>()
+        };
+        let expected: Vec<usize> = (0..16).map(|i| (0..8).map(|j| i * 100 + j).sum()).collect();
+        assert_eq!(run(), expected);
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.install(run), expected);
+    }
+
+    #[test]
+    fn identical_across_thread_counts() {
+        let input: Vec<usize> = (0..333).collect();
+        let run = |n: usize| {
+            let pool = ThreadPoolBuilder::new().num_threads(n).build().unwrap();
+            pool.install(|| input.par_iter().map(|x| x * 31 + 7).collect::<Vec<_>>())
+        };
+        assert_eq!(run(1), run(7));
+    }
+}

@@ -1,0 +1,352 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Derives the vendored `serde`'s value-tree `Serialize`/`Deserialize`
+//! for the shapes this workspace actually declares:
+//!
+//! - structs with named fields (serialized as maps in declaration order),
+//! - newtype tuple structs (serialized transparently as the inner value),
+//! - enums with unit and newtype variants (externally tagged: a bare
+//!   string, or a single-entry map).
+//!
+//! `syn`/`quote` are not available offline, so the item is parsed
+//! directly from the token stream. Generics and `#[serde(...)]`
+//! attributes are unsupported (and unused in this workspace); the macro
+//! emits a compile error if it meets one.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving item.
+enum Item {
+    /// Struct with named fields.
+    Struct { name: String, fields: Vec<String> },
+    /// Tuple struct with exactly one field.
+    Newtype { name: String },
+    /// Enum of unit and single-field (newtype) variants.
+    Enum {
+        name: String,
+        /// `(variant name, has payload)`.
+        variants: Vec<(String, bool)>,
+    },
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+fn is_punct(t: &TokenTree, c: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+fn is_ident(t: &TokenTree, s: &str) -> bool {
+    matches!(t, TokenTree::Ident(i) if i.to_string() == s)
+}
+
+/// Skip outer attributes (`#[...]`) starting at `i`.
+fn skip_attrs(toks: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < toks.len() && is_punct(&toks[i], '#') {
+        i += 2; // the '#' and the bracketed group
+    }
+    i
+}
+
+/// Skip a visibility qualifier (`pub`, `pub(crate)`, ...) starting at `i`.
+fn skip_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    if i < toks.len() && is_ident(&toks[i], "pub") {
+        i += 1;
+        if i < toks.len() {
+            if let TokenTree::Group(g) = &toks[i] {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Advance past a type (or any token run) up to the next top-level comma,
+/// tracking `<...>` nesting. Returns the index of the comma (or `len`).
+fn skip_to_comma(toks: &[TokenTree], mut i: usize) -> usize {
+    let mut angle = 0i32;
+    while i < toks.len() {
+        if is_punct(&toks[i], '<') {
+            angle += 1;
+        } else if is_punct(&toks[i], '>') {
+            angle -= 1;
+        } else if angle == 0 && is_punct(&toks[i], ',') {
+            return i;
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Number of top-level comma-separated items in a group body.
+fn count_top_level(toks: &[TokenTree]) -> usize {
+    let mut n = 0;
+    let mut i = 0;
+    while i < toks.len() {
+        let end = skip_to_comma(toks, i);
+        if end > i {
+            n += 1;
+        }
+        i = end + 1;
+    }
+    n
+}
+
+fn parse_named_fields(body: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        i = skip_attrs(body, i);
+        if i >= body.len() {
+            break;
+        }
+        i = skip_vis(body, i);
+        let TokenTree::Ident(name) = &body[i] else {
+            return Err(format!("expected field name, got `{}`", body[i]));
+        };
+        fields.push(name.to_string());
+        i += 1;
+        if i >= body.len() || !is_punct(&body[i], ':') {
+            return Err(format!("expected `:` after field `{name}`"));
+        }
+        i = skip_to_comma(body, i + 1) + 1;
+    }
+    Ok(fields)
+}
+
+fn parse_variants(body: &[TokenTree]) -> Result<Vec<(String, bool)>, String> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        i = skip_attrs(body, i);
+        if i >= body.len() {
+            break;
+        }
+        let TokenTree::Ident(name) = &body[i] else {
+            return Err(format!("expected variant name, got `{}`", body[i]));
+        };
+        let name = name.to_string();
+        i += 1;
+        let mut payload = false;
+        if i < body.len() {
+            if let TokenTree::Group(g) = &body[i] {
+                match g.delimiter() {
+                    Delimiter::Parenthesis => {
+                        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                        if count_top_level(&inner) != 1 {
+                            return Err(format!(
+                                "variant `{name}`: only newtype payloads are supported"
+                            ));
+                        }
+                        payload = true;
+                        i += 1;
+                    }
+                    Delimiter::Brace => {
+                        return Err(format!(
+                            "variant `{name}`: struct variants are not supported"
+                        ));
+                    }
+                    _ => {}
+                }
+            }
+        }
+        variants.push((name, payload));
+        i = skip_to_comma(body, i) + 1;
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs(&toks, 0);
+    i = skip_vis(&toks, i);
+    let kind = match &toks[i] {
+        TokenTree::Ident(id) if id.to_string() == "struct" || id.to_string() == "enum" => {
+            id.to_string()
+        }
+        other => return Err(format!("expected `struct` or `enum`, got `{other}`")),
+    };
+    i += 1;
+    let TokenTree::Ident(name) = &toks[i] else {
+        return Err("expected item name".into());
+    };
+    let name = name.to_string();
+    i += 1;
+    if i < toks.len() && is_punct(&toks[i], '<') {
+        return Err(format!("`{name}`: generic items are not supported"));
+    }
+    let TokenTree::Group(body) = &toks[i] else {
+        return Err(format!("`{name}`: expected item body"));
+    };
+    let body_toks: Vec<TokenTree> = body.stream().into_iter().collect();
+    if kind == "enum" {
+        return Ok(Item::Enum {
+            name,
+            variants: parse_variants(&body_toks)?,
+        });
+    }
+    match body.delimiter() {
+        Delimiter::Brace => Ok(Item::Struct {
+            name,
+            fields: parse_named_fields(&body_toks)?,
+        }),
+        Delimiter::Parenthesis => {
+            if count_top_level(&body_toks) != 1 {
+                Err(format!(
+                    "`{name}`: only newtype tuple structs are supported"
+                ))
+            } else {
+                Ok(Item::Newtype { name })
+            }
+        }
+        _ => Err(format!("`{name}`: unsupported item body")),
+    }
+}
+
+/// Derive the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let out = match item {
+        Item::Struct { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "entries.push((::std::string::String::from({f:?}), \
+                         ::serde::Serialize::serialize(&self.{f})));"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\
+                   fn serialize(&self) -> ::serde::Value {{\
+                     let mut entries: ::std::vec::Vec<(::std::string::String, ::serde::Value)> \
+                       = ::std::vec::Vec::new();\
+                     {pushes}\
+                     ::serde::Value::Map(entries)\
+                   }}\
+                 }}"
+            )
+        }
+        Item::Newtype { name } => format!(
+            "impl ::serde::Serialize for {name} {{\
+               fn serialize(&self) -> ::serde::Value {{\
+                 ::serde::Serialize::serialize(&self.0)\
+               }}\
+             }}"
+        ),
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|(v, payload)| {
+                    if *payload {
+                        format!(
+                            "{name}::{v}(inner) => {{\
+                               let mut entries: ::std::vec::Vec<(::std::string::String, ::serde::Value)> \
+                                 = ::std::vec::Vec::new();\
+                               entries.push((::std::string::String::from({v:?}), \
+                                 ::serde::Serialize::serialize(inner)));\
+                               ::serde::Value::Map(entries)\
+                             }},"
+                        )
+                    } else {
+                        format!(
+                            "{name}::{v} => \
+                               ::serde::Value::Str(::std::string::String::from({v:?})),"
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\
+                   fn serialize(&self) -> ::serde::Value {{\
+                     match self {{ {arms} }}\
+                   }}\
+                 }}"
+            )
+        }
+    };
+    out.parse().unwrap()
+}
+
+/// Derive the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let out = match item {
+        Item::Struct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::field(v, {f:?})?,"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\
+                   fn deserialize(v: &::serde::Value) \
+                     -> ::std::result::Result<Self, ::serde::Error> {{\
+                     ::std::result::Result::Ok({name} {{ {inits} }})\
+                   }}\
+                 }}"
+            )
+        }
+        Item::Newtype { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\
+               fn deserialize(v: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::Error> {{\
+                 ::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(v)?))\
+               }}\
+             }}"
+        ),
+        Item::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|(_, payload)| !payload)
+                .map(|(v, _)| format!("{v:?} => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            let newtype_arms: String = variants
+                .iter()
+                .filter(|(_, payload)| *payload)
+                .map(|(v, _)| {
+                    format!(
+                        "{v:?} => ::std::result::Result::Ok(\
+                           {name}::{v}(::serde::Deserialize::deserialize(inner)?)),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\
+                   fn deserialize(v: &::serde::Value) \
+                     -> ::std::result::Result<Self, ::serde::Error> {{\
+                     match v {{\
+                       ::serde::Value::Str(s) => match s.as_str() {{\
+                         {unit_arms}\
+                         other => ::std::result::Result::Err(::serde::Error::msg(\
+                           ::std::format!(\"unknown variant `{{other}}` of {name}\"))),\
+                       }},\
+                       ::serde::Value::Map(entries) if entries.len() == 1 => {{\
+                         let (tag, inner) = &entries[0];\
+                         match tag.as_str() {{\
+                           {newtype_arms}\
+                           other => ::std::result::Result::Err(::serde::Error::msg(\
+                             ::std::format!(\"unknown variant `{{other}}` of {name}\"))),\
+                         }}\
+                       }},\
+                       other => ::std::result::Result::Err(::serde::Error::msg(\
+                         ::std::format!(\"invalid {name} value: {{other:?}}\"))),\
+                     }}\
+                   }}\
+                 }}"
+            )
+        }
+    };
+    out.parse().unwrap()
+}
