@@ -37,9 +37,13 @@ pub mod kernel;
 pub mod numerics;
 pub mod rm2d;
 pub mod sc2d;
+pub mod sp3d;
 pub mod tp2d;
 pub mod tracegen;
 
 pub use kernel::Kernel;
-pub use samr_trace::HierarchyTrace;
-pub use tracegen::{generate_trace, AppKind, TraceGenConfig};
+pub use samr_trace::{AnyTrace, HierarchyTrace};
+pub use sp3d::Sp3d;
+pub use tracegen::{
+    generate_trace, generate_trace_3d, generate_trace_any, AppKind, TraceGenConfig,
+};

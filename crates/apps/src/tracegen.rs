@@ -1,5 +1,5 @@
-//! Trace generation: drive a kernel through the paper's SAMR configuration
-//! and record the hierarchy at every coarse time step.
+//! Trace generation: drive an application through the paper's SAMR
+//! configuration and record the hierarchy at every coarse time step.
 //!
 //! The §5.1.1 set-up is reproduced exactly: 5 levels of factor-2 refinement
 //! in space *and* time, regridding every 4 time steps **on each level**,
@@ -8,19 +8,26 @@
 //! "every 4 local steps" means level 1 regrids every 2 coarse steps and
 //! levels ≥ 2 every coarse step — the hierarchy changes nearly every step,
 //! which is what makes the paper's per-step metric series continuous.
+//!
+//! The regrid machinery (flag → buffer → Berger–Rigoutsos → proper
+//! nesting) is dimension-generic: the 2-D kernels feed it their sampled
+//! indicator fields, the 3-D advecting-sphere workload ([`crate::sp3d`])
+//! feeds it an analytic indicator, and both run the *same* code path.
 
 use crate::bl2d::Bl2d;
 use crate::kernel::Kernel;
 use crate::rm2d::Rm2d;
 use crate::sc2d::Sc2d;
+use crate::sp3d::Sp3d;
 use crate::tp2d::Tp2d;
-use samr_geom::{Point2, Rect2};
+use samr_geom::{AABox, Box3, Rect2};
 use samr_grid::nesting::{clip_to_nesting, shrink_within};
 use samr_grid::{cluster_flags, ClusterOptions, FlagField, GridHierarchy, Level};
-use samr_trace::{HierarchyTrace, Snapshot, TraceMeta};
+use samr_trace::{AnyTrace, HierarchyTrace, Snapshot, TraceMeta};
 use serde::{Deserialize, Serialize};
 
-/// Which of the paper's four applications to run.
+/// Which application to run: the paper's four 2-D kernels, or the 3-D
+/// advecting-sphere workload.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
 pub enum AppKind {
     /// 2-D transport benchmark (GrACE).
@@ -31,25 +38,48 @@ pub enum AppKind {
     Sc2d,
     /// Richtmyer–Meshkov instability (VTF).
     Rm2d,
+    /// Advecting spherical shell (3-D workload).
+    Sp3d,
 }
 
 impl AppKind {
-    /// All four applications in the paper's presentation order
-    /// (Figures 4–7).
+    /// The paper's four 2-D applications in the paper's presentation
+    /// order (Figures 4–7).
     pub const ALL: [AppKind; 4] = [AppKind::Rm2d, AppKind::Bl2d, AppKind::Sc2d, AppKind::Tp2d];
 
-    /// The paper's kernel name.
+    /// The 3-D workloads.
+    pub const ALL_3D: [AppKind; 1] = [AppKind::Sp3d];
+
+    /// Every application of either dimension.
+    pub const EVERY: [AppKind; 5] = [
+        AppKind::Rm2d,
+        AppKind::Bl2d,
+        AppKind::Sc2d,
+        AppKind::Tp2d,
+        AppKind::Sp3d,
+    ];
+
+    /// The kernel name.
     pub fn name(self) -> &'static str {
         match self {
             AppKind::Tp2d => "TP2D",
             AppKind::Bl2d => "BL2D",
             AppKind::Sc2d => "SC2D",
             AppKind::Rm2d => "RM2D",
+            AppKind::Sp3d => "SP3D",
         }
     }
 
-    /// Parse a kernel name, case-insensitively ("rm2d", "BL2D", ...).
-    /// The single name registry shared by the CLI and the campaign
+    /// The spatial dimension of the application's index space.
+    pub fn dim(self) -> usize {
+        match self {
+            AppKind::Sp3d => 3,
+            _ => 2,
+        }
+    }
+
+    /// Parse a kernel name, case-insensitively ("rm2d", "BL2D", "sp3d",
+    /// ...). The single name registry shared by the CLI and the campaign
     /// engine.
     pub fn parse(name: &str) -> Option<Self> {
         match name.to_ascii_uppercase().as_str() {
@@ -57,7 +87,16 @@ impl AppKind {
             "BL2D" => Some(AppKind::Bl2d),
             "SC2D" => Some(AppKind::Sc2d),
             "RM2D" => Some(AppKind::Rm2d),
+            "SP3D" => Some(AppKind::Sp3d),
             _ => None,
+        }
+    }
+
+    /// One-line description of the application scenario.
+    pub fn describe(self, cfg: &TraceGenConfig) -> String {
+        match self {
+            AppKind::Sp3d => Sp3d::new(cfg.steps, cfg.seed).description(),
+            _ => make_kernel(self, cfg).description(),
         }
     }
 }
@@ -141,23 +180,33 @@ impl TraceGenConfig {
     }
 }
 
-/// Construct the kernel for an application kind.
+/// Construct the 2-D kernel for an application kind. Panics for 3-D
+/// kinds, which have no reference PDE solver ([`AppKind::Sp3d`] is driven
+/// analytically).
 pub fn make_kernel(kind: AppKind, cfg: &TraceGenConfig) -> Box<dyn Kernel> {
     match kind {
         AppKind::Tp2d => Box::new(Tp2d::new(cfg.ref_resolution, cfg.steps, cfg.seed)),
         AppKind::Bl2d => Box::new(Bl2d::new(cfg.ref_resolution, cfg.steps, cfg.seed)),
         AppKind::Sc2d => Box::new(Sc2d::new(cfg.ref_resolution, cfg.steps, cfg.seed)),
         AppKind::Rm2d => Box::new(Rm2d::new(cfg.ref_resolution, cfg.steps, cfg.seed)),
+        AppKind::Sp3d => panic!("SP3D is a 3-D workload; use generate_trace_any"),
     }
 }
 
-/// Rebuild levels `from_level ..` of `h` from the kernel's indicator.
+/// Rebuild levels `from_level ..` of `h` from a unit-coordinate
+/// indicator — the dimension-generic regrid step.
 ///
 /// For each level `l`, cells of level `l-1` (inside its patches) whose
-/// indicator exceeds `threshold(l-1)` are flagged, buffered, clustered with
-/// Berger–Rigoutsos, clipped to the proper-nesting region of the (new)
-/// level `l-1`, and refined into level-`l` patches.
-fn regrid(h: &mut GridHierarchy, kernel: &dyn Kernel, cfg: &TraceGenConfig, from_level: usize) {
+/// indicator exceeds `threshold(l-1)` are flagged, buffered, clustered
+/// with Berger–Rigoutsos, clipped to the proper-nesting region of the
+/// (new) level `l-1`, and refined into level-`l` patches.
+fn regrid<const D: usize>(
+    h: &mut GridHierarchy<D>,
+    indicator: &dyn Fn([f64; D]) -> f64,
+    threshold: &dyn Fn(usize) -> f64,
+    cfg: &TraceGenConfig,
+    from_level: usize,
+) {
     debug_assert!(from_level >= 1);
     h.levels.truncate(from_level);
     for l in from_level..cfg.max_levels {
@@ -166,20 +215,14 @@ fn regrid(h: &mut GridHierarchy, kernel: &dyn Kernel, cfg: &TraceGenConfig, from
             break;
         }
         let parent_domain = h.domain_at_level(parent);
-        let (nx, ny) = (
-            parent_domain.extent().x as f64,
-            parent_domain.extent().y as f64,
-        );
-        let threshold = kernel.threshold(parent);
+        let extent = parent_domain.extent();
+        let thr = threshold(parent);
         let mut flags = FlagField::new(parent_domain);
         for patch in &h.levels[parent].patches {
-            for y in patch.rect.lo().y..=patch.rect.hi().y {
-                let v = (y as f64 + 0.5) / ny;
-                for x in patch.rect.lo().x..=patch.rect.hi().x {
-                    let u = (x as f64 + 0.5) / nx;
-                    if kernel.indicator(u, v) > threshold {
-                        flags.set(Point2::new(x, y));
-                    }
+            for p in patch.rect.iter_cells() {
+                let u: [f64; D] = std::array::from_fn(|i| (p[i] as f64 + 0.5) / extent[i] as f64);
+                if indicator(u) > thr {
+                    flags.set(p);
                 }
             }
         }
@@ -197,14 +240,16 @@ fn regrid(h: &mut GridHierarchy, kernel: &dyn Kernel, cfg: &TraceGenConfig, from
         if clipped.is_empty() {
             break;
         }
-        let fine: Vec<Rect2> = clipped.iter().map(|b| b.refine(cfg.ratio)).collect();
+        let fine: Vec<AABox<D>> = clipped.iter().map(|b| b.refine(cfg.ratio)).collect();
         h.levels.push(Level::from_rects(&fine));
     }
 }
 
-/// Run an application kernel for `cfg.steps` coarse steps and record the
-/// hierarchy after each step — the paper's application execution trace.
-pub fn generate_trace(kind: AppKind, cfg: &TraceGenConfig) -> HierarchyTrace {
+/// Run a 2-D application kernel for `cfg.steps` coarse steps and record
+/// the hierarchy after each step — the paper's application execution
+/// trace. Panics for 3-D kinds; [`generate_trace_any`] handles both.
+pub fn generate_trace(kind: AppKind, cfg: &TraceGenConfig) -> HierarchyTrace<2> {
+    assert_eq!(kind.dim(), 2, "{} is not a 2-D application", kind.name());
     let mut kernel = make_kernel(kind, cfg);
     let (ax, ay) = kernel.aspect();
     let short = cfg.base_cells;
@@ -221,8 +266,10 @@ pub fn generate_trace(kind: AppKind, cfg: &TraceGenConfig) -> HierarchyTrace {
     };
     let mut trace = HierarchyTrace::new(meta);
     let mut h = GridHierarchy::base_only(base, cfg.ratio);
+    let indicator = |u: [f64; 2]| kernel.indicator(u[0], u[1]);
+    let threshold = |l: usize| kernel.threshold(l);
     // Initial adaptation of the starting condition.
-    regrid(&mut h, kernel.as_ref(), cfg, 1);
+    regrid(&mut h, &indicator, &threshold, cfg, 1);
     trace.push(Snapshot {
         step: 0,
         time: kernel.time(),
@@ -231,7 +278,9 @@ pub fn generate_trace(kind: AppKind, cfg: &TraceGenConfig) -> HierarchyTrace {
     for t in 1..cfg.steps {
         kernel.advance_coarse_step();
         if let Some(l) = cfg.scheduled_level(t) {
-            regrid(&mut h, kernel.as_ref(), cfg, l);
+            let indicator = |u: [f64; 2]| kernel.indicator(u[0], u[1]);
+            let threshold = |l: usize| kernel.threshold(l);
+            regrid(&mut h, &indicator, &threshold, cfg, l);
         }
         trace.push(Snapshot {
             step: t,
@@ -240,6 +289,60 @@ pub fn generate_trace(kind: AppKind, cfg: &TraceGenConfig) -> HierarchyTrace {
         });
     }
     trace
+}
+
+/// Run the 3-D advecting-sphere workload for `cfg.steps` coarse steps —
+/// the same regrid pipeline as the 2-D kernels, driven by the analytic
+/// shell indicator.
+pub fn generate_trace_3d(kind: AppKind, cfg: &TraceGenConfig) -> HierarchyTrace<3> {
+    assert_eq!(kind.dim(), 3, "{} is not a 3-D application", kind.name());
+    let mut app = Sp3d::new(cfg.steps, cfg.seed);
+    let base = Box3::from_extents(cfg.base_cells, cfg.base_cells, cfg.base_cells);
+    let meta = TraceMeta {
+        app: kind.name().to_string(),
+        description: app.description(),
+        base_domain: base,
+        ratio: cfg.ratio,
+        max_levels: cfg.max_levels,
+        regrid_interval: cfg.regrid_interval,
+        min_block: cfg.min_block,
+        seed: cfg.seed,
+    };
+    let mut trace = HierarchyTrace::new(meta);
+    let mut h = GridHierarchy::base_only(base, cfg.ratio);
+    {
+        let indicator = |u: [f64; 3]| app.indicator(u);
+        let threshold = |l: usize| app.threshold(l);
+        regrid(&mut h, &indicator, &threshold, cfg, 1);
+    }
+    trace.push(Snapshot {
+        step: 0,
+        time: app.time,
+        hierarchy: h.clone(),
+    });
+    for t in 1..cfg.steps {
+        app.advance_coarse_step();
+        if let Some(l) = cfg.scheduled_level(t) {
+            let indicator = |u: [f64; 3]| app.indicator(u);
+            let threshold = |l: usize| app.threshold(l);
+            regrid(&mut h, &indicator, &threshold, cfg, l);
+        }
+        trace.push(Snapshot {
+            step: t,
+            time: app.time,
+            hierarchy: h.clone(),
+        });
+    }
+    trace
+}
+
+/// Generate the trace of any application, 2-D or 3-D, behind the
+/// dimension-erased [`AnyTrace`].
+pub fn generate_trace_any(kind: AppKind, cfg: &TraceGenConfig) -> AnyTrace {
+    match kind.dim() {
+        2 => AnyTrace::D2(generate_trace(kind, cfg)),
+        _ => AnyTrace::D3(generate_trace_3d(kind, cfg)),
+    }
 }
 
 #[cfg(test)]
@@ -348,5 +451,65 @@ mod tests {
             last.hierarchy.levels[1].rects(),
             "refinement never moved"
         );
+    }
+
+    #[test]
+    fn sp3d_trace_refines_moves_and_validates() {
+        let mut cfg = TraceGenConfig::smoke();
+        cfg.base_cells = 16; // keep the 3-D smoke run small
+        let trace = generate_trace_3d(AppKind::Sp3d, &cfg);
+        assert_eq!(trace.len(), cfg.steps as usize);
+        let refined_steps = trace
+            .snapshots
+            .iter()
+            .filter(|s| s.hierarchy.depth() >= 2)
+            .count();
+        assert!(
+            refined_steps > trace.len() / 2,
+            "SP3D refined only {refined_steps}/{} steps",
+            trace.len()
+        );
+        let first = trace
+            .snapshots
+            .iter()
+            .find(|s| s.hierarchy.depth() >= 2)
+            .expect("refinement");
+        let last = trace
+            .snapshots
+            .iter()
+            .rev()
+            .find(|s| s.hierarchy.depth() >= 2)
+            .expect("refinement");
+        assert_ne!(
+            first.hierarchy.levels[1].rects(),
+            last.hierarchy.levels[1].rects(),
+            "shell never moved"
+        );
+        // Deterministic.
+        assert_eq!(trace, generate_trace_3d(AppKind::Sp3d, &cfg));
+    }
+
+    #[test]
+    fn generate_trace_any_dispatches_on_dim() {
+        let mut cfg = TraceGenConfig::smoke();
+        cfg.base_cells = 16;
+        cfg.steps = 3;
+        assert_eq!(generate_trace_any(AppKind::Tp2d, &cfg).dim(), 2);
+        assert_eq!(generate_trace_any(AppKind::Sp3d, &cfg).dim(), 3);
+    }
+
+    #[test]
+    fn app_kind_registry_covers_both_dims() {
+        assert_eq!(AppKind::parse("sp3d"), Some(AppKind::Sp3d));
+        assert_eq!(AppKind::Sp3d.dim(), 3);
+        assert_eq!(AppKind::Rm2d.dim(), 2);
+        assert_eq!(
+            AppKind::EVERY.len(),
+            AppKind::ALL.len() + AppKind::ALL_3D.len()
+        );
+        for kind in AppKind::EVERY {
+            assert_eq!(AppKind::parse(kind.name()), Some(kind));
+            assert!(!kind.describe(&TraceGenConfig::smoke()).is_empty());
+        }
     }
 }

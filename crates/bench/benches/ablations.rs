@@ -132,7 +132,7 @@ fn ablation_cluster_eff(c: &mut Criterion) {
         b.iter(|| {
             let lo = generate_trace(AppKind::Sc2d, &cfg_lo);
             let hi = generate_trace(AppKind::Sc2d, &cfg_hi);
-            let stats = |t: &samr::trace::HierarchyTrace| {
+            let stats = |t: &samr::trace::HierarchyTrace<2>| {
                 let patches: usize = t
                     .snapshots
                     .iter()

@@ -61,7 +61,7 @@ fn simulation_step(c: &mut Criterion) {
     for (name, p) in [
         (
             "hybrid",
-            Box::new(HybridPartitioner::default()) as Box<dyn Partitioner + Sync>,
+            Box::new(HybridPartitioner::default()) as Box<dyn Partitioner<2> + Sync>,
         ),
         ("domain_sfc", Box::new(DomainSfcPartitioner::default())),
     ] {

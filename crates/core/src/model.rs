@@ -99,7 +99,7 @@ impl ModelPipeline {
     }
 
     /// Run the model over a whole trace.
-    pub fn run(&self, trace: &HierarchyTrace) -> Vec<ModelState> {
+    pub fn run<const D: usize>(&self, trace: &HierarchyTrace<D>) -> Vec<ModelState> {
         let mut out = Vec::with_capacity(trace.len());
         let mut t2 = Tradeoff2State::new(self.config.interval_scale);
         for (i, snap) in trace.snapshots.iter().enumerate() {
@@ -130,7 +130,7 @@ impl ModelPipeline {
     }
 
     /// Run the model and return the locus curve (Figure 3 right).
-    pub fn state_curve(&self, trace: &HierarchyTrace) -> StateCurve {
+    pub fn state_curve<const D: usize>(&self, trace: &HierarchyTrace<D>) -> StateCurve {
         let mut curve = StateCurve::default();
         for s in self.run(trace) {
             curve.push(s.step, s.point);
@@ -141,7 +141,7 @@ impl ModelPipeline {
 
 /// Convenience: the β_m series of a trace (the model side of the
 /// Figures 4–7 right panels).
-pub fn beta_m_series(trace: &HierarchyTrace) -> Vec<f64> {
+pub fn beta_m_series<const D: usize>(trace: &HierarchyTrace<D>) -> Vec<f64> {
     ModelPipeline::new()
         .run(trace)
         .iter()
@@ -151,7 +151,7 @@ pub fn beta_m_series(trace: &HierarchyTrace) -> Vec<f64> {
 
 /// Convenience: the β_c series of a trace (the model side of the
 /// Figures 4–7 left panels).
-pub fn beta_c_series(trace: &HierarchyTrace) -> Vec<f64> {
+pub fn beta_c_series<const D: usize>(trace: &HierarchyTrace<D>) -> Vec<f64> {
     ModelPipeline::new()
         .run(trace)
         .iter()
@@ -170,7 +170,7 @@ mod tests {
         Rect2::from_coords(x0, y0, x1, y1)
     }
 
-    fn trace_moving() -> HierarchyTrace {
+    fn trace_moving() -> HierarchyTrace<2> {
         let meta = TraceMeta {
             app: "SYN".into(),
             description: "moving box".into(),

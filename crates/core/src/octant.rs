@@ -103,7 +103,11 @@ impl ArmadaClassifier {
     /// thresholds; later calls move axes relative to the previous sample
     /// (the paper: "the classification is relative to the previous
     /// state").
-    pub fn classify(&mut self, prev_h: Option<&GridHierarchy>, h: &GridHierarchy) -> Octant {
+    pub fn classify<const D: usize>(
+        &mut self,
+        prev_h: Option<&GridHierarchy<D>>,
+        h: &GridHierarchy<D>,
+    ) -> Octant {
         let stats = HierarchyStats::compute(h);
         let s2v = (1..stats.depth())
             .map(|l| stats.surface_to_volume(l))
@@ -165,7 +169,7 @@ mod tests {
         Rect2::from_coords(x0, y0, x1, y1)
     }
 
-    fn h(levels: &[Vec<Rect2>]) -> GridHierarchy {
+    fn h(levels: &[Vec<Rect2>]) -> GridHierarchy<2> {
         GridHierarchy::from_level_rects(Rect2::from_extents(32, 32), 2, levels)
     }
 

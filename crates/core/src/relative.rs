@@ -17,14 +17,14 @@ use samr_grid::GridHierarchy;
 
 /// Grid-relative data migration: `moved / |H_{t-1}|`. 1.0 = every point
 /// of the previous grid moved.
-pub fn relative_migration(moved_points: u64, prev: &GridHierarchy) -> f64 {
+pub fn relative_migration<const D: usize>(moved_points: u64, prev: &GridHierarchy<D>) -> f64 {
     moved_points as f64 / prev.total_points().max(1) as f64
 }
 
 /// Grid-relative communication: `comm / W_t` where
 /// `W_t = Σ_l N_l·ratio^l`. 1.0 = every point communicates at every local
 /// step of the coarse step.
-pub fn relative_communication(comm_points: u64, h: &GridHierarchy) -> f64 {
+pub fn relative_communication<const D: usize>(comm_points: u64, h: &GridHierarchy<D>) -> f64 {
     comm_points as f64 / h.workload().max(1) as f64
 }
 

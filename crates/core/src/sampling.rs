@@ -9,18 +9,19 @@
 //! β_l. It deliberately does **not** reuse partitioner code: the model
 //! must remain independent of any particular partitioning.
 
-use samr_geom::{Point2, Rect2};
+use samr_geom::{AABox, Point};
 use samr_grid::GridHierarchy;
 
 /// Composite workload (cell updates per coarse step) of each `unit`-sized
 /// block of the base domain, row-major over the block grid. The sum over
 /// all units equals `h.workload()`.
-pub fn unit_workloads(h: &GridHierarchy, unit: i64) -> Vec<u64> {
+pub fn unit_workloads<const D: usize>(h: &GridHierarchy<D>, unit: i64) -> Vec<u64> {
     assert!(unit >= 1);
     let domain = h.base_domain;
     let e = domain.extent();
-    let dims = ((e.x + unit - 1) / unit, (e.y + unit - 1) / unit);
-    let mut weights = vec![0u64; (dims.0 * dims.1) as usize];
+    let dims: [i64; D] = std::array::from_fn(|i| (e[i] + unit - 1) / unit);
+    let index_box = AABox::<D>::from_extent_array(dims);
+    let mut weights = vec![0u64; index_box.cells() as usize];
     for (l, level) in h.levels.iter().enumerate() {
         let scale = h.ratio.pow(l as u32);
         let w = (h.ratio as u64).pow(l as u32);
@@ -28,18 +29,18 @@ pub fn unit_workloads(h: &GridHierarchy, unit: i64) -> Vec<u64> {
             let base_fp = patch.rect.coarsen(scale);
             let u_lo = (base_fp.lo() - domain.lo()).div_floor(unit);
             let u_hi = (base_fp.hi() - domain.lo()).div_floor(unit);
-            for uy in u_lo.y..=u_hi.y.min(dims.1 - 1) {
-                for ux in u_lo.x..=u_hi.x.min(dims.0 - 1) {
-                    let unit_box = Rect2::new(
-                        Point2::new(domain.lo().x + ux * unit, domain.lo().y + uy * unit),
-                        Point2::new(
-                            (domain.lo().x + ux * unit + unit - 1).min(domain.hi().x),
-                            (domain.lo().y + uy * unit + unit - 1).min(domain.hi().y),
-                        ),
-                    );
-                    let overlap = patch.rect.overlap_cells(&unit_box.refine(scale));
-                    weights[(uy * dims.0 + ux) as usize] += overlap * w;
-                }
+            let u_hi = Point::<D>::from_fn(|i| u_hi[i].min(dims[i] - 1));
+            let Some(span) = AABox::try_new(u_lo, u_hi) else {
+                continue;
+            };
+            for u in span.iter_cells() {
+                let lo = Point::<D>::from_fn(|i| domain.lo()[i] + u[i] * unit);
+                let unit_box = AABox::new(
+                    lo,
+                    Point::from_fn(|i| (lo[i] + unit - 1).min(domain.hi()[i])),
+                );
+                let overlap = patch.rect.overlap_cells(&unit_box.refine(scale));
+                weights[index_box.linear_index(u)] += overlap * w;
             }
         }
     }
@@ -72,6 +73,8 @@ pub fn gini(weights: &[u64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    use samr_geom::Rect2;
 
     fn r(x0: i64, y0: i64, x1: i64, y1: i64) -> Rect2 {
         Rect2::from_coords(x0, y0, x1, y1)

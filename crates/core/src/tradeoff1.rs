@@ -44,7 +44,7 @@ use samr_grid::GridHierarchy;
 /// Ghost width is fixed at 1 (the paper's kernels are all
 /// nearest-neighbour stencils); boundary rings wider than the patch count
 /// every cell.
-pub fn beta_c(h: &GridHierarchy, p_ref: usize) -> f64 {
+pub fn beta_c<const D: usize>(h: &GridHierarchy<D>, p_ref: usize) -> f64 {
     let workload = h.workload().max(1) as f64;
     let mut worst = 0.0f64;
     for (l, level) in h.levels.iter().enumerate() {
@@ -54,7 +54,17 @@ pub fn beta_c(h: &GridHierarchy, p_ref: usize) -> f64 {
         }
         let mult = (h.ratio as u64).pow(l as u32) as f64;
         let boundary = level.boundary_cells() as f64;
-        let cut_surface = 4.0 * ((cells as f64) * p_ref as f64).sqrt();
+        // Unavoidable cut surface of distributing `cells` over `p_ref`
+        // near-cubic chunks: `2D * N^((D-1)/D) * P^(1/D)` — `4 * sqrt(N*P)`
+        // in 2-D (kept as the original expression so 2-D results stay
+        // bit-identical), `6 * cbrt(N^2 * P)` in 3-D.
+        let n = cells as f64;
+        let p = p_ref as f64;
+        let cut_surface = match D {
+            2 => 4.0 * (n * p).sqrt(),
+            3 => 6.0 * (n * n * p).cbrt(),
+            _ => 2.0 * D as f64 * n.powf((D as f64 - 1.0) / D as f64) * p.powf(1.0 / D as f64),
+        };
         // Neither bound can exceed the level itself.
         worst += (boundary + cut_surface).min(cells as f64) * mult;
     }
@@ -64,7 +74,7 @@ pub fn beta_c(h: &GridHierarchy, p_ref: usize) -> f64 {
 /// Ab-initio load-imbalance penalty `β_l ∈ [0, 1]` for a run on `p_ref`
 /// processors: how close the heaviest `unit`-sized workload column comes
 /// to (twice) the ideal per-processor share.
-pub fn beta_l(h: &GridHierarchy, unit: i64, p_ref: usize) -> f64 {
+pub fn beta_l<const D: usize>(h: &GridHierarchy<D>, unit: i64, p_ref: usize) -> f64 {
     let weights = unit_workloads(h, unit);
     let total: u64 = weights.iter().sum();
     if total == 0 {

@@ -33,7 +33,7 @@ pub enum BetaMDenominator {
 
 /// Total same-level box overlap between two hierarchies:
 /// `Σ_l Σ_i Σ_j |G_{t-1}^{l,i} ∩ G_t^{l,j}|` in grid points.
-pub fn hierarchy_overlap(prev: &GridHierarchy, cur: &GridHierarchy) -> u64 {
+pub fn hierarchy_overlap<const D: usize>(prev: &GridHierarchy<D>, cur: &GridHierarchy<D>) -> u64 {
     assert_eq!(
         prev.ratio, cur.ratio,
         "hierarchies must share the refinement factor"
@@ -51,12 +51,16 @@ pub fn hierarchy_overlap(prev: &GridHierarchy, cur: &GridHierarchy) -> u64 {
 
 /// The paper's data-migration penalty `β_m(H_{t-1}, H_t) ∈ [0, 1]` with
 /// the paper's `|H_t|` denominator.
-pub fn beta_m(prev: &GridHierarchy, cur: &GridHierarchy) -> f64 {
+pub fn beta_m<const D: usize>(prev: &GridHierarchy<D>, cur: &GridHierarchy<D>) -> f64 {
     beta_m_with(prev, cur, BetaMDenominator::Current)
 }
 
 /// β_m with an explicit denominator choice (for the ablation).
-pub fn beta_m_with(prev: &GridHierarchy, cur: &GridHierarchy, denom: BetaMDenominator) -> f64 {
+pub fn beta_m_with<const D: usize>(
+    prev: &GridHierarchy<D>,
+    cur: &GridHierarchy<D>,
+    denom: BetaMDenominator,
+) -> f64 {
     let overlap = hierarchy_overlap(prev, cur) as f64;
     let d = match denom {
         BetaMDenominator::Current => cur.total_points(),
@@ -75,7 +79,7 @@ mod tests {
         Rect2::from_coords(x0, y0, x1, y1)
     }
 
-    fn h(levels: &[Vec<Rect2>]) -> GridHierarchy {
+    fn h(levels: &[Vec<Rect2>]) -> GridHierarchy<2> {
         GridHierarchy::from_level_rects(Rect2::from_extents(16, 16), 2, levels)
     }
 

@@ -11,11 +11,16 @@ use std::path::{Path, PathBuf};
 
 /// A declarative sweep: the cartesian product of applications,
 /// partitioner specifications, processor counts and ghost widths over
-/// one trace configuration and machine model.
+/// one trace configuration and machine model. The `dims` axis filters
+/// which spatial dimensions participate, so one campaign can sweep 2-D
+/// and 3-D workloads together (`dims: [2, 3]`) or pin either.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct CampaignSpec {
     /// Applications to sweep.
     pub apps: Vec<AppKind>,
+    /// Spatial dimensions to sweep (applications whose dimension is not
+    /// listed are skipped during expansion).
+    pub dims: Vec<usize>,
     /// Partitioner specifications to sweep.
     pub partitioners: Vec<PartitionerSpec>,
     /// Processor counts to sweep.
@@ -32,12 +37,14 @@ pub struct CampaignSpec {
 }
 
 impl CampaignSpec {
-    /// A campaign over all four applications with the default hybrid
-    /// partitioner, 16 processors and ghost width 1; extend with the
-    /// builder methods.
+    /// A campaign over the paper's four 2-D applications with the default
+    /// hybrid partitioner, 16 processors and ghost width 1; extend with
+    /// the builder methods (add [`AppKind::Sp3d`] and `dims([2, 3])` for
+    /// a mixed-dimension sweep).
     pub fn new(trace: TraceGenConfig) -> Self {
         Self {
             apps: AppKind::ALL.to_vec(),
+            dims: vec![2, 3],
             partitioners: vec![PartitionerSpec::parse("hybrid").expect("registry name")],
             nprocs: vec![16],
             ghost_widths: vec![1],
@@ -48,8 +55,20 @@ impl CampaignSpec {
     }
 
     /// Replace the application axis (duplicates dropped, order kept).
+    /// The dimension axis defaults to `[2, 3]` (no filtering), so
+    /// `.apps([Sp3d])` alone already sweeps 3-D; only an explicit
+    /// [`CampaignSpec::dims`] call narrows it, and builder-call order
+    /// does not matter.
     pub fn apps(mut self, apps: impl IntoIterator<Item = AppKind>) -> Self {
         self.apps = dedup_axis(apps);
+        self
+    }
+
+    /// Replace the dimension axis (duplicates dropped, order kept):
+    /// applications whose dimension is not listed are skipped during
+    /// expansion.
+    pub fn dims(mut self, dims: impl IntoIterator<Item = usize>) -> Self {
+        self.dims = dedup_axis(dims);
         self
     }
 
@@ -78,9 +97,22 @@ impl CampaignSpec {
         self
     }
 
+    /// The applications that actually expand: those whose dimension is on
+    /// the `dims` axis.
+    fn active_apps(&self) -> Vec<AppKind> {
+        self.apps
+            .iter()
+            .copied()
+            .filter(|a| self.dims.contains(&a.dim()))
+            .collect()
+    }
+
     /// Number of scenarios the spec expands to.
     pub fn len(&self) -> usize {
-        self.apps.len() * self.partitioners.len() * self.nprocs.len() * self.ghost_widths.len()
+        self.active_apps().len()
+            * self.partitioners.len()
+            * self.nprocs.len()
+            * self.ghost_widths.len()
     }
 
     /// `true` when at least one axis is empty.
@@ -93,21 +125,21 @@ impl CampaignSpec {
     /// processor counts, then ghost widths).
     pub fn scenarios(&self) -> Vec<Scenario> {
         let mut out = Vec::with_capacity(self.len());
-        for &app in &self.apps {
+        for app in self.active_apps() {
             for &partitioner in &self.partitioners {
                 for &nprocs in &self.nprocs {
                     for &ghost_width in &self.ghost_widths {
-                        out.push(Scenario {
+                        out.push(Scenario::new(
                             app,
-                            trace: self.trace.clone(),
+                            self.trace.clone(),
                             partitioner,
-                            sim: SimConfig {
+                            SimConfig {
                                 nprocs,
                                 ghost_width,
                                 machine: self.machine,
                                 reuse_unchanged: self.reuse_unchanged,
                             },
-                        });
+                        ));
                     }
                 }
             }
@@ -144,7 +176,7 @@ impl Campaign {
             return Vec::new();
         }
         // Warm the store: one trace + model per distinct application.
-        spec.apps.par_iter().for_each(|&app| {
+        spec.active_apps().par_iter().for_each(|&app| {
             cached_model(app, &spec.trace);
         });
         let scenarios = spec.scenarios();
@@ -163,8 +195,8 @@ impl Campaign {
         let mut used: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
         std::fs::create_dir_all(dir)?;
         for outcome in &outcomes {
-            // Slugs encode (app, partitioner family, nprocs, ghost); two
-            // same-family partitioners with different parameters share
+            // Slugs encode (app, partitioner family, nprocs, ghost, dim);
+            // two same-family partitioners with different parameters share
             // one — suffix repeats so no artifact silently overwrites
             // another.
             let base = outcome.scenario.slug();
@@ -230,6 +262,52 @@ mod tests {
         assert_eq!(spec.apps, vec![AppKind::Tp2d]);
         assert_eq!(spec.nprocs, vec![16, 8]);
         assert_eq!(spec.len(), 2);
+    }
+
+    #[test]
+    fn dims_axis_filters_applications() {
+        let mixed = CampaignSpec::new(TraceGenConfig::smoke())
+            .apps([AppKind::Tp2d, AppKind::Sp3d])
+            .nprocs([4]);
+        // The default dims axis covers both dimensions.
+        assert_eq!(mixed.dims, vec![2, 3]);
+        assert_eq!(mixed.len(), 2);
+        // Pinning dims to 2 drops the 3-D app from the expansion…
+        let flat = mixed.clone().dims([2]);
+        assert_eq!(flat.len(), 1);
+        assert_eq!(flat.scenarios()[0].app, AppKind::Tp2d);
+        // …and pinning to 3 keeps only SP3D.
+        let solid = mixed.clone().dims([3]);
+        assert_eq!(solid.len(), 1);
+        assert_eq!(solid.scenarios()[0].app, AppKind::Sp3d);
+        assert_eq!(solid.scenarios()[0].dim, 3);
+        // A dims pin survives a later .apps call: builder order must not
+        // silently widen an explicit filter.
+        let pinned_first = CampaignSpec::new(TraceGenConfig::smoke())
+            .dims([2])
+            .apps([AppKind::Tp2d, AppKind::Sp3d])
+            .nprocs([4]);
+        assert_eq!(pinned_first.dims, vec![2]);
+        assert_eq!(pinned_first.len(), 1);
+    }
+
+    #[test]
+    fn mixed_dimension_campaign_runs_both_workload_families() {
+        let spec = CampaignSpec::new(TraceGenConfig {
+            base_cells: 16,
+            steps: 4,
+            ..TraceGenConfig::smoke()
+        })
+        .apps([AppKind::Tp2d, AppKind::Sp3d])
+        .nprocs([4]);
+        let outcomes = Campaign::run(&spec);
+        assert_eq!(outcomes.len(), 2);
+        assert_eq!(outcomes[0].scenario.dim, 2);
+        assert_eq!(outcomes[1].scenario.dim, 3);
+        for o in &outcomes {
+            assert!(o.sim.total_time > 0.0);
+            assert_eq!(o.sim.steps.len(), o.model.len());
+        }
     }
 
     #[test]

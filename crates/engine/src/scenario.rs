@@ -6,7 +6,7 @@ use crate::validation::ShapeStats;
 use samr_apps::{AppKind, TraceGenConfig};
 use samr_core::ModelState;
 use samr_sim::{SimConfig, SimResult};
-use samr_trace::HierarchyTrace;
+use samr_trace::{AnyTrace, HierarchyTrace};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -18,6 +18,10 @@ use std::sync::Arc;
 pub struct Scenario {
     /// Which application kernel produces the trace.
     pub app: AppKind,
+    /// Spatial dimension of the scenario's index space (derived from the
+    /// application; recorded explicitly so artifacts are self-describing
+    /// and mixed-dimension campaigns are visible at a glance).
+    pub dim: usize,
     /// Trace-generation configuration (steps, levels, clustering, seed).
     pub trace: TraceGenConfig,
     /// Which partitioner to run.
@@ -27,23 +31,53 @@ pub struct Scenario {
 }
 
 impl Scenario {
+    /// Build a scenario, deriving the dimension from the application.
+    pub fn new(
+        app: AppKind,
+        trace: TraceGenConfig,
+        partitioner: PartitionerSpec,
+        sim: SimConfig,
+    ) -> Self {
+        Self {
+            app,
+            dim: app.dim(),
+            trace,
+            partitioner,
+            sim,
+        }
+    }
+
     /// Stable slug identifying the scenario inside its campaign, used
-    /// for artifact file names: `bl2d_hybrid_p16_g1`.
+    /// for artifact file names: `bl2d_hybrid_p16_g1`. 3-D scenarios carry
+    /// a `_d3` suffix; 2-D slugs are unchanged from the 2-D-only era, so
+    /// existing artifact paths stay stable.
     pub fn slug(&self) -> String {
+        let dim_suffix = if self.dim == 3 { "_d3" } else { "" };
         format!(
-            "{}_{}_p{}_g{}",
+            "{}_{}_p{}_g{}{}",
             self.app.name().to_lowercase(),
             self.partitioner.slug(),
             self.sim.nprocs,
             self.sim.ghost_width,
+            dim_suffix,
         )
     }
 
     /// Execute the scenario against the shared trace/model store.
     pub fn run(&self) -> ScenarioOutcome {
+        assert_eq!(
+            self.dim,
+            self.app.dim(),
+            "scenario dim {} does not match {}'s dimension",
+            self.dim,
+            self.app.name()
+        );
         let trace = cached_trace(self.app, &self.trace);
         let model = cached_model(self.app, &self.trace);
-        run_on_trace(self, &trace, model)
+        match &*trace {
+            AnyTrace::D2(t) => run_on_trace(self, t, model),
+            AnyTrace::D3(t) => run_on_trace(self, t, model),
+        }
     }
 }
 
@@ -55,9 +89,9 @@ impl Scenario {
 /// sequentially. Both paths produce identical metrics for a static
 /// partitioner, so the choice is an execution detail, not a semantic
 /// one.
-pub(crate) fn run_on_trace(
+pub(crate) fn run_on_trace<const D: usize>(
     scenario: &Scenario,
-    trace: &HierarchyTrace,
+    trace: &HierarchyTrace<D>,
     model: Arc<Vec<ModelState>>,
 ) -> ScenarioOutcome {
     let sim = scenario.partitioner.simulate(trace, &scenario.sim);
@@ -178,15 +212,31 @@ mod tests {
     use super::*;
 
     fn scenario() -> Scenario {
-        Scenario {
-            app: AppKind::Bl2d,
-            trace: TraceGenConfig::smoke(),
-            partitioner: PartitionerSpec::parse("hybrid").unwrap(),
-            sim: SimConfig {
+        Scenario::new(
+            AppKind::Bl2d,
+            TraceGenConfig::smoke(),
+            PartitionerSpec::parse("hybrid").unwrap(),
+            SimConfig {
                 nprocs: 4,
                 ..SimConfig::default()
             },
-        }
+        )
+    }
+
+    fn scenario_3d() -> Scenario {
+        Scenario::new(
+            AppKind::Sp3d,
+            TraceGenConfig {
+                base_cells: 16,
+                steps: 6,
+                ..TraceGenConfig::smoke()
+            },
+            PartitionerSpec::parse("hybrid").unwrap(),
+            SimConfig {
+                nprocs: 4,
+                ..SimConfig::default()
+            },
+        )
     }
 
     #[test]
@@ -200,6 +250,7 @@ mod tests {
     #[test]
     fn slug_is_stable_and_file_safe() {
         assert_eq!(scenario().slug(), "bl2d_hybrid_p4_g1");
+        assert_eq!(scenario_3d().slug(), "sp3d_hybrid_p4_g1_d3");
     }
 
     #[test]
@@ -208,6 +259,21 @@ mod tests {
         assert_eq!(out.sim.steps.len(), out.model.len());
         // Header plus one row per step.
         assert_eq!(out.to_csv().lines().count(), out.model.len() + 1);
+    }
+
+    #[test]
+    fn three_d_scenario_runs_end_to_end() {
+        let out = scenario_3d().run();
+        assert_eq!(out.scenario.dim, 3);
+        assert!(out.sim.total_time > 0.0);
+        assert_eq!(out.sim.steps.len(), out.model.len());
+        assert_eq!(out.to_csv().lines().count(), out.model.len() + 1);
+        // Metrics stay in their defined ranges in 3-D too.
+        for s in &out.sim.steps {
+            assert!(s.load_imbalance >= 1.0 - 1e-12);
+            assert!(s.rel_comm >= 0.0);
+            assert!(s.rel_migration >= 0.0);
+        }
     }
 
     #[test]

@@ -7,7 +7,9 @@
 //! meta-partitioner, the octant-approach baseline). The CLI parses specs
 //! from names, campaigns sweep over them, and scenario artifacts record
 //! them, so one registry replaces the per-consumer match blocks the
-//! facade, benches and CLI used to carry.
+//! facade, benches and CLI used to carry. The description is
+//! dimension-free: the same spec materializes a 2-D or a 3-D partitioner
+//! depending on the hierarchy it is asked to cut.
 
 use samr_meta::compare::run_sequential;
 use samr_meta::{MetaPartitioner, OctantMetaPartitioner};
@@ -76,7 +78,7 @@ impl PartitionerSpec {
 
     /// Full configured name (as reported in results).
     pub fn name(&self, machine: &MachineModel) -> String {
-        self.build(machine).name()
+        self.build::<2>(machine).name()
     }
 
     /// `true` for dynamic selectors whose decisions depend on invocation
@@ -87,20 +89,28 @@ impl PartitionerSpec {
     }
 
     /// Materialize the partitioner for a machine (the machine model is
-    /// the system component of the meta-partitioner's PAC triple).
-    pub fn build(&self, machine: &MachineModel) -> Box<dyn Partitioner + Send + Sync> {
+    /// the system component of the meta-partitioner's PAC triple) at the
+    /// requested dimension.
+    pub fn build<const D: usize>(
+        &self,
+        machine: &MachineModel,
+    ) -> Box<dyn Partitioner<D> + Send + Sync> {
         match self {
-            Self::Static(choice) => choice.boxed(),
-            Self::Meta => Box::new(MetaPartitioner::for_machine(machine)),
-            Self::OctantMeta => Box::new(OctantMetaPartitioner::new()),
+            Self::Static(choice) => choice.boxed::<D>(),
+            Self::Meta => Box::new(MetaPartitioner::<D>::for_machine(machine)),
+            Self::OctantMeta => Box::new(OctantMetaPartitioner::<D>::new()),
         }
     }
 
     /// Simulate a trace under this spec: snapshot-parallel for static
     /// choices, strictly sequential for stateful selectors. The single
     /// simulate entry point shared by scenario execution and the CLI.
-    pub fn simulate(&self, trace: &HierarchyTrace, cfg: &SimConfig) -> SimResult {
-        let partitioner = self.build(&cfg.machine);
+    pub fn simulate<const D: usize>(
+        &self,
+        trace: &HierarchyTrace<D>,
+        cfg: &SimConfig,
+    ) -> SimResult {
+        let partitioner = self.build::<D>(&cfg.machine);
         if self.stateful() {
             let (steps, total_time) = run_sequential(trace, partitioner.as_ref(), cfg);
             SimResult {
@@ -157,6 +167,23 @@ mod tests {
             let json = serde_json::to_string(&spec).unwrap();
             let back: PartitionerSpec = serde_json::from_str(&json).unwrap();
             assert_eq!(spec, back, "{json}");
+        }
+    }
+
+    #[test]
+    fn specs_build_partitioners_of_either_dimension() {
+        use samr_geom::Box3;
+        use samr_grid::GridHierarchy;
+        let machine = MachineModel::default();
+        let h = GridHierarchy::from_level_rects(
+            Box3::from_extents(8, 8, 8),
+            2,
+            &[vec![], vec![Box3::from_coords(2, 2, 2, 9, 9, 9)]],
+        );
+        for (_, spec) in PartitionerSpec::registry() {
+            let p = spec.build::<3>(&machine);
+            let part = p.partition(&h, 4);
+            assert_eq!(samr_partition::validate_partition(&h, &part), Ok(()));
         }
     }
 }

@@ -4,7 +4,9 @@
 //! figure, test, bench and campaign scenario wants the same traces; the
 //! model series over a trace is likewise shared by every scenario that
 //! sweeps partitioners or processor counts over the same application.
-//! This module keeps both behind one cache.
+//! This module keeps both behind one cache. Traces are stored
+//! dimension-erased ([`AnyTrace`]) so 2-D and 3-D workloads share one
+//! store; the model series is scalar either way.
 //!
 //! **Cache key correctness.** The key is the application kind plus the
 //! *entire* serialized [`TraceGenConfig`]. The facade's original cache
@@ -13,11 +15,12 @@
 //! option) collided and silently returned the wrong cached trace —
 //! e.g. a 3-level smoke config poisoned a later 5-level request with the
 //! same step count. Serializing the full config makes the key total over
-//! every field, including ones added later.
+//! every field, including ones added later. The application kind encodes
+//! the dimension, so 2-D and 3-D entries can never collide either.
 
-use samr_apps::{generate_trace, AppKind, TraceGenConfig};
+use samr_apps::{generate_trace_any, AppKind, TraceGenConfig};
 use samr_core::{ModelPipeline, ModelState};
-use samr_trace::HierarchyTrace;
+use samr_trace::AnyTrace;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -27,7 +30,7 @@ pub fn trace_key(kind: AppKind, cfg: &TraceGenConfig) -> String {
     format!("{}:{cfg_json}", kind.name())
 }
 
-type TraceCache = Mutex<HashMap<String, Arc<HierarchyTrace>>>;
+type TraceCache = Mutex<HashMap<String, Arc<AnyTrace>>>;
 type ModelCache = Mutex<HashMap<String, Arc<Vec<ModelState>>>>;
 
 fn trace_cache() -> &'static TraceCache {
@@ -48,12 +51,12 @@ fn model_cache() -> &'static ModelCache {
 /// concurrent requests for the same key may race to generate, in which
 /// case the first inserted trace wins and the others are dropped (the
 /// generator is deterministic, so all candidates are identical anyway).
-pub fn cached_trace(kind: AppKind, cfg: &TraceGenConfig) -> Arc<HierarchyTrace> {
+pub fn cached_trace(kind: AppKind, cfg: &TraceGenConfig) -> Arc<AnyTrace> {
     let key = trace_key(kind, cfg);
     if let Some(t) = trace_cache().lock().unwrap().get(&key) {
         return Arc::clone(t);
     }
-    let trace = Arc::new(generate_trace(kind, cfg));
+    let trace = Arc::new(generate_trace_any(kind, cfg));
     Arc::clone(trace_cache().lock().unwrap().entry(key).or_insert(trace))
 }
 
@@ -66,7 +69,11 @@ pub fn cached_model(kind: AppKind, cfg: &TraceGenConfig) -> Arc<Vec<ModelState>>
         return Arc::clone(m);
     }
     let trace = cached_trace(kind, cfg);
-    let model = Arc::new(ModelPipeline::new().run(&trace));
+    let pipeline = ModelPipeline::new();
+    let model = Arc::new(match &*trace {
+        AnyTrace::D2(t) => pipeline.run(t),
+        AnyTrace::D3(t) => pipeline.run(t),
+    });
     Arc::clone(model_cache().lock().unwrap().entry(key).or_insert(model))
 }
 
@@ -110,5 +117,23 @@ mod tests {
         let model = cached_model(AppKind::Sc2d, &cfg);
         assert_eq!(model.len(), trace.len());
         assert!(Arc::ptr_eq(&model, &cached_model(AppKind::Sc2d, &cfg)));
+    }
+
+    #[test]
+    fn three_d_traces_share_the_store() {
+        let cfg = TraceGenConfig {
+            base_cells: 16,
+            steps: 4,
+            ..TraceGenConfig::smoke()
+        };
+        let t = cached_trace(AppKind::Sp3d, &cfg);
+        assert_eq!(t.dim(), 3);
+        assert!(Arc::ptr_eq(&t, &cached_trace(AppKind::Sp3d, &cfg)));
+        let model = cached_model(AppKind::Sp3d, &cfg);
+        assert_eq!(model.len(), t.len());
+        for s in model.iter() {
+            assert!((0.0..=1.0).contains(&s.beta_m));
+            assert!((0.0..=1.0).contains(&s.beta_c));
+        }
     }
 }

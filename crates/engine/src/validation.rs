@@ -109,12 +109,15 @@ impl ValidationRun {
     pub fn execute(app: AppKind, cfg: &TraceGenConfig, sim_cfg: &SimConfig) -> Self {
         let trace = cached_trace(app, cfg);
         let model = cached_model(app, cfg);
-        Self::from_parts(app, cfg, &trace, model, sim_cfg)
+        let trace2 = trace
+            .as_2d()
+            .expect("validation figures reproduce the paper's 2-D applications");
+        Self::from_parts(app, cfg, trace2, model, sim_cfg)
     }
 
     /// Same, from an already generated trace (used by the benches, whose
     /// traces live in the shared store under the bench configuration).
-    pub fn from_trace(app: AppKind, trace: &HierarchyTrace, sim_cfg: &SimConfig) -> Self {
+    pub fn from_trace(app: AppKind, trace: &HierarchyTrace<2>, sim_cfg: &SimConfig) -> Self {
         let model = Arc::new(ModelPipeline::new().run(trace));
         // The trace is explicit, so the scenario's trace config is
         // documentary; record the paper configuration it derives from.
@@ -124,17 +127,13 @@ impl ValidationRun {
     fn from_parts(
         app: AppKind,
         cfg: &TraceGenConfig,
-        trace: &HierarchyTrace,
+        trace: &HierarchyTrace<2>,
         model: Arc<Vec<ModelState>>,
         sim_cfg: &SimConfig,
     ) -> Self {
         let [hybrid_spec, domain_spec] = figure_specs();
-        let scenario = |partitioner: PartitionerSpec| Scenario {
-            app,
-            trace: cfg.clone(),
-            partitioner,
-            sim: *sim_cfg,
-        };
+        let scenario =
+            |partitioner: PartitionerSpec| Scenario::new(app, cfg.clone(), partitioner, *sim_cfg);
         let hybrid = run_on_trace(&scenario(hybrid_spec), trace, Arc::clone(&model));
         let domain = run_on_trace(&scenario(domain_spec), trace, model);
         Self::from_outcomes(hybrid, domain)
@@ -176,6 +175,7 @@ impl ValidationRun {
             AppKind::Bl2d => 5,
             AppKind::Sc2d => 6,
             AppKind::Tp2d => 7,
+            AppKind::Sp3d => unreachable!("the paper's figures are 2-D"),
         }
     }
 
@@ -235,6 +235,7 @@ impl ValidationRun {
     pub fn all_figures(cfg: &TraceGenConfig, sim_cfg: &SimConfig) -> Vec<ValidationRun> {
         let spec = crate::campaign::CampaignSpec {
             apps: AppKind::ALL.to_vec(),
+            dims: vec![2],
             partitioners: figure_specs().to_vec(),
             nprocs: vec![sim_cfg.nprocs],
             ghost_widths: vec![sim_cfg.ghost_width],

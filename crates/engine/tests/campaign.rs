@@ -88,6 +88,63 @@ fn run_to_dir_writes_one_csv_and_one_json_per_scenario() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Golden-file regression: the exact bytes this campaign produced at the
+/// seed (pre-dimension-generic) configuration are checked in; the
+/// dimension-generic refactor must keep every 2-D artifact byte-identical.
+/// Regenerate the file only for a *deliberate* output change (run the
+/// campaign and overwrite `tests/golden/campaign_smoke.csv`).
+#[test]
+fn campaign_csv_matches_pre_refactor_golden_bytes() {
+    let got = campaign_csv_bytes(&two_by_two());
+    let want = include_str!("golden/campaign_smoke.csv");
+    assert!(
+        got == want,
+        "2-D campaign output drifted from the checked-in golden artifact"
+    );
+}
+
+#[test]
+fn mixed_dimension_campaign_runs_end_to_end_with_artifacts() {
+    // Acceptance: a campaign with dim-3 scenarios runs trace → model →
+    // partition → simulate and emits per-scenario CSV/JSON artifacts.
+    let spec = CampaignSpec::new(TraceGenConfig {
+        base_cells: 16,
+        steps: 4,
+        ..TraceGenConfig::smoke()
+    })
+    .apps([AppKind::Tp2d, AppKind::Sp3d])
+    .partitioners([
+        PartitionerSpec::parse("hybrid").unwrap(),
+        PartitionerSpec::parse("domain-sfc").unwrap(),
+    ])
+    .nprocs([4]);
+    assert_eq!(spec.dims, vec![2, 3]);
+    let dir = std::env::temp_dir().join(format!("samr-engine-test-{}-mixed", std::process::id()));
+    let (outcomes, paths) = Campaign::run_to_dir(&spec, &dir).expect("write artifacts");
+    assert_eq!(outcomes.len(), 4);
+    let dims: Vec<usize> = outcomes.iter().map(|o| o.scenario.dim).collect();
+    assert_eq!(dims, vec![2, 2, 3, 3]);
+    let names: Vec<String> = paths
+        .iter()
+        .map(|p| p.file_name().unwrap().to_string_lossy().into_owned())
+        .collect();
+    assert!(
+        names.contains(&"sp3d_hybrid_p4_g1_d3.csv".to_string()),
+        "{names:?}"
+    );
+    assert!(names.contains(&"sp3d_domain-sfc_p4_g1_d3.json".to_string()));
+    for o in &outcomes {
+        assert!(o.sim.total_time > 0.0);
+        assert_eq!(o.to_csv().lines().count(), o.model.len() + 1);
+    }
+    // 3-D campaigns are deterministic too.
+    let again = Campaign::run(&spec);
+    for (a, b) in outcomes.iter().zip(&again) {
+        assert_eq!(a.to_csv(), b.to_csv());
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn dynamic_selectors_run_inside_campaigns() {
     let spec = CampaignSpec::new(TraceGenConfig::smoke())

@@ -1,5 +1,5 @@
 //! Algebra on lists of boxes: subtraction, disjointification, coalescing
-//! and exact union areas.
+//! and exact union volumes — generic over the dimension.
 //!
 //! SAMR structures are unions of boxes that frequently overlap (ghost
 //! regions vs. owners, level `l+1` projected onto level `l`, old partition
@@ -8,14 +8,15 @@
 //! counts over such unions, so these operations are exact integer
 //! computations, not floating-point approximations.
 
-use crate::point::Point2;
-use crate::rect::{Axis, Rect2};
+use crate::rect::{AABox, Axis};
 
-/// Subtract box `b` from box `a`, appending the (up to 4) disjoint pieces of
-/// `a \ b` to `out`. The pieces are produced by slab decomposition: the
-/// parts of `a` below/above `b` along Y first, then the left/right parts of
-/// the middle slab.
-pub fn subtract_into(a: &Rect2, b: &Rect2, out: &mut Vec<Rect2>) {
+/// Subtract box `b` from box `a`, appending the (up to `2·D`) disjoint
+/// pieces of `a \ b` to `out`. The pieces are produced by slab
+/// decomposition from the highest axis down: the parts of `a` below/above
+/// `b` along the last axis first, then the remaining slabs on lower axes
+/// clamped to the overlap — in 2-D exactly the historical Y-slabs-then-
+/// X-slabs order, byte for byte.
+pub fn subtract_into<const D: usize>(a: &AABox<D>, b: &AABox<D>, out: &mut Vec<AABox<D>>) {
     let Some(ov) = a.intersect(b) else {
         out.push(*a);
         return;
@@ -23,39 +24,42 @@ pub fn subtract_into(a: &Rect2, b: &Rect2, out: &mut Vec<Rect2>) {
     if ov == *a {
         return; // fully covered
     }
-    // Slab below b.
-    if a.lo().y < ov.lo().y {
-        out.push(Rect2::new(a.lo(), Point2::new(a.hi().x, ov.lo().y - 1)));
-    }
-    // Slab above b.
-    if a.hi().y > ov.hi().y {
-        out.push(Rect2::new(Point2::new(a.lo().x, ov.hi().y + 1), a.hi()));
-    }
-    // Left part of the middle slab.
-    if a.lo().x < ov.lo().x {
-        out.push(Rect2::new(
-            Point2::new(a.lo().x, ov.lo().y),
-            Point2::new(ov.lo().x - 1, ov.hi().y),
-        ));
-    }
-    // Right part of the middle slab.
-    if a.hi().x > ov.hi().x {
-        out.push(Rect2::new(
-            Point2::new(ov.hi().x + 1, ov.lo().y),
-            Point2::new(a.hi().x, ov.hi().y),
-        ));
+    let mut rest = *a;
+    for i in (0..D).rev() {
+        let axis = Axis::from_index(i);
+        // Slab below the overlap along this axis.
+        if rest.lo().get(axis) < ov.lo().get(axis) {
+            out.push(AABox::new(
+                rest.lo(),
+                rest.hi().with(axis, ov.lo().get(axis) - 1),
+            ));
+        }
+        // Slab above the overlap along this axis.
+        if rest.hi().get(axis) > ov.hi().get(axis) {
+            out.push(AABox::new(
+                rest.lo().with(axis, ov.hi().get(axis) + 1),
+                rest.hi(),
+            ));
+        }
+        // Clamp the remainder to the overlap's range on this axis and
+        // continue with the lower axes.
+        rest = AABox::new(
+            rest.lo().with(axis, ov.lo().get(axis)),
+            rest.hi().with(axis, ov.hi().get(axis)),
+        );
     }
 }
 
 /// Subtract box `b` from box `a`, returning the disjoint remainder pieces.
-pub fn subtract(a: &Rect2, b: &Rect2) -> Vec<Rect2> {
-    let mut out = Vec::with_capacity(4);
+pub fn subtract<const D: usize>(a: &AABox<D>, b: &AABox<D>) -> Vec<AABox<D>> {
+    let mut out = Vec::with_capacity(2 * D);
     subtract_into(a, b, &mut out);
     out
 }
 
-/// Subtract every box of `bs` from `a`, returning disjoint remainder pieces.
-pub fn subtract_all(a: &Rect2, bs: &[Rect2]) -> Vec<Rect2> {
+/// Subtract every box of `bs` from `a`, returning disjoint remainder
+/// pieces.
+pub fn subtract_all<const D: usize>(a: &AABox<D>, bs: &[AABox<D>]) -> Vec<AABox<D>> {
     let mut current = vec![*a];
     let mut next = Vec::new();
     for b in bs {
@@ -74,8 +78,8 @@ pub fn subtract_all(a: &Rect2, bs: &[Rect2]) -> Vec<Rect2> {
 /// Rewrite a list of possibly-overlapping boxes as a list of pairwise
 /// disjoint boxes covering exactly the same cells. Order of the output is
 /// deterministic (a function of input order only).
-pub fn disjointify(boxes: &[Rect2]) -> Vec<Rect2> {
-    let mut result: Vec<Rect2> = Vec::with_capacity(boxes.len());
+pub fn disjointify<const D: usize>(boxes: &[AABox<D>]) -> Vec<AABox<D>> {
+    let mut result: Vec<AABox<D>> = Vec::with_capacity(boxes.len());
     for b in boxes {
         let mut pieces = vec![*b];
         let mut next = Vec::new();
@@ -94,36 +98,40 @@ pub fn disjointify(boxes: &[Rect2]) -> Vec<Rect2> {
     result
 }
 
-/// Exact number of cells in the union of the boxes (overlaps counted once).
-pub fn union_cells(boxes: &[Rect2]) -> u64 {
-    disjointify(boxes).iter().map(Rect2::cells).sum()
+/// Exact number of cells in the union of the boxes (overlaps counted
+/// once).
+pub fn union_cells<const D: usize>(boxes: &[AABox<D>]) -> u64 {
+    disjointify(boxes).iter().map(AABox::cells).sum()
 }
 
 /// Sum of the cell counts of the boxes (overlaps counted with
 /// multiplicity).
-pub fn total_cells(boxes: &[Rect2]) -> u64 {
-    boxes.iter().map(Rect2::cells).sum()
+pub fn total_cells<const D: usize>(boxes: &[AABox<D>]) -> u64 {
+    boxes.iter().map(AABox::cells).sum()
 }
 
 /// Number of cells of `a` covered by the union of `bs`.
-pub fn covered_cells(a: &Rect2, bs: &[Rect2]) -> u64 {
-    let clipped: Vec<Rect2> = bs.iter().filter_map(|b| a.intersect(b)).collect();
+pub fn covered_cells<const D: usize>(a: &AABox<D>, bs: &[AABox<D>]) -> u64 {
+    let clipped: Vec<AABox<D>> = bs.iter().filter_map(|b| a.intersect(b)).collect();
     union_cells(&clipped)
 }
 
 /// `true` if the union of `bs` covers every cell of `a`.
-pub fn covers(a: &Rect2, bs: &[Rect2]) -> bool {
+pub fn covers<const D: usize>(a: &AABox<D>, bs: &[AABox<D>]) -> bool {
     subtract_all(a, bs).is_empty()
 }
 
 /// Try to merge two boxes into one exact bounding box. Succeeds only when
-/// they are adjacent (or overlapping) along one axis and identical along the
-/// other, i.e. when the bounding union contains exactly the union's cells.
-pub fn try_merge(a: &Rect2, b: &Rect2) -> Option<Rect2> {
-    for axis in Axis::ALL {
-        let o = axis.other();
-        if a.lo().get(o) == b.lo().get(o) && a.hi().get(o) == b.hi().get(o) {
-            // Same footprint on the other axis; mergeable if the intervals
+/// they are adjacent (or overlapping) along one axis and identical along
+/// every other, i.e. when the bounding union contains exactly the union's
+/// cells.
+pub fn try_merge<const D: usize>(a: &AABox<D>, b: &AABox<D>) -> Option<AABox<D>> {
+    for i in 0..D {
+        let axis = Axis::from_index(i);
+        let same_footprint =
+            (0..D).all(|o| o == i || (a.lo()[o] == b.lo()[o] && a.hi()[o] == b.hi()[o]));
+        if same_footprint {
+            // Same footprint on the other axes; mergeable if the intervals
             // on `axis` touch or overlap.
             let (alo, ahi) = (a.lo().get(axis), a.hi().get(axis));
             let (blo, bhi) = (b.lo().get(axis), b.hi().get(axis));
@@ -136,11 +144,11 @@ pub fn try_merge(a: &Rect2, b: &Rect2) -> Option<Rect2> {
 }
 
 /// Greedily coalesce a list of disjoint boxes, merging pairs that form an
-/// exact rectangle until a fixed point. Keeps the union of cells identical
+/// exact box until a fixed point. Keeps the union of cells identical
 /// while reducing the box count — partitioners use this to emit compact
 /// fragment lists.
-pub fn coalesce(boxes: &[Rect2]) -> Vec<Rect2> {
-    let mut list: Vec<Rect2> = boxes.to_vec();
+pub fn coalesce<const D: usize>(boxes: &[AABox<D>]) -> Vec<AABox<D>> {
+    let mut list: Vec<AABox<D>> = boxes.to_vec();
     loop {
         let mut merged_any = false;
         'outer: for i in 0..list.len() {
@@ -160,7 +168,7 @@ pub fn coalesce(boxes: &[Rect2]) -> Vec<Rect2> {
 }
 
 /// Clip every box in `list` against `window`, dropping empty results.
-pub fn clip_all(list: &[Rect2], window: &Rect2) -> Vec<Rect2> {
+pub fn clip_all<const D: usize>(list: &[AABox<D>], window: &AABox<D>) -> Vec<AABox<D>> {
     list.iter().filter_map(|b| b.intersect(window)).collect()
 }
 
@@ -168,10 +176,10 @@ pub fn clip_all(list: &[Rect2], window: &Rect2) -> Vec<Rect2> {
 /// `Σ_i Σ_j |a_i ∩ b_j|`. This is exactly the inner double sum of the
 /// paper's β_m when applied per level, and is exact when each list is
 /// internally disjoint (SAMR patches at one level never overlap).
-pub fn pairwise_overlap_cells(a: &[Rect2], b: &[Rect2]) -> u64 {
-    // O(|a|·|b|) with an early bounding-box rejection. Patch counts per
-    // level are tens-to-hundreds, so the quadratic loop with a cheap filter
-    // is faster in practice than building an interval tree every regrid.
+pub fn pairwise_overlap_cells<const D: usize>(a: &[AABox<D>], b: &[AABox<D>]) -> u64 {
+    // O(|a|·|b|) with a cheap per-pair rejection. Patch counts per level
+    // are tens-to-hundreds, so the quadratic loop is faster in practice
+    // than building an interval tree every regrid.
     let mut sum = 0u64;
     for ra in a {
         for rb in b {
@@ -184,6 +192,7 @@ pub fn pairwise_overlap_cells(a: &[Rect2], b: &[Rect2]) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rect::{Box3, Rect2};
 
     fn r(x0: i64, y0: i64, x1: i64, y1: i64) -> Rect2 {
         Rect2::from_coords(x0, y0, x1, y1)
@@ -217,6 +226,18 @@ mod tests {
                 assert!(!p.intersects(q));
             }
         }
+    }
+
+    #[test]
+    fn subtract_piece_order_matches_historical_2d_slabs() {
+        // Y-slabs (full width) first, then X-slabs of the middle band —
+        // the exact output order of the original 2-D implementation.
+        let a = r(0, 0, 9, 9);
+        let b = r(3, 3, 6, 6);
+        assert_eq!(
+            subtract(&a, &b),
+            vec![r(0, 0, 9, 2), r(0, 7, 9, 9), r(0, 3, 2, 6), r(7, 3, 9, 6)]
+        );
     }
 
     #[test]
@@ -330,5 +351,30 @@ mod tests {
         let w = r(0, 0, 4, 4);
         let clipped = clip_all(&[r(2, 2, 8, 8), r(9, 9, 10, 10)], &w);
         assert_eq!(clipped, vec![r(2, 2, 4, 4)]);
+    }
+
+    #[test]
+    fn three_d_center_hole_produces_six_slabs() {
+        let a = Box3::from_coords(0, 0, 0, 9, 9, 9);
+        let b = Box3::from_coords(3, 3, 3, 6, 6, 6);
+        let pieces = subtract(&a, &b);
+        assert_eq!(pieces.len(), 6);
+        assert_eq!(total_cells(&pieces), a.cells() - b.cells());
+        for (i, p) in pieces.iter().enumerate() {
+            assert!(!p.intersects(&b));
+            for q in &pieces[i + 1..] {
+                assert!(!p.intersects(q));
+            }
+        }
+    }
+
+    #[test]
+    fn three_d_coalesce_and_cover() {
+        let b = Box3::from_coords(0, 0, 0, 7, 7, 7);
+        let (l, r) = b.split_at(Axis::Z, 3);
+        let (la, lb) = l.split_at(Axis::X, 1);
+        assert_eq!(coalesce(&[r, la, lb]), vec![b]);
+        assert!(covers(&b, &[r, la, lb]));
+        assert_eq!(union_cells(&[r, la, lb, b]), b.cells());
     }
 }

@@ -1,23 +1,32 @@
-//! Dense rectangular buffers over a box domain.
+//! Dense rectangular buffers over a box domain, generic over the
+//! dimension.
 
-use crate::point::Point2;
-use crate::rect::Rect2;
+use crate::point::Point;
+use crate::rect::AABox;
 
-/// A dense, row-major 2-D array of `T` covering the cells of a [`Rect2`].
+/// A dense, row-major `D`-dimensional array of `T` covering the cells of
+/// an [`AABox`].
 ///
 /// Used for solution fields in the application kernels and for refinement
-/// flag masks feeding the Berger–Rigoutsos clusterer. Indexing is by global
-/// cell coordinates (the domain's own index space), which keeps solver
-/// stencils and flag transfers free of per-patch offset bookkeeping.
+/// flag masks feeding the Berger–Rigoutsos clusterer. Indexing is by
+/// global cell coordinates (the domain's own index space), which keeps
+/// solver stencils and flag transfers free of per-patch offset
+/// bookkeeping.
 #[derive(Clone, PartialEq, Debug)]
-pub struct Grid2<T> {
-    domain: Rect2,
+pub struct Grid<T, const D: usize> {
+    domain: AABox<D>,
     data: Vec<T>,
 }
 
-impl<T: Clone> Grid2<T> {
+/// 2-D dense grid (the historical `Grid2` of the 2-D code base).
+pub type Grid2<T> = Grid<T, 2>;
+
+/// 3-D dense grid.
+pub type Grid3<T> = Grid<T, 3>;
+
+impl<T: Clone, const D: usize> Grid<T, D> {
     /// Allocate a grid over `domain`, filled with `fill`.
-    pub fn new(domain: Rect2, fill: T) -> Self {
+    pub fn new(domain: AABox<D>, fill: T) -> Self {
         let n = domain.cells() as usize;
         Self {
             domain,
@@ -33,40 +42,39 @@ impl<T: Clone> Grid2<T> {
     }
 }
 
-impl<T> Grid2<T> {
-    /// Build a grid from a closure evaluated at every cell.
-    pub fn from_fn(domain: Rect2, mut f: impl FnMut(Point2) -> T) -> Self {
+impl<T, const D: usize> Grid<T, D> {
+    /// Build a grid from a closure evaluated at every cell in row-major
+    /// order.
+    pub fn from_fn(domain: AABox<D>, mut f: impl FnMut(Point<D>) -> T) -> Self {
         let mut data = Vec::with_capacity(domain.cells() as usize);
-        for y in domain.lo().y..=domain.hi().y {
-            for x in domain.lo().x..=domain.hi().x {
-                data.push(f(Point2::new(x, y)));
-            }
+        for p in domain.iter_cells() {
+            data.push(f(p));
         }
         Self { domain, data }
     }
 
     /// The box this grid covers.
     #[inline]
-    pub fn domain(&self) -> Rect2 {
+    pub fn domain(&self) -> AABox<D> {
         self.domain
     }
 
     /// Immutable access to a cell.
     #[inline]
-    pub fn get(&self, p: Point2) -> &T {
+    pub fn get(&self, p: Point<D>) -> &T {
         &self.data[self.domain.linear_index(p)]
     }
 
     /// Mutable access to a cell.
     #[inline]
-    pub fn get_mut(&mut self, p: Point2) -> &mut T {
+    pub fn get_mut(&mut self, p: Point<D>) -> &mut T {
         let i = self.domain.linear_index(p);
         &mut self.data[i]
     }
 
     /// Set a cell.
     #[inline]
-    pub fn set(&mut self, p: Point2, v: T) {
+    pub fn set(&mut self, p: Point<D>, v: T) {
         let i = self.domain.linear_index(p);
         self.data[i] = v;
     }
@@ -84,15 +92,86 @@ impl<T> Grid2<T> {
     }
 
     /// Iterate `(cell, &value)` in row-major order.
-    pub fn iter(&self) -> impl Iterator<Item = (Point2, &T)> + '_ {
+    pub fn iter(&self) -> impl Iterator<Item = (Point<D>, &T)> + '_ {
         self.domain.iter_cells().zip(self.data.iter())
     }
 
-    /// One row of the grid as a slice (cells `lo.x ..= hi.x` at height `y`).
+    /// The axis-0-contiguous runs of `window` as `(run start cell,
+    /// backing slice)` pairs in row-major order — the hot-loop iteration
+    /// (signatures, window counts, flag scans) that pays one
+    /// `linear_index` per run instead of one per cell. `window` must lie
+    /// inside the domain.
+    pub fn runs_in<'a>(
+        &'a self,
+        window: &AABox<D>,
+    ) -> impl Iterator<Item = (Point<D>, &'a [T])> + 'a {
+        debug_assert!(self.domain.contains_rect(window), "{window:?} escapes");
+        let len0 = window.extent()[0] as usize;
+        Self::rows_of(window).map(move |row| {
+            let start = self.domain.linear_index(row);
+            (row, &self.data[start..start + len0])
+        })
+    }
+
+    /// Visit every cell of `window` in row-major order via
+    /// [`Grid::runs_in`]. `window` must lie inside the domain.
+    pub fn for_each_in(&self, window: &AABox<D>, mut f: impl FnMut(Point<D>, &T)) {
+        for (row, run) in self.runs_in(window) {
+            for (i, v) in run.iter().enumerate() {
+                let mut p = row;
+                p[0] += i as i64;
+                f(p, v);
+            }
+        }
+    }
+
+    /// Overwrite every cell of `window` (which must lie inside the
+    /// domain) with `value`, one contiguous run at a time.
+    pub fn fill_in(&mut self, window: &AABox<D>, value: T)
+    where
+        T: Clone,
+    {
+        debug_assert!(self.domain.contains_rect(window), "{window:?} escapes");
+        let len0 = window.extent()[0] as usize;
+        for row in Self::rows_of(window) {
+            let start = self.domain.linear_index(row);
+            for v in &mut self.data[start..start + len0] {
+                *v = value.clone();
+            }
+        }
+    }
+
+    /// The start point of every axis-0 run of `window`, in row-major
+    /// order.
+    fn rows_of(window: &AABox<D>) -> impl Iterator<Item = Point<D>> {
+        let lo = window.lo();
+        let e = window.extent();
+        let rows: u64 = (1..D).map(|i| e[i] as u64).product();
+        (0..rows).map(move |idx| {
+            let mut rest = idx;
+            Point::from_fn(|i| {
+                if i == 0 {
+                    lo[0]
+                } else {
+                    let w = e[i] as u64;
+                    let c = lo[i] + (rest % w) as i64;
+                    rest /= w;
+                    c
+                }
+            })
+        })
+    }
+}
+
+impl<T> Grid<T, 2> {
+    /// One row of the grid as a slice (cells `lo.x ..= hi.x` at height
+    /// `y`).
     #[inline]
     pub fn row(&self, y: i64) -> &[T] {
         let w = self.domain.extent().x as usize;
-        let start = self.domain.linear_index(Point2::new(self.domain.lo().x, y));
+        let start = self
+            .domain
+            .linear_index(Point::<2>::new(self.domain.lo().x, y));
         &self.data[start..start + w]
     }
 
@@ -100,36 +179,32 @@ impl<T> Grid2<T> {
     #[inline]
     pub fn row_mut(&mut self, y: i64) -> &mut [T] {
         let w = self.domain.extent().x as usize;
-        let start = self.domain.linear_index(Point2::new(self.domain.lo().x, y));
+        let start = self
+            .domain
+            .linear_index(Point::<2>::new(self.domain.lo().x, y));
         &mut self.data[start..start + w]
     }
 }
 
-impl Grid2<bool> {
+impl<const D: usize> Grid<bool, D> {
     /// Count the `true` cells (flagged cells for the clusterer).
     pub fn count_true(&self) -> u64 {
         self.data.iter().filter(|&&b| b).count() as u64
     }
 
     /// Count the `true` cells inside `window`.
-    pub fn count_true_in(&self, window: &Rect2) -> u64 {
+    pub fn count_true_in(&self, window: &AABox<D>) -> u64 {
         match self.domain.intersect(window) {
             None => 0,
-            Some(w) => {
-                let mut n = 0;
-                for y in w.lo().y..=w.hi().y {
-                    let row = self.row(y);
-                    let off = (w.lo().x - self.domain.lo().x) as usize;
-                    let len = w.extent().x as usize;
-                    n += row[off..off + len].iter().filter(|&&b| b).count() as u64;
-                }
-                n
-            }
+            Some(w) => self
+                .runs_in(&w)
+                .map(|(_, run)| run.iter().filter(|&&b| b).count() as u64)
+                .sum(),
         }
     }
 }
 
-impl Grid2<f64> {
+impl<const D: usize> Grid<f64, D> {
     /// Maximum absolute value over the grid (0.0 for an all-zero grid).
     pub fn max_abs(&self) -> f64 {
         self.data.iter().fold(0.0f64, |m, v| m.max(v.abs()))
@@ -144,6 +219,8 @@ impl Grid2<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::point::{Point2, Point3};
+    use crate::rect::{Box3, Rect2};
 
     fn dom() -> Rect2 {
         Rect2::from_coords(-1, -1, 2, 1)
@@ -211,5 +288,18 @@ mod tests {
         let mut g = Grid2::new(dom(), 1u8);
         g.fill(3);
         assert!(g.data().iter().all(|&v| v == 3));
+    }
+
+    #[test]
+    fn three_d_grid_roundtrip() {
+        let d = Box3::from_extents(3, 2, 4);
+        let mut g = Grid3::from_fn(d, |p| p.x + 10 * p.y + 100 * p.z);
+        assert_eq!(g.data().len(), 24);
+        assert_eq!(*g.get(Point3::new(2, 1, 3)), 2 + 10 + 300);
+        g.set(Point3::new(0, 0, 0), -5);
+        assert_eq!(*g.get(Point3::new(0, 0, 0)), -5);
+        let flags = Grid3::from_fn(d, |p| p.z == 1);
+        assert_eq!(flags.count_true(), 6);
+        assert_eq!(flags.count_true_in(&Box3::from_coords(0, 0, 1, 0, 1, 2)), 2);
     }
 }

@@ -1,52 +1,152 @@
-//! 2-D integer lattice points.
+//! Dimension-generic integer lattice points.
 
-use serde::{Deserialize, Serialize};
+use crate::rect::Axis;
+use serde::{Deserialize, Error, Serialize, Value};
 use std::fmt;
-use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+use std::ops::{Add, AddAssign, Div, Index, IndexMut, Mul, Neg, Sub, SubAssign};
 
-/// A point on the 2-D integer index lattice.
+/// A point on the `D`-dimensional integer index lattice.
 ///
 /// Coordinates are `i64` so that refining a box (multiplying coordinates by
 /// the refinement factor) can never overflow for realistic hierarchy depths:
 /// the paper's configuration is a base grid of at most a few hundred cells
 /// per side with 5 levels of factor-2 refinement.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
-pub struct Point2 {
+///
+/// [`Point2`] (= `Point<2>`) and [`Point3`] (= `Point<3>`) additionally
+/// dereference to named-coordinate views, so 2-D code keeps reading `p.x`
+/// and `p.y` while dimension-generic code indexes `p[axis]`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Point<const D: usize> {
+    coords: [i64; D],
+}
+
+/// 2-D lattice point (the historical `Point2` of the 2-D code base).
+pub type Point2 = Point<2>;
+
+/// 3-D lattice point.
+pub type Point3 = Point<3>;
+
+/// Named-coordinate view of a [`Point2`] (via `Deref`).
+#[repr(C)]
+pub struct Xy {
     /// Coordinate along the first (x) axis.
     pub x: i64,
     /// Coordinate along the second (y) axis.
     pub y: i64,
 }
 
-impl Point2 {
-    /// Create a point from its coordinates.
+/// Named-coordinate view of a [`Point3`] (via `Deref`).
+#[repr(C)]
+pub struct Xyz {
+    /// Coordinate along the first (x) axis.
+    pub x: i64,
+    /// Coordinate along the second (y) axis.
+    pub y: i64,
+    /// Coordinate along the third (z) axis.
+    pub z: i64,
+}
+
+impl std::ops::Deref for Point<2> {
+    type Target = Xy;
+    #[inline]
+    fn deref(&self) -> &Xy {
+        // SAFETY: `Xy` is `repr(C)` with two `i64` fields, layout-identical
+        // to `[i64; 2]`.
+        unsafe { &*(self.coords.as_ptr() as *const Xy) }
+    }
+}
+
+impl std::ops::DerefMut for Point<2> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut Xy {
+        // SAFETY: as in `Deref`.
+        unsafe { &mut *(self.coords.as_mut_ptr() as *mut Xy) }
+    }
+}
+
+impl std::ops::Deref for Point<3> {
+    type Target = Xyz;
+    #[inline]
+    fn deref(&self) -> &Xyz {
+        // SAFETY: `Xyz` is `repr(C)` with three `i64` fields,
+        // layout-identical to `[i64; 3]`.
+        unsafe { &*(self.coords.as_ptr() as *const Xyz) }
+    }
+}
+
+impl std::ops::DerefMut for Point<3> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut Xyz {
+        // SAFETY: as in `Deref`.
+        unsafe { &mut *(self.coords.as_mut_ptr() as *mut Xyz) }
+    }
+}
+
+impl Point<2> {
+    /// Create a 2-D point from its coordinates.
     #[inline]
     pub const fn new(x: i64, y: i64) -> Self {
-        Self { x, y }
+        Self { coords: [x, y] }
+    }
+}
+
+impl Point<3> {
+    /// Create a 3-D point from its coordinates.
+    #[inline]
+    pub const fn new(x: i64, y: i64, z: i64) -> Self {
+        Self { coords: [x, y, z] }
+    }
+}
+
+impl<const D: usize> Point<D> {
+    /// The origin (all coordinates 0).
+    pub const ZERO: Self = Self { coords: [0; D] };
+
+    /// The unit point (all coordinates 1).
+    pub const ONE: Self = Self { coords: [1; D] };
+
+    /// A point with every coordinate equal to `v`.
+    #[inline]
+    pub const fn splat(v: i64) -> Self {
+        Self { coords: [v; D] }
     }
 
-    /// The origin `(0, 0)`.
-    pub const ZERO: Self = Self::new(0, 0);
+    /// Create a point from a coordinate array.
+    #[inline]
+    pub const fn from_array(coords: [i64; D]) -> Self {
+        Self { coords }
+    }
 
-    /// The unit point `(1, 1)`.
-    pub const ONE: Self = Self::new(1, 1);
+    /// The coordinate array.
+    #[inline]
+    pub const fn coords(self) -> [i64; D] {
+        self.coords
+    }
+
+    /// Build a point from a per-axis closure.
+    #[inline]
+    pub fn from_fn(f: impl FnMut(usize) -> i64) -> Self {
+        Self {
+            coords: std::array::from_fn(f),
+        }
+    }
 
     /// Component-wise minimum.
     #[inline]
     pub fn min(self, other: Self) -> Self {
-        Self::new(self.x.min(other.x), self.y.min(other.y))
+        Self::from_fn(|i| self.coords[i].min(other.coords[i]))
     }
 
     /// Component-wise maximum.
     #[inline]
     pub fn max(self, other: Self) -> Self {
-        Self::new(self.x.max(other.x), self.y.max(other.y))
+        Self::from_fn(|i| self.coords[i].max(other.coords[i]))
     }
 
-    /// Component-wise multiplication.
+    /// Component-wise multiplication by a scalar.
     #[inline]
     pub fn scale(self, f: i64) -> Self {
-        Self::new(self.x * f, self.y * f)
+        Self::from_fn(|i| self.coords[i] * f)
     }
 
     /// Component-wise Euclidean floor division (rounds towards negative
@@ -54,85 +154,106 @@ impl Point2 {
     /// coarsening cell `-1` by factor 2 must give cell `-1`, not `0`.
     #[inline]
     pub fn div_floor(self, f: i64) -> Self {
-        Self::new(self.x.div_euclid(f), self.y.div_euclid(f))
+        Self::from_fn(|i| self.coords[i].div_euclid(f))
     }
 
-    /// `true` if both coordinates of `self` are `<=` those of `other`.
+    /// `true` if every coordinate of `self` is `<=` the matching one of
+    /// `other`.
     #[inline]
     pub fn le(self, other: Self) -> bool {
-        self.x <= other.x && self.y <= other.y
+        (0..D).all(|i| self.coords[i] <= other.coords[i])
     }
 
-    /// Sum of coordinates (useful for L1 norms of offsets).
+    /// Sum of absolute coordinates (L1 norm of an offset).
     #[inline]
     pub fn l1(self) -> i64 {
-        self.x.abs() + self.y.abs()
+        self.coords.iter().map(|c| c.abs()).sum()
     }
 
-    /// Access a coordinate by axis index (0 = x, 1 = y).
+    /// Access a coordinate by axis.
     #[inline]
-    pub fn get(self, axis: crate::rect::Axis) -> i64 {
-        match axis {
-            crate::rect::Axis::X => self.x,
-            crate::rect::Axis::Y => self.y,
-        }
+    pub fn get(self, axis: Axis) -> i64 {
+        self.coords[axis.index()]
     }
 
     /// Return a copy with the coordinate on `axis` replaced by `v`.
     #[inline]
-    pub fn with(self, axis: crate::rect::Axis, v: i64) -> Self {
-        match axis {
-            crate::rect::Axis::X => Self::new(v, self.y),
-            crate::rect::Axis::Y => Self::new(self.x, v),
+    pub fn with(self, axis: Axis, v: i64) -> Self {
+        let mut coords = self.coords;
+        coords[axis.index()] = v;
+        Self { coords }
+    }
+}
+
+impl<const D: usize> Index<usize> for Point<D> {
+    type Output = i64;
+    #[inline]
+    fn index(&self, i: usize) -> &i64 {
+        &self.coords[i]
+    }
+}
+
+impl<const D: usize> IndexMut<usize> for Point<D> {
+    #[inline]
+    fn index_mut(&mut self, i: usize) -> &mut i64 {
+        &mut self.coords[i]
+    }
+}
+
+impl<const D: usize> fmt::Debug for Point<D> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.coords.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl<const D: usize> fmt::Display for Point<D> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl<const D: usize> Add for Point<D> {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Self::from_fn(|i| self.coords[i] + rhs.coords[i])
+    }
+}
+
+impl<const D: usize> AddAssign for Point<D> {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        for i in 0..D {
+            self.coords[i] += rhs.coords[i];
         }
     }
 }
 
-impl fmt::Debug for Point2 {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "({}, {})", self.x, self.y)
-    }
-}
-
-impl fmt::Display for Point2 {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "({}, {})", self.x, self.y)
-    }
-}
-
-impl Add for Point2 {
-    type Output = Self;
-    #[inline]
-    fn add(self, rhs: Self) -> Self {
-        Self::new(self.x + rhs.x, self.y + rhs.y)
-    }
-}
-
-impl AddAssign for Point2 {
-    #[inline]
-    fn add_assign(&mut self, rhs: Self) {
-        self.x += rhs.x;
-        self.y += rhs.y;
-    }
-}
-
-impl Sub for Point2 {
+impl<const D: usize> Sub for Point<D> {
     type Output = Self;
     #[inline]
     fn sub(self, rhs: Self) -> Self {
-        Self::new(self.x - rhs.x, self.y - rhs.y)
+        Self::from_fn(|i| self.coords[i] - rhs.coords[i])
     }
 }
 
-impl SubAssign for Point2 {
+impl<const D: usize> SubAssign for Point<D> {
     #[inline]
     fn sub_assign(&mut self, rhs: Self) {
-        self.x -= rhs.x;
-        self.y -= rhs.y;
+        for i in 0..D {
+            self.coords[i] -= rhs.coords[i];
+        }
     }
 }
 
-impl Mul<i64> for Point2 {
+impl<const D: usize> Mul<i64> for Point<D> {
     type Output = Self;
     #[inline]
     fn mul(self, rhs: i64) -> Self {
@@ -140,7 +261,7 @@ impl Mul<i64> for Point2 {
     }
 }
 
-impl Div<i64> for Point2 {
+impl<const D: usize> Div<i64> for Point<D> {
     type Output = Self;
     #[inline]
     fn div(self, rhs: i64) -> Self {
@@ -148,25 +269,65 @@ impl Div<i64> for Point2 {
     }
 }
 
-impl Neg for Point2 {
+impl<const D: usize> Neg for Point<D> {
     type Output = Self;
     #[inline]
     fn neg(self) -> Self {
-        Self::new(-self.x, -self.y)
+        Self::from_fn(|i| -self.coords[i])
     }
 }
 
-impl From<(i64, i64)> for Point2 {
+impl<const D: usize> From<[i64; D]> for Point<D> {
+    #[inline]
+    fn from(coords: [i64; D]) -> Self {
+        Self { coords }
+    }
+}
+
+impl From<(i64, i64)> for Point<2> {
     #[inline]
     fn from((x, y): (i64, i64)) -> Self {
         Self::new(x, y)
     }
 }
 
+impl From<(i64, i64, i64)> for Point<3> {
+    #[inline]
+    fn from((x, y, z): (i64, i64, i64)) -> Self {
+        Self::new(x, y, z)
+    }
+}
+
+// The vendored serde derive does not support generics, so the impls are
+// written by hand: a point serializes as the plain coordinate sequence.
+impl<const D: usize> Serialize for Point<D> {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.coords.iter().map(|c| c.serialize()).collect())
+    }
+}
+
+impl<const D: usize> Deserialize for Point<D> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let Value::Seq(items) = v else {
+            return Err(Error::msg(format!("expected point sequence, got {v:?}")));
+        };
+        if items.len() != D {
+            return Err(Error::msg(format!(
+                "expected {D} coordinates, got {}",
+                items.len()
+            )));
+        }
+        let mut coords = [0i64; D];
+        for (c, item) in coords.iter_mut().zip(items) {
+            *c = i64::deserialize(item)?;
+        }
+        Ok(Self { coords })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::rect::Axis;
 
     #[test]
     fn arithmetic_basics() {
@@ -223,5 +384,43 @@ mod tests {
         assert_eq!(p, Point2::new(3, 4));
         p -= Point2::new(1, 1);
         assert_eq!(p, Point2::new(2, 3));
+    }
+
+    #[test]
+    fn deref_views_read_and_write() {
+        let mut p = Point2::new(4, 9);
+        assert_eq!(p.x, 4);
+        assert_eq!(p.y, 9);
+        p.x = -1;
+        assert_eq!(p, Point2::new(-1, 9));
+        let mut q = Point3::new(1, 2, 3);
+        assert_eq!((q.x, q.y, q.z), (1, 2, 3));
+        q.z = 7;
+        assert_eq!(q, Point3::new(1, 2, 7));
+    }
+
+    #[test]
+    fn three_dimensional_ops() {
+        let a = Point3::new(1, 2, 3);
+        let b = Point3::new(4, -1, 0);
+        assert_eq!(a + b, Point3::new(5, 1, 3));
+        assert_eq!(a.min(b), Point3::new(1, -1, 0));
+        assert_eq!(a.get(Axis::Z), 3);
+        assert_eq!(a.with(Axis::Z, 9), Point3::new(1, 2, 9));
+        assert_eq!(a[2], 3);
+        assert!(Point3::ZERO.le(a));
+        assert_eq!(format!("{a:?}"), "(1, 2, 3)");
+    }
+
+    #[test]
+    fn serde_roundtrip_is_a_sequence() {
+        let p = Point3::new(-4, 0, 17);
+        let v = p.serialize();
+        assert_eq!(
+            v,
+            Value::Seq(vec![Value::I64(-4), Value::U64(0), Value::U64(17)])
+        );
+        assert_eq!(Point3::deserialize(&v).unwrap(), p);
+        assert!(Point2::deserialize(&v).is_err());
     }
 }

@@ -1,65 +1,123 @@
-//! Axis-aligned integer boxes with inclusive bounds.
+//! Axis-aligned integer boxes with inclusive bounds, generic over the
+//! dimension.
 
-use crate::point::Point2;
-use serde::{Deserialize, Serialize};
+use crate::point::Point;
+use serde::{Deserialize, Error, Serialize, Value};
 use std::fmt;
 
-/// The two coordinate axes of the 2-D index space.
+/// A coordinate axis of the index space (up to 3-D).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
 pub enum Axis {
     /// First axis.
     X,
     /// Second axis.
     Y,
+    /// Third axis.
+    Z,
 }
 
 impl Axis {
-    /// Both axes, in order.
-    pub const ALL: [Axis; 2] = [Axis::X, Axis::Y];
-
-    /// The other axis.
+    /// The first `D` axes, in order.
     #[inline]
-    pub fn other(self) -> Axis {
+    pub fn all<const D: usize>() -> [Axis; D] {
+        std::array::from_fn(Axis::from_index)
+    }
+
+    /// The axis with index `i` (0 = X, 1 = Y, 2 = Z).
+    #[inline]
+    pub fn from_index(i: usize) -> Axis {
+        match i {
+            0 => Axis::X,
+            1 => Axis::Y,
+            2 => Axis::Z,
+            _ => panic!("axis index {i} out of range (supported dimensions: 2, 3)"),
+        }
+    }
+
+    /// The index of the axis (0 = X, 1 = Y, 2 = Z).
+    #[inline]
+    pub fn index(self) -> usize {
         match self {
-            Axis::X => Axis::Y,
-            Axis::Y => Axis::X,
+            Axis::X => 0,
+            Axis::Y => 1,
+            Axis::Z => 2,
         }
     }
 }
 
-/// A non-empty axis-aligned box of grid cells, `lo ..= hi` on both axes.
+/// A non-empty axis-aligned box of grid cells, `lo ..= hi` on every axis.
 ///
-/// `Rect2` is the unit of currency of the whole reproduction: SAMR patches,
-/// partition fragments, ghost regions and flag clusters are all `Rect2`s.
-/// The type maintains the invariant `lo <= hi` component-wise, so a `Rect2`
+/// `AABox` is the unit of currency of the whole reproduction: SAMR patches,
+/// partition fragments, ghost regions and flag clusters are all boxes.
+/// The type maintains the invariant `lo <= hi` component-wise, so a box
 /// always contains at least one cell; operations that can produce an empty
-/// result (intersection, shrinking) return `Option<Rect2>`. Keeping
-/// emptiness out of the representation removes a whole class of
-/// degenerate-box bugs from the box algebra that the paper's β_m penalty
-/// (a triple sum of box intersections) relies on.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub struct Rect2 {
-    lo: Point2,
-    hi: Point2,
+/// result (intersection, shrinking) return `Option`. Keeping emptiness out
+/// of the representation removes a whole class of degenerate-box bugs from
+/// the box algebra that the paper's β_m penalty (a triple sum of box
+/// intersections) relies on.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AABox<const D: usize> {
+    lo: Point<D>,
+    hi: Point<D>,
 }
 
-impl Rect2 {
-    /// Create a box from inclusive corners. Panics if `lo > hi` on any axis;
-    /// use [`Rect2::try_new`] for fallible construction.
+/// 2-D box (the historical `Rect2` of the 2-D code base).
+pub type Rect2 = AABox<2>;
+
+/// 3-D box.
+pub type Box3 = AABox<3>;
+
+impl AABox<2> {
+    /// Convenience constructor from scalar corner coordinates.
     #[inline]
     #[track_caller]
-    pub fn new(lo: Point2, hi: Point2) -> Self {
+    pub fn from_coords(x0: i64, y0: i64, x1: i64, y1: i64) -> Self {
+        Self::new(Point::<2>::new(x0, y0), Point::<2>::new(x1, y1))
+    }
+
+    /// The box `[0, nx-1] x [0, ny-1]`. Panics if either extent is zero.
+    #[inline]
+    #[track_caller]
+    pub fn from_extents(nx: i64, ny: i64) -> Self {
+        Self::from_extent_array([nx, ny])
+    }
+}
+
+impl AABox<3> {
+    /// Convenience constructor from scalar corner coordinates.
+    #[inline]
+    #[track_caller]
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_coords(x0: i64, y0: i64, z0: i64, x1: i64, y1: i64, z1: i64) -> Self {
+        Self::new(Point::<3>::new(x0, y0, z0), Point::<3>::new(x1, y1, z1))
+    }
+
+    /// The box `[0, nx-1] x [0, ny-1] x [0, nz-1]`. Panics if any extent
+    /// is zero.
+    #[inline]
+    #[track_caller]
+    pub fn from_extents(nx: i64, ny: i64, nz: i64) -> Self {
+        Self::from_extent_array([nx, ny, nz])
+    }
+}
+
+impl<const D: usize> AABox<D> {
+    /// Create a box from inclusive corners. Panics if `lo > hi` on any
+    /// axis; use [`AABox::try_new`] for fallible construction.
+    #[inline]
+    #[track_caller]
+    pub fn new(lo: Point<D>, hi: Point<D>) -> Self {
         assert!(
             lo.le(hi),
-            "Rect2::new: lo {lo:?} must be <= hi {hi:?} on both axes"
+            "AABox::new: lo {lo:?} must be <= hi {hi:?} on every axis"
         );
         Self { lo, hi }
     }
 
-    /// Create a box from inclusive corners, returning `None` if it would be
-    /// empty.
+    /// Create a box from inclusive corners, returning `None` if it would
+    /// be empty.
     #[inline]
-    pub fn try_new(lo: Point2, hi: Point2) -> Option<Self> {
+    pub fn try_new(lo: Point<D>, hi: Point<D>) -> Option<Self> {
         if lo.le(hi) {
             Some(Self { lo, hi })
         } else {
@@ -67,43 +125,40 @@ impl Rect2 {
         }
     }
 
-    /// Convenience constructor from scalar corner coordinates.
+    /// The box `[0, e_0-1] x … x [0, e_{D-1}-1]` from an extent array.
+    /// Panics if any extent is non-positive.
     #[inline]
     #[track_caller]
-    pub fn from_coords(x0: i64, y0: i64, x1: i64, y1: i64) -> Self {
-        Self::new(Point2::new(x0, y0), Point2::new(x1, y1))
-    }
-
-    /// The box `[0, nx-1] x [0, ny-1]`. Panics if either extent is zero.
-    #[inline]
-    #[track_caller]
-    pub fn from_extents(nx: i64, ny: i64) -> Self {
-        assert!(nx > 0 && ny > 0, "extents must be positive: {nx} x {ny}");
-        Self::new(Point2::ZERO, Point2::new(nx - 1, ny - 1))
+    pub fn from_extent_array(extents: [i64; D]) -> Self {
+        assert!(
+            extents.iter().all(|&e| e > 0),
+            "extents must be positive: {extents:?}"
+        );
+        Self::new(Point::ZERO, Point::from_fn(|i| extents[i] - 1))
     }
 
     /// A single-cell box.
     #[inline]
-    pub fn cell(p: Point2) -> Self {
+    pub fn cell(p: Point<D>) -> Self {
         Self { lo: p, hi: p }
     }
 
     /// Inclusive lower corner.
     #[inline]
-    pub fn lo(&self) -> Point2 {
+    pub fn lo(&self) -> Point<D> {
         self.lo
     }
 
     /// Inclusive upper corner.
     #[inline]
-    pub fn hi(&self) -> Point2 {
+    pub fn hi(&self) -> Point<D> {
         self.hi
     }
 
     /// Number of cells along each axis (always positive).
     #[inline]
-    pub fn extent(&self) -> Point2 {
-        self.hi - self.lo + Point2::ONE
+    pub fn extent(&self) -> Point<D> {
+        self.hi - self.lo + Point::ONE
     }
 
     /// Number of cells along `axis`.
@@ -115,157 +170,168 @@ impl Rect2 {
     /// Total number of cells in the box.
     #[inline]
     pub fn cells(&self) -> u64 {
-        let e = self.extent();
-        (e.x as u64) * (e.y as u64)
+        self.extent().coords().iter().map(|&e| e as u64).product()
     }
 
-    /// Number of cells on the boundary ring of the box (cells with at least
-    /// one face on the box surface). This drives the worst-case ghost-cell
-    /// communication estimate `β_c`.
+    /// Number of cells on the boundary shell of width `g` (cells within
+    /// `g` of the box surface). `perimeter_cells` is the `g = 1` case.
     #[inline]
-    pub fn perimeter_cells(&self) -> u64 {
+    pub fn boundary_shell_cells(&self, g: i64) -> u64 {
         let e = self.extent();
-        if e.x <= 2 || e.y <= 2 {
+        if e.coords().iter().any(|&x| x <= 2 * g) {
             self.cells()
         } else {
-            self.cells() - ((e.x - 2) as u64) * ((e.y - 2) as u64)
+            let interior: u64 = e.coords().iter().map(|&x| (x - 2 * g) as u64).product();
+            self.cells() - interior
         }
     }
 
-    /// The axis along which the box is longest (ties go to X).
+    /// Number of cells on the boundary ring of the box (cells with at
+    /// least one face on the box surface). This drives the worst-case
+    /// ghost-cell communication estimate `β_c`.
+    #[inline]
+    pub fn perimeter_cells(&self) -> u64 {
+        self.boundary_shell_cells(1)
+    }
+
+    /// The axis along which the box is longest (ties go to the lowest
+    /// axis index, i.e. X).
     #[inline]
     pub fn longest_axis(&self) -> Axis {
         let e = self.extent();
-        if e.y > e.x {
-            Axis::Y
-        } else {
-            Axis::X
+        let mut best = 0usize;
+        for i in 1..D {
+            if e[i] > e[best] {
+                best = i;
+            }
         }
+        Axis::from_index(best)
     }
 
     /// `true` if the cell `p` lies inside the box.
     #[inline]
-    pub fn contains_point(&self, p: Point2) -> bool {
+    pub fn contains_point(&self, p: Point<D>) -> bool {
         self.lo.le(p) && p.le(self.hi)
     }
 
     /// `true` if `other` lies entirely inside `self`.
     #[inline]
-    pub fn contains_rect(&self, other: &Rect2) -> bool {
+    pub fn contains_rect(&self, other: &AABox<D>) -> bool {
         self.lo.le(other.lo) && other.hi.le(self.hi)
     }
 
     /// `true` if the boxes share at least one cell.
     #[inline]
-    pub fn intersects(&self, other: &Rect2) -> bool {
-        self.lo.x <= other.hi.x
-            && other.lo.x <= self.hi.x
-            && self.lo.y <= other.hi.y
-            && other.lo.y <= self.hi.y
+    pub fn intersects(&self, other: &AABox<D>) -> bool {
+        (0..D).all(|i| self.lo[i] <= other.hi[i] && other.lo[i] <= self.hi[i])
     }
 
-    /// The common cells of two boxes, if any. This is the `∩` of the paper's
-    /// β_m definition.
+    /// The common cells of two boxes, if any. This is the `∩` of the
+    /// paper's β_m definition.
     #[inline]
-    pub fn intersect(&self, other: &Rect2) -> Option<Rect2> {
-        Rect2::try_new(self.lo.max(other.lo), self.hi.min(other.hi))
+    pub fn intersect(&self, other: &AABox<D>) -> Option<AABox<D>> {
+        AABox::try_new(self.lo.max(other.lo), self.hi.min(other.hi))
     }
 
     /// Number of cells shared by two boxes (0 if disjoint). Cheaper than
     /// materializing the intersection box when only the count is needed —
     /// the β_m inner loop uses this.
     #[inline]
-    pub fn overlap_cells(&self, other: &Rect2) -> u64 {
-        let w = (self.hi.x.min(other.hi.x) - self.lo.x.max(other.lo.x) + 1).max(0) as u64;
-        let h = (self.hi.y.min(other.hi.y) - self.lo.y.max(other.lo.y) + 1).max(0) as u64;
-        w * h
+    pub fn overlap_cells(&self, other: &AABox<D>) -> u64 {
+        let mut n = 1u64;
+        for i in 0..D {
+            let w = (self.hi[i].min(other.hi[i]) - self.lo[i].max(other.lo[i]) + 1).max(0) as u64;
+            n *= w;
+        }
+        n
     }
 
     /// Smallest box containing both inputs.
     #[inline]
-    pub fn bounding_union(&self, other: &Rect2) -> Rect2 {
-        Rect2 {
+    pub fn bounding_union(&self, other: &AABox<D>) -> AABox<D> {
+        AABox {
             lo: self.lo.min(other.lo),
             hi: self.hi.max(other.hi),
         }
     }
 
-    /// Grow the box by `g >= 0` cells on every side (ghost region of width
-    /// `g`).
+    /// Grow the box by `g >= 0` cells on every side (ghost region of
+    /// width `g`).
     #[inline]
-    pub fn grow(&self, g: i64) -> Rect2 {
+    pub fn grow(&self, g: i64) -> AABox<D> {
         debug_assert!(g >= 0);
-        Rect2 {
-            lo: self.lo - Point2::new(g, g),
-            hi: self.hi + Point2::new(g, g),
+        AABox {
+            lo: self.lo - Point::splat(g),
+            hi: self.hi + Point::splat(g),
         }
     }
 
     /// Shrink the box by `g >= 0` cells on every side; `None` if nothing
     /// remains.
     #[inline]
-    pub fn shrink(&self, g: i64) -> Option<Rect2> {
+    pub fn shrink(&self, g: i64) -> Option<AABox<D>> {
         debug_assert!(g >= 0);
-        Rect2::try_new(self.lo + Point2::new(g, g), self.hi - Point2::new(g, g))
+        AABox::try_new(self.lo + Point::splat(g), self.hi - Point::splat(g))
     }
 
     /// Translate the box by an offset.
     #[inline]
-    pub fn translate(&self, d: Point2) -> Rect2 {
-        Rect2 {
+    pub fn translate(&self, d: Point<D>) -> AABox<D> {
+        AABox {
             lo: self.lo + d,
             hi: self.hi + d,
         }
     }
 
-    /// Refine the box by an integer factor `r >= 1`: the resulting fine box
-    /// covers exactly the same physical area. Cell `i` refines to cells
-    /// `i*r ..= i*r + r-1`, matching Berger–Colella index conventions.
+    /// Refine the box by an integer factor `r >= 1`: the resulting fine
+    /// box covers exactly the same physical volume. Cell `i` refines to
+    /// cells `i*r ..= i*r + r-1`, matching Berger–Colella index
+    /// conventions.
     #[inline]
-    pub fn refine(&self, r: i64) -> Rect2 {
+    pub fn refine(&self, r: i64) -> AABox<D> {
         debug_assert!(r >= 1);
-        Rect2 {
+        AABox {
             lo: self.lo * r,
-            hi: self.hi * r + Point2::new(r - 1, r - 1),
+            hi: self.hi * r + Point::splat(r - 1),
         }
     }
 
-    /// Coarsen the box by an integer factor `r >= 1`: the resulting coarse
-    /// box is the smallest coarse box *covering* the fine box. Uses floor
-    /// division so negative indices coarsen correctly.
+    /// Coarsen the box by an integer factor `r >= 1`: the resulting
+    /// coarse box is the smallest coarse box *covering* the fine box.
+    /// Uses floor division so negative indices coarsen correctly.
     #[inline]
-    pub fn coarsen(&self, r: i64) -> Rect2 {
+    pub fn coarsen(&self, r: i64) -> AABox<D> {
         debug_assert!(r >= 1);
-        Rect2 {
+        AABox {
             lo: self.lo.div_floor(r),
             hi: self.hi.div_floor(r),
         }
     }
 
-    /// Split the box into `([lo, c], [c+1, hi])` along `axis`. Panics unless
-    /// `lo(axis) <= c < hi(axis)` — both halves are non-empty by
+    /// Split the box into `([lo, c], [c+1, hi])` along `axis`. Panics
+    /// unless `lo(axis) <= c < hi(axis)` — both halves are non-empty by
     /// construction.
     #[inline]
     #[track_caller]
-    pub fn split_at(&self, axis: Axis, c: i64) -> (Rect2, Rect2) {
+    pub fn split_at(&self, axis: Axis, c: i64) -> (AABox<D>, AABox<D>) {
         assert!(
             self.lo.get(axis) <= c && c < self.hi.get(axis),
             "split coordinate {c} outside the interior of {self:?} on {axis:?}"
         );
-        let left = Rect2 {
+        let left = AABox {
             lo: self.lo,
             hi: self.hi.with(axis, c),
         };
-        let right = Rect2 {
+        let right = AABox {
             lo: self.lo.with(axis, c + 1),
             hi: self.hi,
         };
         (left, right)
     }
 
-    /// Split the box into two roughly equal halves along its longest axis;
-    /// `None` if the box is a single cell.
-    pub fn bisect(&self) -> Option<(Rect2, Rect2)> {
+    /// Split the box into two roughly equal halves along its longest
+    /// axis; `None` if the box is a single cell.
+    pub fn bisect(&self) -> Option<(AABox<D>, AABox<D>)> {
         let axis = self.longest_axis();
         if self.len(axis) < 2 {
             return None;
@@ -274,41 +340,98 @@ impl Rect2 {
         Some(self.split_at(axis, mid))
     }
 
-    /// Iterate over every cell of the box in row-major (y-outer) order.
-    pub fn iter_cells(&self) -> impl Iterator<Item = Point2> + '_ {
-        let (lo, hi) = (self.lo, self.hi);
-        (lo.y..=hi.y).flat_map(move |y| (lo.x..=hi.x).map(move |x| Point2::new(x, y)))
+    /// Iterate over every cell of the box in row-major order (axis 0
+    /// fastest, last axis outermost — y-outer in 2-D).
+    pub fn iter_cells(&self) -> impl Iterator<Item = Point<D>> + '_ {
+        let lo = self.lo;
+        let e = self.extent();
+        (0..self.cells()).map(move |idx| {
+            let mut rest = idx;
+            Point::from_fn(|i| {
+                let w = e[i] as u64;
+                let c = lo[i] + (rest % w) as i64;
+                rest /= w;
+                c
+            })
+        })
     }
 
-    /// Row-major linear index of a cell within the box. Panics in debug
-    /// builds if the cell is outside.
+    /// Row-major linear index of a cell within the box (axis 0 has
+    /// stride 1). Panics in debug builds if the cell is outside.
     #[inline]
-    pub fn linear_index(&self, p: Point2) -> usize {
+    pub fn linear_index(&self, p: Point<D>) -> usize {
         debug_assert!(self.contains_point(p), "{p:?} not in {self:?}");
         let e = self.extent();
-        ((p.y - self.lo.y) * e.x + (p.x - self.lo.x)) as usize
+        let mut idx = 0i64;
+        let mut stride = 1i64;
+        for i in 0..D {
+            idx += (p[i] - self.lo[i]) * stride;
+            stride *= e[i];
+        }
+        idx as usize
+    }
+
+    /// Deterministic spatial ordering: lexicographic on the *reversed*
+    /// coordinates of `lo`, then of `hi` — `(lo.y, lo.x, hi.y, hi.x)` in
+    /// 2-D, matching the historical sort key of the clusterer and the
+    /// hybrid partitioner's block order.
+    pub fn cmp_spatial(&self, other: &AABox<D>) -> std::cmp::Ordering {
+        for i in (0..D).rev() {
+            match self.lo[i].cmp(&other.lo[i]) {
+                std::cmp::Ordering::Equal => {}
+                o => return o,
+            }
+        }
+        for i in (0..D).rev() {
+            match self.hi[i].cmp(&other.hi[i]) {
+                std::cmp::Ordering::Equal => {}
+                o => return o,
+            }
+        }
+        std::cmp::Ordering::Equal
     }
 }
 
-impl fmt::Debug for Rect2 {
+impl<const D: usize> fmt::Debug for AABox<D> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "[{}..{}, {}..{}]",
-            self.lo.x, self.hi.x, self.lo.y, self.hi.y
-        )
+        write!(f, "[")?;
+        for i in 0..D {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}..{}", self.lo[i], self.hi[i])?;
+        }
+        write!(f, "]")
     }
 }
 
-impl fmt::Display for Rect2 {
+impl<const D: usize> fmt::Display for AABox<D> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         fmt::Debug::fmt(self, f)
+    }
+}
+
+impl<const D: usize> Serialize for AABox<D> {
+    fn serialize(&self) -> Value {
+        Value::Map(vec![
+            ("lo".to_string(), self.lo.serialize()),
+            ("hi".to_string(), self.hi.serialize()),
+        ])
+    }
+}
+
+impl<const D: usize> Deserialize for AABox<D> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let lo: Point<D> = serde::field(v, "lo")?;
+        let hi: Point<D> = serde::field(v, "hi")?;
+        AABox::try_new(lo, hi).ok_or_else(|| Error::msg(format!("empty box {lo:?}..{hi:?}")))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::point::{Point2, Point3};
 
     fn r(x0: i64, y0: i64, x1: i64, y1: i64) -> Rect2 {
         Rect2::from_coords(x0, y0, x1, y1)
@@ -450,5 +573,56 @@ mod tests {
     fn longest_axis_tie_goes_to_x() {
         assert_eq!(r(0, 0, 3, 3).longest_axis(), Axis::X);
         assert_eq!(r(0, 0, 1, 5).longest_axis(), Axis::Y);
+    }
+
+    #[test]
+    fn three_d_basics() {
+        let b = Box3::from_extents(4, 3, 2);
+        assert_eq!(b.cells(), 24);
+        assert_eq!(b.extent(), Point3::new(4, 3, 2));
+        assert_eq!(b.longest_axis(), Axis::X);
+        assert_eq!(b.perimeter_cells(), 24); // a 2-thick slab is all boundary
+        let c = Box3::from_extents(4, 4, 4);
+        assert_eq!(c.perimeter_cells(), 64 - 8);
+        let f = b.refine(2);
+        assert_eq!(f.cells(), b.cells() * 8);
+        assert_eq!(f.coarsen(2), b);
+        let (l, rr) = b.split_at(Axis::Z, 0);
+        assert_eq!(l.cells() + rr.cells(), b.cells());
+    }
+
+    #[test]
+    fn three_d_iter_cells_is_row_major() {
+        let b = Box3::from_coords(0, 0, 0, 1, 1, 1);
+        let cells: Vec<_> = b.iter_cells().collect();
+        assert_eq!(cells[0], Point3::new(0, 0, 0));
+        assert_eq!(cells[1], Point3::new(1, 0, 0));
+        assert_eq!(cells[2], Point3::new(0, 1, 0));
+        assert_eq!(cells[4], Point3::new(0, 0, 1));
+        for (i, c) in b.iter_cells().enumerate() {
+            assert_eq!(b.linear_index(c), i);
+        }
+    }
+
+    #[test]
+    fn spatial_order_matches_historical_2d_key() {
+        let mut boxes = vec![r(4, 0, 5, 1), r(0, 2, 1, 3), r(0, 0, 1, 1), r(0, 0, 3, 1)];
+        boxes.sort_by(|a, b| a.cmp_spatial(b));
+        let mut expected = boxes.clone();
+        expected.sort_by_key(|b| (b.lo().y, b.lo().x, b.hi().y, b.hi().x));
+        assert_eq!(boxes, expected);
+    }
+
+    #[test]
+    fn serde_roundtrip_and_validation() {
+        let b = Box3::from_coords(1, 2, 3, 4, 5, 6);
+        let v = b.serialize();
+        assert_eq!(Box3::deserialize(&v).unwrap(), b);
+        // An inverted box must be rejected at the deserialization boundary.
+        let bad = Value::Map(vec![
+            ("lo".into(), Point3::new(5, 0, 0).serialize()),
+            ("hi".into(), Point3::new(0, 0, 0).serialize()),
+        ]);
+        assert!(Box3::deserialize(&bad).is_err());
     }
 }

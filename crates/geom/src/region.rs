@@ -1,8 +1,10 @@
-//! Regions: canonical disjoint unions of boxes with set algebra.
+//! Regions: canonical disjoint unions of boxes with set algebra, generic
+//! over the dimension.
 
 use crate::boxops;
-use crate::rect::Rect2;
-use serde::{Deserialize, Serialize};
+use crate::point::Point;
+use crate::rect::AABox;
+use serde::{Deserialize, Error, Serialize, Value};
 use std::fmt;
 
 /// A (possibly empty) set of grid cells stored as a list of pairwise
@@ -13,32 +15,44 @@ use std::fmt;
 /// level 3", "the subdomain assigned to this processor group". All
 /// operations maintain disjointness, so [`Region::cells`] is a plain sum
 /// and never double-counts.
-#[derive(Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
-pub struct Region {
-    boxes: Vec<Rect2>,
+#[derive(Clone, PartialEq, Eq)]
+pub struct Region<const D: usize> {
+    boxes: Vec<AABox<D>>,
 }
 
-impl Region {
+/// 2-D region (the historical `Region` of the 2-D code base).
+pub type Region2 = Region<2>;
+
+/// 3-D region.
+pub type Region3 = Region<3>;
+
+impl<const D: usize> Default for Region<D> {
+    fn default() -> Self {
+        Self { boxes: Vec::new() }
+    }
+}
+
+impl<const D: usize> Region<D> {
     /// The empty region.
     pub fn empty() -> Self {
         Self::default()
     }
 
     /// A region consisting of a single box.
-    pub fn from_rect(r: Rect2) -> Self {
+    pub fn from_rect(r: AABox<D>) -> Self {
         Self { boxes: vec![r] }
     }
 
     /// Build a region from possibly-overlapping boxes (overlaps are
     /// deduplicated).
-    pub fn from_boxes(boxes: &[Rect2]) -> Self {
+    pub fn from_boxes(boxes: &[AABox<D>]) -> Self {
         Self {
             boxes: boxops::disjointify(boxes),
         }
     }
 
     /// The disjoint boxes making up the region.
-    pub fn boxes(&self) -> &[Rect2] {
+    pub fn boxes(&self) -> &[AABox<D>] {
         &self.boxes
     }
 
@@ -54,23 +68,23 @@ impl Region {
 
     /// Exact number of cells in the region.
     pub fn cells(&self) -> u64 {
-        self.boxes.iter().map(Rect2::cells).sum()
+        self.boxes.iter().map(AABox::cells).sum()
     }
 
     /// `true` if the cell `p` is in the region.
-    pub fn contains_point(&self, p: crate::point::Point2) -> bool {
+    pub fn contains_point(&self, p: Point<D>) -> bool {
         self.boxes.iter().any(|b| b.contains_point(p))
     }
 
     /// Smallest box containing the region, or `None` if empty.
-    pub fn bounding_box(&self) -> Option<Rect2> {
+    pub fn bounding_box(&self) -> Option<AABox<D>> {
         let mut it = self.boxes.iter();
         let first = *it.next()?;
         Some(it.fold(first, |acc, b| acc.bounding_union(b)))
     }
 
     /// Set union.
-    pub fn union(&self, other: &Region) -> Region {
+    pub fn union(&self, other: &Region<D>) -> Region<D> {
         if self.is_empty() {
             return other.clone();
         }
@@ -83,13 +97,13 @@ impl Region {
     }
 
     /// Add a single box to the region.
-    pub fn insert(&mut self, r: Rect2) {
+    pub fn insert(&mut self, r: AABox<D>) {
         let pieces = boxops::subtract_all(&r, &self.boxes);
         self.boxes.extend(pieces);
     }
 
     /// Set intersection.
-    pub fn intersect(&self, other: &Region) -> Region {
+    pub fn intersect(&self, other: &Region<D>) -> Region<D> {
         let mut boxes = Vec::new();
         for a in &self.boxes {
             for b in &other.boxes {
@@ -104,19 +118,19 @@ impl Region {
     }
 
     /// Intersection with a single box.
-    pub fn intersect_rect(&self, r: &Rect2) -> Region {
+    pub fn intersect_rect(&self, r: &AABox<D>) -> Region<D> {
         Region {
             boxes: self.boxes.iter().filter_map(|b| b.intersect(r)).collect(),
         }
     }
 
     /// Set difference `self \ other`.
-    pub fn subtract(&self, other: &Region) -> Region {
+    pub fn subtract(&self, other: &Region<D>) -> Region<D> {
         self.subtract_boxes(&other.boxes)
     }
 
     /// Set difference against a raw box list.
-    pub fn subtract_boxes(&self, bs: &[Rect2]) -> Region {
+    pub fn subtract_boxes(&self, bs: &[AABox<D>]) -> Region<D> {
         let mut boxes = Vec::new();
         for a in &self.boxes {
             boxes.extend(boxops::subtract_all(a, bs));
@@ -126,7 +140,7 @@ impl Region {
 
     /// Number of cells shared with `other` without materializing the
     /// intersection.
-    pub fn overlap_cells(&self, other: &Region) -> u64 {
+    pub fn overlap_cells(&self, other: &Region<D>) -> u64 {
         boxops::pairwise_overlap_cells(&self.boxes, &other.boxes)
     }
 
@@ -137,31 +151,32 @@ impl Region {
     }
 
     /// Refine every box by factor `r` (cells subdivide; the region covers
-    /// the same physical area at the finer index space).
-    pub fn refine(&self, r: i64) -> Region {
+    /// the same physical volume at the finer index space).
+    pub fn refine(&self, r: i64) -> Region<D> {
         Region {
             boxes: self.boxes.iter().map(|b| b.refine(r)).collect(),
         }
     }
 
-    /// Coarsen every box by factor `r`. Coarsening can make boxes overlap,
-    /// so the result is re-disjointified.
-    pub fn coarsen(&self, r: i64) -> Region {
-        let coarse: Vec<Rect2> = self.boxes.iter().map(|b| b.coarsen(r)).collect();
+    /// Coarsen every box by factor `r`. Coarsening can make boxes
+    /// overlap, so the result is re-disjointified.
+    pub fn coarsen(&self, r: i64) -> Region<D> {
+        let coarse: Vec<AABox<D>> = self.boxes.iter().map(|b| b.coarsen(r)).collect();
         Region {
             boxes: boxops::disjointify(&coarse),
         }
     }
 
-    /// Canonical sorted form for order-independent equality checks in tests:
-    /// two regions with the same cells can have different box
-    /// decompositions, so [`Region::same_cells`] is the semantic equality.
-    pub fn same_cells(&self, other: &Region) -> bool {
+    /// Canonical sorted form for order-independent equality checks in
+    /// tests: two regions with the same cells can have different box
+    /// decompositions, so [`Region::same_cells`] is the semantic
+    /// equality.
+    pub fn same_cells(&self, other: &Region<D>) -> bool {
         self.cells() == other.cells() && self.overlap_cells(other) == self.cells()
     }
 }
 
-impl fmt::Debug for Region {
+impl<const D: usize> fmt::Debug for Region<D> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
@@ -172,10 +187,23 @@ impl fmt::Debug for Region {
     }
 }
 
-impl FromIterator<Rect2> for Region {
-    fn from_iter<T: IntoIterator<Item = Rect2>>(iter: T) -> Self {
-        let boxes: Vec<Rect2> = iter.into_iter().collect();
+impl<const D: usize> FromIterator<AABox<D>> for Region<D> {
+    fn from_iter<T: IntoIterator<Item = AABox<D>>>(iter: T) -> Self {
+        let boxes: Vec<AABox<D>> = iter.into_iter().collect();
         Region::from_boxes(&boxes)
+    }
+}
+
+impl<const D: usize> Serialize for Region<D> {
+    fn serialize(&self) -> Value {
+        self.boxes.serialize()
+    }
+}
+
+impl<const D: usize> Deserialize for Region<D> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let boxes: Vec<AABox<D>> = Deserialize::deserialize(v)?;
+        Ok(Region::from_boxes(&boxes))
     }
 }
 
@@ -183,6 +211,7 @@ impl FromIterator<Rect2> for Region {
 mod tests {
     use super::*;
     use crate::point::Point2;
+    use crate::rect::{Box3, Rect2};
 
     fn r(x0: i64, y0: i64, x1: i64, y1: i64) -> Rect2 {
         Rect2::from_coords(x0, y0, x1, y1)
@@ -190,7 +219,7 @@ mod tests {
 
     #[test]
     fn empty_region() {
-        let e = Region::empty();
+        let e = Region2::empty();
         assert!(e.is_empty());
         assert_eq!(e.cells(), 0);
         assert!(e.bounding_box().is_none());
@@ -225,7 +254,7 @@ mod tests {
 
     #[test]
     fn insert_accumulates() {
-        let mut reg = Region::empty();
+        let mut reg = Region2::empty();
         reg.insert(r(0, 0, 1, 1));
         reg.insert(r(1, 1, 2, 2)); // overlaps one cell
         assert_eq!(reg.cells(), 7);
@@ -275,7 +304,7 @@ mod tests {
 
     #[test]
     fn from_iterator_collects() {
-        let reg: Region = vec![r(0, 0, 0, 0), r(1, 0, 1, 0)].into_iter().collect();
+        let reg: Region2 = vec![r(0, 0, 0, 0), r(1, 0, 1, 0)].into_iter().collect();
         assert_eq!(reg.cells(), 2);
     }
 
@@ -283,5 +312,17 @@ mod tests {
     fn bounding_box_spans_all() {
         let reg = Region::from_boxes(&[r(0, 0, 1, 1), r(9, 9, 10, 10)]);
         assert_eq!(reg.bounding_box(), Some(r(0, 0, 10, 10)));
+    }
+
+    #[test]
+    fn three_d_set_algebra() {
+        let a = Region::from_rect(Box3::from_extents(8, 8, 8));
+        let hole = Region::from_rect(Box3::from_coords(2, 2, 2, 5, 5, 5));
+        let diff = a.subtract(&hole);
+        assert_eq!(diff.cells(), 512 - 64);
+        assert_eq!(diff.overlap_cells(&hole), 0);
+        let back = diff.union(&hole);
+        assert!(back.same_cells(&a));
+        assert_eq!(a.refine(2).cells(), 512 * 8);
     }
 }

@@ -1,4 +1,5 @@
-//! Berger–Rigoutsos point clustering: flags to patch boxes.
+//! Berger–Rigoutsos point clustering: flags to patch boxes, generic over
+//! the dimension.
 //!
 //! The clusterer reproduces the grid-generation step of the Berger–Colella
 //! SAMR algorithm that the paper's applications (GrACE kernels) use: given
@@ -7,11 +8,11 @@
 //! box cells), splitting candidate boxes at signature holes, then at
 //! Laplacian inflection points, then by bisection. The paper's set-up fixes
 //! the *granularity* (minimum block dimension) at 2; every emitted box
-//! respects it by construction.
+//! respects it by construction. The same signature-driven recursion works
+//! unchanged in any dimension — a `D`-dimensional box has `D` signatures.
 
 use crate::flags::FlagField;
-use samr_geom::rect::Axis;
-use samr_geom::{Point2, Rect2};
+use samr_geom::{AABox, Axis};
 use serde::{Deserialize, Serialize};
 
 /// Tuning knobs of the Berger–Rigoutsos clusterer.
@@ -46,17 +47,17 @@ impl ClusterOptions {
 
 /// One work item: a window (disjoint from all other windows) and the tight
 /// bounding box of the flags inside it.
-struct Candidate {
-    window: Rect2,
-    bbox: Rect2,
+struct Candidate<const D: usize> {
+    window: AABox<D>,
+    bbox: AABox<D>,
     flagged: u64,
 }
 
 /// Cluster the flagged cells of `flags` into boxes.
 ///
 /// Returned boxes are pairwise disjoint, contain every flagged cell, have
-/// extents `>= min_block` on both axes, and lie inside the flag domain.
-pub fn cluster_flags(flags: &FlagField, opts: &ClusterOptions) -> Vec<Rect2> {
+/// extents `>= min_block` on every axis, and lie inside the flag domain.
+pub fn cluster_flags<const D: usize>(flags: &FlagField<D>, opts: &ClusterOptions) -> Vec<AABox<D>> {
     assert!(opts.min_block >= 1);
     assert!(
         (0.0..=1.0).contains(&opts.min_efficiency),
@@ -71,7 +72,7 @@ pub fn cluster_flags(flags: &FlagField, opts: &ClusterOptions) -> Vec<Rect2> {
         bbox,
         flagged: flags.count_in(&bbox),
     }];
-    let mut accepted: Vec<Rect2> = Vec::new();
+    let mut accepted: Vec<AABox<D>> = Vec::new();
 
     while let Some(c) = queue.pop() {
         if accepted.len() + queue.len() >= opts.max_boxes {
@@ -96,46 +97,57 @@ pub fn cluster_flags(flags: &FlagField, opts: &ClusterOptions) -> Vec<Rect2> {
             }
         }
     }
-    // Deterministic output order regardless of queue discipline.
-    accepted.sort_by_key(|r| (r.lo().y, r.lo().x, r.hi().y, r.hi().x));
+    // Deterministic output order regardless of queue discipline (the
+    // historical `(lo.y, lo.x, hi.y, hi.x)` key, generalized).
+    accepted.sort_by(|a, b| a.cmp_spatial(b));
     accepted
 }
 
 /// Tight bounding box of flags restricted to `window`.
-fn flag_bbox_in(flags: &FlagField, window: &Rect2) -> Option<Rect2> {
+fn flag_bbox_in<const D: usize>(flags: &FlagField<D>, window: &AABox<D>) -> Option<AABox<D>> {
     let w = flags.domain().intersect(window)?;
-    let sig_x = flags.signature_x(&w);
-    let sig_y = flags.signature_y(&w);
-    let x0 = sig_x.iter().position(|&v| v > 0)?;
-    let x1 = sig_x.iter().rposition(|&v| v > 0)?;
-    let y0 = sig_y.iter().position(|&v| v > 0)?;
-    let y1 = sig_y.iter().rposition(|&v| v > 0)?;
-    Some(Rect2::new(
-        Point2::new(w.lo().x + x0 as i64, w.lo().y + y0 as i64),
-        Point2::new(w.lo().x + x1 as i64, w.lo().y + y1 as i64),
-    ))
+    let mut lo = w.lo();
+    let mut hi = w.hi();
+    for i in 0..D {
+        let axis = Axis::from_index(i);
+        let sig = flags.signature(axis, &w);
+        let first = sig.iter().position(|&v| v > 0)?;
+        let last = sig.iter().rposition(|&v| v > 0)?;
+        lo = lo.with(axis, w.lo()[i] + first as i64);
+        hi = hi.with(axis, w.lo()[i] + last as i64);
+    }
+    Some(AABox::new(lo, hi))
 }
 
 /// A box can be split on some axis while keeping both sides >= min_block.
-fn splittable(bbox: &Rect2, min_block: i64) -> bool {
-    bbox.len(Axis::X) >= 2 * min_block || bbox.len(Axis::Y) >= 2 * min_block
+fn splittable<const D: usize>(bbox: &AABox<D>, min_block: i64) -> bool {
+    (0..D).any(|i| bbox.len(Axis::from_index(i)) >= 2 * min_block)
+}
+
+/// Axes of a box ordered longest-first (stable on ties, so X precedes Y
+/// precedes Z among equals — the historical 2-D ordering).
+fn axes_by_length<const D: usize>(bbox: &AABox<D>) -> [Axis; D] {
+    let mut axes = Axis::all::<D>();
+    axes.sort_by_key(|a| std::cmp::Reverse(bbox.len(*a)));
+    axes
 }
 
 /// Pick the split (axis, inclusive-left cut coordinate) for a box that
 /// failed the efficiency test: first a signature hole, then the strongest
 /// Laplacian inflection, then midpoint bisection. Longest axis is examined
 /// first at each stage.
-fn choose_split(flags: &FlagField, bbox: &Rect2, min_block: i64) -> (Axis, i64) {
-    let axes = {
-        let first = bbox.longest_axis();
-        [first, first.other()]
-    };
+fn choose_split<const D: usize>(
+    flags: &FlagField<D>,
+    bbox: &AABox<D>,
+    min_block: i64,
+) -> (Axis, i64) {
+    let axes = axes_by_length(bbox);
     // Stage 1: holes.
     for axis in axes {
         if bbox.len(axis) < 2 * min_block {
             continue;
         }
-        let sig = signature(flags, bbox, axis);
+        let sig = flags.signature(axis, bbox);
         if let Some(i) = best_hole(&sig, min_block) {
             return (axis, bbox.lo().get(axis) + i);
         }
@@ -145,7 +157,7 @@ fn choose_split(flags: &FlagField, bbox: &Rect2, min_block: i64) -> (Axis, i64) 
         if bbox.len(axis) < 2 * min_block {
             continue;
         }
-        let sig = signature(flags, bbox, axis);
+        let sig = flags.signature(axis, bbox);
         if let Some(i) = best_inflection(&sig, min_block) {
             return (axis, bbox.lo().get(axis) + i);
         }
@@ -158,13 +170,6 @@ fn choose_split(flags: &FlagField, bbox: &Rect2, min_block: i64) -> (Axis, i64) 
         }
     }
     unreachable!("choose_split called on an unsplittable box");
-}
-
-fn signature(flags: &FlagField, bbox: &Rect2, axis: Axis) -> Vec<u32> {
-    match axis {
-        Axis::X => flags.signature_x(bbox),
-        Axis::Y => flags.signature_y(bbox),
-    }
 }
 
 /// Index `i` (inclusive-left cut after position `i`) of the zero-signature
@@ -223,10 +228,10 @@ fn best_inflection(sig: &[u32], min_block: i64) -> Option<i64> {
 /// Grow `bbox` to at least `min_block` per axis, staying inside `window`
 /// (which is guaranteed to be at least `min_block` wide per axis by the
 /// split-margin rule).
-fn expand_to_min(bbox: Rect2, min_block: i64, window: &Rect2) -> Rect2 {
+fn expand_to_min<const D: usize>(bbox: AABox<D>, min_block: i64, window: &AABox<D>) -> AABox<D> {
     let mut lo = bbox.lo();
     let mut hi = bbox.hi();
-    for axis in Axis::ALL {
+    for axis in Axis::all::<D>() {
         let mut deficit = min_block - (hi.get(axis) - lo.get(axis) + 1);
         if deficit <= 0 {
             continue;
@@ -242,12 +247,13 @@ fn expand_to_min(bbox: Rect2, min_block: i64, window: &Rect2) -> Rect2 {
             lo = lo.with(axis, lo.get(axis) - add_lo);
         }
     }
-    Rect2::new(lo, hi)
+    AABox::new(lo, hi)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use samr_geom::{Box3, Point2, Point3, Rect2};
 
     fn opts() -> ClusterOptions {
         ClusterOptions::default()
@@ -255,11 +261,11 @@ mod tests {
 
     /// Every flagged cell is inside some box; boxes are disjoint, within
     /// the domain, and respect min_block.
-    fn check_valid(flags: &FlagField, boxes: &[Rect2], o: &ClusterOptions) {
+    fn check_valid<const D: usize>(flags: &FlagField<D>, boxes: &[AABox<D>], o: &ClusterOptions) {
         for (i, b) in boxes.iter().enumerate() {
             assert!(flags.domain().contains_rect(b), "{b:?} outside domain");
             assert!(
-                b.extent().x >= o.min_block && b.extent().y >= o.min_block,
+                b.extent().coords().iter().all(|&e| e >= o.min_block),
                 "{b:?} below min block"
             );
             for c in &boxes[i + 1..] {
@@ -300,7 +306,7 @@ mod tests {
         assert_eq!(boxes.len(), 2);
         check_valid(&flags, &boxes, &opts());
         // Each box should be tight around its blob.
-        let total: u64 = boxes.iter().map(Rect2::cells).sum();
+        let total: u64 = boxes.iter().map(AABox::cells).sum();
         assert_eq!(total, flags.count());
     }
 
@@ -316,7 +322,7 @@ mod tests {
         let boxes = cluster_flags(&flags, &o);
         check_valid(&flags, &boxes, &o);
         assert!(boxes.len() > 2, "expected multiple boxes, got {boxes:?}");
-        let covered: u64 = boxes.iter().map(Rect2::cells).sum();
+        let covered: u64 = boxes.iter().map(AABox::cells).sum();
         let eff = flags.count() as f64 / covered as f64;
         assert!(eff > 0.3, "overall efficiency too low: {eff}");
     }
@@ -351,7 +357,7 @@ mod tests {
         });
         let boxes = cluster_flags(&flags, &opts());
         check_valid(&flags, &boxes, &opts());
-        let covered: u64 = boxes.iter().map(Rect2::cells).sum();
+        let covered: u64 = boxes.iter().map(AABox::cells).sum();
         // The union of boxes should be far smaller than the bounding box
         // of the ring (47x47) — that is the whole point of clustering.
         assert!(covered < 47 * 47 / 2, "covered {covered} cells");
@@ -387,5 +393,37 @@ mod tests {
         let a = cluster_flags(&flags, &opts());
         let b = cluster_flags(&flags, &opts());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn three_d_sphere_shell_clusters_validly() {
+        // A spherical shell — the 3-D analogue of the ring showcase.
+        let flags = FlagField::from_fn(Box3::from_extents(24, 24, 24), |p| {
+            let dx = p.x as f64 - 11.5;
+            let dy = p.y as f64 - 11.5;
+            let dz = p.z as f64 - 11.5;
+            let r = (dx * dx + dy * dy + dz * dz).sqrt();
+            (7.0..=9.0).contains(&r)
+        });
+        let boxes = cluster_flags(&flags, &opts());
+        assert!(!boxes.is_empty());
+        check_valid(&flags, &boxes, &opts());
+        let covered: u64 = boxes.iter().map(AABox::cells).sum();
+        // Clustering must beat the single bounding box by a wide margin.
+        assert!(covered < 19 * 19 * 19 / 2, "covered {covered} cells");
+    }
+
+    #[test]
+    fn three_d_dense_block_gets_one_box() {
+        let flags = FlagField::from_fn(Box3::from_extents(16, 16, 16), |p| {
+            (3..=8).contains(&p.x) && (4..=9).contains(&p.y) && (5..=10).contains(&p.z)
+        });
+        let boxes = cluster_flags(&flags, &opts());
+        assert_eq!(boxes, vec![Box3::from_coords(3, 4, 5, 8, 9, 10)]);
+        let mut single = FlagField::new(Box3::from_extents(16, 16, 16));
+        single.set(Point3::new(15, 0, 7));
+        let boxes = cluster_flags(&single, &opts());
+        assert_eq!(boxes.len(), 1);
+        check_valid(&single, &boxes, &opts());
     }
 }

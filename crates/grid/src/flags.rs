@@ -1,6 +1,7 @@
-//! Refinement flag fields.
+//! Refinement flag fields, generic over the dimension.
 
-use samr_geom::{Grid2, Point2, Rect2};
+use samr_geom::dense::Grid;
+use samr_geom::{AABox, Axis, Point};
 
 /// A boolean mask over a box domain marking cells that need refinement.
 ///
@@ -11,56 +12,48 @@ use samr_geom::{Grid2, Point2, Rect2};
 /// next regrid — the paper's applications regrid every 4 steps per level,
 /// so features can drift a few cells between regrids.
 #[derive(Clone, PartialEq, Debug)]
-pub struct FlagField {
-    grid: Grid2<bool>,
+pub struct FlagField<const D: usize> {
+    grid: Grid<bool, D>,
 }
 
-impl FlagField {
+impl<const D: usize> FlagField<D> {
     /// An all-clear flag field over `domain`.
-    pub fn new(domain: Rect2) -> Self {
+    pub fn new(domain: AABox<D>) -> Self {
         Self {
-            grid: Grid2::new(domain, false),
+            grid: Grid::new(domain, false),
         }
     }
 
     /// Build from a predicate evaluated at every cell.
-    pub fn from_fn(domain: Rect2, f: impl FnMut(Point2) -> bool) -> Self {
+    pub fn from_fn(domain: AABox<D>, f: impl FnMut(Point<D>) -> bool) -> Self {
         Self {
-            grid: Grid2::from_fn(domain, f),
+            grid: Grid::from_fn(domain, f),
         }
     }
 
     /// The domain of the mask.
-    pub fn domain(&self) -> Rect2 {
+    pub fn domain(&self) -> AABox<D> {
         self.grid.domain()
     }
 
     /// Is the cell flagged? Cells outside the domain read as unflagged.
     #[inline]
-    pub fn is_set(&self, p: Point2) -> bool {
+    pub fn is_set(&self, p: Point<D>) -> bool {
         self.grid.domain().contains_point(p) && *self.grid.get(p)
     }
 
     /// Flag one cell (ignored when outside the domain).
     #[inline]
-    pub fn set(&mut self, p: Point2) {
+    pub fn set(&mut self, p: Point<D>) {
         if self.grid.domain().contains_point(p) {
             self.grid.set(p, true);
         }
     }
 
     /// Flag every cell of `rect` (clipped to the domain).
-    pub fn set_rect(&mut self, rect: &Rect2) {
+    pub fn set_rect(&mut self, rect: &AABox<D>) {
         if let Some(w) = self.grid.domain().intersect(rect) {
-            for y in w.lo().y..=w.hi().y {
-                let dom = self.grid.domain();
-                let row = self.grid.row_mut(y);
-                let off = (w.lo().x - dom.lo().x) as usize;
-                let len = w.extent().x as usize;
-                for v in &mut row[off..off + len] {
-                    *v = true;
-                }
-            }
+            self.grid.fill_in(&w, true);
         }
     }
 
@@ -70,7 +63,7 @@ impl FlagField {
     }
 
     /// Number of flagged cells inside `window`.
-    pub fn count_in(&self, window: &Rect2) -> u64 {
+    pub fn count_in(&self, window: &AABox<D>) -> u64 {
         self.grid.count_true_in(window)
     }
 
@@ -80,90 +73,89 @@ impl FlagField {
     }
 
     /// Tightest box containing all flagged cells, or `None` if empty.
-    pub fn bounding_box(&self) -> Option<Rect2> {
-        let d = self.grid.domain();
-        let (mut xmin, mut xmax) = (i64::MAX, i64::MIN);
-        let (mut ymin, mut ymax) = (i64::MAX, i64::MIN);
-        for y in d.lo().y..=d.hi().y {
-            let row = self.grid.row(y);
-            for (i, &v) in row.iter().enumerate() {
-                if v {
-                    let x = d.lo().x + i as i64;
-                    xmin = xmin.min(x);
-                    xmax = xmax.max(x);
-                    ymin = ymin.min(y);
-                    ymax = ymax.max(y);
-                }
+    pub fn bounding_box(&self) -> Option<AABox<D>> {
+        let mut lo = Point::<D>::splat(i64::MAX);
+        let mut hi = Point::<D>::splat(i64::MIN);
+        let mut any = false;
+        self.grid.for_each_in(&self.grid.domain(), |p, &v| {
+            if v {
+                lo = lo.min(p);
+                hi = hi.max(p);
+                any = true;
             }
-        }
-        if xmin > xmax {
-            None
+        });
+        if any {
+            Some(AABox::new(lo, hi))
         } else {
-            Some(Rect2::from_coords(xmin, ymin, xmax, ymax))
+            None
         }
     }
 
     /// Dilate the flagged set by `buffer` cells in the Chebyshev metric
     /// (the standard SAMR flag-buffer step), clipped to the domain.
-    pub fn buffer(&self, buffer: i64) -> FlagField {
+    pub fn buffer(&self, buffer: i64) -> FlagField<D> {
         assert!(buffer >= 0);
         if buffer == 0 {
             return self.clone();
         }
         let d = self.grid.domain();
         let mut out = FlagField::new(d);
-        for y in d.lo().y..=d.hi().y {
-            let row = self.grid.row(y);
-            for (i, &v) in row.iter().enumerate() {
-                if v {
-                    let x = d.lo().x + i as i64;
-                    out.set_rect(&Rect2::cell(Point2::new(x, y)).grow(buffer));
-                }
+        self.grid.for_each_in(&d, |p, &v| {
+            if v {
+                out.set_rect(&AABox::cell(p).grow(buffer));
             }
-        }
+        });
         out
     }
 
-    /// Column signature within `window`: flagged-cell count for each `x`.
-    /// Clipped to the domain; `window` must intersect the domain.
-    pub fn signature_x(&self, window: &Rect2) -> Vec<u32> {
+    /// Signature along `axis` within `window`: flagged-cell count for
+    /// each coordinate slice perpendicular to `axis`. Clipped to the
+    /// domain; `window` must intersect the domain. `signature(Axis::X, w)`
+    /// is the historical column signature, `signature(Axis::Y, w)` the
+    /// row signature.
+    pub fn signature(&self, axis: Axis, window: &AABox<D>) -> Vec<u32> {
         let w = self
             .grid
             .domain()
             .intersect(window)
             .expect("signature window outside flag domain");
-        let mut sig = vec![0u32; w.extent().x as usize];
-        for y in w.lo().y..=w.hi().y {
-            let row = self.grid.row(y);
-            let off = (w.lo().x - self.grid.domain().lo().x) as usize;
-            for (i, &v) in row[off..off + sig.len()].iter().enumerate() {
-                sig[i] += u32::from(v);
+        let a = axis.index();
+        let mut sig = vec![0u32; w.extent()[a] as usize];
+        if a == 0 {
+            // The signature axis is the contiguous axis: accumulate each
+            // run element-wise.
+            for (_, run) in self.grid.runs_in(&w) {
+                for (i, &v) in run.iter().enumerate() {
+                    sig[i] += u32::from(v);
+                }
+            }
+        } else {
+            // Every cell of a run shares its coordinate on `axis`: one
+            // popcount per run.
+            for (row, run) in self.grid.runs_in(&w) {
+                sig[(row[a] - w.lo()[a]) as usize] += run.iter().filter(|&&b| b).count() as u32;
             }
         }
         sig
     }
+}
+
+impl FlagField<2> {
+    /// Column signature within `window`: flagged-cell count for each `x`.
+    pub fn signature_x(&self, window: &AABox<2>) -> Vec<u32> {
+        self.signature(Axis::X, window)
+    }
 
     /// Row signature within `window`: flagged-cell count for each `y`.
-    pub fn signature_y(&self, window: &Rect2) -> Vec<u32> {
-        let w = self
-            .grid
-            .domain()
-            .intersect(window)
-            .expect("signature window outside flag domain");
-        let mut sig = vec![0u32; w.extent().y as usize];
-        for (j, y) in (w.lo().y..=w.hi().y).enumerate() {
-            let row = self.grid.row(y);
-            let off = (w.lo().x - self.grid.domain().lo().x) as usize;
-            let len = w.extent().x as usize;
-            sig[j] = row[off..off + len].iter().map(|&v| u32::from(v)).sum();
-        }
-        sig
+    pub fn signature_y(&self, window: &AABox<2>) -> Vec<u32> {
+        self.signature(Axis::Y, window)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use samr_geom::{Box3, Point2, Point3, Rect2};
 
     fn d() -> Rect2 {
         Rect2::from_extents(8, 8)
@@ -241,5 +233,21 @@ mod tests {
         let w = Rect2::from_coords(2, 3, 4, 5);
         assert_eq!(f.signature_x(&w), vec![3, 3, 3]);
         assert_eq!(f.signature_y(&w), vec![3, 3, 3]);
+    }
+
+    #[test]
+    fn three_d_flags_and_signatures() {
+        let dom = Box3::from_extents(6, 6, 6);
+        let f = FlagField::from_fn(dom, |p| p.z == 2 && p.x >= 1 && p.x <= 3);
+        assert_eq!(f.count(), 3 * 6);
+        assert_eq!(f.bounding_box(), Some(Box3::from_coords(1, 0, 2, 3, 5, 2)));
+        let sig_z = f.signature(Axis::Z, &dom);
+        assert_eq!(sig_z, vec![0, 0, 18, 0, 0, 0]);
+        let sig_x = f.signature(Axis::X, &dom);
+        assert_eq!(sig_x, vec![0, 6, 6, 6, 0, 0]);
+        let b = f.buffer(1);
+        assert!(b.is_set(Point3::new(1, 0, 1)));
+        assert!(b.is_set(Point3::new(4, 0, 3)));
+        assert!(!b.is_set(Point3::new(5, 0, 0)));
     }
 }

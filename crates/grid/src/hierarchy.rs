@@ -1,7 +1,8 @@
-//! Patches, levels and the adaptive grid hierarchy.
+//! Patches, levels and the adaptive grid hierarchy, generic over the
+//! dimension.
 
-use samr_geom::{boxops, Rect2, Region};
-use serde::{Deserialize, Serialize};
+use samr_geom::{boxops, AABox, Region};
+use serde::{Deserialize, Serialize, Value};
 use std::fmt;
 
 /// Identifier of a patch within its level (dense index, stable within one
@@ -18,15 +19,15 @@ impl fmt::Debug for PatchId {
 }
 
 /// One uniform logically-rectangular grid patch of a refinement level.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
-pub struct Patch {
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Patch<const D: usize> {
     /// Patch id within the level.
     pub id: PatchId,
     /// The cells of the patch, in the level's own index space.
-    pub rect: Rect2,
+    pub rect: AABox<D>,
 }
 
-impl Patch {
+impl<const D: usize> Patch<D> {
     /// Number of grid points in the patch.
     #[inline]
     pub fn cells(&self) -> u64 {
@@ -34,19 +35,45 @@ impl Patch {
     }
 }
 
+impl<const D: usize> Serialize for Patch<D> {
+    fn serialize(&self) -> Value {
+        Value::Map(vec![
+            ("id".to_string(), self.id.serialize()),
+            ("rect".to_string(), self.rect.serialize()),
+        ])
+    }
+}
+
+impl<const D: usize> Deserialize for Patch<D> {
+    fn deserialize(v: &Value) -> Result<Self, serde::Error> {
+        Ok(Self {
+            id: serde::field(v, "id")?,
+            rect: serde::field(v, "rect")?,
+        })
+    }
+}
+
 /// One refinement level: a set of non-overlapping patches in the level's
 /// index space (level `l` index space is the base index space refined by
 /// `ratio^l`).
-#[derive(Clone, PartialEq, Debug, Default, Serialize, Deserialize)]
-pub struct Level {
+#[derive(Clone, PartialEq, Debug)]
+pub struct Level<const D: usize> {
     /// Patches of the level. Invariant (checked by
     /// [`GridHierarchy::validate`]): pairwise disjoint.
-    pub patches: Vec<Patch>,
+    pub patches: Vec<Patch<D>>,
 }
 
-impl Level {
+impl<const D: usize> Default for Level<D> {
+    fn default() -> Self {
+        Self {
+            patches: Vec::new(),
+        }
+    }
+}
+
+impl<const D: usize> Level<D> {
     /// Build a level from raw boxes, assigning dense patch ids.
-    pub fn from_rects(rects: &[Rect2]) -> Self {
+    pub fn from_rects(rects: &[AABox<D>]) -> Self {
         Self {
             patches: rects
                 .iter()
@@ -83,14 +110,28 @@ impl Level {
     }
 
     /// The boxes of all patches.
-    pub fn rects(&self) -> Vec<Rect2> {
+    pub fn rects(&self) -> Vec<AABox<D>> {
         self.patches.iter().map(|p| p.rect).collect()
     }
 
     /// The cell set covered by the level.
-    pub fn region(&self) -> Region {
+    pub fn region(&self) -> Region<D> {
         // Patches are disjoint, so no dedup pass is needed.
         self.patches.iter().map(|p| p.rect).collect()
+    }
+}
+
+impl<const D: usize> Serialize for Level<D> {
+    fn serialize(&self) -> Value {
+        Value::Map(vec![("patches".to_string(), self.patches.serialize())])
+    }
+}
+
+impl<const D: usize> Deserialize for Level<D> {
+    fn deserialize(v: &Value) -> Result<Self, serde::Error> {
+        Ok(Self {
+            patches: serde::field(v, "patches")?,
+        })
     }
 }
 
@@ -159,19 +200,39 @@ impl std::error::Error for HierarchyError {}
 /// `max_levels` levels (5 in all experiments). Level 0 always consists of a
 /// single patch covering `base_domain` — SAMR base grids are never adapted,
 /// only overlaid.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
-pub struct GridHierarchy {
+#[derive(Clone, PartialEq, Debug)]
+pub struct GridHierarchy<const D: usize> {
     /// The problem domain in base-level (level 0) index space.
-    pub base_domain: Rect2,
+    pub base_domain: AABox<D>,
     /// Space and time refinement factor between consecutive levels.
     pub ratio: i64,
     /// All levels; `levels[0]` covers `base_domain` exactly.
-    pub levels: Vec<Level>,
+    pub levels: Vec<Level<D>>,
 }
 
-impl GridHierarchy {
+impl<const D: usize> Serialize for GridHierarchy<D> {
+    fn serialize(&self) -> Value {
+        Value::Map(vec![
+            ("base_domain".to_string(), self.base_domain.serialize()),
+            ("ratio".to_string(), self.ratio.serialize()),
+            ("levels".to_string(), self.levels.serialize()),
+        ])
+    }
+}
+
+impl<const D: usize> Deserialize for GridHierarchy<D> {
+    fn deserialize(v: &Value) -> Result<Self, serde::Error> {
+        Ok(Self {
+            base_domain: serde::field(v, "base_domain")?,
+            ratio: serde::field(v, "ratio")?,
+            levels: serde::field(v, "levels")?,
+        })
+    }
+}
+
+impl<const D: usize> GridHierarchy<D> {
     /// Create a hierarchy with only the base level.
-    pub fn base_only(base_domain: Rect2, ratio: i64) -> Self {
+    pub fn base_only(base_domain: AABox<D>, ratio: i64) -> Self {
         assert!(ratio >= 2, "refinement ratio must be >= 2");
         Self {
             base_domain,
@@ -183,7 +244,11 @@ impl GridHierarchy {
     /// Create a hierarchy from per-level box lists. `level_rects[0]` is
     /// ignored in favour of the base domain if empty; otherwise it is taken
     /// as given (allowing multi-patch base grids).
-    pub fn from_level_rects(base_domain: Rect2, ratio: i64, level_rects: &[Vec<Rect2>]) -> Self {
+    pub fn from_level_rects(
+        base_domain: AABox<D>,
+        ratio: i64,
+        level_rects: &[Vec<AABox<D>>],
+    ) -> Self {
         let mut h = Self::base_only(base_domain, ratio);
         for (l, rects) in level_rects.iter().enumerate() {
             if l == 0 {
@@ -206,7 +271,7 @@ impl GridHierarchy {
     }
 
     /// The problem domain expressed in level-`l` index space.
-    pub fn domain_at_level(&self, l: usize) -> Rect2 {
+    pub fn domain_at_level(&self, l: usize) -> AABox<D> {
         self.base_domain.refine(self.ratio.pow(l as u32))
     }
 
@@ -231,7 +296,7 @@ impl GridHierarchy {
     /// The refined cell set of level `l` expressed in level-`l+1` index
     /// space (the region that properly nested `l+1` patches must stay
     /// inside).
-    pub fn refined_region(&self, l: usize) -> Region {
+    pub fn refined_region(&self, l: usize) -> Region<D> {
         self.levels[l].region().refine(self.ratio)
     }
 
@@ -258,7 +323,7 @@ impl GridHierarchy {
                     });
                 }
                 let e = p.rect.extent();
-                if l > 0 && (e.x < min_block || e.y < min_block) {
+                if l > 0 && e.coords().iter().any(|&x| x < min_block) {
                     return Err(HierarchyError::BlockTooSmall {
                         level: l,
                         patch: p.id,
@@ -293,13 +358,13 @@ impl GridHierarchy {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use samr_geom::Point2;
+    use samr_geom::{Box3, Point2, Rect2};
 
     fn r(x0: i64, y0: i64, x1: i64, y1: i64) -> Rect2 {
         Rect2::from_coords(x0, y0, x1, y1)
     }
 
-    fn two_level() -> GridHierarchy {
+    fn two_level() -> GridHierarchy<2> {
         // Base 16x16, one refined patch over cells [2..5]x[2..5] => fine
         // box [4..11]^2.
         GridHierarchy::from_level_rects(
@@ -418,5 +483,49 @@ mod tests {
         assert_eq!(lev.boundary_cells(), 12 + 4);
         assert_eq!(lev.region().cells(), 20);
         assert!(!lev.is_empty());
+    }
+
+    #[test]
+    fn three_d_hierarchy_validates_and_measures() {
+        let h = GridHierarchy::from_level_rects(
+            Box3::from_extents(16, 16, 16),
+            2,
+            &[vec![], vec![Box3::from_coords(4, 4, 4, 11, 11, 11)]],
+        );
+        assert_eq!(h.depth(), 2);
+        assert_eq!(h.total_points(), 4096 + 512);
+        assert_eq!(h.workload(), 4096 + 512 * 2);
+        assert!((h.refined_fraction() - 64.0 / 4096.0).abs() < 1e-12);
+        assert_eq!(h.validate(2), Ok(()));
+        // A badly nested level-2 patch is caught in 3-D too.
+        let bad = GridHierarchy::from_level_rects(
+            Box3::from_extents(16, 16, 16),
+            2,
+            &[
+                vec![],
+                vec![Box3::from_coords(4, 4, 4, 11, 11, 11)],
+                vec![Box3::from_coords(40, 40, 40, 47, 47, 47)],
+            ],
+        );
+        assert!(matches!(
+            bad.validate(2),
+            Err(HierarchyError::NotProperlyNested { level: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn serde_roundtrip_both_dims() {
+        let h2 = two_level();
+        let v = h2.serialize();
+        assert_eq!(GridHierarchy::<2>::deserialize(&v).unwrap(), h2);
+        let h3 = GridHierarchy::from_level_rects(
+            Box3::from_extents(8, 8, 8),
+            2,
+            &[vec![], vec![Box3::from_coords(2, 2, 2, 7, 7, 7)]],
+        );
+        let v = h3.serialize();
+        assert_eq!(GridHierarchy::<3>::deserialize(&v).unwrap(), h3);
+        // A 2-D hierarchy value cannot deserialize as 3-D.
+        assert!(GridHierarchy::<3>::deserialize(&h2.serialize()).is_err());
     }
 }

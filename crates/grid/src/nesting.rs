@@ -1,4 +1,5 @@
-//! Proper-nesting enforcement between consecutive levels.
+//! Proper-nesting enforcement between consecutive levels, generic over
+//! the dimension.
 //!
 //! Berger–Colella SAMR requires every level-`l+1` patch to be contained in
 //! the refined interior of level `l` (with a buffer of coarse cells), so
@@ -7,11 +8,15 @@
 //! it here after clustering.
 
 use crate::hierarchy::GridHierarchy;
-use samr_geom::{boxops, Rect2, Region};
+use samr_geom::{boxops, AABox, Region};
 
 /// Shrink `region` by `buffer` cells away from its *internal* boundaries:
 /// boundaries shared with the physical `domain` wall are left alone.
-pub fn shrink_within(region: &Region, domain: &Rect2, buffer: i64) -> Region {
+pub fn shrink_within<const D: usize>(
+    region: &Region<D>,
+    domain: &AABox<D>,
+    buffer: i64,
+) -> Region<D> {
     if buffer == 0 || region.is_empty() {
         return region.clone();
     }
@@ -19,7 +24,7 @@ pub fn shrink_within(region: &Region, domain: &Rect2, buffer: i64) -> Region {
     // subtracting it shaves `buffer` cells off internal boundaries only,
     // because the complement stops at the physical boundary.
     let complement = Region::from_rect(*domain).subtract(region);
-    let grown: Vec<Rect2> = complement.boxes().iter().map(|b| b.grow(buffer)).collect();
+    let grown: Vec<AABox<D>> = complement.boxes().iter().map(|b| b.grow(buffer)).collect();
     region.subtract_boxes(&grown)
 }
 
@@ -27,7 +32,7 @@ pub fn shrink_within(region: &Region, domain: &Rect2, buffer: i64) -> Region {
 /// the refined image of level `l` shrunk by `buffer` fine cells away from
 /// internal coarse-fine boundaries. Physical domain boundaries are *not*
 /// shrunk (features touching the wall may stay refined to the wall).
-pub fn nesting_region(h: &GridHierarchy, l: usize, buffer: i64) -> Region {
+pub fn nesting_region<const D: usize>(h: &GridHierarchy<D>, l: usize, buffer: i64) -> Region<D> {
     assert!(l < h.levels.len());
     let refined = h.refined_region(l);
     shrink_within(&refined, &h.domain_at_level(l + 1), buffer)
@@ -41,8 +46,12 @@ pub fn nesting_region(h: &GridHierarchy, l: usize, buffer: i64) -> Region {
 /// and dropped otherwise (dropping loses a few flagged cells at the nesting
 /// boundary, which the flag buffer compensates for — the same policy real
 /// SAMR grid generators use).
-pub fn clip_to_nesting(rects: &[Rect2], nest: &Region, min_block: i64) -> Vec<Rect2> {
-    let mut pieces: Vec<Rect2> = Vec::new();
+pub fn clip_to_nesting<const D: usize>(
+    rects: &[AABox<D>],
+    nest: &Region<D>,
+    min_block: i64,
+) -> Vec<AABox<D>> {
+    let mut pieces: Vec<AABox<D>> = Vec::new();
     for r in rects {
         pieces.extend(nest.intersect_rect(r).boxes().iter().copied());
     }
@@ -50,20 +59,20 @@ pub fn clip_to_nesting(rects: &[Rect2], nest: &Region, min_block: i64) -> Vec<Re
     let merged = boxops::coalesce(&pieces);
     merged
         .into_iter()
-        .filter(|b| b.extent().x >= min_block && b.extent().y >= min_block)
+        .filter(|b| b.extent().coords().iter().all(|&e| e >= min_block))
         .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use samr_geom::Point2;
+    use samr_geom::{Box3, Point2, Point3, Rect2};
 
     fn r(x0: i64, y0: i64, x1: i64, y1: i64) -> Rect2 {
         Rect2::from_coords(x0, y0, x1, y1)
     }
 
-    fn h_two_level() -> GridHierarchy {
+    fn h_two_level() -> GridHierarchy<2> {
         GridHierarchy::from_level_rects(
             Rect2::from_extents(16, 16),
             2,
@@ -158,5 +167,22 @@ mod tests {
         for b in &out {
             assert_eq!(nest.intersect_rect(b).cells(), b.cells());
         }
+    }
+
+    #[test]
+    fn three_d_nesting_shrinks_interior_faces_only() {
+        // Level-1 patch touching the z=0 wall of a 16^3 base.
+        let h = GridHierarchy::from_level_rects(
+            Box3::from_extents(16, 16, 16),
+            2,
+            &[vec![], vec![Box3::from_coords(4, 4, 0, 11, 11, 7)]],
+        );
+        let n = nesting_region(&h, 1, 2);
+        // Refined image: [8..23]x[8..23]x[0..15]; z=0 is a physical wall
+        // so only five faces shrink: 12 x 12 x 14 cells remain.
+        assert_eq!(n.cells(), 12 * 12 * 14);
+        assert!(n.contains_point(Point3::new(10, 10, 0)));
+        assert!(!n.contains_point(Point3::new(10, 10, 15)));
+        assert!(!n.contains_point(Point3::new(8, 10, 5)));
     }
 }

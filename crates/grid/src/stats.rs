@@ -1,4 +1,5 @@
-//! Hierarchy statistics and refinement-pattern descriptors.
+//! Hierarchy statistics and refinement-pattern descriptors, generic over
+//! the dimension.
 //!
 //! Two consumers:
 //! - the paper's model (`samr-core`) needs `|H|`, the workload `W`, and
@@ -7,7 +8,7 @@
 //!   pattern* (localized ↔ scattered) and *activity dynamics* descriptors.
 
 use crate::hierarchy::GridHierarchy;
-use samr_geom::{boxops, Rect2};
+use samr_geom::{boxops, AABox};
 use serde::{Deserialize, Serialize};
 
 /// Per-level and aggregate statistics of one hierarchy snapshot.
@@ -28,8 +29,8 @@ pub struct HierarchyStats {
     /// Localization of the refinement pattern in `[0, 1]`:
     /// 1 = all refinement concentrated in one compact blob, 0 = refinement
     /// spread evenly over the whole domain. Defined as
-    /// `1 − (refined bounding-box area / domain area)` blended with the
-    /// blob compactness (refined cells / refined bounding-box area).
+    /// `1 − (refined bounding-box volume / domain volume)` blended with the
+    /// blob compactness (refined cells / refined bounding-box volume).
     pub localization: f64,
     /// Number of disconnected refined clusters at level 1 (patch adjacency
     /// components) — the "scattered" count of the octant approach.
@@ -38,7 +39,7 @@ pub struct HierarchyStats {
 
 impl HierarchyStats {
     /// Compute all statistics for a hierarchy.
-    pub fn compute(h: &GridHierarchy) -> Self {
+    pub fn compute<const D: usize>(h: &GridHierarchy<D>) -> Self {
         let cells_per_level: Vec<u64> = h.levels.iter().map(|l| l.cells()).collect();
         let patches_per_level: Vec<usize> = h.levels.iter().map(|l| l.patch_count()).collect();
         let boundary_per_level: Vec<u64> = h.levels.iter().map(|l| l.boundary_cells()).collect();
@@ -95,11 +96,32 @@ impl HierarchyStats {
     }
 }
 
-/// Label each box with its connected component under edge adjacency (boxes
+/// `true` if the boxes share a face (overlap, or touch across exactly one
+/// axis while overlapping on all others). Corner- and edge-only contact
+/// does not connect — the same rule the historical 2-D
+/// grow-and-intersect test implemented.
+fn face_adjacent<const D: usize>(a: &AABox<D>, b: &AABox<D>) -> bool {
+    let mut touch_axes = 0usize;
+    for i in 0..D {
+        let lo = a.lo()[i].max(b.lo()[i]);
+        let hi = a.hi()[i].min(b.hi()[i]);
+        if lo <= hi {
+            continue; // overlapping interval on this axis
+        }
+        if lo == hi + 1 {
+            touch_axes += 1; // exactly adjacent on this axis
+        } else {
+            return false; // a gap: not connected
+        }
+    }
+    touch_axes <= 1
+}
+
+/// Label each box with its connected component under face adjacency (boxes
 /// touching along a face are connected; corner-only contact is not).
 /// Labels are dense, deterministic (smallest box index in the component
 /// determines ordering) and returned per input box.
-pub fn component_labels(rects: &[Rect2]) -> Vec<usize> {
+pub fn component_labels<const D: usize>(rects: &[AABox<D>]) -> Vec<usize> {
     let n = rects.len();
     let mut parent: Vec<usize> = (0..n).collect();
     fn find(parent: &mut Vec<usize>, i: usize) -> usize {
@@ -111,21 +133,10 @@ pub fn component_labels(rects: &[Rect2]) -> Vec<usize> {
     }
     for i in 0..n {
         for j in (i + 1)..n {
-            // Touching along a face: grow one box by 1 and test overlap.
-            // Corner-only contact gives exactly a 1x1 overlap of the grown
-            // box sitting diagonally off both corners; exclude it.
-            if let Some(ov) = rects[i].grow(1).intersect(&rects[j]) {
-                let e = ov.extent();
-                let corner_only = e.x == 1 && e.y == 1 && !rects[i].intersects(&rects[j]) && {
-                    let a = &rects[i];
-                    (ov.lo().x < a.lo().x || ov.lo().x > a.hi().x)
-                        && (ov.lo().y < a.lo().y || ov.lo().y > a.hi().y)
-                };
-                if !corner_only {
-                    let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
-                    if ri != rj {
-                        parent[ri.max(rj)] = ri.min(rj);
-                    }
+            if face_adjacent(&rects[i], &rects[j]) {
+                let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                if ri != rj {
+                    parent[ri.max(rj)] = ri.min(rj);
                 }
             }
         }
@@ -148,9 +159,9 @@ pub fn component_labels(rects: &[Rect2]) -> Vec<usize> {
         .collect()
 }
 
-/// Connected components of a box set under edge adjacency (boxes touching
+/// Connected components of a box set under face adjacency (boxes touching
 /// along a face are connected).
-pub fn connected_components(rects: &[Rect2]) -> usize {
+pub fn connected_components<const D: usize>(rects: &[AABox<D>]) -> usize {
     if rects.is_empty() {
         return 0;
     }
@@ -171,7 +182,7 @@ pub struct ActivityDynamics {
 
 impl ActivityDynamics {
     /// Compute the descriptor for a consecutive pair.
-    pub fn between(prev: &GridHierarchy, cur: &GridHierarchy) -> Self {
+    pub fn between<const D: usize>(prev: &GridHierarchy<D>, cur: &GridHierarchy<D>) -> Self {
         let (a, b) = (prev.total_points(), cur.total_points());
         let size_change = if a.max(b) == 0 {
             0.0
@@ -193,7 +204,7 @@ impl ActivityDynamics {
     }
 }
 
-fn projected_refined(h: &GridHierarchy) -> samr_geom::Region {
+fn projected_refined<const D: usize>(h: &GridHierarchy<D>) -> samr_geom::Region<D> {
     if h.levels.len() < 2 {
         return samr_geom::Region::empty();
     }
@@ -204,12 +215,13 @@ fn projected_refined(h: &GridHierarchy) -> samr_geom::Region {
 mod tests {
     use super::*;
     use crate::hierarchy::GridHierarchy;
+    use samr_geom::{Box3, Rect2};
 
     fn r(x0: i64, y0: i64, x1: i64, y1: i64) -> Rect2 {
         Rect2::from_coords(x0, y0, x1, y1)
     }
 
-    fn h(levels: &[Vec<Rect2>]) -> GridHierarchy {
+    fn h(levels: &[Vec<Rect2>]) -> GridHierarchy<2> {
         GridHierarchy::from_level_rects(Rect2::from_extents(32, 32), 2, levels)
     }
 
@@ -258,7 +270,7 @@ mod tests {
 
     #[test]
     fn components_faces_connect_corners_do_not() {
-        assert_eq!(connected_components(&[]), 0);
+        assert_eq!(connected_components::<2>(&[]), 0);
         assert_eq!(connected_components(&[r(0, 0, 1, 1)]), 1);
         // Face-adjacent.
         assert_eq!(connected_components(&[r(0, 0, 1, 1), r(2, 0, 3, 1)]), 1);
@@ -271,6 +283,17 @@ mod tests {
             connected_components(&[r(0, 0, 1, 1), r(2, 0, 3, 1), r(4, 0, 5, 1)]),
             1
         );
+    }
+
+    #[test]
+    fn three_d_components_require_face_contact() {
+        let a = Box3::from_coords(0, 0, 0, 1, 1, 1);
+        let face = Box3::from_coords(2, 0, 0, 3, 1, 1);
+        let edge = Box3::from_coords(2, 2, 0, 3, 3, 1);
+        let corner = Box3::from_coords(2, 2, 2, 3, 3, 3);
+        assert_eq!(connected_components(&[a, face]), 1);
+        assert_eq!(connected_components(&[a, edge]), 2); // edge contact only
+        assert_eq!(connected_components(&[a, corner]), 2);
     }
 
     #[test]

@@ -7,7 +7,7 @@ use samr_grid::nesting::{clip_to_nesting, shrink_within};
 use samr_grid::{cluster_flags, ClusterOptions, FlagField};
 
 /// Random flag fields: unions of blobs, rings and random speckle.
-fn arb_flags() -> impl Strategy<Value = FlagField> {
+fn arb_flags() -> impl Strategy<Value = FlagField<2>> {
     let blobs = prop::collection::vec((0i64..56, 0i64..56, 1i64..12, 1i64..12), 0..4);
     let speckle = prop::collection::vec((0i64..64, 0i64..64), 0..30);
     (blobs, speckle).prop_map(|(blobs, speckle)| {

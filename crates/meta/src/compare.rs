@@ -79,13 +79,13 @@ impl ComparisonResult {
 /// Run one (possibly stateful) partitioner sequentially over a trace.
 /// Sequential order is required for the meta-partitioner, whose
 /// classification depends on the previous hierarchy.
-pub fn run_sequential(
-    trace: &HierarchyTrace,
-    partitioner: &dyn Partitioner,
+pub fn run_sequential<const D: usize>(
+    trace: &HierarchyTrace<D>,
+    partitioner: &dyn Partitioner<D>,
     cfg: &SimConfig,
 ) -> (Vec<StepMetrics>, f64) {
     let mut steps: Vec<StepMetrics> = Vec::with_capacity(trace.len());
-    let mut parts: Vec<Partition> = Vec::with_capacity(trace.len());
+    let mut parts: Vec<Partition<D>> = Vec::with_capacity(trace.len());
     let mut total = 0.0;
     for (i, snap) in trace.snapshots.iter().enumerate() {
         let h = &snap.hierarchy;
@@ -123,8 +123,11 @@ fn outcome(name: String, steps: &[StepMetrics], total: f64) -> RunOutcome {
 
 /// Compare the three static partitioner families (default configurations)
 /// against the meta-partitioner on one trace.
-pub fn compare_on_trace(trace: &HierarchyTrace, cfg: &SimConfig) -> ComparisonResult {
-    let statics: Vec<Box<dyn Partitioner>> = vec![
+pub fn compare_on_trace<const D: usize>(
+    trace: &HierarchyTrace<D>,
+    cfg: &SimConfig,
+) -> ComparisonResult {
+    let statics: Vec<Box<dyn Partitioner<D>>> = vec![
         Box::new(DomainSfcPartitioner::default()),
         Box::new(PatchPartitioner::default()),
         Box::new(HybridPartitioner::default()),

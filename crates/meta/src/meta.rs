@@ -15,8 +15,8 @@ use samr_partition::{Partition, Partitioner};
 use crate::selector::{PartitionerChoice, Selector, SelectorConfig};
 
 /// Dynamic partitioner selection state.
-struct MetaState {
-    prev_hierarchy: Option<GridHierarchy>,
+struct MetaState<const D: usize> {
+    prev_hierarchy: Option<GridHierarchy<D>>,
     selector: Selector,
     tradeoff2: Tradeoff2State,
     clock: f64,
@@ -33,12 +33,12 @@ struct MetaState {
 /// Invocations are assumed to arrive in trace order (the partitioner is
 /// stateful by design — that is the whole point); interior mutability
 /// keeps the [`Partitioner`] interface intact.
-pub struct MetaPartitioner {
-    state: Mutex<MetaState>,
+pub struct MetaPartitioner<const D: usize> {
+    state: Mutex<MetaState<D>>,
     unit: i64,
 }
 
-impl MetaPartitioner {
+impl<const D: usize> MetaPartitioner<D> {
     /// Meta-partitioner with default selector thresholds (the balanced
     /// default machine).
     pub fn new() -> Self {
@@ -77,7 +77,7 @@ impl MetaPartitioner {
 
     /// Classify a hierarchy against the stored previous one and advance
     /// the internal state. Exposed for the experiment driver.
-    pub fn classify_and_select(&self, h: &GridHierarchy, nprocs: usize) -> PartitionerChoice {
+    pub fn classify_and_select(&self, h: &GridHierarchy<D>, nprocs: usize) -> PartitionerChoice {
         let mut st = self.state.lock();
         let bl = beta_l(h, self.unit, nprocs);
         let bc = beta_c(h, nprocs);
@@ -103,23 +103,23 @@ impl MetaPartitioner {
     }
 }
 
-impl Default for MetaPartitioner {
+impl<const D: usize> Default for MetaPartitioner<D> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl Partitioner for MetaPartitioner {
+impl<const D: usize> Partitioner<D> for MetaPartitioner<D> {
     fn name(&self) -> String {
         "meta-partitioner".to_string()
     }
 
-    fn partition(&self, h: &GridHierarchy, nprocs: usize) -> Partition {
+    fn partition(&self, h: &GridHierarchy<D>, nprocs: usize) -> Partition<D> {
         let choice = self.classify_and_select(h, nprocs);
         choice.partition(h, nprocs)
     }
 
-    fn cost_estimate(&self, h: &GridHierarchy) -> f64 {
+    fn cost_estimate(&self, h: &GridHierarchy<D>) -> f64 {
         // Classification cost (box intersections, one pass over patches)
         // plus the cost of whatever was selected last.
         let classify = h.levels.iter().map(|l| l.patch_count()).sum::<usize>() as f64 / 20.0;
@@ -143,13 +143,13 @@ mod tests {
         Rect2::from_coords(x0, y0, x1, y1)
     }
 
-    fn h(levels: &[Vec<Rect2>]) -> GridHierarchy {
+    fn h(levels: &[Vec<Rect2>]) -> GridHierarchy<2> {
         GridHierarchy::from_level_rects(Rect2::from_extents(32, 32), 2, levels)
     }
 
     #[test]
     fn produces_valid_partitions_and_records_decisions() {
-        let meta = MetaPartitioner::new();
+        let meta = MetaPartitioner::<2>::new();
         let seq = [
             h(&[vec![], vec![r(0, 0, 15, 15)]]),
             h(&[vec![], vec![r(8, 8, 23, 23)]]),
@@ -174,7 +174,7 @@ mod tests {
         // step: β_m is large and the selector must end up on the
         // migration-aware domain-based choice (patience = 2 requires two
         // consecutive votes).
-        let meta = MetaPartitioner::new();
+        let meta = MetaPartitioner::<2>::new();
         let a = h(&[vec![], vec![r(0, 0, 31, 31)], vec![r(0, 0, 31, 31)]]);
         let b = h(&[vec![], vec![r(32, 32, 63, 63)], vec![r(64, 64, 95, 95)]]);
         meta.partition(&a, 4);
@@ -194,7 +194,7 @@ mod tests {
 
     #[test]
     fn cost_estimate_includes_delegate() {
-        let meta = MetaPartitioner::new();
+        let meta = MetaPartitioner::<2>::new();
         let hh = h(&[vec![], vec![r(0, 0, 15, 15)]]);
         let before = meta.cost_estimate(&hh);
         meta.partition(&hh, 4);

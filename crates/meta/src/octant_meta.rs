@@ -26,17 +26,17 @@ use samr_partition::{
 /// delegates to the mapped family with its default configuration — no
 /// fine-grained configuration, exactly the limitation the paper calls
 /// out.
-pub struct OctantMetaPartitioner {
-    state: Mutex<OctantState>,
+pub struct OctantMetaPartitioner<const D: usize> {
+    state: Mutex<OctantState<D>>,
 }
 
-struct OctantState {
+struct OctantState<const D: usize> {
     classifier: ArmadaClassifier,
-    prev: Option<GridHierarchy>,
+    prev: Option<GridHierarchy<D>>,
     history: Vec<Octant>,
 }
 
-impl OctantMetaPartitioner {
+impl<const D: usize> OctantMetaPartitioner<D> {
     /// Fresh baseline.
     pub fn new() -> Self {
         Self {
@@ -53,7 +53,7 @@ impl OctantMetaPartitioner {
         self.state.lock().history.clone()
     }
 
-    fn family_for(octant: &Octant) -> Box<dyn Partitioner> {
+    fn family_for(octant: &Octant) -> Box<dyn Partitioner<D>> {
         match octant.suggested_family() {
             "domain-based" => Box::new(DomainSfcPartitioner::new(DomainSfcParams::default())),
             "patch-based" => Box::new(PatchPartitioner::new(PatchParams::default())),
@@ -62,18 +62,18 @@ impl OctantMetaPartitioner {
     }
 }
 
-impl Default for OctantMetaPartitioner {
+impl<const D: usize> Default for OctantMetaPartitioner<D> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl Partitioner for OctantMetaPartitioner {
+impl<const D: usize> Partitioner<D> for OctantMetaPartitioner<D> {
     fn name(&self) -> String {
         "octant-armada".to_string()
     }
 
-    fn partition(&self, h: &GridHierarchy, nprocs: usize) -> Partition {
+    fn partition(&self, h: &GridHierarchy<D>, nprocs: usize) -> Partition<D> {
         let mut st = self.state.lock();
         let prev = st.prev.take();
         let octant = st.classifier.classify(prev.as_ref(), h);
@@ -82,7 +82,7 @@ impl Partitioner for OctantMetaPartitioner {
         Self::family_for(&octant).partition(h, nprocs)
     }
 
-    fn cost_estimate(&self, h: &GridHierarchy) -> f64 {
+    fn cost_estimate(&self, h: &GridHierarchy<D>) -> f64 {
         // Simple box operations (ArMADA) plus the delegated family.
         let patches: usize = h.levels.iter().map(|l| l.patch_count()).sum();
         let delegated = {
@@ -106,13 +106,13 @@ mod tests {
         Rect2::from_coords(x0, y0, x1, y1)
     }
 
-    fn h(levels: &[Vec<Rect2>]) -> GridHierarchy {
+    fn h(levels: &[Vec<Rect2>]) -> GridHierarchy<2> {
         GridHierarchy::from_level_rects(Rect2::from_extents(32, 32), 2, levels)
     }
 
     #[test]
     fn produces_valid_partitions_and_tracks_octants() {
-        let baseline = OctantMetaPartitioner::new();
+        let baseline = OctantMetaPartitioner::<2>::new();
         let seq = [
             h(&[vec![], vec![r(4, 4, 19, 19)]]),
             h(&[vec![], vec![r(8, 8, 23, 23)]]),
@@ -133,7 +133,7 @@ mod tests {
         // The baseline can only emit default-configured families — the
         // §3 limitation. Two different-but-same-octant states must yield
         // byte-identical partitioner choices.
-        let baseline = OctantMetaPartitioner::new();
+        let baseline = OctantMetaPartitioner::<2>::new();
         let a = h(&[vec![], vec![r(4, 4, 19, 19)]]);
         let b = h(&[vec![], vec![r(4, 4, 21, 21)]]);
         let pa = baseline.partition(&a, 4);
@@ -144,8 +144,8 @@ mod tests {
         if hist1 == hist2 {
             // Same octant => same (default) configuration by construction.
             assert_eq!(
-                OctantMetaPartitioner::family_for(&hist1).name(),
-                OctantMetaPartitioner::family_for(&hist2).name()
+                OctantMetaPartitioner::<2>::family_for(&hist1).name(),
+                OctantMetaPartitioner::<2>::family_for(&hist2).name()
             );
         }
     }

@@ -5,6 +5,8 @@
 //! the CLI all share (previously each kept its own ad-hoc match block).
 //! The enum is `serde`-serializable so a choice can ride inside a
 //! campaign scenario description and round-trip through JSON artifacts.
+//! The parameters are dimension-free; the same choice partitions 2-D and
+//! 3-D hierarchies (the generic methods pick the instantiation).
 
 use crate::hybrid::{HybridParams, HybridPartitioner};
 use crate::patch_part::{PatchParams, PatchPartitioner};
@@ -40,21 +42,22 @@ impl PartitionerChoice {
 
     /// Full configured name.
     pub fn name(&self) -> String {
-        self.boxed().name()
+        // The name is dimension-independent; instantiate at 2-D.
+        Partitioner::<2>::name(&*self.boxed::<2>())
     }
 
     /// Partition a hierarchy with this choice.
-    pub fn partition(&self, h: &GridHierarchy, nprocs: usize) -> Partition {
-        self.boxed().partition(h, nprocs)
+    pub fn partition<const D: usize>(&self, h: &GridHierarchy<D>, nprocs: usize) -> Partition<D> {
+        self.boxed::<D>().partition(h, nprocs)
     }
 
     /// Invocation cost estimate of this choice.
-    pub fn cost_estimate(&self, h: &GridHierarchy) -> f64 {
-        self.boxed().cost_estimate(h)
+    pub fn cost_estimate<const D: usize>(&self, h: &GridHierarchy<D>) -> f64 {
+        self.boxed::<D>().cost_estimate(h)
     }
 
     /// Materialize the configured partitioner behind a trait object.
-    pub fn boxed(&self) -> Box<dyn Partitioner + Send + Sync> {
+    pub fn boxed<const D: usize>(&self) -> Box<dyn Partitioner<D> + Send + Sync> {
         match self {
             Self::DomainSfc(p) => Box::new(DomainSfcPartitioner::new(*p)),
             Self::Patch(p) => Box::new(PatchPartitioner::new(*p)),
@@ -82,7 +85,7 @@ impl PartitionerChoice {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use samr_geom::Rect2;
+    use samr_geom::{Box3, Rect2};
 
     #[test]
     fn families_are_distinct_and_named() {
@@ -109,7 +112,24 @@ mod tests {
         assert_eq!(choice.partition(&h, 4), direct);
         assert_eq!(
             choice.cost_estimate(&h),
-            HybridPartitioner::default().cost_estimate(&h)
+            Partitioner::<2>::cost_estimate(&HybridPartitioner::default(), &h)
         );
+    }
+
+    #[test]
+    fn same_choice_partitions_both_dimensions() {
+        let h3 = GridHierarchy::from_level_rects(
+            Box3::from_extents(12, 12, 12),
+            2,
+            &[vec![], vec![Box3::from_coords(4, 4, 4, 11, 11, 11)]],
+        );
+        for choice in [
+            PartitionerChoice::domain_sfc(),
+            PartitionerChoice::patch(),
+            PartitionerChoice::hybrid(),
+        ] {
+            let part = choice.partition(&h3, 4);
+            assert_eq!(crate::types::validate_partition(&h3, &part), Ok(()));
+        }
     }
 }

@@ -1,5 +1,5 @@
 //! Hybrid partitioner: the Nature+Fable scheme (Hues + Cores +
-//! bi-levels).
+//! bi-levels), generic over the dimension.
 //!
 //! Nature+Fable (§2.2 of the paper) "separates homogeneous, unrefined
 //! (Hue) and complex, refined (Core) domains of the grid hierarchy and
@@ -24,8 +24,8 @@
 //! 5. Hue blocks are distributed greedily to top up processor loads.
 
 use crate::types::{Fragment, Partition, Partitioner, ProcId};
-use samr_geom::sfc::{order_for, sfc_key, SfcCurve};
-use samr_geom::{boxops, Rect2, Region};
+use samr_geom::sfc::{order_for, sfc_key_nd, SfcCurve};
+use samr_geom::{boxops, AABox, Point, Region};
 use samr_grid::stats::component_labels;
 use samr_grid::GridHierarchy;
 use serde::{Deserialize, Serialize};
@@ -79,9 +79,9 @@ pub struct HybridPartitioner {
 }
 
 /// One Core: a connected component of the refined base footprint.
-struct Core {
+struct Core<const D: usize> {
     /// Base-space footprint boxes (disjoint).
-    footprint: Vec<Rect2>,
+    footprint: Vec<AABox<D>>,
     /// Composite workload over the footprint (all levels).
     weight: u64,
     /// Processor group assigned to this core.
@@ -96,11 +96,11 @@ impl HybridPartitioner {
 
     /// Identify the Cores of a hierarchy: connected components of the
     /// level-1 footprint on the base grid. Returns `(cores, hue_region)`.
-    fn find_cores(&self, h: &GridHierarchy) -> (Vec<Core>, Region) {
+    fn find_cores<const D: usize>(&self, h: &GridHierarchy<D>) -> (Vec<Core<D>>, Region<D>) {
         if h.levels.len() < 2 {
             return (Vec::new(), Region::from_rect(h.base_domain));
         }
-        let footprint: Vec<Rect2> = boxops::disjointify(
+        let footprint: Vec<AABox<D>> = boxops::disjointify(
             &h.levels[1]
                 .rects()
                 .iter()
@@ -109,7 +109,7 @@ impl HybridPartitioner {
         );
         let labels = component_labels(&footprint);
         let ncores = labels.iter().max().map_or(0, |m| m + 1);
-        let mut cores: Vec<Core> = (0..ncores)
+        let mut cores: Vec<Core<D>> = (0..ncores)
             .map(|_| Core {
                 footprint: Vec::new(),
                 weight: 0,
@@ -143,7 +143,7 @@ impl HybridPartitioner {
     }
 
     /// Allocate processor groups to cores proportionally to their weight.
-    fn assign_groups(cores: &mut [Core], nprocs: usize) {
+    fn assign_groups<const D: usize>(cores: &mut [Core<D>], nprocs: usize) {
         if cores.is_empty() {
             return;
         }
@@ -187,58 +187,50 @@ impl HybridPartitioner {
 
     /// Dice a core footprint into SFC-ordered atomic-unit pieces weighted
     /// by the given level range. Returns `(piece boxes, weight)` per unit.
-    fn bilevel_units(
+    fn bilevel_units<const D: usize>(
         &self,
-        h: &GridHierarchy,
-        footprint: &[Rect2],
+        h: &GridHierarchy<D>,
+        footprint: &[AABox<D>],
         levels: std::ops::Range<usize>,
-    ) -> Vec<(Vec<Rect2>, u64)> {
+    ) -> Vec<(Vec<AABox<D>>, u64)> {
         let unit = self.params.atomic_unit;
         let domain = h.base_domain;
-        let dims = (
-            (domain.extent().x + unit - 1) / unit,
-            (domain.extent().y + unit - 1) / unit,
-        );
-        let order = order_for(dims.0.max(dims.1) as u64);
-        let mut units: Vec<(u64, Vec<Rect2>, u64)> = Vec::new();
-        for uy in 0..dims.1 {
-            for ux in 0..dims.0 {
-                let unit_box = Rect2::new(
-                    samr_geom::Point2::new(domain.lo().x + ux * unit, domain.lo().y + uy * unit),
-                    samr_geom::Point2::new(
-                        (domain.lo().x + ux * unit + unit - 1).min(domain.hi().x),
-                        (domain.lo().y + uy * unit + unit - 1).min(domain.hi().y),
-                    ),
-                );
-                let pieces: Vec<Rect2> = footprint
-                    .iter()
-                    .filter_map(|b| b.intersect(&unit_box))
-                    .collect();
-                if pieces.is_empty() {
-                    continue;
-                }
-                let mut weight = 0u64;
-                for l in levels.clone() {
-                    if l >= h.levels.len() {
-                        break;
-                    }
-                    let scale = h.ratio.pow(l as u32);
-                    let w = (h.ratio as u64).pow(l as u32);
-                    for piece in &pieces {
-                        let fine = piece.refine(scale);
-                        for patch in &h.levels[l].patches {
-                            weight += patch.rect.overlap_cells(&fine) * w;
-                        }
-                    }
-                }
-                let key = sfc_key(self.params.curve, order, ux as u64, uy as u64);
-                let eff_key = if self.params.full_order || order <= 4 {
-                    key
-                } else {
-                    key >> (2 * (order - 4))
-                };
-                units.push((eff_key, pieces, weight));
+        let dims: [i64; D] = std::array::from_fn(|i| (domain.extent()[i] + unit - 1) / unit);
+        let order = order_for(dims.iter().copied().max().unwrap_or(1) as u64);
+        let mut units: Vec<(u64, Vec<AABox<D>>, u64)> = Vec::new();
+        for u in AABox::<D>::from_extent_array(dims).iter_cells() {
+            let lo = Point::<D>::from_fn(|i| domain.lo()[i] + u[i] * unit);
+            let hi = Point::<D>::from_fn(|i| (lo[i] + unit - 1).min(domain.hi()[i]));
+            let unit_box = AABox::new(lo, hi);
+            let pieces: Vec<AABox<D>> = footprint
+                .iter()
+                .filter_map(|b| b.intersect(&unit_box))
+                .collect();
+            if pieces.is_empty() {
+                continue;
             }
+            let mut weight = 0u64;
+            for l in levels.clone() {
+                if l >= h.levels.len() {
+                    break;
+                }
+                let scale = h.ratio.pow(l as u32);
+                let w = (h.ratio as u64).pow(l as u32);
+                for piece in &pieces {
+                    let fine = piece.refine(scale);
+                    for patch in &h.levels[l].patches {
+                        weight += patch.rect.overlap_cells(&fine) * w;
+                    }
+                }
+            }
+            let coords: [u64; D] = std::array::from_fn(|i| u[i] as u64);
+            let key = sfc_key_nd::<D>(self.params.curve, order, coords);
+            let eff_key = if self.params.full_order || order <= 4 {
+                key
+            } else {
+                key >> (D as u32 * (order - 4))
+            };
+            units.push((eff_key, pieces, weight));
         }
         units.sort_by_key(|&(k, _, _)| k);
         units.into_iter().map(|(_, p, w)| (p, w)).collect()
@@ -246,7 +238,10 @@ impl HybridPartitioner {
 
     /// Split SFC-ordered units into `group.len()` contiguous chunks by
     /// weight; returns the owner of each unit.
-    fn split_units(units: &[(Vec<Rect2>, u64)], group: &[ProcId]) -> Vec<ProcId> {
+    fn split_units<const D: usize>(
+        units: &[(Vec<AABox<D>>, u64)],
+        group: &[ProcId],
+    ) -> Vec<ProcId> {
         let total: u64 = units.iter().map(|(_, w)| *w).sum();
         let total = total.max(1) as f64;
         let n = group.len().max(1);
@@ -264,9 +259,9 @@ impl HybridPartitioner {
         owners
     }
 
-    /// Expert blocking of the Hue: split each Hue box into roughly square
+    /// Expert blocking of the Hue: split each Hue box into roughly cubic
     /// blocks targeting `hue_blocks_per_proc x nprocs` blocks overall.
-    fn block_hue(&self, hue: &Region, nprocs: usize) -> Vec<Rect2> {
+    fn block_hue<const D: usize>(&self, hue: &Region<D>, nprocs: usize) -> Vec<AABox<D>> {
         let cells = hue.cells();
         if cells == 0 {
             return Vec::new();
@@ -274,7 +269,7 @@ impl HybridPartitioner {
         let target_blocks = (self.params.hue_blocks_per_proc * nprocs).max(1) as u64;
         let target_cells = (cells / target_blocks).max(1);
         let mut blocks = Vec::new();
-        let mut queue: Vec<Rect2> = hue.boxes().to_vec();
+        let mut queue: Vec<AABox<D>> = hue.boxes().to_vec();
         while let Some(b) = queue.pop() {
             if b.cells() <= target_cells || b.bisect().is_none() {
                 blocks.push(b);
@@ -284,12 +279,12 @@ impl HybridPartitioner {
                 queue.push(r);
             }
         }
-        blocks.sort_by_key(|r| (r.lo().y, r.lo().x, r.hi().y, r.hi().x));
+        blocks.sort_by(|a, b| a.cmp_spatial(b));
         blocks
     }
 }
 
-impl Partitioner for HybridPartitioner {
+impl<const D: usize> Partitioner<D> for HybridPartitioner {
     fn name(&self) -> String {
         format!(
             "hybrid-nf({:?},{},u{},bi{})",
@@ -304,7 +299,7 @@ impl Partitioner for HybridPartitioner {
         )
     }
 
-    fn partition(&self, h: &GridHierarchy, nprocs: usize) -> Partition {
+    fn partition(&self, h: &GridHierarchy<D>, nprocs: usize) -> Partition<D> {
         assert!(nprocs >= 1);
         let (mut cores, hue) = self.find_cores(h);
         Self::assign_groups(&mut cores, nprocs);
@@ -349,7 +344,7 @@ impl Partitioner for HybridPartitioner {
         let blocks = self.block_hue(&hue, nprocs);
         let total_work: u64 = loads.iter().sum::<u64>() + hue.cells();
         let ideal = total_work as f64 / nprocs as f64;
-        let mut queue: Vec<Rect2> = blocks;
+        let mut queue: Vec<AABox<D>> = blocks;
         queue.reverse(); // pop from the front of the sorted order
         while let Some(rect) = queue.pop() {
             let owner = loads
@@ -386,7 +381,7 @@ impl Partitioner for HybridPartitioner {
         for lp in &mut part.levels {
             let mut merged = Vec::with_capacity(lp.fragments.len());
             for proc in 0..nprocs as ProcId {
-                let mine: Vec<Rect2> = lp
+                let mine: Vec<AABox<D>> = lp
                     .fragments
                     .iter()
                     .filter(|f| f.owner == proc)
@@ -404,10 +399,10 @@ impl Partitioner for HybridPartitioner {
         part
     }
 
-    fn cost_estimate(&self, h: &GridHierarchy) -> f64 {
+    fn cost_estimate(&self, h: &GridHierarchy<D>) -> f64 {
         // Two-step scheme: core identification + per-bi-level SFC splits +
         // hue blocking. The most expensive of the three families.
-        let units = (h.base_domain.cells() / (self.params.atomic_unit as u64).pow(2)) as f64;
+        let units = (h.base_domain.cells() / (self.params.atomic_unit as u64).pow(D as u32)) as f64;
         let patches: usize = h.levels.iter().map(|l| l.patch_count()).sum();
         let bilevels = h.levels.len().div_ceil(self.params.bilevel_size.max(1)) as f64;
         bilevels * units.max(1.0).log2() * units / 800.0 + patches as f64 / 5.0
@@ -418,13 +413,14 @@ impl Partitioner for HybridPartitioner {
 mod tests {
     use super::*;
     use crate::types::validate_partition;
+    use samr_geom::{Box3, Rect2};
 
     fn r(x0: i64, y0: i64, x1: i64, y1: i64) -> Rect2 {
         Rect2::from_coords(x0, y0, x1, y1)
     }
 
     /// Two separated refined islands over a 32x32 base, three levels.
-    fn hierarchy() -> GridHierarchy {
+    fn hierarchy() -> GridHierarchy<2> {
         GridHierarchy::from_level_rects(
             Rect2::from_extents(32, 32),
             2,
@@ -440,6 +436,27 @@ mod tests {
     fn produces_valid_partitions() {
         let h = hierarchy();
         for nprocs in [1, 2, 4, 8, 16] {
+            let part = HybridPartitioner::default().partition(&h, nprocs);
+            assert_eq!(validate_partition(&h, &part), Ok(()), "nprocs={nprocs}");
+        }
+    }
+
+    #[test]
+    fn produces_valid_partitions_3d() {
+        // Two refined islands in a 16^3 base with a deeper level on one.
+        let h = GridHierarchy::from_level_rects(
+            Box3::from_extents(16, 16, 16),
+            2,
+            &[
+                vec![],
+                vec![
+                    Box3::from_coords(2, 2, 2, 9, 9, 9),
+                    Box3::from_coords(22, 22, 22, 29, 29, 29),
+                ],
+                vec![Box3::from_coords(6, 6, 6, 17, 17, 17)],
+            ],
+        );
+        for nprocs in [1, 2, 5, 8] {
             let part = HybridPartitioner::default().partition(&h, nprocs);
             assert_eq!(validate_partition(&h, &part), Ok(()), "nprocs={nprocs}");
         }
@@ -577,6 +594,9 @@ mod tests {
         let h = hierarchy();
         let hybrid = HybridPartitioner::default();
         let sfc = crate::sfc_part::DomainSfcPartitioner::default();
-        assert!(hybrid.cost_estimate(&h) > sfc.cost_estimate(&h));
+        assert!(
+            Partitioner::<2>::cost_estimate(&hybrid, &h)
+                > Partitioner::<2>::cost_estimate(&sfc, &h)
+        );
     }
 }

@@ -1,7 +1,9 @@
-//! Patch-based partitioner (SAMRAI-style per-level distribution).
+//! Patch-based partitioner (SAMRAI-style per-level distribution), generic
+//! over the dimension.
 
 use crate::types::{Fragment, LevelPartition, Partition, Partitioner, ProcId};
-use samr_geom::Rect2;
+use samr_geom::sfc::{sfc_key_nd, SfcCurve};
+use samr_geom::AABox;
 use samr_grid::GridHierarchy;
 use serde::{Deserialize, Serialize};
 
@@ -64,7 +66,12 @@ impl PatchPartitioner {
     /// Recursively split `rect` until each piece weighs at most
     /// `max_cells` or can no longer be split without violating the
     /// granularity.
-    fn split_to_size(&self, rect: Rect2, max_cells: u64, out: &mut Vec<Rect2>) {
+    fn split_to_size<const D: usize>(
+        &self,
+        rect: AABox<D>,
+        max_cells: u64,
+        out: &mut Vec<AABox<D>>,
+    ) {
         if rect.cells() <= max_cells {
             out.push(rect);
             return;
@@ -80,7 +87,7 @@ impl PatchPartitioner {
     }
 }
 
-impl Partitioner for PatchPartitioner {
+impl<const D: usize> Partitioner<D> for PatchPartitioner {
     fn name(&self) -> String {
         let mode = match self.params.assign {
             PatchAssign::Lpt => "lpt",
@@ -89,7 +96,7 @@ impl Partitioner for PatchPartitioner {
         format!("patch-{mode}(split{:.1})", self.params.split_factor)
     }
 
-    fn partition(&self, h: &GridHierarchy, nprocs: usize) -> Partition {
+    fn partition(&self, h: &GridHierarchy<D>, nprocs: usize) -> Partition<D> {
         assert!(nprocs >= 1);
         let mut part = Partition::new(nprocs, h.levels.len());
         for (l, level) in h.levels.iter().enumerate() {
@@ -101,7 +108,7 @@ impl Partitioner for PatchPartitioner {
             let max_cells = (ideal * self.params.split_factor).ceil() as u64;
 
             // Split oversized patches.
-            let mut pieces: Vec<Rect2> = Vec::with_capacity(level.patch_count());
+            let mut pieces: Vec<AABox<D>> = Vec::with_capacity(level.patch_count());
             for p in &level.patches {
                 self.split_to_size(p.rect, max_cells.max(1), &mut pieces);
             }
@@ -110,8 +117,9 @@ impl Partitioner for PatchPartitioner {
                 PatchAssign::Lpt => {
                     // LPT greedy: biggest piece to least-loaded processor.
                     // Sort is stable with a deterministic geometry
-                    // tie-break.
-                    pieces.sort_by_key(|r| (std::cmp::Reverse(r.cells()), r.lo().y, r.lo().x));
+                    // tie-break (the historical `(cells desc, lo.y, lo.x)`
+                    // key, generalized).
+                    pieces.sort_by(|a, b| b.cells().cmp(&a.cells()).then_with(|| a.cmp_spatial(b)));
                     let mut loads = vec![0u64; nprocs];
                     for rect in pieces {
                         let owner = loads
@@ -130,9 +138,10 @@ impl Partitioner for PatchPartitioner {
                     pieces.sort_by_key(|r| {
                         // Level index spaces are non-negative in this
                         // code base; clamp defensively for the key only.
-                        samr_geom::sfc::morton_key(r.lo().x.max(0) as u64, r.lo().y.max(0) as u64)
+                        let c: [u64; D] = std::array::from_fn(|i| r.lo()[i].max(0) as u64);
+                        sfc_key_nd::<D>(SfcCurve::Morton, 0, c)
                     });
-                    let total: u64 = pieces.iter().map(Rect2::cells).sum();
+                    let total: u64 = pieces.iter().map(AABox::cells).sum();
                     let mut acc = 0.0f64;
                     let mut proc = 0u32;
                     for rect in pieces {
@@ -151,7 +160,7 @@ impl Partitioner for PatchPartitioner {
         part
     }
 
-    fn cost_estimate(&self, h: &GridHierarchy) -> f64 {
+    fn cost_estimate(&self, h: &GridHierarchy<D>) -> f64 {
         // Sorting patches per level: very cheap.
         let patches: usize = h.levels.iter().map(|l| l.patch_count()).sum();
         (patches.max(1) as f64) * (patches.max(2) as f64).log2() / 50.0
@@ -160,8 +169,8 @@ impl Partitioner for PatchPartitioner {
 
 /// Per-level load imbalance of a partition (max/avg within one level) —
 /// the quantity the patch-based scheme optimizes.
-pub fn level_imbalance(part: &Partition, level: usize) -> f64 {
-    let lp: &LevelPartition = &part.levels[level];
+pub fn level_imbalance<const D: usize>(part: &Partition<D>, level: usize) -> f64 {
+    let lp: &LevelPartition<D> = &part.levels[level];
     let mut loads = vec![0u64; part.nprocs];
     for f in &lp.fragments {
         loads[f.owner as usize] += f.rect.cells();
@@ -178,12 +187,13 @@ pub fn level_imbalance(part: &Partition, level: usize) -> f64 {
 mod tests {
     use super::*;
     use crate::types::validate_partition;
+    use samr_geom::{Box3, Rect2};
 
     fn r(x0: i64, y0: i64, x1: i64, y1: i64) -> Rect2 {
         Rect2::from_coords(x0, y0, x1, y1)
     }
 
-    fn hierarchy() -> GridHierarchy {
+    fn hierarchy() -> GridHierarchy<2> {
         GridHierarchy::from_level_rects(
             Rect2::from_extents(32, 32),
             2,
@@ -201,6 +211,33 @@ mod tests {
         for nprocs in [1, 3, 8, 16] {
             let part = PatchPartitioner::default().partition(&h, nprocs);
             assert_eq!(validate_partition(&h, &part), Ok(()), "nprocs={nprocs}");
+        }
+    }
+
+    #[test]
+    fn produces_valid_partitions_3d() {
+        let h = GridHierarchy::from_level_rects(
+            Box3::from_extents(16, 16, 16),
+            2,
+            &[
+                vec![],
+                vec![Box3::from_coords(2, 2, 2, 13, 13, 13)],
+                vec![Box3::from_coords(8, 8, 8, 23, 23, 23)],
+            ],
+        );
+        for nprocs in [1, 4, 9] {
+            for assign in [PatchAssign::Lpt, PatchAssign::SfcChunk] {
+                let p = PatchPartitioner::new(PatchParams {
+                    assign,
+                    ..PatchParams::default()
+                });
+                let part = p.partition(&h, nprocs);
+                assert_eq!(
+                    validate_partition(&h, &part),
+                    Ok(()),
+                    "nprocs={nprocs} assign={assign:?}"
+                );
+            }
         }
     }
 

@@ -1,9 +1,10 @@
-//! Domain-based SFC partitioner (Parashar–Browne composite style).
+//! Domain-based SFC partitioner (Parashar–Browne composite style),
+//! generic over the dimension.
 
 use crate::types::{Fragment, Partition, Partitioner, ProcId};
 use crate::weights::{composite_unit_weights, sfc_order, split_contiguous};
 use samr_geom::sfc::SfcCurve;
-use samr_geom::{boxops, Rect2};
+use samr_geom::{boxops, AABox};
 use samr_grid::GridHierarchy;
 use serde::{Deserialize, Serialize};
 
@@ -49,13 +50,17 @@ impl DomainSfcPartitioner {
 
     /// The processor-region decomposition of the base domain (owner-tagged
     /// base-space boxes, coalesced per processor).
-    pub fn proc_regions(&self, h: &GridHierarchy, nprocs: usize) -> Vec<Vec<Rect2>> {
+    pub fn proc_regions<const D: usize>(
+        &self,
+        h: &GridHierarchy<D>,
+        nprocs: usize,
+    ) -> Vec<Vec<AABox<D>>> {
         let grid = composite_unit_weights(h, self.params.atomic_unit);
         let order = sfc_order(&grid, self.params.curve, self.params.full_order);
         let owners = split_contiguous(&grid, &order, nprocs);
-        let mut regions: Vec<Vec<Rect2>> = vec![Vec::new(); nprocs];
-        for (i, &(ux, uy)) in order.iter().enumerate() {
-            regions[owners[i] as usize].push(grid.unit_rect(&h.base_domain, ux, uy));
+        let mut regions: Vec<Vec<AABox<D>>> = vec![Vec::new(); nprocs];
+        for (i, &u) in order.iter().enumerate() {
+            regions[owners[i] as usize].push(grid.unit_rect(&h.base_domain, u));
         }
         for r in &mut regions {
             *r = boxops::coalesce(r);
@@ -64,7 +69,7 @@ impl DomainSfcPartitioner {
     }
 }
 
-impl Partitioner for DomainSfcPartitioner {
+impl<const D: usize> Partitioner<D> for DomainSfcPartitioner {
     fn name(&self) -> String {
         format!(
             "domain-sfc({:?},{},u{})",
@@ -78,7 +83,7 @@ impl Partitioner for DomainSfcPartitioner {
         )
     }
 
-    fn partition(&self, h: &GridHierarchy, nprocs: usize) -> Partition {
+    fn partition(&self, h: &GridHierarchy<D>, nprocs: usize) -> Partition<D> {
         assert!(nprocs >= 1);
         let regions = self.proc_regions(h, nprocs);
         let mut part = Partition::new(nprocs, h.levels.len());
@@ -99,10 +104,10 @@ impl Partitioner for DomainSfcPartitioner {
                 }
             }
             // Merge fragments of the same owner where they form exact
-            // rectangles, keeping the fragment list compact.
-            let mut merged: Vec<Fragment> = Vec::with_capacity(frags.len());
+            // boxes, keeping the fragment list compact.
+            let mut merged: Vec<Fragment<D>> = Vec::with_capacity(frags.len());
             for proc in 0..nprocs as ProcId {
-                let mine: Vec<Rect2> = frags
+                let mine: Vec<AABox<D>> = frags
                     .iter()
                     .filter(|f| f.owner == proc)
                     .map(|f| f.rect)
@@ -116,9 +121,9 @@ impl Partitioner for DomainSfcPartitioner {
         part
     }
 
-    fn cost_estimate(&self, h: &GridHierarchy) -> f64 {
+    fn cost_estimate(&self, h: &GridHierarchy<D>) -> f64 {
         // Unit weighting + sort: cheap, linear-ish in units and patches.
-        let units = (h.base_domain.cells() / (self.params.atomic_unit as u64).pow(2)) as f64;
+        let units = (h.base_domain.cells() / (self.params.atomic_unit as u64).pow(D as u32)) as f64;
         let patches: usize = h.levels.iter().map(|l| l.patch_count()).sum();
         0.5 * units.max(1.0).log2() * units / 1000.0
             + patches as f64 / 10.0
@@ -134,12 +139,13 @@ impl Partitioner for DomainSfcPartitioner {
 mod tests {
     use super::*;
     use crate::types::validate_partition;
+    use samr_geom::{Box3, Rect2};
 
     fn r(x0: i64, y0: i64, x1: i64, y1: i64) -> Rect2 {
         Rect2::from_coords(x0, y0, x1, y1)
     }
 
-    fn hierarchy() -> GridHierarchy {
+    fn hierarchy() -> GridHierarchy<2> {
         GridHierarchy::from_level_rects(
             Rect2::from_extents(32, 32),
             2,
@@ -147,6 +153,18 @@ mod tests {
                 vec![],
                 vec![r(16, 16, 31, 31), r(40, 8, 47, 15)],
                 vec![r(40, 40, 55, 55)],
+            ],
+        )
+    }
+
+    fn hierarchy_3d() -> GridHierarchy<3> {
+        GridHierarchy::from_level_rects(
+            Box3::from_extents(16, 16, 16),
+            2,
+            &[
+                vec![],
+                vec![Box3::from_coords(8, 8, 8, 15, 15, 15)],
+                vec![Box3::from_coords(20, 20, 20, 27, 27, 27)],
             ],
         )
     }
@@ -174,6 +192,26 @@ mod tests {
     }
 
     #[test]
+    fn produces_valid_partitions_3d() {
+        let h = hierarchy_3d();
+        for nprocs in [1, 3, 8] {
+            for curve in [SfcCurve::Morton, SfcCurve::Hilbert] {
+                let p = DomainSfcPartitioner::new(DomainSfcParams {
+                    atomic_unit: 2,
+                    curve,
+                    full_order: true,
+                });
+                let part = p.partition(&h, nprocs);
+                assert_eq!(
+                    validate_partition(&h, &part),
+                    Ok(()),
+                    "nprocs={nprocs} curve={curve:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn single_proc_gets_everything() {
         let h = hierarchy();
         let part = DomainSfcPartitioner::default().partition(&h, 1);
@@ -187,6 +225,13 @@ mod tests {
     #[test]
     fn balance_is_reasonable_for_uniform_grid() {
         let h = GridHierarchy::base_only(Rect2::from_extents(64, 64), 2);
+        let part = DomainSfcPartitioner::default().partition(&h, 8);
+        assert!(part.load_imbalance(2) < 1.1, "{}", part.load_imbalance(2));
+    }
+
+    #[test]
+    fn balance_is_reasonable_for_uniform_grid_3d() {
+        let h = GridHierarchy::base_only(Box3::from_extents(16, 16, 16), 2);
         let part = DomainSfcPartitioner::default().partition(&h, 8);
         assert!(part.load_imbalance(2) < 1.1, "{}", part.load_imbalance(2));
     }

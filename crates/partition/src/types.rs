@@ -1,56 +1,115 @@
-//! Partition representation and the partitioner interface.
+//! Partition representation and the partitioner interface, generic over
+//! the dimension.
 
-use samr_geom::{boxops, Rect2};
+use samr_geom::{boxops, AABox};
 use samr_grid::GridHierarchy;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 
 /// Processor rank.
 pub type ProcId = u32;
 
 /// One owner-tagged piece of a level: `rect` (in the level's index space)
 /// is assigned to processor `owner`.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
-pub struct Fragment {
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Fragment<const D: usize> {
     /// The cells of the fragment.
-    pub rect: Rect2,
+    pub rect: AABox<D>,
     /// Owning processor.
     pub owner: ProcId,
 }
 
-/// The fragments of one refinement level.
-#[derive(Clone, PartialEq, Debug, Default, Serialize, Deserialize)]
-pub struct LevelPartition {
-    /// Disjoint fragments tiling the level's patches.
-    pub fragments: Vec<Fragment>,
+impl<const D: usize> Serialize for Fragment<D> {
+    fn serialize(&self) -> Value {
+        Value::Map(vec![
+            ("rect".to_string(), self.rect.serialize()),
+            ("owner".to_string(), self.owner.serialize()),
+        ])
+    }
 }
 
-impl LevelPartition {
+impl<const D: usize> Deserialize for Fragment<D> {
+    fn deserialize(v: &Value) -> Result<Self, serde::Error> {
+        Ok(Self {
+            rect: serde::field(v, "rect")?,
+            owner: serde::field(v, "owner")?,
+        })
+    }
+}
+
+/// The fragments of one refinement level.
+#[derive(Clone, PartialEq, Debug)]
+pub struct LevelPartition<const D: usize> {
+    /// Disjoint fragments tiling the level's patches.
+    pub fragments: Vec<Fragment<D>>,
+}
+
+impl<const D: usize> Default for LevelPartition<D> {
+    fn default() -> Self {
+        Self {
+            fragments: Vec::new(),
+        }
+    }
+}
+
+impl<const D: usize> LevelPartition<D> {
     /// Total cells assigned at this level.
     pub fn cells(&self) -> u64 {
         self.fragments.iter().map(|f| f.rect.cells()).sum()
     }
 
     /// Fragments owned by `p`.
-    pub fn owned_by(&self, p: ProcId) -> impl Iterator<Item = &Fragment> + '_ {
+    pub fn owned_by(&self, p: ProcId) -> impl Iterator<Item = &Fragment<D>> + '_ {
         self.fragments.iter().filter(move |f| f.owner == p)
     }
 
     /// The boxes owned by `p` at this level.
-    pub fn rects_of(&self, p: ProcId) -> Vec<Rect2> {
+    pub fn rects_of(&self, p: ProcId) -> Vec<AABox<D>> {
         self.owned_by(p).map(|f| f.rect).collect()
     }
 }
 
+impl<const D: usize> Serialize for LevelPartition<D> {
+    fn serialize(&self) -> Value {
+        Value::Map(vec![("fragments".to_string(), self.fragments.serialize())])
+    }
+}
+
+impl<const D: usize> Deserialize for LevelPartition<D> {
+    fn deserialize(v: &Value) -> Result<Self, serde::Error> {
+        Ok(Self {
+            fragments: serde::field(v, "fragments")?,
+        })
+    }
+}
+
 /// A complete distribution of a hierarchy over `nprocs` processors.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
-pub struct Partition {
+#[derive(Clone, PartialEq, Debug)]
+pub struct Partition<const D: usize> {
     /// Number of processors partitioned over.
     pub nprocs: usize,
     /// One entry per hierarchy level.
-    pub levels: Vec<LevelPartition>,
+    pub levels: Vec<LevelPartition<D>>,
 }
 
-impl Partition {
+impl<const D: usize> Serialize for Partition<D> {
+    fn serialize(&self) -> Value {
+        Value::Map(vec![
+            ("nprocs".to_string(), self.nprocs.serialize()),
+            ("levels".to_string(), self.levels.serialize()),
+        ])
+    }
+}
+
+impl<const D: usize> Deserialize for Partition<D> {
+    fn deserialize(v: &Value) -> Result<Self, serde::Error> {
+        Ok(Self {
+            nprocs: serde::field(v, "nprocs")?,
+            levels: serde::field(v, "levels")?,
+        })
+    }
+}
+
+impl<const D: usize> Partition<D> {
     /// An empty partition skeleton.
     pub fn new(nprocs: usize, nlevels: usize) -> Self {
         Self {
@@ -94,17 +153,17 @@ impl Partition {
 }
 
 /// A partitioning algorithm: hierarchy in, owner-tagged fragments out.
-pub trait Partitioner {
+pub trait Partitioner<const D: usize> {
     /// Human-readable name (includes configuration).
     fn name(&self) -> String;
 
     /// Partition `h` over `nprocs` processors.
-    fn partition(&self, h: &GridHierarchy, nprocs: usize) -> Partition;
+    fn partition(&self, h: &GridHierarchy<D>, nprocs: usize) -> Partition<D>;
 
     /// Relative cost of one invocation in abstract time units (used by the
     /// meta-partitioner's speed-vs-quality trade-off). The default charges
     /// one unit per patch plus one per thousand cells.
-    fn cost_estimate(&self, h: &GridHierarchy) -> f64 {
+    fn cost_estimate(&self, h: &GridHierarchy<D>) -> f64 {
         let patches: usize = h.levels.iter().map(|l| l.patch_count()).sum();
         patches as f64 + h.total_points() as f64 / 1000.0
     }
@@ -113,7 +172,10 @@ pub trait Partitioner {
 /// Check that `part` is a valid distribution of `h`:
 /// every level's fragments are pairwise disjoint, lie inside the level's
 /// patches, cover them exactly, and carry owners `< nprocs`.
-pub fn validate_partition(h: &GridHierarchy, part: &Partition) -> Result<(), String> {
+pub fn validate_partition<const D: usize>(
+    h: &GridHierarchy<D>,
+    part: &Partition<D>,
+) -> Result<(), String> {
     if part.levels.len() != h.levels.len() {
         return Err(format!(
             "partition has {} levels, hierarchy has {}",
@@ -122,7 +184,7 @@ pub fn validate_partition(h: &GridHierarchy, part: &Partition) -> Result<(), Str
         ));
     }
     for (l, (lp, level)) in part.levels.iter().zip(&h.levels).enumerate() {
-        let frags: Vec<Rect2> = lp.fragments.iter().map(|f| f.rect).collect();
+        let frags: Vec<AABox<D>> = lp.fragments.iter().map(|f| f.rect).collect();
         for (i, f) in lp.fragments.iter().enumerate() {
             if (f.owner as usize) >= part.nprocs {
                 return Err(format!(
@@ -165,12 +227,13 @@ pub fn validate_partition(h: &GridHierarchy, part: &Partition) -> Result<(), Str
 #[cfg(test)]
 mod tests {
     use super::*;
+    use samr_geom::Rect2;
 
     fn r(x0: i64, y0: i64, x1: i64, y1: i64) -> Rect2 {
         Rect2::from_coords(x0, y0, x1, y1)
     }
 
-    fn two_level_hierarchy() -> GridHierarchy {
+    fn two_level_hierarchy() -> GridHierarchy<2> {
         GridHierarchy::from_level_rects(
             Rect2::from_extents(8, 8),
             2,
@@ -178,7 +241,7 @@ mod tests {
         )
     }
 
-    fn valid_partition() -> Partition {
+    fn valid_partition() -> Partition<2> {
         Partition {
             nprocs: 2,
             levels: vec![

@@ -1,39 +1,42 @@
-//! Composite workload weighting of the base domain.
+//! Composite workload weighting of the base domain, generic over the
+//! dimension.
 //!
 //! Domain-based SAMR partitioners cut the *base domain* and take all
 //! overlaid refined cells along with the cut. The unit of currency is an
-//! *atomic unit*: a small square block of base cells (Nature+Fable exposes
+//! *atomic unit*: a small cubic block of base cells (Nature+Fable exposes
 //! the atomic-unit size as a tuning parameter). Each unit's weight is the
 //! full composite workload of the column of cells above it:
 //! `Σ_l |level_l ∩ refine(unit)| · ratio^l`.
 
-use samr_geom::sfc::{order_for, sfc_key, SfcCurve};
-use samr_geom::{Point2, Rect2};
+use samr_geom::sfc::{order_for, sfc_key_nd, SfcCurve};
+use samr_geom::{AABox, Point};
 use samr_grid::GridHierarchy;
 
 /// The base domain diced into atomic units with composite weights.
 #[derive(Clone, Debug)]
-pub struct UnitGrid {
+pub struct UnitGrid<const D: usize> {
     /// Base cells per unit side.
     pub unit: i64,
-    /// Units along x and y.
-    pub dims: (i64, i64),
-    /// Base-domain origin (unit (0,0) starts here).
-    pub origin: Point2,
-    /// Row-major composite workload per unit.
+    /// Units along each axis.
+    pub dims: [i64; D],
+    /// Base-domain origin (unit `(0, …, 0)` starts here).
+    pub origin: Point<D>,
+    /// Row-major composite workload per unit (axis 0 fastest).
     pub weights: Vec<u64>,
 }
 
-impl UnitGrid {
-    /// The base-space box of unit `(ux, uy)` (clipped to the domain for
-    /// edge units when the domain is not a multiple of the unit size).
-    pub fn unit_rect(&self, domain: &Rect2, ux: i64, uy: i64) -> Rect2 {
-        let lo = Point2::new(
-            self.origin.x + ux * self.unit,
-            self.origin.y + uy * self.unit,
-        );
-        let hi = Point2::new(lo.x + self.unit - 1, lo.y + self.unit - 1);
-        Rect2::new(lo, hi)
+impl<const D: usize> UnitGrid<D> {
+    /// The box of the unit index space (`[0, dims-1]` per axis).
+    pub fn index_box(&self) -> AABox<D> {
+        AABox::from_extent_array(self.dims)
+    }
+
+    /// The base-space box of unit `u` (clipped to the domain for edge
+    /// units when the domain is not a multiple of the unit size).
+    pub fn unit_rect(&self, domain: &AABox<D>, u: [i64; D]) -> AABox<D> {
+        let lo = Point::from_fn(|i| self.origin[i] + u[i] * self.unit);
+        let hi = Point::from_fn(|i| lo[i] + self.unit - 1);
+        AABox::new(lo, hi)
             .intersect(domain)
             .expect("unit inside domain")
     }
@@ -43,20 +46,21 @@ impl UnitGrid {
         self.weights.iter().sum()
     }
 
-    /// Weight of unit `(ux, uy)`.
-    pub fn weight(&self, ux: i64, uy: i64) -> u64 {
-        self.weights[(uy * self.dims.0 + ux) as usize]
+    /// Weight of unit `u`.
+    pub fn weight(&self, u: [i64; D]) -> u64 {
+        self.weights[self.index_box().linear_index(Point::from_array(u))]
     }
 }
 
 /// Dice the base domain of `h` into `unit`-sized atomic units and compute
 /// the composite workload of each.
-pub fn composite_unit_weights(h: &GridHierarchy, unit: i64) -> UnitGrid {
+pub fn composite_unit_weights<const D: usize>(h: &GridHierarchy<D>, unit: i64) -> UnitGrid<D> {
     assert!(unit >= 1);
     let domain = h.base_domain;
     let e = domain.extent();
-    let dims = ((e.x + unit - 1) / unit, (e.y + unit - 1) / unit);
-    let mut weights = vec![0u64; (dims.0 * dims.1) as usize];
+    let dims: [i64; D] = std::array::from_fn(|i| (e[i] + unit - 1) / unit);
+    let index_box = AABox::<D>::from_extent_array(dims);
+    let mut weights = vec![0u64; index_box.cells() as usize];
     for (l, level) in h.levels.iter().enumerate() {
         let scale = h.ratio.pow(l as u32);
         let w = (h.ratio as u64).pow(l as u32);
@@ -65,19 +69,16 @@ pub fn composite_unit_weights(h: &GridHierarchy, unit: i64) -> UnitGrid {
             let base_fp = patch.rect.coarsen(scale);
             let u_lo = (base_fp.lo() - domain.lo()).div_floor(unit);
             let u_hi = (base_fp.hi() - domain.lo()).div_floor(unit);
-            for uy in u_lo.y..=u_hi.y.min(dims.1 - 1) {
-                for ux in u_lo.x..=u_hi.x.min(dims.0 - 1) {
-                    let unit_box = Rect2::new(
-                        Point2::new(domain.lo().x + ux * unit, domain.lo().y + uy * unit),
-                        Point2::new(
-                            domain.lo().x + ux * unit + unit - 1,
-                            domain.lo().y + uy * unit + unit - 1,
-                        ),
-                    );
-                    let fine_unit = unit_box.refine(scale);
-                    let overlap = patch.rect.overlap_cells(&fine_unit);
-                    weights[(uy * dims.0 + ux) as usize] += overlap * w;
-                }
+            let u_hi = Point::<D>::from_fn(|i| u_hi[i].min(dims[i] - 1));
+            let Some(span) = AABox::try_new(u_lo, u_hi) else {
+                continue;
+            };
+            for u in span.iter_cells() {
+                let lo = Point::<D>::from_fn(|i| domain.lo()[i] + u[i] * unit);
+                let unit_box = AABox::new(lo, Point::from_fn(|i| lo[i] + unit - 1));
+                let fine_unit = unit_box.refine(scale);
+                let overlap = patch.rect.overlap_cells(&fine_unit);
+                weights[index_box.linear_index(u)] += overlap * w;
             }
         }
     }
@@ -94,41 +95,48 @@ pub fn composite_unit_weights(h: &GridHierarchy, unit: i64) -> UnitGrid {
 /// With `full_order = true` the exact curve ordering is used. With
 /// `full_order = false` the *partially ordered* variant the paper
 /// attributes to Nature+Fable is used: units are bucketed by the top bits
-/// of their SFC key (buckets of `2^(2*partial_level)` curve positions) and
+/// of their SFC key (buckets of `2^(D·partial_level)` curve positions) and
 /// kept in row-major order inside each bucket — cheaper to compute
 /// incrementally, at some locality cost.
-pub fn sfc_order(grid: &UnitGrid, curve: SfcCurve, full_order: bool) -> Vec<(i64, i64)> {
-    let order = order_for(grid.dims.0.max(grid.dims.1) as u64);
-    let mut units: Vec<(u64, i64, i64)> = Vec::with_capacity((grid.dims.0 * grid.dims.1) as usize);
-    for uy in 0..grid.dims.1 {
-        for ux in 0..grid.dims.0 {
-            let key = sfc_key(curve, order, ux as u64, uy as u64);
-            // Partial ordering: keep only the top 4 levels of the curve
-            // (buckets of 2^(2*(order-4)) positions); ties resolved by the
-            // row-major push order (sort is stable).
-            let eff_key = if full_order || order <= 4 {
-                key
-            } else {
-                key >> (2 * (order - 4))
-            };
-            units.push((eff_key, ux, uy));
-        }
+pub fn sfc_order<const D: usize>(
+    grid: &UnitGrid<D>,
+    curve: SfcCurve,
+    full_order: bool,
+) -> Vec<[i64; D]> {
+    let order = order_for(grid.dims.iter().copied().max().unwrap_or(1) as u64);
+    let mut units: Vec<(u64, [i64; D])> = Vec::with_capacity(grid.weights.len());
+    for u in grid.index_box().iter_cells() {
+        let coords: [u64; D] = std::array::from_fn(|i| u[i] as u64);
+        let key = sfc_key_nd::<D>(curve, order, coords);
+        // Partial ordering: keep only the top 4 levels of the curve
+        // (buckets of 2^(D*(order-4)) positions); ties resolved by the
+        // row-major push order (sort is stable).
+        let eff_key = if full_order || order <= 4 {
+            key
+        } else {
+            key >> (D as u32 * (order - 4))
+        };
+        units.push((eff_key, u.coords()));
     }
-    units.sort_by_key(|&(k, _, _)| k);
-    units.into_iter().map(|(_, ux, uy)| (ux, uy)).collect()
+    units.sort_by_key(|&(k, _)| k);
+    units.into_iter().map(|(_, u)| u).collect()
 }
 
 /// Split an SFC-ordered unit sequence into `nprocs` contiguous chunks of
 /// near-equal weight (greedy prefix walk against the ideal running
 /// quota). Returns the owner of every unit in sequence order.
-pub fn split_contiguous(grid: &UnitGrid, order: &[(i64, i64)], nprocs: usize) -> Vec<u32> {
+pub fn split_contiguous<const D: usize>(
+    grid: &UnitGrid<D>,
+    order: &[[i64; D]],
+    nprocs: usize,
+) -> Vec<u32> {
     assert!(nprocs >= 1);
     let total = grid.total_weight() as f64;
     let mut owners = Vec::with_capacity(order.len());
     let mut acc = 0.0f64;
     let mut proc = 0u32;
-    for &(ux, uy) in order {
-        let w = grid.weight(ux, uy) as f64;
+    for &u in order {
+        let w = grid.weight(u) as f64;
         // Advance to the next processor when the running total has passed
         // this processor's quota boundary (midpoint rule so a big unit
         // lands on whichever side it overlaps more).
@@ -145,12 +153,13 @@ pub fn split_contiguous(grid: &UnitGrid, order: &[(i64, i64)], nprocs: usize) ->
 #[cfg(test)]
 mod tests {
     use super::*;
+    use samr_geom::{Box3, Rect2};
 
     fn r(x0: i64, y0: i64, x1: i64, y1: i64) -> Rect2 {
         Rect2::from_coords(x0, y0, x1, y1)
     }
 
-    fn hierarchy() -> GridHierarchy {
+    fn hierarchy() -> GridHierarchy<2> {
         GridHierarchy::from_level_rects(
             Rect2::from_extents(16, 16),
             2,
@@ -173,13 +182,13 @@ mod tests {
         let g = composite_unit_weights(&h, 2);
         // Unit at base cells [4..5]^2 sits under the level-1 patch
         // ([8..15]^2 fine = [4..7]^2 base).
-        let heavy = g.weight(2, 2);
-        let light = g.weight(0, 0);
+        let heavy = g.weight([2, 2]);
+        let light = g.weight([0, 0]);
         assert_eq!(light, 4); // bare base cells
         assert!(heavy > light);
         // Unit under both level 1 and level 2: base cells [5..5]... level 2
         // box [20..27]^2 coarsens to base [5..6]^2.
-        let heaviest = g.weight(2, 2).max(g.weight(3, 3));
+        let heaviest = g.weight([2, 2]).max(g.weight([3, 3]));
         assert!(heaviest >= 4 + 2 * 16);
     }
 
@@ -187,8 +196,8 @@ mod tests {
     fn unit_rect_clips_at_domain_edge() {
         let h = GridHierarchy::base_only(Rect2::from_extents(10, 10), 2);
         let g = composite_unit_weights(&h, 4);
-        assert_eq!(g.dims, (3, 3));
-        assert_eq!(g.unit_rect(&h.base_domain, 2, 2), r(8, 8, 9, 9));
+        assert_eq!(g.dims, [3, 3]);
+        assert_eq!(g.unit_rect(&h.base_domain, [2, 2]), r(8, 8, 9, 9));
         assert_eq!(g.total_weight(), 100);
     }
 
@@ -199,11 +208,11 @@ mod tests {
         for curve in [SfcCurve::Morton, SfcCurve::Hilbert] {
             for full in [false, true] {
                 let ord = sfc_order(&g, curve, full);
-                assert_eq!(ord.len(), (g.dims.0 * g.dims.1) as usize);
+                assert_eq!(ord.len(), g.weights.len());
                 let mut seen = std::collections::HashSet::new();
-                for &(ux, uy) in &ord {
-                    assert!(seen.insert((ux, uy)));
-                    assert!(ux < g.dims.0 && uy < g.dims.1);
+                for &u in &ord {
+                    assert!(seen.insert(u));
+                    assert!(u[0] < g.dims[0] && u[1] < g.dims[1]);
                 }
             }
         }
@@ -215,7 +224,7 @@ mod tests {
         let g = composite_unit_weights(&h, 2); // 8x8 units
         let ord = sfc_order(&g, SfcCurve::Hilbert, true);
         for w in ord.windows(2) {
-            let d = (w[1].0 - w[0].0).abs() + (w[1].1 - w[0].1).abs();
+            let d = (w[1][0] - w[0][0]).abs() + (w[1][1] - w[0][1]).abs();
             assert_eq!(d, 1);
         }
     }
@@ -227,8 +236,8 @@ mod tests {
         let ord = sfc_order(&g, SfcCurve::Morton, true);
         let owners = split_contiguous(&g, &ord, 4);
         let mut loads = [0u64; 4];
-        for (i, &(ux, uy)) in ord.iter().enumerate() {
-            loads[owners[i] as usize] += g.weight(ux, uy);
+        for (i, &u) in ord.iter().enumerate() {
+            loads[owners[i] as usize] += g.weight(u);
         }
         let max = *loads.iter().max().unwrap() as f64;
         let avg = loads.iter().sum::<u64>() as f64 / 4.0;
@@ -244,5 +253,27 @@ mod tests {
         let ord = sfc_order(&g, SfcCurve::Hilbert, false);
         let owners = split_contiguous(&g, &ord, 1);
         assert!(owners.iter().all(|&o| o == 0));
+    }
+
+    #[test]
+    fn three_d_weights_sum_and_hilbert_steps() {
+        let h = GridHierarchy::from_level_rects(
+            Box3::from_extents(16, 16, 16),
+            2,
+            &[vec![], vec![Box3::from_coords(8, 8, 8, 23, 23, 23)]],
+        );
+        for unit in [1, 2, 4] {
+            let g = composite_unit_weights(&h, unit);
+            assert_eq!(g.total_weight(), h.workload(), "unit={unit}");
+        }
+        let g = composite_unit_weights(&h, 2); // 8x8x8 units
+        let ord = sfc_order(&g, SfcCurve::Hilbert, true);
+        assert_eq!(ord.len(), 512);
+        for w in ord.windows(2) {
+            let d = (0..3).map(|i| (w[1][i] - w[0][i]).abs()).sum::<i64>();
+            assert_eq!(d, 1, "3-D Hilbert order must step to face neighbours");
+        }
+        let owners = split_contiguous(&g, &ord, 5);
+        assert!(owners.windows(2).all(|w| w[0] <= w[1]));
     }
 }

@@ -14,7 +14,7 @@ use samr_partition::{
 };
 
 /// A random 1-3 level properly nested hierarchy on a rectangular base.
-fn arb_hierarchy() -> impl Strategy<Value = GridHierarchy> {
+fn arb_hierarchy() -> impl Strategy<Value = GridHierarchy<2>> {
     let base = (16i64..48, 16i64..48);
     let blobs = prop::collection::vec((0.0f64..1.0, 0.0f64..1.0, 0.1f64..0.4), 1..4);
     (base, blobs, any::<bool>()).prop_map(|((bx, by), blobs, deep)| {

@@ -12,7 +12,11 @@ use samr_partition::Partition;
 /// different processor counts `ratio^l` times. Ghost cells outside every
 /// patch are physical-boundary cells and cost nothing; ghost cells in a
 /// fragment of the *same* owner are local copies and cost nothing.
-pub fn intra_level_comm(h: &GridHierarchy, part: &Partition, ghost: i64) -> u64 {
+pub fn intra_level_comm<const D: usize>(
+    h: &GridHierarchy<D>,
+    part: &Partition<D>,
+    ghost: i64,
+) -> u64 {
     let mut total = 0u64;
     for (l, lp) in part.levels.iter().enumerate() {
         let mult = (h.ratio as u64).pow(l as u32);
@@ -49,7 +53,7 @@ pub fn intra_level_comm(h: &GridHierarchy, part: &Partition, ghost: i64) -> u64 
 ///
 /// Strictly domain-based partitions have zero inter-level volume by
 /// construction — the property the paper highlights in §2.2.
-pub fn inter_level_comm(h: &GridHierarchy, part: &Partition) -> u64 {
+pub fn inter_level_comm<const D: usize>(h: &GridHierarchy<D>, part: &Partition<D>) -> u64 {
     let mut total = 0u64;
     for l in 0..part.levels.len().saturating_sub(1) {
         let mult = (h.ratio as u64).pow((l + 1) as u32);
@@ -78,7 +82,7 @@ pub fn inter_level_comm(h: &GridHierarchy, part: &Partition) -> u64 {
 
 /// Total communication *transfer volume* for one coarse step
 /// (intra + inter), counting every directed transfer.
-pub fn total_comm(h: &GridHierarchy, part: &Partition, ghost: i64) -> u64 {
+pub fn total_comm<const D: usize>(h: &GridHierarchy<D>, part: &Partition<D>, ghost: i64) -> u64 {
     intra_level_comm(h, part, ghost) + inter_level_comm(h, part)
 }
 
@@ -87,9 +91,13 @@ pub fn total_comm(h: &GridHierarchy, part: &Partition, ghost: i64) -> u64 {
 /// points count `ratio^l` times). This matches the paper's §4.1
 /// normalization exactly: 100 % ⇔ "all points in the grid being involved
 /// in communications at all local time steps".
-pub fn intra_level_involved(h: &GridHierarchy, part: &Partition, ghost: i64) -> u64 {
+pub fn intra_level_involved<const D: usize>(
+    h: &GridHierarchy<D>,
+    part: &Partition<D>,
+    ghost: i64,
+) -> u64 {
     let mut total = 0u64;
-    let mut clips: Vec<samr_geom::Rect2> = Vec::new();
+    let mut clips: Vec<samr_geom::AABox<D>> = Vec::new();
     for (l, lp) in part.levels.iter().enumerate() {
         let mult = (h.ratio as u64).pow(l as u32);
         let frags = &lp.fragments;
@@ -117,13 +125,21 @@ pub fn intra_level_involved(h: &GridHierarchy, part: &Partition, ghost: i64) -> 
 /// numerator): intra-level involvement plus inter-level parent–child
 /// involvement (each remotely-parented fine cell counts once per fine
 /// local step).
-pub fn involved_comm_points(h: &GridHierarchy, part: &Partition, ghost: i64) -> u64 {
+pub fn involved_comm_points<const D: usize>(
+    h: &GridHierarchy<D>,
+    part: &Partition<D>,
+    ghost: i64,
+) -> u64 {
     intra_level_involved(h, part, ghost) + inter_level_comm(h, part)
 }
 
 /// Per-processor communication volume (sent + received grid points per
 /// coarse step), used by the execution-time model.
-pub fn per_proc_comm(h: &GridHierarchy, part: &Partition, ghost: i64) -> Vec<u64> {
+pub fn per_proc_comm<const D: usize>(
+    h: &GridHierarchy<D>,
+    part: &Partition<D>,
+    ghost: i64,
+) -> Vec<u64> {
     let mut vols = vec![0u64; part.nprocs];
     for (l, lp) in part.levels.iter().enumerate() {
         let mult = (h.ratio as u64).pow(l as u32);
@@ -165,7 +181,7 @@ pub fn per_proc_comm(h: &GridHierarchy, part: &Partition, ghost: i64) -> Vec<u64
 /// patch-boundary cell communicates at every local step. This is the
 /// quantity the ab-initio β_c penalty is built from (aggressive by
 /// design, §5.2).
-pub fn worst_case_comm(h: &GridHierarchy, ghost: i64) -> u64 {
+pub fn worst_case_comm<const D: usize>(h: &GridHierarchy<D>, ghost: i64) -> u64 {
     let mut total = 0u64;
     for (l, level) in h.levels.iter().enumerate() {
         let mult = (h.ratio as u64).pow(l as u32);
@@ -175,12 +191,7 @@ pub fn worst_case_comm(h: &GridHierarchy, ghost: i64) -> u64 {
             .map(|p| {
                 // Boundary ring of width `ghost` (cells within `ghost` of
                 // the patch surface).
-                let e = p.rect.extent();
-                if e.x <= 2 * ghost || e.y <= 2 * ghost {
-                    p.rect.cells()
-                } else {
-                    p.rect.cells() - ((e.x - 2 * ghost) as u64) * ((e.y - 2 * ghost) as u64)
-                }
+                p.rect.boundary_shell_cells(ghost)
             })
             .sum();
         total += cells * mult;
@@ -198,11 +209,11 @@ mod tests {
         Rect2::from_coords(x0, y0, x1, y1)
     }
 
-    fn base_hierarchy() -> GridHierarchy {
+    fn base_hierarchy() -> GridHierarchy<2> {
         GridHierarchy::base_only(Rect2::from_extents(8, 8), 2)
     }
 
-    fn split_partition(owner_b: u32) -> Partition {
+    fn split_partition(owner_b: u32) -> Partition<2> {
         Partition {
             nprocs: 2,
             levels: vec![LevelPartition {

@@ -16,18 +16,18 @@ use samr_partition::Partition;
 ///
 /// Cells that disappear (coarsened away) are deleted in place and cost
 /// nothing.
-pub fn migration_cells(
-    prev: &GridHierarchy,
-    prev_part: &Partition,
-    cur: &GridHierarchy,
-    cur_part: &Partition,
+pub fn migration_cells<const D: usize>(
+    prev: &GridHierarchy<D>,
+    prev_part: &Partition<D>,
+    cur: &GridHierarchy<D>,
+    cur_part: &Partition<D>,
 ) -> u64 {
     moved_survivors(prev_part, cur_part) + interpolation_transfers(prev, cur, cur_part)
 }
 
 /// Component 1: same-level cells that exist at both steps and changed
 /// owner.
-pub fn moved_survivors(prev_part: &Partition, cur_part: &Partition) -> u64 {
+pub fn moved_survivors<const D: usize>(prev_part: &Partition<D>, cur_part: &Partition<D>) -> u64 {
     let mut moved = 0u64;
     let levels = prev_part.levels.len().min(cur_part.levels.len());
     for l in 0..levels {
@@ -44,14 +44,14 @@ pub fn moved_survivors(prev_part: &Partition, cur_part: &Partition) -> u64 {
 
 /// Component 2: newly refined cells interpolated from a remote parent.
 /// Counted in fine grid points.
-pub fn interpolation_transfers(
-    prev: &GridHierarchy,
-    cur: &GridHierarchy,
-    cur_part: &Partition,
+pub fn interpolation_transfers<const D: usize>(
+    prev: &GridHierarchy<D>,
+    cur: &GridHierarchy<D>,
+    cur_part: &Partition<D>,
 ) -> u64 {
     let mut transfers = 0u64;
     for l in 1..cur.levels.len() {
-        let prev_rects: Vec<samr_geom::Rect2> = if l < prev.levels.len() {
+        let prev_rects: Vec<samr_geom::AABox<D>> = if l < prev.levels.len() {
             prev.levels[l].rects()
         } else {
             Vec::new()
@@ -78,11 +78,11 @@ pub fn interpolation_transfers(
 /// Per-processor outbound migration volume (grid points leaving each
 /// processor at the redistribution, including interpolation sources), for
 /// the execution-time model.
-pub fn per_proc_migration(
-    prev: &GridHierarchy,
-    prev_part: &Partition,
-    cur: &GridHierarchy,
-    cur_part: &Partition,
+pub fn per_proc_migration<const D: usize>(
+    prev: &GridHierarchy<D>,
+    prev_part: &Partition<D>,
+    cur: &GridHierarchy<D>,
+    cur_part: &Partition<D>,
     nprocs: usize,
 ) -> Vec<u64> {
     let mut out = vec![0u64; nprocs];
@@ -98,7 +98,7 @@ pub fn per_proc_migration(
     }
     // Interpolation sources: the parent-cell owner ships the data.
     for l in 1..cur.levels.len() {
-        let prev_rects: Vec<samr_geom::Rect2> = if l < prev.levels.len() {
+        let prev_rects: Vec<samr_geom::AABox<D>> = if l < prev.levels.len() {
             prev.levels[l].rects()
         } else {
             Vec::new()
@@ -131,11 +131,11 @@ mod tests {
         Rect2::from_coords(x0, y0, x1, y1)
     }
 
-    fn h8() -> GridHierarchy {
+    fn h8() -> GridHierarchy<2> {
         GridHierarchy::base_only(Rect2::from_extents(8, 8), 2)
     }
 
-    fn part(split_x: i64) -> Partition {
+    fn part(split_x: i64) -> Partition<2> {
         Partition {
             nprocs: 2,
             levels: vec![LevelPartition {

@@ -71,11 +71,11 @@ impl SimResult {
 /// `repartitioned` controls whether partitioning cost and migration are
 /// charged.
 #[allow(clippy::too_many_arguments)]
-pub fn step_metrics(
+pub fn step_metrics<const D: usize>(
     step: u32,
-    h: &GridHierarchy,
-    part: &Partition,
-    prev: Option<(&GridHierarchy, &Partition)>,
+    h: &GridHierarchy<D>,
+    part: &Partition<D>,
+    prev: Option<(&GridHierarchy<D>, &Partition<D>)>,
     cfg: &SimConfig,
     partition_cost: f64,
 ) -> StepMetrics {
@@ -124,21 +124,21 @@ pub fn step_metrics(
 /// step order — the result is identical for any thread count, and
 /// per-snapshot partitioning shares one thread pool with campaign-level
 /// parallelism in `samr-engine`.
-pub fn simulate_trace(
-    trace: &HierarchyTrace,
-    partitioner: &(dyn Partitioner + Sync),
+pub fn simulate_trace<const D: usize>(
+    trace: &HierarchyTrace<D>,
+    partitioner: &(dyn Partitioner<D> + Sync),
     cfg: &SimConfig,
 ) -> SimResult {
     assert!(!trace.is_empty(), "cannot simulate an empty trace");
     let n = trace.len();
-    let mut partitions: Vec<Option<Partition>> = (0..n)
+    let mut partitions: Vec<Option<Partition<D>>> = (0..n)
         .into_par_iter()
         .map(|i| Some(partitioner.partition(trace.hierarchy(i), cfg.nprocs)))
         .collect();
 
     let mut steps = Vec::with_capacity(n);
     let mut total_time = 0.0;
-    let mut effective: Vec<Partition> = Vec::with_capacity(n);
+    let mut effective: Vec<Partition<D>> = Vec::with_capacity(n);
     for (i, snap) in trace.snapshots.iter().enumerate() {
         let h = &snap.hierarchy;
         let mut repartitioned = true;
@@ -186,7 +186,7 @@ mod tests {
     }
 
     /// A synthetic trace: a refined box sweeping across the domain.
-    fn moving_trace(steps: u32) -> HierarchyTrace {
+    fn moving_trace(steps: u32) -> HierarchyTrace<2> {
         let meta = TraceMeta {
             app: "SYN".into(),
             description: "moving refinement".into(),
@@ -216,7 +216,7 @@ mod tests {
     }
 
     /// A static trace: the same hierarchy at every step.
-    fn static_trace(steps: u32) -> HierarchyTrace {
+    fn static_trace(steps: u32) -> HierarchyTrace<2> {
         let meta = TraceMeta {
             app: "SYN".into(),
             description: "static refinement".into(),

@@ -9,7 +9,7 @@ use samr_sim::comm::{
 };
 use samr_sim::migration::{migration_cells, moved_survivors};
 
-fn arb_hierarchy() -> impl Strategy<Value = GridHierarchy> {
+fn arb_hierarchy() -> impl Strategy<Value = GridHierarchy<2>> {
     let blob = (2i64..20, 2i64..20, 2i64..10, 2i64..10);
     (blob, any::<bool>()).prop_map(|((x, y, w, h), deep)| {
         let l1 = Rect2::new(

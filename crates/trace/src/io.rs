@@ -1,17 +1,22 @@
-//! Trace serialization: JSON-lines and a compact binary format.
+//! Trace serialization: JSON-lines and a compact binary format, generic
+//! over the dimension.
 //!
 //! JSON-lines is the interchange/inspection format (one snapshot per line,
 //! greppable, diff-able); the binary format is for large parameter sweeps
-//! where trace I/O would otherwise dominate. Both roundtrip exactly.
+//! where trace I/O would otherwise dominate. Both roundtrip exactly, and
+//! both carry the spatial dimension explicitly (the metadata's `dim`
+//! field in JSON, a dimension byte after the magic in binary) so readers
+//! can dispatch without guessing.
 
-use crate::trace::{HierarchyTrace, Snapshot, TraceMeta};
+use crate::trace::{AnyTrace, HierarchyTrace, Snapshot, TraceMeta};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use samr_geom::{Point2, Rect2};
+use samr_geom::{AABox, Point};
 use samr_grid::{GridHierarchy, Level};
-use std::io::{self, BufRead, Write};
+use serde::Deserialize;
+use std::io::{self, BufRead, Read, Write};
 
-/// Magic bytes of the binary format.
-const MAGIC: &[u8; 8] = b"SAMRTRC1";
+/// Magic bytes of the binary format (version 2: dimension-tagged).
+const MAGIC: &[u8; 8] = b"SAMRTRC2";
 
 /// Errors from trace deserialization.
 #[derive(Debug)]
@@ -50,7 +55,10 @@ impl From<serde_json::Error> for TraceIoError {
 
 /// Write a trace as JSON-lines: the first line is the metadata, every
 /// following line one snapshot.
-pub fn write_jsonl<W: Write>(trace: &HierarchyTrace, mut w: W) -> Result<(), TraceIoError> {
+pub fn write_jsonl<const D: usize, W: Write>(
+    trace: &HierarchyTrace<D>,
+    mut w: W,
+) -> Result<(), TraceIoError> {
     serde_json::to_writer(&mut w, &trace.meta)?;
     w.write_all(b"\n")?;
     for s in &trace.snapshots {
@@ -61,28 +69,51 @@ pub fn write_jsonl<W: Write>(trace: &HierarchyTrace, mut w: W) -> Result<(), Tra
 }
 
 /// Read a JSON-lines trace written by [`write_jsonl`].
-pub fn read_jsonl<R: BufRead>(r: R) -> Result<HierarchyTrace, TraceIoError> {
+pub fn read_jsonl<const D: usize, R: BufRead>(r: R) -> Result<HierarchyTrace<D>, TraceIoError> {
     let mut lines = r.lines();
     let meta_line = lines
         .next()
         .ok_or_else(|| TraceIoError::Format("empty trace stream".into()))??;
-    let meta: TraceMeta = serde_json::from_str(&meta_line)?;
+    let meta: TraceMeta<D> = serde_json::from_str(&meta_line)?;
     let mut trace = HierarchyTrace::new(meta);
     for line in lines {
         let line = line?;
         if line.trim().is_empty() {
             continue;
         }
-        let snap: Snapshot = serde_json::from_str(&line)?;
+        let snap: Snapshot<D> = serde_json::from_str(&line)?;
         trace.try_push(snap).map_err(TraceIoError::Format)?;
     }
     Ok(trace)
 }
 
+/// Read a JSON-lines trace of either dimension, dispatching on the
+/// metadata's `dim` field. Only the metadata line is buffered; the
+/// snapshot lines stream through [`read_jsonl`] as usual.
+pub fn read_jsonl_any<R: BufRead>(mut r: R) -> Result<AnyTrace, TraceIoError> {
+    let mut first = String::new();
+    if r.read_line(&mut first)? == 0 {
+        return Err(TraceIoError::Format("empty trace stream".into()));
+    }
+    let dim = serde_json::value_from_slice(first.trim_end().as_bytes())
+        .ok()
+        .and_then(|v| v.get("dim").and_then(|d| usize::deserialize(d).ok()))
+        .ok_or_else(|| TraceIoError::Format("metadata line carries no dimension".into()))?;
+    let rest = std::io::Cursor::new(first.into_bytes()).chain(r);
+    match dim {
+        2 => read_jsonl::<2, _>(std::io::BufReader::new(rest)).map(AnyTrace::D2),
+        3 => read_jsonl::<3, _>(std::io::BufReader::new(rest)).map(AnyTrace::D3),
+        other => Err(TraceIoError::Format(format!(
+            "unsupported trace dimension {other}"
+        ))),
+    }
+}
+
 /// Encode a trace into the compact binary format.
-pub fn encode_binary(trace: &HierarchyTrace) -> Bytes {
+pub fn encode_binary<const D: usize>(trace: &HierarchyTrace<D>) -> Bytes {
     let mut buf = BytesMut::with_capacity(1 << 16);
     buf.put_slice(MAGIC);
+    buf.put_u8(D as u8);
     let meta_json = serde_json::to_vec(&trace.meta).expect("meta serializes");
     buf.put_u32_le(meta_json.len() as u32);
     buf.put_slice(&meta_json);
@@ -103,8 +134,35 @@ pub fn encode_binary(trace: &HierarchyTrace) -> Bytes {
     buf.freeze()
 }
 
-/// Decode a binary trace produced by [`encode_binary`].
-pub fn decode_binary(mut data: Bytes) -> Result<HierarchyTrace, TraceIoError> {
+/// Encode a dimension-erased trace.
+pub fn encode_binary_any(trace: &AnyTrace) -> Bytes {
+    match trace {
+        AnyTrace::D2(t) => encode_binary(t),
+        AnyTrace::D3(t) => encode_binary(t),
+    }
+}
+
+/// Sniff the dimension byte of a binary trace header, validating the
+/// magic. Returns an error for short or foreign byte streams.
+pub fn binary_dim(data: &[u8]) -> Result<usize, TraceIoError> {
+    if data.len() < 9 {
+        return Err(TraceIoError::Format("truncated trace header".into()));
+    }
+    if &data[..8] != MAGIC {
+        return Err(TraceIoError::Format("bad magic".into()));
+    }
+    match data[8] {
+        d @ (2 | 3) => Ok(d as usize),
+        other => Err(TraceIoError::Format(format!(
+            "unsupported trace dimension {other}"
+        ))),
+    }
+}
+
+/// Decode a binary trace produced by [`encode_binary`]. The stream's
+/// dimension byte must match `D`; use [`decode_binary_any`] to dispatch
+/// on it instead.
+pub fn decode_binary<const D: usize>(mut data: Bytes) -> Result<HierarchyTrace<D>, TraceIoError> {
     let need = |data: &Bytes, n: usize| -> Result<(), TraceIoError> {
         if data.remaining() < n {
             Err(TraceIoError::Format(format!(
@@ -115,17 +173,23 @@ pub fn decode_binary(mut data: Bytes) -> Result<HierarchyTrace, TraceIoError> {
             Ok(())
         }
     };
-    need(&data, 8)?;
+    need(&data, 9)?;
     let mut magic = [0u8; 8];
     data.copy_to_slice(&mut magic);
     if &magic != MAGIC {
         return Err(TraceIoError::Format("bad magic".into()));
     }
+    let dim = data.get_u8() as usize;
+    if dim != D {
+        return Err(TraceIoError::Format(format!(
+            "trace dimension mismatch: stream carries {dim}-D, expected {D}-D"
+        )));
+    }
     need(&data, 4)?;
     let meta_len = data.get_u32_le() as usize;
     need(&data, meta_len)?;
     let meta_json = data.split_to(meta_len);
-    let meta: TraceMeta = serde_json::from_slice(&meta_json)?;
+    let meta: TraceMeta<D> = serde_json::from_slice(&meta_json)?;
     let mut trace = HierarchyTrace::new(meta);
     need(&data, 4)?;
     let n_snaps = data.get_u32_le();
@@ -133,7 +197,7 @@ pub fn decode_binary(mut data: Bytes) -> Result<HierarchyTrace, TraceIoError> {
         need(&data, 4 + 8)?;
         let step = data.get_u32_le();
         let time = data.get_f64_le();
-        let base = get_rect(&mut data, &need)?;
+        let base = get_rect::<D>(&mut data, &need)?;
         need(&data, 3)?;
         let ratio = data.get_u8() as i64;
         if !(2..=16).contains(&ratio) {
@@ -147,17 +211,18 @@ pub fn decode_binary(mut data: Bytes) -> Result<HierarchyTrace, TraceIoError> {
                 "implausible level count {n_levels}"
             )));
         }
-        let mut level_rects: Vec<Vec<Rect2>> = Vec::with_capacity(n_levels);
+        let mut level_rects: Vec<Vec<AABox<D>>> = Vec::with_capacity(n_levels);
+        let rect_bytes = 8 * D;
         for _ in 0..n_levels {
             need(&data, 4)?;
             let n_patches = data.get_u32_le() as usize;
             // Bound the allocation by the bytes actually present: each
-            // patch needs 16 bytes, so a hostile count fails here instead
-            // of reserving gigabytes.
-            need(&data, n_patches.saturating_mul(16))?;
+            // patch needs `rect_bytes`, so a hostile count fails here
+            // instead of reserving gigabytes.
+            need(&data, n_patches.saturating_mul(rect_bytes))?;
             let mut rects = Vec::with_capacity(n_patches);
             for _ in 0..n_patches {
-                rects.push(get_rect(&mut data, &need)?);
+                rects.push(get_rect::<D>(&mut data, &need)?);
             }
             level_rects.push(rects);
         }
@@ -177,31 +242,41 @@ pub fn decode_binary(mut data: Bytes) -> Result<HierarchyTrace, TraceIoError> {
     Ok(trace)
 }
 
-fn put_rect(buf: &mut BytesMut, r: &Rect2) {
-    buf.put_i32_le(r.lo().x as i32);
-    buf.put_i32_le(r.lo().y as i32);
-    buf.put_i32_le(r.hi().x as i32);
-    buf.put_i32_le(r.hi().y as i32);
+/// Decode a binary trace of either dimension, dispatching on the header's
+/// dimension byte.
+pub fn decode_binary_any(data: Bytes) -> Result<AnyTrace, TraceIoError> {
+    match binary_dim(&data)? {
+        2 => decode_binary::<2>(data).map(AnyTrace::D2),
+        3 => decode_binary::<3>(data).map(AnyTrace::D3),
+        _ => unreachable!("binary_dim only returns supported dimensions"),
+    }
 }
 
-fn get_rect(
+fn put_rect<const D: usize>(buf: &mut BytesMut, r: &AABox<D>) {
+    for i in 0..D {
+        buf.put_i32_le(r.lo()[i] as i32);
+    }
+    for i in 0..D {
+        buf.put_i32_le(r.hi()[i] as i32);
+    }
+}
+
+fn get_rect<const D: usize>(
     data: &mut Bytes,
     need: &impl Fn(&Bytes, usize) -> Result<(), TraceIoError>,
-) -> Result<Rect2, TraceIoError> {
-    need(data, 16)?;
-    let x0 = data.get_i32_le() as i64;
-    let y0 = data.get_i32_le() as i64;
-    let x1 = data.get_i32_le() as i64;
-    let y1 = data.get_i32_le() as i64;
-    Rect2::try_new(Point2::new(x0, y0), Point2::new(x1, y1))
-        .ok_or_else(|| TraceIoError::Format(format!("empty rect [{x0},{y0}]..[{x1},{y1}]")))
+) -> Result<AABox<D>, TraceIoError> {
+    need(data, 8 * D)?;
+    let lo = Point::<D>::from_fn(|_| data.get_i32_le() as i64);
+    let hi = Point::<D>::from_fn(|_| data.get_i32_le() as i64);
+    AABox::try_new(lo, hi).ok_or_else(|| TraceIoError::Format(format!("empty rect {lo:?}..{hi:?}")))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use samr_geom::{Box3, Rect2};
 
-    fn sample_trace() -> HierarchyTrace {
+    fn sample_trace() -> HierarchyTrace<2> {
         let meta = TraceMeta {
             app: "TEST".into(),
             description: "io roundtrip".into(),
@@ -230,13 +305,54 @@ mod tests {
         t
     }
 
+    fn sample_trace_3d() -> HierarchyTrace<3> {
+        let meta = TraceMeta {
+            app: "SP3D".into(),
+            description: "io roundtrip (3-D)".into(),
+            base_domain: Box3::from_extents(12, 12, 12),
+            ratio: 2,
+            max_levels: 3,
+            regrid_interval: 4,
+            min_block: 2,
+            seed: 7,
+        };
+        let mut t = HierarchyTrace::new(meta);
+        for step in 0..4u32 {
+            let off = step as i64;
+            let l1 = Box3::from_coords(2 + off, 2, 2, 7 + off, 7, 7);
+            t.push(Snapshot {
+                step,
+                time: step as f64 * 0.25,
+                hierarchy: GridHierarchy::from_level_rects(
+                    Box3::from_extents(12, 12, 12),
+                    2,
+                    &[vec![], vec![l1]],
+                ),
+            });
+        }
+        t
+    }
+
     #[test]
     fn jsonl_roundtrip() {
         let t = sample_trace();
         let mut buf = Vec::new();
         write_jsonl(&t, &mut buf).unwrap();
-        let back = read_jsonl(io::BufReader::new(&buf[..])).unwrap();
+        let back = read_jsonl::<2, _>(io::BufReader::new(&buf[..])).unwrap();
         assert_eq!(t, back);
+    }
+
+    #[test]
+    fn jsonl_roundtrip_3d_and_any() {
+        let t = sample_trace_3d();
+        let mut buf = Vec::new();
+        write_jsonl(&t, &mut buf).unwrap();
+        let back = read_jsonl::<3, _>(io::BufReader::new(&buf[..])).unwrap();
+        assert_eq!(t, back);
+        let any = read_jsonl_any(io::BufReader::new(&buf[..])).unwrap();
+        assert_eq!(any, AnyTrace::D3(t));
+        // A 3-D stream read as 2-D errors out cleanly.
+        assert!(read_jsonl::<2, _>(io::BufReader::new(&buf[..])).is_err());
     }
 
     #[test]
@@ -247,14 +363,29 @@ mod tests {
         let text = String::from_utf8(buf).unwrap();
         assert_eq!(text.lines().count(), 1 + t.len());
         assert!(text.lines().next().unwrap().contains("\"app\":\"TEST\""));
+        assert!(text.lines().next().unwrap().contains("\"dim\":2"));
     }
 
     #[test]
     fn binary_roundtrip() {
         let t = sample_trace();
         let bytes = encode_binary(&t);
-        let back = decode_binary(bytes).unwrap();
+        let back = decode_binary::<2>(bytes).unwrap();
         assert_eq!(t, back);
+    }
+
+    #[test]
+    fn binary_roundtrip_3d_and_any() {
+        let t = sample_trace_3d();
+        let bytes = encode_binary(&t);
+        assert_eq!(binary_dim(&bytes).unwrap(), 3);
+        let back = decode_binary::<3>(bytes.clone()).unwrap();
+        assert_eq!(t, back);
+        let any = decode_binary_any(bytes.clone()).unwrap();
+        assert_eq!(any, AnyTrace::D3(t));
+        // Dimension mismatch is a clean error, not a mis-parse.
+        let err = decode_binary::<2>(bytes).unwrap_err();
+        assert!(err.to_string().contains("dimension mismatch"));
     }
 
     #[test]
@@ -273,8 +404,9 @@ mod tests {
 
     #[test]
     fn decode_rejects_bad_magic() {
-        let err = decode_binary(Bytes::from_static(b"NOTMAGIC....")).unwrap_err();
+        let err = decode_binary::<2>(Bytes::from_static(b"NOTMAGIC.....")).unwrap_err();
         assert!(matches!(err, TraceIoError::Format(_)));
+        assert!(binary_dim(b"NOTMAGIC.....").is_err());
     }
 
     #[test]
@@ -282,7 +414,7 @@ mod tests {
         let t = sample_trace();
         let bytes = encode_binary(&t);
         for cut in [3usize, 9, 20, bytes.len() - 5] {
-            let err = decode_binary(bytes.slice(..cut)).unwrap_err();
+            let err = decode_binary::<2>(bytes.slice(..cut)).unwrap_err();
             assert!(
                 matches!(err, TraceIoError::Format(_) | TraceIoError::Json(_)),
                 "cut at {cut} gave {err:?}"
@@ -292,6 +424,7 @@ mod tests {
 
     #[test]
     fn empty_stream_is_an_error() {
-        assert!(read_jsonl(io::BufReader::new(&b""[..])).is_err());
+        assert!(read_jsonl::<2, _>(io::BufReader::new(&b""[..])).is_err());
+        assert!(read_jsonl_any(io::BufReader::new(&b""[..])).is_err());
     }
 }

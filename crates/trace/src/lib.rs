@@ -21,4 +21,4 @@ pub mod stats;
 pub mod trace;
 
 pub use stats::TraceStats;
-pub use trace::{HierarchyTrace, Snapshot, TraceMeta};
+pub use trace::{AnyTrace, HierarchyTrace, Snapshot, TraceMeta};

@@ -28,7 +28,7 @@ pub struct TraceStats {
 
 impl TraceStats {
     /// Compute statistics over a non-empty trace.
-    pub fn compute(trace: &HierarchyTrace) -> Self {
+    pub fn compute<const D: usize>(trace: &HierarchyTrace<D>) -> Self {
         assert!(!trace.is_empty(), "cannot summarize an empty trace");
         let points: Vec<u64> = trace
             .snapshots
@@ -83,7 +83,7 @@ mod tests {
     use samr_geom::Rect2;
     use samr_grid::GridHierarchy;
 
-    fn build() -> HierarchyTrace {
+    fn build() -> HierarchyTrace<2> {
         let meta = TraceMeta {
             app: "TEST".into(),
             description: String::new(),

@@ -1,19 +1,19 @@
-//! Trace container types.
+//! Trace container types, generic over the dimension.
 
-use samr_geom::Rect2;
+use samr_geom::AABox;
 use samr_grid::GridHierarchy;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 
 /// Metadata describing how a trace was produced — the paper's §5.1.1
 /// experimental configuration.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
-pub struct TraceMeta {
+#[derive(Clone, PartialEq, Debug)]
+pub struct TraceMeta<const D: usize> {
     /// Application kernel name (e.g. "BL2D").
     pub app: String,
     /// Free-text description of the scenario.
     pub description: String,
     /// Base-grid domain (level 0 index space).
-    pub base_domain: Rect2,
+    pub base_domain: AABox<D>,
     /// Space/time refinement factor between levels (paper: 2).
     pub ratio: i64,
     /// Maximum number of levels (paper: 5).
@@ -26,29 +26,107 @@ pub struct TraceMeta {
     pub seed: u64,
 }
 
+impl<const D: usize> Serialize for TraceMeta<D> {
+    fn serialize(&self) -> Value {
+        Value::Map(vec![
+            ("app".to_string(), self.app.serialize()),
+            ("description".to_string(), self.description.serialize()),
+            ("dim".to_string(), D.serialize()),
+            ("base_domain".to_string(), self.base_domain.serialize()),
+            ("ratio".to_string(), self.ratio.serialize()),
+            ("max_levels".to_string(), self.max_levels.serialize()),
+            (
+                "regrid_interval".to_string(),
+                self.regrid_interval.serialize(),
+            ),
+            ("min_block".to_string(), self.min_block.serialize()),
+            ("seed".to_string(), self.seed.serialize()),
+        ])
+    }
+}
+
+impl<const D: usize> Deserialize for TraceMeta<D> {
+    fn deserialize(v: &Value) -> Result<Self, serde::Error> {
+        let dim: usize = serde::field(v, "dim")?;
+        if dim != D {
+            return Err(serde::Error::msg(format!(
+                "trace dimension mismatch: stream carries {dim}-D, expected {D}-D"
+            )));
+        }
+        Ok(Self {
+            app: serde::field(v, "app")?,
+            description: serde::field(v, "description")?,
+            base_domain: serde::field(v, "base_domain")?,
+            ratio: serde::field(v, "ratio")?,
+            max_levels: serde::field(v, "max_levels")?,
+            regrid_interval: serde::field(v, "regrid_interval")?,
+            min_block: serde::field(v, "min_block")?,
+            seed: serde::field(v, "seed")?,
+        })
+    }
+}
+
 /// The grid hierarchy at one coarse time step.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
-pub struct Snapshot {
+#[derive(Clone, PartialEq, Debug)]
+pub struct Snapshot<const D: usize> {
     /// Coarse time-step index (0-based).
     pub step: u32,
     /// Physical simulation time of the snapshot.
     pub time: f64,
     /// The (unpartitioned) grid hierarchy.
-    pub hierarchy: GridHierarchy,
+    pub hierarchy: GridHierarchy<D>,
+}
+
+impl<const D: usize> Serialize for Snapshot<D> {
+    fn serialize(&self) -> Value {
+        Value::Map(vec![
+            ("step".to_string(), self.step.serialize()),
+            ("time".to_string(), self.time.serialize()),
+            ("hierarchy".to_string(), self.hierarchy.serialize()),
+        ])
+    }
+}
+
+impl<const D: usize> Deserialize for Snapshot<D> {
+    fn deserialize(v: &Value) -> Result<Self, serde::Error> {
+        Ok(Self {
+            step: serde::field(v, "step")?,
+            time: serde::field(v, "time")?,
+            hierarchy: serde::field(v, "hierarchy")?,
+        })
+    }
 }
 
 /// A sequence of hierarchy snapshots, one per coarse time step.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
-pub struct HierarchyTrace {
+#[derive(Clone, PartialEq, Debug)]
+pub struct HierarchyTrace<const D: usize> {
     /// Run configuration.
-    pub meta: TraceMeta,
+    pub meta: TraceMeta<D>,
     /// Snapshots ordered by `step`.
-    pub snapshots: Vec<Snapshot>,
+    pub snapshots: Vec<Snapshot<D>>,
 }
 
-impl HierarchyTrace {
+impl<const D: usize> Serialize for HierarchyTrace<D> {
+    fn serialize(&self) -> Value {
+        Value::Map(vec![
+            ("meta".to_string(), self.meta.serialize()),
+            ("snapshots".to_string(), self.snapshots.serialize()),
+        ])
+    }
+}
+
+impl<const D: usize> Deserialize for HierarchyTrace<D> {
+    fn deserialize(v: &Value) -> Result<Self, serde::Error> {
+        Ok(Self {
+            meta: serde::field(v, "meta")?,
+            snapshots: serde::field(v, "snapshots")?,
+        })
+    }
+}
+
+impl<const D: usize> HierarchyTrace<D> {
     /// Create an empty trace with the given metadata.
-    pub fn new(meta: TraceMeta) -> Self {
+    pub fn new(meta: TraceMeta<D>) -> Self {
         Self {
             meta,
             snapshots: Vec::new(),
@@ -70,14 +148,14 @@ impl HierarchyTrace {
     /// contract between the generator and both consumers, so it is
     /// validated at the boundary). Deserializers, which handle untrusted
     /// bytes, use [`HierarchyTrace::try_push`] instead.
-    pub fn push(&mut self, snap: Snapshot) {
+    pub fn push(&mut self, snap: Snapshot<D>) {
         self.try_push(snap)
             .unwrap_or_else(|e| panic!("invalid snapshot: {e}"));
     }
 
     /// Fallible variant of [`HierarchyTrace::push`]: returns an error
     /// instead of panicking when the snapshot is malformed.
-    pub fn try_push(&mut self, snap: Snapshot) -> Result<(), String> {
+    pub fn try_push(&mut self, snap: Snapshot<D>) -> Result<(), String> {
         if let Some(last) = self.snapshots.last() {
             if snap.step <= last.step {
                 return Err(format!(
@@ -95,12 +173,12 @@ impl HierarchyTrace {
 
     /// Iterate over consecutive snapshot pairs `(H_{t-1}, H_t)` — the unit
     /// the paper's β_m and relative migration are defined on.
-    pub fn pairs(&self) -> impl Iterator<Item = (&Snapshot, &Snapshot)> + '_ {
+    pub fn pairs(&self) -> impl Iterator<Item = (&Snapshot<D>, &Snapshot<D>)> + '_ {
         self.snapshots.windows(2).map(|w| (&w[0], &w[1]))
     }
 
     /// The hierarchy at snapshot index `i`.
-    pub fn hierarchy(&self, i: usize) -> &GridHierarchy {
+    pub fn hierarchy(&self, i: usize) -> &GridHierarchy<D> {
         &self.snapshots[i].hierarchy
     }
 
@@ -115,11 +193,82 @@ impl HierarchyTrace {
     }
 }
 
+/// A trace of either supported dimension — the dimension-erased form the
+/// campaign engine's shared store and the CLI traffic in. Pipeline code
+/// matches on the variant once and then runs dimension-generic.
+#[derive(Clone, PartialEq, Debug)]
+pub enum AnyTrace {
+    /// A 2-D trace.
+    D2(HierarchyTrace<2>),
+    /// A 3-D trace.
+    D3(HierarchyTrace<3>),
+}
+
+impl AnyTrace {
+    /// The spatial dimension of the trace.
+    pub fn dim(&self) -> usize {
+        match self {
+            AnyTrace::D2(_) => 2,
+            AnyTrace::D3(_) => 3,
+        }
+    }
+
+    /// Number of snapshots.
+    pub fn len(&self) -> usize {
+        match self {
+            AnyTrace::D2(t) => t.len(),
+            AnyTrace::D3(t) => t.len(),
+        }
+    }
+
+    /// `true` if the trace has no snapshots.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The application name recorded in the metadata.
+    pub fn app(&self) -> &str {
+        match self {
+            AnyTrace::D2(t) => &t.meta.app,
+            AnyTrace::D3(t) => &t.meta.app,
+        }
+    }
+
+    /// The 2-D trace, if this is one.
+    pub fn as_2d(&self) -> Option<&HierarchyTrace<2>> {
+        match self {
+            AnyTrace::D2(t) => Some(t),
+            AnyTrace::D3(_) => None,
+        }
+    }
+
+    /// The 3-D trace, if this is one.
+    pub fn as_3d(&self) -> Option<&HierarchyTrace<3>> {
+        match self {
+            AnyTrace::D2(_) => None,
+            AnyTrace::D3(t) => Some(t),
+        }
+    }
+}
+
+impl From<HierarchyTrace<2>> for AnyTrace {
+    fn from(t: HierarchyTrace<2>) -> Self {
+        AnyTrace::D2(t)
+    }
+}
+
+impl From<HierarchyTrace<3>> for AnyTrace {
+    fn from(t: HierarchyTrace<3>) -> Self {
+        AnyTrace::D3(t)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use samr_geom::{Box3, Rect2};
 
-    pub(crate) fn meta() -> TraceMeta {
+    pub(crate) fn meta() -> TraceMeta<2> {
         TraceMeta {
             app: "TEST".into(),
             description: "unit-test trace".into(),
@@ -132,7 +281,7 @@ mod tests {
         }
     }
 
-    fn snap(step: u32, rects: Vec<Vec<Rect2>>) -> Snapshot {
+    fn snap(step: u32, rects: Vec<Vec<Rect2>>) -> Snapshot<2> {
         Snapshot {
             step,
             time: step as f64 * 0.1,
@@ -197,5 +346,45 @@ mod tests {
         assert_eq!(t.max_points_so_far(0), p0);
         assert_eq!(t.max_points_so_far(1), p0);
         assert_eq!(t.max_points_so_far(2), p0);
+    }
+
+    #[test]
+    fn three_d_trace_validates_on_push() {
+        let meta3 = TraceMeta::<3> {
+            app: "SP3D".into(),
+            description: "3-D unit test".into(),
+            base_domain: Box3::from_extents(8, 8, 8),
+            ratio: 2,
+            max_levels: 3,
+            regrid_interval: 4,
+            min_block: 2,
+            seed: 1,
+        };
+        let mut t = HierarchyTrace::new(meta3);
+        t.push(Snapshot {
+            step: 0,
+            time: 0.0,
+            hierarchy: GridHierarchy::from_level_rects(
+                Box3::from_extents(8, 8, 8),
+                2,
+                &[vec![], vec![Box3::from_coords(2, 2, 2, 9, 9, 9)]],
+            ),
+        });
+        assert_eq!(t.len(), 1);
+        let any: AnyTrace = t.into();
+        assert_eq!(any.dim(), 3);
+        assert!(any.as_3d().is_some());
+        assert!(any.as_2d().is_none());
+    }
+
+    #[test]
+    fn meta_serde_carries_and_checks_dim() {
+        let m = meta();
+        let v = m.serialize();
+        assert_eq!(TraceMeta::<2>::deserialize(&v).unwrap(), m);
+        assert!(TraceMeta::<3>::deserialize(&v)
+            .unwrap_err()
+            .to_string()
+            .contains("dimension mismatch"));
     }
 }

@@ -24,7 +24,10 @@ fn main() {
     for kind in AppKind::ALL {
         let trace = cached_trace(kind, &cfg);
         let pipeline = ModelPipeline::new();
-        let curve = pipeline.state_curve(&trace);
+        let curve = match &*trace {
+            samr::trace::AnyTrace::D2(t) => pipeline.state_curve(t),
+            samr::trace::AnyTrace::D3(t) => pipeline.state_curve(t),
+        };
         for (step, p) in &curve.points {
             println!(
                 "{},{},{:.4},{:.4},{:.4}",

@@ -6,7 +6,7 @@
 //! samr analyze  <trace-file>
 //! samr simulate <trace-file> [--partitioner NAME] [--nprocs N]
 //! samr compare  <trace-file> [--nprocs N]
-//! samr campaign [--apps A,B] [--partitioners P,Q] [--nprocs N,M]
+//! samr campaign [--apps A,B] [--dims 2,3] [--partitioners P,Q] [--nprocs N,M]
 //!               [--ghost-widths G,H] [--config paper|reduced|smoke]
 //!               [--machine balanced|slow-network|slow-cpu] [--out DIR]
 //! samr apps
@@ -22,13 +22,13 @@
 //! ghost widths), executes it rayon-parallel through `samr-engine`, and
 //! writes one CSV plus one JSON summary per scenario.
 
-use samr::apps::{generate_trace, AppKind, TraceGenConfig};
+use samr::apps::{generate_trace_any, AppKind, TraceGenConfig};
 use samr::engine::{configs, Campaign, CampaignSpec, PartitionerSpec};
 use samr::meta::compare_on_trace;
 use samr::model::ModelPipeline;
 use samr::sim::{MachineModel, SimConfig};
-use samr::trace::io::{decode_binary, encode_binary, read_jsonl, write_jsonl};
-use samr::trace::HierarchyTrace;
+use samr::trace::io::{decode_binary_any, encode_binary_any, read_jsonl_any, write_jsonl};
+use samr::trace::AnyTrace;
 use std::fs::File;
 use std::io::{BufReader, Read, Write};
 use std::path::PathBuf;
@@ -36,7 +36,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  samr generate <app> [--config paper|reduced|smoke] [--seed N] [--binary] [--out FILE]\n  samr analyze  <trace-file>\n  samr simulate <trace-file> [--partitioner NAME] [--nprocs N]\n  samr compare  <trace-file> [--nprocs N]\n  samr campaign [--apps A,B] [--partitioners P,Q] [--nprocs N,M] [--ghost-widths G,H]\n                [--config paper|reduced|smoke] [--machine balanced|slow-network|slow-cpu] [--out DIR]\n  samr apps\n  samr partitioners"
+        "usage:\n  samr generate <app> [--config paper|reduced|smoke] [--seed N] [--binary] [--out FILE]\n  samr analyze  <trace-file>\n  samr simulate <trace-file> [--partitioner NAME] [--nprocs N]\n  samr compare  <trace-file> [--nprocs N]\n  samr campaign [--apps A,B] [--dims 2,3] [--partitioners P,Q] [--nprocs N,M] [--ghost-widths G,H]\n                [--config paper|reduced|smoke] [--machine balanced|slow-network|slow-cpu] [--out DIR]\n  samr apps\n  samr partitioners"
     );
     ExitCode::from(2)
 }
@@ -78,21 +78,29 @@ fn parse_list<T>(
     }
 }
 
-fn load_trace(path: &str) -> Result<HierarchyTrace, String> {
+fn load_trace(path: &str) -> Result<AnyTrace, String> {
     let mut file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
     let mut head = [0u8; 8];
     let n = file
         .read(&mut head)
         .map_err(|e| format!("read {path}: {e}"))?;
     let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
-    if n == 8 && &head == b"SAMRTRC1" {
+    if n == 8 && &head == b"SAMRTRC2" {
         let mut bytes = Vec::new();
         BufReader::new(file)
             .read_to_end(&mut bytes)
             .map_err(|e| format!("read {path}: {e}"))?;
-        decode_binary(bytes.into()).map_err(|e| format!("decode {path}: {e}"))
+        decode_binary_any(bytes.into()).map_err(|e| format!("decode {path}: {e}"))
+    } else if n == 8 && head.starts_with(b"SAMRTRC") {
+        // A binary trace of another format version (e.g. the
+        // pre-dimension-tag SAMRTRC1): fail with an actionable message
+        // instead of feeding binary bytes to the JSONL parser.
+        Err(format!(
+            "{path}: unsupported binary trace version {:?}; regenerate with `samr generate`",
+            String::from_utf8_lossy(&head)
+        ))
     } else {
-        read_jsonl(BufReader::new(file)).map_err(|e| format!("parse {path}: {e}"))
+        read_jsonl_any(BufReader::new(file)).map_err(|e| format!("parse {path}: {e}"))
     }
 }
 
@@ -100,27 +108,32 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
     let app = args
         .first()
         .and_then(|a| AppKind::parse(a))
-        .ok_or("expected an application: TP2D | BL2D | SC2D | RM2D")?;
+        .ok_or("expected an application: TP2D | BL2D | SC2D | RM2D | SP3D")?;
     let mut cfg = parse_config(args)?;
     if let Some(seed) = flag_value(args, "--seed") {
         cfg.seed = seed.parse().map_err(|e| format!("bad seed: {e}"))?;
     }
     eprintln!(
-        "generating {} trace: {} steps, base {:?}, {} levels …",
+        "generating {} trace ({}-D): {} steps, base {:?}, {} levels …",
         app.name(),
+        app.dim(),
         cfg.steps,
         cfg.base_cells,
         cfg.max_levels
     );
-    let trace = generate_trace(app, &cfg);
+    let trace = generate_trace_any(app, &cfg);
     let out =
         flag_value(args, "--out").unwrap_or_else(|| format!("{}.trace", app.name().to_lowercase()));
     let mut file = File::create(&out).map_err(|e| format!("create {out}: {e}"))?;
     if has_flag(args, "--binary") {
-        file.write_all(&encode_binary(&trace))
+        file.write_all(&encode_binary_any(&trace))
             .map_err(|e| format!("write {out}: {e}"))?;
     } else {
-        write_jsonl(&trace, &mut file).map_err(|e| format!("write {out}: {e}"))?;
+        match &trace {
+            AnyTrace::D2(t) => write_jsonl(t, &mut file),
+            AnyTrace::D3(t) => write_jsonl(t, &mut file),
+        }
+        .map_err(|e| format!("write {out}: {e}"))?;
     }
     eprintln!("wrote {} snapshots to {out}", trace.len());
     Ok(())
@@ -129,9 +142,25 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
 fn cmd_analyze(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("expected a trace file")?;
     let trace = load_trace(path)?;
-    let states = ModelPipeline::new().run(&trace);
+    let pipeline = ModelPipeline::new();
+    let (states, sizes): (Vec<_>, Vec<(u64, u64)>) = match &trace {
+        AnyTrace::D2(t) => (
+            pipeline.run(t),
+            t.snapshots
+                .iter()
+                .map(|s| (s.hierarchy.total_points(), s.hierarchy.workload()))
+                .collect(),
+        ),
+        AnyTrace::D3(t) => (
+            pipeline.run(t),
+            t.snapshots
+                .iter()
+                .map(|s| (s.hierarchy.total_points(), s.hierarchy.workload()))
+                .collect(),
+        ),
+    };
     println!("step,beta_l,beta_c,beta_m,d1,d2,d3,request,offer,points,workload");
-    for (s, snap) in states.iter().zip(&trace.snapshots) {
+    for (s, (points, workload)) in states.iter().zip(&sizes) {
         println!(
             "{},{:.6},{:.6},{:.6},{:.4},{:.4},{:.4},{:.4},{:.4},{},{}",
             s.step,
@@ -143,8 +172,8 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
             s.point.d3,
             s.tradeoff2.request,
             s.tradeoff2.offer,
-            snap.hierarchy.total_points(),
-            snap.hierarchy.workload()
+            points,
+            workload
         );
     }
     Ok(())
@@ -165,7 +194,10 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         nprocs,
         ..SimConfig::default()
     };
-    let res = spec.simulate(&trace, &cfg);
+    let res = match &trace {
+        AnyTrace::D2(t) => spec.simulate(t, &cfg),
+        AnyTrace::D3(t) => spec.simulate(t, &cfg),
+    };
     println!(
         "# partitioner: {} on {} processors",
         res.partitioner, nprocs
@@ -198,7 +230,10 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
         nprocs,
         ..SimConfig::default()
     };
-    let res = compare_on_trace(&trace, &cfg);
+    let res = match &trace {
+        AnyTrace::D2(t) => compare_on_trace(t, &cfg),
+        AnyTrace::D3(t) => compare_on_trace(t, &cfg),
+    };
     println!("partitioner,total_time,mean_imbalance,mean_rel_comm,mean_rel_migration");
     for r in res
         .static_runs
@@ -221,6 +256,14 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
 fn cmd_campaign(args: &[String]) -> Result<(), String> {
     let apps = parse_list(args, "--apps", AppKind::ALL.to_vec(), |name| {
         AppKind::parse(name).ok_or_else(|| format!("unknown app '{name}'"))
+    })?;
+    let default_dims: Vec<usize> = {
+        let mut d: Vec<usize> = apps.iter().map(|a| a.dim()).collect();
+        d.dedup();
+        d
+    };
+    let dims = parse_list(args, "--dims", default_dims, |v| {
+        v.parse().map_err(|e| format!("bad dim '{v}': {e}"))
     })?;
     let partitioners = parse_list(
         args,
@@ -253,6 +296,7 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
         PathBuf::from(flag_value(args, "--out").unwrap_or_else(|| "results/campaign".into()));
     let spec = CampaignSpec::new(trace)
         .apps(apps)
+        .dims(dims)
         .partitioners(partitioners)
         .nprocs(nprocs)
         .ghost_widths(ghost_widths)
@@ -260,13 +304,19 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
     if spec.is_empty() {
         return Err("campaign expands to zero scenarios".into());
     }
+    let active_apps = spec
+        .apps
+        .iter()
+        .filter(|a| spec.dims.contains(&a.dim()))
+        .count();
     eprintln!(
-        "campaign: {} scenarios ({} apps x {} partitioners x {} nprocs x {} ghost widths) -> {}",
+        "campaign: {} scenarios ({} apps x {} partitioners x {} nprocs x {} ghost widths, dims {:?}) -> {}",
         spec.len(),
-        spec.apps.len(),
+        active_apps,
         spec.partitioners.len(),
         spec.nprocs.len(),
         spec.ghost_widths.len(),
+        spec.dims,
         out_dir.display()
     );
     let (outcomes, paths) =
@@ -285,10 +335,9 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
 
 fn cmd_apps() -> Result<(), String> {
     let cfg = configs::paper();
-    println!("app,description");
-    for kind in AppKind::ALL {
-        let kernel = samr::apps::tracegen::make_kernel(kind, &cfg);
-        println!("{},{}", kind.name(), kernel.description());
+    println!("app,dim,description");
+    for kind in AppKind::EVERY {
+        println!("{},{},{}", kind.name(), kind.dim(), kind.describe(&cfg));
     }
     Ok(())
 }

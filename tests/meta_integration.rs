@@ -10,6 +10,7 @@ use samr::sim::{MachineModel, SimConfig};
 #[test]
 fn meta_partitions_are_valid_on_real_traces() {
     let trace = cached_trace(AppKind::Sc2d, &TraceGenConfig::smoke());
+    let trace = trace.as_2d().expect("SC2D is 2-D");
     let meta = MetaPartitioner::new();
     for snap in &trace.snapshots {
         let part = meta.partition(&snap.hierarchy, 8);
@@ -29,7 +30,7 @@ fn meta_beats_the_worst_static_choice_everywhere() {
     };
     for kind in AppKind::ALL {
         let trace = cached_trace(kind, &cfg);
-        let res = compare_on_trace(&trace, &sim_cfg);
+        let res = compare_on_trace(trace.as_2d().expect("paper app"), &sim_cfg);
         assert!(
             res.meta_vs_worst() < 1.0,
             "{}: meta {:.0} vs worst static {:.0}",
@@ -51,7 +52,7 @@ fn meta_stays_close_to_the_oracle_static_choice() {
     };
     for kind in AppKind::ALL {
         let trace = cached_trace(kind, &cfg);
-        let res = compare_on_trace(&trace, &sim_cfg);
+        let res = compare_on_trace(trace.as_2d().expect("paper app"), &sim_cfg);
         assert!(
             res.meta_vs_best() < 1.35,
             "{}: meta {:.0} vs best static {:.0}",
@@ -129,7 +130,7 @@ fn machine_and_application_change_the_static_winner() {
     // A real application trace on the balanced default machine.
     let app_trace = cached_trace(AppKind::Sc2d, &TraceGenConfig::smoke());
     let app_res = compare_on_trace(
-        &app_trace,
+        app_trace.as_2d().expect("SC2D is 2-D"),
         &SimConfig {
             nprocs: 8,
             ..SimConfig::default()

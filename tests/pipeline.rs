@@ -1,6 +1,6 @@
 //! Cross-crate integration: the full trace → model / trace → partition →
-//! simulate pipeline holds its invariants for every application kernel
-//! and every partitioner family.
+//! simulate pipeline holds its invariants for every application kernel —
+//! 2-D and 3-D — and every partitioner family.
 
 use samr::apps::{generate_trace, AppKind, TraceGenConfig};
 use samr::experiments::cached_trace;
@@ -9,8 +9,10 @@ use samr::partition::{
     validate_partition, DomainSfcPartitioner, HybridPartitioner, Partitioner, PatchPartitioner,
 };
 use samr::sim::{simulate_trace, SimConfig};
+use samr::trace::HierarchyTrace;
+use std::sync::Arc;
 
-fn partitioners() -> Vec<Box<dyn Partitioner + Sync>> {
+fn partitioners<const D: usize>() -> Vec<Box<dyn Partitioner<D> + Sync>> {
     vec![
         Box::new(DomainSfcPartitioner::default()),
         Box::new(PatchPartitioner::default()),
@@ -18,11 +20,31 @@ fn partitioners() -> Vec<Box<dyn Partitioner + Sync>> {
     ]
 }
 
+/// Cached 2-D trace of one of the paper's kernels.
+fn trace2(kind: AppKind, cfg: &TraceGenConfig) -> Arc<HierarchyTrace<2>> {
+    let t = cached_trace(kind, cfg);
+    Arc::new(t.as_2d().expect("paper app").clone())
+}
+
+fn cfg_3d() -> TraceGenConfig {
+    TraceGenConfig {
+        base_cells: 16,
+        steps: 6,
+        ..TraceGenConfig::smoke()
+    }
+}
+
+/// Cached 3-D trace of the advecting-sphere workload.
+fn trace3() -> Arc<HierarchyTrace<3>> {
+    let t = cached_trace(AppKind::Sp3d, &cfg_3d());
+    Arc::new(t.as_3d().expect("SP3D is 3-D").clone())
+}
+
 #[test]
 fn every_app_produces_valid_hierarchies() {
     let cfg = TraceGenConfig::smoke();
     for kind in AppKind::ALL {
-        let trace = cached_trace(kind, &cfg);
+        let trace = trace2(kind, &cfg);
         assert_eq!(trace.len(), cfg.steps as usize, "{}", kind.name());
         for snap in &trace.snapshots {
             snap.hierarchy
@@ -31,14 +53,24 @@ fn every_app_produces_valid_hierarchies() {
             assert!(snap.hierarchy.depth() <= cfg.max_levels);
         }
     }
+    // The 3-D workload obeys the same structural invariants.
+    let cfg = cfg_3d();
+    let trace = trace3();
+    assert_eq!(trace.len(), cfg.steps as usize);
+    for snap in &trace.snapshots {
+        snap.hierarchy
+            .validate(cfg.min_block)
+            .unwrap_or_else(|e| panic!("SP3D step {}: {e}", snap.step));
+        assert!(snap.hierarchy.depth() <= cfg.max_levels);
+    }
 }
 
 #[test]
 fn every_partitioner_tiles_every_snapshot() {
     let cfg = TraceGenConfig::smoke();
     for kind in AppKind::ALL {
-        let trace = cached_trace(kind, &cfg);
-        for p in partitioners() {
+        let trace = trace2(kind, &cfg);
+        for p in partitioners::<2>() {
             for nprocs in [3, 16] {
                 for snap in trace.snapshots.iter().step_by(3) {
                     let part = p.partition(&snap.hierarchy, nprocs);
@@ -57,10 +89,25 @@ fn every_partitioner_tiles_every_snapshot() {
 }
 
 #[test]
+fn every_partitioner_tiles_every_3d_snapshot() {
+    let trace = trace3();
+    for p in partitioners::<3>() {
+        for nprocs in [3, 8] {
+            for snap in trace.snapshots.iter().step_by(2) {
+                let part = p.partition(&snap.hierarchy, nprocs);
+                validate_partition(&snap.hierarchy, &part).unwrap_or_else(|e| {
+                    panic!("SP3D {} nprocs={nprocs} step {}: {e}", p.name(), snap.step)
+                });
+            }
+        }
+    }
+}
+
+#[test]
 fn simulation_is_deterministic_across_thread_counts() {
     // The simulator parallelizes over snapshots; results must not depend
     // on scheduling. Run twice and compare bit-for-bit.
-    let trace = cached_trace(AppKind::Sc2d, &TraceGenConfig::smoke());
+    let trace = trace2(AppKind::Sc2d, &TraceGenConfig::smoke());
     let cfg = SimConfig {
         nprocs: 8,
         ..SimConfig::default()
@@ -69,6 +116,33 @@ fn simulation_is_deterministic_across_thread_counts() {
     let a = simulate_trace(&trace, &p, &cfg);
     let b = simulate_trace(&trace, &p, &cfg);
     assert_eq!(a, b);
+}
+
+#[test]
+fn simulation_runs_end_to_end_in_3d() {
+    let trace = trace3();
+    let cfg = SimConfig {
+        nprocs: 8,
+        ..SimConfig::default()
+    };
+    for p in partitioners::<3>() {
+        let res = simulate_trace(&*trace, p.as_ref(), &cfg);
+        assert_eq!(res.steps.len(), trace.len());
+        assert!(res.total_time > 0.0, "{}", p.name());
+        let total_mig: u64 = res.steps.iter().map(|s| s.migration_cells).sum();
+        assert!(
+            total_mig > 0,
+            "{}: a moving shell must migrate data",
+            p.name()
+        );
+        for s in &res.steps {
+            assert!(s.load_imbalance >= 1.0 - 1e-12);
+            assert!(s.rel_comm >= 0.0);
+            assert!((0.0..=2.0).contains(&s.rel_migration));
+        }
+        // Determinism holds in 3-D too.
+        assert_eq!(res, simulate_trace(&*trace, p.as_ref(), &cfg));
+    }
 }
 
 #[test]
@@ -92,12 +166,21 @@ fn trace_generation_is_reproducible() {
 fn model_runs_on_every_trace_and_is_pure() {
     let cfg = TraceGenConfig::smoke();
     for kind in AppKind::ALL {
-        let trace = cached_trace(kind, &cfg);
+        let trace = trace2(kind, &cfg);
         let p = ModelPipeline::new();
         let a = p.run(&trace);
         let b = p.run(&trace);
         assert_eq!(a, b, "{}", kind.name());
         assert_eq!(a.len(), trace.len());
+    }
+    // The model consumes 3-D hierarchies with the same invariants.
+    let trace = trace3();
+    let states = ModelPipeline::new().run(&trace);
+    assert_eq!(states.len(), trace.len());
+    for s in &states {
+        assert!((0.0..=1.0).contains(&s.beta_l));
+        assert!((0.0..=1.0).contains(&s.beta_c));
+        assert!((0.0..=1.0).contains(&s.beta_m));
     }
 }
 
@@ -107,7 +190,7 @@ fn domain_based_never_pays_inter_level_comm() {
     let cfg = TraceGenConfig::smoke();
     let p = DomainSfcPartitioner::default();
     for kind in AppKind::ALL {
-        let trace = cached_trace(kind, &cfg);
+        let trace = trace2(kind, &cfg);
         for snap in trace.snapshots.iter().step_by(4) {
             let part = p.partition(&snap.hierarchy, 8);
             assert_eq!(
@@ -119,6 +202,12 @@ fn domain_based_never_pays_inter_level_comm() {
             );
         }
     }
+    // The defining domain-based property is dimension-independent.
+    let trace = trace3();
+    for snap in trace.snapshots.iter().step_by(2) {
+        let part = p.partition(&snap.hierarchy, 8);
+        assert_eq!(inter_level_comm(&snap.hierarchy, &part), 0);
+    }
 }
 
 #[test]
@@ -126,8 +215,8 @@ fn workload_conservation_across_partitions() {
     // Whatever the partitioner, per-processor loads sum to the hierarchy
     // workload — no cells lost or duplicated.
     let cfg = TraceGenConfig::smoke();
-    let trace = cached_trace(AppKind::Tp2d, &cfg);
-    for p in partitioners() {
+    let trace = trace2(AppKind::Tp2d, &cfg);
+    for p in partitioners::<2>() {
         for snap in trace.snapshots.iter().step_by(3) {
             let part = p.partition(&snap.hierarchy, 7);
             let loads = part.loads(snap.hierarchy.ratio);
@@ -137,6 +226,18 @@ fn workload_conservation_across_partitions() {
                 "{} step {}",
                 p.name(),
                 snap.step
+            );
+        }
+    }
+    let trace = trace3();
+    for p in partitioners::<3>() {
+        for snap in trace.snapshots.iter().step_by(2) {
+            let part = p.partition(&snap.hierarchy, 7);
+            assert_eq!(
+                part.loads(snap.hierarchy.ratio).iter().sum::<u64>(),
+                snap.hierarchy.workload(),
+                "{}",
+                p.name()
             );
         }
     }

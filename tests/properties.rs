@@ -11,7 +11,7 @@ use samr::partition::{validate_partition, DomainSfcPartitioner, HybridPartitione
 /// Strategy: a random properly-nested 2-3 level hierarchy on a 32x32
 /// base. Level-1 boxes are sampled in base coordinates and refined so
 /// nesting holds by construction.
-fn arb_hierarchy() -> impl Strategy<Value = GridHierarchy> {
+fn arb_hierarchy() -> impl Strategy<Value = GridHierarchy<2>> {
     // Up to 3 disjoint level-1 footprint boxes in base space.
     let footprint = prop::collection::vec((0i64..24, 0i64..24, 2i64..8, 2i64..8), 1..4);
     (footprint, any::<bool>()).prop_map(|(boxes, deep)| {

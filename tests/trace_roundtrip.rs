@@ -1,20 +1,33 @@
-//! Trace serialization round-trips on real application traces, and the
-//! model is invariant under serialization (the §5.1 methodology depends
-//! on traces being a faithful interchange format).
+//! Trace serialization round-trips on real application traces — 2-D and
+//! 3-D — and the model is invariant under serialization (the §5.1
+//! methodology depends on traces being a faithful interchange format).
 
 use samr::apps::{AppKind, TraceGenConfig};
 use samr::experiments::cached_trace;
 use samr::model::ModelPipeline;
-use samr::trace::io::{decode_binary, encode_binary, read_jsonl, write_jsonl};
+use samr::trace::io::{
+    decode_binary, decode_binary_any, encode_binary, encode_binary_any, read_jsonl, read_jsonl_any,
+    write_jsonl,
+};
+use samr::trace::AnyTrace;
+
+fn cfg_3d() -> TraceGenConfig {
+    TraceGenConfig {
+        base_cells: 16,
+        steps: 5,
+        ..TraceGenConfig::smoke()
+    }
+}
 
 #[test]
 fn jsonl_roundtrip_on_real_traces() {
     let cfg = TraceGenConfig::smoke();
     for kind in AppKind::ALL {
         let trace = cached_trace(kind, &cfg);
+        let trace = trace.as_2d().expect("paper app");
         let mut buf = Vec::new();
-        write_jsonl(&trace, &mut buf).unwrap();
-        let back = read_jsonl(std::io::BufReader::new(&buf[..])).unwrap();
+        write_jsonl(trace, &mut buf).unwrap();
+        let back = read_jsonl::<2, _>(std::io::BufReader::new(&buf[..])).unwrap();
         assert_eq!(*trace, back, "{}", kind.name());
     }
 }
@@ -24,18 +37,45 @@ fn binary_roundtrip_on_real_traces() {
     let cfg = TraceGenConfig::smoke();
     for kind in AppKind::ALL {
         let trace = cached_trace(kind, &cfg);
-        let bytes = encode_binary(&trace);
-        let back = decode_binary(bytes).unwrap();
+        let trace = trace.as_2d().expect("paper app");
+        let bytes = encode_binary(trace);
+        let back = decode_binary::<2>(bytes).unwrap();
         assert_eq!(*trace, back, "{}", kind.name());
     }
+}
+
+#[test]
+fn roundtrips_on_real_3d_traces() {
+    let trace = cached_trace(AppKind::Sp3d, &cfg_3d());
+    // Binary, via the dimension-erased entry points the CLI uses.
+    let bytes = encode_binary_any(&trace);
+    let back = decode_binary_any(bytes).unwrap();
+    assert_eq!(*trace, back);
+    // JSON-lines with dimension sniffing.
+    let t3 = trace.as_3d().expect("SP3D is 3-D");
+    let mut buf = Vec::new();
+    write_jsonl(t3, &mut buf).unwrap();
+    let back = read_jsonl_any(std::io::BufReader::new(&buf[..])).unwrap();
+    assert_eq!(back, AnyTrace::D3(t3.clone()));
 }
 
 #[test]
 fn model_is_invariant_under_serialization() {
     let cfg = TraceGenConfig::smoke();
     let trace = cached_trace(AppKind::Bl2d, &cfg);
-    let direct = ModelPipeline::new().run(&trace);
-    let roundtripped = decode_binary(encode_binary(&trace)).unwrap();
+    let trace = trace.as_2d().expect("BL2D is 2-D");
+    let direct = ModelPipeline::new().run(trace);
+    let roundtripped = decode_binary::<2>(encode_binary(trace)).unwrap();
+    let indirect = ModelPipeline::new().run(&roundtripped);
+    assert_eq!(direct, indirect);
+}
+
+#[test]
+fn model_is_invariant_under_serialization_3d() {
+    let trace = cached_trace(AppKind::Sp3d, &cfg_3d());
+    let trace = trace.as_3d().expect("SP3D is 3-D");
+    let direct = ModelPipeline::new().run(trace);
+    let roundtripped = decode_binary::<3>(encode_binary(trace)).unwrap();
     let indirect = ModelPipeline::new().run(&roundtripped);
     assert_eq!(direct, indirect);
 }
@@ -44,11 +84,15 @@ fn model_is_invariant_under_serialization() {
 fn binary_is_compact() {
     let cfg = TraceGenConfig::smoke();
     let trace = cached_trace(AppKind::Sc2d, &cfg);
+    let trace = trace.as_2d().expect("SC2D is 2-D");
     let mut json = Vec::new();
-    write_jsonl(&trace, &mut json).unwrap();
-    let bin = encode_binary(&trace);
+    write_jsonl(trace, &mut json).unwrap();
+    let bin = encode_binary(trace);
+    // Points serialize as plain coordinate arrays since the
+    // dimension-generic refactor, which shrank the JSON too — the binary
+    // format must still save at least half.
     assert!(
-        bin.len() * 3 < json.len(),
+        bin.len() * 2 < json.len(),
         "binary {} vs jsonl {}",
         bin.len(),
         json.len()
