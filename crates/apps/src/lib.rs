@@ -45,5 +45,6 @@ pub use kernel::Kernel;
 pub use samr_trace::{AnyTrace, HierarchyTrace};
 pub use sp3d::Sp3d;
 pub use tracegen::{
-    generate_trace, generate_trace_3d, generate_trace_any, AppKind, TraceGenConfig,
+    generate_trace, generate_trace_3d, generate_trace_any, trace_source, trace_source_3d,
+    trace_source_any, AppKind, AppSource, TraceGenConfig,
 };

@@ -1,6 +1,12 @@
 //! Trace generation: drive an application through the paper's SAMR
 //! configuration and record the hierarchy at every coarse time step.
 //!
+//! Generation is expressed as a *step iterator* ([`AppSource`], a
+//! [`SnapshotSource`]): each pull advances the kernel one coarse step
+//! and yields that step's hierarchy, so a trace can be consumed — or
+//! written to disk — with one snapshot resident. The batch
+//! `generate_trace*` functions are collects over it.
+//!
 //! The §5.1.1 set-up is reproduced exactly: 5 levels of factor-2 refinement
 //! in space *and* time, regridding every 4 time steps **on each level**,
 //! granularity (minimum block dimension) 2, 100 coarse steps. With factor-2
@@ -23,7 +29,10 @@ use crate::tp2d::Tp2d;
 use samr_geom::{AABox, Box3, Rect2};
 use samr_grid::nesting::{clip_to_nesting, shrink_within};
 use samr_grid::{cluster_flags, ClusterOptions, FlagField, GridHierarchy, Level};
-use samr_trace::{AnyTrace, HierarchyTrace, Snapshot, TraceMeta};
+use samr_trace::io::TraceIoError;
+use samr_trace::{
+    AnySnapshotSource, AnyTrace, HierarchyTrace, Snapshot, SnapshotSource, TraceMeta,
+};
 use serde::{Deserialize, Serialize};
 
 /// Which application to run: the paper's four 2-D kernels, or the 3-D
@@ -245,12 +254,119 @@ fn regrid<const D: usize>(
     }
 }
 
-/// Run a 2-D application kernel for `cfg.steps` coarse steps and record
-/// the hierarchy after each step — the paper's application execution
-/// trace. Panics for 3-D kinds; [`generate_trace_any`] handles both.
-pub fn generate_trace(kind: AppKind, cfg: &TraceGenConfig) -> HierarchyTrace<2> {
+/// The per-step state an application exposes to the step iterator: how
+/// to advance one coarse step and how to read the current indicator /
+/// thresholds / time. The 2-D PDE kernels and the 3-D analytic workload
+/// both fit behind it, so [`AppSource`] is dimension-generic.
+trait StepDriver<const D: usize> {
+    /// Advance the reference solution by one coarse time step.
+    fn advance(&mut self);
+    /// Feature indicator at unit-coordinate `u`.
+    fn indicator(&self, u: [f64; D]) -> f64;
+    /// Flagging threshold for refinement level `level`.
+    fn threshold(&self, level: usize) -> f64;
+    /// Current physical time.
+    fn time(&self) -> f64;
+}
+
+impl StepDriver<2> for Box<dyn Kernel> {
+    fn advance(&mut self) {
+        self.advance_coarse_step();
+    }
+
+    fn indicator(&self, u: [f64; 2]) -> f64 {
+        Kernel::indicator(self.as_ref(), u[0], u[1])
+    }
+
+    fn threshold(&self, level: usize) -> f64 {
+        Kernel::threshold(self.as_ref(), level)
+    }
+
+    fn time(&self) -> f64 {
+        Kernel::time(self.as_ref())
+    }
+}
+
+impl StepDriver<3> for Sp3d {
+    fn advance(&mut self) {
+        self.advance_coarse_step();
+    }
+
+    fn indicator(&self, u: [f64; 3]) -> f64 {
+        Sp3d::indicator(self, u)
+    }
+
+    fn threshold(&self, level: usize) -> f64 {
+        Sp3d::threshold(self, level)
+    }
+
+    fn time(&self) -> f64 {
+        self.time
+    }
+}
+
+/// An application execution as a pull-based snapshot stream: each pull
+/// advances the kernel one coarse step (regridding on the paper's
+/// schedule) and yields the resulting hierarchy. Only the *current*
+/// hierarchy is resident, so traces can be consumed — or written to
+/// disk — without ever materializing. The batch generators
+/// ([`generate_trace`] and friends) are collects over this source.
+pub struct AppSource<const D: usize> {
+    meta: TraceMeta<D>,
+    cfg: TraceGenConfig,
+    h: GridHierarchy<D>,
+    next_step: u32,
+    driver: Box<dyn StepDriver<D>>,
+}
+
+impl<const D: usize> AppSource<D> {
+    fn regrid_from(&mut self, from_level: usize) {
+        let driver = &self.driver;
+        let indicator = |u: [f64; D]| driver.indicator(u);
+        let threshold = |l: usize| driver.threshold(l);
+        regrid(&mut self.h, &indicator, &threshold, &self.cfg, from_level);
+    }
+}
+
+impl<const D: usize> SnapshotSource<D> for AppSource<D> {
+    fn meta(&self) -> &TraceMeta<D> {
+        &self.meta
+    }
+
+    fn next_snapshot(&mut self) -> Result<Option<Snapshot<D>>, TraceIoError> {
+        let t = self.next_step;
+        // Step 0 is always emitted (the initial adaptation), matching the
+        // batch generators even for a zero-step configuration.
+        if t > 0 && t >= self.cfg.steps {
+            return Ok(None);
+        }
+        if t == 0 {
+            // Initial adaptation of the starting condition.
+            self.regrid_from(1);
+        } else {
+            self.driver.advance();
+            if let Some(l) = self.cfg.scheduled_level(t) {
+                self.regrid_from(l);
+            }
+        }
+        self.next_step = t + 1;
+        Ok(Some(Snapshot {
+            step: t,
+            time: self.driver.time(),
+            hierarchy: self.h.clone(),
+        }))
+    }
+
+    fn len_hint(&self) -> Option<usize> {
+        Some((self.cfg.steps.max(1)) as usize)
+    }
+}
+
+/// Open a 2-D application execution as a snapshot stream. Panics for 3-D
+/// kinds; [`trace_source_any`] handles both.
+pub fn trace_source(kind: AppKind, cfg: &TraceGenConfig) -> AppSource<2> {
     assert_eq!(kind.dim(), 2, "{} is not a 2-D application", kind.name());
-    let mut kernel = make_kernel(kind, cfg);
+    let kernel = make_kernel(kind, cfg);
     let (ax, ay) = kernel.aspect();
     let short = cfg.base_cells;
     let base = Rect2::from_extents(short * ax / ay.min(ax), short * ay / ay.min(ax));
@@ -264,39 +380,21 @@ pub fn generate_trace(kind: AppKind, cfg: &TraceGenConfig) -> HierarchyTrace<2> 
         min_block: cfg.min_block,
         seed: cfg.seed,
     };
-    let mut trace = HierarchyTrace::new(meta);
-    let mut h = GridHierarchy::base_only(base, cfg.ratio);
-    let indicator = |u: [f64; 2]| kernel.indicator(u[0], u[1]);
-    let threshold = |l: usize| kernel.threshold(l);
-    // Initial adaptation of the starting condition.
-    regrid(&mut h, &indicator, &threshold, cfg, 1);
-    trace.push(Snapshot {
-        step: 0,
-        time: kernel.time(),
-        hierarchy: h.clone(),
-    });
-    for t in 1..cfg.steps {
-        kernel.advance_coarse_step();
-        if let Some(l) = cfg.scheduled_level(t) {
-            let indicator = |u: [f64; 2]| kernel.indicator(u[0], u[1]);
-            let threshold = |l: usize| kernel.threshold(l);
-            regrid(&mut h, &indicator, &threshold, cfg, l);
-        }
-        trace.push(Snapshot {
-            step: t,
-            time: kernel.time(),
-            hierarchy: h.clone(),
-        });
+    AppSource {
+        meta,
+        cfg: cfg.clone(),
+        h: GridHierarchy::base_only(base, cfg.ratio),
+        next_step: 0,
+        driver: Box::new(kernel),
     }
-    trace
 }
 
-/// Run the 3-D advecting-sphere workload for `cfg.steps` coarse steps —
-/// the same regrid pipeline as the 2-D kernels, driven by the analytic
-/// shell indicator.
-pub fn generate_trace_3d(kind: AppKind, cfg: &TraceGenConfig) -> HierarchyTrace<3> {
+/// Open the 3-D advecting-sphere workload as a snapshot stream — the
+/// same regrid pipeline as the 2-D kernels, driven by the analytic shell
+/// indicator.
+pub fn trace_source_3d(kind: AppKind, cfg: &TraceGenConfig) -> AppSource<3> {
     assert_eq!(kind.dim(), 3, "{} is not a 3-D application", kind.name());
-    let mut app = Sp3d::new(cfg.steps, cfg.seed);
+    let app = Sp3d::new(cfg.steps, cfg.seed);
     let base = Box3::from_extents(cfg.base_cells, cfg.base_cells, cfg.base_cells);
     let meta = TraceMeta {
         app: kind.name().to_string(),
@@ -308,32 +406,50 @@ pub fn generate_trace_3d(kind: AppKind, cfg: &TraceGenConfig) -> HierarchyTrace<
         min_block: cfg.min_block,
         seed: cfg.seed,
     };
-    let mut trace = HierarchyTrace::new(meta);
-    let mut h = GridHierarchy::base_only(base, cfg.ratio);
-    {
-        let indicator = |u: [f64; 3]| app.indicator(u);
-        let threshold = |l: usize| app.threshold(l);
-        regrid(&mut h, &indicator, &threshold, cfg, 1);
+    AppSource {
+        meta,
+        cfg: cfg.clone(),
+        h: GridHierarchy::base_only(base, cfg.ratio),
+        next_step: 0,
+        driver: Box::new(app),
     }
-    trace.push(Snapshot {
-        step: 0,
-        time: app.time,
-        hierarchy: h.clone(),
-    });
-    for t in 1..cfg.steps {
-        app.advance_coarse_step();
-        if let Some(l) = cfg.scheduled_level(t) {
-            let indicator = |u: [f64; 3]| app.indicator(u);
-            let threshold = |l: usize| app.threshold(l);
-            regrid(&mut h, &indicator, &threshold, cfg, l);
-        }
-        trace.push(Snapshot {
-            step: t,
-            time: app.time,
-            hierarchy: h.clone(),
-        });
+}
+
+/// Open the trace of any application, 2-D or 3-D, as a dimension-erased
+/// snapshot stream.
+pub fn trace_source_any(kind: AppKind, cfg: &TraceGenConfig) -> AnySnapshotSource {
+    match kind.dim() {
+        2 => AnySnapshotSource::D2(Box::new(trace_source(kind, cfg))),
+        _ => AnySnapshotSource::D3(Box::new(trace_source_3d(kind, cfg))),
+    }
+}
+
+/// Drain a generator stream into a whole in-memory trace (generator
+/// sources never fail, and every snapshot re-validates on push).
+fn collect_app_source<const D: usize>(mut src: AppSource<D>) -> HierarchyTrace<D> {
+    let mut trace = HierarchyTrace::new(src.meta().clone());
+    while let Some(snap) = src
+        .next_snapshot()
+        .expect("application generators never fail")
+    {
+        trace.push(snap);
     }
     trace
+}
+
+/// Run a 2-D application kernel for `cfg.steps` coarse steps and record
+/// the hierarchy after each step — the paper's application execution
+/// trace. Panics for 3-D kinds; [`generate_trace_any`] handles both. A
+/// collect over [`trace_source`]; use the source directly to keep memory
+/// bounded.
+pub fn generate_trace(kind: AppKind, cfg: &TraceGenConfig) -> HierarchyTrace<2> {
+    collect_app_source(trace_source(kind, cfg))
+}
+
+/// Run the 3-D advecting-sphere workload for `cfg.steps` coarse steps —
+/// a collect over [`trace_source_3d`].
+pub fn generate_trace_3d(kind: AppKind, cfg: &TraceGenConfig) -> HierarchyTrace<3> {
+    collect_app_source(trace_source_3d(kind, cfg))
 }
 
 /// Generate the trace of any application, 2-D or 3-D, behind the
@@ -487,6 +603,31 @@ mod tests {
         );
         // Deterministic.
         assert_eq!(trace, generate_trace_3d(AppKind::Sp3d, &cfg));
+    }
+
+    #[test]
+    fn source_and_batch_generators_agree() {
+        let cfg = TraceGenConfig::smoke();
+        let batch = generate_trace(AppKind::Tp2d, &cfg);
+        let mut src = trace_source(AppKind::Tp2d, &cfg);
+        assert_eq!(src.len_hint(), Some(cfg.steps as usize));
+        let mut n = 0;
+        while let Some(s) = src.next_snapshot().unwrap() {
+            assert_eq!(s, batch.snapshots[n], "step {n} diverged");
+            n += 1;
+        }
+        assert_eq!(n, batch.len());
+        // 3-D too.
+        let mut cfg3 = TraceGenConfig::smoke();
+        cfg3.base_cells = 16;
+        cfg3.steps = 4;
+        let batch3 = generate_trace_3d(AppKind::Sp3d, &cfg3);
+        let mut src3 = trace_source_3d(AppKind::Sp3d, &cfg3);
+        let mut got = Vec::new();
+        while let Some(s) = src3.next_snapshot().unwrap() {
+            got.push(s);
+        }
+        assert_eq!(got, batch3.snapshots);
     }
 
     #[test]

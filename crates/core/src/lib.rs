@@ -34,6 +34,6 @@ pub mod tradeoff1;
 pub mod tradeoff2;
 pub mod tradeoff3;
 
-pub use model::{ModelConfig, ModelPipeline, ModelState};
+pub use model::{ModelAccumulator, ModelConfig, ModelPipeline, ModelState};
 pub use space::{ClassificationPoint, StateCurve};
 pub use tradeoff3::{beta_m, BetaMDenominator};

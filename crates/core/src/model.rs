@@ -10,7 +10,9 @@ use crate::space::{ClassificationPoint, StateCurve};
 use crate::tradeoff1::{beta_c, beta_l, dimension1};
 use crate::tradeoff2::{Tradeoff2, Tradeoff2State};
 use crate::tradeoff3::{beta_m_with, BetaMDenominator};
-use samr_trace::HierarchyTrace;
+use samr_grid::GridHierarchy;
+use samr_trace::io::TraceIoError;
+use samr_trace::{AnySnapshotSource, HierarchyTrace, Snapshot, SnapshotSource};
 use serde::{Deserialize, Serialize};
 
 /// Model configuration.
@@ -80,6 +82,59 @@ pub struct ModelState {
     pub point: ClassificationPoint,
 }
 
+/// The incremental form of the model: a fold over consecutive snapshot
+/// pairs `(H_{t-1}, H_t)`, carrying only the Trade-off 2 recurrence —
+/// never the trace. One [`ModelAccumulator::step`] call per snapshot
+/// emits that step's [`ModelState`]; [`ModelPipeline::run`] is a collect
+/// over it, and streaming consumers drive it directly to keep peak
+/// residency at two snapshots.
+#[derive(Clone, Debug)]
+pub struct ModelAccumulator {
+    config: ModelConfig,
+    t2: Tradeoff2State,
+}
+
+impl ModelAccumulator {
+    /// Start a fold with the given configuration.
+    pub fn new(config: ModelConfig) -> Self {
+        Self {
+            t2: Tradeoff2State::new(config.interval_scale),
+            config,
+        }
+    }
+
+    /// Consume one `(previous hierarchy, current snapshot)` pair and emit
+    /// the step's model state. `prev` is `None` exactly at the first
+    /// step, where β_m is 0 by definition (no previous hierarchy).
+    pub fn step<const D: usize>(
+        &mut self,
+        prev: Option<&GridHierarchy<D>>,
+        snap: &Snapshot<D>,
+    ) -> ModelState {
+        let h = &snap.hierarchy;
+        let bl = beta_l(h, self.config.unit, self.config.p_ref);
+        let bc = beta_c(h, self.config.p_ref);
+        let bm = match prev {
+            None => 0.0,
+            Some(ph) => beta_m_with(ph, h, self.config.denominator.into()),
+        };
+        let t2q = self.t2.observe(
+            snap.time,
+            h.total_points(),
+            &[bl, bc, bm],
+            self.config.weight_by_grid_size,
+        );
+        ModelState {
+            step: snap.step,
+            beta_l: bl,
+            beta_c: bc,
+            beta_m: bm,
+            tradeoff2: t2q,
+            point: ClassificationPoint::new(dimension1(bl, bc), t2q.d2, bm),
+        }
+    }
+}
+
 /// Walks a hierarchy trace and emits one [`ModelState`] per snapshot.
 #[derive(Clone, Debug, Default)]
 pub struct ModelPipeline {
@@ -98,35 +153,43 @@ impl ModelPipeline {
         Self { config }
     }
 
-    /// Run the model over a whole trace.
+    /// Run the model over a whole trace — a collect over
+    /// [`ModelAccumulator`] with identical output.
     pub fn run<const D: usize>(&self, trace: &HierarchyTrace<D>) -> Vec<ModelState> {
+        let mut acc = ModelAccumulator::new(self.config);
         let mut out = Vec::with_capacity(trace.len());
-        let mut t2 = Tradeoff2State::new(self.config.interval_scale);
         for (i, snap) in trace.snapshots.iter().enumerate() {
-            let h = &snap.hierarchy;
-            let bl = beta_l(h, self.config.unit, self.config.p_ref);
-            let bc = beta_c(h, self.config.p_ref);
-            let bm = if i == 0 {
-                0.0
-            } else {
-                beta_m_with(trace.hierarchy(i - 1), h, self.config.denominator.into())
-            };
-            let t2q = t2.observe(
-                snap.time,
-                h.total_points(),
-                &[bl, bc, bm],
-                self.config.weight_by_grid_size,
-            );
-            out.push(ModelState {
-                step: snap.step,
-                beta_l: bl,
-                beta_c: bc,
-                beta_m: bm,
-                tradeoff2: t2q,
-                point: ClassificationPoint::new(dimension1(bl, bc), t2q.d2, bm),
-            });
+            let prev = (i > 0).then(|| trace.hierarchy(i - 1));
+            out.push(acc.step(prev, snap));
         }
         out
+    }
+
+    /// Run the model over a snapshot stream, holding at most two
+    /// snapshots (the current pair) at any point.
+    pub fn run_source<const D: usize>(
+        &self,
+        source: &mut (dyn SnapshotSource<D> + '_),
+    ) -> Result<Vec<ModelState>, TraceIoError> {
+        let mut acc = ModelAccumulator::new(self.config);
+        let mut out = Vec::with_capacity(source.len_hint().unwrap_or(0));
+        let mut prev: Option<Snapshot<D>> = None;
+        while let Some(snap) = source.next_snapshot()? {
+            out.push(acc.step(prev.as_ref().map(|p| &p.hierarchy), &snap));
+            prev = Some(snap);
+        }
+        Ok(out)
+    }
+
+    /// Run the model over a dimension-erased snapshot stream.
+    pub fn run_any_source(
+        &self,
+        source: &mut AnySnapshotSource,
+    ) -> Result<Vec<ModelState>, TraceIoError> {
+        match source {
+            AnySnapshotSource::D2(s) => self.run_source::<2>(s),
+            AnySnapshotSource::D3(s) => self.run_source::<3>(s),
+        }
     }
 
     /// Run the model and return the locus curve (Figure 3 right).
@@ -236,6 +299,18 @@ mod tests {
         for s in ModelPipeline::new().run(&trace) {
             assert_eq!(s.point.d3, s.beta_m);
         }
+    }
+
+    #[test]
+    fn run_source_matches_batch_run() {
+        use samr_trace::MemorySource;
+        let trace = trace_moving();
+        let p = ModelPipeline::new();
+        let batch = p.run(&trace);
+        let streamed = p
+            .run_source::<2>(&mut MemorySource::new(&trace))
+            .expect("in-memory source cannot fail");
+        assert_eq!(batch, streamed);
     }
 
     #[test]

@@ -10,10 +10,12 @@ use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
 
 /// A declarative sweep: the cartesian product of applications,
-/// partitioner specifications, processor counts and ghost widths over
-/// one trace configuration and machine model. The `dims` axis filters
+/// partitioner specifications, processor counts, ghost widths and
+/// machine models over one trace configuration. The `dims` axis filters
 /// which spatial dimensions participate, so one campaign can sweep 2-D
-/// and 3-D workloads together (`dims: [2, 3]`) or pin either.
+/// and 3-D workloads together (`dims: [2, 3]`) or pin either; the
+/// `machines` axis makes PAC-triple studies (application × partitioner ×
+/// machine) one campaign instead of one per machine.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct CampaignSpec {
     /// Applications to sweep.
@@ -29,8 +31,10 @@ pub struct CampaignSpec {
     pub ghost_widths: Vec<i64>,
     /// Trace-generation configuration shared by every scenario.
     pub trace: TraceGenConfig,
-    /// Machine cost model shared by every scenario.
-    pub machine: MachineModel,
+    /// Machine cost models to sweep (use the
+    /// [`MachineModel::registry`] presets for named slugs; non-default
+    /// machines tag their scenario slugs).
+    pub machines: Vec<MachineModel>,
     /// Reuse the previous distribution on unchanged hierarchies (the
     /// paper's set-up; see [`SimConfig::reuse_unchanged`]).
     pub reuse_unchanged: bool,
@@ -49,7 +53,7 @@ impl CampaignSpec {
             nprocs: vec![16],
             ghost_widths: vec![1],
             trace,
-            machine: MachineModel::default(),
+            machines: vec![MachineModel::default()],
             reuse_unchanged: true,
         }
     }
@@ -91,9 +95,14 @@ impl CampaignSpec {
         self
     }
 
-    /// Replace the machine model.
-    pub fn machine(mut self, machine: MachineModel) -> Self {
-        self.machine = machine;
+    /// Pin the machine axis to a single model.
+    pub fn machine(self, machine: MachineModel) -> Self {
+        self.machines([machine])
+    }
+
+    /// Replace the machine-model axis (duplicates dropped, order kept).
+    pub fn machines(mut self, machines: impl IntoIterator<Item = MachineModel>) -> Self {
+        self.machines = dedup_axis(machines);
         self
     }
 
@@ -113,6 +122,7 @@ impl CampaignSpec {
             * self.partitioners.len()
             * self.nprocs.len()
             * self.ghost_widths.len()
+            * self.machines.len()
     }
 
     /// `true` when at least one axis is empty.
@@ -122,24 +132,26 @@ impl CampaignSpec {
 
     /// Expand the cartesian product into concrete scenarios, in a
     /// deterministic app-major order (apps, then partitioners, then
-    /// processor counts, then ghost widths).
+    /// processor counts, then ghost widths, then machines).
     pub fn scenarios(&self) -> Vec<Scenario> {
         let mut out = Vec::with_capacity(self.len());
         for app in self.active_apps() {
             for &partitioner in &self.partitioners {
                 for &nprocs in &self.nprocs {
                     for &ghost_width in &self.ghost_widths {
-                        out.push(Scenario::new(
-                            app,
-                            self.trace.clone(),
-                            partitioner,
-                            SimConfig {
-                                nprocs,
-                                ghost_width,
-                                machine: self.machine,
-                                reuse_unchanged: self.reuse_unchanged,
-                            },
-                        ));
+                        for &machine in &self.machines {
+                            out.push(Scenario::new(
+                                app,
+                                self.trace.clone(),
+                                partitioner,
+                                SimConfig {
+                                    nprocs,
+                                    ghost_width,
+                                    machine,
+                                    reuse_unchanged: self.reuse_unchanged,
+                                },
+                            ));
+                        }
                     }
                 }
             }
@@ -313,14 +325,15 @@ mod tests {
     #[test]
     fn colliding_slugs_get_distinct_artifact_names() {
         use samr_partition::{HybridParams, PartitionerChoice};
-        // Two hybrid configurations share the "hybrid" slug; artifacts
-        // must not silently overwrite each other.
+        // Two hybrid configurations share the "hybrid" slug (the second
+        // is not a named registry preset); artifacts must not silently
+        // overwrite each other.
         let spec = CampaignSpec::new(TraceGenConfig::smoke())
             .apps([AppKind::Tp2d])
             .partitioners([
                 PartitionerSpec::Static(PartitionerChoice::hybrid()),
                 PartitionerSpec::Static(PartitionerChoice::Hybrid(HybridParams {
-                    fractional_blocking: true,
+                    hue_blocks_per_proc: 3,
                     ..HybridParams::default()
                 })),
             ])
@@ -349,5 +362,34 @@ mod tests {
         let json = serde_json::to_string(&spec).unwrap();
         let back: CampaignSpec = serde_json::from_str(&json).unwrap();
         assert_eq!(spec, back);
+    }
+
+    #[test]
+    fn machine_axis_expands_and_tags_slugs() {
+        let spec = CampaignSpec::new(TraceGenConfig::smoke())
+            .apps([AppKind::Tp2d])
+            .nprocs([4])
+            .machines([
+                MachineModel::default(),
+                MachineModel::slow_network(),
+                MachineModel::slow_network(), // duplicates dropped
+                MachineModel::slow_cpu(),
+            ]);
+        assert_eq!(spec.machines.len(), 3);
+        assert_eq!(spec.len(), 3);
+        let slugs: Vec<String> = spec.scenarios().iter().map(Scenario::slug).collect();
+        assert_eq!(
+            slugs,
+            vec![
+                "tp2d_hybrid_p4_g1",
+                "tp2d_hybrid_p4_g1_mslow-net",
+                "tp2d_hybrid_p4_g1_mslow-cpu",
+            ]
+        );
+        // The sweep actually runs under each machine, and slower
+        // machines cost more estimated time.
+        let outcomes = Campaign::run(&spec);
+        assert_eq!(outcomes.len(), 3);
+        assert!(outcomes[1].sim.total_time > outcomes[0].sim.total_time);
     }
 }

@@ -18,15 +18,19 @@
 //!   meta-partitioner and the octant baseline), shared by the selector,
 //!   the benches and the CLI instead of three ad-hoc match blocks;
 //! - [`Campaign`]: expansion of cartesian sweeps (apps × partitioners ×
-//!   processor counts × ghost widths) into scenarios, rayon-parallel
-//!   execution over a shared [`store`] of generated traces and model
-//!   series, and per-scenario CSV/JSON artifacts;
+//!   processor counts × ghost widths × machines) into scenarios,
+//!   rayon-parallel execution over a shared [`store`] of generated
+//!   traces and model series, and per-scenario CSV/JSON artifacts;
 //! - [`ValidationRun`]: the paper's §5.1 figure-regeneration bundle
 //!   (Figures 4–7), now assembled from campaign scenario outcomes;
 //! - [`store`]: the process-wide trace/model cache, keyed by the **full**
 //!   trace configuration (the facade's old cache omitted `max_levels`
 //!   and the clustering options from its key, so two configurations
-//!   differing only there collided and returned the wrong trace).
+//!   differing only there collided and returned the wrong trace). Its
+//!   [`cached_source`] path is the streaming default scenarios run
+//!   through: traces are generated straight to disk and served as
+//!   bounded-memory snapshot streams whenever the in-memory byte budget
+//!   ([`store::trace_cache_budget`]) would be exceeded.
 //!
 //! Every future scaling experiment — more applications, more partitioner
 //! configurations, distributed campaign sharding — plugs into
@@ -58,5 +62,5 @@ pub mod validation;
 pub use campaign::{Campaign, CampaignSpec};
 pub use scenario::{Scenario, ScenarioOutcome, ScenarioSummary};
 pub use spec::PartitionerSpec;
-pub use store::{cached_model, cached_trace};
+pub use store::{cached_model, cached_source, cached_trace, set_trace_cache_budget};
 pub use validation::{configs, ShapeStats, ValidationRun};

@@ -1,12 +1,12 @@
 //! One fully described pipeline run and its measured outcome.
 
 use crate::spec::PartitionerSpec;
-use crate::store::{cached_model, cached_trace};
+use crate::store::{cached_model, cached_source, cached_trace};
 use crate::validation::ShapeStats;
 use samr_apps::{AppKind, TraceGenConfig};
 use samr_core::ModelState;
 use samr_sim::{SimConfig, SimResult};
-use samr_trace::{AnyTrace, HierarchyTrace};
+use samr_trace::{shared_source, AnySnapshotSource, HierarchyTrace, MemorySource};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -47,23 +47,43 @@ impl Scenario {
         }
     }
 
+    /// The machine tag of the scenario's slug: empty for the default
+    /// (`uniform`) machine so historical artifact paths stay stable, the
+    /// preset name for every other registry machine, `custom` otherwise.
+    pub fn machine_name(&self) -> &'static str {
+        self.sim.machine.preset_name().unwrap_or("custom")
+    }
+
     /// Stable slug identifying the scenario inside its campaign, used
-    /// for artifact file names: `bl2d_hybrid_p16_g1`. 3-D scenarios carry
-    /// a `_d3` suffix; 2-D slugs are unchanged from the 2-D-only era, so
+    /// for artifact file names: `bl2d_hybrid_p16_g1`. Non-default
+    /// machines append `_m<machine>` and 3-D scenarios `_d3`;
+    /// default-machine 2-D slugs are unchanged from the 2-D-only era, so
     /// existing artifact paths stay stable.
     pub fn slug(&self) -> String {
+        let machine_suffix = if self.sim.machine == samr_sim::MachineModel::default() {
+            String::new()
+        } else {
+            format!("_m{}", self.machine_name())
+        };
         let dim_suffix = if self.dim == 3 { "_d3" } else { "" };
         format!(
-            "{}_{}_p{}_g{}{}",
+            "{}_{}_p{}_g{}{}{}",
             self.app.name().to_lowercase(),
             self.partitioner.slug(),
             self.sim.nprocs,
             self.sim.ghost_width,
+            machine_suffix,
             dim_suffix,
         )
     }
 
-    /// Execute the scenario against the shared trace/model store.
+    /// Execute the scenario against the shared trace/model store via the
+    /// streaming path: the trace arrives as a snapshot stream (in-memory
+    /// when the store's byte budget admits it, straight from the spill
+    /// file otherwise), is windowed through the partitioner, and never
+    /// needs to be whole in this scenario's memory. A spill-file I/O
+    /// failure retries from the in-memory store (identical output)
+    /// rather than aborting the campaign.
     pub fn run(&self) -> ScenarioOutcome {
         assert_eq!(
             self.dim,
@@ -72,29 +92,30 @@ impl Scenario {
             self.dim,
             self.app.name()
         );
-        let trace = cached_trace(self.app, &self.trace);
         let model = cached_model(self.app, &self.trace);
-        match &*trace {
-            AnyTrace::D2(t) => run_on_trace(self, t, model),
-            AnyTrace::D3(t) => run_on_trace(self, t, model),
-        }
+        let simulate = |source: &mut AnySnapshotSource| match source {
+            AnySnapshotSource::D2(s) => self.partitioner.simulate_source::<2>(s, &self.sim),
+            AnySnapshotSource::D3(s) => self.partitioner.simulate_source::<3>(s, &self.sim),
+        };
+        let sim = cached_source(self.app, &self.trace)
+            .and_then(|mut source| simulate(&mut source))
+            .unwrap_or_else(|_| {
+                // Disk trouble (full temp dir, reaped spill file) must
+                // not kill a multi-scenario sweep: regenerate in memory.
+                let mut source = shared_source(cached_trace(self.app, &self.trace));
+                simulate(&mut source).expect("in-memory snapshot sources cannot fail")
+            });
+        outcome_from(self, sim, model)
     }
 }
 
-/// Execute a scenario on an explicit trace and model series (the shared
-/// path behind [`Scenario::run`] and the figure-regeneration bundle).
-///
-/// Static partitioners are simulated snapshot-parallel; stateful
-/// selectors (whose decisions depend on invocation order) run strictly
-/// sequentially. Both paths produce identical metrics for a static
-/// partitioner, so the choice is an execution detail, not a semantic
-/// one.
-pub(crate) fn run_on_trace<const D: usize>(
+/// Assemble a scenario outcome from its simulation result and shared
+/// model series (the tail shared by the streaming and batch paths).
+fn outcome_from(
     scenario: &Scenario,
-    trace: &HierarchyTrace<D>,
+    sim: SimResult,
     model: Arc<Vec<ModelState>>,
 ) -> ScenarioOutcome {
-    let sim = scenario.partitioner.simulate(trace, &scenario.sim);
     // Step 0 has neither a migration measurement nor a β_m (no previous
     // hierarchy); shape statistics compare from step 1 on.
     let beta_c: Vec<f64> = model.iter().skip(1).map(|s| s.beta_c).collect();
@@ -108,6 +129,27 @@ pub(crate) fn run_on_trace<const D: usize>(
         sim,
         model,
     }
+}
+
+/// Execute a scenario on an explicit trace and model series (the shared
+/// path behind the figure-regeneration bundle) — a [`MemorySource`]
+/// over the trace through the same windowed driver as [`Scenario::run`].
+///
+/// Static partitioners are simulated snapshot-parallel within the
+/// window; stateful selectors (whose decisions depend on invocation
+/// order) run strictly sequentially. Both paths produce identical
+/// metrics for a static partitioner, so the choice is an execution
+/// detail, not a semantic one.
+pub(crate) fn run_on_trace<const D: usize>(
+    scenario: &Scenario,
+    trace: &HierarchyTrace<D>,
+    model: Arc<Vec<ModelState>>,
+) -> ScenarioOutcome {
+    let sim = scenario
+        .partitioner
+        .simulate_source(&mut MemorySource::new(trace), &scenario.sim)
+        .expect("in-memory snapshot sources cannot fail");
+    outcome_from(scenario, sim, model)
 }
 
 /// The measured outcome of one scenario.
@@ -251,6 +293,31 @@ mod tests {
     fn slug_is_stable_and_file_safe() {
         assert_eq!(scenario().slug(), "bl2d_hybrid_p4_g1");
         assert_eq!(scenario_3d().slug(), "sp3d_hybrid_p4_g1_d3");
+    }
+
+    #[test]
+    fn non_default_machines_tag_the_slug() {
+        use samr_sim::MachineModel;
+        let mut s = scenario();
+        assert_eq!(s.machine_name(), "uniform");
+        s.sim.machine = MachineModel::slow_network();
+        assert_eq!(s.machine_name(), "slow-net");
+        assert_eq!(s.slug(), "bl2d_hybrid_p4_g1_mslow-net");
+        s.sim.machine = MachineModel {
+            cell_update: 42.0,
+            ..MachineModel::default()
+        };
+        assert_eq!(s.slug(), "bl2d_hybrid_p4_g1_mcustom");
+        let mut s3 = scenario_3d();
+        s3.sim.machine = MachineModel::fast_network();
+        assert_eq!(s3.slug(), "sp3d_hybrid_p4_g1_mfast-net_d3");
+    }
+
+    #[test]
+    fn preset_partitioners_slug_file_safely_inside_scenarios() {
+        let mut s = scenario();
+        s.partitioner = PartitionerSpec::parse("domain-sfc:morton").unwrap();
+        assert_eq!(s.slug(), "bl2d_domain-sfc-morton_p4_g1");
     }
 
     #[test]

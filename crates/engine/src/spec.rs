@@ -10,12 +10,23 @@
 //! facade, benches and CLI used to carry. The description is
 //! dimension-free: the same spec materializes a 2-D or a 3-D partitioner
 //! depending on the hierarchy it is asked to cut.
+//!
+//! Beyond the default-configured families, the registry names *parameter
+//! presets* (`family:preset`, e.g. `domain-sfc:morton`, `hybrid:frac`,
+//! `patch:lpt`): the §4 tunables the paper says a meta-partitioner
+//! steers — curve, ordering, atomic unit, bi-level grouping, fractional
+//! blocking/splitting — so campaigns can sweep *configurations*, not
+//! just families. Preset slugs replace `:` with `-` and stay file-safe.
 
-use samr_meta::compare::run_sequential;
+use samr_meta::compare::run_sequential_source;
 use samr_meta::{MetaPartitioner, OctantMetaPartitioner};
-use samr_partition::{Partitioner, PartitionerChoice};
-use samr_sim::{simulate_trace, MachineModel, SimConfig, SimResult};
-use samr_trace::HierarchyTrace;
+use samr_partition::{
+    DomainSfcParams, HybridParams, Partitioner, PartitionerChoice, PatchAssign, PatchParams,
+    SfcCurve,
+};
+use samr_sim::{default_window, simulate_source, MachineModel, SimConfig, SimResult};
+use samr_trace::io::TraceIoError;
+use samr_trace::{HierarchyTrace, MemorySource, SnapshotSource};
 use serde::{Deserialize, Serialize};
 
 /// A named, serializable partitioner specification.
@@ -33,18 +44,96 @@ pub enum PartitionerSpec {
 impl PartitionerSpec {
     /// Every name [`PartitionerSpec::parse`] accepts, with the spec it
     /// produces — the registry the CLI help and campaign sweeps use.
+    /// Bare family names carry the default configuration;
+    /// `family:preset` names carry the named parameter presets (curve,
+    /// ordering, atomic unit, bi-level grouping, fractional
+    /// blocking/splitting).
     pub fn registry() -> Vec<(&'static str, PartitionerSpec)> {
+        let domain = |params: DomainSfcParams| Self::Static(PartitionerChoice::DomainSfc(params));
+        let patch = |params: PatchParams| Self::Static(PartitionerChoice::Patch(params));
+        let hybrid = |params: HybridParams| Self::Static(PartitionerChoice::Hybrid(params));
         vec![
             ("domain-sfc", Self::Static(PartitionerChoice::domain_sfc())),
+            // Morton instead of Hilbert linearization.
+            (
+                "domain-sfc:morton",
+                domain(DomainSfcParams {
+                    curve: SfcCurve::Morton,
+                    ..DomainSfcParams::default()
+                }),
+            ),
+            // The partially ordered mapping §5.2 suspects of inflating
+            // migration.
+            (
+                "domain-sfc:partial",
+                domain(DomainSfcParams {
+                    full_order: false,
+                    ..DomainSfcParams::default()
+                }),
+            ),
+            // A coarser atomic unit (fewer, heavier units).
+            (
+                "domain-sfc:u4",
+                domain(DomainSfcParams {
+                    atomic_unit: 4,
+                    ..DomainSfcParams::default()
+                }),
+            ),
             ("patch", Self::Static(PartitionerChoice::patch())),
+            // Longest-processing-time greedy assignment (unstable across
+            // regrids, best instantaneous balance).
+            (
+                "patch:lpt",
+                patch(PatchParams {
+                    assign: PatchAssign::Lpt,
+                    ..PatchParams::default()
+                }),
+            ),
+            // Fractional splitting: pieces bounded at half the ideal
+            // per-processor load — the patch-based analogue of
+            // fractional blocking.
+            (
+                "patch:frac",
+                patch(PatchParams {
+                    split_factor: 0.5,
+                    ..PatchParams::default()
+                }),
+            ),
             ("hybrid", Self::Static(PartitionerChoice::hybrid())),
+            // Fractional blocking of the Hue top-up (§4).
+            (
+                "hybrid:frac",
+                hybrid(HybridParams {
+                    fractional_blocking: true,
+                    ..HybridParams::default()
+                }),
+            ),
+            // Fully ordered Hilbert curve for the Core splits.
+            (
+                "hybrid:hilbert",
+                hybrid(HybridParams {
+                    curve: SfcCurve::Hilbert,
+                    full_order: true,
+                    ..HybridParams::default()
+                }),
+            ),
+            // Single-level bi-levels (per-level Core splits).
+            (
+                "hybrid:g1",
+                hybrid(HybridParams {
+                    bilevel_size: 1,
+                    ..HybridParams::default()
+                }),
+            ),
             ("meta", Self::Meta),
             ("octant-meta", Self::OctantMeta),
         ]
     }
 
-    /// Parse a spec from its registry name (`domain-sfc` — alias
-    /// `domain` —, `patch`, `hybrid`, `meta`, `octant-meta`).
+    /// Parse a spec from its registry name: a bare family (`domain-sfc`
+    /// — alias `domain` —, `patch`, `hybrid`, `meta`, `octant-meta`) or
+    /// a named preset (`domain-sfc:morton`, `hybrid:frac`, `patch:lpt`,
+    /// …).
     pub fn parse(name: &str) -> Result<Self, String> {
         let canonical = match name {
             "domain" => "domain-sfc",
@@ -63,8 +152,14 @@ impl PartitionerSpec {
             })
     }
 
-    /// The registry name (stable slug used in artifact file names).
-    pub fn slug(&self) -> &'static str {
+    /// The stable file-safe slug used in artifact names: the registry
+    /// name with `:` folded to `-` (`domain-sfc:morton` →
+    /// `domain-sfc-morton`), or the bare family name for configurations
+    /// not in the registry.
+    pub fn slug(&self) -> String {
+        if let Some((name, _)) = Self::registry().into_iter().find(|(_, s)| s == self) {
+            return name.replace(':', "-");
+        }
         match self {
             Self::Static(c) => match c {
                 PartitionerChoice::DomainSfc(_) => "domain-sfc",
@@ -74,6 +169,7 @@ impl PartitionerSpec {
             Self::Meta => "meta",
             Self::OctantMeta => "octant-meta",
         }
+        .to_string()
     }
 
     /// Full configured name (as reported in results).
@@ -102,26 +198,51 @@ impl PartitionerSpec {
         }
     }
 
-    /// Simulate a trace under this spec: snapshot-parallel for static
-    /// choices, strictly sequential for stateful selectors. The single
-    /// simulate entry point shared by scenario execution and the CLI.
+    /// The streaming window this spec simulates under: the
+    /// rayon-matched default for static choices, `1` (strictly
+    /// sequential) for stateful selectors whose decisions depend on
+    /// invocation order.
+    pub fn window(&self) -> usize {
+        if self.stateful() {
+            1
+        } else {
+            default_window()
+        }
+    }
+
+    /// Simulate a snapshot stream under this spec: windowed
+    /// snapshot-parallel for static choices, strictly sequential
+    /// (window 1) for stateful selectors. The single simulate entry
+    /// point shared by scenario execution and the CLI; peak residency is
+    /// `O(window)`.
+    pub fn simulate_source<const D: usize>(
+        &self,
+        source: &mut (dyn SnapshotSource<D> + '_),
+        cfg: &SimConfig,
+    ) -> Result<SimResult, TraceIoError> {
+        let partitioner = self.build::<D>(&cfg.machine);
+        if self.stateful() {
+            let (steps, total_time) = run_sequential_source(source, partitioner.as_ref(), cfg)?;
+            Ok(SimResult {
+                partitioner: partitioner.name(),
+                nprocs: cfg.nprocs,
+                steps,
+                total_time,
+            })
+        } else {
+            simulate_source(source, partitioner.as_ref(), cfg, self.window())
+        }
+    }
+
+    /// Simulate a whole in-memory trace under this spec — the batch
+    /// facade over [`PartitionerSpec::simulate_source`].
     pub fn simulate<const D: usize>(
         &self,
         trace: &HierarchyTrace<D>,
         cfg: &SimConfig,
     ) -> SimResult {
-        let partitioner = self.build::<D>(&cfg.machine);
-        if self.stateful() {
-            let (steps, total_time) = run_sequential(trace, partitioner.as_ref(), cfg);
-            SimResult {
-                partitioner: partitioner.name(),
-                nprocs: cfg.nprocs,
-                steps,
-                total_time,
-            }
-        } else {
-            simulate_trace(trace, partitioner.as_ref(), cfg)
-        }
+        self.simulate_source(&mut MemorySource::new(trace), cfg)
+            .expect("in-memory snapshot sources cannot fail")
     }
 }
 
@@ -133,8 +254,50 @@ mod tests {
     fn every_registry_name_parses_to_itself() {
         for (name, spec) in PartitionerSpec::registry() {
             assert_eq!(PartitionerSpec::parse(name).unwrap(), spec);
-            assert_eq!(spec.slug(), name);
+            assert_eq!(spec.slug(), name.replace(':', "-"));
+            assert!(
+                !spec.slug().contains([':', '/', ' ']),
+                "slug {} is not file-safe",
+                spec.slug()
+            );
         }
+    }
+
+    #[test]
+    fn registry_entries_are_distinct() {
+        // A preset equal to a family default would make slug lookup
+        // ambiguous and expand campaigns to duplicate scenarios.
+        let registry = PartitionerSpec::registry();
+        for (i, (_, a)) in registry.iter().enumerate() {
+            for (_, b) in &registry[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn presets_configure_the_advertised_parameters() {
+        use samr_partition::SfcCurve;
+        match PartitionerSpec::parse("domain-sfc:morton").unwrap() {
+            PartitionerSpec::Static(PartitionerChoice::DomainSfc(p)) => {
+                assert_eq!(p.curve, SfcCurve::Morton)
+            }
+            other => panic!("wrong spec {other:?}"),
+        }
+        match PartitionerSpec::parse("hybrid:frac").unwrap() {
+            PartitionerSpec::Static(PartitionerChoice::Hybrid(p)) => {
+                assert!(p.fractional_blocking)
+            }
+            other => panic!("wrong spec {other:?}"),
+        }
+        match PartitionerSpec::parse("patch:frac").unwrap() {
+            PartitionerSpec::Static(PartitionerChoice::Patch(p)) => {
+                assert_eq!(p.split_factor, 0.5)
+            }
+            other => panic!("wrong spec {other:?}"),
+        }
+        // Presets simulate like any static choice (not stateful).
+        assert!(!PartitionerSpec::parse("hybrid:g1").unwrap().stateful());
     }
 
     #[test]

@@ -240,7 +240,7 @@ impl ValidationRun {
             nprocs: vec![sim_cfg.nprocs],
             ghost_widths: vec![sim_cfg.ghost_width],
             trace: cfg.clone(),
-            machine: sim_cfg.machine,
+            machines: vec![sim_cfg.machine],
             reuse_unchanged: sim_cfg.reuse_unchanged,
         };
         let outcomes = crate::campaign::Campaign::run(&spec);

@@ -10,12 +10,10 @@
 
 use crate::meta::MetaPartitioner;
 use crate::octant_meta::OctantMetaPartitioner;
-use samr_partition::{
-    DomainSfcPartitioner, HybridPartitioner, Partition, Partitioner, PatchPartitioner,
-};
-use samr_sim::simulate::step_metrics;
-use samr_sim::{SimConfig, StepMetrics};
-use samr_trace::HierarchyTrace;
+use samr_partition::{DomainSfcPartitioner, HybridPartitioner, Partitioner, PatchPartitioner};
+use samr_sim::{simulate_source_stats, SimConfig, StepMetrics};
+use samr_trace::io::TraceIoError;
+use samr_trace::{HierarchyTrace, MemorySource, SnapshotSource};
 use serde::{Deserialize, Serialize};
 
 /// Result of one partitioner (static or dynamic) over a trace.
@@ -76,38 +74,29 @@ impl ComparisonResult {
     }
 }
 
-/// Run one (possibly stateful) partitioner sequentially over a trace.
-/// Sequential order is required for the meta-partitioner, whose
-/// classification depends on the previous hierarchy.
+/// Run one (possibly stateful) partitioner sequentially over a snapshot
+/// stream. Sequential order is required for the meta-partitioner, whose
+/// classification depends on the previous hierarchy — this is the
+/// windowed streaming driver pinned to window 1, so at most two
+/// snapshots (the current pair) are ever resident.
+pub fn run_sequential_source<const D: usize>(
+    source: &mut (dyn SnapshotSource<D> + '_),
+    partitioner: &(dyn Partitioner<D> + Sync),
+    cfg: &SimConfig,
+) -> Result<(Vec<StepMetrics>, f64), TraceIoError> {
+    let (result, _) = simulate_source_stats(source, partitioner, cfg, 1)?;
+    Ok((result.steps, result.total_time))
+}
+
+/// Run one (possibly stateful) partitioner sequentially over a whole
+/// trace — the batch facade over [`run_sequential_source`].
 pub fn run_sequential<const D: usize>(
     trace: &HierarchyTrace<D>,
-    partitioner: &dyn Partitioner<D>,
+    partitioner: &(dyn Partitioner<D> + Sync),
     cfg: &SimConfig,
 ) -> (Vec<StepMetrics>, f64) {
-    let mut steps: Vec<StepMetrics> = Vec::with_capacity(trace.len());
-    let mut parts: Vec<Partition<D>> = Vec::with_capacity(trace.len());
-    let mut total = 0.0;
-    for (i, snap) in trace.snapshots.iter().enumerate() {
-        let h = &snap.hierarchy;
-        let (part, cost) = if cfg.reuse_unchanged && i > 0 && trace.hierarchy(i - 1) == h {
-            (parts[i - 1].clone(), 0.0)
-        } else {
-            (
-                partitioner.partition(h, cfg.nprocs),
-                partitioner.cost_estimate(h),
-            )
-        };
-        parts.push(part);
-        let prev = if i > 0 {
-            Some((trace.hierarchy(i - 1), &parts[i - 1]))
-        } else {
-            None
-        };
-        let m = step_metrics(snap.step, h, &parts[i], prev, cfg, cost);
-        total += m.step_time;
-        steps.push(m);
-    }
-    (steps, total)
+    run_sequential_source(&mut MemorySource::new(trace), partitioner, cfg)
+        .expect("in-memory snapshot sources cannot fail")
 }
 
 fn outcome(name: String, steps: &[StepMetrics], total: f64) -> RunOutcome {
@@ -121,33 +110,49 @@ fn outcome(name: String, steps: &[StepMetrics], total: f64) -> RunOutcome {
     }
 }
 
-/// Compare the three static partitioner families (default configurations)
-/// against the meta-partitioner on one trace.
-pub fn compare_on_trace<const D: usize>(
-    trace: &HierarchyTrace<D>,
+/// Compare the three static partitioner families (default
+/// configurations) against the meta-partitioner, opening one snapshot
+/// stream per partitioner through `open` — the bounded-memory form: a
+/// trace on disk is re-read per pass instead of being held whole. Each
+/// pass runs strictly sequentially (the selectors are stateful).
+pub fn compare_on_sources<const D: usize, S, F>(
+    mut open: F,
     cfg: &SimConfig,
-) -> ComparisonResult {
-    let statics: Vec<Box<dyn Partitioner<D>>> = vec![
+) -> Result<ComparisonResult, TraceIoError>
+where
+    S: SnapshotSource<D>,
+    F: FnMut() -> Result<S, TraceIoError>,
+{
+    let statics: Vec<Box<dyn Partitioner<D> + Sync>> = vec![
         Box::new(DomainSfcPartitioner::default()),
         Box::new(PatchPartitioner::default()),
         Box::new(HybridPartitioner::default()),
     ];
-    let static_runs = statics
-        .iter()
-        .map(|p| {
-            let (steps, total) = run_sequential(trace, p.as_ref(), cfg);
-            outcome(p.name(), &steps, total)
-        })
-        .collect();
+    let mut static_runs = Vec::with_capacity(statics.len());
+    for p in &statics {
+        let (steps, total) = run_sequential_source(&mut open()?, p.as_ref(), cfg)?;
+        static_runs.push(outcome(p.name(), &steps, total));
+    }
     let meta = MetaPartitioner::for_machine(&cfg.machine);
-    let (steps, total) = run_sequential(trace, &meta, cfg);
+    let (steps, total) = run_sequential_source(&mut open()?, &meta, cfg)?;
     let octant = OctantMetaPartitioner::new();
-    let (osteps, ototal) = run_sequential(trace, &octant, cfg);
-    ComparisonResult {
+    let (osteps, ototal) = run_sequential_source(&mut open()?, &octant, cfg)?;
+    Ok(ComparisonResult {
         static_runs,
         meta_run: outcome(meta.name(), &steps, total),
         octant_run: outcome(octant.name(), &osteps, ototal),
-    }
+    })
+}
+
+/// Compare the three static partitioner families (default configurations)
+/// against the meta-partitioner on one in-memory trace — the batch
+/// facade over [`compare_on_sources`].
+pub fn compare_on_trace<const D: usize>(
+    trace: &HierarchyTrace<D>,
+    cfg: &SimConfig,
+) -> ComparisonResult {
+    compare_on_sources(|| Ok(MemorySource::new(trace)), cfg)
+        .expect("in-memory snapshot sources cannot fail")
 }
 
 #[cfg(test)]

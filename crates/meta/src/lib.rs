@@ -25,7 +25,7 @@ pub mod meta;
 pub mod octant_meta;
 pub mod selector;
 
-pub use compare::{compare_on_trace, ComparisonResult};
+pub use compare::{compare_on_sources, compare_on_trace, ComparisonResult};
 pub use meta::MetaPartitioner;
 pub use octant_meta::OctantMetaPartitioner;
 pub use selector::{PartitionerChoice, Selector, SelectorConfig};

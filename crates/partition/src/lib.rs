@@ -40,6 +40,7 @@ pub mod weights;
 
 pub use choice::PartitionerChoice;
 pub use hybrid::{HybridParams, HybridPartitioner};
-pub use patch_part::{PatchParams, PatchPartitioner};
+pub use patch_part::{PatchAssign, PatchParams, PatchPartitioner};
+pub use samr_geom::sfc::SfcCurve;
 pub use sfc_part::{DomainSfcParams, DomainSfcPartitioner};
 pub use types::{validate_partition, Fragment, LevelPartition, Partition, Partitioner, ProcId};

@@ -63,6 +63,63 @@ impl MachineModel {
         }
     }
 
+    /// A communication-rich interconnect (transfer nearly as cheap as
+    /// computation): shifts the optimum toward pure load balance, the
+    /// mirror image of [`MachineModel::slow_network`].
+    pub fn fast_network() -> Self {
+        Self {
+            cell_transfer: 1.0,
+            migration_transfer: 0.25,
+            message_latency: 10.0,
+            ..Self::default()
+        }
+    }
+
+    /// The named machine presets campaigns sweep over: `(name, model)`
+    /// pairs. `uniform` is the balanced default; `fast-net` / `slow-net`
+    /// move the communication-to-computation ratio in either direction;
+    /// `slow-cpu` is compute-bound. The names are stable slugs (they
+    /// appear in scenario artifact file names).
+    pub fn registry() -> [(&'static str, MachineModel); 4] {
+        [
+            ("uniform", MachineModel::default()),
+            ("fast-net", MachineModel::fast_network()),
+            ("slow-net", MachineModel::slow_network()),
+            ("slow-cpu", MachineModel::slow_cpu()),
+        ]
+    }
+
+    /// Parse a machine preset by registry name. `balanced` is accepted
+    /// as an alias for `uniform` and `slow-network` for `slow-net` (the
+    /// CLI's historical spellings).
+    pub fn parse(name: &str) -> Result<Self, String> {
+        let canonical = match name {
+            "balanced" => "uniform",
+            "slow-network" => "slow-net",
+            other => other,
+        };
+        Self::registry()
+            .into_iter()
+            .find(|(n, _)| *n == canonical)
+            .map(|(_, m)| m)
+            .ok_or_else(|| {
+                let names: Vec<&str> = Self::registry().iter().map(|(n, _)| *n).collect();
+                format!(
+                    "unknown machine '{name}' (expected one of {})",
+                    names.join(", ")
+                )
+            })
+    }
+
+    /// The registry name of this model, when it is a preset — the
+    /// reverse lookup scenario slugs use to tag non-default machines.
+    pub fn preset_name(&self) -> Option<&'static str> {
+        Self::registry()
+            .into_iter()
+            .find(|(_, m)| m == self)
+            .map(|(n, _)| n)
+    }
+
     /// Execution-time estimate of one coarse step: the slowest processor's
     /// compute + communication time (bulk-synchronous step), plus
     /// redistribution costs when a repartitioning happened.
@@ -117,7 +174,34 @@ mod tests {
         let base = MachineModel::default();
         let net = MachineModel::slow_network();
         let cpu = MachineModel::slow_cpu();
+        let fast = MachineModel::fast_network();
         assert!(net.cell_transfer > base.cell_transfer);
         assert!(cpu.cell_update > base.cell_update);
+        assert!(fast.cell_transfer < base.cell_transfer);
+    }
+
+    #[test]
+    fn registry_names_parse_to_themselves() {
+        for (name, model) in MachineModel::registry() {
+            assert_eq!(MachineModel::parse(name).unwrap(), model);
+            assert_eq!(model.preset_name(), Some(name));
+        }
+        // Historical CLI aliases keep working.
+        assert_eq!(
+            MachineModel::parse("balanced").unwrap(),
+            MachineModel::default()
+        );
+        assert_eq!(
+            MachineModel::parse("slow-network").unwrap(),
+            MachineModel::slow_network()
+        );
+        // Unknown names list the registry; custom models have no preset
+        // name.
+        assert!(MachineModel::parse("gpu").unwrap_err().contains("uniform"));
+        let custom = MachineModel {
+            cell_update: 123.0,
+            ..MachineModel::default()
+        };
+        assert_eq!(custom.preset_name(), None);
     }
 }

@@ -17,9 +17,12 @@
 //!   counts and the paper's §4.1 *grid-relative* normalizations;
 //! - [`exec`]: a machine model turning cell counts into execution-time
 //!   estimates (used by the meta-partitioner experiments);
-//! - [`simulate`]: the driver that runs a whole
-//!   [`samr_trace::HierarchyTrace`] through a partitioner, in parallel
-//!   over snapshots (partitioners are pure functions of the hierarchy).
+//! - [`stream`]: the windowed streaming driver — a
+//!   [`samr_trace::SnapshotSource`] in, per-step metrics out, with peak
+//!   residency bounded by the window size (snapshot-parallel within each
+//!   window; strictly sequential at window 1 for stateful selectors);
+//! - [`simulate`]: the batch facade that runs a whole
+//!   [`samr_trace::HierarchyTrace`] through the windowed driver.
 
 #![warn(missing_docs)]
 
@@ -28,7 +31,9 @@ pub mod exec;
 pub mod metrics;
 pub mod migration;
 pub mod simulate;
+pub mod stream;
 
 pub use exec::MachineModel;
 pub use metrics::{SeriesSummary, StepMetrics};
 pub use simulate::{simulate_trace, SimConfig, SimResult};
+pub use stream::{default_window, simulate_source, simulate_source_stats, StreamStats};

@@ -4,7 +4,6 @@ use crate::comm::{involved_comm_points, per_proc_comm, total_comm};
 use crate::exec::MachineModel;
 use crate::metrics::StepMetrics;
 use crate::migration::{migration_cells, per_proc_migration};
-use rayon::prelude::*;
 use samr_grid::GridHierarchy;
 use samr_partition::{Partition, Partitioner};
 use samr_trace::HierarchyTrace;
@@ -119,58 +118,24 @@ pub fn step_metrics<const D: usize>(
 
 /// Run a whole trace through `partitioner` on `cfg.nprocs` processors.
 ///
-/// Partitions are computed rayon-parallel over snapshots (a partitioner
-/// is a pure function of the hierarchy), then metrics are accumulated in
-/// step order — the result is identical for any thread count, and
-/// per-snapshot partitioning shares one thread pool with campaign-level
-/// parallelism in `samr-engine`.
+/// The batch facade over the windowed streaming driver
+/// ([`crate::stream::simulate_source`]): partitions are computed
+/// rayon-parallel within each window (a partitioner is a pure function
+/// of the hierarchy), metrics are accumulated in step order, and the
+/// result is identical for any thread count and window size.
 pub fn simulate_trace<const D: usize>(
     trace: &HierarchyTrace<D>,
     partitioner: &(dyn Partitioner<D> + Sync),
     cfg: &SimConfig,
 ) -> SimResult {
     assert!(!trace.is_empty(), "cannot simulate an empty trace");
-    let n = trace.len();
-    let mut partitions: Vec<Option<Partition<D>>> = (0..n)
-        .into_par_iter()
-        .map(|i| Some(partitioner.partition(trace.hierarchy(i), cfg.nprocs)))
-        .collect();
-
-    let mut steps = Vec::with_capacity(n);
-    let mut total_time = 0.0;
-    let mut effective: Vec<Partition<D>> = Vec::with_capacity(n);
-    for (i, snap) in trace.snapshots.iter().enumerate() {
-        let h = &snap.hierarchy;
-        let mut repartitioned = true;
-        if cfg.reuse_unchanged && i > 0 && trace.hierarchy(i - 1) == h {
-            // Nothing regridded: keep data in place.
-            let prev = effective[i - 1].clone();
-            effective.push(prev);
-            repartitioned = false;
-        } else {
-            effective.push(partitions[i].take().expect("partition computed"));
-        }
-        let part = &effective[i];
-        let cost = if repartitioned {
-            partitioner.cost_estimate(h)
-        } else {
-            0.0
-        };
-        let prev = if i > 0 {
-            Some((trace.hierarchy(i - 1), &effective[i - 1]))
-        } else {
-            None
-        };
-        let m = step_metrics(snap.step, h, part, prev, cfg, cost);
-        total_time += m.step_time;
-        steps.push(m);
-    }
-    SimResult {
-        partitioner: partitioner.name(),
-        nprocs: cfg.nprocs,
-        steps,
-        total_time,
-    }
+    crate::stream::simulate_source(
+        &mut samr_trace::MemorySource::new(trace),
+        partitioner,
+        cfg,
+        crate::stream::default_window(),
+    )
+    .expect("in-memory snapshot sources cannot fail")
 }
 
 #[cfg(test)]

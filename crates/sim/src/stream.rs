@@ -1,0 +1,292 @@
+//! Windowed streaming simulation driver — bounded-memory execution of a
+//! snapshot stream through a partitioner.
+//!
+//! [`simulate_source`] pulls snapshots from a [`SnapshotSource`] into a
+//! ring of at most `window` snapshots, partitions the window
+//! rayon-parallel (partitioners are pure functions of the hierarchy),
+//! then folds the window's step metrics in order, carrying exactly one
+//! `(snapshot, partition)` pair across window boundaries (step metrics
+//! need the predecessor for migration). Peak residency is therefore
+//! `window` in-flight snapshots plus the single carried predecessor —
+//! `O(window)`, never `O(steps)` — while the snapshot-parallel speed of
+//! the batch driver is kept.
+//!
+//! With `window == 1` the driver degrades to the strictly sequential
+//! regime stateful partitioner selectors require: partitioners are
+//! invoked one snapshot at a time, in step order, and — matching the
+//! meta-partitioner comparison driver — *not* invoked at all on steps
+//! whose hierarchy is unchanged under `reuse_unchanged`, so selector
+//! state evolves exactly as in a live run.
+
+use crate::simulate::{step_metrics, SimConfig, SimResult};
+use rayon::prelude::*;
+use samr_partition::{Partition, Partitioner};
+use samr_trace::io::TraceIoError;
+use samr_trace::{Snapshot, SnapshotSource};
+
+/// The default window: twice the rayon pool width, so every worker has a
+/// snapshot to partition plus one queued, with residency still bounded.
+pub fn default_window() -> usize {
+    (2 * rayon::current_num_threads()).max(2)
+}
+
+/// Residency accounting of one [`simulate_source_stats`] run, for tests
+/// and capacity planning.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Most snapshots ever live in the driver at once: the filled window
+    /// plus the carried predecessor (so at most `window + 1`).
+    pub peak_resident: usize,
+    /// Total snapshots consumed from the source.
+    pub snapshots: usize,
+}
+
+/// Run a snapshot stream through `partitioner` on `cfg.nprocs`
+/// processors; see the module docs for the windowing contract. Produces
+/// byte-identical results to the batch [`crate::simulate_trace`] for any
+/// window, and to the sequential comparison driver for `window == 1`.
+pub fn simulate_source<const D: usize>(
+    source: &mut (dyn SnapshotSource<D> + '_),
+    partitioner: &(dyn Partitioner<D> + Sync),
+    cfg: &SimConfig,
+    window: usize,
+) -> Result<SimResult, TraceIoError> {
+    simulate_source_stats(source, partitioner, cfg, window).map(|(result, _)| result)
+}
+
+/// [`simulate_source`] plus residency statistics.
+pub fn simulate_source_stats<const D: usize>(
+    source: &mut (dyn SnapshotSource<D> + '_),
+    partitioner: &(dyn Partitioner<D> + Sync),
+    cfg: &SimConfig,
+    window: usize,
+) -> Result<(SimResult, StreamStats), TraceIoError> {
+    let window = window.max(1);
+    let mut steps = Vec::with_capacity(source.len_hint().unwrap_or(0));
+    let mut total_time = 0.0;
+    let mut carry: Option<(Snapshot<D>, Partition<D>)> = None;
+    let mut peak_resident = 0usize;
+    let mut consumed = 0usize;
+    loop {
+        let mut buf: Vec<Snapshot<D>> = Vec::with_capacity(window);
+        while buf.len() < window {
+            match source.next_snapshot()? {
+                Some(s) => buf.push(s),
+                None => break,
+            }
+        }
+        if buf.is_empty() {
+            break;
+        }
+        consumed += buf.len();
+        peak_resident = peak_resident.max(buf.len() + usize::from(carry.is_some()));
+        // Pre-partition the whole window in parallel — except in the
+        // sequential (window 1) regime, where partitioners run on demand
+        // so stateful selectors see exactly the live invocation order.
+        let mut pre: Vec<Option<Partition<D>>> = if window > 1 {
+            buf.par_iter()
+                .map(|s| Some(partitioner.partition(&s.hierarchy, cfg.nprocs)))
+                .collect()
+        } else {
+            vec![None; buf.len()]
+        };
+        let mut eff: Vec<Partition<D>> = Vec::with_capacity(buf.len());
+        for i in 0..buf.len() {
+            let unchanged = cfg.reuse_unchanged && {
+                let prev_h = if i == 0 {
+                    carry.as_ref().map(|(s, _)| &s.hierarchy)
+                } else {
+                    Some(&buf[i - 1].hierarchy)
+                };
+                prev_h.is_some_and(|ph| *ph == buf[i].hierarchy)
+            };
+            let (part, cost) = if unchanged {
+                let prev_part = if i == 0 {
+                    &carry.as_ref().expect("unchanged implies a predecessor").1
+                } else {
+                    &eff[i - 1]
+                };
+                (prev_part.clone(), 0.0)
+            } else {
+                let part = pre[i]
+                    .take()
+                    .unwrap_or_else(|| partitioner.partition(&buf[i].hierarchy, cfg.nprocs));
+                (part, partitioner.cost_estimate(&buf[i].hierarchy))
+            };
+            eff.push(part);
+            let prev_pair = if i == 0 {
+                carry.as_ref().map(|(s, p)| (&s.hierarchy, p))
+            } else {
+                Some((&buf[i - 1].hierarchy, &eff[i - 1]))
+            };
+            let m = step_metrics(
+                buf[i].step,
+                &buf[i].hierarchy,
+                &eff[i],
+                prev_pair,
+                cfg,
+                cost,
+            );
+            total_time += m.step_time;
+            steps.push(m);
+        }
+        // Carry the window's last pair; everything else is dropped here,
+        // which is what keeps residency O(window).
+        let last_part = eff.pop().expect("window is non-empty");
+        let last_snap = buf.pop().expect("window is non-empty");
+        carry = Some((last_snap, last_part));
+    }
+    if steps.is_empty() {
+        return Err(TraceIoError::Format(
+            "cannot simulate an empty snapshot stream".into(),
+        ));
+    }
+    Ok((
+        SimResult {
+            partitioner: partitioner.name(),
+            nprocs: cfg.nprocs,
+            steps,
+            total_time,
+        },
+        StreamStats {
+            peak_resident,
+            snapshots: consumed,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulate::simulate_trace;
+    use samr_geom::Rect2;
+    use samr_grid::GridHierarchy;
+    use samr_partition::{DomainSfcPartitioner, HybridPartitioner};
+    use samr_trace::{HierarchyTrace, MemorySource, TraceMeta};
+
+    fn r(x0: i64, y0: i64, x1: i64, y1: i64) -> Rect2 {
+        Rect2::from_coords(x0, y0, x1, y1)
+    }
+
+    /// A moving-box trace with an unchanged-hierarchy plateau in the
+    /// middle, so the reuse path crosses window boundaries.
+    fn trace(steps: u32) -> HierarchyTrace<2> {
+        let meta = TraceMeta {
+            app: "SYN".into(),
+            description: "windowed driver test".into(),
+            base_domain: Rect2::from_extents(32, 32),
+            ratio: 2,
+            max_levels: 2,
+            regrid_interval: 4,
+            min_block: 2,
+            seed: 0,
+        };
+        let mut t = HierarchyTrace::new(meta);
+        for i in 0..steps {
+            let off = if (3..6).contains(&i) {
+                6
+            } else {
+                (i as i64) * 2
+            } % 16;
+            t.push(samr_trace::Snapshot {
+                step: i,
+                time: i as f64,
+                hierarchy: GridHierarchy::from_level_rects(
+                    Rect2::from_extents(32, 32),
+                    2,
+                    &[vec![], vec![r(off, 0, off + 15, 15)]],
+                ),
+            });
+        }
+        t
+    }
+
+    #[test]
+    fn every_window_size_matches_the_batch_driver() {
+        let t = trace(11);
+        let cfg = SimConfig {
+            nprocs: 4,
+            ..SimConfig::default()
+        };
+        let p = DomainSfcPartitioner::default();
+        let batch = simulate_trace(&t, &p, &cfg);
+        for window in [1usize, 2, 3, 5, 11, 64] {
+            let (streamed, stats) =
+                simulate_source_stats(&mut MemorySource::new(&t), &p, &cfg, window).unwrap();
+            assert_eq!(streamed, batch, "window {window} diverged");
+            assert_eq!(stats.snapshots, t.len());
+            assert!(
+                stats.peak_resident <= window + 1,
+                "window {window} held {} snapshots",
+                stats.peak_resident
+            );
+        }
+    }
+
+    #[test]
+    fn window_one_is_strictly_sequential() {
+        // A partitioner that records its invocation order proves the
+        // sequential regime never reorders or over-invokes.
+        use samr_partition::Partition;
+        use std::sync::Mutex;
+        struct Recording {
+            inner: HybridPartitioner,
+            calls: Mutex<Vec<u64>>,
+        }
+        impl Partitioner<2> for Recording {
+            fn name(&self) -> String {
+                Partitioner::<2>::name(&self.inner)
+            }
+            fn partition(&self, h: &GridHierarchy<2>, nprocs: usize) -> Partition<2> {
+                self.calls.lock().unwrap().push(h.total_points());
+                self.inner.partition(h, nprocs)
+            }
+            fn cost_estimate(&self, h: &GridHierarchy<2>) -> f64 {
+                Partitioner::<2>::cost_estimate(&self.inner, h)
+            }
+        }
+        let t = trace(8);
+        let cfg = SimConfig {
+            nprocs: 4,
+            ..SimConfig::default()
+        };
+        let rec = Recording {
+            inner: HybridPartitioner::default(),
+            calls: Mutex::new(Vec::new()),
+        };
+        let (res, stats) =
+            simulate_source_stats(&mut MemorySource::new(&t), &rec, &cfg, 1).unwrap();
+        assert_eq!(res.steps.len(), 8);
+        assert!(stats.peak_resident <= 2, "{}", stats.peak_resident);
+        // Steps 4 and 5 repeat step 3's hierarchy: exactly 6 invocations,
+        // in step order.
+        let calls = rec.calls.into_inner().unwrap();
+        let expected: Vec<u64> = t
+            .snapshots
+            .iter()
+            .enumerate()
+            .filter(|(i, s)| *i == 0 || t.snapshots[i - 1].hierarchy != s.hierarchy)
+            .map(|(_, s)| s.hierarchy.total_points())
+            .collect();
+        assert_eq!(calls, expected);
+        assert!(calls.len() < t.len(), "the plateau must be reused");
+    }
+
+    #[test]
+    fn empty_stream_is_an_error() {
+        let meta = TraceMeta::<2> {
+            app: "SYN".into(),
+            description: "empty".into(),
+            base_domain: Rect2::from_extents(8, 8),
+            ratio: 2,
+            max_levels: 2,
+            regrid_interval: 4,
+            min_block: 2,
+            seed: 0,
+        };
+        let t = HierarchyTrace::new(meta);
+        let cfg = SimConfig::default();
+        let p = DomainSfcPartitioner::default();
+        assert!(simulate_source(&mut MemorySource::new(&t), &p, &cfg, 4).is_err());
+    }
+}

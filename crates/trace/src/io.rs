@@ -1,5 +1,5 @@
 //! Trace serialization: JSON-lines and a compact binary format, generic
-//! over the dimension.
+//! over the dimension — batch *and* streaming.
 //!
 //! JSON-lines is the interchange/inspection format (one snapshot per line,
 //! greppable, diff-able); the binary format is for large parameter sweeps
@@ -7,13 +7,24 @@
 //! both carry the spatial dimension explicitly (the metadata's `dim`
 //! field in JSON, a dimension byte after the magic in binary) so readers
 //! can dispatch without guessing.
+//!
+//! Both formats are record-oriented, so both support **bounded-memory
+//! streaming** in each direction: [`JsonlSnapshotReader`] /
+//! [`BinarySnapshotReader`] implement [`SnapshotSource`] (one snapshot
+//! resident at a time), and [`JsonlSnapshotWriter`] /
+//! [`BinarySnapshotWriter`] accept snapshots one at a time — so a trace
+//! can be generated straight to disk without ever materializing. The
+//! whole-trace functions ([`read_jsonl`], [`decode_binary`], …) are thin
+//! collect/drain wrappers over the streaming forms.
 
+use crate::source::{AnySnapshotSource, SnapshotSource};
 use crate::trace::{AnyTrace, HierarchyTrace, Snapshot, TraceMeta};
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::{BufMut, Bytes, BytesMut};
 use samr_geom::{AABox, Point};
 use samr_grid::{GridHierarchy, Level};
 use serde::Deserialize;
-use std::io::{self, BufRead, Read, Write};
+use std::io::{self, BufRead, Read, Seek, SeekFrom, Write};
+use std::path::Path;
 
 /// Magic bytes of the binary format (version 2: dimension-tagged).
 const MAGIC: &[u8; 8] = b"SAMRTRC2";
@@ -53,38 +64,128 @@ impl From<serde_json::Error> for TraceIoError {
     }
 }
 
+/// The per-snapshot validation every codec reader applies before
+/// yielding: strictly increasing steps and structural hierarchy
+/// invariants — the same contract [`HierarchyTrace::try_push`] enforces
+/// at the in-memory boundary.
+fn validate_snapshot<const D: usize>(
+    meta: &TraceMeta<D>,
+    last_step: &mut Option<u32>,
+    snap: &Snapshot<D>,
+) -> Result<(), TraceIoError> {
+    if let Some(last) = *last_step {
+        if snap.step <= last {
+            return Err(TraceIoError::Format(format!(
+                "trace steps must be strictly increasing: {} after {}",
+                snap.step, last
+            )));
+        }
+    }
+    snap.hierarchy.validate(meta.min_block).map_err(|e| {
+        TraceIoError::Format(format!("invalid hierarchy at step {}: {e}", snap.step))
+    })?;
+    *last_step = Some(snap.step);
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// JSON-lines
+// ---------------------------------------------------------------------------
+
+/// Streaming JSON-lines writer: metadata on construction, then one line
+/// per [`JsonlSnapshotWriter::write_snapshot`] call. Nothing is buffered
+/// beyond the line being written.
+pub struct JsonlSnapshotWriter<W: Write> {
+    w: W,
+}
+
+impl<W: Write> JsonlSnapshotWriter<W> {
+    /// Start a stream by writing the metadata line.
+    pub fn new<const D: usize>(mut w: W, meta: &TraceMeta<D>) -> Result<Self, TraceIoError> {
+        serde_json::to_writer(&mut w, meta)?;
+        w.write_all(b"\n")?;
+        Ok(Self { w })
+    }
+
+    /// Append one snapshot line.
+    pub fn write_snapshot<const D: usize>(
+        &mut self,
+        snap: &Snapshot<D>,
+    ) -> Result<(), TraceIoError> {
+        serde_json::to_writer(&mut self.w, snap)?;
+        self.w.write_all(b"\n")?;
+        Ok(())
+    }
+
+    /// Flush and hand back the underlying writer.
+    pub fn finish(mut self) -> Result<W, TraceIoError> {
+        self.w.flush()?;
+        Ok(self.w)
+    }
+}
+
+/// Streaming JSON-lines reader: parses the metadata line on construction
+/// and then one snapshot per pull, validating each before yielding.
+pub struct JsonlSnapshotReader<const D: usize, R: BufRead> {
+    r: R,
+    meta: TraceMeta<D>,
+    last_step: Option<u32>,
+}
+
+impl<const D: usize, R: BufRead> JsonlSnapshotReader<D, R> {
+    /// Read the metadata line and set up the snapshot stream.
+    pub fn new(mut r: R) -> Result<Self, TraceIoError> {
+        let mut first = String::new();
+        if r.read_line(&mut first)? == 0 {
+            return Err(TraceIoError::Format("empty trace stream".into()));
+        }
+        let meta: TraceMeta<D> = serde_json::from_str(first.trim_end())?;
+        Ok(Self {
+            r,
+            meta,
+            last_step: None,
+        })
+    }
+}
+
+impl<const D: usize, R: BufRead> SnapshotSource<D> for JsonlSnapshotReader<D, R> {
+    fn meta(&self) -> &TraceMeta<D> {
+        &self.meta
+    }
+
+    fn next_snapshot(&mut self) -> Result<Option<Snapshot<D>>, TraceIoError> {
+        loop {
+            let mut line = String::new();
+            if self.r.read_line(&mut line)? == 0 {
+                return Ok(None);
+            }
+            if line.trim().is_empty() {
+                continue;
+            }
+            let snap: Snapshot<D> = serde_json::from_str(line.trim_end())?;
+            validate_snapshot(&self.meta, &mut self.last_step, &snap)?;
+            return Ok(Some(snap));
+        }
+    }
+}
+
 /// Write a trace as JSON-lines: the first line is the metadata, every
 /// following line one snapshot.
 pub fn write_jsonl<const D: usize, W: Write>(
     trace: &HierarchyTrace<D>,
-    mut w: W,
+    w: W,
 ) -> Result<(), TraceIoError> {
-    serde_json::to_writer(&mut w, &trace.meta)?;
-    w.write_all(b"\n")?;
+    let mut out = JsonlSnapshotWriter::new(w, &trace.meta)?;
     for s in &trace.snapshots {
-        serde_json::to_writer(&mut w, s)?;
-        w.write_all(b"\n")?;
+        out.write_snapshot(s)?;
     }
+    out.finish()?;
     Ok(())
 }
 
 /// Read a JSON-lines trace written by [`write_jsonl`].
 pub fn read_jsonl<const D: usize, R: BufRead>(r: R) -> Result<HierarchyTrace<D>, TraceIoError> {
-    let mut lines = r.lines();
-    let meta_line = lines
-        .next()
-        .ok_or_else(|| TraceIoError::Format("empty trace stream".into()))??;
-    let meta: TraceMeta<D> = serde_json::from_str(&meta_line)?;
-    let mut trace = HierarchyTrace::new(meta);
-    for line in lines {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
-        }
-        let snap: Snapshot<D> = serde_json::from_str(&line)?;
-        trace.try_push(snap).map_err(TraceIoError::Format)?;
-    }
-    Ok(trace)
+    collect_source(JsonlSnapshotReader::new(r)?)
 }
 
 /// Read a JSON-lines trace of either dimension, dispatching on the
@@ -95,10 +196,7 @@ pub fn read_jsonl_any<R: BufRead>(mut r: R) -> Result<AnyTrace, TraceIoError> {
     if r.read_line(&mut first)? == 0 {
         return Err(TraceIoError::Format("empty trace stream".into()));
     }
-    let dim = serde_json::value_from_slice(first.trim_end().as_bytes())
-        .ok()
-        .and_then(|v| v.get("dim").and_then(|d| usize::deserialize(d).ok()))
-        .ok_or_else(|| TraceIoError::Format("metadata line carries no dimension".into()))?;
+    let dim = jsonl_meta_dim(&first)?;
     let rest = std::io::Cursor::new(first.into_bytes()).chain(r);
     match dim {
         2 => read_jsonl::<2, _>(std::io::BufReader::new(rest)).map(AnyTrace::D2),
@@ -106,6 +204,262 @@ pub fn read_jsonl_any<R: BufRead>(mut r: R) -> Result<AnyTrace, TraceIoError> {
         other => Err(TraceIoError::Format(format!(
             "unsupported trace dimension {other}"
         ))),
+    }
+}
+
+/// The `dim` field of a JSON-lines metadata line.
+fn jsonl_meta_dim(line: &str) -> Result<usize, TraceIoError> {
+    serde_json::value_from_slice(line.trim_end().as_bytes())
+        .ok()
+        .and_then(|v| v.get("dim").and_then(|d| usize::deserialize(d).ok()))
+        .ok_or_else(|| TraceIoError::Format("metadata line carries no dimension".into()))
+}
+
+/// Drain a snapshot source into a whole in-memory trace.
+fn collect_source<const D: usize, S: SnapshotSource<D>>(
+    mut src: S,
+) -> Result<HierarchyTrace<D>, TraceIoError> {
+    let mut trace = HierarchyTrace::new(src.meta().clone());
+    while let Some(snap) = src.next_snapshot()? {
+        trace.try_push(snap).map_err(TraceIoError::Format)?;
+    }
+    Ok(trace)
+}
+
+// ---------------------------------------------------------------------------
+// Binary (SAMRTRC2)
+// ---------------------------------------------------------------------------
+
+/// Encode one snapshot record into `buf` (the shared body encoding of
+/// the batch encoder and the streaming writer).
+fn encode_snapshot<const D: usize>(buf: &mut BytesMut, s: &Snapshot<D>) {
+    buf.put_u32_le(s.step);
+    buf.put_f64_le(s.time);
+    put_rect(buf, &s.hierarchy.base_domain);
+    buf.put_u8(s.hierarchy.ratio as u8);
+    buf.put_u16_le(s.hierarchy.levels.len() as u16);
+    for level in &s.hierarchy.levels {
+        buf.put_u32_le(level.patches.len() as u32);
+        for p in &level.patches {
+            put_rect(buf, &p.rect);
+        }
+    }
+}
+
+/// Streaming binary writer: header on construction, one record per
+/// [`BinarySnapshotWriter::write_snapshot`], snapshot count backpatched
+/// on [`BinarySnapshotWriter::finish`] (which is why the sink must
+/// [`Seek`] — files and in-memory cursors both do).
+pub struct BinarySnapshotWriter<W: Write + Seek> {
+    w: W,
+    count_pos: u64,
+    count: u32,
+}
+
+impl<W: Write + Seek> BinarySnapshotWriter<W> {
+    /// Write the stream header (magic, dimension byte, metadata, count
+    /// placeholder).
+    pub fn new<const D: usize>(mut w: W, meta: &TraceMeta<D>) -> Result<Self, TraceIoError> {
+        let mut head = BytesMut::with_capacity(1 << 10);
+        head.put_slice(MAGIC);
+        head.put_u8(D as u8);
+        let meta_json = serde_json::to_vec(meta).expect("meta serializes");
+        head.put_u32_le(meta_json.len() as u32);
+        head.put_slice(&meta_json);
+        w.write_all(&head.freeze())?;
+        let count_pos = w.stream_position()?;
+        w.write_all(&0u32.to_le_bytes())?;
+        Ok(Self {
+            w,
+            count_pos,
+            count: 0,
+        })
+    }
+
+    /// Append one snapshot record.
+    pub fn write_snapshot<const D: usize>(
+        &mut self,
+        snap: &Snapshot<D>,
+    ) -> Result<(), TraceIoError> {
+        let mut record = BytesMut::with_capacity(1 << 12);
+        encode_snapshot(&mut record, snap);
+        self.w.write_all(&record.freeze())?;
+        self.count += 1;
+        Ok(())
+    }
+
+    /// Backpatch the snapshot count, flush, and hand back the writer.
+    pub fn finish(mut self) -> Result<W, TraceIoError> {
+        self.w.seek(SeekFrom::Start(self.count_pos))?;
+        self.w.write_all(&self.count.to_le_bytes())?;
+        self.w.seek(SeekFrom::End(0))?;
+        self.w.flush()?;
+        Ok(self.w)
+    }
+}
+
+/// Map an end-of-stream read to a format error: at this layer a short
+/// stream is malformed data, not an I/O accident.
+fn read_exact_or_truncated<R: Read>(r: &mut R, buf: &mut [u8]) -> Result<(), TraceIoError> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            TraceIoError::Format("truncated trace".into())
+        } else {
+            TraceIoError::Io(e)
+        }
+    })
+}
+
+fn read_u8<R: Read>(r: &mut R) -> Result<u8, TraceIoError> {
+    let mut b = [0u8; 1];
+    read_exact_or_truncated(r, &mut b)?;
+    Ok(b[0])
+}
+
+fn read_u16_le<R: Read>(r: &mut R) -> Result<u16, TraceIoError> {
+    let mut b = [0u8; 2];
+    read_exact_or_truncated(r, &mut b)?;
+    Ok(u16::from_le_bytes(b))
+}
+
+fn read_u32_le<R: Read>(r: &mut R) -> Result<u32, TraceIoError> {
+    let mut b = [0u8; 4];
+    read_exact_or_truncated(r, &mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_f64_le<R: Read>(r: &mut R) -> Result<f64, TraceIoError> {
+    let mut b = [0u8; 8];
+    read_exact_or_truncated(r, &mut b)?;
+    Ok(f64::from_le_bytes(b))
+}
+
+fn read_rect<const D: usize, R: Read>(r: &mut R) -> Result<AABox<D>, TraceIoError> {
+    let mut raw = [0i64; D];
+    for v in raw.iter_mut() {
+        let mut b = [0u8; 4];
+        read_exact_or_truncated(r, &mut b)?;
+        *v = i32::from_le_bytes(b) as i64;
+    }
+    let lo = Point::<D>::from_fn(|i| raw[i]);
+    for v in raw.iter_mut() {
+        let mut b = [0u8; 4];
+        read_exact_or_truncated(r, &mut b)?;
+        *v = i32::from_le_bytes(b) as i64;
+    }
+    let hi = Point::<D>::from_fn(|i| raw[i]);
+    AABox::try_new(lo, hi).ok_or_else(|| TraceIoError::Format(format!("empty rect {lo:?}..{hi:?}")))
+}
+
+/// Streaming binary reader: parses the header on construction and then
+/// one record per pull, validating each snapshot before yielding. Per-
+/// level allocations are grown incrementally, so a hostile patch count
+/// fails at end of input instead of reserving gigabytes.
+pub struct BinarySnapshotReader<const D: usize, R: Read> {
+    r: R,
+    meta: TraceMeta<D>,
+    remaining: u32,
+    total: u32,
+    last_step: Option<u32>,
+}
+
+impl<const D: usize, R: Read> BinarySnapshotReader<D, R> {
+    /// Read and check the stream header.
+    pub fn new(mut r: R) -> Result<Self, TraceIoError> {
+        let mut head = [0u8; 9];
+        r.read_exact(&mut head).map_err(|e| {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                TraceIoError::Format("truncated trace header".into())
+            } else {
+                TraceIoError::Io(e)
+            }
+        })?;
+        if &head[..8] != MAGIC {
+            return Err(TraceIoError::Format("bad magic".into()));
+        }
+        let dim = head[8] as usize;
+        if !(dim == 2 || dim == 3) {
+            return Err(TraceIoError::Format(format!(
+                "unsupported trace dimension {dim}"
+            )));
+        }
+        if dim != D {
+            return Err(TraceIoError::Format(format!(
+                "trace dimension mismatch: stream carries {dim}-D, expected {D}-D"
+            )));
+        }
+        let meta_len = read_u32_le(&mut r)? as usize;
+        // The metadata is one JSON object; cap the buffer growth by
+        // reading incrementally so a hostile length fails at EOF.
+        let mut meta_json = vec![0u8; meta_len.min(1 << 16)];
+        read_exact_or_truncated(&mut r, &mut meta_json)?;
+        while meta_json.len() < meta_len {
+            let take = (meta_len - meta_json.len()).min(1 << 16);
+            let start = meta_json.len();
+            meta_json.resize(start + take, 0);
+            read_exact_or_truncated(&mut r, &mut meta_json[start..])?;
+        }
+        let meta: TraceMeta<D> = serde_json::from_slice(&meta_json)?;
+        let total = read_u32_le(&mut r)?;
+        Ok(Self {
+            r,
+            meta,
+            remaining: total,
+            total,
+            last_step: None,
+        })
+    }
+}
+
+impl<const D: usize, R: Read> SnapshotSource<D> for BinarySnapshotReader<D, R> {
+    fn meta(&self) -> &TraceMeta<D> {
+        &self.meta
+    }
+
+    fn next_snapshot(&mut self) -> Result<Option<Snapshot<D>>, TraceIoError> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        let step = read_u32_le(&mut self.r)?;
+        let time = read_f64_le(&mut self.r)?;
+        let base = read_rect::<D, _>(&mut self.r)?;
+        let ratio = read_u8(&mut self.r)? as i64;
+        if !(2..=16).contains(&ratio) {
+            return Err(TraceIoError::Format(format!(
+                "implausible refinement ratio {ratio}"
+            )));
+        }
+        let n_levels = read_u16_le(&mut self.r)? as usize;
+        if n_levels > 32 {
+            return Err(TraceIoError::Format(format!(
+                "implausible level count {n_levels}"
+            )));
+        }
+        let mut level_rects: Vec<Vec<AABox<D>>> = Vec::with_capacity(n_levels);
+        for _ in 0..n_levels {
+            let n_patches = read_u32_le(&mut self.r)? as usize;
+            let mut rects = Vec::with_capacity(n_patches.min(1 << 16));
+            for _ in 0..n_patches {
+                rects.push(read_rect::<D, _>(&mut self.r)?);
+            }
+            level_rects.push(rects);
+        }
+        let snap = Snapshot {
+            step,
+            time,
+            hierarchy: GridHierarchy {
+                base_domain: base,
+                ratio,
+                levels: level_rects.iter().map(|r| Level::from_rects(r)).collect(),
+            },
+        };
+        validate_snapshot(&self.meta, &mut self.last_step, &snap)?;
+        self.remaining -= 1;
+        Ok(Some(snap))
+    }
+
+    fn len_hint(&self) -> Option<usize> {
+        Some(self.total as usize)
     }
 }
 
@@ -119,17 +473,7 @@ pub fn encode_binary<const D: usize>(trace: &HierarchyTrace<D>) -> Bytes {
     buf.put_slice(&meta_json);
     buf.put_u32_le(trace.snapshots.len() as u32);
     for s in &trace.snapshots {
-        buf.put_u32_le(s.step);
-        buf.put_f64_le(s.time);
-        put_rect(&mut buf, &s.hierarchy.base_domain);
-        buf.put_u8(s.hierarchy.ratio as u8);
-        buf.put_u16_le(s.hierarchy.levels.len() as u16);
-        for level in &s.hierarchy.levels {
-            buf.put_u32_le(level.patches.len() as u32);
-            for p in &level.patches {
-                put_rect(&mut buf, &p.rect);
-            }
-        }
+        encode_snapshot(&mut buf, s);
     }
     buf.freeze()
 }
@@ -161,85 +505,11 @@ pub fn binary_dim(data: &[u8]) -> Result<usize, TraceIoError> {
 
 /// Decode a binary trace produced by [`encode_binary`]. The stream's
 /// dimension byte must match `D`; use [`decode_binary_any`] to dispatch
-/// on it instead.
-pub fn decode_binary<const D: usize>(mut data: Bytes) -> Result<HierarchyTrace<D>, TraceIoError> {
-    let need = |data: &Bytes, n: usize| -> Result<(), TraceIoError> {
-        if data.remaining() < n {
-            Err(TraceIoError::Format(format!(
-                "truncated trace: need {n} more bytes, have {}",
-                data.remaining()
-            )))
-        } else {
-            Ok(())
-        }
-    };
-    need(&data, 9)?;
-    let mut magic = [0u8; 8];
-    data.copy_to_slice(&mut magic);
-    if &magic != MAGIC {
-        return Err(TraceIoError::Format("bad magic".into()));
-    }
-    let dim = data.get_u8() as usize;
-    if dim != D {
-        return Err(TraceIoError::Format(format!(
-            "trace dimension mismatch: stream carries {dim}-D, expected {D}-D"
-        )));
-    }
-    need(&data, 4)?;
-    let meta_len = data.get_u32_le() as usize;
-    need(&data, meta_len)?;
-    let meta_json = data.split_to(meta_len);
-    let meta: TraceMeta<D> = serde_json::from_slice(&meta_json)?;
-    let mut trace = HierarchyTrace::new(meta);
-    need(&data, 4)?;
-    let n_snaps = data.get_u32_le();
-    for _ in 0..n_snaps {
-        need(&data, 4 + 8)?;
-        let step = data.get_u32_le();
-        let time = data.get_f64_le();
-        let base = get_rect::<D>(&mut data, &need)?;
-        need(&data, 3)?;
-        let ratio = data.get_u8() as i64;
-        if !(2..=16).contains(&ratio) {
-            return Err(TraceIoError::Format(format!(
-                "implausible refinement ratio {ratio}"
-            )));
-        }
-        let n_levels = data.get_u16_le() as usize;
-        if n_levels > 32 {
-            return Err(TraceIoError::Format(format!(
-                "implausible level count {n_levels}"
-            )));
-        }
-        let mut level_rects: Vec<Vec<AABox<D>>> = Vec::with_capacity(n_levels);
-        let rect_bytes = 8 * D;
-        for _ in 0..n_levels {
-            need(&data, 4)?;
-            let n_patches = data.get_u32_le() as usize;
-            // Bound the allocation by the bytes actually present: each
-            // patch needs `rect_bytes`, so a hostile count fails here
-            // instead of reserving gigabytes.
-            need(&data, n_patches.saturating_mul(rect_bytes))?;
-            let mut rects = Vec::with_capacity(n_patches);
-            for _ in 0..n_patches {
-                rects.push(get_rect::<D>(&mut data, &need)?);
-            }
-            level_rects.push(rects);
-        }
-        let hierarchy = GridHierarchy {
-            base_domain: base,
-            ratio,
-            levels: level_rects.iter().map(|r| Level::from_rects(r)).collect(),
-        };
-        trace
-            .try_push(Snapshot {
-                step,
-                time,
-                hierarchy,
-            })
-            .map_err(TraceIoError::Format)?;
-    }
-    Ok(trace)
+/// on it instead. A collect over [`BinarySnapshotReader`]; trailing bytes
+/// after the declared snapshot count are ignored, as before.
+pub fn decode_binary<const D: usize>(data: Bytes) -> Result<HierarchyTrace<D>, TraceIoError> {
+    let mut slice: &[u8] = &data;
+    collect_source(BinarySnapshotReader::<D, _>::new(&mut slice)?)
 }
 
 /// Decode a binary trace of either dimension, dispatching on the header's
@@ -261,14 +531,89 @@ fn put_rect<const D: usize>(buf: &mut BytesMut, r: &AABox<D>) {
     }
 }
 
-fn get_rect<const D: usize>(
-    data: &mut Bytes,
-    need: &impl Fn(&Bytes, usize) -> Result<(), TraceIoError>,
-) -> Result<AABox<D>, TraceIoError> {
-    need(data, 8 * D)?;
-    let lo = Point::<D>::from_fn(|_| data.get_i32_le() as i64);
-    let hi = Point::<D>::from_fn(|_| data.get_i32_le() as i64);
-    AABox::try_new(lo, hi).ok_or_else(|| TraceIoError::Format(format!("empty rect {lo:?}..{hi:?}")))
+// ---------------------------------------------------------------------------
+// File sniffing
+// ---------------------------------------------------------------------------
+
+/// Open a trace file as a dimension-erased streaming snapshot source,
+/// sniffing the format (binary `SAMRTRC2` vs. JSON-lines) and the
+/// dimension from the header — the single file entry point the CLI and
+/// the engine's spill cache share. Only the header is parsed eagerly;
+/// snapshots stream on demand.
+pub fn open_trace_source(path: &Path) -> Result<AnySnapshotSource, TraceIoError> {
+    let mut file = std::fs::File::open(path)?;
+    let mut head = [0u8; 9];
+    let mut got = 0usize;
+    while got < head.len() {
+        let n = file.read(&mut head[got..])?;
+        if n == 0 {
+            break;
+        }
+        got += n;
+    }
+    file.seek(SeekFrom::Start(0))?;
+    if got >= 9 && &head[..8] == MAGIC {
+        let r = io::BufReader::new(file);
+        return match head[8] {
+            2 => Ok(AnySnapshotSource::D2(Box::new(
+                BinarySnapshotReader::<2, _>::new(r)?,
+            ))),
+            3 => Ok(AnySnapshotSource::D3(Box::new(
+                BinarySnapshotReader::<3, _>::new(r)?,
+            ))),
+            other => Err(TraceIoError::Format(format!(
+                "unsupported trace dimension {other}"
+            ))),
+        };
+    }
+    if got >= 7 && head.starts_with(b"SAMRTRC") {
+        // A binary trace of another format version (e.g. the
+        // pre-dimension-tag SAMRTRC1): fail with an actionable message
+        // instead of feeding binary bytes to the JSONL parser.
+        return Err(TraceIoError::Format(format!(
+            "unsupported binary trace version {:?}; regenerate with `samr generate`",
+            String::from_utf8_lossy(&head[..8])
+        )));
+    }
+    // JSON-lines: sniff the dimension from the metadata line, rewind, and
+    // hand the stream to the typed reader.
+    let mut r = io::BufReader::new(file);
+    let mut first = String::new();
+    if r.read_line(&mut first)? == 0 {
+        return Err(TraceIoError::Format("empty trace stream".into()));
+    }
+    let dim = jsonl_meta_dim(&first)?;
+    let mut file = r.into_inner();
+    file.seek(SeekFrom::Start(0))?;
+    let r = io::BufReader::new(file);
+    match dim {
+        2 => Ok(AnySnapshotSource::D2(Box::new(
+            JsonlSnapshotReader::<2, _>::new(r)?,
+        ))),
+        3 => Ok(AnySnapshotSource::D3(Box::new(
+            JsonlSnapshotReader::<3, _>::new(r)?,
+        ))),
+        other => Err(TraceIoError::Format(format!(
+            "unsupported trace dimension {other}"
+        ))),
+    }
+}
+
+/// Stream a snapshot source to a seekable sink in the binary format,
+/// returning the number of snapshots written. The bounded-memory
+/// generate-straight-to-disk path: one snapshot resident at a time.
+pub fn write_binary_source<const D: usize, W: Write + Seek>(
+    src: &mut (dyn SnapshotSource<D> + '_),
+    w: W,
+) -> Result<u32, TraceIoError> {
+    let mut out = BinarySnapshotWriter::new(w, src.meta())?;
+    let mut n = 0u32;
+    while let Some(snap) = src.next_snapshot()? {
+        out.write_snapshot(&snap)?;
+        n += 1;
+    }
+    out.finish()?;
+    Ok(n)
 }
 
 #[cfg(test)]
@@ -389,6 +734,50 @@ mod tests {
     }
 
     #[test]
+    fn streaming_binary_writer_matches_batch_encoder() {
+        let t = sample_trace();
+        let mut cursor = io::Cursor::new(Vec::new());
+        {
+            let mut w = BinarySnapshotWriter::new(&mut cursor, &t.meta).unwrap();
+            for s in &t.snapshots {
+                w.write_snapshot(s).unwrap();
+            }
+            w.finish().unwrap();
+        }
+        assert_eq!(cursor.into_inner(), encode_binary(&t).to_vec());
+    }
+
+    #[test]
+    fn streaming_binary_reader_pulls_one_snapshot_at_a_time() {
+        let t = sample_trace_3d();
+        let bytes = encode_binary(&t);
+        let mut slice: &[u8] = &bytes;
+        let mut r = BinarySnapshotReader::<3, _>::new(&mut slice).unwrap();
+        assert_eq!(r.len_hint(), Some(t.len()));
+        assert_eq!(r.meta(), &t.meta);
+        for want in &t.snapshots {
+            assert_eq!(r.next_snapshot().unwrap().as_ref(), Some(want));
+        }
+        assert!(r.next_snapshot().unwrap().is_none());
+        assert!(r.next_snapshot().unwrap().is_none());
+    }
+
+    #[test]
+    fn streaming_readers_reject_corruption_like_batch_decoders() {
+        // Non-monotone steps through the streaming JSONL reader.
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        let mut w = JsonlSnapshotWriter::new(&mut buf, &t.meta).unwrap();
+        w.write_snapshot(&t.snapshots[1]).unwrap();
+        w.write_snapshot(&t.snapshots[0]).unwrap();
+        w.finish().unwrap();
+        let mut r = JsonlSnapshotReader::<2, _>::new(io::BufReader::new(&buf[..])).unwrap();
+        assert!(r.next_snapshot().unwrap().is_some());
+        let err = r.next_snapshot().unwrap_err();
+        assert!(err.to_string().contains("strictly increasing"), "{err}");
+    }
+
+    #[test]
     fn binary_is_much_smaller_than_json() {
         let t = sample_trace();
         let mut json = Vec::new();
@@ -426,5 +815,43 @@ mod tests {
     fn empty_stream_is_an_error() {
         assert!(read_jsonl::<2, _>(io::BufReader::new(&b""[..])).is_err());
         assert!(read_jsonl_any(io::BufReader::new(&b""[..])).is_err());
+    }
+
+    #[test]
+    fn open_trace_source_sniffs_both_formats() {
+        let t = sample_trace();
+        let dir = std::env::temp_dir().join(format!("samr-trace-io-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let bin_path = dir.join("t.bin.trace");
+        let jsonl_path = dir.join("t.jsonl.trace");
+        std::fs::write(&bin_path, &encode_binary(&t)[..]).unwrap();
+        let mut jf = Vec::new();
+        write_jsonl(&t, &mut jf).unwrap();
+        std::fs::write(&jsonl_path, jf).unwrap();
+        for path in [&bin_path, &jsonl_path] {
+            let src = open_trace_source(path).unwrap();
+            assert_eq!(src.dim(), 2);
+            assert_eq!(src.collect().unwrap(), AnyTrace::D2(t.clone()));
+        }
+        // Unknown versions fail with an actionable message.
+        let old = dir.join("t.old.trace");
+        std::fs::write(&old, b"SAMRTRC1xxxxxxxx").unwrap();
+        let err = match open_trace_source(&old) {
+            Err(e) => e,
+            Ok(_) => panic!("unknown binary version must not open"),
+        };
+        assert!(err.to_string().contains("unsupported binary trace version"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn write_binary_source_streams_a_memory_source() {
+        use crate::source::MemorySource;
+        let t = sample_trace();
+        let mut src = MemorySource::new(&t);
+        let mut cursor = io::Cursor::new(Vec::new());
+        let n = write_binary_source::<2, _>(&mut src, &mut cursor).unwrap();
+        assert_eq!(n as usize, t.len());
+        assert_eq!(cursor.into_inner(), encode_binary(&t).to_vec());
     }
 }

@@ -9,16 +9,21 @@
 //!
 //! - [`Snapshot`]: the hierarchy at one coarse time step;
 //! - [`HierarchyTrace`]: the full sequence plus run metadata;
+//! - [`SnapshotSource`]: the pull-based streaming form — one snapshot
+//!   resident at a time, so paper-scale sweeps stay in bounded memory
+//!   from the generator to the consumers;
 //! - [`io`]: JSON-lines (human-inspectable) and compact binary
-//!   serialization;
+//!   serialization, each with batch and streaming readers *and* writers;
 //! - [`TraceStats`]: aggregate descriptors of a trace (size dynamics,
 //!   depth usage) used by the experiment harness.
 
 #![warn(missing_docs)]
 
 pub mod io;
+pub mod source;
 pub mod stats;
 pub mod trace;
 
+pub use source::{shared_source, AnySnapshotSource, MemorySource, SnapshotSource};
 pub use stats::TraceStats;
 pub use trace::{AnyTrace, HierarchyTrace, Snapshot, TraceMeta};

@@ -191,6 +191,23 @@ impl<const D: usize> HierarchyTrace<D> {
             .max()
             .unwrap_or(0)
     }
+
+    /// Rough in-memory footprint of the trace in bytes (snapshot, level
+    /// and patch payloads). Used by the engine's trace-cache byte budget
+    /// to decide between keeping a trace resident and spilling it to
+    /// disk; an estimate, not an allocator-exact measurement.
+    pub fn approx_bytes(&self) -> u64 {
+        use std::mem::size_of;
+        let mut total = size_of::<Self>() as u64;
+        for s in &self.snapshots {
+            total += size_of::<Snapshot<D>>() as u64;
+            for l in &s.hierarchy.levels {
+                total += size_of::<samr_grid::Level<D>>() as u64
+                    + (l.patches.len() * size_of::<samr_grid::Patch<D>>()) as u64;
+            }
+        }
+        total
+    }
 }
 
 /// A trace of either supported dimension — the dimension-erased form the
@@ -247,6 +264,15 @@ impl AnyTrace {
         match self {
             AnyTrace::D2(_) => None,
             AnyTrace::D3(t) => Some(t),
+        }
+    }
+
+    /// Rough in-memory footprint in bytes (see
+    /// [`HierarchyTrace::approx_bytes`]).
+    pub fn approx_bytes(&self) -> u64 {
+        match self {
+            AnyTrace::D2(t) => t.approx_bytes(),
+            AnyTrace::D3(t) => t.approx_bytes(),
         }
     }
 }

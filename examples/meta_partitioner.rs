@@ -4,12 +4,13 @@
 //! The paper's motivation (Figure 1, §3) and the ArMADA proof of concept:
 //! a static partitioner choice leaves execution time on the table; "even
 //! with such a simple model, execution times were reduced". This example
-//! expands one `Campaign` per machine model over the full partitioner
-//! registry (three static families, the octant baseline and the adaptive
-//! meta-partitioner) × all four applications, and reports total
-//! estimated execution times plus the meta/best-static and
-//! meta/worst-static ratios — all from the shared trace store, with no
-//! hand-wired pipeline.
+//! expands **one** `Campaign` whose machine axis sweeps the named
+//! presets (`uniform`, `slow-net`, `slow-cpu`) over the full partitioner
+//! registry (the static families with their parameter presets, the
+//! octant baseline and the adaptive meta-partitioner) × all four
+//! applications, and reports total estimated execution times plus the
+//! meta/best-static and meta/worst-static ratios — all from the shared
+//! trace store, with no hand-wired pipeline.
 
 use samr::apps::AppKind;
 use samr::engine::{Campaign, CampaignSpec, PartitionerSpec, ScenarioOutcome};
@@ -22,38 +23,38 @@ fn main() {
     } else {
         samr::engine::configs::paper()
     };
-    let machines = [
-        ("balanced", MachineModel::default()),
-        ("slow-network", MachineModel::slow_network()),
-        ("slow-cpu", MachineModel::slow_cpu()),
-    ];
     let registry: Vec<PartitionerSpec> = PartitionerSpec::registry()
         .into_iter()
         .map(|(_, s)| s)
         .collect();
+    let spec = CampaignSpec::new(cfg).partitioners(registry).machines([
+        MachineModel::default(),
+        MachineModel::slow_network(),
+        MachineModel::slow_cpu(),
+    ]);
+    let outcomes = Campaign::run(&spec);
 
     println!("app,machine,partitioner,total_time,mean_imbalance,mean_rel_comm,mean_rel_migration");
-    for (mname, machine) in &machines {
-        let spec = CampaignSpec::new(cfg.clone())
-            .partitioners(registry.iter().copied())
-            .machine(*machine);
-        let outcomes = Campaign::run(&spec);
-        for outcome in &outcomes {
-            let s = outcome.summary();
-            println!(
-                "{},{},{},{:.0},{:.3},{:.4},{:.4}",
-                outcome.scenario.app.name(),
-                mname,
-                s.partitioner_name,
-                s.total_time,
-                s.mean_imbalance,
-                s.mean_rel_comm,
-                s.mean_rel_migration
-            );
-        }
+    for outcome in &outcomes {
+        let s = outcome.summary();
+        println!(
+            "{},{},{},{:.0},{:.3},{:.4},{:.4}",
+            outcome.scenario.app.name(),
+            outcome.scenario.machine_name(),
+            s.partitioner_name,
+            s.total_time,
+            s.mean_imbalance,
+            s.mean_rel_comm,
+            s.mean_rel_migration
+        );
+    }
+    for &machine in &spec.machines {
+        let mname = machine.preset_name().unwrap_or("custom");
         for kind in AppKind::ALL {
-            let per_app: Vec<&ScenarioOutcome> =
-                outcomes.iter().filter(|o| o.scenario.app == kind).collect();
+            let per_app: Vec<&ScenarioOutcome> = outcomes
+                .iter()
+                .filter(|o| o.scenario.app == kind && o.scenario.sim.machine == machine)
+                .collect();
             let static_times: Vec<f64> = per_app
                 .iter()
                 .filter(|o| matches!(o.scenario.partitioner, PartitionerSpec::Static(_)))

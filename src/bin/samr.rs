@@ -8,35 +8,38 @@
 //! samr compare  <trace-file> [--nprocs N]
 //! samr campaign [--apps A,B] [--dims 2,3] [--partitioners P,Q] [--nprocs N,M]
 //!               [--ghost-widths G,H] [--config paper|reduced|smoke]
-//!               [--machine balanced|slow-network|slow-cpu] [--out DIR]
+//!               [--machines uniform,fast-net,slow-net,slow-cpu] [--out DIR]
 //! samr apps
 //! samr partitioners
 //! ```
 //!
-//! `generate` runs an application kernel and writes its hierarchy trace
-//! (JSON-lines by default, compact binary with `--binary`); `analyze`
-//! runs the paper's model over a trace and prints the per-step penalties;
-//! `simulate` partitions every snapshot and prints the measured per-step
-//! metrics; `compare` runs the META1 static-vs-dynamic comparison;
-//! `campaign` expands a cartesian sweep (apps × partitioners × nprocs ×
-//! ghost widths), executes it rayon-parallel through `samr-engine`, and
+//! `generate` runs an application kernel and **streams** its hierarchy
+//! trace to disk snapshot by snapshot (JSON-lines by default, compact
+//! binary with `--binary`) — the trace is never whole in memory;
+//! `analyze` folds the paper's model over a trace stream and prints the
+//! per-step penalties; `simulate` runs a trace stream through the
+//! windowed partitioning driver and prints the measured per-step
+//! metrics; `compare` runs the META1 static-vs-dynamic comparison,
+//! re-opening the trace stream once per partitioner; `campaign` expands
+//! a cartesian sweep (apps × partitioners × nprocs × ghost widths ×
+//! machines), executes it rayon-parallel through `samr-engine`, and
 //! writes one CSV plus one JSON summary per scenario.
 
-use samr::apps::{generate_trace_any, AppKind, TraceGenConfig};
+use samr::apps::{trace_source_any, AppKind, TraceGenConfig};
 use samr::engine::{configs, Campaign, CampaignSpec, PartitionerSpec};
-use samr::meta::compare_on_trace;
-use samr::model::ModelPipeline;
-use samr::sim::{MachineModel, SimConfig};
-use samr::trace::io::{decode_binary_any, encode_binary_any, read_jsonl_any, write_jsonl};
-use samr::trace::AnyTrace;
+use samr::meta::compare_on_sources;
+use samr::model::{ModelAccumulator, ModelConfig};
+use samr::sim::{MachineModel, SimConfig, SimResult};
+use samr::trace::io::{open_trace_source, write_binary_source, JsonlSnapshotWriter, TraceIoError};
+use samr::trace::{AnySnapshotSource, Snapshot, SnapshotSource};
 use std::fs::File;
-use std::io::{BufReader, Read, Write};
-use std::path::PathBuf;
+use std::io::BufWriter;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  samr generate <app> [--config paper|reduced|smoke] [--seed N] [--binary] [--out FILE]\n  samr analyze  <trace-file>\n  samr simulate <trace-file> [--partitioner NAME] [--nprocs N]\n  samr compare  <trace-file> [--nprocs N]\n  samr campaign [--apps A,B] [--dims 2,3] [--partitioners P,Q] [--nprocs N,M] [--ghost-widths G,H]\n                [--config paper|reduced|smoke] [--machine balanced|slow-network|slow-cpu] [--out DIR]\n  samr apps\n  samr partitioners"
+        "usage:\n  samr generate <app> [--config paper|reduced|smoke] [--seed N] [--binary] [--out FILE]\n  samr analyze  <trace-file>\n  samr simulate <trace-file> [--partitioner NAME] [--nprocs N]\n  samr compare  <trace-file> [--nprocs N]\n  samr campaign [--apps A,B] [--dims 2,3] [--partitioners P,Q] [--nprocs N,M] [--ghost-widths G,H]\n                [--config paper|reduced|smoke] [--machines uniform,fast-net,slow-net,slow-cpu] [--out DIR]\n  samr apps\n  samr partitioners"
     );
     ExitCode::from(2)
 }
@@ -78,30 +81,30 @@ fn parse_list<T>(
     }
 }
 
-fn load_trace(path: &str) -> Result<AnyTrace, String> {
-    let mut file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
-    let mut head = [0u8; 8];
-    let n = file
-        .read(&mut head)
-        .map_err(|e| format!("read {path}: {e}"))?;
-    let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
-    if n == 8 && &head == b"SAMRTRC2" {
-        let mut bytes = Vec::new();
-        BufReader::new(file)
-            .read_to_end(&mut bytes)
-            .map_err(|e| format!("read {path}: {e}"))?;
-        decode_binary_any(bytes.into()).map_err(|e| format!("decode {path}: {e}"))
-    } else if n == 8 && head.starts_with(b"SAMRTRC") {
-        // A binary trace of another format version (e.g. the
-        // pre-dimension-tag SAMRTRC1): fail with an actionable message
-        // instead of feeding binary bytes to the JSONL parser.
-        Err(format!(
-            "{path}: unsupported binary trace version {:?}; regenerate with `samr generate`",
-            String::from_utf8_lossy(&head)
-        ))
-    } else {
-        read_jsonl_any(BufReader::new(file)).map_err(|e| format!("parse {path}: {e}"))
+/// Open a trace file as a streaming snapshot source (format and
+/// dimension sniffed from the header).
+fn load_source(path: &str) -> Result<AnySnapshotSource, String> {
+    open_trace_source(Path::new(path)).map_err(|e| format!("open {path}: {e}"))
+}
+
+/// Stream a generator source to a writer, one snapshot at a time.
+fn stream_out<const D: usize>(
+    src: &mut (dyn SnapshotSource<D> + '_),
+    out: &str,
+    binary: bool,
+) -> Result<usize, TraceIoError> {
+    let file = File::create(out)?;
+    if binary {
+        return write_binary_source(src, BufWriter::new(file)).map(|n| n as usize);
     }
+    let mut n = 0usize;
+    let mut w = JsonlSnapshotWriter::new(BufWriter::new(file), src.meta())?;
+    while let Some(snap) = src.next_snapshot()? {
+        w.write_snapshot(&snap)?;
+        n += 1;
+    }
+    w.finish()?;
+    Ok(n)
 }
 
 fn cmd_generate(args: &[String]) -> Result<(), String> {
@@ -121,46 +124,29 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
         cfg.base_cells,
         cfg.max_levels
     );
-    let trace = generate_trace_any(app, &cfg);
     let out =
         flag_value(args, "--out").unwrap_or_else(|| format!("{}.trace", app.name().to_lowercase()));
-    let mut file = File::create(&out).map_err(|e| format!("create {out}: {e}"))?;
-    if has_flag(args, "--binary") {
-        file.write_all(&encode_binary_any(&trace))
-            .map_err(|e| format!("write {out}: {e}"))?;
-    } else {
-        match &trace {
-            AnyTrace::D2(t) => write_jsonl(t, &mut file),
-            AnyTrace::D3(t) => write_jsonl(t, &mut file),
-        }
-        .map_err(|e| format!("write {out}: {e}"))?;
+    let binary = has_flag(args, "--binary");
+    // The generator streams straight to disk: one snapshot resident at a
+    // time, whatever the trace length.
+    let n = match trace_source_any(app, &cfg) {
+        AnySnapshotSource::D2(mut s) => stream_out::<2>(&mut s, &out, binary),
+        AnySnapshotSource::D3(mut s) => stream_out::<3>(&mut s, &out, binary),
     }
-    eprintln!("wrote {} snapshots to {out}", trace.len());
+    .map_err(|e| format!("write {out}: {e}"))?;
+    eprintln!("wrote {n} snapshots to {out}");
     Ok(())
 }
 
-fn cmd_analyze(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or("expected a trace file")?;
-    let trace = load_trace(path)?;
-    let pipeline = ModelPipeline::new();
-    let (states, sizes): (Vec<_>, Vec<(u64, u64)>) = match &trace {
-        AnyTrace::D2(t) => (
-            pipeline.run(t),
-            t.snapshots
-                .iter()
-                .map(|s| (s.hierarchy.total_points(), s.hierarchy.workload()))
-                .collect(),
-        ),
-        AnyTrace::D3(t) => (
-            pipeline.run(t),
-            t.snapshots
-                .iter()
-                .map(|s| (s.hierarchy.total_points(), s.hierarchy.workload()))
-                .collect(),
-        ),
-    };
-    println!("step,beta_l,beta_c,beta_m,d1,d2,d3,request,offer,points,workload");
-    for (s, (points, workload)) in states.iter().zip(&sizes) {
+/// Fold the model over a snapshot stream, printing one CSV row per step
+/// as it is produced (two snapshots resident at most).
+fn analyze_source<const D: usize>(
+    src: &mut (dyn SnapshotSource<D> + '_),
+) -> Result<(), TraceIoError> {
+    let mut acc = ModelAccumulator::new(ModelConfig::default());
+    let mut prev: Option<Snapshot<D>> = None;
+    while let Some(snap) = src.next_snapshot()? {
+        let s = acc.step(prev.as_ref().map(|p| &p.hierarchy), &snap);
         println!(
             "{},{:.6},{:.6},{:.6},{:.4},{:.4},{:.4},{:.4},{:.4},{},{}",
             s.step,
@@ -172,16 +158,28 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
             s.point.d3,
             s.tradeoff2.request,
             s.tradeoff2.offer,
-            points,
-            workload
+            snap.hierarchy.total_points(),
+            snap.hierarchy.workload()
         );
+        prev = Some(snap);
     }
     Ok(())
 }
 
+fn cmd_analyze(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("expected a trace file")?;
+    let mut source = load_source(path)?;
+    println!("step,beta_l,beta_c,beta_m,d1,d2,d3,request,offer,points,workload");
+    match &mut source {
+        AnySnapshotSource::D2(s) => analyze_source::<2>(s),
+        AnySnapshotSource::D3(s) => analyze_source::<3>(s),
+    }
+    .map_err(|e| format!("analyze {path}: {e}"))
+}
+
 fn cmd_simulate(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("expected a trace file")?;
-    let trace = load_trace(path)?;
+    let mut source = load_source(path)?;
     let nprocs: usize = flag_value(args, "--nprocs")
         .map(|v| v.parse().map_err(|e| format!("bad nprocs: {e}")))
         .transpose()?
@@ -194,10 +192,11 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         nprocs,
         ..SimConfig::default()
     };
-    let res = match &trace {
-        AnyTrace::D2(t) => spec.simulate(t, &cfg),
-        AnyTrace::D3(t) => spec.simulate(t, &cfg),
-    };
+    let res: SimResult = match &mut source {
+        AnySnapshotSource::D2(s) => spec.simulate_source::<2>(s, &cfg),
+        AnySnapshotSource::D3(s) => spec.simulate_source::<3>(s, &cfg),
+    }
+    .map_err(|e| format!("simulate {path}: {e}"))?;
     println!(
         "# partitioner: {} on {} processors",
         res.partitioner, nprocs
@@ -221,7 +220,9 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
 
 fn cmd_compare(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("expected a trace file")?;
-    let trace = load_trace(path)?;
+    // Sniff the dimension once, then re-open the stream per partitioner
+    // pass: five sequential sweeps, never more than two snapshots live.
+    let dim = load_source(path)?.dim();
     let nprocs: usize = flag_value(args, "--nprocs")
         .map(|v| v.parse().map_err(|e| format!("bad nprocs: {e}")))
         .transpose()?
@@ -230,10 +231,27 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
         nprocs,
         ..SimConfig::default()
     };
-    let res = match &trace {
-        AnyTrace::D2(t) => compare_on_trace(t, &cfg),
-        AnyTrace::D3(t) => compare_on_trace(t, &cfg),
-    };
+    let res = match dim {
+        2 => compare_on_sources::<2, _, _>(
+            || {
+                open_trace_source(Path::new(path)).map(|s| match s {
+                    AnySnapshotSource::D2(s) => s,
+                    AnySnapshotSource::D3(_) => unreachable!("dimension sniffed as 2-D"),
+                })
+            },
+            &cfg,
+        ),
+        _ => compare_on_sources::<3, _, _>(
+            || {
+                open_trace_source(Path::new(path)).map(|s| match s {
+                    AnySnapshotSource::D3(s) => s,
+                    AnySnapshotSource::D2(_) => unreachable!("dimension sniffed as 3-D"),
+                })
+            },
+            &cfg,
+        ),
+    }
+    .map_err(|e| format!("compare {path}: {e}"))?;
     println!("partitioner,total_time,mean_imbalance,mean_rel_comm,mean_rel_migration");
     for r in res
         .static_runs
@@ -286,12 +304,19 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
         Some("smoke") => TraceGenConfig::smoke(),
         Some(other) => return Err(format!("unknown config '{other}'")),
     };
-    let machine = match flag_value(args, "--machine").as_deref() {
-        None | Some("balanced") => MachineModel::default(),
-        Some("slow-network") => MachineModel::slow_network(),
-        Some("slow-cpu") => MachineModel::slow_cpu(),
-        Some(other) => return Err(format!("unknown machine '{other}'")),
+    // `--machines` sweeps the machine axis; `--machine` (singular) is
+    // kept as an alias for a one-machine campaign.
+    let machine_flag = if has_flag(args, "--machines") {
+        "--machines"
+    } else {
+        "--machine"
     };
+    let machines = parse_list(
+        args,
+        machine_flag,
+        vec![MachineModel::default()],
+        MachineModel::parse,
+    )?;
     let out_dir =
         PathBuf::from(flag_value(args, "--out").unwrap_or_else(|| "results/campaign".into()));
     let spec = CampaignSpec::new(trace)
@@ -300,7 +325,7 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
         .partitioners(partitioners)
         .nprocs(nprocs)
         .ghost_widths(ghost_widths)
-        .machine(machine);
+        .machines(machines);
     if spec.is_empty() {
         return Err("campaign expands to zero scenarios".into());
     }
@@ -310,12 +335,13 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
         .filter(|a| spec.dims.contains(&a.dim()))
         .count();
     eprintln!(
-        "campaign: {} scenarios ({} apps x {} partitioners x {} nprocs x {} ghost widths, dims {:?}) -> {}",
+        "campaign: {} scenarios ({} apps x {} partitioners x {} nprocs x {} ghost widths x {} machines, dims {:?}) -> {}",
         spec.len(),
         active_apps,
         spec.partitioners.len(),
         spec.nprocs.len(),
         spec.ghost_widths.len(),
+        spec.machines.len(),
         spec.dims,
         out_dir.display()
     );

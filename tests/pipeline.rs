@@ -185,6 +185,61 @@ fn model_runs_on_every_trace_and_is_pure() {
 }
 
 #[test]
+fn streamed_pipeline_matches_batch_for_every_app() {
+    // End to end: generator step-stream → windowed simulation and
+    // incremental model fold must equal the batch pipeline bit for bit,
+    // for every application of either dimension.
+    use samr::apps::trace_source_any;
+    use samr::sim::{simulate_source, SimConfig};
+    use samr::trace::AnySnapshotSource;
+
+    let cfg2 = TraceGenConfig::smoke();
+    let cfg = |kind: AppKind| {
+        if kind.dim() == 3 {
+            cfg_3d()
+        } else {
+            cfg2.clone()
+        }
+    };
+    for kind in AppKind::EVERY {
+        let cfg = cfg(kind);
+        let sim_cfg = SimConfig {
+            nprocs: 4,
+            ..SimConfig::default()
+        };
+        match trace_source_any(kind, &cfg) {
+            AnySnapshotSource::D2(mut src) => {
+                let t = trace2(kind, &cfg);
+                let p = HybridPartitioner::default();
+                let streamed = simulate_source(&mut src, &p, &sim_cfg, 3).unwrap();
+                assert_eq!(
+                    streamed,
+                    simulate_trace(&t, &p, &sim_cfg),
+                    "{}",
+                    kind.name()
+                );
+                let mut model_src = samr::apps::trace_source(kind, &cfg);
+                let states = ModelPipeline::new()
+                    .run_source::<2>(&mut model_src)
+                    .unwrap();
+                assert_eq!(states, ModelPipeline::new().run(&t), "{}", kind.name());
+            }
+            AnySnapshotSource::D3(mut src) => {
+                let t = trace3();
+                let p = HybridPartitioner::default();
+                let streamed = simulate_source(&mut src, &p, &sim_cfg, 3).unwrap();
+                assert_eq!(
+                    streamed,
+                    simulate_trace(&t, &p, &sim_cfg),
+                    "{}",
+                    kind.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn domain_based_never_pays_inter_level_comm() {
     use samr::sim::comm::inter_level_comm;
     let cfg = TraceGenConfig::smoke();

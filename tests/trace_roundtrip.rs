@@ -45,6 +45,53 @@ fn binary_roundtrip_on_real_traces() {
 }
 
 #[test]
+fn streaming_writer_and_reader_roundtrip_real_traces_via_files() {
+    use samr::trace::io::{open_trace_source, BinarySnapshotWriter, JsonlSnapshotWriter};
+    use samr::trace::{AnyTrace, MemorySource, SnapshotSource};
+
+    let cfg = TraceGenConfig::smoke();
+    let trace = cached_trace(AppKind::Bl2d, &cfg);
+    let t2 = trace.as_2d().expect("BL2D is 2-D");
+    let dir = std::env::temp_dir().join(format!("samr-roundtrip-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Stream out one snapshot at a time in both formats, then stream
+    // back in through the sniffing file opener.
+    let bin_path = dir.join("bl2d.bin.trace");
+    {
+        let file = std::fs::File::create(&bin_path).unwrap();
+        let mut w = BinarySnapshotWriter::new(std::io::BufWriter::new(file), &t2.meta).unwrap();
+        let mut src = MemorySource::new(t2);
+        while let Some(s) = src.next_snapshot().unwrap() {
+            w.write_snapshot(&s).unwrap();
+        }
+        w.finish().unwrap();
+    }
+    let jsonl_path = dir.join("bl2d.jsonl.trace");
+    {
+        let file = std::fs::File::create(&jsonl_path).unwrap();
+        let mut w = JsonlSnapshotWriter::new(std::io::BufWriter::new(file), &t2.meta).unwrap();
+        let mut src = MemorySource::new(t2);
+        while let Some(s) = src.next_snapshot().unwrap() {
+            w.write_snapshot(&s).unwrap();
+        }
+        w.finish().unwrap();
+    }
+    for path in [&bin_path, &jsonl_path] {
+        let src = open_trace_source(path).unwrap();
+        assert_eq!(src.dim(), 2);
+        let back = src.collect().unwrap();
+        assert_eq!(back, AnyTrace::D2(t2.clone()), "{}", path.display());
+    }
+    // The streamed binary bytes are exactly the batch encoder's bytes.
+    assert_eq!(
+        std::fs::read(&bin_path).unwrap(),
+        encode_binary(t2).to_vec()
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn roundtrips_on_real_3d_traces() {
     let trace = cached_trace(AppKind::Sp3d, &cfg_3d());
     // Binary, via the dimension-erased entry points the CLI uses.
