@@ -1,13 +1,23 @@
-//! Cartesian campaign expansion and rayon-parallel execution.
+//! Cartesian campaign specs and the plan → execute → merge front end.
+//!
+//! [`CampaignSpec`] declares the sweep; [`Campaign`] is the convenience
+//! runner gluing the three explicit layers together: a spec is expanded
+//! by the planner ([`crate::plan`]) into a deterministic
+//! [`crate::plan::CampaignPlan`], executed by an executor
+//! ([`crate::exec`]) and — when sharded — reassembled by the merger
+//! ([`crate::merge`]). `Campaign::run`/`run_to_dir` are thin wrappers
+//! over the single-shard in-process path.
 
+use crate::exec::{write_scenario_artifacts, RayonExecutor};
+use crate::merge::{CampaignManifest, CAMPAIGN_CSV};
+use crate::plan::{CampaignPlan, ShardStrategy};
 use crate::scenario::{Scenario, ScenarioOutcome};
 use crate::spec::PartitionerSpec;
-use crate::store::cached_model;
-use rayon::prelude::*;
 use samr_apps::{AppKind, TraceGenConfig};
 use samr_sim::{MachineModel, SimConfig};
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 /// A declarative sweep: the cartesian product of applications,
 /// partitioner specifications, processor counts, ghost widths and
@@ -173,59 +183,76 @@ fn dedup_axis<T: PartialEq>(values: impl IntoIterator<Item = T>) -> Vec<T> {
     out
 }
 
-/// The campaign runner.
+/// The campaign runner: thin wrappers over plan → execute (→ artifact
+/// write) for the common single-process case. Sharded and
+/// multi-process execution use the layers directly (see
+/// [`crate::exec::ShardExecutor`], [`crate::exec::WorkerExecutor`] and
+/// [`crate::merge::merge_shards`]).
 pub struct Campaign;
 
 impl Campaign {
-    /// Expand and execute a campaign spec, rayon-parallel over
-    /// scenarios, returning outcomes in scenario order.
+    /// Expand and execute a campaign spec in-process, rayon-parallel
+    /// over scenarios, returning outcomes in plan order.
     ///
     /// Traces and model series are generated once per application up
     /// front (in parallel) and shared through the process-wide store, so
     /// the scenario sweep itself is pure partition-and-simulate work.
     pub fn run(spec: &CampaignSpec) -> Vec<ScenarioOutcome> {
-        if spec.is_empty() {
-            return Vec::new();
-        }
-        // Warm the store: one trace + model per distinct application.
-        spec.active_apps().par_iter().for_each(|&app| {
-            cached_model(app, &spec.trace);
-        });
-        let scenarios = spec.scenarios();
-        scenarios.par_iter().map(Scenario::run).collect()
+        let plan = CampaignPlan::new(spec, 1, ShardStrategy::default());
+        RayonExecutor.run_plan(&plan)
     }
 
-    /// Run a campaign and write one CSV (per-step series) and one JSON
-    /// summary per scenario into `dir`, returning the outcomes and the
-    /// paths written. File names are the scenario slugs.
+    /// Run a campaign and write its artifacts into `dir`: one CSV
+    /// (per-step series) and one JSON summary per scenario (named by
+    /// the plan's unique slugs), the canonical concatenated
+    /// `campaign.csv`, and the audit `campaign.manifest.json`. Returns
+    /// the outcomes and every path written.
     pub fn run_to_dir(
         spec: &CampaignSpec,
         dir: &Path,
     ) -> std::io::Result<(Vec<ScenarioOutcome>, Vec<PathBuf>)> {
-        let outcomes = Self::run(spec);
-        let mut paths = Vec::with_capacity(outcomes.len() * 2);
-        let mut used: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
-        std::fs::create_dir_all(dir)?;
-        for outcome in &outcomes {
-            // Slugs encode (app, partitioner family, nprocs, ghost, dim);
-            // two same-family partitioners with different parameters share
-            // one — suffix repeats so no artifact silently overwrites
-            // another.
-            let base = outcome.scenario.slug();
-            let n = used.entry(base.clone()).or_insert(0);
-            *n += 1;
-            let slug = if *n == 1 { base } else { format!("{base}-{n}") };
-            let csv_path = dir.join(format!("{slug}.csv"));
-            std::fs::write(&csv_path, outcome.to_csv())?;
-            let json_path = dir.join(format!("{slug}.json"));
-            let json =
-                serde_json::to_string_pretty(&outcome.summary()).expect("summary serializes");
-            std::fs::write(&json_path, json)?;
-            paths.push(csv_path);
-            paths.push(json_path);
-        }
+        let start = Instant::now();
+        let plan = CampaignPlan::new(spec, 1, ShardStrategy::default());
+        let outcomes = RayonExecutor.run_plan(&plan);
+        let paths = write_campaign_artifacts(&plan, &outcomes, dir, start.elapsed().as_secs_f64())?;
         Ok((outcomes, paths))
     }
+}
+
+/// Write the canonical campaign artifact set for in-process execution:
+/// per-scenario CSV/JSON under the plan's unique slugs, the
+/// concatenated `campaign.csv` in plan order, and the audit manifest.
+/// The merger produces the byte-identical set from shard directories.
+pub(crate) fn write_campaign_artifacts(
+    plan: &CampaignPlan,
+    outcomes: &[ScenarioOutcome],
+    dir: &Path,
+    elapsed_seconds: f64,
+) -> std::io::Result<Vec<PathBuf>> {
+    std::fs::create_dir_all(dir)?;
+    let mut paths = Vec::with_capacity(2 * outcomes.len() + 2);
+    let mut parts: Vec<(String, String)> = Vec::with_capacity(outcomes.len());
+    for (planned, outcome) in plan.scenarios.iter().zip(outcomes) {
+        let csv = outcome.to_csv();
+        let (csv_path, json_path) = write_scenario_artifacts(dir, &planned.slug, &csv, outcome)?;
+        parts.push((planned.slug.clone(), csv));
+        paths.push(csv_path);
+        paths.push(json_path);
+    }
+    let campaign_csv =
+        crate::merge::assemble_campaign_csv(parts.iter().map(|(s, c)| (s.as_str(), c.as_str())));
+    let csv_path = dir.join(CAMPAIGN_CSV);
+    std::fs::write(&csv_path, campaign_csv)?;
+    paths.push(csv_path);
+    let manifest = CampaignManifest {
+        plan_hash: plan.plan_hash.clone(),
+        scenario_count: plan.len(),
+        shards: 1,
+        elapsed_seconds,
+        spec: plan.spec.clone(),
+    };
+    paths.push(manifest.write(dir)?);
+    Ok(paths)
 }
 
 #[cfg(test)]

@@ -1,0 +1,325 @@
+//! Campaign executors: the *where and how it runs* half of campaign
+//! execution.
+//!
+//! A [`CampaignExecutor`] consumes a [`CampaignPlan`] and produces
+//! either in-memory outcomes or on-disk shard artifact directories:
+//!
+//! - [`RayonExecutor`] — the in-process default: every scenario of the
+//!   plan, rayon-parallel over a warmed trace/model store, outcomes in
+//!   plan order (byte-identical to the pre-refactor monolithic loop);
+//! - [`ShardExecutor`] — runs exactly one shard of the plan and writes
+//!   a self-describing artifact directory (`shard-<i>-of-<n>/` with
+//!   per-scenario CSV/JSON plus a [`ShardManifest`]) that
+//!   [`crate::merge`] can validate and reassemble;
+//! - [`WorkerExecutor`] — multi-process: spawns one `samr campaign
+//!   --shard i/n` child per shard and waits, so a single host (or a
+//!   launcher script across hosts) runs the shards as independent
+//!   processes, each with its own bounded-memory trace store.
+
+use crate::merge::{ManifestEntry, ShardManifest};
+use crate::plan::{CampaignPlan, PlannedScenario};
+use crate::scenario::ScenarioOutcome;
+use crate::store::cached_model;
+use rayon::prelude::*;
+use samr_apps::AppKind;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::time::Instant;
+
+/// What an executor produced.
+#[derive(Debug)]
+pub enum ExecOutput {
+    /// Outcomes held in memory, in plan order (in-process execution).
+    Outcomes(Vec<ScenarioOutcome>),
+    /// Shard artifact directories on disk, each holding per-scenario
+    /// CSV/JSON artifacts and a `shard.manifest.json`.
+    Shards(Vec<PathBuf>),
+}
+
+/// Execution failure: I/O trouble writing artifacts, or a worker
+/// process that could not be spawned or exited unsuccessfully.
+#[derive(Debug)]
+pub enum ExecError {
+    /// Artifact or manifest I/O failed.
+    Io(std::io::Error),
+    /// A shard worker process failed.
+    Worker {
+        /// Which shard the worker was running.
+        shard: usize,
+        /// What went wrong (spawn error or exit status).
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "artifact I/O failed: {e}"),
+            Self::Worker { shard, detail } => {
+                write!(f, "shard {shard} worker failed: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<std::io::Error> for ExecError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// A strategy for executing a campaign plan. `dir` is the campaign
+/// artifact directory; in-process executors that keep outcomes in
+/// memory ignore it.
+pub trait CampaignExecutor {
+    /// Execute (all or one shard of) `plan`, writing any artifacts
+    /// under `dir`.
+    fn execute(&self, plan: &CampaignPlan, dir: &Path) -> Result<ExecOutput, ExecError>;
+}
+
+/// Warm the process-wide store: one trace + model per distinct
+/// application, generated in parallel, so the scenario sweep itself is
+/// pure partition-and-simulate work.
+fn warm_store(scenarios: &[&PlannedScenario]) {
+    let mut apps: Vec<(AppKind, &PlannedScenario)> = Vec::new();
+    for p in scenarios {
+        if !apps.iter().any(|(a, _)| *a == p.scenario.app) {
+            apps.push((p.scenario.app, p));
+        }
+    }
+    apps.par_iter().for_each(|(app, p)| {
+        cached_model(*app, &p.scenario.trace);
+    });
+}
+
+/// Run a slice of planned scenarios rayon-parallel, outcomes in input
+/// order.
+fn run_scenarios(scenarios: &[&PlannedScenario]) -> Vec<ScenarioOutcome> {
+    warm_store(scenarios);
+    scenarios.par_iter().map(|p| p.scenario.run()).collect()
+}
+
+/// Write one scenario's CSV (pre-rendered, so callers assembling the
+/// campaign CSV render it once) and JSON artifacts under `dir`, named
+/// by the planned slug; returns the two paths.
+pub(crate) fn write_scenario_artifacts(
+    dir: &Path,
+    slug: &str,
+    csv: &str,
+    outcome: &ScenarioOutcome,
+) -> std::io::Result<(PathBuf, PathBuf)> {
+    let csv_path = dir.join(format!("{slug}.csv"));
+    std::fs::write(&csv_path, csv)?;
+    let json_path = dir.join(format!("{slug}.json"));
+    let json = serde_json::to_string_pretty(&outcome.summary()).expect("summary serializes");
+    std::fs::write(&json_path, json)?;
+    Ok((csv_path, json_path))
+}
+
+/// Build a scoped rayon pool of `threads` workers (`0` = automatic)
+/// for campaign execution — the engine behind the CLI's `--threads`,
+/// so shard workers sharing one host cap their parallelism instead of
+/// each assuming the whole machine.
+pub fn build_thread_pool(threads: usize) -> Result<rayon::ThreadPool, String> {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .map_err(|e| format!("build {threads}-thread pool: {e}"))
+}
+
+/// The in-process executor: the whole plan, rayon-parallel, outcomes in
+/// plan order. This is `Campaign::run`'s engine and preserves the
+/// pre-refactor behavior byte for byte.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RayonExecutor;
+
+impl RayonExecutor {
+    /// Execute every scenario of the plan, returning outcomes in plan
+    /// order.
+    pub fn run_plan(&self, plan: &CampaignPlan) -> Vec<ScenarioOutcome> {
+        let scenarios: Vec<&PlannedScenario> = plan.scenarios.iter().collect();
+        run_scenarios(&scenarios)
+    }
+}
+
+impl CampaignExecutor for RayonExecutor {
+    fn execute(&self, plan: &CampaignPlan, _dir: &Path) -> Result<ExecOutput, ExecError> {
+        Ok(ExecOutput::Outcomes(self.run_plan(plan)))
+    }
+}
+
+/// The directory name of one shard's artifacts under the campaign
+/// directory: `shard-<i>-of-<n>`.
+pub fn shard_dir_name(shard: usize, nshards: usize) -> String {
+    format!("shard-{shard}-of-{nshards}")
+}
+
+/// Runs exactly one shard of a plan and writes its self-describing
+/// artifact directory. The executor of `samr campaign --shard i/n`.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardExecutor {
+    /// Which shard of the plan to run (`0..plan.nshards`).
+    pub shard: usize,
+}
+
+impl ShardExecutor {
+    /// Execute this executor's shard of the plan, writing per-scenario
+    /// artifacts and the shard manifest under
+    /// `dir/shard-<i>-of-<n>/`. Returns the outcomes (in the shard's
+    /// plan order, matching [`CampaignPlan::shard_scenarios`]) and the
+    /// shard directory.
+    pub fn run_shard(
+        &self,
+        plan: &CampaignPlan,
+        dir: &Path,
+    ) -> Result<(Vec<ScenarioOutcome>, PathBuf), ExecError> {
+        assert!(
+            self.shard < plan.nshards,
+            "shard {} out of range for a {}-shard plan",
+            self.shard,
+            plan.nshards
+        );
+        let start = Instant::now();
+        let scenarios = plan.shard_scenarios(self.shard);
+        let outcomes = run_scenarios(&scenarios);
+        let shard_dir = dir.join(shard_dir_name(self.shard, plan.nshards));
+        std::fs::create_dir_all(&shard_dir)?;
+        for (p, outcome) in scenarios.iter().zip(&outcomes) {
+            write_scenario_artifacts(&shard_dir, &p.slug, &outcome.to_csv(), outcome)?;
+        }
+        let manifest = ShardManifest {
+            plan_hash: plan.plan_hash.clone(),
+            shard: self.shard,
+            nshards: plan.nshards,
+            total_scenarios: plan.len(),
+            strategy: plan.strategy,
+            elapsed_seconds: start.elapsed().as_secs_f64(),
+            spec: plan.spec.clone(),
+            scenarios: scenarios
+                .iter()
+                .map(|p| ManifestEntry {
+                    id: p.id,
+                    slug: p.slug.clone(),
+                })
+                .collect(),
+        };
+        manifest.write(&shard_dir)?;
+        Ok((outcomes, shard_dir))
+    }
+}
+
+impl CampaignExecutor for ShardExecutor {
+    fn execute(&self, plan: &CampaignPlan, dir: &Path) -> Result<ExecOutput, ExecError> {
+        let (_, shard_dir) = self.run_shard(plan, dir)?;
+        Ok(ExecOutput::Shards(vec![shard_dir]))
+    }
+}
+
+/// The file the worker executor writes the campaign spec to, and that
+/// `samr campaign --spec` reads back, so every worker plans the exact
+/// same campaign.
+pub const SPEC_FILE: &str = "campaign.spec.json";
+
+/// Multi-process executor: spawns one `<bin> campaign --spec …
+/// --shard i/n` child per shard of the plan and waits for all of them.
+/// Each child is an independent process with its own trace store and
+/// rayon pool, so `--threads` caps per-worker parallelism instead of
+/// oversubscribing the host.
+#[derive(Clone, Debug)]
+pub struct WorkerExecutor {
+    /// The `samr` binary to spawn (defaults to the current executable
+    /// via [`WorkerExecutor::current_exe`]).
+    pub bin: PathBuf,
+    /// Rayon thread cap passed to each worker (`--threads`); `None`
+    /// lets every worker size its own pool.
+    pub threads: Option<usize>,
+}
+
+impl WorkerExecutor {
+    /// A worker executor spawning the currently running binary — the
+    /// right choice when the caller *is* the `samr` CLI.
+    pub fn current_exe(threads: Option<usize>) -> std::io::Result<Self> {
+        Ok(Self {
+            bin: std::env::current_exe()?,
+            threads,
+        })
+    }
+
+    /// Spawn one worker per shard of the plan, writing all shard
+    /// directories under `dir`; returns the shard directories in shard
+    /// order once every worker has exited successfully.
+    pub fn run_workers(&self, plan: &CampaignPlan, dir: &Path) -> Result<Vec<PathBuf>, ExecError> {
+        std::fs::create_dir_all(dir)?;
+        let spec_path = dir.join(SPEC_FILE);
+        let spec_json = serde_json::to_string_pretty(&plan.spec).expect("CampaignSpec serializes");
+        std::fs::write(&spec_path, spec_json)?;
+        let mut children = Vec::with_capacity(plan.nshards);
+        for shard in 0..plan.nshards {
+            let mut cmd = Command::new(&self.bin);
+            cmd.arg("campaign")
+                .arg("--spec")
+                .arg(&spec_path)
+                .arg("--shard")
+                .arg(format!("{shard}/{}", plan.nshards))
+                .arg("--shard-strategy")
+                .arg(plan.strategy.name())
+                .arg("--out")
+                .arg(dir)
+                // Workers' per-scenario digests would interleave across
+                // processes; the merged campaign reports instead.
+                .stdout(Stdio::null());
+            if let Some(t) = self.threads {
+                cmd.arg("--threads").arg(t.to_string());
+            }
+            match cmd.spawn() {
+                Ok(child) => children.push((shard, child)),
+                Err(e) => {
+                    // Kill and reap the workers already started: a
+                    // half-spawned fleet must not keep writing shard
+                    // artifacts after the campaign has reported failure.
+                    for (_, mut c) in children {
+                        c.kill().ok();
+                        c.wait().ok();
+                    }
+                    return Err(ExecError::Worker {
+                        shard,
+                        detail: format!("spawn {}: {e}", self.bin.display()),
+                    });
+                }
+            }
+        }
+        let mut dirs = Vec::with_capacity(plan.nshards);
+        let mut failure = None;
+        for (shard, mut child) in children {
+            match child.wait() {
+                Ok(status) if status.success() => {
+                    dirs.push(dir.join(shard_dir_name(shard, plan.nshards)));
+                }
+                Ok(status) => {
+                    failure.get_or_insert(ExecError::Worker {
+                        shard,
+                        detail: format!("exited with {status}"),
+                    });
+                }
+                Err(e) => {
+                    failure.get_or_insert(ExecError::Worker {
+                        shard,
+                        detail: format!("wait failed: {e}"),
+                    });
+                }
+            }
+        }
+        match failure {
+            Some(e) => Err(e),
+            None => Ok(dirs),
+        }
+    }
+}
+
+impl CampaignExecutor for WorkerExecutor {
+    fn execute(&self, plan: &CampaignPlan, dir: &Path) -> Result<ExecOutput, ExecError> {
+        Ok(ExecOutput::Shards(self.run_workers(plan, dir)?))
+    }
+}

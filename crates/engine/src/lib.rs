@@ -17,10 +17,16 @@
 //!   [`samr_partition::PartitionerChoice`], plus the adaptive
 //!   meta-partitioner and the octant baseline), shared by the selector,
 //!   the benches and the CLI instead of three ad-hoc match blocks;
-//! - [`Campaign`]: expansion of cartesian sweeps (apps × partitioners ×
-//!   processor counts × ghost widths × machines) into scenarios,
-//!   rayon-parallel execution over a shared [`store`] of generated
-//!   traces and model series, and per-scenario CSV/JSON artifacts;
+//! - [`Campaign`]: the plan → execute → merge front end over cartesian
+//!   sweeps (apps × partitioners × processor counts × ghost widths ×
+//!   machines). The [`plan`] layer expands a [`CampaignSpec`] into a
+//!   deterministic, serializable [`CampaignPlan`] (stable scenario IDs,
+//!   globally unique artifact slugs, shard assignment via
+//!   [`ShardStrategy`]); the [`exec`] layer runs it behind the
+//!   [`CampaignExecutor`] trait (in-process rayon, one-shard
+//!   [`ShardExecutor`], multi-process [`WorkerExecutor`]); the [`merge`]
+//!   layer validates shard manifests and reassembles the canonical
+//!   campaign artifacts, byte-identical to the unsharded run;
 //! - [`ValidationRun`]: the paper's §5.1 figure-regeneration bundle
 //!   (Figures 4–7), now assembled from campaign scenario outcomes;
 //! - [`store`]: the process-wide trace/model cache, keyed by the **full**
@@ -33,8 +39,11 @@
 //!   ([`store::trace_cache_budget`]) would be exceeded.
 //!
 //! Every future scaling experiment — more applications, more partitioner
-//! configurations, distributed campaign sharding — plugs into
-//! [`Campaign`] rather than re-wiring the pipeline by hand.
+//! configurations, more execution backends — plugs into the plan /
+//! execute / merge layers rather than re-wiring the pipeline by hand:
+//! *what to run* (the plan) is fixed and serializable, *where and how it
+//! runs* (the executor) is pluggable, and the merger proves the pieces
+//! reassemble the exact campaign that was planned.
 //!
 //! ## Example
 //!
@@ -54,12 +63,23 @@
 #![warn(missing_docs)]
 
 pub mod campaign;
+pub mod exec;
+pub mod merge;
+pub mod plan;
 pub mod scenario;
 pub mod spec;
 pub mod store;
 pub mod validation;
 
 pub use campaign::{Campaign, CampaignSpec};
+pub use exec::{
+    build_thread_pool, shard_dir_name, CampaignExecutor, ExecError, ExecOutput, RayonExecutor,
+    ShardExecutor, WorkerExecutor,
+};
+pub use merge::{
+    find_shard_dirs, merge_shards, CampaignManifest, MergeError, MergeReport, ShardManifest,
+};
+pub use plan::{CampaignPlan, PlannedScenario, ShardStrategy};
 pub use scenario::{Scenario, ScenarioOutcome, ScenarioSummary};
 pub use spec::PartitionerSpec;
 pub use store::{cached_model, cached_source, cached_trace, set_trace_cache_budget};

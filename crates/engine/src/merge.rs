@@ -1,0 +1,456 @@
+//! Shard manifest schema and the campaign merger: proving a set of
+//! shard artifact directories reassembles exactly one campaign plan,
+//! then merging them into the canonical campaign artifacts.
+//!
+//! Every shard directory carries a [`ShardManifest`] recording which
+//! plan it belongs to (the plan hash), which slice of the ID space it
+//! covered, and the spec needed to reproduce the campaign.
+//! [`merge_shards`] validates the set — same plan hash everywhere, all
+//! shard indices present exactly once, every scenario ID covered
+//! exactly once — and only then copies the per-scenario CSV/JSON
+//! artifacts into the campaign directory in plan order, rebuilding the
+//! canonical `campaign.csv` and writing the audit
+//! [`CampaignManifest`]. A merged sharded campaign is therefore
+//! byte-identical to the unsharded run of the same spec, and a stale,
+//! foreign or incomplete shard set is rejected with a precise error
+//! instead of producing a silently wrong merge.
+
+use crate::campaign::CampaignSpec;
+use crate::plan::ShardStrategy;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// File name of the per-shard manifest inside a shard directory.
+pub const SHARD_MANIFEST: &str = "shard.manifest.json";
+
+/// File name of the campaign audit manifest written next to the
+/// campaign CSV.
+pub const CAMPAIGN_MANIFEST: &str = "campaign.manifest.json";
+
+/// File name of the canonical concatenated campaign CSV.
+pub const CAMPAIGN_CSV: &str = "campaign.csv";
+
+/// One scenario as recorded in a shard manifest: its plan ID and the
+/// artifact slug its CSV/JSON files are named by.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ManifestEntry {
+    /// Stable plan-order scenario ID.
+    pub id: usize,
+    /// Artifact slug (`<slug>.csv` / `<slug>.json` in the shard dir).
+    pub slug: String,
+}
+
+/// The self-description a shard executor writes next to its artifacts.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ShardManifest {
+    /// Hash of the plan this shard belongs to.
+    pub plan_hash: String,
+    /// This shard's index (`0..nshards`).
+    pub shard: usize,
+    /// How many shards the plan was split into.
+    pub nshards: usize,
+    /// Scenario count of the *whole* plan (the merge's ID space).
+    pub total_scenarios: usize,
+    /// The shard-assignment strategy the plan used. The plan hash is
+    /// deliberately strategy-invariant, so this is recorded separately:
+    /// shards assigned under different strategies cover different ID
+    /// slices and must be rejected by name, not as ID corruption.
+    pub strategy: ShardStrategy,
+    /// Wall-clock seconds this shard's execution took.
+    pub elapsed_seconds: f64,
+    /// The campaign spec, so a merged campaign is reproducible from
+    /// its artifacts alone.
+    pub spec: CampaignSpec,
+    /// The scenarios this shard executed, in plan order.
+    pub scenarios: Vec<ManifestEntry>,
+}
+
+impl ShardManifest {
+    /// Write the manifest into its shard directory.
+    pub fn write(&self, shard_dir: &Path) -> std::io::Result<PathBuf> {
+        let path = shard_dir.join(SHARD_MANIFEST);
+        let json = serde_json::to_string_pretty(self).expect("ShardManifest serializes");
+        std::fs::write(&path, json)?;
+        Ok(path)
+    }
+
+    /// Read the manifest of a shard directory.
+    pub fn read(shard_dir: &Path) -> Result<Self, MergeError> {
+        let path = shard_dir.join(SHARD_MANIFEST);
+        let json = std::fs::read_to_string(&path).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::NotFound {
+                MergeError::MissingManifest(shard_dir.to_path_buf())
+            } else {
+                MergeError::Io(path.clone(), e)
+            }
+        })?;
+        serde_json::from_str(&json).map_err(|e| MergeError::BadManifest(path, e.to_string()))
+    }
+}
+
+/// The audit manifest written next to every campaign CSV: what was
+/// run, under which plan, how large it was and how long it took — so
+/// merged (and unsharded) campaigns are auditable and reproducible
+/// from the artifact directory alone.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CampaignManifest {
+    /// Hash of the executed plan.
+    pub plan_hash: String,
+    /// Number of scenarios in the campaign.
+    pub scenario_count: usize,
+    /// How many shards produced the artifacts (`1` for the in-process
+    /// path).
+    pub shards: usize,
+    /// Wall-clock seconds of execution (summed across shards for a
+    /// merged campaign).
+    pub elapsed_seconds: f64,
+    /// The campaign spec the plan expanded.
+    pub spec: CampaignSpec,
+}
+
+impl CampaignManifest {
+    /// Write the manifest into the campaign directory.
+    pub fn write(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        let path = dir.join(CAMPAIGN_MANIFEST);
+        let json = serde_json::to_string_pretty(self).expect("CampaignManifest serializes");
+        std::fs::write(&path, json)?;
+        Ok(path)
+    }
+}
+
+/// Why a shard set cannot be merged.
+#[derive(Debug)]
+pub enum MergeError {
+    /// No shard directories were given (or discovered).
+    NoShards,
+    /// A shard directory has no `shard.manifest.json`.
+    MissingManifest(PathBuf),
+    /// A manifest exists but does not parse.
+    BadManifest(PathBuf, String),
+    /// A shard belongs to a different plan than the first shard read.
+    PlanHashMismatch {
+        /// Hash the first shard declared.
+        expected: String,
+        /// Hash the offending shard declared.
+        found: String,
+        /// The offending shard directory.
+        dir: PathBuf,
+    },
+    /// Shards were assigned under different `--shard-strategy` values,
+    /// so they cover different slices of the ID space.
+    StrategyMismatch {
+        /// Strategy the first shard declared.
+        expected: ShardStrategy,
+        /// Strategy the offending shard declared.
+        found: ShardStrategy,
+        /// The offending shard directory.
+        dir: PathBuf,
+    },
+    /// Shards disagree about the shard count or total scenario count.
+    ShapeMismatch {
+        /// What the first shard declared.
+        expected: String,
+        /// What the offending shard declared.
+        found: String,
+        /// The offending shard directory.
+        dir: PathBuf,
+    },
+    /// The same shard index appears in two directories.
+    DuplicateShard {
+        /// The repeated shard index.
+        shard: usize,
+    },
+    /// Shard indices absent from the set.
+    MissingShards {
+        /// The absent indices.
+        missing: Vec<usize>,
+        /// The plan's shard count.
+        nshards: usize,
+    },
+    /// A scenario ID is claimed by two shards.
+    DuplicateScenario {
+        /// The repeated scenario ID.
+        id: usize,
+    },
+    /// Scenario IDs no shard covers (a shard ran an older plan or was
+    /// truncated).
+    MissingScenarios {
+        /// The uncovered IDs.
+        missing: Vec<usize>,
+        /// The plan's scenario count.
+        total: usize,
+    },
+    /// A manifest-listed artifact file is absent from its shard dir.
+    MissingArtifact(PathBuf),
+    /// Reading or writing artifacts failed.
+    Io(PathBuf, std::io::Error),
+}
+
+impl std::fmt::Display for MergeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NoShards => write!(f, "no shard directories to merge"),
+            Self::MissingManifest(dir) => write!(
+                f,
+                "{} has no {SHARD_MANIFEST} (not a shard directory?)",
+                dir.display()
+            ),
+            Self::BadManifest(path, e) => {
+                write!(f, "{} does not parse: {e}", path.display())
+            }
+            Self::PlanHashMismatch {
+                expected,
+                found,
+                dir,
+            } => write!(
+                f,
+                "{} belongs to plan {found}, other shards to plan {expected}: \
+                 shards of different campaigns cannot be merged",
+                dir.display()
+            ),
+            Self::StrategyMismatch {
+                expected,
+                found,
+                dir,
+            } => write!(
+                f,
+                "{} was sharded with --shard-strategy {}, other shards with {}: \
+                 rerun it under the same strategy before merging",
+                dir.display(),
+                found.name(),
+                expected.name()
+            ),
+            Self::ShapeMismatch {
+                expected,
+                found,
+                dir,
+            } => write!(
+                f,
+                "{} declares {found}, other shards {expected}",
+                dir.display()
+            ),
+            Self::DuplicateShard { shard } => {
+                write!(f, "shard {shard} appears more than once in the merge set")
+            }
+            Self::MissingShards { missing, nshards } => write!(
+                f,
+                "missing shard(s) {missing:?} of {nshards}: run the absent \
+                 `samr campaign --shard i/{nshards}` invocations before merging"
+            ),
+            Self::DuplicateScenario { id } => {
+                write!(f, "scenario id {id} is claimed by more than one shard")
+            }
+            Self::MissingScenarios { missing, total } => write!(
+                f,
+                "{} of {total} scenario ids are covered by no shard: {missing:?}",
+                missing.len()
+            ),
+            Self::MissingArtifact(path) => write!(
+                f,
+                "artifact {} is listed in its shard manifest but absent",
+                path.display()
+            ),
+            Self::Io(path, e) => write!(f, "{}: {e}", path.display()),
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
+/// What a successful merge produced.
+#[derive(Debug)]
+pub struct MergeReport {
+    /// Hash of the merged plan.
+    pub plan_hash: String,
+    /// Scenarios merged.
+    pub scenario_count: usize,
+    /// Shards merged.
+    pub shards: usize,
+    /// Every artifact path written into the campaign directory.
+    pub paths: Vec<PathBuf>,
+    /// Path of the canonical concatenated campaign CSV.
+    pub csv_path: PathBuf,
+}
+
+/// Assemble the canonical campaign CSV from `(slug, csv)` parts in plan
+/// order: each per-scenario CSV under a `# <slug>` header. The one
+/// definition of the format — both the in-process artifact writer and
+/// the merger call this, so the byte-identity contract between the
+/// unsharded and merged paths cannot drift.
+pub(crate) fn assemble_campaign_csv<'a>(
+    parts: impl IntoIterator<Item = (&'a str, &'a str)>,
+) -> String {
+    let mut out = String::new();
+    for (slug, csv) in parts {
+        out.push_str("# ");
+        out.push_str(slug);
+        out.push('\n');
+        out.push_str(csv);
+    }
+    out
+}
+
+/// Discover the shard directories (`shard-<i>-of-<n>` children) of a
+/// campaign directory, in name order.
+pub fn find_shard_dirs(dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut dirs: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            p.is_dir()
+                && p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("shard-") && n.contains("-of-"))
+        })
+        .collect();
+    dirs.sort();
+    Ok(dirs)
+}
+
+/// Read and cross-validate the manifests of a shard set: same plan
+/// hash, same shard/scenario counts, every shard index and every
+/// scenario ID exactly once. Returns the manifests with their
+/// directories, keyed by shard index.
+fn validate_shards(
+    shard_dirs: &[PathBuf],
+) -> Result<BTreeMap<usize, (PathBuf, ShardManifest)>, MergeError> {
+    if shard_dirs.is_empty() {
+        return Err(MergeError::NoShards);
+    }
+    let mut manifests: BTreeMap<usize, (PathBuf, ShardManifest)> = BTreeMap::new();
+    let mut reference: Option<ShardManifest> = None;
+    for dir in shard_dirs {
+        let m = ShardManifest::read(dir)?;
+        if let Some(r) = &reference {
+            if m.plan_hash != r.plan_hash {
+                return Err(MergeError::PlanHashMismatch {
+                    expected: r.plan_hash.clone(),
+                    found: m.plan_hash,
+                    dir: dir.clone(),
+                });
+            }
+            if m.strategy != r.strategy {
+                return Err(MergeError::StrategyMismatch {
+                    expected: r.strategy,
+                    found: m.strategy,
+                    dir: dir.clone(),
+                });
+            }
+            if m.nshards != r.nshards || m.total_scenarios != r.total_scenarios {
+                return Err(MergeError::ShapeMismatch {
+                    expected: format!("{} shards / {} scenarios", r.nshards, r.total_scenarios),
+                    found: format!("{} shards / {} scenarios", m.nshards, m.total_scenarios),
+                    dir: dir.clone(),
+                });
+            }
+        } else {
+            reference = Some(m.clone());
+        }
+        let shard = m.shard;
+        if manifests.insert(shard, (dir.clone(), m)).is_some() {
+            return Err(MergeError::DuplicateShard { shard });
+        }
+    }
+    let reference = reference.expect("at least one shard read");
+    let missing: Vec<usize> = (0..reference.nshards)
+        .filter(|i| !manifests.contains_key(i))
+        .collect();
+    if !missing.is_empty() {
+        return Err(MergeError::MissingShards {
+            missing,
+            nshards: reference.nshards,
+        });
+    }
+    let mut seen = vec![false; reference.total_scenarios];
+    for (_, m) in manifests.values() {
+        for entry in &m.scenarios {
+            match seen.get_mut(entry.id) {
+                Some(slot) if *slot => return Err(MergeError::DuplicateScenario { id: entry.id }),
+                Some(slot) => *slot = true,
+                // An ID past the declared total: the shard ran a larger
+                // plan than it declared — treat as a duplicate-claim
+                // class of corruption.
+                None => return Err(MergeError::DuplicateScenario { id: entry.id }),
+            }
+        }
+    }
+    let missing: Vec<usize> = seen
+        .iter()
+        .enumerate()
+        .filter(|(_, covered)| !**covered)
+        .map(|(id, _)| id)
+        .collect();
+    if !missing.is_empty() {
+        return Err(MergeError::MissingScenarios {
+            missing,
+            total: reference.total_scenarios,
+        });
+    }
+    Ok(manifests)
+}
+
+/// Validate a shard set and merge its artifacts into `out_dir`: copy
+/// every scenario's CSV/JSON into the campaign directory, rebuild the
+/// canonical `campaign.csv` (per-scenario CSVs concatenated in plan
+/// order under `# <slug>` headers) and write the audit
+/// [`CampaignManifest`].
+pub fn merge_shards(shard_dirs: &[PathBuf], out_dir: &Path) -> Result<MergeReport, MergeError> {
+    let manifests = validate_shards(shard_dirs)?;
+    // Scenario id → (shard dir, slug), in id order via BTreeMap.
+    let mut by_id: BTreeMap<usize, (&Path, &str)> = BTreeMap::new();
+    for (dir, m) in manifests.values() {
+        for entry in &m.scenarios {
+            by_id.insert(entry.id, (dir.as_path(), entry.slug.as_str()));
+        }
+    }
+    std::fs::create_dir_all(out_dir).map_err(|e| MergeError::Io(out_dir.to_path_buf(), e))?;
+    let mut paths = Vec::with_capacity(2 * by_id.len() + 2);
+    let mut parts: Vec<(String, String)> = Vec::with_capacity(by_id.len());
+    for (shard_dir, slug) in by_id.values() {
+        let csv_src = shard_dir.join(format!("{slug}.csv"));
+        let csv = std::fs::read_to_string(&csv_src).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::NotFound {
+                MergeError::MissingArtifact(csv_src.clone())
+            } else {
+                MergeError::Io(csv_src.clone(), e)
+            }
+        })?;
+        let csv_dst = out_dir.join(format!("{slug}.csv"));
+        std::fs::write(&csv_dst, &csv).map_err(|e| MergeError::Io(csv_dst.clone(), e))?;
+        paths.push(csv_dst);
+        parts.push((slug.to_string(), csv));
+        let json_src = shard_dir.join(format!("{slug}.json"));
+        let json_dst = out_dir.join(format!("{slug}.json"));
+        match std::fs::copy(&json_src, &json_dst) {
+            Ok(_) => paths.push(json_dst),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Err(MergeError::MissingArtifact(json_src));
+            }
+            Err(e) => return Err(MergeError::Io(json_src, e)),
+        }
+    }
+    let campaign_csv = assemble_campaign_csv(parts.iter().map(|(s, c)| (s.as_str(), c.as_str())));
+    let csv_path = out_dir.join(CAMPAIGN_CSV);
+    std::fs::write(&csv_path, &campaign_csv).map_err(|e| MergeError::Io(csv_path.clone(), e))?;
+    paths.push(csv_path.clone());
+    let (_, reference) = manifests.values().next().expect("non-empty").clone();
+    let manifest = CampaignManifest {
+        plan_hash: reference.plan_hash.clone(),
+        scenario_count: reference.total_scenarios,
+        shards: reference.nshards,
+        elapsed_seconds: manifests.values().map(|(_, m)| m.elapsed_seconds).sum(),
+        spec: reference.spec,
+    };
+    let manifest_path = manifest
+        .write(out_dir)
+        .map_err(|e| MergeError::Io(out_dir.join(CAMPAIGN_MANIFEST), e))?;
+    paths.push(manifest_path);
+    Ok(MergeReport {
+        plan_hash: reference.plan_hash,
+        scenario_count: reference.total_scenarios,
+        shards: reference.nshards,
+        paths,
+        csv_path,
+    })
+}

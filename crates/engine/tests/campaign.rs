@@ -76,7 +76,8 @@ fn run_to_dir_writes_one_csv_and_one_json_per_scenario() {
     let spec = two_by_two();
     let (outcomes, paths) = Campaign::run_to_dir(&spec, &dir).expect("write artifacts");
     assert_eq!(outcomes.len(), spec.len());
-    assert_eq!(paths.len(), 2 * outcomes.len());
+    // Two artifacts per scenario plus the campaign CSV and manifest.
+    assert_eq!(paths.len(), 2 * outcomes.len() + 2);
     for outcome in &outcomes {
         let slug = outcome.scenario.slug();
         let csv = std::fs::read_to_string(dir.join(format!("{slug}.csv"))).unwrap();
@@ -85,6 +86,20 @@ fn run_to_dir_writes_one_csv_and_one_json_per_scenario() {
         let summary: samr_engine::ScenarioSummary = serde_json::from_str(&json).unwrap();
         assert_eq!(summary.scenario, outcome.scenario);
     }
+    // The canonical campaign CSV is the per-scenario CSVs concatenated
+    // in plan order under `# <slug>` headers…
+    let campaign_csv = std::fs::read_to_string(dir.join("campaign.csv")).unwrap();
+    assert_eq!(campaign_csv, campaign_csv_bytes(&spec));
+    // …and the audit manifest records the plan and the spec.
+    let manifest = std::fs::read_to_string(dir.join("campaign.manifest.json")).unwrap();
+    let manifest: samr_engine::CampaignManifest = serde_json::from_str(&manifest).unwrap();
+    assert_eq!(manifest.scenario_count, outcomes.len());
+    assert_eq!(manifest.shards, 1);
+    assert_eq!(manifest.spec, spec);
+    assert_eq!(
+        manifest.plan_hash,
+        samr_engine::CampaignPlan::new(&spec, 1, samr_engine::ShardStrategy::RoundRobin).plan_hash
+    );
     std::fs::remove_dir_all(&dir).ok();
 }
 

@@ -1,0 +1,88 @@
+//! Partitioner-registry contract: every named preset round-trips
+//! through `parse`, and the slugs scenarios derive from the registry
+//! stay unique and file-safe across the full registry × machine axis —
+//! the invariant distributed campaign artifacts depend on, since shard
+//! merges address scenarios by slug-named files.
+
+use samr_apps::{AppKind, TraceGenConfig};
+use samr_engine::{PartitionerSpec, Scenario};
+use samr_sim::{MachineModel, SimConfig};
+use std::collections::HashSet;
+
+/// Characters that are safe in artifact file names on every platform
+/// the campaign artifacts are expected to travel across.
+fn file_safe(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'))
+}
+
+#[test]
+fn every_registry_name_parses_back_to_an_equal_spec() {
+    for (name, spec) in PartitionerSpec::registry() {
+        let parsed = PartitionerSpec::parse(name)
+            .unwrap_or_else(|e| panic!("registry name '{name}' failed to parse: {e}"));
+        assert_eq!(parsed, spec, "'{name}' parsed to a different spec");
+        // And the round-trip survives serialization, as campaign specs
+        // shipped to shard workers must.
+        let json = serde_json::to_string(&parsed).unwrap();
+        let back: PartitionerSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec, "'{name}' changed across JSON");
+    }
+}
+
+#[test]
+fn registry_slugs_are_unique_and_file_safe() {
+    let registry = PartitionerSpec::registry();
+    let mut slugs = HashSet::new();
+    for (name, spec) in &registry {
+        let slug = spec.slug();
+        assert!(
+            file_safe(&slug),
+            "slug '{slug}' of '{name}' is not file-safe"
+        );
+        assert!(
+            slugs.insert(slug.clone()),
+            "slug '{slug}' of '{name}' collides with another registry entry"
+        );
+    }
+    assert_eq!(slugs.len(), registry.len());
+}
+
+#[test]
+fn scenario_slugs_are_unique_across_the_registry_machine_axis() {
+    // The full registry × machine-preset product: every combination must
+    // slug to a distinct, file-safe artifact name, or sharded campaign
+    // artifacts would silently overwrite each other.
+    let mut slugs = HashSet::new();
+    let mut n = 0;
+    for (pname, partitioner) in PartitionerSpec::registry() {
+        for (mname, machine) in MachineModel::registry() {
+            let scenario = Scenario::new(
+                AppKind::Tp2d,
+                TraceGenConfig::smoke(),
+                partitioner,
+                SimConfig {
+                    nprocs: 16,
+                    machine,
+                    ..SimConfig::default()
+                },
+            );
+            let slug = scenario.slug();
+            assert!(
+                file_safe(&slug),
+                "scenario slug '{slug}' ({pname} × {mname}) is not file-safe"
+            );
+            assert!(
+                slugs.insert(slug.clone()),
+                "scenario slug '{slug}' ({pname} × {mname}) collides"
+            );
+            n += 1;
+        }
+    }
+    assert_eq!(slugs.len(), n);
+    assert_eq!(
+        n,
+        PartitionerSpec::registry().len() * MachineModel::registry().len()
+    );
+}

@@ -1,0 +1,294 @@
+//! Plan → shard-execute → merge integration: a campaign split across
+//! shard executors and merged back must be byte-identical to the
+//! unsharded run (and to the checked-in golden artifact), and the
+//! merger must reject incomplete, foreign or corrupt shard sets with
+//! precise errors instead of merging them wrong.
+
+use samr_apps::{AppKind, TraceGenConfig};
+use samr_engine::{
+    find_shard_dirs, merge_shards, Campaign, CampaignPlan, CampaignSpec, MergeError,
+    PartitionerSpec, ShardExecutor, ShardManifest, ShardStrategy,
+};
+use std::path::PathBuf;
+
+fn two_by_two() -> CampaignSpec {
+    CampaignSpec::new(TraceGenConfig::smoke())
+        .apps([AppKind::Tp2d, AppKind::Sc2d])
+        .partitioners([
+            PartitionerSpec::parse("hybrid").unwrap(),
+            PartitionerSpec::parse("domain-sfc").unwrap(),
+        ])
+        .nprocs([8])
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("samr-shard-test-{}-{tag}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Run every shard of a plan in-process and return the shard dirs.
+fn run_shards(plan: &CampaignPlan, dir: &std::path::Path) -> Vec<PathBuf> {
+    (0..plan.nshards)
+        .map(|shard| {
+            let (_, shard_dir) = ShardExecutor { shard }.run_shard(plan, dir).unwrap();
+            shard_dir
+        })
+        .collect()
+}
+
+#[test]
+fn three_shard_split_merges_to_the_golden_bytes() {
+    for strategy in [ShardStrategy::RoundRobin, ShardStrategy::SizeAware] {
+        let dir = temp_dir(&format!("golden-{}", strategy.name()));
+        let plan = CampaignPlan::new(&two_by_two(), 3, strategy);
+        let shard_dirs = run_shards(&plan, &dir);
+        assert_eq!(shard_dirs.len(), 3);
+        // Discovery finds the same directories the executors returned.
+        let mut found = find_shard_dirs(&dir).unwrap();
+        found.sort();
+        let mut expected = shard_dirs.clone();
+        expected.sort();
+        assert_eq!(found, expected);
+        let report = merge_shards(&shard_dirs, &dir).unwrap();
+        assert_eq!(report.scenario_count, plan.len());
+        assert_eq!(report.shards, 3);
+        assert_eq!(report.plan_hash, plan.plan_hash);
+        let merged = std::fs::read_to_string(&report.csv_path).unwrap();
+        assert!(
+            merged == include_str!("golden/campaign_smoke.csv"),
+            "merged {} campaign drifted from the golden artifact",
+            strategy.name()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn merged_artifacts_match_the_unsharded_run_file_for_file() {
+    let sharded = temp_dir("files-sharded");
+    let unsharded = temp_dir("files-unsharded");
+    let spec = two_by_two();
+    let plan = CampaignPlan::new(&spec, 2, ShardStrategy::RoundRobin);
+    let shard_dirs = run_shards(&plan, &sharded);
+    merge_shards(&shard_dirs, &sharded).unwrap();
+    Campaign::run_to_dir(&spec, &unsharded).unwrap();
+    for planned in &plan.scenarios {
+        for ext in ["csv", "json"] {
+            let name = format!("{}.{ext}", planned.slug);
+            let a = std::fs::read_to_string(sharded.join(&name)).unwrap();
+            let b = std::fs::read_to_string(unsharded.join(&name)).unwrap();
+            assert_eq!(a, b, "{name} differs between merged and unsharded runs");
+        }
+    }
+    assert_eq!(
+        std::fs::read_to_string(sharded.join("campaign.csv")).unwrap(),
+        std::fs::read_to_string(unsharded.join("campaign.csv")).unwrap()
+    );
+    std::fs::remove_dir_all(&sharded).ok();
+    std::fs::remove_dir_all(&unsharded).ok();
+}
+
+#[test]
+fn shard_manifests_describe_their_slice_of_the_plan() {
+    let dir = temp_dir("manifest");
+    let plan = CampaignPlan::new(&two_by_two(), 3, ShardStrategy::RoundRobin);
+    let shard_dirs = run_shards(&plan, &dir);
+    for (shard, shard_dir) in shard_dirs.iter().enumerate() {
+        let m = ShardManifest::read(shard_dir).unwrap();
+        assert_eq!(m.shard, shard);
+        assert_eq!(m.nshards, 3);
+        assert_eq!(m.plan_hash, plan.plan_hash);
+        assert_eq!(m.total_scenarios, plan.len());
+        assert_eq!(m.spec, plan.spec);
+        let expected: Vec<usize> = plan.shard_scenarios(shard).iter().map(|p| p.id).collect();
+        let got: Vec<usize> = m.scenarios.iter().map(|e| e.id).collect();
+        assert_eq!(got, expected);
+        // Every listed artifact exists.
+        for e in &m.scenarios {
+            assert!(shard_dir.join(format!("{}.csv", e.slug)).exists());
+            assert!(shard_dir.join(format!("{}.json", e.slug)).exists());
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn merge_rejects_a_missing_shard() {
+    let dir = temp_dir("missing-shard");
+    let plan = CampaignPlan::new(&two_by_two(), 3, ShardStrategy::RoundRobin);
+    let shard_dirs = run_shards(&plan, &dir);
+    let err = merge_shards(&shard_dirs[..2], &dir).unwrap_err();
+    match &err {
+        MergeError::MissingShards { missing, nshards } => {
+            assert_eq!(missing, &vec![2]);
+            assert_eq!(*nshards, 3);
+        }
+        other => panic!("expected MissingShards, got {other:?}"),
+    }
+    // The message tells the operator exactly what to run.
+    assert!(err.to_string().contains("--shard i/3"), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn merge_rejects_a_foreign_plan_hash() {
+    let dir = temp_dir("foreign-hash");
+    let plan = CampaignPlan::new(&two_by_two(), 2, ShardStrategy::RoundRobin);
+    let shard_dirs = run_shards(&plan, &dir);
+    // Tamper: shard 1 claims to belong to a different plan, as if it
+    // were left over from an older campaign in the same directory.
+    let mut m = ShardManifest::read(&shard_dirs[1]).unwrap();
+    m.plan_hash = "deadbeefdeadbeef".into();
+    m.write(&shard_dirs[1]).unwrap();
+    let err = merge_shards(&shard_dirs, &dir).unwrap_err();
+    match &err {
+        MergeError::PlanHashMismatch {
+            expected, found, ..
+        } => {
+            assert_eq!(expected, &plan.plan_hash);
+            assert_eq!(found, "deadbeefdeadbeef");
+        }
+        other => panic!("expected PlanHashMismatch, got {other:?}"),
+    }
+    assert!(err.to_string().contains("different campaigns"), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn merge_rejects_mixed_shard_strategies_by_name() {
+    // Plan hashes are deliberately strategy-invariant, so a shard
+    // assigned under a different --shard-strategy must be rejected by
+    // name — not surface later as baffling scenario-ID corruption.
+    let dir = temp_dir("mixed-strategy");
+    let spec = two_by_two();
+    let round_robin = CampaignPlan::new(&spec, 2, ShardStrategy::RoundRobin);
+    let size_aware = CampaignPlan::new(&spec, 2, ShardStrategy::SizeAware);
+    assert_eq!(round_robin.plan_hash, size_aware.plan_hash);
+    let (_, dir0) = ShardExecutor { shard: 0 }
+        .run_shard(&round_robin, &dir)
+        .unwrap();
+    // The second shard overwrites shard-1-of-2 under the other strategy.
+    let (_, dir1) = ShardExecutor { shard: 1 }
+        .run_shard(&size_aware, &dir)
+        .unwrap();
+    let err = merge_shards(&[dir0, dir1], &dir).unwrap_err();
+    match &err {
+        MergeError::StrategyMismatch {
+            expected, found, ..
+        } => {
+            assert_eq!(*expected, ShardStrategy::RoundRobin);
+            assert_eq!(*found, ShardStrategy::SizeAware);
+        }
+        other => panic!("expected StrategyMismatch, got {other:?}"),
+    }
+    assert!(err.to_string().contains("--shard-strategy"), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn executors_run_behind_the_trait() {
+    use samr_engine::{CampaignExecutor, ExecOutput, RayonExecutor};
+    let dir = temp_dir("trait");
+    let plan = CampaignPlan::new(&two_by_two(), 2, ShardStrategy::RoundRobin);
+    let executors: Vec<Box<dyn CampaignExecutor>> = vec![
+        Box::new(RayonExecutor),
+        Box::new(ShardExecutor { shard: 0 }),
+        Box::new(ShardExecutor { shard: 1 }),
+    ];
+    let mut shard_dirs = Vec::new();
+    for executor in &executors {
+        match executor.execute(&plan, &dir).unwrap() {
+            ExecOutput::Outcomes(outcomes) => assert_eq!(outcomes.len(), plan.len()),
+            ExecOutput::Shards(dirs) => shard_dirs.extend(dirs),
+        }
+    }
+    let report = merge_shards(&shard_dirs, &dir).unwrap();
+    assert_eq!(report.scenario_count, plan.len());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn merge_rejects_duplicate_scenario_claims() {
+    let dir = temp_dir("dup-scenario");
+    let plan = CampaignPlan::new(&two_by_two(), 2, ShardStrategy::RoundRobin);
+    let shard_dirs = run_shards(&plan, &dir);
+    // Tamper: shard 1 also claims shard 0's scenarios (a truncated or
+    // corrupted rerun could produce this).
+    let m0 = ShardManifest::read(&shard_dirs[0]).unwrap();
+    let mut m1 = ShardManifest::read(&shard_dirs[1]).unwrap();
+    m1.scenarios.extend(m0.scenarios.clone());
+    m1.write(&shard_dirs[1]).unwrap();
+    match merge_shards(&shard_dirs, &dir).unwrap_err() {
+        MergeError::DuplicateScenario { id } => assert_eq!(id, m0.scenarios[0].id),
+        other => panic!("expected DuplicateScenario, got {other:?}"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn merge_rejects_duplicate_shards_and_empty_sets() {
+    let dir = temp_dir("dup-shard");
+    let plan = CampaignPlan::new(&two_by_two(), 2, ShardStrategy::RoundRobin);
+    let shard_dirs = run_shards(&plan, &dir);
+    let doubled = vec![
+        shard_dirs[0].clone(),
+        shard_dirs[1].clone(),
+        shard_dirs[0].clone(),
+    ];
+    match merge_shards(&doubled, &dir).unwrap_err() {
+        MergeError::DuplicateShard { shard } => assert_eq!(shard, 0),
+        other => panic!("expected DuplicateShard, got {other:?}"),
+    }
+    match merge_shards(&[], &dir).unwrap_err() {
+        MergeError::NoShards => {}
+        other => panic!("expected NoShards, got {other:?}"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn merge_rejects_a_directory_without_a_manifest() {
+    let dir = temp_dir("no-manifest");
+    let plan = CampaignPlan::new(&two_by_two(), 2, ShardStrategy::RoundRobin);
+    let mut shard_dirs = run_shards(&plan, &dir);
+    let bogus = dir.join("shard-9-of-9");
+    std::fs::create_dir_all(&bogus).unwrap();
+    shard_dirs.push(bogus.clone());
+    match merge_shards(&shard_dirs, &dir).unwrap_err() {
+        MergeError::MissingManifest(d) => assert_eq!(d, bogus),
+        other => panic!("expected MissingManifest, got {other:?}"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn merge_reports_a_missing_artifact_file() {
+    let dir = temp_dir("missing-artifact");
+    let plan = CampaignPlan::new(&two_by_two(), 2, ShardStrategy::RoundRobin);
+    let shard_dirs = run_shards(&plan, &dir);
+    let victim = &plan.shard_scenarios(0)[0].slug;
+    std::fs::remove_file(shard_dirs[0].join(format!("{victim}.csv"))).unwrap();
+    match merge_shards(&shard_dirs, &dir).unwrap_err() {
+        MergeError::MissingArtifact(path) => {
+            assert!(path.ends_with(format!("{victim}.csv")), "{path:?}")
+        }
+        other => panic!("expected MissingArtifact, got {other:?}"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn single_shard_plan_executes_and_merges_too() {
+    // The degenerate 1-shard case: shard 0 is the whole campaign and the
+    // merge is a plain reassembly.
+    let dir = temp_dir("one-shard");
+    let plan = CampaignPlan::new(&two_by_two(), 1, ShardStrategy::RoundRobin);
+    let shard_dirs = run_shards(&plan, &dir);
+    let report = merge_shards(&shard_dirs, &dir).unwrap();
+    assert_eq!(report.scenario_count, plan.len());
+    let merged = std::fs::read_to_string(&report.csv_path).unwrap();
+    assert!(merged == include_str!("golden/campaign_smoke.csv"));
+    std::fs::remove_dir_all(&dir).ok();
+}

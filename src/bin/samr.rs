@@ -9,6 +9,9 @@
 //! samr campaign [--apps A,B] [--dims 2,3] [--partitioners P,Q] [--nprocs N,M]
 //!               [--ghost-widths G,H] [--config paper|reduced|smoke]
 //!               [--machines uniform,fast-net,slow-net,slow-cpu] [--out DIR]
+//!               [--spec FILE] [--threads N] [--shard I/N | --workers N]
+//!               [--shard-strategy round-robin|size-aware]
+//! samr campaign-merge DIR… [--out DIR]
 //! samr apps
 //! samr partitioners
 //! ```
@@ -22,11 +25,21 @@
 //! metrics; `compare` runs the META1 static-vs-dynamic comparison,
 //! re-opening the trace stream once per partitioner; `campaign` expands
 //! a cartesian sweep (apps × partitioners × nprocs × ghost widths ×
-//! machines), executes it rayon-parallel through `samr-engine`, and
-//! writes one CSV plus one JSON summary per scenario.
+//! machines) into a deterministic plan and executes it through
+//! `samr-engine` — in-process rayon by default (optionally capped with
+//! `--threads`), one shard of the plan with `--shard I/N` (per-shard
+//! artifact directory plus JSON manifest), or `--workers N` child
+//! processes that each run one shard and are merged automatically;
+//! `campaign-merge` validates independently produced shard directories
+//! (same plan hash, every scenario exactly once) and reassembles the
+//! canonical campaign artifacts, byte-identical to the unsharded run.
 
 use samr::apps::{trace_source_any, AppKind, TraceGenConfig};
-use samr::engine::{configs, Campaign, CampaignSpec, PartitionerSpec};
+use samr::engine::{
+    build_thread_pool, configs, find_shard_dirs, merge_shards, Campaign, CampaignExecutor,
+    CampaignPlan, CampaignSpec, ExecOutput, PartitionerSpec, ShardExecutor, ShardStrategy,
+    WorkerExecutor,
+};
 use samr::meta::compare_on_sources;
 use samr::model::{ModelAccumulator, ModelConfig};
 use samr::sim::{MachineModel, SimConfig, SimResult};
@@ -39,7 +52,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  samr generate <app> [--config paper|reduced|smoke] [--seed N] [--binary] [--out FILE]\n  samr analyze  <trace-file>\n  samr simulate <trace-file> [--partitioner NAME] [--nprocs N]\n  samr compare  <trace-file> [--nprocs N]\n  samr campaign [--apps A,B] [--dims 2,3] [--partitioners P,Q] [--nprocs N,M] [--ghost-widths G,H]\n                [--config paper|reduced|smoke] [--machines uniform,fast-net,slow-net,slow-cpu] [--out DIR]\n  samr apps\n  samr partitioners"
+        "usage:\n  samr generate <app> [--config paper|reduced|smoke] [--seed N] [--binary] [--out FILE]\n  samr analyze  <trace-file>\n  samr simulate <trace-file> [--partitioner NAME] [--nprocs N]\n  samr compare  <trace-file> [--nprocs N]\n  samr campaign [--apps A,B] [--dims 2,3] [--partitioners P,Q] [--nprocs N,M] [--ghost-widths G,H]\n                [--config paper|reduced|smoke] [--machines uniform,fast-net,slow-net,slow-cpu] [--out DIR]\n                [--spec FILE] [--threads N] [--shard I/N | --workers N] [--shard-strategy round-robin|size-aware]\n  samr campaign-merge DIR... [--out DIR]\n  samr apps\n  samr partitioners"
     );
     ExitCode::from(2)
 }
@@ -271,7 +284,32 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_campaign(args: &[String]) -> Result<(), String> {
+/// The campaign spec from CLI arguments: loaded whole from `--spec
+/// FILE` (the form worker processes are handed, so every worker plans
+/// the exact same campaign), or assembled from the axis flags.
+fn parse_campaign_spec(args: &[String]) -> Result<CampaignSpec, String> {
+    if let Some(path) = flag_value(args, "--spec") {
+        // The spec file defines every campaign axis; silently ignoring
+        // an axis flag next to it would run a different campaign than
+        // the command line reads.
+        const AXIS_FLAGS: [&str; 8] = [
+            "--apps",
+            "--dims",
+            "--partitioners",
+            "--nprocs",
+            "--ghost-widths",
+            "--config",
+            "--machines",
+            "--machine",
+        ];
+        if let Some(conflict) = AXIS_FLAGS.iter().find(|f| has_flag(args, f)) {
+            return Err(format!(
+                "{conflict} conflicts with --spec: the spec file defines every campaign axis"
+            ));
+        }
+        let json = std::fs::read_to_string(&path).map_err(|e| format!("read spec {path}: {e}"))?;
+        return serde_json::from_str(&json).map_err(|e| format!("parse spec {path}: {e}"));
+    }
     let apps = parse_list(args, "--apps", AppKind::ALL.to_vec(), |name| {
         AppKind::parse(name).ok_or_else(|| format!("unknown app '{name}'"))
     })?;
@@ -317,18 +355,54 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
         vec![MachineModel::default()],
         MachineModel::parse,
     )?;
-    let out_dir =
-        PathBuf::from(flag_value(args, "--out").unwrap_or_else(|| "results/campaign".into()));
-    let spec = CampaignSpec::new(trace)
+    Ok(CampaignSpec::new(trace)
         .apps(apps)
         .dims(dims)
         .partitioners(partitioners)
         .nprocs(nprocs)
         .ghost_widths(ghost_widths)
-        .machines(machines);
+        .machines(machines))
+}
+
+/// Parse `--shard I/N` into `(shard, nshards)`.
+fn parse_shard(args: &[String]) -> Result<Option<(usize, usize)>, String> {
+    let Some(value) = flag_value(args, "--shard") else {
+        return Ok(None);
+    };
+    let err = || format!("bad --shard '{value}' (expected I/N with I < N, e.g. 0/3)");
+    let (i, n) = value.split_once('/').ok_or_else(err)?;
+    let shard: usize = i.parse().map_err(|_| err())?;
+    let nshards: usize = n.parse().map_err(|_| err())?;
+    if nshards == 0 || shard >= nshards {
+        return Err(err());
+    }
+    Ok(Some((shard, nshards)))
+}
+
+fn cmd_campaign(args: &[String]) -> Result<(), String> {
+    let spec = parse_campaign_spec(args)?;
     if spec.is_empty() {
         return Err("campaign expands to zero scenarios".into());
     }
+    let strategy = match flag_value(args, "--shard-strategy") {
+        None => ShardStrategy::default(),
+        Some(name) => ShardStrategy::parse(&name)?,
+    };
+    let threads: Option<usize> = flag_value(args, "--threads")
+        .map(|v| v.parse().map_err(|e| format!("bad --threads '{v}': {e}")))
+        .transpose()?;
+    let workers: Option<usize> = flag_value(args, "--workers")
+        .map(|v| v.parse().map_err(|e| format!("bad --workers '{v}': {e}")))
+        .transpose()?;
+    let shard = parse_shard(args)?;
+    if shard.is_some() && workers.is_some() {
+        return Err("--shard and --workers are mutually exclusive".into());
+    }
+    if workers == Some(0) {
+        return Err("--workers must be at least 1".into());
+    }
+    let out_dir =
+        PathBuf::from(flag_value(args, "--out").unwrap_or_else(|| "results/campaign".into()));
     let active_apps = spec
         .apps
         .iter()
@@ -345,17 +419,140 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
         spec.dims,
         out_dir.display()
     );
-    let (outcomes, paths) =
-        Campaign::run_to_dir(&spec, &out_dir).map_err(|e| format!("write artifacts: {e}"))?;
-    for outcome in &outcomes {
-        println!("{}", outcome.digest());
+
+    if let Some(nworkers) = workers {
+        // Multi-process path: plan here, run every shard as a child
+        // process, merge the shard directories back into the canonical
+        // artifacts. Each worker gets an explicit thread cap so the
+        // workers together do not oversubscribe the host.
+        let plan = CampaignPlan::new(&spec, nworkers, strategy);
+        let worker_threads = threads.or_else(|| {
+            std::thread::available_parallelism()
+                .ok()
+                .map(|n| (n.get() / nworkers).max(1))
+        });
+        eprintln!(
+            "spawning {nworkers} workers ({} threads each, strategy {})",
+            worker_threads.map_or("auto".into(), |t| t.to_string()),
+            strategy.name(),
+        );
+        let exec = WorkerExecutor::current_exe(worker_threads)
+            .map_err(|e| format!("locate samr binary: {e}"))?;
+        // Dispatch through the executor trait: the worker fleet is just
+        // one strategy for executing the plan.
+        let executor: &dyn CampaignExecutor = &exec;
+        let ExecOutput::Shards(shard_dirs) = executor
+            .execute(&plan, &out_dir)
+            .map_err(|e| e.to_string())?
+        else {
+            return Err("worker executor unexpectedly ran in-process".into());
+        };
+        let report = merge_shards(&shard_dirs, &out_dir).map_err(|e| e.to_string())?;
+        eprintln!(
+            "merged {} scenarios from {} shards into {} (plan {})",
+            report.scenario_count,
+            report.shards,
+            out_dir.display(),
+            report.plan_hash
+        );
+        return Ok(());
     }
+
+    let run_in_process = || -> Result<(), String> {
+        if let Some((shard, nshards)) = shard {
+            // One shard of the plan: per-shard artifact directory plus
+            // manifest; a later `samr campaign-merge` reassembles.
+            let plan = CampaignPlan::new(&spec, nshards, strategy);
+            let executor = ShardExecutor { shard };
+            let (outcomes, shard_dir) = executor
+                .run_shard(&plan, &out_dir)
+                .map_err(|e| e.to_string())?;
+            for outcome in &outcomes {
+                println!("{}", outcome.digest());
+            }
+            eprintln!(
+                "shard {shard}/{nshards}: wrote {} of {} scenarios to {} (plan {})",
+                outcomes.len(),
+                plan.len(),
+                shard_dir.display(),
+                plan.plan_hash
+            );
+            return Ok(());
+        }
+        let (outcomes, paths) =
+            Campaign::run_to_dir(&spec, &out_dir).map_err(|e| format!("write artifacts: {e}"))?;
+        for outcome in &outcomes {
+            println!("{}", outcome.digest());
+        }
+        eprintln!(
+            "wrote {} artifacts ({} scenarios) to {}",
+            paths.len(),
+            outcomes.len(),
+            out_dir.display()
+        );
+        Ok(())
+    };
+    match threads {
+        // A scoped rayon pool caps campaign parallelism without
+        // affecting the rest of the process — the knob shard workers on
+        // one host use to share cores instead of oversubscribing them.
+        Some(t) => {
+            let pool = build_thread_pool(t)?;
+            pool.install(run_in_process)
+        }
+        None => run_in_process(),
+    }
+}
+
+fn cmd_campaign_merge(args: &[String]) -> Result<(), String> {
+    // Positional arguments are shard directories — or one campaign
+    // directory whose `shard-*-of-*` children are the shards.
+    let mut dirs: Vec<PathBuf> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if a == "--out" {
+            i += 2;
+            continue;
+        }
+        if a.starts_with("--") {
+            return Err(format!("unknown flag '{a}'"));
+        }
+        dirs.push(PathBuf::from(a));
+        i += 1;
+    }
+    if dirs.is_empty() {
+        return Err("expected shard directories (or one campaign directory) to merge".into());
+    }
+    let (shard_dirs, default_out) =
+        if dirs.len() == 1 && !dirs[0].join("shard.manifest.json").exists() {
+            // One campaign directory: discover its shard children.
+            let found = find_shard_dirs(&dirs[0])
+                .map_err(|e| format!("scan {}: {e}", dirs[0].display()))?;
+            if found.is_empty() {
+                return Err(format!(
+                    "{} contains no shard-*-of-* directories",
+                    dirs[0].display()
+                ));
+            }
+            (found, dirs[0].clone())
+        } else {
+            let parent = dirs[0]
+                .parent()
+                .map(Path::to_path_buf)
+                .unwrap_or_else(|| PathBuf::from("."));
+            (dirs, parent)
+        };
+    let out_dir = flag_value(args, "--out").map_or(default_out, PathBuf::from);
+    let report = merge_shards(&shard_dirs, &out_dir).map_err(|e| e.to_string())?;
     eprintln!(
-        "wrote {} artifacts ({} scenarios) to {}",
-        paths.len(),
-        outcomes.len(),
-        out_dir.display()
+        "merged {} scenarios from {} shards into {} (plan {})",
+        report.scenario_count,
+        report.shards,
+        out_dir.display(),
+        report.plan_hash
     );
+    println!("{}", report.csv_path.display());
     Ok(())
 }
 
@@ -389,6 +586,7 @@ fn main() -> ExitCode {
         "simulate" => cmd_simulate(rest),
         "compare" => cmd_compare(rest),
         "campaign" => cmd_campaign(rest),
+        "campaign-merge" => cmd_campaign_merge(rest),
         "apps" => cmd_apps(),
         "partitioners" => cmd_partitioners(),
         _ => return usage(),

@@ -1,0 +1,199 @@
+//! End-to-end CLI coverage of distributed campaigns: the unsharded,
+//! sharded-and-merged and multi-process worker paths must all produce
+//! the byte-identical canonical campaign CSV (pinned by the checked-in
+//! golden artifact), and the merge CLI must fail loudly on incomplete
+//! shard sets.
+
+use samr::engine::CampaignManifest;
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+const GOLDEN: &str = include_str!("../crates/engine/tests/golden/campaign_smoke.csv");
+
+/// The axis flags of the golden smoke campaign.
+const AXES: [&str; 8] = [
+    "--apps",
+    "tp2d,sc2d",
+    "--partitioners",
+    "hybrid,domain-sfc",
+    "--nprocs",
+    "8",
+    "--config",
+    "smoke",
+];
+
+fn samr(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_samr"))
+        .args(args)
+        .output()
+        .expect("spawn samr")
+}
+
+fn assert_ok(out: &Output, what: &str) {
+    assert!(
+        out.status.success(),
+        "{what} failed ({}):\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("samr-cli-test-{}-{tag}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn campaign_csv(dir: &std::path::Path) -> String {
+    std::fs::read_to_string(dir.join("campaign.csv"))
+        .unwrap_or_else(|e| panic!("read {}/campaign.csv: {e}", dir.display()))
+}
+
+#[test]
+fn unsharded_campaign_writes_the_golden_csv_and_manifest() {
+    let dir = temp_dir("unsharded");
+    let mut args = vec!["campaign"];
+    args.extend(AXES);
+    args.extend(["--out", dir.to_str().unwrap()]);
+    assert_ok(&samr(&args), "unsharded campaign");
+    assert!(
+        campaign_csv(&dir) == GOLDEN,
+        "unsharded campaign.csv drifted from the golden artifact"
+    );
+    let manifest = std::fs::read_to_string(dir.join("campaign.manifest.json")).unwrap();
+    let manifest: CampaignManifest = serde_json::from_str(&manifest).unwrap();
+    assert_eq!(manifest.scenario_count, 4);
+    assert_eq!(manifest.shards, 1);
+    assert!(!manifest.plan_hash.is_empty());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn three_cli_shards_merge_back_to_the_golden_csv() {
+    let dir = temp_dir("shards");
+    for i in 0..3 {
+        let shard = format!("{i}/3");
+        let mut args = vec!["campaign"];
+        args.extend(AXES);
+        args.extend([
+            "--shard",
+            &shard,
+            "--threads",
+            "2",
+            "--out",
+            dir.to_str().unwrap(),
+        ]);
+        assert_ok(&samr(&args), &format!("shard {i}/3"));
+    }
+    let merge = samr(&["campaign-merge", dir.to_str().unwrap()]);
+    assert_ok(&merge, "campaign-merge");
+    assert!(
+        campaign_csv(&dir) == GOLDEN,
+        "3-shard merged campaign.csv drifted from the golden artifact"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn worker_processes_produce_the_golden_csv() {
+    let dir = temp_dir("workers");
+    let mut args = vec!["campaign"];
+    args.extend(AXES);
+    args.extend([
+        "--workers",
+        "3",
+        "--threads",
+        "1",
+        "--out",
+        dir.to_str().unwrap(),
+    ]);
+    assert_ok(&samr(&args), "3-worker campaign");
+    assert!(
+        campaign_csv(&dir) == GOLDEN,
+        "multi-process campaign.csv drifted from the golden artifact"
+    );
+    // The worker path leaves the shard directories and the spec file
+    // behind for audit; the merged manifest records all three shards.
+    assert!(dir.join("campaign.spec.json").exists());
+    assert!(dir
+        .join("shard-0-of-3")
+        .join("shard.manifest.json")
+        .exists());
+    let manifest = std::fs::read_to_string(dir.join("campaign.manifest.json")).unwrap();
+    let manifest: CampaignManifest = serde_json::from_str(&manifest).unwrap();
+    assert_eq!(manifest.shards, 3);
+    assert_eq!(manifest.scenario_count, 4);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn merge_refuses_an_incomplete_shard_set() {
+    let dir = temp_dir("incomplete");
+    for i in [0usize, 2] {
+        let shard = format!("{i}/3");
+        let mut args = vec!["campaign"];
+        args.extend(AXES);
+        args.extend(["--shard", &shard, "--out", dir.to_str().unwrap()]);
+        assert_ok(&samr(&args), &format!("shard {i}/3"));
+    }
+    let merge = samr(&["campaign-merge", dir.to_str().unwrap()]);
+    assert!(
+        !merge.status.success(),
+        "merge of 2 of 3 shards unexpectedly succeeded"
+    );
+    let stderr = String::from_utf8_lossy(&merge.stderr);
+    assert!(
+        stderr.contains("missing shard") && stderr.contains("[1]"),
+        "unhelpful merge error: {stderr}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn shard_flag_validation_rejects_malformed_values() {
+    for bad in ["3/3", "2", "a/b", "1/0"] {
+        let mut args = vec!["campaign"];
+        args.extend(AXES);
+        args.extend(["--shard", bad]);
+        let out = samr(&args);
+        assert!(!out.status.success(), "--shard {bad} was accepted");
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("--shard"),
+            "--shard {bad}: error does not name the flag"
+        );
+    }
+    // --shard and --workers together make no sense.
+    let mut args = vec!["campaign"];
+    args.extend(AXES);
+    args.extend(["--shard", "0/2", "--workers", "2"]);
+    let out = samr(&args);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("mutually exclusive"));
+}
+
+#[test]
+fn spec_file_reproduces_the_axis_flags_campaign() {
+    // A spec written by one process and executed from the file by
+    // another (what --workers does internally) plans the same campaign.
+    let dir = temp_dir("specfile");
+    let mut args = vec!["campaign"];
+    args.extend(AXES);
+    args.extend(["--out", dir.to_str().unwrap()]);
+    assert_ok(&samr(&args), "axis-flags campaign");
+    let spec_path = dir.join("respec.json");
+    let manifest = std::fs::read_to_string(dir.join("campaign.manifest.json")).unwrap();
+    let manifest: CampaignManifest = serde_json::from_str(&manifest).unwrap();
+    std::fs::write(&spec_path, serde_json::to_string(&manifest.spec).unwrap()).unwrap();
+    let redir = temp_dir("specfile-re");
+    let out = samr(&[
+        "campaign",
+        "--spec",
+        spec_path.to_str().unwrap(),
+        "--out",
+        redir.to_str().unwrap(),
+    ]);
+    assert_ok(&out, "spec-file campaign");
+    assert_eq!(campaign_csv(&dir), campaign_csv(&redir));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&redir).ok();
+}
