@@ -1,0 +1,99 @@
+//! Atomic file writes: the tmp-then-rename discipline every campaign
+//! artifact goes through.
+//!
+//! A campaign killed mid-write (OOM, full disk, `kill -9`) must never
+//! leave a torn artifact for the merger or a resumed run to misread.
+//! [`atomic_write`] writes the content to a uniquely named temporary
+//! sibling and renames it into place, so any artifact that *exists*
+//! under its final name is whole: a crash leaves at worst a stray
+//! dot-prefixed `.tmp-*` file that every reader ignores (tmp names are
+//! unique per process and call, so nothing ever reads or reuses one;
+//! a kill in the write–rename window orphans that file until the
+//! directory is cleaned up — the cost of never risking a sweep that
+//! could delete a live sibling worker's pending write). The
+//! same discipline already protected the trace spill store
+//! ([`crate::store`]); this module makes it the one way campaign bytes
+//! reach disk.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The temporary sibling a pending write goes to: unique per process
+/// and per call, in the same directory as the target so the rename
+/// never crosses a filesystem boundary.
+fn tmp_sibling(path: &Path) -> PathBuf {
+    static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "artifact".into());
+    path.with_file_name(format!(
+        ".{name}.tmp-{}-{}",
+        std::process::id(),
+        TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// Write `bytes` to `path` atomically: the content lands in a unique
+/// temporary sibling first and is renamed into place whole, so a crash
+/// at any instant leaves either the previous file, no file, or the
+/// complete new file — never a torn one. Concurrent writers of
+/// deterministic content race benignly: whichever rename lands last is
+/// byte-identical.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = tmp_sibling(path);
+    let result = std::fs::write(&tmp, bytes).and_then(|()| std::fs::rename(&tmp, path));
+    if result.is_err() {
+        // Clean up whatever made it to disk: a partial tmp file left by
+        // ENOSPC would otherwise keep occupying the space a retried run
+        // needs (tmp names are unique, so nothing ever overwrites it).
+        std::fs::remove_file(&tmp).ok();
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("samr-atomic-test-{}-{tag}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn writes_content_and_leaves_no_temporaries() {
+        let dir = temp_dir("clean");
+        let path = dir.join("a.csv");
+        atomic_write(&path, b"hello").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"hello");
+        let names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, vec!["a.csv".to_string()], "stray files: {names:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn overwrites_existing_files_whole() {
+        let dir = temp_dir("overwrite");
+        let path = dir.join("b.json");
+        atomic_write(&path, b"old").unwrap();
+        atomic_write(&path, b"replacement").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"replacement");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_parent_directory_is_an_error_not_a_panic() {
+        let dir = temp_dir("noparent");
+        let path = dir.join("nope").join("c.csv");
+        assert!(atomic_write(&path, b"x").is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -8,7 +8,8 @@
 //! ([`crate::merge`]). `Campaign::run`/`run_to_dir` are thin wrappers
 //! over the single-shard in-process path.
 
-use crate::exec::{write_scenario_artifacts, RayonExecutor};
+use crate::atomic::atomic_write;
+use crate::exec::RayonExecutor;
 use crate::merge::{CampaignManifest, CAMPAIGN_CSV};
 use crate::plan::{CampaignPlan, ShardStrategy};
 use crate::scenario::{Scenario, ScenarioOutcome};
@@ -199,60 +200,100 @@ impl Campaign {
     /// the scenario sweep itself is pure partition-and-simulate work.
     pub fn run(spec: &CampaignSpec) -> Vec<ScenarioOutcome> {
         let plan = CampaignPlan::new(spec, 1, ShardStrategy::default());
-        RayonExecutor.run_plan(&plan)
+        RayonExecutor::default().run_plan(&plan)
     }
 
     /// Run a campaign and write its artifacts into `dir`: one CSV
     /// (per-step series) and one JSON summary per scenario (named by
-    /// the plan's unique slugs), the canonical concatenated
-    /// `campaign.csv`, and the audit `campaign.manifest.json`. Returns
-    /// the outcomes and every path written.
+    /// the plan's unique slugs, each pair stamped with a completion
+    /// record), the canonical concatenated `campaign.csv`, and the
+    /// audit `campaign.manifest.json`. Returns the outcomes and every
+    /// path written.
     pub fn run_to_dir(
         spec: &CampaignSpec,
         dir: &Path,
     ) -> std::io::Result<(Vec<ScenarioOutcome>, Vec<PathBuf>)> {
+        Self::run_to_dir_resume(spec, dir, false).map(|run| (run.outcomes, run.paths))
+    }
+
+    /// [`Campaign::run_to_dir`] with resumption: when `resume` is set,
+    /// scenarios whose completion records in `dir` validate against the
+    /// re-planned campaign (same plan hash, artifact bytes matching
+    /// their recorded digests) are skipped, only the remainder
+    /// executes, and the canonical `campaign.csv` is reassembled from
+    /// the artifacts on disk — byte-identical to an uninterrupted run.
+    pub fn run_to_dir_resume(
+        spec: &CampaignSpec,
+        dir: &Path,
+        resume: bool,
+    ) -> std::io::Result<CampaignRun> {
         let start = Instant::now();
         let plan = CampaignPlan::new(spec, 1, ShardStrategy::default());
-        let outcomes = RayonExecutor.run_plan(&plan);
-        let paths = write_campaign_artifacts(&plan, &outcomes, dir, start.elapsed().as_secs_f64())?;
-        Ok((outcomes, paths))
+        std::fs::create_dir_all(dir)?;
+        // The executor writes and stamps each scenario's artifacts the
+        // moment it finishes, so a kill mid-sweep banks every completed
+        // scenario for the next --resume.
+        let (executed, skipped) = RayonExecutor { resume }.run_remaining(&plan, dir)?;
+        let mut paths = Vec::with_capacity(2 * plan.len() + 2);
+        // Move each rendered CSV out of the executed triples: the bytes
+        // are held once, then moved again into the campaign.csv parts.
+        let mut fresh_csv: std::collections::HashMap<usize, String> =
+            std::collections::HashMap::with_capacity(executed.len());
+        let mut outcomes = Vec::with_capacity(executed.len());
+        for (planned, outcome, csv) in executed {
+            paths.push(dir.join(format!("{}.csv", planned.slug)));
+            paths.push(dir.join(format!("{}.json", planned.slug)));
+            fresh_csv.insert(planned.id, csv);
+            outcomes.push(outcome);
+        }
+        // Assemble campaign.csv in plan order: freshly rendered parts
+        // for what ran, validated on-disk artifacts for what was
+        // skipped (their digests were just checked against the records).
+        let mut parts: Vec<(String, String)> = Vec::with_capacity(plan.len());
+        for planned in &plan.scenarios {
+            let csv = match fresh_csv.remove(&planned.id) {
+                Some(csv) => csv,
+                None => {
+                    let path = dir.join(format!("{}.csv", planned.slug));
+                    paths.push(path.clone());
+                    paths.push(dir.join(format!("{}.json", planned.slug)));
+                    std::fs::read_to_string(&path)?
+                }
+            };
+            parts.push((planned.slug.clone(), csv));
+        }
+        let campaign_csv = crate::merge::assemble_campaign_csv(
+            parts.iter().map(|(s, c)| (s.as_str(), c.as_str())),
+        );
+        let csv_path = dir.join(CAMPAIGN_CSV);
+        atomic_write(&csv_path, campaign_csv.as_bytes())?;
+        paths.push(csv_path);
+        let manifest = CampaignManifest {
+            plan_hash: plan.plan_hash.clone(),
+            scenario_count: plan.len(),
+            shards: 1,
+            elapsed_seconds: start.elapsed().as_secs_f64(),
+            spec: plan.spec.clone(),
+        };
+        paths.push(manifest.write(dir)?);
+        Ok(CampaignRun {
+            outcomes,
+            skipped,
+            paths,
+        })
     }
 }
 
-/// Write the canonical campaign artifact set for in-process execution:
-/// per-scenario CSV/JSON under the plan's unique slugs, the
-/// concatenated `campaign.csv` in plan order, and the audit manifest.
-/// The merger produces the byte-identical set from shard directories.
-pub(crate) fn write_campaign_artifacts(
-    plan: &CampaignPlan,
-    outcomes: &[ScenarioOutcome],
-    dir: &Path,
-    elapsed_seconds: f64,
-) -> std::io::Result<Vec<PathBuf>> {
-    std::fs::create_dir_all(dir)?;
-    let mut paths = Vec::with_capacity(2 * outcomes.len() + 2);
-    let mut parts: Vec<(String, String)> = Vec::with_capacity(outcomes.len());
-    for (planned, outcome) in plan.scenarios.iter().zip(outcomes) {
-        let csv = outcome.to_csv();
-        let (csv_path, json_path) = write_scenario_artifacts(dir, &planned.slug, &csv, outcome)?;
-        parts.push((planned.slug.clone(), csv));
-        paths.push(csv_path);
-        paths.push(json_path);
-    }
-    let campaign_csv =
-        crate::merge::assemble_campaign_csv(parts.iter().map(|(s, c)| (s.as_str(), c.as_str())));
-    let csv_path = dir.join(CAMPAIGN_CSV);
-    std::fs::write(&csv_path, campaign_csv)?;
-    paths.push(csv_path);
-    let manifest = CampaignManifest {
-        plan_hash: plan.plan_hash.clone(),
-        scenario_count: plan.len(),
-        shards: 1,
-        elapsed_seconds,
-        spec: plan.spec.clone(),
-    };
-    paths.push(manifest.write(dir)?);
-    Ok(paths)
+/// What one (possibly resumed) in-process campaign run did.
+#[derive(Debug)]
+pub struct CampaignRun {
+    /// Outcomes of the scenarios executed this invocation, in plan
+    /// order (a resumed run omits the skipped ones).
+    pub outcomes: Vec<ScenarioOutcome>,
+    /// Scenarios skipped because their completion records validated.
+    pub skipped: usize,
+    /// Every artifact path of the campaign (executed and skipped).
+    pub paths: Vec<PathBuf>,
 }
 
 #[cfg(test)]

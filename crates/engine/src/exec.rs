@@ -15,15 +15,27 @@
 //!   --shard i/n` child per shard and waits, so a single host (or a
 //!   launcher script across hosts) runs the shards as independent
 //!   processes, each with its own bounded-memory trace store.
+//!
+//! All three are crash-consistent and resumable: every artifact goes
+//! through [`crate::atomic::atomic_write`] (tmp-then-rename, never a
+//! torn file), every finished scenario is stamped with a
+//! [`CompletionRecord`], and with `resume` set an executor re-validates
+//! existing records against the current plan and re-executes only the
+//! scenarios that are not provably done. The worker executor
+//! additionally relaunches a dead child (nonzero exit, signal, spawn
+//! failure) with `--resume` up to [`WorkerExecutor::retries`] times, so
+//! one killed worker costs one shard remainder, not the whole sweep.
 
+use crate::atomic::atomic_write;
 use crate::merge::{ManifestEntry, ShardManifest};
 use crate::plan::{CampaignPlan, PlannedScenario};
+use crate::resume::CompletionRecord;
 use crate::scenario::ScenarioOutcome;
 use crate::store::cached_model;
 use rayon::prelude::*;
 use samr_apps::AppKind;
 use std::path::{Path, PathBuf};
-use std::process::{Command, Stdio};
+use std::process::{Child, Command, Stdio};
 use std::time::Instant;
 
 /// What an executor produced.
@@ -42,7 +54,7 @@ pub enum ExecOutput {
 pub enum ExecError {
     /// Artifact or manifest I/O failed.
     Io(std::io::Error),
-    /// A shard worker process failed.
+    /// A shard worker process failed (after exhausting its retries).
     Worker {
         /// Which shard the worker was running.
         shard: usize,
@@ -96,26 +108,82 @@ fn warm_store(scenarios: &[&PlannedScenario]) {
 
 /// Run a slice of planned scenarios rayon-parallel, outcomes in input
 /// order.
-fn run_scenarios(scenarios: &[&PlannedScenario]) -> Vec<ScenarioOutcome> {
+pub(crate) fn run_scenarios(scenarios: &[&PlannedScenario]) -> Vec<ScenarioOutcome> {
     warm_store(scenarios);
     scenarios.par_iter().map(|p| p.scenario.run()).collect()
 }
 
+/// Run a slice of planned scenarios rayon-parallel, writing and
+/// stamping each scenario's artifacts *the moment it finishes* —
+/// checkpointing is per scenario, not per batch, so a process killed
+/// mid-sweep has durably banked every scenario that completed before
+/// the kill and `--resume` re-executes only the true remainder.
+/// Returns `(planned, outcome, rendered CSV)` triples in input order.
+fn run_and_stamp<'a>(
+    dir: &Path,
+    plan_hash: &str,
+    scenarios: &[&'a PlannedScenario],
+) -> std::io::Result<Vec<(&'a PlannedScenario, ScenarioOutcome, String)>> {
+    warm_store(scenarios);
+    let results: Vec<std::io::Result<(&PlannedScenario, ScenarioOutcome, String)>> = scenarios
+        .par_iter()
+        .map(|p| {
+            let outcome = p.scenario.run();
+            let csv = outcome.to_csv();
+            write_scenario_artifacts(dir, p, plan_hash, &csv, &outcome)?;
+            Ok((*p, outcome, csv))
+        })
+        .collect();
+    results.into_iter().collect()
+}
+
+/// Split a shard's (or campaign's) scenario slice for resumption:
+/// scenarios whose completion record in `dir` validates against the
+/// current plan hash are already done; everything else — no record, no
+/// artifact, stale plan, torn bytes — must (re-)run. With `resume`
+/// off, everything runs.
+pub(crate) fn split_resume<'a>(
+    dir: &Path,
+    plan_hash: &str,
+    scenarios: &[&'a PlannedScenario],
+    resume: bool,
+) -> (Vec<&'a PlannedScenario>, Vec<&'a PlannedScenario>) {
+    if !resume {
+        return (Vec::new(), scenarios.to_vec());
+    }
+    scenarios
+        .iter()
+        .partition(|p| CompletionRecord::status(dir, p.id, &p.slug, plan_hash).is_complete())
+}
+
 /// Write one scenario's CSV (pre-rendered, so callers assembling the
 /// campaign CSV render it once) and JSON artifacts under `dir`, named
-/// by the planned slug; returns the two paths.
+/// by the planned slug, then stamp the pair with a completion record.
+/// Every write is atomic (tmp-then-rename) and the record lands last,
+/// so a crash at any instant leaves either no trace of the scenario,
+/// whole-but-unstamped artifacts (re-run on resume), or a provably
+/// complete pair. Returns the CSV, JSON and record paths.
 pub(crate) fn write_scenario_artifacts(
     dir: &Path,
-    slug: &str,
+    planned: &PlannedScenario,
+    plan_hash: &str,
     csv: &str,
     outcome: &ScenarioOutcome,
-) -> std::io::Result<(PathBuf, PathBuf)> {
-    let csv_path = dir.join(format!("{slug}.csv"));
-    std::fs::write(&csv_path, csv)?;
-    let json_path = dir.join(format!("{slug}.json"));
+) -> std::io::Result<(PathBuf, PathBuf, PathBuf)> {
+    let csv_path = dir.join(format!("{}.csv", planned.slug));
+    atomic_write(&csv_path, csv.as_bytes())?;
+    let json_path = dir.join(format!("{}.json", planned.slug));
     let json = serde_json::to_string_pretty(&outcome.summary()).expect("summary serializes");
-    std::fs::write(&json_path, json)?;
-    Ok((csv_path, json_path))
+    atomic_write(&json_path, json.as_bytes())?;
+    let record_path = CompletionRecord::stamp(
+        dir,
+        planned.id,
+        &planned.slug,
+        plan_hash,
+        csv.as_bytes(),
+        json.as_bytes(),
+    )?;
+    Ok((csv_path, json_path, record_path))
 }
 
 /// Build a scoped rayon pool of `threads` workers (`0` = automatic)
@@ -131,16 +199,41 @@ pub fn build_thread_pool(threads: usize) -> Result<rayon::ThreadPool, String> {
 
 /// The in-process executor: the whole plan, rayon-parallel, outcomes in
 /// plan order. This is `Campaign::run`'s engine and preserves the
-/// pre-refactor behavior byte for byte.
+/// pre-refactor behavior byte for byte. With [`RayonExecutor::resume`]
+/// set, the artifact-writing front end (`Campaign::run_to_dir`) skips
+/// scenarios whose completion records validate in the campaign
+/// directory.
 #[derive(Clone, Copy, Debug, Default)]
-pub struct RayonExecutor;
+pub struct RayonExecutor {
+    /// Skip scenarios already stamped complete (valid
+    /// [`CompletionRecord`]) in the artifact directory.
+    pub resume: bool,
+}
 
 impl RayonExecutor {
     /// Execute every scenario of the plan, returning outcomes in plan
-    /// order.
+    /// order (ignores [`RayonExecutor::resume`]: with no artifact
+    /// directory there is nothing to resume from).
     pub fn run_plan(&self, plan: &CampaignPlan) -> Vec<ScenarioOutcome> {
         let scenarios: Vec<&PlannedScenario> = plan.scenarios.iter().collect();
         run_scenarios(&scenarios)
+    }
+
+    /// Execute the scenarios of the plan not already complete in `dir`
+    /// (all of them unless [`RayonExecutor::resume`] is set), writing
+    /// and stamping each scenario's artifacts under `dir` as it
+    /// finishes. Returns the executed `(planned, outcome, csv)` triples
+    /// in plan order plus how many scenarios were skipped as complete.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn run_remaining<'a>(
+        &self,
+        plan: &'a CampaignPlan,
+        dir: &Path,
+    ) -> std::io::Result<(Vec<(&'a PlannedScenario, ScenarioOutcome, String)>, usize)> {
+        let scenarios: Vec<&PlannedScenario> = plan.scenarios.iter().collect();
+        let (done, todo) = split_resume(dir, &plan.plan_hash, &scenarios, self.resume);
+        let executed = run_and_stamp(dir, &plan.plan_hash, &todo)?;
+        Ok((executed, done.len()))
     }
 }
 
@@ -156,25 +249,40 @@ pub fn shard_dir_name(shard: usize, nshards: usize) -> String {
     format!("shard-{shard}-of-{nshards}")
 }
 
+/// What one shard execution did: the outcomes of the scenarios it
+/// actually executed this run, how many it skipped as already complete
+/// (always `0` without resume), and the shard artifact directory.
+#[derive(Debug)]
+pub struct ShardRun {
+    /// Outcomes of the scenarios executed in this invocation, in the
+    /// shard's plan order.
+    pub outcomes: Vec<ScenarioOutcome>,
+    /// Scenarios skipped because their completion records validated
+    /// against the current plan.
+    pub skipped: usize,
+    /// The shard artifact directory (`dir/shard-<i>-of-<n>`).
+    pub dir: PathBuf,
+}
+
 /// Runs exactly one shard of a plan and writes its self-describing
 /// artifact directory. The executor of `samr campaign --shard i/n`.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct ShardExecutor {
     /// Which shard of the plan to run (`0..plan.nshards`).
     pub shard: usize,
+    /// Skip scenarios already stamped complete in the shard directory
+    /// (the `--resume` flag): a crashed or killed shard re-executes
+    /// only its remainder.
+    pub resume: bool,
 }
 
 impl ShardExecutor {
     /// Execute this executor's shard of the plan, writing per-scenario
-    /// artifacts and the shard manifest under
-    /// `dir/shard-<i>-of-<n>/`. Returns the outcomes (in the shard's
-    /// plan order, matching [`CampaignPlan::shard_scenarios`]) and the
-    /// shard directory.
-    pub fn run_shard(
-        &self,
-        plan: &CampaignPlan,
-        dir: &Path,
-    ) -> Result<(Vec<ScenarioOutcome>, PathBuf), ExecError> {
+    /// artifacts, completion records and the shard manifest under
+    /// `dir/shard-<i>-of-<n>/` (the manifest last — its presence means
+    /// the shard finished). Returns the [`ShardRun`] with the outcomes
+    /// of the scenarios executed this invocation.
+    pub fn run_shard(&self, plan: &CampaignPlan, dir: &Path) -> Result<ShardRun, ExecError> {
         assert!(
             self.shard < plan.nshards,
             "shard {} out of range for a {}-shard plan",
@@ -183,12 +291,13 @@ impl ShardExecutor {
         );
         let start = Instant::now();
         let scenarios = plan.shard_scenarios(self.shard);
-        let outcomes = run_scenarios(&scenarios);
         let shard_dir = dir.join(shard_dir_name(self.shard, plan.nshards));
         std::fs::create_dir_all(&shard_dir)?;
-        for (p, outcome) in scenarios.iter().zip(&outcomes) {
-            write_scenario_artifacts(&shard_dir, &p.slug, &outcome.to_csv(), outcome)?;
-        }
+        let (done, todo) = split_resume(&shard_dir, &plan.plan_hash, &scenarios, self.resume);
+        let outcomes: Vec<ScenarioOutcome> = run_and_stamp(&shard_dir, &plan.plan_hash, &todo)?
+            .into_iter()
+            .map(|(_, outcome, _)| outcome)
+            .collect();
         let manifest = ShardManifest {
             plan_hash: plan.plan_hash.clone(),
             shard: self.shard,
@@ -206,14 +315,18 @@ impl ShardExecutor {
                 .collect(),
         };
         manifest.write(&shard_dir)?;
-        Ok((outcomes, shard_dir))
+        Ok(ShardRun {
+            outcomes,
+            skipped: done.len(),
+            dir: shard_dir,
+        })
     }
 }
 
 impl CampaignExecutor for ShardExecutor {
     fn execute(&self, plan: &CampaignPlan, dir: &Path) -> Result<ExecOutput, ExecError> {
-        let (_, shard_dir) = self.run_shard(plan, dir)?;
-        Ok(ExecOutput::Shards(vec![shard_dir]))
+        let run = self.run_shard(plan, dir)?;
+        Ok(ExecOutput::Shards(vec![run.dir]))
     }
 }
 
@@ -226,7 +339,10 @@ pub const SPEC_FILE: &str = "campaign.spec.json";
 /// --shard i/n` child per shard of the plan and waits for all of them.
 /// Each child is an independent process with its own trace store and
 /// rayon pool, so `--threads` caps per-worker parallelism instead of
-/// oversubscribing the host.
+/// oversubscribing the host. A child that dies — nonzero exit, killed
+/// by a signal, or a failed spawn — is relaunched with `--resume` up to
+/// [`WorkerExecutor::retries`] times; relaunches skip the scenarios the
+/// dead worker already stamped complete.
 #[derive(Clone, Debug)]
 pub struct WorkerExecutor {
     /// The `samr` binary to spawn (defaults to the current executable
@@ -235,51 +351,100 @@ pub struct WorkerExecutor {
     /// Rayon thread cap passed to each worker (`--threads`); `None`
     /// lets every worker size its own pool.
     pub threads: Option<usize>,
+    /// How many times a dead worker is relaunched (with `--resume`)
+    /// before the campaign fails. `0` = the pre-retry behavior: any
+    /// worker death fails the sweep.
+    pub retries: usize,
+    /// Pass `--resume` to every worker's *first* launch too, so a
+    /// re-run of a previously killed `--workers` campaign picks up
+    /// where the shards left off.
+    pub resume: bool,
 }
 
 impl WorkerExecutor {
     /// A worker executor spawning the currently running binary — the
-    /// right choice when the caller *is* the `samr` CLI.
+    /// right choice when the caller *is* the `samr` CLI. No retries,
+    /// no resume; set the fields for crash tolerance.
     pub fn current_exe(threads: Option<usize>) -> std::io::Result<Self> {
         Ok(Self {
             bin: std::env::current_exe()?,
             threads,
+            retries: 0,
+            resume: false,
         })
+    }
+
+    /// Spawn one worker for `shard`. `resume` is forced on for
+    /// relaunches regardless of [`WorkerExecutor::resume`].
+    fn spawn_worker(
+        &self,
+        spec_path: &Path,
+        plan: &CampaignPlan,
+        shard: usize,
+        dir: &Path,
+        resume: bool,
+    ) -> std::io::Result<Child> {
+        let mut cmd = Command::new(&self.bin);
+        cmd.arg("campaign")
+            .arg("--spec")
+            .arg(spec_path)
+            .arg("--shard")
+            .arg(format!("{shard}/{}", plan.nshards))
+            .arg("--shard-strategy")
+            .arg(plan.strategy.name())
+            .arg("--out")
+            .arg(dir)
+            // Workers' per-scenario digests would interleave across
+            // processes; the merged campaign reports instead.
+            .stdout(Stdio::null());
+        if resume {
+            cmd.arg("--resume");
+        }
+        if let Some(t) = self.threads {
+            cmd.arg("--threads").arg(t.to_string());
+        }
+        cmd.spawn()
     }
 
     /// Spawn one worker per shard of the plan, writing all shard
     /// directories under `dir`; returns the shard directories in shard
-    /// order once every worker has exited successfully.
+    /// order once every worker has exited successfully, relaunching
+    /// dead workers with `--resume` up to [`WorkerExecutor::retries`]
+    /// times each.
     pub fn run_workers(&self, plan: &CampaignPlan, dir: &Path) -> Result<Vec<PathBuf>, ExecError> {
         std::fs::create_dir_all(dir)?;
         let spec_path = dir.join(SPEC_FILE);
         let spec_json = serde_json::to_string_pretty(&plan.spec).expect("CampaignSpec serializes");
-        std::fs::write(&spec_path, spec_json)?;
-        let mut children = Vec::with_capacity(plan.nshards);
+        atomic_write(&spec_path, spec_json.as_bytes())?;
+        // Launch the fleet. A spawn failure consumes retry attempts like
+        // any other worker death; exhausting them kills and reaps the
+        // workers already started — a half-spawned fleet must not keep
+        // writing shard artifacts after the campaign has reported
+        // failure.
+        let mut active: Vec<(usize, usize, Child)> = Vec::with_capacity(plan.nshards);
         for shard in 0..plan.nshards {
-            let mut cmd = Command::new(&self.bin);
-            cmd.arg("campaign")
-                .arg("--spec")
-                .arg(&spec_path)
-                .arg("--shard")
-                .arg(format!("{shard}/{}", plan.nshards))
-                .arg("--shard-strategy")
-                .arg(plan.strategy.name())
-                .arg("--out")
-                .arg(dir)
-                // Workers' per-scenario digests would interleave across
-                // processes; the merged campaign reports instead.
-                .stdout(Stdio::null());
-            if let Some(t) = self.threads {
-                cmd.arg("--threads").arg(t.to_string());
-            }
-            match cmd.spawn() {
-                Ok(child) => children.push((shard, child)),
+            let mut attempt = 0usize;
+            let child = loop {
+                // First launches honor self.resume; retry launches always
+                // resume (safe on an empty shard dir: nothing to skip).
+                let resume = self.resume || attempt > 0;
+                match self.spawn_worker(&spec_path, plan, shard, dir, resume) {
+                    Ok(child) => break Ok(child),
+                    Err(e) if attempt < self.retries => {
+                        attempt += 1;
+                        eprintln!(
+                            "shard {shard} worker failed to spawn ({e}); \
+                             retrying ({attempt}/{})",
+                            self.retries
+                        );
+                    }
+                    Err(e) => break Err(e),
+                }
+            };
+            match child {
+                Ok(child) => active.push((shard, attempt, child)),
                 Err(e) => {
-                    // Kill and reap the workers already started: a
-                    // half-spawned fleet must not keep writing shard
-                    // artifacts after the campaign has reported failure.
-                    for (_, mut c) in children {
+                    for (_, _, mut c) in active {
                         c.kill().ok();
                         c.wait().ok();
                     }
@@ -290,30 +455,65 @@ impl WorkerExecutor {
                 }
             }
         }
-        let mut dirs = Vec::with_capacity(plan.nshards);
-        let mut failure = None;
-        for (shard, mut child) in children {
-            match child.wait() {
-                Ok(status) if status.success() => {
-                    dirs.push(dir.join(shard_dir_name(shard, plan.nshards)));
+        // Supervise the fleet with non-blocking polls: a dead worker is
+        // detected and relaunched with --resume *while the other shards
+        // keep running* (a blocking in-order wait would postpone the
+        // relaunch until every later-spawned shard finished, serializing
+        // the recovery behind the whole sweep), so it has attempts left
+        // to re-execute only the scenarios it had not stamped complete.
+        let mut failure: Option<ExecError> = None;
+        while !active.is_empty() {
+            let mut reaped = false;
+            let mut i = 0;
+            while i < active.len() {
+                let exited = match active[i].2.try_wait() {
+                    Ok(None) => {
+                        i += 1;
+                        continue;
+                    }
+                    Ok(Some(status)) if status.success() => None,
+                    Ok(Some(status)) => Some(format!("exited with {status}")),
+                    Err(e) => {
+                        // The child may still be alive after a failed
+                        // poll: kill and reap it before any relaunch, or
+                        // two workers would race on the same shard.
+                        active[i].2.kill().ok();
+                        active[i].2.wait().ok();
+                        Some(format!("wait failed: {e}"))
+                    }
+                };
+                let (shard, attempt, _) = active.swap_remove(i);
+                reaped = true;
+                let Some(detail) = exited else { continue };
+                if attempt < self.retries && failure.is_none() {
+                    let attempt = attempt + 1;
+                    eprintln!(
+                        "shard {shard} worker died ({detail}); relaunching with --resume \
+                         ({attempt}/{})",
+                        self.retries
+                    );
+                    match self.spawn_worker(&spec_path, plan, shard, dir, true) {
+                        Ok(next) => active.push((shard, attempt, next)),
+                        Err(e) => {
+                            failure = Some(ExecError::Worker {
+                                shard,
+                                detail: format!("relaunch spawn {}: {e}", self.bin.display()),
+                            });
+                        }
+                    }
+                } else if failure.is_none() {
+                    failure = Some(ExecError::Worker { shard, detail });
                 }
-                Ok(status) => {
-                    failure.get_or_insert(ExecError::Worker {
-                        shard,
-                        detail: format!("exited with {status}"),
-                    });
-                }
-                Err(e) => {
-                    failure.get_or_insert(ExecError::Worker {
-                        shard,
-                        detail: format!("wait failed: {e}"),
-                    });
-                }
+            }
+            if !reaped && !active.is_empty() {
+                std::thread::sleep(std::time::Duration::from_millis(50));
             }
         }
         match failure {
             Some(e) => Err(e),
-            None => Ok(dirs),
+            None => Ok((0..plan.nshards)
+                .map(|shard| dir.join(shard_dir_name(shard, plan.nshards)))
+                .collect()),
         }
     }
 }

@@ -62,24 +62,28 @@
 
 #![warn(missing_docs)]
 
+pub mod atomic;
 pub mod campaign;
 pub mod exec;
 pub mod merge;
 pub mod plan;
+pub mod resume;
 pub mod scenario;
 pub mod spec;
 pub mod store;
 pub mod validation;
 
-pub use campaign::{Campaign, CampaignSpec};
+pub use atomic::atomic_write;
+pub use campaign::{Campaign, CampaignRun, CampaignSpec};
 pub use exec::{
     build_thread_pool, shard_dir_name, CampaignExecutor, ExecError, ExecOutput, RayonExecutor,
-    ShardExecutor, WorkerExecutor,
+    ShardExecutor, ShardRun, WorkerExecutor,
 };
 pub use merge::{
     find_shard_dirs, merge_shards, CampaignManifest, MergeError, MergeReport, ShardManifest,
 };
 pub use plan::{CampaignPlan, PlannedScenario, ShardStrategy};
+pub use resume::{Completion, CompletionRecord};
 pub use scenario::{Scenario, ScenarioOutcome, ScenarioSummary};
 pub use spec::PartitionerSpec;
 pub use store::{cached_model, cached_source, cached_trace, set_trace_cache_budget};

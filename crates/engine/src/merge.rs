@@ -7,16 +7,27 @@
 //! covered, and the spec needed to reproduce the campaign.
 //! [`merge_shards`] validates the set — same plan hash everywhere, all
 //! shard indices present exactly once, every scenario ID covered
-//! exactly once — and only then copies the per-scenario CSV/JSON
-//! artifacts into the campaign directory in plan order, rebuilding the
-//! canonical `campaign.csv` and writing the audit
+//! exactly once, every artifact pair stamped by a completion record
+//! that matches the bytes on disk — and only then copies the
+//! per-scenario CSV/JSON artifacts into the campaign directory in plan
+//! order, rebuilding the canonical `campaign.csv` and writing the audit
 //! [`CampaignManifest`]. A merged sharded campaign is therefore
 //! byte-identical to the unsharded run of the same spec, and a stale,
 //! foreign or incomplete shard set is rejected with a precise error
 //! instead of producing a silently wrong merge.
+//!
+//! The merger is *salvage-aware*: a shard that crashed mid-run (no
+//! manifest yet, or listed artifacts missing their completion stamp) is
+//! reported as [`MergeError::ShardIncomplete`] with the exact `samr
+//! campaign … --resume` invocation that finishes it, while bytes that
+//! disagree with their completion record are reported as genuine
+//! [`MergeError::CorruptArtifact`] corruption — the two failure classes
+//! an operator handles very differently.
 
+use crate::atomic::atomic_write;
 use crate::campaign::CampaignSpec;
 use crate::plan::ShardStrategy;
+use crate::resume::{Completion, CompletionRecord};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -67,22 +78,48 @@ pub struct ShardManifest {
 }
 
 impl ShardManifest {
-    /// Write the manifest into its shard directory.
+    /// Write the manifest into its shard directory — atomically, and by
+    /// convention *after* every artifact and completion record, so the
+    /// manifest's presence means the shard finished.
     pub fn write(&self, shard_dir: &Path) -> std::io::Result<PathBuf> {
         let path = shard_dir.join(SHARD_MANIFEST);
         let json = serde_json::to_string_pretty(self).expect("ShardManifest serializes");
-        std::fs::write(&path, json)?;
+        atomic_write(&path, json.as_bytes())?;
         Ok(path)
     }
 
-    /// Read the manifest of a shard directory.
+    /// Read the manifest of a shard directory. A missing manifest in a
+    /// directory *named* like a shard (`shard-<i>-of-<n>`) means the
+    /// shard was killed before finishing — the executor creates the
+    /// directory first and writes the manifest last, so even an empty
+    /// one is the wreckage of a kill before the first scenario landed —
+    /// and is reported as resumable [`MergeError::ShardIncomplete`],
+    /// not as "not a shard directory".
     pub fn read(shard_dir: &Path) -> Result<Self, MergeError> {
         let path = shard_dir.join(SHARD_MANIFEST);
         let json = std::fs::read_to_string(&path).map_err(|e| {
-            if e.kind() == std::io::ErrorKind::NotFound {
-                MergeError::MissingManifest(shard_dir.to_path_buf())
-            } else {
-                MergeError::Io(path.clone(), e)
+            if e.kind() != std::io::ErrorKind::NotFound {
+                return MergeError::Io(path.clone(), e);
+            }
+            match parse_shard_dir_name(shard_dir) {
+                Some((shard, nshards)) => MergeError::ShardIncomplete {
+                    dir: shard_dir.to_path_buf(),
+                    shard,
+                    nshards,
+                    missing: vec![format!("{SHARD_MANIFEST} (shard killed mid-run)")],
+                    // The killed shard cannot say which --shard-strategy
+                    // it ran under, but a surviving sibling's manifest
+                    // can — and the rerun command must carry it, or a
+                    // non-default-strategy shard would be re-executed
+                    // over the wrong scenario slice.
+                    rerun: rerun_command(
+                        shard_dir,
+                        shard,
+                        nshards,
+                        sibling_strategy(shard_dir, nshards),
+                    ),
+                },
+                None => MergeError::MissingManifest(shard_dir.to_path_buf()),
             }
         })?;
         serde_json::from_str(&json).map_err(|e| MergeError::BadManifest(path, e.to_string()))
@@ -110,11 +147,11 @@ pub struct CampaignManifest {
 }
 
 impl CampaignManifest {
-    /// Write the manifest into the campaign directory.
+    /// Write the manifest into the campaign directory (atomically).
     pub fn write(&self, dir: &Path) -> std::io::Result<PathBuf> {
         let path = dir.join(CAMPAIGN_MANIFEST);
         let json = serde_json::to_string_pretty(self).expect("CampaignManifest serializes");
-        std::fs::write(&path, json)?;
+        atomic_write(&path, json.as_bytes())?;
         Ok(path)
     }
 }
@@ -124,7 +161,8 @@ impl CampaignManifest {
 pub enum MergeError {
     /// No shard directories were given (or discovered).
     NoShards,
-    /// A shard directory has no `shard.manifest.json`.
+    /// A directory has no `shard.manifest.json` and no sign of shard
+    /// execution (not a shard directory at all).
     MissingManifest(PathBuf),
     /// A manifest exists but does not parse.
     BadManifest(PathBuf, String),
@@ -181,8 +219,43 @@ pub enum MergeError {
         /// The plan's scenario count.
         total: usize,
     },
-    /// A manifest-listed artifact file is absent from its shard dir.
+    /// A shard ran but did not finish: artifacts, completion records or
+    /// the manifest are missing. Not corruption — rerunning the shard
+    /// with `--resume` completes exactly the missing remainder.
+    ShardIncomplete {
+        /// The incomplete shard directory.
+        dir: PathBuf,
+        /// The shard's index.
+        shard: usize,
+        /// The plan's shard count.
+        nshards: usize,
+        /// What is missing (slugs or the manifest).
+        missing: Vec<String>,
+        /// The exact command that finishes the shard.
+        rerun: String,
+    },
+    /// An artifact's bytes disagree with its completion record: genuine
+    /// corruption (torn copy, bit rot, manual edit), not a resumable
+    /// gap.
+    CorruptArtifact {
+        /// The corrupt artifact (or record) path.
+        path: PathBuf,
+        /// Which check failed.
+        detail: String,
+        /// The command that regenerates the artifact from scratch.
+        rerun: String,
+    },
+    /// A validated artifact vanished between validation and copy
+    /// (concurrent deletion).
     MissingArtifact(PathBuf),
+    /// A campaign directory holds shard directories from different
+    /// shard counts (e.g. a stale `shard-0-of-2` next to
+    /// `shard-0-of-3`), which would otherwise surface as baffling
+    /// duplicate-index errors.
+    MixedShardFamilies {
+        /// The distinct `-of-<n>` families found, ascending.
+        families: Vec<usize>,
+    },
     /// Reading or writing artifacts failed.
     Io(PathBuf, std::io::Error),
 }
@@ -246,10 +319,39 @@ impl std::fmt::Display for MergeError {
                 "{} of {total} scenario ids are covered by no shard: {missing:?}",
                 missing.len()
             ),
+            Self::ShardIncomplete {
+                dir,
+                shard,
+                nshards,
+                missing,
+                rerun,
+            } => write!(
+                f,
+                "shard {shard}/{nshards} at {} is incomplete but resumable \
+                 (missing: {}): finish it with `{rerun}` and merge again",
+                dir.display(),
+                missing.join(", ")
+            ),
+            Self::CorruptArtifact {
+                path,
+                detail,
+                rerun,
+            } => write!(
+                f,
+                "{} is corrupt ({detail}): the bytes on disk are not what its \
+                 completion record stamped — regenerate the shard with `{rerun}`",
+                path.display()
+            ),
             Self::MissingArtifact(path) => write!(
                 f,
-                "artifact {} is listed in its shard manifest but absent",
+                "artifact {} vanished while merging (deleted concurrently?)",
                 path.display()
+            ),
+            Self::MixedShardFamilies { families } => write!(
+                f,
+                "shard directories from different shard counts coexist here \
+                 (shard-*-of-{families:?}): remove the stale family (or pass the \
+                 intended shard directories explicitly) before merging"
             ),
             Self::Io(path, e) => write!(f, "{}: {e}", path.display()),
         }
@@ -291,30 +393,101 @@ pub(crate) fn assemble_campaign_csv<'a>(
     out
 }
 
+/// Parse a `shard-<i>-of-<n>` directory name into `(i, n)`.
+fn parse_shard_dir_name(dir: &Path) -> Option<(usize, usize)> {
+    let name = dir.file_name()?.to_str()?;
+    let rest = name.strip_prefix("shard-")?;
+    let (i, n) = rest.split_once("-of-")?;
+    Some((i.parse().ok()?, n.parse().ok()?))
+}
+
+/// The `--shard-strategy` a manifestless (killed-mid-run) shard ran
+/// under, recovered from any surviving sibling's manifest in the same
+/// `-of-<n>` family: shards of one campaign always share the strategy,
+/// and a rerun command that omitted a non-default strategy would
+/// re-execute the wrong scenario slice.
+fn sibling_strategy(shard_dir: &Path, nshards: usize) -> Option<ShardStrategy> {
+    let parent = shard_dir.parent()?;
+    for entry in std::fs::read_dir(parent).ok()?.filter_map(|e| e.ok()) {
+        let p = entry.path();
+        if p == *shard_dir || !p.is_dir() {
+            continue;
+        }
+        if parse_shard_dir_name(&p).is_none_or(|(_, n)| n != nshards) {
+            continue;
+        }
+        if let Ok(json) = std::fs::read_to_string(p.join(SHARD_MANIFEST)) {
+            if let Ok(m) = serde_json::from_str::<ShardManifest>(&json) {
+                return Some(m.strategy);
+            }
+        }
+    }
+    None
+}
+
+/// The exact invocation that finishes an incomplete shard: resumes the
+/// shard in place, using the campaign's spec file when one exists next
+/// to the shard directory (the `--workers` layout) and the original
+/// axis flags otherwise.
+fn rerun_command(
+    shard_dir: &Path,
+    shard: usize,
+    nshards: usize,
+    strategy: Option<ShardStrategy>,
+) -> String {
+    let parent = shard_dir
+        .parent()
+        .map(Path::to_path_buf)
+        .unwrap_or_default();
+    let spec_file = parent.join(crate::exec::SPEC_FILE);
+    let spec_part = if spec_file.exists() {
+        format!("--spec {}", spec_file.display())
+    } else {
+        "<original axis flags>".to_string()
+    };
+    let strategy_part = match strategy {
+        Some(s) if s != ShardStrategy::default() => format!(" --shard-strategy {}", s.name()),
+        _ => String::new(),
+    };
+    format!(
+        "samr campaign {spec_part} --shard {shard}/{nshards}{strategy_part} --resume --out {}",
+        parent.display()
+    )
+}
+
 /// Discover the shard directories (`shard-<i>-of-<n>` children) of a
-/// campaign directory, in name order.
-pub fn find_shard_dirs(dir: &Path) -> std::io::Result<Vec<PathBuf>> {
-    let mut dirs: Vec<PathBuf> = std::fs::read_dir(dir)?
+/// campaign directory, in name order. Only well-formed names count,
+/// and exactly one `-of-<n>` family may be present: a stale
+/// `shard-0-of-2` next to a fresh `shard-0-of-3` is rejected by name
+/// here instead of surfacing later as a duplicate-index error.
+pub fn find_shard_dirs(dir: &Path) -> Result<Vec<PathBuf>, MergeError> {
+    let entries = std::fs::read_dir(dir).map_err(|e| MergeError::Io(dir.to_path_buf(), e))?;
+    let mut dirs: Vec<(usize, PathBuf)> = entries
         .filter_map(|e| e.ok())
         .map(|e| e.path())
-        .filter(|p| {
-            p.is_dir()
-                && p.file_name()
-                    .and_then(|n| n.to_str())
-                    .is_some_and(|n| n.starts_with("shard-") && n.contains("-of-"))
-        })
+        .filter(|p| p.is_dir())
+        .filter_map(|p| parse_shard_dir_name(&p).map(|(_, n)| (n, p)))
         .collect();
-    dirs.sort();
-    Ok(dirs)
+    let mut families: Vec<usize> = dirs.iter().map(|(n, _)| *n).collect();
+    families.sort_unstable();
+    families.dedup();
+    if families.len() > 1 {
+        return Err(MergeError::MixedShardFamilies { families });
+    }
+    dirs.sort_by(|a, b| a.1.cmp(&b.1));
+    Ok(dirs.into_iter().map(|(_, p)| p).collect())
 }
 
 /// Read and cross-validate the manifests of a shard set: same plan
 /// hash, same shard/scenario counts, every shard index and every
-/// scenario ID exactly once. Returns the manifests with their
-/// directories, keyed by shard index.
+/// scenario ID exactly once, and every listed artifact pair stamped
+/// complete with bytes matching its record. Returns the reference
+/// manifest and the manifests with their directories, keyed by shard
+/// index.
+#[allow(clippy::type_complexity)]
 fn validate_shards(
     shard_dirs: &[PathBuf],
-) -> Result<BTreeMap<usize, (PathBuf, ShardManifest)>, MergeError> {
+) -> Result<(ShardManifest, BTreeMap<usize, (PathBuf, ShardManifest)>), MergeError> {
     if shard_dirs.is_empty() {
         return Err(MergeError::NoShards);
     }
@@ -352,7 +525,11 @@ fn validate_shards(
             return Err(MergeError::DuplicateShard { shard });
         }
     }
-    let reference = reference.expect("at least one shard read");
+    // Unreachable (the empty set returned above), but a typed error beats
+    // a panic on an operator-facing path.
+    let Some(reference) = reference else {
+        return Err(MergeError::NoShards);
+    };
     let missing: Vec<usize> = (0..reference.nshards)
         .filter(|i| !manifests.contains_key(i))
         .collect();
@@ -387,16 +564,50 @@ fn validate_shards(
             total: reference.total_scenarios,
         });
     }
-    Ok(manifests)
+    // Every manifest-listed scenario must be stamped complete with
+    // artifact bytes matching the stamp: missing pieces are a resumable
+    // gap (report them all, with the rerun command); mismatched bytes
+    // are genuine corruption. Digesting here reads every artifact a
+    // merge will read again when copying — the deliberate trade-off:
+    // validation must finish for the whole set before any merged byte
+    // is written, and holding all verified artifacts in memory instead
+    // would unbound the merger's residency on large campaigns.
+    for (dir, m) in manifests.values() {
+        let mut incomplete: Vec<String> = Vec::new();
+        for entry in &m.scenarios {
+            match CompletionRecord::status(dir, entry.id, &entry.slug, &m.plan_hash) {
+                Completion::Complete => {}
+                Completion::Incomplete => incomplete.push(entry.slug.clone()),
+                Completion::Mismatch(detail) => {
+                    return Err(MergeError::CorruptArtifact {
+                        path: CompletionRecord::path(dir, &entry.slug),
+                        detail,
+                        rerun: rerun_command(dir, m.shard, m.nshards, Some(m.strategy)),
+                    });
+                }
+            }
+        }
+        if !incomplete.is_empty() {
+            return Err(MergeError::ShardIncomplete {
+                dir: dir.clone(),
+                shard: m.shard,
+                nshards: m.nshards,
+                missing: incomplete,
+                rerun: rerun_command(dir, m.shard, m.nshards, Some(m.strategy)),
+            });
+        }
+    }
+    Ok((reference, manifests))
 }
 
 /// Validate a shard set and merge its artifacts into `out_dir`: copy
-/// every scenario's CSV/JSON into the campaign directory, rebuild the
+/// every scenario's CSV/JSON into the campaign directory (atomically —
+/// a crash mid-merge never leaves torn campaign artifacts), rebuild the
 /// canonical `campaign.csv` (per-scenario CSVs concatenated in plan
 /// order under `# <slug>` headers) and write the audit
 /// [`CampaignManifest`].
 pub fn merge_shards(shard_dirs: &[PathBuf], out_dir: &Path) -> Result<MergeReport, MergeError> {
-    let manifests = validate_shards(shard_dirs)?;
+    let (reference, manifests) = validate_shards(shard_dirs)?;
     // Scenario id → (shard dir, slug), in id order via BTreeMap.
     let mut by_id: BTreeMap<usize, (&Path, &str)> = BTreeMap::new();
     for (dir, m) in manifests.values() {
@@ -417,24 +628,26 @@ pub fn merge_shards(shard_dirs: &[PathBuf], out_dir: &Path) -> Result<MergeRepor
             }
         })?;
         let csv_dst = out_dir.join(format!("{slug}.csv"));
-        std::fs::write(&csv_dst, &csv).map_err(|e| MergeError::Io(csv_dst.clone(), e))?;
+        atomic_write(&csv_dst, csv.as_bytes()).map_err(|e| MergeError::Io(csv_dst.clone(), e))?;
         paths.push(csv_dst);
         parts.push((slug.to_string(), csv));
         let json_src = shard_dir.join(format!("{slug}.json"));
-        let json_dst = out_dir.join(format!("{slug}.json"));
-        match std::fs::copy(&json_src, &json_dst) {
-            Ok(_) => paths.push(json_dst),
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-                return Err(MergeError::MissingArtifact(json_src));
+        let json = std::fs::read(&json_src).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::NotFound {
+                MergeError::MissingArtifact(json_src.clone())
+            } else {
+                MergeError::Io(json_src.clone(), e)
             }
-            Err(e) => return Err(MergeError::Io(json_src, e)),
-        }
+        })?;
+        let json_dst = out_dir.join(format!("{slug}.json"));
+        atomic_write(&json_dst, &json).map_err(|e| MergeError::Io(json_dst.clone(), e))?;
+        paths.push(json_dst);
     }
     let campaign_csv = assemble_campaign_csv(parts.iter().map(|(s, c)| (s.as_str(), c.as_str())));
     let csv_path = out_dir.join(CAMPAIGN_CSV);
-    std::fs::write(&csv_path, &campaign_csv).map_err(|e| MergeError::Io(csv_path.clone(), e))?;
+    atomic_write(&csv_path, campaign_csv.as_bytes())
+        .map_err(|e| MergeError::Io(csv_path.clone(), e))?;
     paths.push(csv_path.clone());
-    let (_, reference) = manifests.values().next().expect("non-empty").clone();
     let manifest = CampaignManifest {
         plan_hash: reference.plan_hash.clone(),
         scenario_count: reference.total_scenarios,

@@ -194,24 +194,34 @@ fn assign_shards(scenarios: &[Scenario], nshards: usize, strategy: ShardStrategy
     }
 }
 
+/// FNV-1a over a sequence of byte chunks, rendered as 16 hex digits —
+/// the one digest the engine uses for plan hashes, completion-record
+/// artifact digests ([`crate::resume`]) and spill-file names
+/// ([`crate::store`]). Chunk boundaries do not affect the hash; only
+/// the concatenated byte stream does.
+pub(crate) fn fnv1a_hex<'a>(chunks: impl IntoIterator<Item = &'a [u8]>) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for chunk in chunks {
+        for &b in chunk {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    format!("{h:016x}")
+}
+
 /// FNV-1a over the serialized spec and the expanded slug list: stable
 /// across processes and builds of the same spec, sensitive to any axis
 /// or expansion change.
 fn plan_hash(spec: &CampaignSpec, slugs: &[String]) -> String {
     let spec_json = serde_json::to_string(spec).expect("CampaignSpec serializes");
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    let mut eat = |bytes: &[u8]| {
-        for &b in bytes {
-            h ^= b as u64;
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-    };
-    eat(spec_json.as_bytes());
+    let mut chunks: Vec<&[u8]> = Vec::with_capacity(1 + 2 * slugs.len());
+    chunks.push(spec_json.as_bytes());
     for slug in slugs {
-        eat(slug.as_bytes());
-        eat(b"\n");
+        chunks.push(slug.as_bytes());
+        chunks.push(b"\n");
     }
-    format!("{h:016x}")
+    fnv1a_hex(chunks)
 }
 
 #[cfg(test)]

@@ -61,10 +61,21 @@ fn budget() -> &'static AtomicU64 {
     static BUDGET: OnceLock<AtomicU64> = OnceLock::new();
     BUDGET.get_or_init(|| {
         let default = 256 * 1024 * 1024;
-        let bytes = std::env::var("SAMR_TRACE_CACHE_BYTES")
-            .ok()
-            .and_then(|v| v.parse::<u64>().ok())
-            .unwrap_or(default);
+        let bytes = match std::env::var("SAMR_TRACE_CACHE_BYTES") {
+            Ok(v) => match v.parse::<u64>() {
+                Ok(bytes) => bytes,
+                // A budget the operator set but we cannot honor must not
+                // be swallowed: say what was rejected and what runs.
+                Err(_) => {
+                    eprintln!(
+                        "warning: SAMR_TRACE_CACHE_BYTES='{v}' is not a plain byte count \
+                         (e.g. 268435456); using the default of {default} bytes"
+                    );
+                    default
+                }
+            },
+            Err(_) => default,
+        };
         AtomicU64::new(bytes)
     })
 }
@@ -91,30 +102,28 @@ pub fn set_trace_cache_budget(bytes: u64) {
 /// pid). Safe because file names are content keys — a hash of the full
 /// trace configuration *and* the crate version, so a build whose
 /// generator changed never reads an older build's bytes — and files are
-/// written to a unique temp name and renamed into place whole.
+/// written to a unique temp name and renamed into place whole. The
+/// directory itself is created lazily by [`generate_spill`], so an
+/// unwritable temp dir surfaces as a typed I/O error on the degradable
+/// spill path instead of a panic.
 fn spill_dir() -> &'static PathBuf {
     static DIR: OnceLock<PathBuf> = OnceLock::new();
-    DIR.get_or_init(|| {
-        let dir = std::env::temp_dir().join("samr-trace-cache");
-        std::fs::create_dir_all(&dir).expect("create trace spill dir");
-        dir
-    })
+    DIR.get_or_init(|| std::env::temp_dir().join("samr-trace-cache"))
 }
 
 /// FNV-1a over the full-config key, salted with the crate version: a
 /// stable, file-safe spill name.
 fn spill_path(key: &str) -> PathBuf {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in env!("CARGO_PKG_VERSION").bytes().chain(key.bytes()) {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    spill_dir().join(format!("{h:016x}.trc"))
+    let hash = crate::plan::fnv1a_hex([env!("CARGO_PKG_VERSION").as_bytes(), key.as_bytes()]);
+    spill_dir().join(format!("{hash}.trc"))
 }
 
 /// Generate the trace as a stream and spill it to disk (binary codec),
 /// never holding more than one snapshot; returns the spill path.
 fn generate_spill(kind: AppKind, cfg: &TraceGenConfig, path: &PathBuf) -> Result<(), TraceIoError> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
     static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
     let tmp = path.with_extension(format!(
         "tmp-{}-{}",

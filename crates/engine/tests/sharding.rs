@@ -32,8 +32,13 @@ fn temp_dir(tag: &str) -> PathBuf {
 fn run_shards(plan: &CampaignPlan, dir: &std::path::Path) -> Vec<PathBuf> {
     (0..plan.nshards)
         .map(|shard| {
-            let (_, shard_dir) = ShardExecutor { shard }.run_shard(plan, dir).unwrap();
-            shard_dir
+            ShardExecutor {
+                shard,
+                resume: false,
+            }
+            .run_shard(plan, dir)
+            .unwrap()
+            .dir
         })
         .collect()
 }
@@ -166,13 +171,21 @@ fn merge_rejects_mixed_shard_strategies_by_name() {
     let round_robin = CampaignPlan::new(&spec, 2, ShardStrategy::RoundRobin);
     let size_aware = CampaignPlan::new(&spec, 2, ShardStrategy::SizeAware);
     assert_eq!(round_robin.plan_hash, size_aware.plan_hash);
-    let (_, dir0) = ShardExecutor { shard: 0 }
-        .run_shard(&round_robin, &dir)
-        .unwrap();
+    let dir0 = ShardExecutor {
+        shard: 0,
+        resume: false,
+    }
+    .run_shard(&round_robin, &dir)
+    .unwrap()
+    .dir;
     // The second shard overwrites shard-1-of-2 under the other strategy.
-    let (_, dir1) = ShardExecutor { shard: 1 }
-        .run_shard(&size_aware, &dir)
-        .unwrap();
+    let dir1 = ShardExecutor {
+        shard: 1,
+        resume: false,
+    }
+    .run_shard(&size_aware, &dir)
+    .unwrap()
+    .dir;
     let err = merge_shards(&[dir0, dir1], &dir).unwrap_err();
     match &err {
         MergeError::StrategyMismatch {
@@ -193,9 +206,15 @@ fn executors_run_behind_the_trait() {
     let dir = temp_dir("trait");
     let plan = CampaignPlan::new(&two_by_two(), 2, ShardStrategy::RoundRobin);
     let executors: Vec<Box<dyn CampaignExecutor>> = vec![
-        Box::new(RayonExecutor),
-        Box::new(ShardExecutor { shard: 0 }),
-        Box::new(ShardExecutor { shard: 1 }),
+        Box::new(RayonExecutor::default()),
+        Box::new(ShardExecutor {
+            shard: 0,
+            resume: false,
+        }),
+        Box::new(ShardExecutor {
+            shard: 1,
+            resume: false,
+        }),
     ];
     let mut shard_dirs = Vec::new();
     for executor in &executors {
@@ -253,29 +272,214 @@ fn merge_rejects_a_directory_without_a_manifest() {
     let dir = temp_dir("no-manifest");
     let plan = CampaignPlan::new(&two_by_two(), 2, ShardStrategy::RoundRobin);
     let mut shard_dirs = run_shards(&plan, &dir);
-    let bogus = dir.join("shard-9-of-9");
+    // A directory that is not even named like a shard: not a shard
+    // directory at all.
+    let bogus = dir.join("scratch");
     std::fs::create_dir_all(&bogus).unwrap();
     shard_dirs.push(bogus.clone());
     match merge_shards(&shard_dirs, &dir).unwrap_err() {
         MergeError::MissingManifest(d) => assert_eq!(d, bogus),
         other => panic!("expected MissingManifest, got {other:?}"),
     }
+    // An *empty* shard-named directory is the wreckage of a worker
+    // killed before its first scenario landed (the executor creates the
+    // directory up front): resumable, with the rerun command.
+    shard_dirs.pop();
+    let empty = dir.join("shard-9-of-9");
+    std::fs::create_dir_all(&empty).unwrap();
+    shard_dirs.push(empty.clone());
+    match merge_shards(&shard_dirs, &dir).unwrap_err() {
+        MergeError::ShardIncomplete {
+            dir: d,
+            shard,
+            nshards,
+            rerun,
+            ..
+        } => {
+            assert_eq!(d, empty);
+            assert_eq!((shard, nshards), (9, 9));
+            assert!(rerun.contains("--resume"), "{rerun}");
+        }
+        other => panic!("expected ShardIncomplete, got {other:?}"),
+    }
     std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]
-fn merge_reports_a_missing_artifact_file() {
+fn merge_flags_deleted_artifacts_as_resumable_incompleteness() {
+    // Deleted outputs are a resumable gap, not corruption: the merger
+    // must name the missing scenario and hand the operator the exact
+    // `--resume` invocation that fills it.
     let dir = temp_dir("missing-artifact");
     let plan = CampaignPlan::new(&two_by_two(), 2, ShardStrategy::RoundRobin);
     let shard_dirs = run_shards(&plan, &dir);
     let victim = &plan.shard_scenarios(0)[0].slug;
     std::fs::remove_file(shard_dirs[0].join(format!("{victim}.csv"))).unwrap();
-    match merge_shards(&shard_dirs, &dir).unwrap_err() {
-        MergeError::MissingArtifact(path) => {
-            assert!(path.ends_with(format!("{victim}.csv")), "{path:?}")
+    let err = merge_shards(&shard_dirs, &dir).unwrap_err();
+    match &err {
+        MergeError::ShardIncomplete {
+            shard,
+            nshards,
+            missing,
+            rerun,
+            ..
+        } => {
+            assert_eq!((*shard, *nshards), (0, 2));
+            assert_eq!(missing, &vec![victim.clone()]);
+            assert!(rerun.contains("--shard 0/2"), "{rerun}");
+            assert!(rerun.contains("--resume"), "{rerun}");
         }
-        other => panic!("expected MissingArtifact, got {other:?}"),
+        other => panic!("expected ShardIncomplete, got {other:?}"),
     }
+    assert!(err.to_string().contains("resumable"), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn merge_flags_torn_artifact_bytes_as_corruption() {
+    // Bytes that disagree with their completion record cannot be
+    // produced by a crash (writes are tmp-then-rename): that is genuine
+    // corruption and must be typed as such, not merged and not called
+    // merely incomplete.
+    let dir = temp_dir("torn-artifact");
+    let plan = CampaignPlan::new(&two_by_two(), 2, ShardStrategy::RoundRobin);
+    let shard_dirs = run_shards(&plan, &dir);
+    let victim = &plan.shard_scenarios(1)[0].slug;
+    let path = shard_dirs[1].join(format!("{victim}.csv"));
+    let whole = std::fs::read_to_string(&path).unwrap();
+    std::fs::write(&path, &whole[..whole.len() / 2]).unwrap();
+    let err = merge_shards(&shard_dirs, &dir).unwrap_err();
+    match &err {
+        MergeError::CorruptArtifact { detail, rerun, .. } => {
+            assert!(detail.contains("digest"), "{detail}");
+            assert!(rerun.contains("--resume"), "{rerun}");
+        }
+        other => panic!("expected CorruptArtifact, got {other:?}"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn merge_flags_a_manifestless_executed_shard_as_resumable() {
+    // A shard killed before its manifest write (the manifest is the
+    // last artifact) has records and CSVs but no manifest: incomplete,
+    // not "not a shard directory".
+    let dir = temp_dir("killed-shard");
+    let plan = CampaignPlan::new(&two_by_two(), 2, ShardStrategy::RoundRobin);
+    let shard_dirs = run_shards(&plan, &dir);
+    std::fs::remove_file(shard_dirs[1].join("shard.manifest.json")).unwrap();
+    let err = merge_shards(&shard_dirs, &dir).unwrap_err();
+    match &err {
+        MergeError::ShardIncomplete { shard, rerun, .. } => {
+            assert_eq!(*shard, 1);
+            assert!(rerun.contains("--shard 1/2"), "{rerun}");
+        }
+        other => panic!("expected ShardIncomplete, got {other:?}"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn killed_shard_rerun_command_recovers_the_strategy_from_a_sibling() {
+    // A manifestless shard cannot declare its own --shard-strategy; the
+    // rerun command must recover it from a surviving sibling, or a
+    // size-aware shard would be re-executed over the round-robin slice.
+    let dir = temp_dir("killed-strategy");
+    let plan = CampaignPlan::new(&two_by_two(), 2, ShardStrategy::SizeAware);
+    let shard_dirs = run_shards(&plan, &dir);
+    std::fs::remove_file(shard_dirs[0].join("shard.manifest.json")).unwrap();
+    match merge_shards(&shard_dirs, &dir).unwrap_err() {
+        MergeError::ShardIncomplete { rerun, .. } => {
+            assert!(rerun.contains("--shard-strategy size-aware"), "{rerun}");
+            assert!(rerun.contains("--shard 0/2"), "{rerun}");
+        }
+        other => panic!("expected ShardIncomplete, got {other:?}"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn resumed_shard_skips_complete_scenarios_and_merges_to_golden() {
+    // Simulate a shard killed mid-run: one scenario finished (stamped),
+    // the other's artifacts and the manifest are gone. --resume must
+    // re-execute exactly the remainder and the merge must match the
+    // golden bytes.
+    let dir = temp_dir("resume-shard");
+    let plan = CampaignPlan::new(&two_by_two(), 2, ShardStrategy::RoundRobin);
+    let shard_dirs = run_shards(&plan, &dir);
+    let scenarios = plan.shard_scenarios(0);
+    assert_eq!(scenarios.len(), 2);
+    let victim = &scenarios[1].slug;
+    for name in [
+        format!("{victim}.csv"),
+        format!("{victim}.json"),
+        format!("{victim}.done.json"),
+        "shard.manifest.json".to_string(),
+    ] {
+        std::fs::remove_file(shard_dirs[0].join(name)).unwrap();
+    }
+    let rerun = ShardExecutor {
+        shard: 0,
+        resume: true,
+    }
+    .run_shard(&plan, &dir)
+    .unwrap();
+    assert_eq!(rerun.skipped, 1, "the stamped scenario must be skipped");
+    assert_eq!(rerun.outcomes.len(), 1, "only the victim re-executes");
+    let report = merge_shards(&shard_dirs, &dir).unwrap();
+    let merged = std::fs::read_to_string(&report.csv_path).unwrap();
+    assert!(
+        merged == include_str!("golden/campaign_smoke.csv"),
+        "resumed + merged campaign drifted from the golden artifact"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn resume_reruns_torn_artifacts_instead_of_trusting_them() {
+    let dir = temp_dir("resume-torn");
+    let plan = CampaignPlan::new(&two_by_two(), 2, ShardStrategy::RoundRobin);
+    let shard_dirs = run_shards(&plan, &dir);
+    let victim = &plan.shard_scenarios(0)[0].slug;
+    // Truncate the CSV but leave its completion record: resume must
+    // notice the digest mismatch and re-execute the scenario.
+    let path = shard_dirs[0].join(format!("{victim}.csv"));
+    let whole = std::fs::read_to_string(&path).unwrap();
+    std::fs::write(&path, &whole[..whole.len() / 3]).unwrap();
+    let rerun = ShardExecutor {
+        shard: 0,
+        resume: true,
+    }
+    .run_shard(&plan, &dir)
+    .unwrap();
+    assert_eq!(rerun.skipped, 1, "the intact scenario is skipped");
+    assert_eq!(rerun.outcomes.len(), 1, "the torn scenario re-executes");
+    assert_eq!(std::fs::read_to_string(&path).unwrap(), whole);
+    let report = merge_shards(&shard_dirs, &dir).unwrap();
+    let merged = std::fs::read_to_string(&report.csv_path).unwrap();
+    assert!(merged == include_str!("golden/campaign_smoke.csv"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn shard_discovery_rejects_mixed_shard_families_by_name() {
+    // A stale shard-0-of-2 next to a fresh 3-shard family must be
+    // rejected by name at discovery, not surface as duplicate-index
+    // corruption during validation.
+    let dir = temp_dir("mixed-family");
+    let plan = CampaignPlan::new(&two_by_two(), 3, ShardStrategy::RoundRobin);
+    run_shards(&plan, &dir);
+    std::fs::create_dir_all(dir.join("shard-0-of-2")).unwrap();
+    match find_shard_dirs(&dir).unwrap_err() {
+        MergeError::MixedShardFamilies { families } => assert_eq!(families, vec![2, 3]),
+        other => panic!("expected MixedShardFamilies, got {other:?}"),
+    }
+    // Malformed shard-like names are not shard directories at all.
+    std::fs::remove_dir_all(dir.join("shard-0-of-2")).unwrap();
+    std::fs::create_dir_all(dir.join("shard-x-of-y")).unwrap();
+    std::fs::create_dir_all(dir.join("shard-0-of-3-backup")).unwrap();
+    let found = find_shard_dirs(&dir).unwrap();
+    assert_eq!(found.len(), 3, "{found:?}");
     std::fs::remove_dir_all(&dir).ok();
 }
 

@@ -11,6 +11,7 @@
 //!               [--machines uniform,fast-net,slow-net,slow-cpu] [--out DIR]
 //!               [--spec FILE] [--threads N] [--shard I/N | --workers N]
 //!               [--shard-strategy round-robin|size-aware]
+//!               [--resume] [--retries N]
 //! samr campaign-merge DIR… [--out DIR]
 //! samr apps
 //! samr partitioners
@@ -31,8 +32,16 @@
 //! artifact directory plus JSON manifest), or `--workers N` child
 //! processes that each run one shard and are merged automatically;
 //! `campaign-merge` validates independently produced shard directories
-//! (same plan hash, every scenario exactly once) and reassembles the
-//! canonical campaign artifacts, byte-identical to the unsharded run.
+//! (same plan hash, every scenario exactly once, every artifact stamped
+//! by a matching completion record) and reassembles the canonical
+//! campaign artifacts, byte-identical to the unsharded run.
+//!
+//! Campaign execution is crash-consistent: every artifact is written
+//! tmp-then-rename and every finished scenario is stamped with a
+//! completion record, so `--resume` re-runs exactly the scenarios a
+//! killed or crashed campaign had not finished, and `--retries N` (with
+//! `--workers`) relaunches a dead worker with `--resume` instead of
+//! failing the sweep.
 
 use samr::apps::{trace_source_any, AppKind, TraceGenConfig};
 use samr::engine::{
@@ -52,7 +61,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  samr generate <app> [--config paper|reduced|smoke] [--seed N] [--binary] [--out FILE]\n  samr analyze  <trace-file>\n  samr simulate <trace-file> [--partitioner NAME] [--nprocs N]\n  samr compare  <trace-file> [--nprocs N]\n  samr campaign [--apps A,B] [--dims 2,3] [--partitioners P,Q] [--nprocs N,M] [--ghost-widths G,H]\n                [--config paper|reduced|smoke] [--machines uniform,fast-net,slow-net,slow-cpu] [--out DIR]\n                [--spec FILE] [--threads N] [--shard I/N | --workers N] [--shard-strategy round-robin|size-aware]\n  samr campaign-merge DIR... [--out DIR]\n  samr apps\n  samr partitioners"
+        "usage:\n  samr generate <app> [--config paper|reduced|smoke] [--seed N] [--binary] [--out FILE]\n  samr analyze  <trace-file>\n  samr simulate <trace-file> [--partitioner NAME] [--nprocs N]\n  samr compare  <trace-file> [--nprocs N]\n  samr campaign [--apps A,B] [--dims 2,3] [--partitioners P,Q] [--nprocs N,M] [--ghost-widths G,H]\n                [--config paper|reduced|smoke] [--machines uniform,fast-net,slow-net,slow-cpu] [--out DIR]\n                [--spec FILE] [--threads N] [--shard I/N | --workers N] [--shard-strategy round-robin|size-aware]\n                [--resume] [--retries N]\n  samr campaign-merge DIR... [--out DIR]\n  samr apps\n  samr partitioners"
     );
     ExitCode::from(2)
 }
@@ -401,6 +410,18 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
     if workers == Some(0) {
         return Err("--workers must be at least 1".into());
     }
+    let resume = has_flag(args, "--resume");
+    let retries: usize = flag_value(args, "--retries")
+        .map(|v| v.parse().map_err(|e| format!("bad --retries '{v}': {e}")))
+        .transpose()?
+        .unwrap_or(0);
+    if retries > 0 && workers.is_none() {
+        return Err(
+            "--retries only applies to --workers campaigns (each worker \
+                    is relaunched with --resume when it dies)"
+                .into(),
+        );
+    }
     let out_dir =
         PathBuf::from(flag_value(args, "--out").unwrap_or_else(|| "results/campaign".into()));
     let active_apps = spec
@@ -432,12 +453,16 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
                 .map(|n| (n.get() / nworkers).max(1))
         });
         eprintln!(
-            "spawning {nworkers} workers ({} threads each, strategy {})",
+            "spawning {nworkers} workers ({} threads each, strategy {}, {} retries{})",
             worker_threads.map_or("auto".into(), |t| t.to_string()),
             strategy.name(),
+            retries,
+            if resume { ", resuming" } else { "" },
         );
-        let exec = WorkerExecutor::current_exe(worker_threads)
+        let mut exec = WorkerExecutor::current_exe(worker_threads)
             .map_err(|e| format!("locate samr binary: {e}"))?;
+        exec.retries = retries;
+        exec.resume = resume;
         // Dispatch through the executor trait: the worker fleet is just
         // one strategy for executing the plan.
         let executor: &dyn CampaignExecutor = &exec;
@@ -463,31 +488,34 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
             // One shard of the plan: per-shard artifact directory plus
             // manifest; a later `samr campaign-merge` reassembles.
             let plan = CampaignPlan::new(&spec, nshards, strategy);
-            let executor = ShardExecutor { shard };
-            let (outcomes, shard_dir) = executor
+            let executor = ShardExecutor { shard, resume };
+            let run = executor
                 .run_shard(&plan, &out_dir)
                 .map_err(|e| e.to_string())?;
-            for outcome in &outcomes {
+            for outcome in &run.outcomes {
                 println!("{}", outcome.digest());
             }
             eprintln!(
-                "shard {shard}/{nshards}: wrote {} of {} scenarios to {} (plan {})",
-                outcomes.len(),
+                "shard {shard}/{nshards}: wrote {} of {} scenarios to {} ({} resumed as \
+                 already complete, plan {})",
+                run.outcomes.len(),
                 plan.len(),
-                shard_dir.display(),
+                run.dir.display(),
+                run.skipped,
                 plan.plan_hash
             );
             return Ok(());
         }
-        let (outcomes, paths) =
-            Campaign::run_to_dir(&spec, &out_dir).map_err(|e| format!("write artifacts: {e}"))?;
-        for outcome in &outcomes {
+        let run = Campaign::run_to_dir_resume(&spec, &out_dir, resume)
+            .map_err(|e| format!("write artifacts: {e}"))?;
+        for outcome in &run.outcomes {
             println!("{}", outcome.digest());
         }
         eprintln!(
-            "wrote {} artifacts ({} scenarios) to {}",
-            paths.len(),
-            outcomes.len(),
+            "wrote {} artifacts ({} scenarios executed, {} resumed as already complete) to {}",
+            run.paths.len(),
+            run.outcomes.len(),
+            run.skipped,
             out_dir.display()
         );
         Ok(())

@@ -150,6 +150,109 @@ fn merge_refuses_an_incomplete_shard_set() {
 }
 
 #[test]
+fn interrupted_unsharded_campaign_resumes_to_the_golden_csv() {
+    let dir = temp_dir("resume-unsharded");
+    let mut args = vec!["campaign"];
+    args.extend(AXES);
+    args.extend(["--out", dir.to_str().unwrap()]);
+    assert_ok(&samr(&args), "initial campaign");
+    // Tear the directory back to a mid-run state: one scenario loses
+    // its artifacts and stamp, the canonical CSV is gone too.
+    let victim = "tp2d_hybrid_p8_g1";
+    for name in [
+        format!("{victim}.csv"),
+        format!("{victim}.json"),
+        format!("{victim}.done.json"),
+        "campaign.csv".to_string(),
+    ] {
+        std::fs::remove_file(dir.join(name)).unwrap();
+    }
+    let mut args = vec!["campaign"];
+    args.extend(AXES);
+    args.extend(["--resume", "--out", dir.to_str().unwrap()]);
+    let out = samr(&args);
+    assert_ok(&out, "resumed campaign");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("1 scenarios executed, 3 resumed as already complete"),
+        "resume did not skip the complete scenarios: {stderr}"
+    );
+    assert!(
+        campaign_csv(&dir) == GOLDEN,
+        "resumed campaign.csv drifted from the golden artifact"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn retries_flag_requires_workers() {
+    let mut args = vec!["campaign"];
+    args.extend(AXES);
+    args.extend(["--retries", "2"]);
+    let out = samr(&args);
+    assert!(
+        !out.status.success(),
+        "--retries without --workers was accepted"
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--workers"),
+        "error does not point at --workers"
+    );
+}
+
+#[test]
+fn unparsable_trace_cache_budget_warns_instead_of_silently_defaulting() {
+    let dir = temp_dir("budget-warning");
+    let out = Command::new(env!("CARGO_BIN_EXE_samr"))
+        .args([
+            "campaign",
+            "--apps",
+            "tp2d",
+            "--partitioners",
+            "hybrid",
+            "--nprocs",
+            "4",
+            "--config",
+            "smoke",
+            "--out",
+            dir.to_str().unwrap(),
+        ])
+        .env("SAMR_TRACE_CACHE_BYTES", "256MB")
+        .output()
+        .expect("spawn samr");
+    assert_ok(&out, "campaign under a bad budget value");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("SAMR_TRACE_CACHE_BYTES") && stderr.contains("256MB"),
+        "no warning naming the rejected value: {stderr}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn mixed_shard_families_are_rejected_by_name_at_merge() {
+    let dir = temp_dir("mixed-families");
+    for i in 0..2 {
+        let shard = format!("{i}/2");
+        let mut args = vec!["campaign"];
+        args.extend(AXES);
+        args.extend(["--shard", &shard, "--out", dir.to_str().unwrap()]);
+        assert_ok(&samr(&args), &format!("shard {i}/2"));
+    }
+    // A leftover directory from an older 3-way split of the same
+    // campaign: discovery must reject the mix by name.
+    std::fs::create_dir_all(dir.join("shard-0-of-3")).unwrap();
+    let merge = samr(&["campaign-merge", dir.to_str().unwrap()]);
+    assert!(!merge.status.success(), "mixed families merged");
+    let stderr = String::from_utf8_lossy(&merge.stderr);
+    assert!(
+        stderr.contains("different shard counts"),
+        "unhelpful mixed-family error: {stderr}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn shard_flag_validation_rejects_malformed_values() {
     for bad in ["3/3", "2", "a/b", "1/0"] {
         let mut args = vec!["campaign"];
