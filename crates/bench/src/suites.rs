@@ -1,0 +1,362 @@
+//! The fixed benchmark suites behind `samr bench`.
+//!
+//! Three suites, one report each:
+//!
+//! - **kernels** — SFC key generation (2-D/3-D Morton and Hilbert,
+//!   encode and decode, optimized public path *and* the retained scalar
+//!   references so the speedup is measurable from one binary),
+//!   Berger–Rigoutsos clustering on representative flag shapes, and the
+//!   flag-field scans (signature, count, bounding box);
+//! - **partition** — the partitioner families on the hardest snapshot of
+//!   representative application traces;
+//! - **campaign** — one end-to-end reduced campaign through the engine.
+//!
+//! Bench names are stable identifiers: the checked-in `BENCH_*.json`
+//! baselines and the CI regression check key on them.
+
+use crate::harness::{bench_fn, BenchBudget, BenchReport};
+use crate::{bench_trace, representative_hierarchy};
+use samr_apps::{AppKind, TraceGenConfig};
+use samr_engine::{Campaign, CampaignSpec};
+use samr_geom::sfc::SfcCurve;
+use samr_geom::sfc::{self, scalar};
+use samr_geom::{Axis, Rect2};
+use samr_grid::{cluster_flags, cluster_flags_with, ClusterOptions, ClusterScratch, FlagField};
+use samr_partition::{DomainSfcPartitioner, HybridPartitioner, Partitioner, PatchPartitioner};
+
+/// 2-D SFC working set: a 256×256 tile, 64 Ki keys per iteration.
+const SIDE_2D: u64 = 256;
+const KEYS_2D: f64 = (SIDE_2D * SIDE_2D) as f64;
+/// 3-D SFC working set: a 32×32×32 tile, 32 Ki keys per iteration.
+const SIDE_3D: u64 = 32;
+const KEYS_3D: f64 = (SIDE_3D * SIDE_3D * SIDE_3D) as f64;
+
+/// The wavefront-like flag ring on a 256² grid — the real workload shape
+/// of the grid generator.
+fn ring_flags() -> FlagField<2> {
+    FlagField::from_fn(Rect2::from_extents(256, 256), |p| {
+        let dx = p.x as f64 - 127.5;
+        let dy = p.y as f64 - 127.5;
+        let r = (dx * dx + dy * dy).sqrt();
+        (80.0..=92.0).contains(&r)
+    })
+}
+
+/// Scattered noise flags: the clusterer's worst case (deep recursion).
+fn scattered_flags() -> FlagField<2> {
+    FlagField::from_fn(Rect2::from_extents(256, 256), |p| {
+        (p.x * 7 + p.y * 13) % 29 == 0
+    })
+}
+
+/// The `kernels` suite.
+pub fn kernels_report(budget: BenchBudget) -> BenchReport {
+    use std::hint::black_box;
+    let mut rep = BenchReport::new("kernels");
+    let keys2 = Some((KEYS_2D, "keys/s"));
+    let keys3 = Some((KEYS_3D, "keys/s"));
+
+    // SFC inputs live in memory and pass through `black_box` at every
+    // call, so neither path can be const-folded against the loop bounds
+    // or hoisted out of the timed loop. The `_scalar` twins run the
+    // exact pre-PR pattern — one inlined scalar-reference call per
+    // element of the same slice — so one run measures the optimized
+    // batch kernels against the pre-PR path on the machine it ran on.
+    let coords2: Vec<[u64; 2]> = (0..SIDE_2D)
+        .flat_map(|y| (0..SIDE_2D).map(move |x| [x, y]))
+        .collect();
+    let coords3: Vec<[u64; 3]> = (0..SIDE_3D)
+        .flat_map(|z| (0..SIDE_3D).flat_map(move |y| (0..SIDE_3D).map(move |x| [x, y, z])))
+        .collect();
+    // Morton keys of a row-major tile are a permutation of 0..n — a
+    // full-coverage, data-dependent decode input.
+    let mut keys2d = Vec::new();
+    sfc::morton_keys(&coords2, &mut keys2d);
+    let mut keys3d = Vec::new();
+    sfc::morton_keys_3d(&coords3, &mut keys3d);
+
+    let mut out_keys: Vec<u64> = Vec::new();
+    let mut out2: Vec<[u64; 2]> = Vec::new();
+    let mut out3: Vec<[u64; 3]> = Vec::new();
+
+    rep.benches
+        .push(bench_fn("morton2_encode_64k", budget, keys2, || {
+            sfc::morton_keys(black_box(&coords2), &mut out_keys);
+            out_keys.last().copied()
+        }));
+    rep.benches
+        .push(bench_fn("morton2_encode_64k_scalar", budget, keys2, || {
+            let mut acc = 0u64;
+            for c in black_box(&coords2[..]) {
+                acc = acc.wrapping_add(scalar::morton_key(c[0], c[1]));
+            }
+            acc
+        }));
+    rep.benches
+        .push(bench_fn("morton2_decode_64k", budget, keys2, || {
+            sfc::morton_decodes(black_box(&keys2d), &mut out2);
+            out2.last().copied()
+        }));
+    rep.benches
+        .push(bench_fn("morton2_decode_64k_scalar", budget, keys2, || {
+            let mut acc = 0u64;
+            for &d in black_box(&keys2d[..]) {
+                let (x, y) = scalar::morton_decode(d);
+                acc = acc.wrapping_add(x ^ y);
+            }
+            acc
+        }));
+    rep.benches
+        .push(bench_fn("hilbert2_encode_64k", budget, keys2, || {
+            let mut acc = 0u64;
+            for c in black_box(&coords2[..]) {
+                acc = acc.wrapping_add(sfc::hilbert_key(8, c[0], c[1]));
+            }
+            acc
+        }));
+    rep.benches.push(bench_fn(
+        "hilbert2_encode_64k_scalar",
+        budget,
+        keys2,
+        || {
+            let mut acc = 0u64;
+            for c in black_box(&coords2[..]) {
+                acc = acc.wrapping_add(scalar::hilbert_key(8, c[0], c[1]));
+            }
+            acc
+        },
+    ));
+    rep.benches
+        .push(bench_fn("hilbert2_decode_64k", budget, keys2, || {
+            let mut acc = 0u64;
+            for &d in black_box(&keys2d[..]) {
+                let (x, y) = sfc::hilbert_decode(8, d);
+                acc = acc.wrapping_add(x ^ y);
+            }
+            acc
+        }));
+    rep.benches.push(bench_fn(
+        "hilbert2_decode_64k_scalar",
+        budget,
+        keys2,
+        || {
+            let mut acc = 0u64;
+            for &d in black_box(&keys2d[..]) {
+                let (x, y) = scalar::hilbert_decode(8, d);
+                acc = acc.wrapping_add(x ^ y);
+            }
+            acc
+        },
+    ));
+    rep.benches
+        .push(bench_fn("morton3_encode_32k", budget, keys3, || {
+            sfc::morton_keys_3d(black_box(&coords3), &mut out_keys);
+            out_keys.last().copied()
+        }));
+    rep.benches
+        .push(bench_fn("morton3_encode_32k_scalar", budget, keys3, || {
+            let mut acc = 0u64;
+            for c in black_box(&coords3[..]) {
+                acc = acc.wrapping_add(scalar::morton_key_3d(c[0], c[1], c[2]));
+            }
+            acc
+        }));
+    rep.benches
+        .push(bench_fn("morton3_decode_32k", budget, keys3, || {
+            sfc::morton_decodes_3d(black_box(&keys3d), &mut out3);
+            out3.last().copied()
+        }));
+    rep.benches
+        .push(bench_fn("morton3_decode_32k_scalar", budget, keys3, || {
+            let mut acc = 0u64;
+            for &d in black_box(&keys3d[..]) {
+                let (x, y, z) = scalar::morton_decode_3d(d);
+                acc = acc.wrapping_add(x ^ y ^ z);
+            }
+            acc
+        }));
+    rep.benches
+        .push(bench_fn("hilbert3_encode_32k", budget, keys3, || {
+            sfc::sfc_keys_nd::<3>(SfcCurve::Hilbert, 5, black_box(&coords3), &mut out_keys);
+            out_keys.last().copied()
+        }));
+    rep.benches.push(bench_fn(
+        "hilbert3_encode_32k_scalar",
+        budget,
+        keys3,
+        || {
+            let mut acc = 0u64;
+            for c in black_box(&coords3[..]) {
+                acc = acc.wrapping_add(scalar::hilbert_key_3d(5, c[0], c[1], c[2]));
+            }
+            acc
+        },
+    ));
+    rep.benches
+        .push(bench_fn("hilbert3_decode_32k", budget, keys3, || {
+            let mut acc = 0u64;
+            for &d in black_box(&keys3d[..]) {
+                let (x, y, z) = sfc::hilbert_decode_3d(5, d);
+                acc = acc.wrapping_add(x ^ y ^ z);
+            }
+            acc
+        }));
+    rep.benches.push(bench_fn(
+        "hilbert3_decode_32k_scalar",
+        budget,
+        keys3,
+        || {
+            let mut acc = 0u64;
+            for &d in black_box(&keys3d[..]) {
+                let (x, y, z) = scalar::hilbert_decode_3d(5, d);
+                acc = acc.wrapping_add(x ^ y ^ z);
+            }
+            acc
+        },
+    ));
+
+    // Berger–Rigoutsos clustering, fresh-allocation and scratch-reuse.
+    let ring = ring_flags();
+    let scattered = scattered_flags();
+    let opts = ClusterOptions::paper_defaults();
+    rep.benches
+        .push(bench_fn("cluster_ring_256", budget, None, || {
+            cluster_flags(&ring, &opts).len()
+        }));
+    let mut scratch = ClusterScratch::default();
+    rep.benches
+        .push(bench_fn("cluster_ring_256_scratch", budget, None, || {
+            cluster_flags_with(&ring, &opts, &mut scratch).len()
+        }));
+    rep.benches
+        .push(bench_fn("cluster_scattered_256", budget, None, || {
+            cluster_flags(&scattered, &opts).len()
+        }));
+
+    // Flag-field scans over the ring (the grid generator's hot queries).
+    let cells = Some((KEYS_2D, "cells/s"));
+    let dom = ring.domain();
+    rep.benches
+        .push(bench_fn("signature_x_256", budget, cells, || {
+            ring.signature(Axis::X, &dom).len()
+        }));
+    rep.benches
+        .push(bench_fn("signature_y_256", budget, cells, || {
+            ring.signature(Axis::Y, &dom).len()
+        }));
+    rep.benches
+        .push(bench_fn("count_in_256", budget, cells, || {
+            ring.count_in(&dom)
+        }));
+    rep.benches
+        .push(bench_fn("bounding_box_256", budget, cells, || {
+            ring.bounding_box()
+        }));
+    rep
+}
+
+/// The `partition` suite: every family on the hardest snapshot of two
+/// representative applications at 16 processors.
+pub fn partition_report(budget: BenchBudget) -> BenchReport {
+    let mut rep = BenchReport::new("partition");
+    const NPROCS: usize = 16;
+    for kind in [AppKind::Sc2d, AppKind::Rm2d] {
+        let h = representative_hierarchy(kind);
+        let cells = Some((h.total_points() as f64, "points/s"));
+        let families: [(&str, Box<dyn Partitioner<2> + Sync>); 3] = [
+            ("domain_sfc", Box::new(DomainSfcPartitioner::default())),
+            ("patch", Box::new(PatchPartitioner::default())),
+            ("hybrid", Box::new(HybridPartitioner::default())),
+        ];
+        for (name, p) in families {
+            rep.benches.push(bench_fn(
+                &format!("{}_{}_p{}", name, kind.name().to_ascii_lowercase(), NPROCS),
+                budget,
+                cells,
+                || p.partition(&h, NPROCS).levels.len(),
+            ));
+        }
+    }
+    rep
+}
+
+/// The `campaign` suite: one reduced end-to-end campaign (trace
+/// generation from the engine cache, windowed simulation, metric fold)
+/// — the path `samr campaign` users actually pay for.
+pub fn campaign_report(budget: BenchBudget) -> BenchReport {
+    let mut rep = BenchReport::new("campaign");
+    let spec = CampaignSpec::new(TraceGenConfig::smoke())
+        .apps([AppKind::Tp2d, AppKind::Bl2d])
+        .nprocs([16]);
+    // Prime the engine trace cache so the bench times the campaign
+    // machinery, not first-touch trace generation.
+    let outcomes = Campaign::run(&spec);
+    assert_eq!(outcomes.len(), spec.len());
+    rep.benches
+        .push(bench_fn("campaign_smoke_2apps", budget, None, || {
+            Campaign::run(&spec).len()
+        }));
+    rep.benches.push(bench_fn(
+        "bench_trace_partition_sweep",
+        budget,
+        None,
+        || {
+            let trace = bench_trace(AppKind::Bl2d);
+            let p = HybridPartitioner::default();
+            let mut acc = 0usize;
+            for s in trace.snapshots.iter().step_by(8) {
+                acc += p.partition(&s.hierarchy, 16).levels.len();
+            }
+            acc
+        },
+    ));
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::validate;
+
+    #[test]
+    fn kernels_suite_is_valid_and_has_scalar_references() {
+        let rep = kernels_report(BenchBudget {
+            target_ns: 1_000_000,
+            max_iters: 4,
+        });
+        validate(&rep).expect("valid kernels report");
+        // Every optimized SFC bench has its scalar twin for the
+        // speedup comparison.
+        for name in [
+            "morton2_encode_64k",
+            "morton2_decode_64k",
+            "hilbert2_encode_64k",
+            "hilbert2_decode_64k",
+            "morton3_encode_32k",
+            "morton3_decode_32k",
+            "hilbert3_encode_32k",
+            "hilbert3_decode_32k",
+        ] {
+            assert!(rep.get(name).is_some(), "missing {name}");
+            assert!(
+                rep.get(&format!("{name}_scalar")).is_some(),
+                "missing scalar twin of {name}"
+            );
+        }
+    }
+
+    #[test]
+    fn partition_suite_covers_all_families() {
+        let rep = partition_report(BenchBudget {
+            target_ns: 1_000_000,
+            max_iters: 2,
+        });
+        validate(&rep).expect("valid partition report");
+        for fam in ["domain_sfc", "patch", "hybrid"] {
+            assert!(
+                rep.benches.iter().any(|b| b.name.starts_with(fam)),
+                "no {fam} bench"
+            );
+        }
+    }
+}

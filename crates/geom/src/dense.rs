@@ -189,18 +189,108 @@ impl<T> Grid<T, 2> {
 impl<const D: usize> Grid<bool, D> {
     /// Count the `true` cells (flagged cells for the clusterer).
     pub fn count_true(&self) -> u64 {
-        self.data.iter().filter(|&&b| b).count() as u64
+        count_set(&self.data)
     }
 
     /// Count the `true` cells inside `window`.
     pub fn count_true_in(&self, window: &AABox<D>) -> u64 {
         match self.domain.intersect(window) {
             None => 0,
-            Some(w) => self
-                .runs_in(&w)
-                .map(|(_, run)| run.iter().filter(|&&b| b).count() as u64)
-                .sum(),
+            Some(w) => self.runs_in(&w).map(|(_, run)| count_set(run)).sum(),
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Word-at-a-time scans over contiguous `bool` runs.
+//
+// Flag-field scans (counts, signatures, bounding boxes) spend their time
+// walking `&[bool]` runs cell by cell. A `bool` is guaranteed to be one
+// byte holding 0x00 or 0x01, so a run can be read eight cells at a time
+// as `u64` words: a word's popcount is its number of set cells, a zero
+// word is eight clear cells skipped in one compare, and the first/last
+// set cell of a word falls out of trailing/leading zero counts.
+
+/// The raw bytes of a `bool` run.
+#[inline]
+fn bool_bytes(run: &[bool]) -> &[u8] {
+    // SAFETY: `bool` has size 1, alignment 1 and the validity invariant
+    // that its byte is 0x00 or 0x01, so any `&[bool]` is a valid `&[u8]`
+    // of the same length.
+    unsafe { std::slice::from_raw_parts(run.as_ptr().cast::<u8>(), run.len()) }
+}
+
+#[inline]
+fn word(chunk: &[u8]) -> u64 {
+    u64::from_le_bytes(chunk.try_into().expect("chunks_exact yields 8 bytes"))
+}
+
+/// Number of `true` cells in a run, eight cells per step.
+pub fn count_set(run: &[bool]) -> u64 {
+    let bytes = bool_bytes(run);
+    let mut chunks = bytes.chunks_exact(8);
+    let mut n = 0u64;
+    for c in &mut chunks {
+        n += u64::from(word(c).count_ones());
+    }
+    n + chunks
+        .remainder()
+        .iter()
+        .map(|&b| u64::from(b))
+        .sum::<u64>()
+}
+
+/// Index of the first `true` cell of a run, skipping clear cells eight
+/// at a time.
+pub fn first_set(run: &[bool]) -> Option<usize> {
+    let bytes = bool_bytes(run);
+    let mut chunks = bytes.chunks_exact(8);
+    for (i, c) in chunks.by_ref().enumerate() {
+        let w = word(c);
+        if w != 0 {
+            return Some(i * 8 + (w.trailing_zeros() / 8) as usize);
+        }
+    }
+    let tail = chunks.remainder();
+    let base = bytes.len() - tail.len();
+    tail.iter().position(|&b| b != 0).map(|i| base + i)
+}
+
+/// Index of the last `true` cell of a run, scanning from the back eight
+/// cells at a time.
+pub fn last_set(run: &[bool]) -> Option<usize> {
+    let bytes = bool_bytes(run);
+    let mut chunks = bytes.rchunks_exact(8);
+    for (i, c) in chunks.by_ref().enumerate() {
+        let w = word(c);
+        if w != 0 {
+            let start = bytes.len() - (i + 1) * 8;
+            return Some(start + 7 - (w.leading_zeros() / 8) as usize);
+        }
+    }
+    // `rchunks_exact` leaves the *front* of the slice as its remainder.
+    chunks.remainder().iter().rposition(|&b| b != 0)
+}
+
+/// Add each cell of a run (as 0/1) into `out` element-wise — the inner
+/// loop of the flag-signature scan. All-clear words contribute nothing
+/// and are skipped in one compare.
+pub fn accumulate_set(run: &[bool], out: &mut [u32]) {
+    debug_assert_eq!(run.len(), out.len());
+    let bytes = bool_bytes(run);
+    let mut chunks = bytes.chunks_exact(8);
+    let mut i = 0usize;
+    for c in &mut chunks {
+        let w = word(c);
+        if w != 0 {
+            for (k, o) in out[i..i + 8].iter_mut().enumerate() {
+                *o += ((w >> (8 * k)) & 1) as u32;
+            }
+        }
+        i += 8;
+    }
+    for (o, &b) in out[i..].iter_mut().zip(chunks.remainder()) {
+        *o += u32::from(b);
     }
 }
 
@@ -288,6 +378,43 @@ mod tests {
         let mut g = Grid2::new(dom(), 1u8);
         g.fill(3);
         assert!(g.data().iter().all(|&v| v == 3));
+    }
+
+    #[test]
+    fn bool_scans_match_per_cell_reference() {
+        // Lengths straddling the 8-cell word boundary, patterns with the
+        // set cells at every position within a word.
+        for len in [0usize, 1, 5, 7, 8, 9, 15, 16, 17, 40, 63, 64, 65] {
+            for pat in 0..6u64 {
+                let run: Vec<bool> = (0..len)
+                    .map(|i| match pat {
+                        0 => false,
+                        1 => true,
+                        2 => i % 3 == 0,
+                        3 => i == len - 1,
+                        4 => i == 0,
+                        _ => (i * 7 + 3) % 11 == 0,
+                    })
+                    .collect();
+                let reference = run.iter().filter(|&&b| b).count() as u64;
+                assert_eq!(count_set(&run), reference, "count len={len} pat={pat}");
+                assert_eq!(
+                    first_set(&run),
+                    run.iter().position(|&b| b),
+                    "first len={len} pat={pat}"
+                );
+                assert_eq!(
+                    last_set(&run),
+                    run.iter().rposition(|&b| b),
+                    "last len={len} pat={pat}"
+                );
+                let mut acc = vec![7u32; len];
+                accumulate_set(&run, &mut acc);
+                for (i, (&a, &b)) in acc.iter().zip(&run).enumerate() {
+                    assert_eq!(a, 7 + u32::from(b), "acc[{i}] len={len} pat={pat}");
+                }
+            }
+        }
     }
 
     #[test]

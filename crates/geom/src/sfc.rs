@@ -8,10 +8,26 @@
 //! migration — both full and partial orderings are provided so that this
 //! trade-off is reproducible (ablation `ablation_sfc`).
 //!
-//! The 2-D curves are the historical implementations (bit-identical keys
-//! to the original 2-D code base); the 3-D Hilbert curve uses Skilling's
+//! The 2-D curves are bit-identical to the historical implementations of
+//! the original 2-D code base; the 3-D Hilbert curve uses Skilling's
 //! transpose construction ("Programming the Hilbert curve", AIP 2004),
 //! which generalizes the quadrant-rotation idea to any dimension.
+//!
+//! ## Implementation notes
+//!
+//! Key generation sits on the hot path of every domain-based partitioner
+//! (one key per base cell per regrid), so the public functions are the
+//! *optimized* implementations: bulk Morton interleaving ([`morton_keys`]
+//! and friends, fed by [`sfc_keys_nd`]) uses the BMI2 `pdep`/`pext`
+//! parallel-bit instructions when the CPU has them — dispatched once per
+//! batch so the `#[target_feature]` loop inlines the intrinsics — with
+//! magic bit-masks otherwise, and the Hilbert loops are branchless: the
+//! quadrant reflection `n-1-x` is an XOR with `n-1` for power-of-two `n`,
+//! so reflect-and-swap becomes mask arithmetic with no data-dependent
+//! branches. The straightforward scalar implementations are retained in
+//! [`scalar`] as the reference oracles; property tests assert the
+//! optimized paths are **bit-identical** to them for every order and both
+//! dimensions.
 
 use serde::{Deserialize, Serialize};
 
@@ -32,239 +48,538 @@ pub const MAX_ORDER: u32 = 31;
 /// per axis when interleaved).
 pub const MAX_ORDER_3D: u32 = 21;
 
-/// Interleave the low 32 bits of `v` with zeros ("part 1 by 1").
-#[inline]
-fn part1by1(v: u64) -> u64 {
-    let mut x = v & 0xffff_ffff;
-    x = (x | (x << 16)) & 0x0000_ffff_0000_ffff;
-    x = (x | (x << 8)) & 0x00ff_00ff_00ff_00ff;
-    x = (x | (x << 4)) & 0x0f0f_0f0f_0f0f_0f0f;
-    x = (x | (x << 2)) & 0x3333_3333_3333_3333;
-    x = (x | (x << 1)) & 0x5555_5555_5555_5555;
-    x
+/// Every-other-bit mask: where [`scalar::part1by1`] deposits the bits of
+/// a 2-D coordinate.
+const MORTON2_MASK: u64 = 0x5555_5555_5555_5555;
+
+/// Every-third-bit mask: where [`scalar::part1by2`] deposits the bits of
+/// a 3-D coordinate.
+const MORTON3_MASK: u64 = 0x1249_2492_4924_9249;
+
+/// The straightforward scalar implementations, kept as the reference
+/// oracles for the optimized public functions (and as the portable
+/// fallback for Morton interleaving on CPUs without BMI2).
+///
+/// Property tests assert the public `morton_*`/`hilbert_*` functions are
+/// bit-identical to these across random coordinates and every order.
+pub mod scalar {
+    use super::{MAX_ORDER, MAX_ORDER_3D};
+
+    /// Interleave the low 32 bits of `v` with zeros ("part 1 by 1").
+    #[inline]
+    pub(super) fn part1by1(v: u64) -> u64 {
+        let mut x = v & 0xffff_ffff;
+        x = (x | (x << 16)) & 0x0000_ffff_0000_ffff;
+        x = (x | (x << 8)) & 0x00ff_00ff_00ff_00ff;
+        x = (x | (x << 4)) & 0x0f0f_0f0f_0f0f_0f0f;
+        x = (x | (x << 2)) & 0x3333_3333_3333_3333;
+        x = (x | (x << 1)) & 0x5555_5555_5555_5555;
+        x
+    }
+
+    /// Inverse of [`part1by1`]: compact every other bit.
+    #[inline]
+    pub(super) fn compact1by1(v: u64) -> u64 {
+        let mut x = v & 0x5555_5555_5555_5555;
+        x = (x | (x >> 1)) & 0x3333_3333_3333_3333;
+        x = (x | (x >> 2)) & 0x0f0f_0f0f_0f0f_0f0f;
+        x = (x | (x >> 4)) & 0x00ff_00ff_00ff_00ff;
+        x = (x | (x >> 8)) & 0x0000_ffff_0000_ffff;
+        x = (x | (x >> 16)) & 0x0000_0000_ffff_ffff;
+        x
+    }
+
+    /// Interleave the low 21 bits of `v` with two zeros each ("part 1 by
+    /// 2").
+    #[inline]
+    pub(super) fn part1by2(v: u64) -> u64 {
+        let mut x = v & 0x1f_ffff;
+        x = (x | (x << 32)) & 0x001f_0000_0000_ffff;
+        x = (x | (x << 16)) & 0x001f_0000_ff00_00ff;
+        x = (x | (x << 8)) & 0x100f_00f0_0f00_f00f;
+        x = (x | (x << 4)) & 0x10c3_0c30_c30c_30c3;
+        x = (x | (x << 2)) & 0x1249_2492_4924_9249;
+        x
+    }
+
+    /// Inverse of [`part1by2`]: compact every third bit.
+    #[inline]
+    pub(super) fn compact1by2(v: u64) -> u64 {
+        let mut x = v & 0x1249_2492_4924_9249;
+        x = (x | (x >> 2)) & 0x10c3_0c30_c30c_30c3;
+        x = (x | (x >> 4)) & 0x100f_00f0_0f00_f00f;
+        x = (x | (x >> 8)) & 0x001f_0000_ff00_00ff;
+        x = (x | (x >> 16)) & 0x001f_0000_0000_ffff;
+        x = (x | (x >> 32)) & 0x1f_ffff;
+        x
+    }
+
+    /// Reference Morton key of a non-negative cell coordinate pair.
+    #[inline]
+    pub fn morton_key(x: u64, y: u64) -> u64 {
+        part1by1(x) | (part1by1(y) << 1)
+    }
+
+    /// Reference inverse Morton: key back to `(x, y)`.
+    #[inline]
+    pub fn morton_decode(key: u64) -> (u64, u64) {
+        (compact1by1(key), compact1by1(key >> 1))
+    }
+
+    /// Reference 3-D Morton key of a non-negative coordinate triple.
+    #[inline]
+    pub fn morton_key_3d(x: u64, y: u64, z: u64) -> u64 {
+        part1by2(x) | (part1by2(y) << 1) | (part1by2(z) << 2)
+    }
+
+    /// Reference inverse 3-D Morton: key back to `(x, y, z)`.
+    #[inline]
+    pub fn morton_decode_3d(key: u64) -> (u64, u64, u64) {
+        (
+            compact1by2(key),
+            compact1by2(key >> 1),
+            compact1by2(key >> 2),
+        )
+    }
+
+    /// Reference Hilbert curve distance of the cell `(x, y)` in a
+    /// `2^order x 2^order` grid: the classic branchy quadrant-rotation
+    /// construction.
+    pub fn hilbert_key(order: u32, x: u64, y: u64) -> u64 {
+        debug_assert!(order <= MAX_ORDER);
+        debug_assert!(x < (1u64 << order) && y < (1u64 << order));
+        let n = 1u64 << order;
+        let (mut x, mut y) = (x, y);
+        let mut d: u64 = 0;
+        let mut s: u64 = n / 2;
+        while s > 0 {
+            let rx = u64::from((x & s) > 0);
+            let ry = u64::from((y & s) > 0);
+            d += s * s * ((3 * rx) ^ ry);
+            // Rotate the quadrant so the sub-square is traversed in
+            // canonical orientation on the next iteration.
+            if ry == 0 {
+                if rx == 1 {
+                    x = n - 1 - x;
+                    y = n - 1 - y;
+                }
+                std::mem::swap(&mut x, &mut y);
+            }
+            s /= 2;
+        }
+        d
+    }
+
+    /// Reference inverse Hilbert: curve distance back to `(x, y)` in a
+    /// `2^order x 2^order` grid.
+    pub fn hilbert_decode(order: u32, d: u64) -> (u64, u64) {
+        let (mut x, mut y) = (0u64, 0u64);
+        let mut t = d;
+        let mut s = 1u64;
+        while s < (1u64 << order) {
+            let rx = 1 & (t / 2);
+            let ry = 1 & (t ^ rx);
+            // Rotate.
+            if ry == 0 {
+                if rx == 1 {
+                    x = s - 1 - x;
+                    y = s - 1 - y;
+                }
+                std::mem::swap(&mut x, &mut y);
+            }
+            x += s * rx;
+            y += s * ry;
+            t /= 4;
+            s *= 2;
+        }
+        (x, y)
+    }
+
+    /// Skilling's AxesToTranspose, branchy reference: convert coordinates
+    /// (in place) into the "transpose" form of the Hilbert index, `order`
+    /// bits per axis. Also the transpose used by the optimized 3-D
+    /// encode: the branch-per-bit loop beats the branchless rewrite on
+    /// current x86 in this direction (the decode direction is the
+    /// opposite — see the private `transpose_to_axes` at module level).
+    pub(super) fn axes_to_transpose<const N: usize>(x: &mut [u64; N], order: u32) {
+        let m = 1u64 << (order - 1);
+        // Inverse undo.
+        let mut q = m;
+        while q > 1 {
+            let p = q - 1;
+            for i in 0..N {
+                if x[i] & q != 0 {
+                    x[0] ^= p;
+                } else {
+                    let t = (x[0] ^ x[i]) & p;
+                    x[0] ^= t;
+                    x[i] ^= t;
+                }
+            }
+            q >>= 1;
+        }
+        // Gray encode.
+        for i in 1..N {
+            x[i] ^= x[i - 1];
+        }
+        let mut t = 0u64;
+        let mut q = m;
+        while q > 1 {
+            if x[N - 1] & q != 0 {
+                t ^= q - 1;
+            }
+            q >>= 1;
+        }
+        for v in x.iter_mut() {
+            *v ^= t;
+        }
+    }
+
+    /// Skilling's TransposeToAxes, branchy reference: inverse of
+    /// [`axes_to_transpose`].
+    fn transpose_to_axes<const N: usize>(x: &mut [u64; N], order: u32) {
+        let n = 1u64 << order;
+        // Gray decode by H ^ (H/2).
+        let mut t = x[N - 1] >> 1;
+        for i in (1..N).rev() {
+            x[i] ^= x[i - 1];
+        }
+        x[0] ^= t;
+        // Undo excess work.
+        let mut q = 2u64;
+        while q != n {
+            let p = q - 1;
+            for i in (0..N).rev() {
+                if x[i] & q != 0 {
+                    x[0] ^= p;
+                } else {
+                    t = (x[0] ^ x[i]) & p;
+                    x[0] ^= t;
+                    x[i] ^= t;
+                }
+            }
+            q <<= 1;
+        }
+    }
+
+    /// Pack a transpose-form Hilbert index into a single `u64` key, one
+    /// key bit at a time: bit `b` of axis `i` becomes bit
+    /// `(b·N + (N-1-i))` of the key (most significant axis bit first).
+    fn transpose_to_key<const N: usize>(x: &[u64; N], order: u32) -> u64 {
+        let mut key = 0u64;
+        for b in (0..order).rev() {
+            for &v in x.iter() {
+                key = (key << 1) | ((v >> b) & 1);
+            }
+        }
+        key
+    }
+
+    /// Unpack a `u64` key into transpose form (inverse of
+    /// [`transpose_to_key`]), one key bit at a time.
+    fn key_to_transpose<const N: usize>(key: u64, order: u32) -> [u64; N] {
+        let mut x = [0u64; N];
+        let total = order * N as u32;
+        for bit in 0..total {
+            let b = total - 1 - bit; // position in the key, msb first
+            let axis = (bit as usize) % N;
+            let level = order - 1 - (bit / N as u32);
+            x[axis] |= ((key >> b) & 1) << level;
+        }
+        x
+    }
+
+    /// Reference 3-D Hilbert curve distance of the cell `(x, y, z)` in a
+    /// `(2^order)^3` grid (Skilling's transpose construction).
+    pub fn hilbert_key_3d(order: u32, x: u64, y: u64, z: u64) -> u64 {
+        debug_assert!((1..=MAX_ORDER_3D).contains(&order));
+        debug_assert!(x < (1u64 << order) && y < (1u64 << order) && z < (1u64 << order));
+        let mut c = [x, y, z];
+        axes_to_transpose(&mut c, order);
+        transpose_to_key(&c, order)
+    }
+
+    /// Reference inverse 3-D Hilbert: curve distance back to `(x, y, z)`.
+    pub fn hilbert_decode_3d(order: u32, d: u64) -> (u64, u64, u64) {
+        debug_assert!((1..=MAX_ORDER_3D).contains(&order));
+        let mut c: [u64; 3] = key_to_transpose(d, order);
+        transpose_to_axes(&mut c, order);
+        (c[0], c[1], c[2])
+    }
 }
 
-/// Inverse of [`part1by1`]: compact every other bit.
-#[inline]
-fn compact1by1(v: u64) -> u64 {
-    let mut x = v & 0x5555_5555_5555_5555;
-    x = (x | (x >> 1)) & 0x3333_3333_3333_3333;
-    x = (x | (x >> 2)) & 0x0f0f_0f0f_0f0f_0f0f;
-    x = (x | (x >> 4)) & 0x00ff_00ff_00ff_00ff;
-    x = (x | (x >> 8)) & 0x0000_ffff_0000_ffff;
-    x = (x | (x >> 16)) & 0x0000_0000_ffff_ffff;
-    x
-}
-
-/// Interleave the low 21 bits of `v` with two zeros each ("part 1 by 2").
-#[inline]
-fn part1by2(v: u64) -> u64 {
-    let mut x = v & 0x1f_ffff;
-    x = (x | (x << 32)) & 0x001f_0000_0000_ffff;
-    x = (x | (x << 16)) & 0x001f_0000_ff00_00ff;
-    x = (x | (x << 8)) & 0x100f_00f0_0f00_f00f;
-    x = (x | (x << 4)) & 0x10c3_0c30_c30c_30c3;
-    x = (x | (x << 2)) & 0x1249_2492_4924_9249;
-    x
-}
-
-/// Inverse of [`part1by2`]: compact every third bit.
-#[inline]
-fn compact1by2(v: u64) -> u64 {
-    let mut x = v & 0x1249_2492_4924_9249;
-    x = (x | (x >> 2)) & 0x10c3_0c30_c30c_30c3;
-    x = (x | (x >> 4)) & 0x100f_00f0_0f00_f00f;
-    x = (x | (x >> 8)) & 0x001f_0000_ff00_00ff;
-    x = (x | (x >> 16)) & 0x001f_0000_0000_ffff;
-    x = (x | (x >> 32)) & 0x1f_ffff;
-    x
+/// `true` when the CPU executes BMI2 `pdep`/`pext` (Morton interleaving
+/// in two instructions instead of ten mask-shift pairs). Detection is
+/// cached by `std` behind an atomic load; the batch kernels pay it once
+/// per batch.
+#[cfg(target_arch = "x86_64")]
+#[inline(always)]
+fn has_bmi2() -> bool {
+    std::arch::is_x86_feature_detected!("bmi2")
 }
 
 /// Morton key of a non-negative cell coordinate pair.
+///
+/// Single keys stay on the scalar magic-mask interleave: it inlines and
+/// auto-vectorizes at the call site, while a `pdep` version must live
+/// behind a non-inlinable `#[target_feature]` call whose overhead costs
+/// more than the two instructions save. The BMI2 win is real in bulk —
+/// use [`morton_keys`] for key streams.
 #[inline]
 pub fn morton_key(x: u64, y: u64) -> u64 {
     debug_assert!(x < (1 << 32) && y < (1 << 32));
-    part1by1(x) | (part1by1(y) << 1)
+    scalar::morton_key(x, y)
 }
 
-/// Inverse Morton: key back to `(x, y)`.
+/// Inverse Morton: key back to `(x, y)`. Single-key scalar path; bulk
+/// decoding goes through [`morton_decodes`].
 #[inline]
 pub fn morton_decode(key: u64) -> (u64, u64) {
-    (compact1by1(key), compact1by1(key >> 1))
+    scalar::morton_decode(key)
 }
 
-/// 3-D Morton key of a non-negative cell coordinate triple.
+/// 3-D Morton key of a non-negative cell coordinate triple. Single-key
+/// scalar path; bulk encoding goes through [`morton_keys_3d`].
 #[inline]
 pub fn morton_key_3d(x: u64, y: u64, z: u64) -> u64 {
     debug_assert!(x < (1 << MAX_ORDER_3D) && y < (1 << MAX_ORDER_3D) && z < (1 << MAX_ORDER_3D));
-    part1by2(x) | (part1by2(y) << 1) | (part1by2(z) << 2)
+    scalar::morton_key_3d(x, y, z)
 }
 
-/// Inverse 3-D Morton: key back to `(x, y, z)`.
+/// Inverse 3-D Morton: key back to `(x, y, z)`. Single-key scalar path;
+/// bulk decoding goes through [`morton_decodes_3d`].
 #[inline]
 pub fn morton_decode_3d(key: u64) -> (u64, u64, u64) {
-    (
-        compact1by2(key),
-        compact1by2(key >> 1),
-        compact1by2(key >> 2),
-    )
+    scalar::morton_decode_3d(key)
+}
+
+// ---------------------------------------------------------------------
+// Batch Morton kernels.
+//
+// `pdep`/`pext` intrinsics carry `#[target_feature(enable = "bmi2")]`,
+// so they cannot inline into ordinary functions — a per-key dispatch
+// pays a real function call per key and loses to the inlined magic-mask
+// pipeline. Hoisting the dispatch to whole-slice granularity turns the
+// tables: one cached feature check per batch, then a loop *compiled
+// with BMI2 enabled* in which each key is two (2-D) or three (3-D)
+// `pdep`s. These are the kernels the SFC partitioner's unit-ordering
+// pass feeds; each is bit-identical to mapping its scalar reference
+// over the slice (property-tested in `tests/properties.rs`).
+
+/// Fill `out` with the Morton key of every `[x, y]` pair (clears `out`
+/// first).
+pub fn morton_keys(coords: &[[u64; 2]], out: &mut Vec<u64>) {
+    out.clear();
+    out.reserve(coords.len());
+    #[cfg(target_arch = "x86_64")]
+    if has_bmi2() {
+        // SAFETY: guarded by the BMI2 runtime check above.
+        unsafe { morton_keys_bmi2(coords, out) };
+        return;
+    }
+    for c in coords {
+        out.push(scalar::morton_key(c[0], c[1]));
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "bmi2")]
+unsafe fn morton_keys_bmi2(coords: &[[u64; 2]], out: &mut Vec<u64>) {
+    use std::arch::x86_64::_pdep_u64;
+    for c in coords {
+        out.push(_pdep_u64(c[0], MORTON2_MASK) | _pdep_u64(c[1], MORTON2_MASK << 1));
+    }
+}
+
+/// Fill `out` with the `(x, y)` decode of every key (clears `out`
+/// first).
+pub fn morton_decodes(keys: &[u64], out: &mut Vec<[u64; 2]>) {
+    out.clear();
+    out.reserve(keys.len());
+    #[cfg(target_arch = "x86_64")]
+    if has_bmi2() {
+        // SAFETY: guarded by the BMI2 runtime check above.
+        unsafe { morton_decodes_bmi2(keys, out) };
+        return;
+    }
+    for &k in keys {
+        let (x, y) = scalar::morton_decode(k);
+        out.push([x, y]);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "bmi2")]
+unsafe fn morton_decodes_bmi2(keys: &[u64], out: &mut Vec<[u64; 2]>) {
+    use std::arch::x86_64::_pext_u64;
+    for &k in keys {
+        out.push([_pext_u64(k, MORTON2_MASK), _pext_u64(k, MORTON2_MASK << 1)]);
+    }
+}
+
+/// Fill `out` with the 3-D Morton key of every `[x, y, z]` triple
+/// (clears `out` first).
+pub fn morton_keys_3d(coords: &[[u64; 3]], out: &mut Vec<u64>) {
+    out.clear();
+    out.reserve(coords.len());
+    #[cfg(target_arch = "x86_64")]
+    if has_bmi2() {
+        // SAFETY: guarded by the BMI2 runtime check above.
+        unsafe { morton_keys_3d_bmi2(coords, out) };
+        return;
+    }
+    for c in coords {
+        out.push(scalar::morton_key_3d(c[0], c[1], c[2]));
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "bmi2")]
+unsafe fn morton_keys_3d_bmi2(coords: &[[u64; 3]], out: &mut Vec<u64>) {
+    use std::arch::x86_64::_pdep_u64;
+    for c in coords {
+        out.push(
+            _pdep_u64(c[0], MORTON3_MASK)
+                | _pdep_u64(c[1], MORTON3_MASK << 1)
+                | _pdep_u64(c[2], MORTON3_MASK << 2),
+        );
+    }
+}
+
+/// Fill `out` with the `(x, y, z)` decode of every key (clears `out`
+/// first).
+pub fn morton_decodes_3d(keys: &[u64], out: &mut Vec<[u64; 3]>) {
+    out.clear();
+    out.reserve(keys.len());
+    #[cfg(target_arch = "x86_64")]
+    if has_bmi2() {
+        // SAFETY: guarded by the BMI2 runtime check above.
+        unsafe { morton_decodes_3d_bmi2(keys, out) };
+        return;
+    }
+    for &k in keys {
+        let (x, y, z) = scalar::morton_decode_3d(k);
+        out.push([x, y, z]);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "bmi2")]
+unsafe fn morton_decodes_3d_bmi2(keys: &[u64], out: &mut Vec<[u64; 3]>) {
+    use std::arch::x86_64::_pext_u64;
+    for &k in keys {
+        out.push([
+            _pext_u64(k, MORTON3_MASK),
+            _pext_u64(k, MORTON3_MASK << 1),
+            _pext_u64(k, MORTON3_MASK << 2),
+        ]);
+    }
 }
 
 /// Hilbert curve distance of the cell `(x, y)` in a `2^order x 2^order`
-/// grid, using the classic quadrant-rotation construction.
+/// grid (quadrant-rotation construction, branchless inner loop).
+///
+/// Bit-identical to [`scalar::hilbert_key`]: for power-of-two `n` the
+/// reflection `n-1-x` is `x ^ (n-1)`, so the data-dependent
+/// reflect-and-swap becomes three XOR-mask steps, and the disjoint
+/// per-level contributions `s²·((3·rx)^ry)` are OR-ed into their own bit
+/// pair directly.
 pub fn hilbert_key(order: u32, x: u64, y: u64) -> u64 {
     debug_assert!(order <= MAX_ORDER);
     debug_assert!(x < (1u64 << order) && y < (1u64 << order));
-    let n = 1u64 << order;
+    let mask = (1u64 << order) - 1;
     let (mut x, mut y) = (x, y);
     let mut d: u64 = 0;
-    let mut s: u64 = n / 2;
-    while s > 0 {
-        let rx = u64::from((x & s) > 0);
-        let ry = u64::from((y & s) > 0);
-        d += s * s * ((3 * rx) ^ ry);
-        // Rotate the quadrant so the sub-square is traversed in canonical
-        // orientation on the next iteration.
-        if ry == 0 {
-            if rx == 1 {
-                x = n - 1 - x;
-                y = n - 1 - y;
-            }
-            std::mem::swap(&mut x, &mut y);
-        }
-        s /= 2;
+    for i in (0..order).rev() {
+        let rx = (x >> i) & 1;
+        let ry = (y >> i) & 1;
+        d |= ((3 * rx) ^ ry) << (2 * i);
+        // ry == 0: reflect both coordinates when rx == 1, then swap.
+        let noswap = ry.wrapping_sub(1); // all ones iff ry == 0
+        let flip = noswap & 0u64.wrapping_sub(rx) & mask;
+        x ^= flip;
+        y ^= flip;
+        let t = (x ^ y) & noswap;
+        x ^= t;
+        y ^= t;
     }
     d
 }
 
 /// Inverse Hilbert: curve distance back to `(x, y)` in a
-/// `2^order x 2^order` grid.
+/// `2^order x 2^order` grid (branchless; bit-identical to
+/// [`scalar::hilbert_decode`]).
 pub fn hilbert_decode(order: u32, d: u64) -> (u64, u64) {
     let (mut x, mut y) = (0u64, 0u64);
+    let mut mask = 0u64; // (1 << i) - 1, grown incrementally
     let mut t = d;
-    let mut s = 1u64;
-    while s < (1u64 << order) {
-        let rx = 1 & (t / 2);
+    for i in 0..order {
+        let rx = 1 & (t >> 1);
         let ry = 1 & (t ^ rx);
-        // Rotate.
-        if ry == 0 {
-            if rx == 1 {
-                x = s - 1 - x;
-                y = s - 1 - y;
-            }
-            std::mem::swap(&mut x, &mut y);
-        }
-        x += s * rx;
-        y += s * ry;
-        t /= 4;
-        s *= 2;
+        // Below level i both coordinates are < 2^i, so the reflection
+        // `s-1-x` is an XOR with the level mask.
+        let noswap = ry.wrapping_sub(1); // all ones iff ry == 0
+        let flip = noswap & 0u64.wrapping_sub(rx) & mask;
+        x ^= flip;
+        y ^= flip;
+        let s = (x ^ y) & noswap;
+        x ^= s;
+        y ^= s;
+        x |= rx << i;
+        y |= ry << i;
+        mask = (mask << 1) | 1;
+        t >>= 2;
     }
     (x, y)
 }
 
-/// Skilling's AxesToTranspose: convert coordinates (in place) into the
-/// "transpose" form of the Hilbert index, `order` bits per axis.
-fn axes_to_transpose<const N: usize>(x: &mut [u64; N], order: u32) {
-    let m = 1u64 << (order - 1);
-    // Inverse undo.
-    let mut q = m;
-    while q > 1 {
-        let p = q - 1;
-        for i in 0..N {
-            if x[i] & q != 0 {
-                x[0] ^= p;
-            } else {
-                let t = (x[0] ^ x[i]) & p;
-                x[0] ^= t;
-                x[i] ^= t;
-            }
-        }
-        q >>= 1;
-    }
-    // Gray encode.
-    for i in 1..N {
-        x[i] ^= x[i - 1];
-    }
-    let mut t = 0u64;
-    let mut q = m;
-    while q > 1 {
-        if x[N - 1] & q != 0 {
-            t ^= q - 1;
-        }
-        q >>= 1;
-    }
-    for v in x.iter_mut() {
-        *v ^= t;
-    }
-}
-
-/// Skilling's TransposeToAxes: inverse of [`axes_to_transpose`].
+/// Skilling's TransposeToAxes with a branchless inner loop: inverse of
+/// [`scalar::axes_to_transpose`]. (The encode direction keeps the
+/// branchy reference loop — measured faster there; only the decode
+/// direction wins from going branchless.)
 fn transpose_to_axes<const N: usize>(x: &mut [u64; N], order: u32) {
-    let n = 1u64 << order;
     // Gray decode by H ^ (H/2).
-    let mut t = x[N - 1] >> 1;
+    let t = x[N - 1] >> 1;
     for i in (1..N).rev() {
         x[i] ^= x[i - 1];
     }
     x[0] ^= t;
     // Undo excess work.
-    let mut q = 2u64;
-    while q != n {
-        let p = q - 1;
+    for b in 1..order {
+        let p = (1u64 << b) - 1;
         for i in (0..N).rev() {
-            if x[i] & q != 0 {
-                x[0] ^= p;
-            } else {
-                t = (x[0] ^ x[i]) & p;
-                x[0] ^= t;
-                x[i] ^= t;
-            }
-        }
-        q <<= 1;
-    }
-}
-
-/// Pack a transpose-form Hilbert index into a single `u64` key: bit `b`
-/// of axis `i` becomes bit `(b·N + (N-1-i))` of the key (most significant
-/// axis bit first).
-fn transpose_to_key<const N: usize>(x: &[u64; N], order: u32) -> u64 {
-    let mut key = 0u64;
-    for b in (0..order).rev() {
-        for &v in x.iter() {
-            key = (key << 1) | ((v >> b) & 1);
+            let set = 0u64.wrapping_sub((x[i] >> b) & 1);
+            let t = (x[0] ^ x[i]) & p & !set;
+            x[0] ^= t | (p & set);
+            x[i] ^= t;
         }
     }
-    key
-}
-
-/// Unpack a `u64` key into transpose form (inverse of
-/// [`transpose_to_key`]).
-fn key_to_transpose<const N: usize>(key: u64, order: u32) -> [u64; N] {
-    let mut x = [0u64; N];
-    let total = order * N as u32;
-    for bit in 0..total {
-        let b = total - 1 - bit; // position in the key, msb first
-        let axis = (bit as usize) % N;
-        let level = order - 1 - (bit / N as u32);
-        x[axis] |= ((key >> b) & 1) << level;
-    }
-    x
 }
 
 /// 3-D Hilbert curve distance of the cell `(x, y, z)` in a `(2^order)^3`
 /// grid (Skilling's transpose construction).
+///
+/// The transpose-to-key packing — bit `b` of axis `i` to key bit
+/// `b·3 + (2-i)` — is exactly a 3-D Morton interleave of the axes in
+/// reverse significance order, so it rides the optimized
+/// [`morton_key_3d`] instead of packing 63 key bits one at a time.
 pub fn hilbert_key_3d(order: u32, x: u64, y: u64, z: u64) -> u64 {
     debug_assert!((1..=MAX_ORDER_3D).contains(&order));
     debug_assert!(x < (1u64 << order) && y < (1u64 << order) && z < (1u64 << order));
     let mut c = [x, y, z];
-    axes_to_transpose(&mut c, order);
-    transpose_to_key(&c, order)
+    scalar::axes_to_transpose(&mut c, order);
+    morton_key_3d(c[2], c[1], c[0])
 }
 
 /// Inverse 3-D Hilbert: curve distance back to `(x, y, z)`.
 pub fn hilbert_decode_3d(order: u32, d: u64) -> (u64, u64, u64) {
     debug_assert!((1..=MAX_ORDER_3D).contains(&order));
-    let mut c: [u64; 3] = key_to_transpose(d, order);
+    // Morton de-interleave is the inverse key-to-transpose unpacking;
+    // the per-axis masks drop any stray key bits above 3·order exactly
+    // as the bit-at-a-time reference does.
+    let axis_mask = (1u64 << order) - 1;
+    let (t2, t1, t0) = morton_decode_3d(d);
+    let mut c = [t0 & axis_mask, t1 & axis_mask, t2 & axis_mask];
     transpose_to_axes(&mut c, order);
     (c[0], c[1], c[2])
 }
@@ -295,6 +610,65 @@ pub fn sfc_key_nd<const D: usize>(curve: SfcCurve, order: u32, c: [u64; D]) -> u
     }
 }
 
+/// Dimension-generic batch SFC keys: fill `out` with the key of every
+/// coordinate tuple under `curve` (clears `out` first). Bit-identical to
+/// mapping [`sfc_key_nd`] over the slice; Morton rides the BMI2 batch
+/// kernels ([`morton_keys`] / [`morton_keys_3d`]) so the partitioner's
+/// unit-ordering pass pays one feature dispatch per snapshot instead of
+/// one stub call per cell.
+pub fn sfc_keys_nd<const D: usize>(
+    curve: SfcCurve,
+    order: u32,
+    coords: &[[u64; D]],
+    out: &mut Vec<u64>,
+) {
+    match D {
+        2 => {
+            // SAFETY: D == 2, so `[u64; D]` and `[u64; 2]` are the same
+            // layout; the slice cast is a no-op reinterpretation.
+            let c2: &[[u64; 2]] =
+                unsafe { std::slice::from_raw_parts(coords.as_ptr().cast(), coords.len()) };
+            match curve {
+                SfcCurve::Morton => morton_keys(c2, out),
+                SfcCurve::Hilbert => {
+                    out.clear();
+                    out.reserve(c2.len());
+                    for c in c2 {
+                        out.push(hilbert_key(order, c[0], c[1]));
+                    }
+                }
+            }
+        }
+        3 => {
+            // SAFETY: D == 3; same no-op slice reinterpretation as above.
+            let c3: &[[u64; 3]] =
+                unsafe { std::slice::from_raw_parts(coords.as_ptr().cast(), coords.len()) };
+            match curve {
+                SfcCurve::Morton => morton_keys_3d(c3, out),
+                SfcCurve::Hilbert => {
+                    // Transpose every tuple (branchy reference loop —
+                    // the fast direction for encode), then hand the
+                    // whole batch to the BMI2 Morton kernel for the key
+                    // packing. Identical to per-key
+                    // [`hilbert_key_3d`], which packs one key at a
+                    // time via the scalar Morton interleave.
+                    let ord = order.max(1);
+                    let transposed: Vec<[u64; 3]> = c3
+                        .iter()
+                        .map(|&[x, y, z]| {
+                            let mut c = [x, y, z];
+                            scalar::axes_to_transpose(&mut c, ord);
+                            [c[2], c[1], c[0]]
+                        })
+                        .collect();
+                    morton_keys_3d(&transposed, out);
+                }
+            }
+        }
+        _ => panic!("sfc_keys_nd: unsupported dimension {D}"),
+    }
+}
+
 /// Smallest `order` such that a `2^order` cube contains `n` cells per
 /// side.
 pub fn order_for(n: u64) -> u32 {
@@ -317,6 +691,23 @@ mod tests {
                 let k = morton_key(x, y);
                 assert_eq!(morton_decode(k), (x, y));
             }
+        }
+    }
+
+    #[test]
+    fn batch_keys_match_per_key_dispatch() {
+        let c2: Vec<[u64; 2]> = (0..16).flat_map(|y| (0..16).map(move |x| [x, y])).collect();
+        let c3: Vec<[u64; 3]> = (0..8)
+            .flat_map(|z| (0..8).flat_map(move |y| (0..8).map(move |x| [x, y, z])))
+            .collect();
+        let mut out = Vec::new();
+        for curve in [SfcCurve::Morton, SfcCurve::Hilbert] {
+            sfc_keys_nd::<2>(curve, 4, &c2, &mut out);
+            let want: Vec<u64> = c2.iter().map(|&c| sfc_key_nd::<2>(curve, 4, c)).collect();
+            assert_eq!(out, want, "2-D {curve:?}");
+            sfc_keys_nd::<3>(curve, 3, &c3, &mut out);
+            let want: Vec<u64> = c3.iter().map(|&c| sfc_key_nd::<3>(curve, 3, c)).collect();
+            assert_eq!(out, want, "3-D {curve:?}");
         }
     }
 
@@ -450,5 +841,36 @@ mod tests {
             sfc_key_nd::<3>(SfcCurve::Hilbert, 4, [3, 5, 7]),
             hilbert_key_3d(4, 3, 5, 7)
         );
+    }
+
+    /// Exhaustive small-domain agreement with the scalar references, on
+    /// top of the random-coordinate property tests in
+    /// `tests/properties.rs`.
+    #[test]
+    fn optimized_matches_scalar_exhaustively_small() {
+        for x in 0..32u64 {
+            for y in 0..32u64 {
+                assert_eq!(morton_key(x, y), scalar::morton_key(x, y));
+                assert_eq!(hilbert_key(5, x, y), scalar::hilbert_key(5, x, y));
+                for z in 0..8u64 {
+                    assert_eq!(
+                        morton_key_3d(x, y, z),
+                        scalar::morton_key_3d(x, y, z),
+                        "morton3d({x},{y},{z})"
+                    );
+                    assert_eq!(
+                        hilbert_key_3d(5, x, y, z),
+                        scalar::hilbert_key_3d(5, x, y, z),
+                        "hilbert3d({x},{y},{z})"
+                    );
+                }
+            }
+        }
+        for d in 0..1024u64 {
+            assert_eq!(morton_decode(d), scalar::morton_decode(d));
+            assert_eq!(hilbert_decode(5, d), scalar::hilbert_decode(5, d));
+            assert_eq!(morton_decode_3d(d), scalar::morton_decode_3d(d));
+            assert_eq!(hilbert_decode_3d(4, d), scalar::hilbert_decode_3d(4, d));
+        }
     }
 }

@@ -13,7 +13,8 @@ use proptest::prelude::*;
 use samr_geom::boxops;
 use samr_geom::sfc::{
     hilbert_decode, hilbert_decode_3d, hilbert_key, hilbert_key_3d, morton_decode,
-    morton_decode_3d, morton_key, morton_key_3d,
+    morton_decode_3d, morton_decodes, morton_decodes_3d, morton_key, morton_key_3d, morton_keys,
+    morton_keys_3d, scalar, MAX_ORDER, MAX_ORDER_3D,
 };
 use samr_geom::{Box3, Point2, Point3, Rect2, Region};
 
@@ -471,6 +472,127 @@ proptest! {
                 }
             }
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // -----------------------------------------------------------------
+    // The optimized public SFC paths are bit-identical to the retained
+    // scalar reference implementations — across random u64 inputs and
+    // every supported order, in both dimensions. The optimizations
+    // (PDEP/PEXT Morton, branchless Hilbert rotation, interleave-based
+    // transpose packing) are only admissible because of these.
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn optimized_morton_matches_scalar(x in any::<u64>(), y in any::<u64>(), k in any::<u64>()) {
+        // 2-D: both paths read exactly the low 32 bits of each axis, so
+        // the whole u64 range is in scope; likewise every key bit on
+        // decode.
+        let (x2, y2) = (x & 0xffff_ffff, y & 0xffff_ffff);
+        prop_assert_eq!(morton_key(x2, y2), scalar::morton_key(x2, y2));
+        prop_assert_eq!(morton_decode(k), scalar::morton_decode(k));
+        // 3-D over the documented 21-bit axis / 63-bit key domain.
+        let m = (1u64 << MAX_ORDER_3D) - 1;
+        let (x3, y3, z3) = (x & m, y & m, (x ^ y) & m);
+        let key = morton_key_3d(x3, y3, z3);
+        prop_assert_eq!(key, scalar::morton_key_3d(x3, y3, z3));
+        let k3 = k & ((1u64 << (3 * MAX_ORDER_3D)) - 1);
+        prop_assert_eq!(morton_decode_3d(k3), scalar::morton_decode_3d(k3));
+    }
+
+    #[test]
+    fn batch_morton_kernels_match_scalar_map(
+        tuples in proptest::collection::vec((any::<u64>(), any::<u64>(), any::<u64>()), 0..64),
+        raw_keys in proptest::collection::vec(any::<u64>(), 0..64),
+    ) {
+        // The BMI2 batch kernels are admissible only as an exact map of
+        // the scalar references over the slice — same domains as the
+        // per-key tests above.
+        let m3 = (1u64 << MAX_ORDER_3D) - 1;
+        let c2: Vec<[u64; 2]> = tuples
+            .iter()
+            .map(|&(x, y, _)| [x & 0xffff_ffff, y & 0xffff_ffff])
+            .collect();
+        let c3: Vec<[u64; 3]> = tuples.iter().map(|&(x, y, z)| [x & m3, y & m3, z & m3]).collect();
+        let k3: Vec<u64> = raw_keys
+            .iter()
+            .map(|&k| k & ((1u64 << (3 * MAX_ORDER_3D)) - 1))
+            .collect();
+
+        let mut keys = Vec::new();
+        morton_keys(&c2, &mut keys);
+        let want: Vec<u64> = c2.iter().map(|c| scalar::morton_key(c[0], c[1])).collect();
+        prop_assert_eq!(&keys, &want);
+
+        morton_keys_3d(&c3, &mut keys);
+        let want: Vec<u64> = c3.iter().map(|c| scalar::morton_key_3d(c[0], c[1], c[2])).collect();
+        prop_assert_eq!(&keys, &want);
+
+        let mut pairs = Vec::new();
+        morton_decodes(&raw_keys, &mut pairs);
+        let want: Vec<[u64; 2]> = raw_keys
+            .iter()
+            .map(|&k| { let (x, y) = scalar::morton_decode(k); [x, y] })
+            .collect();
+        prop_assert_eq!(&pairs, &want);
+
+        let mut triples = Vec::new();
+        morton_decodes_3d(&k3, &mut triples);
+        let want: Vec<[u64; 3]> = k3
+            .iter()
+            .map(|&k| { let (x, y, z) = scalar::morton_decode_3d(k); [x, y, z] })
+            .collect();
+        prop_assert_eq!(&triples, &want);
+    }
+
+    #[test]
+    fn optimized_hilbert_2d_matches_scalar(
+        order in 1u32..=MAX_ORDER,
+        x in any::<u64>(),
+        y in any::<u64>(),
+        d in any::<u64>(),
+    ) {
+        let mask = (1u64 << order) - 1;
+        let (x, y) = (x & mask, y & mask);
+        prop_assert_eq!(
+            hilbert_key(order, x, y),
+            scalar::hilbert_key(order, x, y),
+            "encode diverged at order {}", order
+        );
+        // Decode reads only the low 2·order bits either way: the full
+        // u64 key range is in scope.
+        prop_assert_eq!(
+            hilbert_decode(order, d),
+            scalar::hilbert_decode(order, d),
+            "decode diverged at order {}", order
+        );
+    }
+
+    #[test]
+    fn optimized_hilbert_3d_matches_scalar(
+        order in 1u32..=MAX_ORDER_3D,
+        x in any::<u64>(),
+        y in any::<u64>(),
+        z in any::<u64>(),
+        d in any::<u64>(),
+    ) {
+        let mask = (1u64 << order) - 1;
+        let (x, y, z) = (x & mask, y & mask, z & mask);
+        prop_assert_eq!(
+            hilbert_key_3d(order, x, y, z),
+            scalar::hilbert_key_3d(order, x, y, z),
+            "encode diverged at order {}", order
+        );
+        // Stray key bits at or above 3·order are dropped identically by
+        // both unpackings, so the full u64 key range is in scope.
+        prop_assert_eq!(
+            hilbert_decode_3d(order, d),
+            scalar::hilbert_decode_3d(order, d),
+            "decode diverged at order {}", order
+        );
     }
 }
 

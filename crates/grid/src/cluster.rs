@@ -53,25 +53,53 @@ struct Candidate<const D: usize> {
     flagged: u64,
 }
 
+/// Reusable scratch buffers for [`cluster_flags_with`].
+///
+/// Berger–Rigoutsos churns through short-lived allocations — a signature
+/// `Vec` per candidate scan and a work queue per invocation. Callers that
+/// cluster repeatedly (the regrid step clusters one flag field per level
+/// per regrid) thread one `ClusterScratch` through and the recursion
+/// reuses the same buffers, allocating O(1) `Vec`s per call instead of
+/// O(candidate boxes).
+#[derive(Default)]
+pub struct ClusterScratch<const D: usize> {
+    /// Signature buffer shared by every axis scan.
+    sig: Vec<u32>,
+    /// Pending-candidate stack.
+    queue: Vec<Candidate<D>>,
+}
+
 /// Cluster the flagged cells of `flags` into boxes.
 ///
 /// Returned boxes are pairwise disjoint, contain every flagged cell, have
 /// extents `>= min_block` on every axis, and lie inside the flag domain.
 pub fn cluster_flags<const D: usize>(flags: &FlagField<D>, opts: &ClusterOptions) -> Vec<AABox<D>> {
+    cluster_flags_with(flags, opts, &mut ClusterScratch::default())
+}
+
+/// [`cluster_flags`] with caller-owned scratch buffers — identical
+/// output, no per-candidate allocations.
+pub fn cluster_flags_with<const D: usize>(
+    flags: &FlagField<D>,
+    opts: &ClusterOptions,
+    scratch: &mut ClusterScratch<D>,
+) -> Vec<AABox<D>> {
     assert!(opts.min_block >= 1);
     assert!(
         (0.0..=1.0).contains(&opts.min_efficiency),
         "efficiency must be in [0,1]"
     );
+    let ClusterScratch { sig, queue } = scratch;
     let domain = flags.domain();
     let Some(bbox) = flags.bounding_box() else {
         return Vec::new();
     };
-    let mut queue = vec![Candidate {
+    queue.clear();
+    queue.push(Candidate {
         window: domain,
         bbox,
         flagged: flags.count_in(&bbox),
-    }];
+    });
     let mut accepted: Vec<AABox<D>> = Vec::new();
 
     while let Some(c) = queue.pop() {
@@ -84,10 +112,10 @@ pub fn cluster_flags<const D: usize>(flags: &FlagField<D>, opts: &ClusterOptions
             accepted.push(expand_to_min(c.bbox, opts.min_block, &c.window));
             continue;
         }
-        let (axis, cut) = choose_split(flags, &c.bbox, opts.min_block);
+        let (axis, cut) = choose_split(flags, &c.bbox, opts.min_block, sig);
         let (wa, wb) = c.window.split_at(axis, cut);
         for w in [wa, wb] {
-            if let Some(bb) = flag_bbox_in(flags, &w) {
+            if let Some(bb) = flag_bbox_in(flags, &w, sig) {
                 let flagged = flags.count_in(&bb);
                 queue.push(Candidate {
                     window: w,
@@ -104,13 +132,17 @@ pub fn cluster_flags<const D: usize>(flags: &FlagField<D>, opts: &ClusterOptions
 }
 
 /// Tight bounding box of flags restricted to `window`.
-fn flag_bbox_in<const D: usize>(flags: &FlagField<D>, window: &AABox<D>) -> Option<AABox<D>> {
+fn flag_bbox_in<const D: usize>(
+    flags: &FlagField<D>,
+    window: &AABox<D>,
+    sig: &mut Vec<u32>,
+) -> Option<AABox<D>> {
     let w = flags.domain().intersect(window)?;
     let mut lo = w.lo();
     let mut hi = w.hi();
     for i in 0..D {
         let axis = Axis::from_index(i);
-        let sig = flags.signature(axis, &w);
+        flags.signature_into(axis, &w, sig);
         let first = sig.iter().position(|&v| v > 0)?;
         let last = sig.iter().rposition(|&v| v > 0)?;
         lo = lo.with(axis, w.lo()[i] + first as i64);
@@ -140,6 +172,7 @@ fn choose_split<const D: usize>(
     flags: &FlagField<D>,
     bbox: &AABox<D>,
     min_block: i64,
+    sig: &mut Vec<u32>,
 ) -> (Axis, i64) {
     let axes = axes_by_length(bbox);
     // Stage 1: holes.
@@ -147,8 +180,8 @@ fn choose_split<const D: usize>(
         if bbox.len(axis) < 2 * min_block {
             continue;
         }
-        let sig = flags.signature(axis, bbox);
-        if let Some(i) = best_hole(&sig, min_block) {
+        flags.signature_into(axis, bbox, sig);
+        if let Some(i) = best_hole(sig, min_block) {
             return (axis, bbox.lo().get(axis) + i);
         }
     }
@@ -157,8 +190,8 @@ fn choose_split<const D: usize>(
         if bbox.len(axis) < 2 * min_block {
             continue;
         }
-        let sig = flags.signature(axis, bbox);
-        if let Some(i) = best_inflection(&sig, min_block) {
+        flags.signature_into(axis, bbox, sig);
+        if let Some(i) = best_inflection(sig, min_block) {
             return (axis, bbox.lo().get(axis) + i);
         }
     }
@@ -194,33 +227,36 @@ fn best_hole(sig: &[u32], min_block: i64) -> Option<i64> {
 
 /// Index of the strongest sign change of the discrete Laplacian
 /// `Δ_i = s[i-1] - 2 s[i] + s[i+1]`, respecting min_block margins.
+///
+/// The Laplacian is evaluated on the fly from a three-entry signature
+/// window — no per-candidate `Vec` (this runs once per axis per split
+/// candidate in the clustering recursion).
 fn best_inflection(sig: &[u32], min_block: i64) -> Option<i64> {
     let n = sig.len() as i64;
     if n < 4 {
         return None;
     }
-    let lap: Vec<i64> = (0..n)
-        .map(|i| {
-            if i == 0 || i == n - 1 {
-                0
-            } else {
-                sig[(i - 1) as usize] as i64 - 2 * sig[i as usize] as i64
-                    + sig[(i + 1) as usize] as i64
-            }
-        })
-        .collect();
+    // Boundary entries read as 0, exactly like the materialized array.
+    let lap = |i: i64| -> i64 {
+        if i <= 0 || i >= n - 1 {
+            0
+        } else {
+            sig[(i - 1) as usize] as i64 - 2 * sig[i as usize] as i64 + sig[(i + 1) as usize] as i64
+        }
+    };
     let lo = (min_block - 1).max(1);
     let hi = (n - 1 - min_block).min(n - 3);
     let mut best: Option<(i64, i64)> = None; // (|jump|, index)
+    let mut a = lap(lo);
     for i in lo..=hi {
-        let a = lap[i as usize];
-        let b = lap[(i + 1) as usize];
+        let b = lap(i + 1);
         if a.signum() != b.signum() && (a != 0 || b != 0) {
             let jump = (a - b).abs();
             if best.is_none_or(|(bj, _)| jump > bj) {
                 best = Some((jump, i));
             }
         }
+        a = b;
     }
     best.map(|(_, i)| i)
 }
@@ -393,6 +429,38 @@ mod tests {
         let a = cluster_flags(&flags, &opts());
         let b = cluster_flags(&flags, &opts());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scratch_reuse_is_identical_to_fresh() {
+        // One scratch threaded through dissimilar fields (different
+        // domain sizes, densities, dimensions of recursion) must give
+        // exactly the fresh-allocation result every time.
+        let mut scratch = ClusterScratch::default();
+        let fields = [
+            FlagField::from_fn(Rect2::from_extents(64, 64), |p| (p.x - p.y).abs() <= 1),
+            FlagField::from_fn(Rect2::from_extents(48, 16), |p| {
+                (p.x * 7 + p.y * 13) % 17 == 0
+            }),
+            FlagField::new(Rect2::from_extents(8, 8)),
+            FlagField::from_fn(Rect2::from_extents(24, 24), |_| true),
+        ];
+        for flags in &fields {
+            let fresh = cluster_flags(flags, &opts());
+            let reused = cluster_flags_with(flags, &opts(), &mut scratch);
+            assert_eq!(fresh, reused);
+        }
+        // 3-D through the same (dimension-tagged) scratch type.
+        let mut scratch3 = ClusterScratch::default();
+        let f3 = FlagField::from_fn(Box3::from_extents(16, 16, 16), |p| {
+            (3..=8).contains(&p.x) && p.y >= 4 && p.z <= 10
+        });
+        for _ in 0..2 {
+            assert_eq!(
+                cluster_flags_with(&f3, &opts(), &mut scratch3),
+                cluster_flags(&f3, &opts())
+            );
+        }
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Refinement flag fields, generic over the dimension.
 
-use samr_geom::dense::Grid;
+use samr_geom::dense::{accumulate_set, count_set, first_set, last_set, Grid};
 use samr_geom::{AABox, Axis, Point};
 
 /// A boolean mask over a box domain marking cells that need refinement.
@@ -11,9 +11,18 @@ use samr_geom::{AABox, Axis, Point};
 /// flagged set) that keeps features inside their refined patches until the
 /// next regrid — the paper's applications regrid every 4 steps per level,
 /// so features can drift a few cells between regrids.
+///
+/// The flagged-cell total is maintained incrementally by every mutator,
+/// so [`FlagField::count`] — which the clusterer's efficiency test calls
+/// once per candidate box — is O(1) instead of a full-domain scan; debug
+/// builds assert the counter against the scan. The scans themselves
+/// (window counts, signatures, bounding box) walk contiguous runs eight
+/// cells per step (see [`samr_geom::dense::count_set`]).
 #[derive(Clone, PartialEq, Debug)]
 pub struct FlagField<const D: usize> {
     grid: Grid<bool, D>,
+    /// Number of `true` cells in `grid`, maintained by `set`/`set_rect`.
+    set_count: u64,
 }
 
 impl<const D: usize> FlagField<D> {
@@ -21,14 +30,15 @@ impl<const D: usize> FlagField<D> {
     pub fn new(domain: AABox<D>) -> Self {
         Self {
             grid: Grid::new(domain, false),
+            set_count: 0,
         }
     }
 
     /// Build from a predicate evaluated at every cell.
     pub fn from_fn(domain: AABox<D>, f: impl FnMut(Point<D>) -> bool) -> Self {
-        Self {
-            grid: Grid::from_fn(domain, f),
-        }
+        let grid = Grid::from_fn(domain, f);
+        let set_count = grid.count_true();
+        Self { grid, set_count }
     }
 
     /// The domain of the mask.
@@ -45,21 +55,29 @@ impl<const D: usize> FlagField<D> {
     /// Flag one cell (ignored when outside the domain).
     #[inline]
     pub fn set(&mut self, p: Point<D>) {
-        if self.grid.domain().contains_point(p) {
+        if self.grid.domain().contains_point(p) && !*self.grid.get(p) {
             self.grid.set(p, true);
+            self.set_count += 1;
         }
     }
 
     /// Flag every cell of `rect` (clipped to the domain).
     pub fn set_rect(&mut self, rect: &AABox<D>) {
         if let Some(w) = self.grid.domain().intersect(rect) {
+            let already = self.grid.count_true_in(&w);
             self.grid.fill_in(&w, true);
+            self.set_count += w.cells() - already;
         }
     }
 
     /// Number of flagged cells.
     pub fn count(&self) -> u64 {
-        self.grid.count_true()
+        debug_assert_eq!(
+            self.set_count,
+            self.grid.count_true(),
+            "maintained flag counter diverged from the full scan"
+        );
+        self.set_count
     }
 
     /// Number of flagged cells inside `window`.
@@ -74,21 +92,24 @@ impl<const D: usize> FlagField<D> {
 
     /// Tightest box containing all flagged cells, or `None` if empty.
     pub fn bounding_box(&self) -> Option<AABox<D>> {
+        if self.is_empty() {
+            return None;
+        }
         let mut lo = Point::<D>::splat(i64::MAX);
         let mut hi = Point::<D>::splat(i64::MIN);
-        let mut any = false;
-        self.grid.for_each_in(&self.grid.domain(), |p, &v| {
-            if v {
-                lo = lo.min(p);
-                hi = hi.max(p);
-                any = true;
+        for (row, run) in self.grid.runs_in(&self.grid.domain()) {
+            let Some(first) = first_set(run) else {
+                continue;
+            };
+            let last = last_set(run).expect("run has a first set cell");
+            lo[0] = lo[0].min(row[0] + first as i64);
+            hi[0] = hi[0].max(row[0] + last as i64);
+            for i in 1..D {
+                lo[i] = lo[i].min(row[i]);
+                hi[i] = hi[i].max(row[i]);
             }
-        });
-        if any {
-            Some(AABox::new(lo, hi))
-        } else {
-            None
         }
+        Some(AABox::new(lo, hi))
     }
 
     /// Dilate the flagged set by `buffer` cells in the Chebyshev metric
@@ -100,11 +121,15 @@ impl<const D: usize> FlagField<D> {
         }
         let d = self.grid.domain();
         let mut out = FlagField::new(d);
-        self.grid.for_each_in(&d, |p, &v| {
-            if v {
+        for (row, run) in self.grid.runs_in(&d) {
+            let mut off = 0usize;
+            while let Some(i) = first_set(&run[off..]) {
+                let mut p = row;
+                p[0] += (off + i) as i64;
                 out.set_rect(&AABox::cell(p).grow(buffer));
+                off += i + 1;
             }
-        });
+        }
         out
     }
 
@@ -114,29 +139,37 @@ impl<const D: usize> FlagField<D> {
     /// is the historical column signature, `signature(Axis::Y, w)` the
     /// row signature.
     pub fn signature(&self, axis: Axis, window: &AABox<D>) -> Vec<u32> {
+        let mut sig = Vec::new();
+        self.signature_into(axis, window, &mut sig);
+        sig
+    }
+
+    /// [`FlagField::signature`] into a caller-owned buffer, so hot loops
+    /// (the Berger–Rigoutsos recursion computes several signatures per
+    /// candidate box) reuse one allocation instead of building a fresh
+    /// `Vec` per scan. `sig` is cleared and resized to the window extent.
+    pub fn signature_into(&self, axis: Axis, window: &AABox<D>, sig: &mut Vec<u32>) {
         let w = self
             .grid
             .domain()
             .intersect(window)
             .expect("signature window outside flag domain");
         let a = axis.index();
-        let mut sig = vec![0u32; w.extent()[a] as usize];
+        sig.clear();
+        sig.resize(w.extent()[a] as usize, 0);
         if a == 0 {
             // The signature axis is the contiguous axis: accumulate each
-            // run element-wise.
+            // run element-wise (all-clear words skip in one compare).
             for (_, run) in self.grid.runs_in(&w) {
-                for (i, &v) in run.iter().enumerate() {
-                    sig[i] += u32::from(v);
-                }
+                accumulate_set(run, sig);
             }
         } else {
             // Every cell of a run shares its coordinate on `axis`: one
-            // popcount per run.
+            // word-wise popcount per run.
             for (row, run) in self.grid.runs_in(&w) {
-                sig[(row[a] - w.lo()[a]) as usize] += run.iter().filter(|&&b| b).count() as u32;
+                sig[(row[a] - w.lo()[a]) as usize] += count_set(run) as u32;
             }
         }
-        sig
     }
 }
 

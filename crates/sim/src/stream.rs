@@ -24,10 +24,34 @@ use samr_partition::{Partition, Partitioner};
 use samr_trace::io::TraceIoError;
 use samr_trace::{Snapshot, SnapshotSource};
 
-/// The default window: twice the rayon pool width, so every worker has a
-/// snapshot to partition plus one queued, with residency still bounded.
+/// The default window, resolved once per process.
+///
+/// Honors the `SAMR_STREAM_WINDOW` environment variable when set to a
+/// positive integer (a deliberate operator override, including `1` for
+/// the strictly sequential regime). Otherwise autotunes to twice the
+/// rayon pool width — every worker has a snapshot to partition plus one
+/// queued — clamped to `2..=64` so residency stays bounded on very wide
+/// machines where more queueing buys no throughput.
 pub fn default_window() -> usize {
-    (2 * rayon::current_num_threads()).max(2)
+    static WINDOW: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *WINDOW.get_or_init(|| {
+        let autotuned = (2 * rayon::current_num_threads()).clamp(2, 64);
+        match std::env::var("SAMR_STREAM_WINDOW") {
+            Ok(v) => match v.parse::<usize>() {
+                Ok(w) if w >= 1 => w,
+                // An override the operator set but we cannot honor must
+                // not be swallowed: say what was rejected and what runs.
+                _ => {
+                    eprintln!(
+                        "warning: SAMR_STREAM_WINDOW='{v}' is not a positive integer; \
+                         using the autotuned window of {autotuned}"
+                    );
+                    autotuned
+                }
+            },
+            Err(_) => autotuned,
+        }
+    })
 }
 
 /// Residency accounting of one [`simulate_source_stats`] run, for tests
@@ -270,6 +294,15 @@ mod tests {
             .collect();
         assert_eq!(calls, expected);
         assert!(calls.len() < t.len(), "the plateau must be reused");
+    }
+
+    #[test]
+    fn default_window_is_positive_and_bounded_without_override() {
+        let w = default_window();
+        assert!(w >= 1);
+        if std::env::var("SAMR_STREAM_WINDOW").is_err() {
+            assert!((2..=64).contains(&w), "autotuned window {w} out of range");
+        }
     }
 
     #[test]

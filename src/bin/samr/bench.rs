@@ -1,0 +1,163 @@
+//! `samr bench` — run the fixed wall-clock benchmark suites and emit
+//! machine-readable `BENCH_<suite>.json` reports, or check a fresh run
+//! against checked-in baselines.
+//!
+//! ```text
+//! samr bench [--suite kernels|partition|campaign|all] [--quick] [--out DIR]
+//! samr bench --check BASELINE.json [--check …] [--tolerance PCT] [--quick]
+//! ```
+//!
+//! Emit mode runs the selected suites (default: all three) and writes
+//! one `BENCH_<suite>.json` per suite into `--out` (default: the
+//! current directory). Check mode loads each baseline file, re-runs
+//! that file's suite, and fails — exit status 1 — when any baseline
+//! bench is missing or more than `--tolerance` percent slower (default
+//! 10). `--quick` shrinks the measurement budget for smoke runs; quick
+//! numbers are for plumbing validation, not for pinning baselines.
+
+use crate::{flag_value, has_flag};
+use samr::bench::harness::{compare, validate, BenchBudget, BenchRecord, BenchReport};
+use samr::bench::suites;
+use std::path::PathBuf;
+
+/// Every value of a repeatable `--flag V` occurrence, in order.
+fn flag_values(args: &[String], flag: &str) -> Vec<String> {
+    args.iter()
+        .enumerate()
+        .filter(|(_, a)| *a == flag)
+        .filter_map(|(i, _)| args.get(i + 1).cloned())
+        .collect()
+}
+
+fn run_suite(suite: &str, budget: BenchBudget) -> Result<BenchReport, String> {
+    let rep = match suite {
+        "kernels" => suites::kernels_report(budget),
+        "partition" => suites::partition_report(budget),
+        "campaign" => suites::campaign_report(budget),
+        other => {
+            return Err(format!(
+                "unknown suite '{other}' (expected kernels | partition | campaign | all)"
+            ))
+        }
+    };
+    validate(&rep).map_err(|e| format!("suite '{suite}' produced an invalid report: {e}"))?;
+    Ok(rep)
+}
+
+fn print_record(b: &BenchRecord) {
+    match (&b.throughput, &b.throughput_units) {
+        (Some(tp), Some(units)) => eprintln!(
+            "  {:<28} {:>14.0} ns/op  {:>14.3e} {units}",
+            b.name, b.ns_per_op, tp
+        ),
+        _ => eprintln!("  {:<28} {:>14.0} ns/op", b.name, b.ns_per_op),
+    }
+}
+
+/// For every `<name>`/`<name>_scalar` pair in a report, print the
+/// optimized-over-scalar speedup — the number the perf trajectory is
+/// judged by.
+fn print_speedups(rep: &BenchReport) {
+    for b in &rep.benches {
+        let Some(base) = rep.get(&format!("{}_scalar", b.name)) else {
+            continue;
+        };
+        eprintln!(
+            "  {:<28} {:>13.2}x vs scalar reference",
+            b.name,
+            base.ns_per_op / b.ns_per_op
+        );
+    }
+}
+
+fn run_checks(args: &[String], checks: &[String], budget: BenchBudget) -> Result<(), String> {
+    let tolerance: f64 = flag_value(args, "--tolerance")
+        .map(|v| v.parse().map_err(|e| format!("bad --tolerance '{v}': {e}")))
+        .transpose()?
+        .unwrap_or(10.0);
+    if !(0.0..=10_000.0).contains(&tolerance) {
+        return Err(format!("--tolerance {tolerance} out of range (0..=10000)"));
+    }
+    let mut failures = 0usize;
+    for path in checks {
+        let json = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+        let baseline: BenchReport =
+            serde_json::from_str(&json).map_err(|e| format!("parse {path}: {e}"))?;
+        validate(&baseline).map_err(|e| format!("baseline {path} is invalid: {e}"))?;
+        eprintln!(
+            "checking suite '{}' against {path} (tolerance {tolerance}%)",
+            baseline.suite
+        );
+        let current = run_suite(&baseline.suite, budget)?;
+        let regressions = compare(&current, &baseline, tolerance);
+        if regressions.is_empty() {
+            eprintln!("  ok: {} benches within tolerance", baseline.benches.len());
+        } else {
+            for r in &regressions {
+                eprintln!("  REGRESSION {r}");
+            }
+            failures += regressions.len();
+        }
+    }
+    if failures > 0 {
+        return Err(format!("{failures} benchmark regression(s)"));
+    }
+    Ok(())
+}
+
+pub fn cmd_bench(args: &[String]) -> Result<(), String> {
+    let budget = if has_flag(args, "--quick") {
+        BenchBudget::quick()
+    } else {
+        BenchBudget::default_budget()
+    };
+    let checks = flag_values(args, "--check");
+    if !checks.is_empty() {
+        return run_checks(args, &checks, budget);
+    }
+    if has_flag(args, "--tolerance") {
+        return Err("--tolerance only applies with --check".into());
+    }
+    let selected: Vec<&str> = match flag_value(args, "--suite").as_deref() {
+        None | Some("all") => vec!["kernels", "partition", "campaign"],
+        Some(s) => vec![match s {
+            "kernels" => "kernels",
+            "partition" => "partition",
+            "campaign" => "campaign",
+            other => {
+                return Err(format!(
+                    "unknown suite '{other}' (expected kernels | partition | campaign | all)"
+                ))
+            }
+        }],
+    };
+    let out_dir = PathBuf::from(flag_value(args, "--out").unwrap_or_else(|| ".".into()));
+    std::fs::create_dir_all(&out_dir).map_err(|e| format!("create {}: {e}", out_dir.display()))?;
+    for suite in selected {
+        eprintln!(
+            "running suite '{suite}' ({} budget) …",
+            if has_flag(args, "--quick") {
+                "quick"
+            } else {
+                "full"
+            }
+        );
+        let rep = run_suite(suite, budget)?;
+        for b in &rep.benches {
+            print_record(b);
+        }
+        print_speedups(&rep);
+        let path = out_dir.join(format!("BENCH_{suite}.json"));
+        let json = serde_json::to_string_pretty(&rep)
+            .map_err(|e| format!("serialize {suite} report: {e}"))?;
+        std::fs::write(&path, json + "\n").map_err(|e| format!("write {}: {e}", path.display()))?;
+        eprintln!(
+            "wrote {} ({} benches, {} threads, {})",
+            path.display(),
+            rep.benches.len(),
+            rep.threads,
+            rep.git_describe
+        );
+    }
+    Ok(())
+}

@@ -13,6 +13,8 @@
 //!               [--shard-strategy round-robin|size-aware]
 //!               [--resume] [--retries N]
 //! samr campaign-merge DIR… [--out DIR]
+//! samr bench [--suite kernels|partition|campaign|all] [--quick] [--out DIR]
+//!            [--check BASELINE.json]… [--tolerance PCT]
 //! samr apps
 //! samr partitioners
 //! ```
@@ -34,7 +36,10 @@
 //! `campaign-merge` validates independently produced shard directories
 //! (same plan hash, every scenario exactly once, every artifact stamped
 //! by a matching completion record) and reassembles the canonical
-//! campaign artifacts, byte-identical to the unsharded run.
+//! campaign artifacts, byte-identical to the unsharded run; `bench`
+//! (see [`bench`]) runs the fixed wall-clock benchmark suites, emits
+//! `BENCH_<suite>.json` reports, and checks fresh runs against
+//! checked-in baselines.
 //!
 //! Campaign execution is crash-consistent: every artifact is written
 //! tmp-then-rename and every finished scenario is stamped with a
@@ -55,13 +60,15 @@ use samr::sim::{MachineModel, SimConfig, SimResult};
 use samr::trace::io::{open_trace_source, write_binary_source, JsonlSnapshotWriter, TraceIoError};
 use samr::trace::{AnySnapshotSource, Snapshot, SnapshotSource};
 use std::fs::File;
+
+mod bench;
 use std::io::BufWriter;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  samr generate <app> [--config paper|reduced|smoke] [--seed N] [--binary] [--out FILE]\n  samr analyze  <trace-file>\n  samr simulate <trace-file> [--partitioner NAME] [--nprocs N]\n  samr compare  <trace-file> [--nprocs N]\n  samr campaign [--apps A,B] [--dims 2,3] [--partitioners P,Q] [--nprocs N,M] [--ghost-widths G,H]\n                [--config paper|reduced|smoke] [--machines uniform,fast-net,slow-net,slow-cpu] [--out DIR]\n                [--spec FILE] [--threads N] [--shard I/N | --workers N] [--shard-strategy round-robin|size-aware]\n                [--resume] [--retries N]\n  samr campaign-merge DIR... [--out DIR]\n  samr apps\n  samr partitioners"
+        "usage:\n  samr generate <app> [--config paper|reduced|smoke] [--seed N] [--binary] [--out FILE]\n  samr analyze  <trace-file>\n  samr simulate <trace-file> [--partitioner NAME] [--nprocs N]\n  samr compare  <trace-file> [--nprocs N]\n  samr campaign [--apps A,B] [--dims 2,3] [--partitioners P,Q] [--nprocs N,M] [--ghost-widths G,H]\n                [--config paper|reduced|smoke] [--machines uniform,fast-net,slow-net,slow-cpu] [--out DIR]\n                [--spec FILE] [--threads N] [--shard I/N | --workers N] [--shard-strategy round-robin|size-aware]\n                [--resume] [--retries N]\n  samr campaign-merge DIR... [--out DIR]\n  samr bench [--suite kernels|partition|campaign|all] [--quick] [--out DIR]\n             [--check BASELINE.json]... [--tolerance PCT]\n  samr apps\n  samr partitioners"
     );
     ExitCode::from(2)
 }
@@ -615,6 +622,7 @@ fn main() -> ExitCode {
         "compare" => cmd_compare(rest),
         "campaign" => cmd_campaign(rest),
         "campaign-merge" => cmd_campaign_merge(rest),
+        "bench" => bench::cmd_bench(rest),
         "apps" => cmd_apps(),
         "partitioners" => cmd_partitioners(),
         _ => return usage(),
