@@ -33,12 +33,17 @@ pub struct BenchRecord {
 }
 
 /// A whole suite's measurements plus provenance.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize)]
 pub struct BenchReport {
     /// Always [`SCHEMA`].
     pub schema: String,
     /// Suite name (`kernels`, `partition`, `campaign`).
     pub suite: String,
+    /// The measurement budget the suite ran under ([`BenchBudget::name`]:
+    /// `full`, `quick` or `custom`). Numbers from different budgets are
+    /// not comparable — `--check` refuses a budget mismatch unless
+    /// explicitly overridden.
+    pub budget: String,
     /// `git describe --always --dirty` of the measured tree, or
     /// `"unknown"` outside a git checkout.
     pub git_describe: String,
@@ -48,12 +53,34 @@ pub struct BenchReport {
     pub benches: Vec<BenchRecord>,
 }
 
+// Hand-written (the derive errors on missing fields): baselines pinned
+// before the budget was recorded deserialize as `full` — exactly what
+// they were, since only full-budget numbers were ever checked in.
+impl serde::Deserialize for BenchReport {
+    fn deserialize(v: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(Self {
+            schema: serde::field(v, "schema")?,
+            suite: serde::field(v, "suite")?,
+            budget: match v.get("budget") {
+                Some(b) => serde::Deserialize::deserialize(b)
+                    .map_err(|e| serde::Error(format!("field `budget`: {e}")))?,
+                None => "full".to_string(),
+            },
+            git_describe: serde::field(v, "git_describe")?,
+            threads: serde::field(v, "threads")?,
+            benches: serde::field(v, "benches")?,
+        })
+    }
+}
+
 impl BenchReport {
-    /// An empty report for `suite` stamped with the current provenance.
-    pub fn new(suite: &str) -> Self {
+    /// An empty report for `suite` under `budget`, stamped with the
+    /// current provenance.
+    pub fn new(suite: &str, budget: BenchBudget) -> Self {
         Self {
             schema: SCHEMA.to_string(),
             suite: suite.to_string(),
+            budget: budget.name().to_string(),
             git_describe: git_describe(),
             threads: rayon::current_num_threads(),
             benches: Vec::new(),
@@ -107,6 +134,28 @@ impl BenchBudget {
             max_iters: 100_000,
         }
     }
+
+    /// The budget's report name: `full` and `quick` for the two
+    /// standard budgets, `custom` for anything else. Reports record
+    /// this so a check can refuse to compare numbers measured under
+    /// different budgets.
+    pub fn name(&self) -> &'static str {
+        if *self == Self::default_budget() {
+            "full"
+        } else if *self == Self::quick() {
+            "quick"
+        } else {
+            "custom"
+        }
+    }
+}
+
+/// The optimized-over-baseline speedup `base / current`, or `None` when
+/// either timing is non-positive or non-finite — a degenerate
+/// measurement must not print as a `inf x` or `NaN x` speedup.
+pub fn speedup(base: &BenchRecord, current: &BenchRecord) -> Option<f64> {
+    let (b, c) = (base.ns_per_op, current.ns_per_op);
+    (b.is_finite() && c.is_finite() && b > 0.0 && c > 0.0).then(|| b / c)
 }
 
 /// Time `f` under `budget` and record it as `name`.
@@ -237,6 +286,9 @@ pub fn validate(report: &BenchReport) -> Result<(), String> {
     if report.suite.is_empty() {
         return Err("empty suite name".into());
     }
+    if report.budget.is_empty() {
+        return Err(format!("suite '{}' has an empty budget tag", report.suite));
+    }
     if report.benches.is_empty() {
         return Err(format!("suite '{}' has no benches", report.suite));
     }
@@ -275,6 +327,7 @@ mod tests {
         BenchReport {
             schema: SCHEMA.into(),
             suite: "kernels".into(),
+            budget: "full".into(),
             git_describe: "test".into(),
             threads: 1,
             benches,
@@ -331,11 +384,56 @@ mod tests {
     }
 
     #[test]
+    fn budget_names_tag_reports_and_default_on_legacy_baselines() {
+        assert_eq!(BenchBudget::default_budget().name(), "full");
+        assert_eq!(BenchBudget::quick().name(), "quick");
+        let odd = BenchBudget {
+            target_ns: 1,
+            max_iters: 1,
+        };
+        assert_eq!(odd.name(), "custom");
+        assert_eq!(
+            BenchReport::new("kernels", BenchBudget::quick()).budget,
+            "quick"
+        );
+        // A baseline pinned before the budget field existed parses as
+        // full budget — which is what every checked-in baseline was.
+        let legacy = format!(
+            "{{\"schema\": \"{SCHEMA}\", \"suite\": \"kernels\", \
+             \"git_describe\": \"test\", \"threads\": 1, \"benches\": []}}"
+        );
+        let back: BenchReport = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(back.budget, "full");
+        // And a recorded budget roundtrips.
+        let mut rep = report(vec![record("a", 10.0)]);
+        rep.budget = "quick".into();
+        let json = serde_json::to_string(&rep).unwrap();
+        let back: BenchReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, rep);
+    }
+
+    #[test]
+    fn speedup_guards_degenerate_timings() {
+        let base = record("a", 100.0);
+        let fast = record("a", 25.0);
+        assert_eq!(speedup(&base, &fast), Some(4.0));
+        let zero = record("a", 0.0);
+        assert_eq!(speedup(&base, &zero), None);
+        assert_eq!(speedup(&zero, &fast), None);
+        let nan = record("a", f64::NAN);
+        assert_eq!(speedup(&base, &nan), None);
+        assert_eq!(speedup(&nan, &base), None);
+    }
+
+    #[test]
     fn validate_rejects_malformed_reports() {
         assert!(validate(&report(vec![record("a", 1.0)])).is_ok());
         let mut bad = report(vec![record("a", 1.0)]);
         bad.schema = "other/9".into();
         assert!(validate(&bad).is_err());
+        let mut no_budget = report(vec![record("a", 1.0)]);
+        no_budget.budget = String::new();
+        assert!(validate(&no_budget).is_err());
         assert!(validate(&report(vec![])).is_err());
         let mut nan = report(vec![record("a", f64::NAN)]);
         nan.benches[0].ns_per_op = f64::NAN;

@@ -52,7 +52,7 @@ fn scattered_flags() -> FlagField<2> {
 /// The `kernels` suite.
 pub fn kernels_report(budget: BenchBudget) -> BenchReport {
     use std::hint::black_box;
-    let mut rep = BenchReport::new("kernels");
+    let mut rep = BenchReport::new("kernels", budget);
     let keys2 = Some((KEYS_2D, "keys/s"));
     let keys3 = Some((KEYS_3D, "keys/s"));
 
@@ -258,7 +258,7 @@ pub fn kernels_report(budget: BenchBudget) -> BenchReport {
 /// The `partition` suite: every family on the hardest snapshot of two
 /// representative applications at 16 processors.
 pub fn partition_report(budget: BenchBudget) -> BenchReport {
-    let mut rep = BenchReport::new("partition");
+    let mut rep = BenchReport::new("partition", budget);
     const NPROCS: usize = 16;
     for kind in [AppKind::Sc2d, AppKind::Rm2d] {
         let h = representative_hierarchy(kind);
@@ -284,7 +284,7 @@ pub fn partition_report(budget: BenchBudget) -> BenchReport {
 /// generation from the engine cache, windowed simulation, metric fold)
 /// — the path `samr campaign` users actually pay for.
 pub fn campaign_report(budget: BenchBudget) -> BenchReport {
-    let mut rep = BenchReport::new("campaign");
+    let mut rep = BenchReport::new("campaign", budget);
     let spec = CampaignSpec::new(TraceGenConfig::smoke())
         .apps([AppKind::Tp2d, AppKind::Bl2d])
         .nprocs([16]);

@@ -12,24 +12,45 @@
 //! These normalizations make migration and communication comparable
 //! *across applications* (like the de-facto-standard percent load
 //! imbalance) and are what the model's penalties are validated against.
+//!
+//! **Empty-input semantics.** A degenerate denominator does not produce
+//! a finite-but-meaningless ratio: an empty previous hierarchy defines
+//! relative migration as 0 (nothing existed that could move — the same
+//! convention as β_m at the first step), an empty current hierarchy
+//! defines relative communication as 0 (no workload, so no point can be
+//! involved in communication), and an empty (or all-idle) processor set
+//! defines the load-imbalance ratio as 1 (vacuously perfect balance).
 
 use samr_grid::GridHierarchy;
 
 /// Grid-relative data migration: `moved / |H_{t-1}|`. 1.0 = every point
-/// of the previous grid moved.
+/// of the previous grid moved. An empty previous hierarchy
+/// (`|H_{t-1}| = 0`) defines the ratio as 0.0: there was nothing to
+/// move, matching β_m's "no previous hierarchy" convention.
 pub fn relative_migration<const D: usize>(moved_points: u64, prev: &GridHierarchy<D>) -> f64 {
-    moved_points as f64 / prev.total_points().max(1) as f64
+    let denom = prev.total_points();
+    if denom == 0 {
+        return 0.0;
+    }
+    moved_points as f64 / denom as f64
 }
 
 /// Grid-relative communication: `comm / W_t` where
 /// `W_t = Σ_l N_l·ratio^l`. 1.0 = every point communicates at every local
-/// step of the coarse step.
+/// step of the coarse step. An empty hierarchy (`W_t = 0`) defines the
+/// ratio as 0.0: with no workload there is nothing to communicate for.
 pub fn relative_communication<const D: usize>(comm_points: u64, h: &GridHierarchy<D>) -> f64 {
-    comm_points as f64 / h.workload().max(1) as f64
+    let denom = h.workload();
+    if denom == 0 {
+        return 0.0;
+    }
+    comm_points as f64 / denom as f64
 }
 
 /// The de-facto-standard load-imbalance percentage: heaviest processor
-/// load over average load, as a ratio (>= 1).
+/// load over average load, as a ratio (>= 1). An empty processor set,
+/// or one whose loads are all zero, is defined as 1.0 — vacuously
+/// perfect balance (there is no overloaded processor to penalize).
 pub fn load_imbalance_ratio(loads: &[u64]) -> f64 {
     if loads.is_empty() {
         return 1.0;
@@ -72,5 +93,43 @@ mod tests {
         assert_eq!(load_imbalance_ratio(&[0, 0]), 1.0);
         assert_eq!(load_imbalance_ratio(&[10, 10]), 1.0);
         assert_eq!(load_imbalance_ratio(&[30, 10]), 1.5);
+    }
+
+    /// A hierarchy with no levels at all: `total_points() == 0` and
+    /// `workload() == 0`.
+    fn empty_hierarchy() -> GridHierarchy<2> {
+        GridHierarchy {
+            base_domain: Rect2::from_extents(4, 4),
+            ratio: 2,
+            levels: vec![],
+        }
+    }
+
+    #[test]
+    fn empty_previous_hierarchy_defines_migration_as_zero() {
+        let prev = empty_hierarchy();
+        assert_eq!(prev.total_points(), 0);
+        // Nothing existed to move: 0.0 whatever the numerator claims,
+        // never `moved / 1`.
+        assert_eq!(relative_migration(0, &prev), 0.0);
+        assert_eq!(relative_migration(100, &prev), 0.0);
+    }
+
+    #[test]
+    fn empty_hierarchy_defines_communication_as_zero() {
+        let h = empty_hierarchy();
+        assert_eq!(h.workload(), 0);
+        assert_eq!(relative_communication(0, &h), 0.0);
+        assert_eq!(relative_communication(100, &h), 0.0);
+    }
+
+    #[test]
+    fn single_point_denominators_still_divide() {
+        // The old `.max(1)` guard must not have changed genuine
+        // one-point denominators.
+        let prev = GridHierarchy::base_only(Rect2::from_extents(1, 1), 2);
+        assert_eq!(prev.total_points(), 1);
+        assert_eq!(relative_migration(1, &prev), 1.0);
+        assert_eq!(relative_communication(2, &prev), 2.0);
     }
 }

@@ -276,6 +276,28 @@ impl Campaign {
             spec: plan.spec.clone(),
         };
         paths.push(manifest.write(dir)?);
+        // The trade-off front over the summaries just written: read the
+        // artifacts back in plan order (executed and resumed alike went
+        // through the same serializer) so the merged-shard path, which
+        // also parses the on-disk bytes, produces the identical front.
+        if !plan.is_empty() {
+            let entries = plan
+                .scenarios
+                .iter()
+                .map(|p| {
+                    let path = dir.join(format!("{}.json", p.slug));
+                    let bytes = std::fs::read(&path)?;
+                    crate::pareto::entry_from_json(p.id, &p.slug, &path, &bytes)
+                        .map_err(std::io::Error::from)
+                })
+                .collect::<std::io::Result<Vec<_>>>()?;
+            let front = crate::pareto::compute_front(
+                &plan.plan_hash,
+                &crate::pareto::Objective::ALL,
+                &entries,
+            )?;
+            paths.push(crate::pareto::write_front(dir, &front)?);
+        }
         Ok(CampaignRun {
             outcomes,
             skipped,

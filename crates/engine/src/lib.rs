@@ -66,6 +66,7 @@ pub mod atomic;
 pub mod campaign;
 pub mod exec;
 pub mod merge;
+pub mod pareto;
 pub mod plan;
 pub mod resume;
 pub mod scenario;
@@ -81,6 +82,10 @@ pub use exec::{
 };
 pub use merge::{
     find_shard_dirs, merge_shards, CampaignManifest, MergeError, MergeReport, ShardManifest,
+};
+pub use pareto::{
+    compute_front, front_for_dir, parse_objectives, read_front, write_front, Objective,
+    ParetoEntry, ParetoError, ParetoFront, ParetoPoint, CAMPAIGN_PARETO,
 };
 pub use plan::{CampaignPlan, PlannedScenario, ShardStrategy};
 pub use resume::{Completion, CompletionRecord};

@@ -608,17 +608,19 @@ fn validate_shards(
 /// [`CampaignManifest`].
 pub fn merge_shards(shard_dirs: &[PathBuf], out_dir: &Path) -> Result<MergeReport, MergeError> {
     let (reference, manifests) = validate_shards(shard_dirs)?;
-    // Scenario id → (shard dir, slug), in id order via BTreeMap.
-    let mut by_id: BTreeMap<usize, (&Path, &str)> = BTreeMap::new();
-    for (dir, m) in manifests.values() {
+    // Scenario id → (shard index, shard dir, slug), in id order via
+    // BTreeMap.
+    let mut by_id: BTreeMap<usize, (usize, &Path, &str)> = BTreeMap::new();
+    for (&shard, (dir, m)) in manifests.iter() {
         for entry in &m.scenarios {
-            by_id.insert(entry.id, (dir.as_path(), entry.slug.as_str()));
+            by_id.insert(entry.id, (shard, dir.as_path(), entry.slug.as_str()));
         }
     }
     std::fs::create_dir_all(out_dir).map_err(|e| MergeError::Io(out_dir.to_path_buf(), e))?;
-    let mut paths = Vec::with_capacity(2 * by_id.len() + 2);
+    let mut paths = Vec::with_capacity(2 * by_id.len() + 3);
     let mut parts: Vec<(String, String)> = Vec::with_capacity(by_id.len());
-    for (shard_dir, slug) in by_id.values() {
+    let mut entries: Vec<crate::pareto::ParetoEntry> = Vec::with_capacity(by_id.len());
+    for (&id, &(shard, shard_dir, slug)) in by_id.iter() {
         let csv_src = shard_dir.join(format!("{slug}.csv"));
         let csv = std::fs::read_to_string(&csv_src).map_err(|e| {
             if e.kind() == std::io::ErrorKind::NotFound {
@@ -641,6 +643,23 @@ pub fn merge_shards(shard_dirs: &[PathBuf], out_dir: &Path) -> Result<MergeRepor
         })?;
         let json_dst = out_dir.join(format!("{slug}.json"));
         atomic_write(&json_dst, &json).map_err(|e| MergeError::Io(json_dst.clone(), e))?;
+        // The summary bytes are in hand and in plan order (BTreeMap
+        // iterates ids ascending): collect the Pareto entries for the
+        // front artifact written after the manifest.
+        entries.push(
+            crate::pareto::entry_from_json(id, slug, &json_dst, &json).map_err(|e| {
+                MergeError::CorruptArtifact {
+                    path: json_dst.clone(),
+                    detail: e.to_string(),
+                    rerun: rerun_command(
+                        shard_dir,
+                        shard,
+                        reference.nshards,
+                        Some(reference.strategy),
+                    ),
+                }
+            })?,
+        );
         paths.push(json_dst);
     }
     let campaign_csv = assemble_campaign_csv(parts.iter().map(|(s, c)| (s.as_str(), c.as_str())));
@@ -659,6 +678,29 @@ pub fn merge_shards(shard_dirs: &[PathBuf], out_dir: &Path) -> Result<MergeRepor
         .write(out_dir)
         .map_err(|e| MergeError::Io(out_dir.join(CAMPAIGN_MANIFEST), e))?;
     paths.push(manifest_path);
+    // The trade-off front over the merged summaries — the same entries,
+    // in the same plan order, through the same computation as the
+    // unsharded runner, so the two artifacts are byte-identical.
+    if !entries.is_empty() {
+        let front = crate::pareto::compute_front(
+            &reference.plan_hash,
+            &crate::pareto::Objective::ALL,
+            &entries,
+        )
+        .map_err(|e| {
+            MergeError::Io(
+                out_dir.join(crate::pareto::CAMPAIGN_PARETO),
+                std::io::Error::from(e),
+            )
+        })?;
+        let front_path = crate::pareto::write_front(out_dir, &front).map_err(|e| {
+            MergeError::Io(
+                out_dir.join(crate::pareto::CAMPAIGN_PARETO),
+                std::io::Error::from(e),
+            )
+        })?;
+        paths.push(front_path);
+    }
     Ok(MergeReport {
         plan_hash: reference.plan_hash,
         scenario_count: reference.total_scenarios,

@@ -205,6 +205,7 @@ impl ScenarioOutcome {
             mean_imbalance: self.sim.steps.iter().map(|s| s.load_imbalance).sum::<f64>() / n,
             mean_rel_comm: self.sim.steps.iter().map(|s| s.rel_comm).sum::<f64>() / n,
             mean_rel_migration: self.sim.steps.iter().map(|s| s.rel_migration).sum::<f64>() / n,
+            mean_partition_cost: self.sim.steps.iter().map(|s| s.partition_cost).sum::<f64>() / n,
             comm_shape: self.comm_shape,
             migration_shape: self.migration_shape,
         }
@@ -243,6 +244,9 @@ pub struct ScenarioSummary {
     pub mean_rel_comm: f64,
     /// Mean grid-relative migration.
     pub mean_rel_migration: f64,
+    /// Mean partitioner-invocation cost per coarse step (machine-model
+    /// units; the regrid-overhead axis of the Pareto analysis).
+    pub mean_partition_cost: f64,
     /// β_c vs. measured communication shape statistics.
     pub comm_shape: ShapeStats,
     /// β_m vs. measured migration shape statistics.

@@ -76,8 +76,9 @@ fn run_to_dir_writes_one_csv_and_one_json_per_scenario() {
     let spec = two_by_two();
     let (outcomes, paths) = Campaign::run_to_dir(&spec, &dir).expect("write artifacts");
     assert_eq!(outcomes.len(), spec.len());
-    // Two artifacts per scenario plus the campaign CSV and manifest.
-    assert_eq!(paths.len(), 2 * outcomes.len() + 2);
+    // Two artifacts per scenario plus the campaign CSV, the manifest
+    // and the Pareto front.
+    assert_eq!(paths.len(), 2 * outcomes.len() + 3);
     for outcome in &outcomes {
         let slug = outcome.scenario.slug();
         let csv = std::fs::read_to_string(dir.join(format!("{slug}.csv"))).unwrap();

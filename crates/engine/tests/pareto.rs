@@ -1,0 +1,178 @@
+//! Dominance-kernel properties and the golden Pareto artifact: the
+//! front computation must satisfy the defining laws of Pareto
+//! optimality on arbitrary (tie-heavy) objective sets, and the
+//! `campaign.pareto.json` the smoke campaign writes must match the
+//! checked-in golden bytes — the same contract `campaign.csv` lives
+//! under.
+
+use proptest::prelude::*;
+use samr_apps::{AppKind, TraceGenConfig};
+use samr_engine::pareto::{dominates, front_mask, CAMPAIGN_PARETO};
+use samr_engine::{
+    compute_front, Campaign, CampaignSpec, Objective, ParetoEntry, PartitionerSpec, Scenario,
+    ScenarioSummary, ShapeStats,
+};
+use samr_sim::SimConfig;
+
+/// A synthetic summary whose four objective values are exactly `v`.
+fn summary_with(v: [f64; 4]) -> ScenarioSummary {
+    let scenario = Scenario::new(
+        AppKind::Tp2d,
+        TraceGenConfig::smoke(),
+        PartitionerSpec::parse("hybrid").unwrap(),
+        SimConfig {
+            nprocs: 4,
+            ..SimConfig::default()
+        },
+    );
+    ScenarioSummary {
+        partitioner_name: "hybrid".into(),
+        steps: 1,
+        total_time: 1.0,
+        mean_imbalance: v[0],
+        mean_rel_comm: v[1],
+        mean_rel_migration: v[2],
+        mean_partition_cost: v[3],
+        comm_shape: ShapeStats::compare(&[0.0, 1.0], &[0.0, 1.0]),
+        migration_shape: ShapeStats::compare(&[0.0, 1.0], &[0.0, 1.0]),
+        scenario,
+    }
+}
+
+fn entries(vectors: &[[f64; 4]]) -> Vec<ParetoEntry> {
+    vectors
+        .iter()
+        .enumerate()
+        .map(|(id, v)| ParetoEntry {
+            id,
+            slug: format!("s{id}"),
+            summary: summary_with(*v),
+        })
+        .collect()
+}
+
+/// Objective vectors drawn from a small discrete value set so ties and
+/// exact duplicates are common — the cases a float-typo'd dominance
+/// kernel gets wrong.
+fn arb_vectors() -> impl Strategy<Value = Vec<[f64; 4]>> {
+    prop::collection::vec((0u8..4, 0u8..4, 0u8..4, 0u8..4), 1..24).prop_map(|vs| {
+        vs.into_iter()
+            .map(|(a, b, c, d)| [a, b, c, d].map(f64::from))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// No two front members dominate each other, and dominance itself
+    /// is irreflexive — the front is an antichain of the dominance
+    /// order.
+    #[test]
+    fn front_members_are_mutually_non_dominated(vs in arb_vectors()) {
+        let points: Vec<Vec<f64>> = vs.iter().map(|v| v.to_vec()).collect();
+        let mask = front_mask(&points);
+        prop_assert!(mask.iter().any(|&m| m), "a nonempty set has a front");
+        for (i, a) in points.iter().enumerate() {
+            prop_assert!(!dominates(a, a), "dominance must be irreflexive");
+            for (j, b) in points.iter().enumerate() {
+                if mask[i] && mask[j] {
+                    prop_assert!(
+                        !dominates(a, b),
+                        "front member {i} dominates front member {j}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Every off-front point is dominated by at least one *front*
+    /// point (dominance is a strict partial order, so chains of
+    /// dominators terminate on the front), and every front point is
+    /// dominated by nobody.
+    #[test]
+    fn every_dominated_point_has_a_front_dominator(vs in arb_vectors()) {
+        let points: Vec<Vec<f64>> = vs.iter().map(|v| v.to_vec()).collect();
+        let mask = front_mask(&points);
+        for (i, p) in points.iter().enumerate() {
+            if mask[i] {
+                prop_assert!(points.iter().all(|q| !dominates(q, p)));
+            } else {
+                prop_assert!(
+                    points
+                        .iter()
+                        .zip(&mask)
+                        .any(|(q, &m)| m && dominates(q, p)),
+                    "dominated point {i} has no front dominator"
+                );
+            }
+        }
+    }
+
+    /// Exact duplicates never dominate each other: tied trade-offs are
+    /// all on the front or all off it, deterministically.
+    #[test]
+    fn duplicate_vectors_share_one_verdict(vs in arb_vectors(), dup in 0usize..24) {
+        let mut points: Vec<Vec<f64>> = vs.iter().map(|v| v.to_vec()).collect();
+        let copy = points[dup % points.len()].clone();
+        points.push(copy.clone());
+        let mask = front_mask(&points);
+        for (p, &m) in points.iter().zip(&mask) {
+            if *p == copy {
+                prop_assert_eq!(m, *mask.last().unwrap(), "tied vectors disagree");
+            }
+        }
+    }
+
+    /// `compute_front` agrees with the raw mask and records, for every
+    /// dominated point, the lowest-id front member that dominates it.
+    #[test]
+    fn compute_front_records_lowest_id_front_dominators(vs in arb_vectors()) {
+        let es = entries(&vs);
+        let f = compute_front("prop", &Objective::ALL, &es).unwrap();
+        let points: Vec<Vec<f64>> = vs.iter().map(|v| v.to_vec()).collect();
+        let mask = front_mask(&points);
+        for (i, p) in f.points.iter().enumerate() {
+            prop_assert_eq!(p.on_front, mask[i]);
+            prop_assert_eq!(f.front.contains(&p.id), p.on_front);
+            match p.dominated_by {
+                None => prop_assert!(p.on_front),
+                Some(d) => {
+                    prop_assert!(f.front.contains(&d), "dominator {d} is off-front");
+                    prop_assert!(dominates(&points[d], &points[i]));
+                    let lowest = points
+                        .iter()
+                        .zip(&mask)
+                        .position(|(q, &m)| m && dominates(q, &points[i]))
+                        .unwrap();
+                    prop_assert_eq!(d, lowest, "not the lowest-id dominator");
+                }
+            }
+        }
+    }
+}
+
+/// The smoke campaign's front artifact must match the golden bytes —
+/// regenerate with
+/// `cargo run --release -- campaign --smoke --out /tmp/c && cp
+/// /tmp/c/campaign.pareto.json crates/engine/tests/golden/campaign_pareto_smoke.json`
+/// when an intentional change shifts it.
+#[test]
+fn smoke_campaign_front_matches_the_golden_bytes() {
+    let spec = CampaignSpec::new(TraceGenConfig::smoke())
+        .apps([AppKind::Tp2d, AppKind::Sc2d])
+        .partitioners([
+            PartitionerSpec::parse("hybrid").unwrap(),
+            PartitionerSpec::parse("domain-sfc").unwrap(),
+        ])
+        .nprocs([8]);
+    let dir = std::env::temp_dir().join(format!("samr-pareto-golden-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    Campaign::run_to_dir(&spec, &dir).unwrap();
+    let written = std::fs::read_to_string(dir.join(CAMPAIGN_PARETO)).unwrap();
+    assert!(
+        written == include_str!("golden/campaign_pareto_smoke.json"),
+        "campaign.pareto.json drifted from the golden artifact"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

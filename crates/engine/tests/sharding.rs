@@ -87,12 +87,44 @@ fn merged_artifacts_match_the_unsharded_run_file_for_file() {
             assert_eq!(a, b, "{name} differs between merged and unsharded runs");
         }
     }
-    assert_eq!(
-        std::fs::read_to_string(sharded.join("campaign.csv")).unwrap(),
-        std::fs::read_to_string(unsharded.join("campaign.csv")).unwrap()
-    );
+    for name in ["campaign.csv", "campaign.pareto.json"] {
+        assert_eq!(
+            std::fs::read_to_string(sharded.join(name)).unwrap(),
+            std::fs::read_to_string(unsharded.join(name)).unwrap(),
+            "{name} differs between merged and unsharded runs"
+        );
+    }
     std::fs::remove_dir_all(&sharded).ok();
     std::fs::remove_dir_all(&unsharded).ok();
+}
+
+#[test]
+fn pareto_front_is_byte_identical_across_shard_counts() {
+    // The merger and the in-process runner write the front through one
+    // code path; a 1-shard and a 3-shard merge — and the unsharded run —
+    // must all land on the same golden bytes.
+    let golden = include_str!("golden/campaign_pareto_smoke.json");
+    let spec = two_by_two();
+    for nshards in [1, 3] {
+        let dir = temp_dir(&format!("pareto-{nshards}"));
+        let plan = CampaignPlan::new(&spec, nshards, ShardStrategy::RoundRobin);
+        let shard_dirs = run_shards(&plan, &dir);
+        merge_shards(&shard_dirs, &dir).unwrap();
+        let merged = std::fs::read_to_string(dir.join("campaign.pareto.json")).unwrap();
+        assert!(
+            merged == golden,
+            "{nshards}-shard merged pareto front drifted from the golden artifact"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    let dir = temp_dir("pareto-unsharded");
+    Campaign::run_to_dir(&spec, &dir).unwrap();
+    let unsharded = std::fs::read_to_string(dir.join("campaign.pareto.json")).unwrap();
+    assert!(
+        unsharded == golden,
+        "unsharded pareto front drifted from the golden artifact"
+    );
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

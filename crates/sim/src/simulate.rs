@@ -64,6 +64,22 @@ impl SimResult {
     pub fn load_imbalance(&self) -> Vec<f64> {
         self.steps.iter().map(|s| s.load_imbalance).collect()
     }
+
+    /// The partitioner-invocation cost series (abstract units; zero on
+    /// steps that reused the previous distribution) — the regrid
+    /// overhead axis of the Pareto trade-off analysis.
+    pub fn partition_cost(&self) -> Vec<f64> {
+        self.steps.iter().map(|s| s.partition_cost).collect()
+    }
+
+    /// Mean partitioner-invocation cost per coarse step (0.0 for an
+    /// empty run).
+    pub fn mean_partition_cost(&self) -> f64 {
+        if self.steps.is_empty() {
+            return 0.0;
+        }
+        self.steps.iter().map(|s| s.partition_cost).sum::<f64>() / self.steps.len() as f64
+    }
 }
 
 /// Compute the metrics of one step given the previous step's state.

@@ -5,6 +5,7 @@
 //! ```text
 //! samr bench [--suite kernels|partition|campaign|all] [--quick] [--out DIR]
 //! samr bench --check BASELINE.json [--check …] [--tolerance PCT] [--quick]
+//!            [--allow-budget-mismatch]
 //! ```
 //!
 //! Emit mode runs the selected suites (default: all three) and writes
@@ -12,11 +13,16 @@
 //! current directory). Check mode loads each baseline file, re-runs
 //! that file's suite, and fails — exit status 1 — when any baseline
 //! bench is missing or more than `--tolerance` percent slower (default
-//! 10). `--quick` shrinks the measurement budget for smoke runs; quick
-//! numbers are for plumbing validation, not for pinning baselines.
+//! 10). The two modes are exclusive: emit-only flags (`--out`,
+//! `--suite`) next to `--check` are rejected rather than silently
+//! ignored. `--quick` shrinks the measurement budget for smoke runs;
+//! quick numbers are for plumbing validation, not for pinning
+//! baselines — so a check whose run budget differs from the baseline's
+//! recorded budget refuses the apples-to-oranges comparison unless
+//! `--allow-budget-mismatch` explicitly (and loudly) overrides it.
 
 use crate::{flag_value, has_flag};
-use samr::bench::harness::{compare, validate, BenchBudget, BenchRecord, BenchReport};
+use samr::bench::harness::{compare, speedup, validate, BenchBudget, BenchRecord, BenchReport};
 use samr::bench::suites;
 use std::path::PathBuf;
 
@@ -62,11 +68,12 @@ fn print_speedups(rep: &BenchReport) {
         let Some(base) = rep.get(&format!("{}_scalar", b.name)) else {
             continue;
         };
-        eprintln!(
-            "  {:<28} {:>13.2}x vs scalar reference",
-            b.name,
-            base.ns_per_op / b.ns_per_op
-        );
+        // A degenerate timing (ns_per_op of 0, or non-finite) must not
+        // print as an infinite or NaN speedup.
+        match speedup(base, b) {
+            Some(x) => eprintln!("  {:<28} {:>13.2}x vs scalar reference", b.name, x),
+            None => eprintln!("  {:<28} speedup undefined (degenerate timing)", b.name),
+        }
     }
 }
 
@@ -84,8 +91,31 @@ fn run_checks(args: &[String], checks: &[String], budget: BenchBudget) -> Result
         let baseline: BenchReport =
             serde_json::from_str(&json).map_err(|e| format!("parse {path}: {e}"))?;
         validate(&baseline).map_err(|e| format!("baseline {path} is invalid: {e}"))?;
+        // Numbers measured under different budgets are not comparable:
+        // a quick re-run against a full-budget baseline would report
+        // phantom regressions (or mask real ones). Refuse unless the
+        // operator explicitly accepts the noise.
+        let run_budget = budget.name();
+        if baseline.budget != run_budget {
+            if has_flag(args, "--allow-budget-mismatch") {
+                eprintln!(
+                    "warning: comparing a '{run_budget}'-budget run against the \
+                     '{}'-budget baseline {path}: timings are not \
+                     apples-to-apples, expect noise (--allow-budget-mismatch)",
+                    baseline.budget
+                );
+            } else {
+                return Err(format!(
+                    "baseline {path} was measured under the '{}' budget but this \
+                     run uses '{run_budget}': the comparison would be \
+                     apples-to-oranges. Re-run with the matching budget, or pass \
+                     --allow-budget-mismatch to compare anyway",
+                    baseline.budget
+                ));
+            }
+        }
         eprintln!(
-            "checking suite '{}' against {path} (tolerance {tolerance}%)",
+            "checking suite '{}' against {path} (tolerance {tolerance}%, {run_budget} budget)",
             baseline.suite
         );
         let current = run_suite(&baseline.suite, budget)?;
@@ -113,10 +143,25 @@ pub fn cmd_bench(args: &[String]) -> Result<(), String> {
     };
     let checks = flag_values(args, "--check");
     if !checks.is_empty() {
+        // Check mode never writes reports or picks suites (each baseline
+        // names its own suite): silently ignoring an emit-only flag
+        // would do something other than what the command line reads —
+        // the same policy as `--spec` vs axis flags in `campaign`.
+        for conflict in ["--out", "--suite"] {
+            if has_flag(args, conflict) {
+                return Err(format!(
+                    "{conflict} conflicts with --check: check mode re-runs each \
+                     baseline's own suite and writes nothing"
+                ));
+            }
+        }
         return run_checks(args, &checks, budget);
     }
     if has_flag(args, "--tolerance") {
         return Err("--tolerance only applies with --check".into());
+    }
+    if has_flag(args, "--allow-budget-mismatch") {
+        return Err("--allow-budget-mismatch only applies with --check".into());
     }
     let selected: Vec<&str> = match flag_value(args, "--suite").as_deref() {
         None | Some("all") => vec!["kernels", "partition", "campaign"],

@@ -13,8 +13,9 @@
 //!               [--shard-strategy round-robin|size-aware]
 //!               [--resume] [--retries N]
 //! samr campaign-merge DIR… [--out DIR]
+//! samr pareto DIR [--objectives imbalance,comm,migration,overhead] [--predict]
 //! samr bench [--suite kernels|partition|campaign|all] [--quick] [--out DIR]
-//!            [--check BASELINE.json]… [--tolerance PCT]
+//!            [--check BASELINE.json]… [--tolerance PCT] [--allow-budget-mismatch]
 //! samr apps
 //! samr partitioners
 //! ```
@@ -36,10 +37,13 @@
 //! `campaign-merge` validates independently produced shard directories
 //! (same plan hash, every scenario exactly once, every artifact stamped
 //! by a matching completion record) and reassembles the canonical
-//! campaign artifacts, byte-identical to the unsharded run; `bench`
-//! (see [`bench`]) runs the fixed wall-clock benchmark suites, emits
-//! `BENCH_<suite>.json` reports, and checks fresh runs against
-//! checked-in baselines.
+//! campaign artifacts, byte-identical to the unsharded run; `pareto`
+//! (see [`pareto`]) prints the multi-objective trade-off front of a
+//! finished campaign directory and, with `--predict`, scores the same
+//! scenarios through the paper's model to report predicted-vs-observed
+//! front agreement; `bench` (see [`bench`]) runs the fixed wall-clock
+//! benchmark suites, emits `BENCH_<suite>.json` reports, and checks
+//! fresh runs against checked-in baselines.
 //!
 //! Campaign execution is crash-consistent: every artifact is written
 //! tmp-then-rename and every finished scenario is stamped with a
@@ -62,13 +66,14 @@ use samr::trace::{AnySnapshotSource, Snapshot, SnapshotSource};
 use std::fs::File;
 
 mod bench;
+mod pareto;
 use std::io::BufWriter;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  samr generate <app> [--config paper|reduced|smoke] [--seed N] [--binary] [--out FILE]\n  samr analyze  <trace-file>\n  samr simulate <trace-file> [--partitioner NAME] [--nprocs N]\n  samr compare  <trace-file> [--nprocs N]\n  samr campaign [--apps A,B] [--dims 2,3] [--partitioners P,Q] [--nprocs N,M] [--ghost-widths G,H]\n                [--config paper|reduced|smoke] [--machines uniform,fast-net,slow-net,slow-cpu] [--out DIR]\n                [--spec FILE] [--threads N] [--shard I/N | --workers N] [--shard-strategy round-robin|size-aware]\n                [--resume] [--retries N]\n  samr campaign-merge DIR... [--out DIR]\n  samr bench [--suite kernels|partition|campaign|all] [--quick] [--out DIR]\n             [--check BASELINE.json]... [--tolerance PCT]\n  samr apps\n  samr partitioners"
+        "usage:\n  samr generate <app> [--config paper|reduced|smoke] [--seed N] [--binary] [--out FILE]\n  samr analyze  <trace-file>\n  samr simulate <trace-file> [--partitioner NAME] [--nprocs N]\n  samr compare  <trace-file> [--nprocs N]\n  samr campaign [--apps A,B] [--dims 2,3] [--partitioners P,Q] [--nprocs N,M] [--ghost-widths G,H]\n                [--config paper|reduced|smoke] [--machines uniform,fast-net,slow-net,slow-cpu] [--out DIR]\n                [--spec FILE] [--threads N] [--shard I/N | --workers N] [--shard-strategy round-robin|size-aware]\n                [--resume] [--retries N]\n  samr campaign-merge DIR... [--out DIR]\n  samr pareto DIR [--objectives imbalance,comm,migration,overhead] [--predict]\n  samr bench [--suite kernels|partition|campaign|all] [--quick] [--out DIR]\n             [--check BASELINE.json]... [--tolerance PCT] [--allow-budget-mismatch]\n  samr apps\n  samr partitioners"
     );
     ExitCode::from(2)
 }
@@ -622,6 +627,7 @@ fn main() -> ExitCode {
         "compare" => cmd_compare(rest),
         "campaign" => cmd_campaign(rest),
         "campaign-merge" => cmd_campaign_merge(rest),
+        "pareto" => pareto::cmd_pareto(rest),
         "bench" => bench::cmd_bench(rest),
         "apps" => cmd_apps(),
         "partitioners" => cmd_partitioners(),
