@@ -1,6 +1,6 @@
 //! The fixed benchmark suites behind `samr bench`.
 //!
-//! Three suites, one report each:
+//! Four suites, one report each:
 //!
 //! - **kernels** — SFC key generation (2-D/3-D Morton and Hilbert,
 //!   encode and decode, optimized public path *and* the retained scalar
@@ -9,6 +9,9 @@
 //!   flag-field scans (signature, count, bounding box);
 //! - **partition** — the partitioner families on the hardest snapshot of
 //!   representative application traces;
+//! - **sim** — the indexed communication/migration accounting against the
+//!   retained all-pairs `_naive` oracles, plus the scratch-reusing
+//!   partition path against the fresh-allocation one;
 //! - **campaign** — one end-to-end reduced campaign through the engine.
 //!
 //! Bench names are stable identifiers: the checked-in `BENCH_*.json`
@@ -280,6 +283,130 @@ pub fn partition_report(budget: BenchBudget) -> BenchReport {
     rep
 }
 
+/// The `sim` suite: the per-step metric accounting the simulator pays on
+/// every snapshot, indexed production path vs the retained all-pairs
+/// `_naive` oracles, on patch-partitioned representative snapshots (the
+/// fragment-heavy worst case), plus the allocation-free partition path.
+pub fn sim_report(budget: BenchBudget) -> BenchReport {
+    use samr_partition::PartitionScratch;
+    use samr_sim::comm::{
+        comm_accounting, naive_involved_comm_points, naive_per_proc_comm, naive_total_comm,
+    };
+    use samr_sim::migration::{
+        migration_accounting, naive_migration_cells, naive_per_proc_migration,
+    };
+    use samr_sim::MetricScratch;
+    use std::hint::black_box;
+
+    let mut rep = BenchReport::new("sim", budget);
+    const NPROCS: usize = 16;
+    const GHOST: i64 = 1;
+    let p = PatchPartitioner::default();
+
+    // Communication accounting per snapshot: the indexed one-pass walk
+    // vs the three all-pairs walks the pre-PR step metrics performed.
+    for kind in [AppKind::Sc2d, AppKind::Rm2d] {
+        let h = representative_hierarchy(kind);
+        let part = p.partition(&h, NPROCS);
+        let points = Some((h.total_points() as f64, "points/s"));
+        let kname = kind.name().to_ascii_lowercase();
+        let mut scratch = MetricScratch::default();
+        rep.benches
+            .push(bench_fn(&format!("comm_{kname}"), budget, points, || {
+                let acc = comm_accounting(black_box(&h), black_box(&part), GHOST, &mut scratch);
+                acc.transfer_volume() + acc.involved_points()
+            }));
+        rep.benches.push(bench_fn(
+            &format!("comm_{kname}_naive"),
+            budget,
+            points,
+            || {
+                naive_total_comm(black_box(&h), black_box(&part), GHOST)
+                    + naive_involved_comm_points(black_box(&h), black_box(&part), GHOST)
+                    + naive_per_proc_comm(black_box(&h), black_box(&part), GHOST)
+                        .iter()
+                        .sum::<u64>()
+            },
+        ));
+    }
+
+    // Migration accounting between adjacent snapshots around the hardest
+    // rm2d instance (a regrid-heavy application).
+    let trace = bench_trace(AppKind::Rm2d);
+    let hardest = trace
+        .snapshots
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, s)| {
+            s.hierarchy
+                .levels
+                .iter()
+                .map(|l| l.patch_count())
+                .sum::<usize>()
+        })
+        .expect("non-empty trace")
+        .0;
+    let (pi, ci) = if hardest == 0 {
+        (0, (trace.snapshots.len() - 1).min(1))
+    } else {
+        (hardest - 1, hardest)
+    };
+    let prev_h = &trace.snapshots[pi].hierarchy;
+    let cur_h = &trace.snapshots[ci].hierarchy;
+    let prev_part = p.partition(prev_h, NPROCS);
+    let cur_part = p.partition(cur_h, NPROCS);
+    let points = Some((cur_h.total_points() as f64, "points/s"));
+    let mut mscratch = MetricScratch::default();
+    rep.benches
+        .push(bench_fn("migration_rm2d", budget, points, || {
+            migration_accounting(
+                black_box(prev_h),
+                black_box(&prev_part),
+                black_box(cur_h),
+                black_box(&cur_part),
+                NPROCS,
+                &mut mscratch,
+            )
+        }));
+    rep.benches
+        .push(bench_fn("migration_rm2d_naive", budget, points, || {
+            naive_migration_cells(
+                black_box(prev_h),
+                black_box(&prev_part),
+                black_box(cur_h),
+                black_box(&cur_part),
+            ) + naive_per_proc_migration(
+                black_box(prev_h),
+                black_box(&prev_part),
+                black_box(cur_h),
+                black_box(&cur_part),
+                NPROCS,
+            )
+            .iter()
+            .sum::<u64>()
+        }));
+
+    // The scratch-reusing partition path vs the fresh-allocation one
+    // (identical output, PartitionScratch reuse contract).
+    let h_rm = representative_hierarchy(AppKind::Rm2d);
+    let points = Some((h_rm.total_points() as f64, "points/s"));
+    let hybrid = HybridPartitioner::default();
+    let mut pscratch = PartitionScratch::default();
+    rep.benches
+        .push(bench_fn("partition_scratch_rm2d", budget, points, || {
+            hybrid
+                .partition_with(black_box(&h_rm), NPROCS, &mut pscratch)
+                .fragment_count()
+        }));
+    rep.benches.push(bench_fn(
+        "partition_scratch_rm2d_naive",
+        budget,
+        points,
+        || hybrid.partition(black_box(&h_rm), NPROCS).fragment_count(),
+    ));
+    rep
+}
+
 /// The `campaign` suite: one reduced end-to-end campaign (trace
 /// generation from the engine cache, windowed simulation, metric fold)
 /// — the path `samr campaign` users actually pay for.
@@ -341,6 +468,27 @@ mod tests {
             assert!(
                 rep.get(&format!("{name}_scalar")).is_some(),
                 "missing scalar twin of {name}"
+            );
+        }
+    }
+
+    #[test]
+    fn sim_suite_pairs_every_bench_with_its_naive_twin() {
+        let rep = sim_report(BenchBudget {
+            target_ns: 1_000_000,
+            max_iters: 2,
+        });
+        validate(&rep).expect("valid sim report");
+        for name in [
+            "comm_sc2d",
+            "comm_rm2d",
+            "migration_rm2d",
+            "partition_scratch_rm2d",
+        ] {
+            assert!(rep.get(name).is_some(), "missing {name}");
+            assert!(
+                rep.get(&format!("{name}_naive")).is_some(),
+                "missing naive twin of {name}"
             );
         }
     }

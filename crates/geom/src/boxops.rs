@@ -149,6 +149,15 @@ pub fn try_merge<const D: usize>(a: &AABox<D>, b: &AABox<D>) -> Option<AABox<D>>
 /// fragment lists.
 pub fn coalesce<const D: usize>(boxes: &[AABox<D>]) -> Vec<AABox<D>> {
     let mut list: Vec<AABox<D>> = boxes.to_vec();
+    coalesce_in_place(&mut list);
+    list
+}
+
+/// [`coalesce`] without the input copy: merges `list` in place, producing
+/// exactly the output `coalesce` would for the same input order. The
+/// allocation-free form the partitioner scratch arenas use on their hot
+/// path.
+pub fn coalesce_in_place<const D: usize>(list: &mut Vec<AABox<D>>) {
     loop {
         let mut merged_any = false;
         'outer: for i in 0..list.len() {
@@ -162,7 +171,7 @@ pub fn coalesce<const D: usize>(boxes: &[AABox<D>]) -> Vec<AABox<D>> {
             }
         }
         if !merged_any {
-            return list;
+            return;
         }
     }
 }
@@ -331,6 +340,10 @@ mod tests {
         let parts = vec![rr, t, bt];
         let merged = coalesce(&parts);
         assert_eq!(merged, vec![b]);
+        // The in-place form produces the same result on the same input.
+        let mut in_place = parts.clone();
+        coalesce_in_place(&mut in_place);
+        assert_eq!(in_place, merged);
     }
 
     #[test]

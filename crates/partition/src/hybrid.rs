@@ -23,7 +23,8 @@
 //!    balance);
 //! 5. Hue blocks are distributed greedily to top up processor loads.
 
-use crate::types::{Fragment, Partition, Partitioner, ProcId};
+use crate::types::{Fragment, Partition, PartitionScratch, Partitioner, ProcId};
+use rayon::prelude::*;
 use samr_geom::sfc::{order_for, sfc_key_nd, SfcCurve};
 use samr_geom::{boxops, AABox, Point, Region};
 use samr_grid::stats::component_labels;
@@ -186,37 +187,43 @@ impl HybridPartitioner {
     }
 
     /// Dice a core footprint into SFC-ordered atomic-unit pieces weighted
-    /// by the given level range. Returns `(piece boxes, weight)` per unit.
-    fn bilevel_units<const D: usize>(
+    /// by the level range `lo..hi`. Fills the flat `pieces` arena and one
+    /// `(sfc key, piece start, piece count, weight)` record per occupied
+    /// unit into `units` (sorted by key) — no per-unit heap allocation,
+    /// and both arenas are reused across bi-levels and snapshots.
+    fn bilevel_units_with<const D: usize>(
         &self,
         h: &GridHierarchy<D>,
         footprint: &[AABox<D>],
-        levels: std::ops::Range<usize>,
-    ) -> Vec<(Vec<AABox<D>>, u64)> {
+        (level_lo, level_hi): (usize, usize),
+        pieces: &mut Vec<AABox<D>>,
+        units: &mut Vec<(u64, u32, u32, u64)>,
+    ) {
+        pieces.clear();
+        units.clear();
         let unit = self.params.atomic_unit;
         let domain = h.base_domain;
         let dims: [i64; D] = std::array::from_fn(|i| (domain.extent()[i] + unit - 1) / unit);
         let order = order_for(dims.iter().copied().max().unwrap_or(1) as u64);
-        let mut units: Vec<(u64, Vec<AABox<D>>, u64)> = Vec::new();
         for u in AABox::<D>::from_extent_array(dims).iter_cells() {
             let lo = Point::<D>::from_fn(|i| domain.lo()[i] + u[i] * unit);
             let hi = Point::<D>::from_fn(|i| (lo[i] + unit - 1).min(domain.hi()[i]));
             let unit_box = AABox::new(lo, hi);
-            let pieces: Vec<AABox<D>> = footprint
-                .iter()
-                .filter_map(|b| b.intersect(&unit_box))
-                .collect();
-            if pieces.is_empty() {
+            let start = pieces.len() as u32;
+            for b in footprint {
+                if let Some(p) = b.intersect(&unit_box) {
+                    pieces.push(p);
+                }
+            }
+            let count = pieces.len() as u32 - start;
+            if count == 0 {
                 continue;
             }
             let mut weight = 0u64;
-            for l in levels.clone() {
-                if l >= h.levels.len() {
-                    break;
-                }
+            for l in level_lo..level_hi.min(h.levels.len()) {
                 let scale = h.ratio.pow(l as u32);
                 let w = (h.ratio as u64).pow(l as u32);
-                for piece in &pieces {
+                for piece in &pieces[start as usize..] {
                     let fine = piece.refine(scale);
                     for patch in &h.levels[l].patches {
                         weight += patch.rect.overlap_cells(&fine) * w;
@@ -230,33 +237,29 @@ impl HybridPartitioner {
             } else {
                 key >> (D as u32 * (order - 4))
             };
-            units.push((eff_key, pieces, weight));
+            units.push((eff_key, start, count, weight));
         }
-        units.sort_by_key(|&(k, _, _)| k);
-        units.into_iter().map(|(_, p, w)| (p, w)).collect()
+        units.sort_by_key(|&(k, ..)| k);
     }
 
     /// Split SFC-ordered units into `group.len()` contiguous chunks by
-    /// weight; returns the owner of each unit.
-    fn split_units<const D: usize>(
-        units: &[(Vec<AABox<D>>, u64)],
-        group: &[ProcId],
-    ) -> Vec<ProcId> {
-        let total: u64 = units.iter().map(|(_, w)| *w).sum();
+    /// weight; fills `owners` with the owner of each unit.
+    fn split_units(units: &[(u64, u32, u32, u64)], group: &[ProcId], owners: &mut Vec<ProcId>) {
+        owners.clear();
+        owners.reserve(units.len());
+        let total: u64 = units.iter().map(|&(.., w)| w).sum();
         let total = total.max(1) as f64;
         let n = group.len().max(1);
-        let mut owners = Vec::with_capacity(units.len());
         let mut acc = 0.0;
         let mut g = 0usize;
-        for (_, w) in units {
-            let w = *w as f64;
+        for &(.., w) in units {
+            let w = w as f64;
             while g + 1 < n && acc + 0.5 * w > total * (g + 1) as f64 / n as f64 {
                 g += 1;
             }
             owners.push(group[g]);
             acc += w;
         }
-        owners
     }
 
     /// Expert blocking of the Hue: split each Hue box into roughly cubic
@@ -284,6 +287,35 @@ impl HybridPartitioner {
     }
 }
 
+/// Coalesce one level's fragments per owner, bucketing by owner in a
+/// single pass over the list (`buckets` is the reusable per-processor
+/// arena) — the same output, in the same order, as the historical
+/// `nprocs` x filter-scan compaction.
+fn compact_level<const D: usize>(
+    frags: &[Fragment<D>],
+    nprocs: usize,
+    buckets: &mut Vec<Vec<AABox<D>>>,
+) -> Vec<Fragment<D>> {
+    PartitionScratch::reset_buckets(buckets, nprocs);
+    for f in frags {
+        buckets[f.owner as usize].push(f.rect);
+    }
+    let mut merged = Vec::with_capacity(frags.len());
+    for (proc, bucket) in buckets.iter_mut().enumerate() {
+        if bucket.is_empty() {
+            continue;
+        }
+        boxops::coalesce_in_place(bucket);
+        for &rect in bucket.iter() {
+            merged.push(Fragment {
+                rect,
+                owner: proc as ProcId,
+            });
+        }
+    }
+    merged
+}
+
 impl<const D: usize> Partitioner<D> for HybridPartitioner {
     fn name(&self) -> String {
         format!(
@@ -300,6 +332,15 @@ impl<const D: usize> Partitioner<D> for HybridPartitioner {
     }
 
     fn partition(&self, h: &GridHierarchy<D>, nprocs: usize) -> Partition<D> {
+        self.partition_with(h, nprocs, &mut PartitionScratch::default())
+    }
+
+    fn partition_with(
+        &self,
+        h: &GridHierarchy<D>,
+        nprocs: usize,
+        scratch: &mut PartitionScratch<D>,
+    ) -> Partition<D> {
         assert!(nprocs >= 1);
         let (mut cores, hue) = self.find_cores(h);
         Self::assign_groups(&mut cores, nprocs);
@@ -311,18 +352,25 @@ impl<const D: usize> Partitioner<D> for HybridPartitioner {
         for core in &cores {
             let mut b = 0usize;
             while b * bl < h.levels.len() {
-                let range = (b * bl)..((b + 1) * bl).min(h.levels.len());
-                let units = self.bilevel_units(h, &core.footprint, range.clone());
-                if units.is_empty() {
+                let bounds = (b * bl, ((b + 1) * bl).min(h.levels.len()));
+                self.bilevel_units_with(
+                    h,
+                    &core.footprint,
+                    bounds,
+                    &mut scratch.pieces,
+                    &mut scratch.units,
+                );
+                if scratch.units.is_empty() {
                     b += 1;
                     continue;
                 }
-                let owners = Self::split_units(&units, &core.group);
-                for l in range.clone() {
+                Self::split_units(&scratch.units, &core.group, &mut scratch.owners);
+                for l in bounds.0..bounds.1 {
                     let scale = h.ratio.pow(l as u32);
                     let w = (h.ratio as u64).pow(l as u32);
-                    for ((pieces, _), owner) in units.iter().zip(&owners) {
-                        for piece in pieces {
+                    for (&(_, start, count, _), owner) in scratch.units.iter().zip(&scratch.owners)
+                    {
+                        for piece in &scratch.pieces[start as usize..(start + count) as usize] {
                             let fine = piece.refine(scale);
                             for patch in &h.levels[l].patches {
                                 if let Some(frag) = patch.rect.intersect(&fine) {
@@ -377,24 +425,23 @@ impl<const D: usize> Partitioner<D> for HybridPartitioner {
             part.levels[0].fragments.push(Fragment { rect, owner });
         }
 
-        // Compact per-owner fragment lists.
-        for lp in &mut part.levels {
-            let mut merged = Vec::with_capacity(lp.fragments.len());
-            for proc in 0..nprocs as ProcId {
-                let mine: Vec<AABox<D>> = lp
-                    .fragments
-                    .iter()
-                    .filter(|f| f.owner == proc)
-                    .map(|f| f.rect)
-                    .collect();
-                if mine.is_empty() {
-                    continue;
-                }
-                for rect in boxops::coalesce(&mine) {
-                    merged.push(Fragment { rect, owner: proc });
-                }
+        // Compact per-owner fragment lists. Levels are independent here:
+        // on the outer pool compact them rayon-parallel (inside a
+        // streaming-window worker `current_num_threads()` reports 1, so
+        // the sequential scratch-arena path runs — no oversubscription).
+        if rayon::current_num_threads() > 1 && part.levels.len() > 1 {
+            let compacted: Vec<Vec<Fragment<D>>> = part
+                .levels
+                .par_iter()
+                .map(|lp| compact_level(&lp.fragments, nprocs, &mut Vec::new()))
+                .collect();
+            for (lp, frags) in part.levels.iter_mut().zip(compacted) {
+                lp.fragments = frags;
             }
-            lp.fragments = merged;
+        } else {
+            for lp in &mut part.levels {
+                lp.fragments = compact_level(&lp.fragments, nprocs, &mut scratch.owner_rects);
+            }
         }
         part
     }
@@ -506,7 +553,7 @@ mod tests {
         };
         assert!(heavy.group.len() >= light.group.len());
         // All ranks distinct when nprocs >= sum of groups.
-        let mut all: Vec<ProcId> = cores.iter().flat_map(|c| c.group.clone()).collect();
+        let mut all: Vec<ProcId> = cores.iter().flat_map(|c| c.group.iter().copied()).collect();
         all.sort_unstable();
         all.dedup();
         assert_eq!(all.len(), 8);
@@ -542,6 +589,26 @@ mod tests {
         let a = HybridPartitioner::default().partition(&h, 5);
         let b = HybridPartitioner::default().partition(&h, 5);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scratch_reuse_is_identical_to_fresh() {
+        // The PartitionScratch contract across dirty scratch state and
+        // changing snapshots/processor counts.
+        let p = HybridPartitioner::default();
+        let mut scratch = PartitionScratch::default();
+        let hierarchies = [
+            hierarchy(),
+            GridHierarchy::base_only(Rect2::from_extents(64, 64), 2),
+            hierarchy(),
+        ];
+        for h in &hierarchies {
+            for nprocs in [1, 4, 16, 3] {
+                let fresh = p.partition(h, nprocs);
+                let reused = p.partition_with(h, nprocs, &mut scratch);
+                assert_eq!(fresh, reused, "nprocs={nprocs}");
+            }
+        }
     }
 
     #[test]

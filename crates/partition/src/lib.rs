@@ -43,4 +43,6 @@ pub use hybrid::{HybridParams, HybridPartitioner};
 pub use patch_part::{PatchAssign, PatchParams, PatchPartitioner};
 pub use samr_geom::sfc::SfcCurve;
 pub use sfc_part::{DomainSfcParams, DomainSfcPartitioner};
-pub use types::{validate_partition, Fragment, LevelPartition, Partition, Partitioner, ProcId};
+pub use types::{
+    validate_partition, Fragment, LevelPartition, Partition, PartitionScratch, Partitioner, ProcId,
+};

@@ -1,5 +1,15 @@
 //! Communication-volume accounting from fragment overlaps.
+//!
+//! Every metric here exists twice: the production path walks a per-level
+//! [`FragIndex`] (grid-bucket candidate queries, near-linear in the
+//! fragment count) and a `naive_*` twin retains the original all-pairs
+//! scan as an oracle. The two are property-tested to produce *identical*
+//! integer cell counts — all accumulations are order-independent `u64`
+//! sums, so a complete duplicate-free candidate enumeration is exact, not
+//! approximate.
 
+use crate::index::{FragIndex, MetricScratch};
+use samr_geom::boxops;
 use samr_grid::GridHierarchy;
 use samr_partition::Partition;
 
@@ -13,6 +23,33 @@ use samr_partition::Partition;
 /// patch are physical-boundary cells and cost nothing; ghost cells in a
 /// fragment of the *same* owner are local copies and cost nothing.
 pub fn intra_level_comm<const D: usize>(
+    h: &GridHierarchy<D>,
+    part: &Partition<D>,
+    ghost: i64,
+) -> u64 {
+    let mut index = FragIndex::default();
+    let mut total = 0u64;
+    for (l, lp) in part.levels.iter().enumerate() {
+        let mult = (h.ratio as u64).pow(l as u32);
+        index.build(&lp.fragments);
+        let mut level_cells = 0u64;
+        for f in &lp.fragments {
+            let shell = f.rect.grow(ghost);
+            index.query(&shell, |_, rect, owner| {
+                if owner != f.owner {
+                    // f.rect and rect are disjoint, so the whole overlap
+                    // lies in the shell ring.
+                    level_cells += shell.overlap_cells(&rect);
+                }
+            });
+        }
+        total += level_cells * mult;
+    }
+    total
+}
+
+/// All-pairs oracle for [`intra_level_comm`].
+pub fn naive_intra_level_comm<const D: usize>(
     h: &GridHierarchy<D>,
     part: &Partition<D>,
     ghost: i64,
@@ -31,8 +68,6 @@ pub fn intra_level_comm<const D: usize>(
                 // Cells of g inside f's ghost shell but not inside f.
                 let overlap = shell.overlap_cells(&g.rect);
                 if overlap > 0 {
-                    // f.rect and g.rect are disjoint, so the whole overlap
-                    // lies in the shell ring.
                     level_cells += overlap;
                 }
             }
@@ -54,6 +89,32 @@ pub fn intra_level_comm<const D: usize>(
 /// Strictly domain-based partitions have zero inter-level volume by
 /// construction — the property the paper highlights in §2.2.
 pub fn inter_level_comm<const D: usize>(h: &GridHierarchy<D>, part: &Partition<D>) -> u64 {
+    let mut index = FragIndex::default();
+    let mut total = 0u64;
+    for l in 0..part.levels.len().saturating_sub(1) {
+        let mult = (h.ratio as u64).pow((l + 1) as u32);
+        index.build(&part.levels[l].fragments);
+        let mut mismatched_fine_cells = 0u64;
+        for ff in &part.levels[l + 1].fragments {
+            // Parent region of the fine fragment in coarse index space.
+            let parent = ff.rect.coarsen(h.ratio);
+            index.query(&parent, |_, rect, owner| {
+                if owner != ff.owner {
+                    if let Some(ov) = parent.intersect(&rect) {
+                        // Convert back to fine cells covered by that
+                        // overlap.
+                        mismatched_fine_cells += ov.refine(h.ratio).overlap_cells(&ff.rect);
+                    }
+                }
+            });
+        }
+        total += mismatched_fine_cells * mult;
+    }
+    total
+}
+
+/// All-pairs oracle for [`inter_level_comm`].
+pub fn naive_inter_level_comm<const D: usize>(h: &GridHierarchy<D>, part: &Partition<D>) -> u64 {
     let mut total = 0u64;
     for l in 0..part.levels.len().saturating_sub(1) {
         let mult = (h.ratio as u64).pow((l + 1) as u32);
@@ -61,17 +122,13 @@ pub fn inter_level_comm<const D: usize>(h: &GridHierarchy<D>, part: &Partition<D
         let fine = &part.levels[l + 1].fragments;
         let mut mismatched_fine_cells = 0u64;
         for ff in fine {
-            // Parent region of the fine fragment in coarse index space.
             let parent = ff.rect.coarsen(h.ratio);
             for cf in coarse {
                 if cf.owner == ff.owner {
                     continue;
                 }
-                let coarse_overlap = parent.intersect(&cf.rect);
-                if let Some(ov) = coarse_overlap {
-                    // Convert back to fine cells covered by that overlap.
-                    let fine_cov = ov.refine(h.ratio).overlap_cells(&ff.rect);
-                    mismatched_fine_cells += fine_cov;
+                if let Some(ov) = parent.intersect(&cf.rect) {
+                    mismatched_fine_cells += ov.refine(h.ratio).overlap_cells(&ff.rect);
                 }
             }
         }
@@ -86,12 +143,55 @@ pub fn total_comm<const D: usize>(h: &GridHierarchy<D>, part: &Partition<D>, gho
     intra_level_comm(h, part, ghost) + inter_level_comm(h, part)
 }
 
+/// All-pairs oracle for [`total_comm`].
+pub fn naive_total_comm<const D: usize>(
+    h: &GridHierarchy<D>,
+    part: &Partition<D>,
+    ghost: i64,
+) -> u64 {
+    naive_intra_level_comm(h, part, ghost) + naive_inter_level_comm(h, part)
+}
+
 /// Intra-level *involvement* count: grid points that are sent to at least
 /// one other processor, counted once per local time step (level `l`
 /// points count `ratio^l` times). This matches the paper's §4.1
 /// normalization exactly: 100 % ⇔ "all points in the grid being involved
 /// in communications at all local time steps".
 pub fn intra_level_involved<const D: usize>(
+    h: &GridHierarchy<D>,
+    part: &Partition<D>,
+    ghost: i64,
+) -> u64 {
+    let mut index = FragIndex::default();
+    let mut clips: Vec<samr_geom::AABox<D>> = Vec::new();
+    let mut total = 0u64;
+    for (l, lp) in part.levels.iter().enumerate() {
+        let mult = (h.ratio as u64).pow(l as u32);
+        index.build(&lp.fragments);
+        let mut level_points = 0u64;
+        for f in &lp.fragments {
+            clips.clear();
+            // `g.grow(ghost) ∩ f ≠ ∅  ⟺  g ∩ f.grow(ghost) ≠ ∅`, so the
+            // shell query enumerates exactly the fragments with a clip.
+            let shell = f.rect.grow(ghost);
+            index.query(&shell, |_, rect, owner| {
+                if owner != f.owner {
+                    if let Some(c) = rect.grow(ghost).intersect(&f.rect) {
+                        clips.push(c);
+                    }
+                }
+            });
+            if !clips.is_empty() {
+                level_points += boxops::union_cells(&clips);
+            }
+        }
+        total += level_points * mult;
+    }
+    total
+}
+
+/// All-pairs oracle for [`intra_level_involved`].
+pub fn naive_intra_level_involved<const D: usize>(
     h: &GridHierarchy<D>,
     part: &Partition<D>,
     ghost: i64,
@@ -113,7 +213,7 @@ pub fn intra_level_involved<const D: usize>(
                 }
             }
             if !clips.is_empty() {
-                level_points += samr_geom::boxops::union_cells(&clips);
+                level_points += boxops::union_cells(&clips);
             }
         }
         total += level_points * mult;
@@ -133,9 +233,29 @@ pub fn involved_comm_points<const D: usize>(
     intra_level_involved(h, part, ghost) + inter_level_comm(h, part)
 }
 
+/// All-pairs oracle for [`involved_comm_points`].
+pub fn naive_involved_comm_points<const D: usize>(
+    h: &GridHierarchy<D>,
+    part: &Partition<D>,
+    ghost: i64,
+) -> u64 {
+    naive_intra_level_involved(h, part, ghost) + naive_inter_level_comm(h, part)
+}
+
 /// Per-processor communication volume (sent + received grid points per
 /// coarse step), used by the execution-time model.
 pub fn per_proc_comm<const D: usize>(
+    h: &GridHierarchy<D>,
+    part: &Partition<D>,
+    ghost: i64,
+) -> Vec<u64> {
+    let mut scratch = MetricScratch::default();
+    comm_accounting(h, part, ghost, &mut scratch);
+    std::mem::take(&mut scratch.vols)
+}
+
+/// All-pairs oracle for [`per_proc_comm`].
+pub fn naive_per_proc_comm<const D: usize>(
     h: &GridHierarchy<D>,
     part: &Partition<D>,
     ghost: i64,
@@ -175,6 +295,94 @@ pub fn per_proc_comm<const D: usize>(
         }
     }
     vols
+}
+
+/// The communication totals produced by one [`comm_accounting`] walk.
+/// Per-processor volumes land in the scratch's `vols` buffer.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CommAccounting {
+    /// Intra-level ghost-exchange transfer volume ([`intra_level_comm`]).
+    pub intra: u64,
+    /// Inter-level parent–child transfer volume ([`inter_level_comm`]).
+    pub inter: u64,
+    /// Intra-level involvement points ([`intra_level_involved`]).
+    pub intra_involved: u64,
+}
+
+impl CommAccounting {
+    /// Total transfer volume ([`total_comm`]).
+    pub fn transfer_volume(&self) -> u64 {
+        self.intra + self.inter
+    }
+
+    /// Involved grid points ([`involved_comm_points`]).
+    pub fn involved_points(&self) -> u64 {
+        self.intra_involved + self.inter
+    }
+}
+
+/// One-pass communication accounting: computes [`intra_level_comm`],
+/// [`inter_level_comm`], [`intra_level_involved`] and [`per_proc_comm`]
+/// (into `scratch.vols`) with a single index build per level and a single
+/// ghost-shell query per fragment — the combined cost the execution-time
+/// model pays per simulated step.
+pub fn comm_accounting<const D: usize>(
+    h: &GridHierarchy<D>,
+    part: &Partition<D>,
+    ghost: i64,
+    scratch: &mut MetricScratch<D>,
+) -> CommAccounting {
+    let mut acc = CommAccounting::default();
+    scratch.vols.clear();
+    scratch.vols.resize(part.nprocs, 0);
+    for l in 0..part.levels.len() {
+        let mult = (h.ratio as u64).pow(l as u32);
+        scratch.index.build(&part.levels[l].fragments);
+        let mut level_cells = 0u64;
+        let mut level_points = 0u64;
+        for f in &part.levels[l].fragments {
+            scratch.clips.clear();
+            let shell = f.rect.grow(ghost);
+            let (clips, vols) = (&mut scratch.clips, &mut scratch.vols);
+            scratch.index.query(&shell, |_, rect, owner| {
+                if owner != f.owner {
+                    let overlap = shell.overlap_cells(&rect);
+                    level_cells += overlap;
+                    vols[f.owner as usize] += overlap * mult; // received
+                    vols[owner as usize] += overlap * mult; // sent
+                    if let Some(c) = rect.grow(ghost).intersect(&f.rect) {
+                        clips.push(c);
+                    }
+                }
+            });
+            if !scratch.clips.is_empty() {
+                level_points += boxops::union_cells(&scratch.clips);
+            }
+        }
+        acc.intra += level_cells * mult;
+        acc.intra_involved += level_points * mult;
+        // Inter-level pass against the still-built coarse index.
+        if l + 1 < part.levels.len() {
+            let fine_mult = (h.ratio as u64).pow((l + 1) as u32);
+            let mut mismatched_fine_cells = 0u64;
+            for ff in &part.levels[l + 1].fragments {
+                let parent = ff.rect.coarsen(h.ratio);
+                let vols = &mut scratch.vols;
+                scratch.index.query(&parent, |_, rect, owner| {
+                    if owner != ff.owner {
+                        if let Some(ov) = parent.intersect(&rect) {
+                            let fine_cov = ov.refine(h.ratio).overlap_cells(&ff.rect);
+                            mismatched_fine_cells += fine_cov;
+                            vols[ff.owner as usize] += fine_cov * fine_mult;
+                            vols[owner as usize] += fine_cov * fine_mult;
+                        }
+                    }
+                });
+            }
+            acc.inter += mismatched_fine_cells * fine_mult;
+        }
+    }
+    acc
 }
 
 /// Worst-case ghost surface of a hierarchy, ignoring the partition: every
@@ -246,8 +454,10 @@ mod tests {
         // Fragment A's ghost shell covers column x=4 of B (8 cells) and
         // vice versa: 16 transfers per step, multiplier 1 at level 0.
         assert_eq!(intra_level_comm(&h, &part, 1), 16);
+        assert_eq!(naive_intra_level_comm(&h, &part, 1), 16);
         // Wider ghost doubles it.
         assert_eq!(intra_level_comm(&h, &part, 2), 32);
+        assert_eq!(naive_intra_level_comm(&h, &part, 2), 32);
     }
 
     #[test]
@@ -256,6 +466,7 @@ mod tests {
         let part = split_partition(1);
         let v = per_proc_comm(&h, &part, 1);
         assert_eq!(v, vec![16, 16]);
+        assert_eq!(naive_per_proc_comm(&h, &part, 1), v);
     }
 
     #[test]
@@ -332,6 +543,7 @@ mod tests {
             ],
         };
         assert_eq!(inter_level_comm(&h, &part), 0);
+        assert_eq!(naive_inter_level_comm(&h, &part), 0);
     }
 
     #[test]
@@ -361,9 +573,55 @@ mod tests {
             ],
         };
         assert_eq!(inter_level_comm(&h, &part), 64 * 2);
+        assert_eq!(naive_inter_level_comm(&h, &part), 64 * 2);
         let v = per_proc_comm(&h, &part, 1);
         assert_eq!(v[0], 128);
         assert_eq!(v[1], 128);
+    }
+
+    #[test]
+    fn accounting_matches_individual_metrics() {
+        let h = GridHierarchy::from_level_rects(
+            Rect2::from_extents(8, 8),
+            2,
+            &[vec![], vec![r(4, 4, 11, 11)]],
+        );
+        let part = Partition {
+            nprocs: 2,
+            levels: vec![
+                LevelPartition {
+                    fragments: vec![
+                        Fragment {
+                            rect: r(0, 0, 3, 7),
+                            owner: 0,
+                        },
+                        Fragment {
+                            rect: r(4, 0, 7, 7),
+                            owner: 1,
+                        },
+                    ],
+                },
+                LevelPartition {
+                    fragments: vec![Fragment {
+                        rect: r(4, 4, 11, 11),
+                        owner: 0,
+                    }],
+                },
+            ],
+        };
+        let mut scratch = MetricScratch::default();
+        for ghost in [1, 2] {
+            let acc = comm_accounting(&h, &part, ghost, &mut scratch);
+            assert_eq!(acc.intra, intra_level_comm(&h, &part, ghost));
+            assert_eq!(acc.inter, inter_level_comm(&h, &part));
+            assert_eq!(acc.intra_involved, intra_level_involved(&h, &part, ghost));
+            assert_eq!(acc.transfer_volume(), total_comm(&h, &part, ghost));
+            assert_eq!(
+                acc.involved_points(),
+                involved_comm_points(&h, &part, ghost)
+            );
+            assert_eq!(scratch.vols, per_proc_comm(&h, &part, ghost));
+        }
     }
 
     #[test]

@@ -13,6 +13,9 @@
 //! - [`migration`]: grid points whose owner changes between consecutive
 //!   partitionings — the numerator of the paper's grid-relative data
 //!   migration metric;
+//! - [`index`]: the flat grid-bucket fragment index behind the metric
+//!   paths, with the all-pairs `naive_*` twins retained as
+//!   property-tested oracles;
 //! - [`metrics`]: the per-step record ([`StepMetrics`]) with both raw cell
 //!   counts and the paper's §4.1 *grid-relative* normalizations;
 //! - [`exec`]: a machine model turning cell counts into execution-time
@@ -28,12 +31,14 @@
 
 pub mod comm;
 pub mod exec;
+pub mod index;
 pub mod metrics;
 pub mod migration;
 pub mod simulate;
 pub mod stream;
 
 pub use exec::MachineModel;
+pub use index::{FragIndex, MetricScratch};
 pub use metrics::{SeriesSummary, StepMetrics};
-pub use simulate::{simulate_trace, SimConfig, SimResult};
+pub use simulate::{simulate_trace, step_metrics, step_metrics_with, SimConfig, SimResult};
 pub use stream::{default_window, simulate_source, simulate_source_stats, StreamStats};

@@ -1,5 +1,11 @@
 //! Data-migration accounting between consecutive partitionings.
+//!
+//! Like [`crate::comm`], every metric has an indexed production path (a
+//! [`FragIndex`](crate::index::FragIndex) over the *current* partition's
+//! fragments, queried with the previous step's boxes) and a `naive_*`
+//! all-pairs oracle property-tested to produce identical counts.
 
+use crate::index::MetricScratch;
 use samr_geom::boxops;
 use samr_grid::GridHierarchy;
 use samr_partition::Partition;
@@ -25,9 +31,40 @@ pub fn migration_cells<const D: usize>(
     moved_survivors(prev_part, cur_part) + interpolation_transfers(prev, cur, cur_part)
 }
 
+/// All-pairs oracle for [`migration_cells`].
+pub fn naive_migration_cells<const D: usize>(
+    prev: &GridHierarchy<D>,
+    prev_part: &Partition<D>,
+    cur: &GridHierarchy<D>,
+    cur_part: &Partition<D>,
+) -> u64 {
+    naive_moved_survivors(prev_part, cur_part) + naive_interpolation_transfers(prev, cur, cur_part)
+}
+
 /// Component 1: same-level cells that exist at both steps and changed
 /// owner.
 pub fn moved_survivors<const D: usize>(prev_part: &Partition<D>, cur_part: &Partition<D>) -> u64 {
+    let mut scratch = MetricScratch::default();
+    let mut moved = 0u64;
+    let levels = prev_part.levels.len().min(cur_part.levels.len());
+    for l in 0..levels {
+        scratch.index.build(&cur_part.levels[l].fragments);
+        for old in &prev_part.levels[l].fragments {
+            scratch.index.query(&old.rect, |_, rect, owner| {
+                if owner != old.owner {
+                    moved += old.rect.overlap_cells(&rect);
+                }
+            });
+        }
+    }
+    moved
+}
+
+/// All-pairs oracle for [`moved_survivors`].
+pub fn naive_moved_survivors<const D: usize>(
+    prev_part: &Partition<D>,
+    cur_part: &Partition<D>,
+) -> u64 {
     let mut moved = 0u64;
     let levels = prev_part.levels.len().min(cur_part.levels.len());
     for l in 0..levels {
@@ -49,6 +86,38 @@ pub fn interpolation_transfers<const D: usize>(
     cur: &GridHierarchy<D>,
     cur_part: &Partition<D>,
 ) -> u64 {
+    let mut scratch = MetricScratch::default();
+    let mut transfers = 0u64;
+    for l in 1..cur.levels.len() {
+        let prev_rects: Vec<samr_geom::AABox<D>> = if l < prev.levels.len() {
+            prev.levels[l].rects()
+        } else {
+            Vec::new()
+        };
+        scratch.index.build(&cur_part.levels[l - 1].fragments);
+        for frag in &cur_part.levels[l].fragments {
+            // The part of this fragment that did not exist at t-1.
+            for new_piece in boxops::subtract_all(&frag.rect, &prev_rects) {
+                let parent = new_piece.coarsen(cur.ratio);
+                scratch.index.query(&parent, |_, rect, owner| {
+                    if owner != frag.owner {
+                        if let Some(ov) = parent.intersect(&rect) {
+                            transfers += ov.refine(cur.ratio).overlap_cells(&new_piece);
+                        }
+                    }
+                });
+            }
+        }
+    }
+    transfers
+}
+
+/// All-pairs oracle for [`interpolation_transfers`].
+pub fn naive_interpolation_transfers<const D: usize>(
+    prev: &GridHierarchy<D>,
+    cur: &GridHierarchy<D>,
+    cur_part: &Partition<D>,
+) -> u64 {
     let mut transfers = 0u64;
     for l in 1..cur.levels.len() {
         let prev_rects: Vec<samr_geom::AABox<D>> = if l < prev.levels.len() {
@@ -58,7 +127,6 @@ pub fn interpolation_transfers<const D: usize>(
         };
         let coarse = &cur_part.levels[l - 1].fragments;
         for frag in &cur_part.levels[l].fragments {
-            // The part of this fragment that did not exist at t-1.
             for new_piece in boxops::subtract_all(&frag.rect, &prev_rects) {
                 let parent = new_piece.coarsen(cur.ratio);
                 for cf in coarse {
@@ -79,6 +147,19 @@ pub fn interpolation_transfers<const D: usize>(
 /// processor at the redistribution, including interpolation sources), for
 /// the execution-time model.
 pub fn per_proc_migration<const D: usize>(
+    prev: &GridHierarchy<D>,
+    prev_part: &Partition<D>,
+    cur: &GridHierarchy<D>,
+    cur_part: &Partition<D>,
+    nprocs: usize,
+) -> Vec<u64> {
+    let mut scratch = MetricScratch::default();
+    migration_accounting(prev, prev_part, cur, cur_part, nprocs, &mut scratch);
+    std::mem::take(&mut scratch.mig)
+}
+
+/// All-pairs oracle for [`per_proc_migration`].
+pub fn naive_per_proc_migration<const D: usize>(
     prev: &GridHierarchy<D>,
     prev_part: &Partition<D>,
     cur: &GridHierarchy<D>,
@@ -121,6 +202,68 @@ pub fn per_proc_migration<const D: usize>(
     out
 }
 
+/// One-pass migration accounting: computes [`migration_cells`] (returned)
+/// and [`per_proc_migration`] (into `scratch.mig`) with a single index
+/// build per current level — the moved-survivor pass queries the level's
+/// own index, the interpolation pass for the next-finer level queries it
+/// as the parent index before it is rebuilt.
+pub fn migration_accounting<const D: usize>(
+    prev: &GridHierarchy<D>,
+    prev_part: &Partition<D>,
+    cur: &GridHierarchy<D>,
+    cur_part: &Partition<D>,
+    nprocs: usize,
+    scratch: &mut MetricScratch<D>,
+) -> u64 {
+    scratch.mig.clear();
+    scratch.mig.resize(nprocs, 0);
+    let mut total = 0u64;
+    let moved_levels = prev_part.levels.len().min(cur_part.levels.len());
+    for l in 0..cur_part.levels.len() {
+        scratch.index.build(&cur_part.levels[l].fragments);
+        // Component 1: survivors of level l that changed owner.
+        if l < moved_levels {
+            let mig = &mut scratch.mig;
+            for old in &prev_part.levels[l].fragments {
+                scratch.index.query(&old.rect, |_, rect, owner| {
+                    if owner != old.owner {
+                        let cells = old.rect.overlap_cells(&rect);
+                        total += cells;
+                        mig[old.owner as usize] += cells;
+                    }
+                });
+            }
+        }
+        // Component 2: level l+1 cells newly refined into existence,
+        // interpolated from level-l parents — queried against the index
+        // while it still holds level l.
+        let fine = l + 1;
+        if fine < cur.levels.len() && fine < cur_part.levels.len() {
+            let prev_rects: Vec<samr_geom::AABox<D>> = if fine < prev.levels.len() {
+                prev.levels[fine].rects()
+            } else {
+                Vec::new()
+            };
+            for frag in &cur_part.levels[fine].fragments {
+                for new_piece in boxops::subtract_all(&frag.rect, &prev_rects) {
+                    let parent = new_piece.coarsen(cur.ratio);
+                    let mig = &mut scratch.mig;
+                    scratch.index.query(&parent, |_, rect, owner| {
+                        if owner != frag.owner {
+                            if let Some(ov) = parent.intersect(&rect) {
+                                let cells = ov.refine(cur.ratio).overlap_cells(&new_piece);
+                                total += cells;
+                                mig[owner as usize] += cells;
+                            }
+                        }
+                    });
+                }
+            }
+        }
+    }
+    total
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -158,6 +301,7 @@ mod tests {
         let h = h8();
         let p = part(3);
         assert_eq!(migration_cells(&h, &p, &h, &p), 0);
+        assert_eq!(naive_migration_cells(&h, &p, &h, &p), 0);
     }
 
     #[test]
@@ -167,8 +311,10 @@ mod tests {
         let b = part(5);
         // Columns 4..5 (16 cells) move from proc 1 to proc 0.
         assert_eq!(migration_cells(&h, &a, &h, &b), 16);
+        assert_eq!(naive_migration_cells(&h, &a, &h, &b), 16);
         let out = per_proc_migration(&h, &a, &h, &b, 2);
         assert_eq!(out, vec![0, 16]);
+        assert_eq!(naive_per_proc_migration(&h, &a, &h, &b, 2), out);
         // Reverse direction mirrors.
         assert_eq!(per_proc_migration(&h, &b, &h, &a, 2), vec![16, 0]);
     }
@@ -182,6 +328,7 @@ mod tests {
             f.owner = 1 - f.owner;
         }
         assert_eq!(migration_cells(&h, &a, &h, &b), 64);
+        assert_eq!(naive_migration_cells(&h, &a, &h, &b), 64);
     }
 
     #[test]
@@ -220,6 +367,7 @@ mod tests {
             }],
         };
         assert_eq!(migration_cells(&h_prev, &p_prev, &h_cur, &p_cur), 0);
+        assert_eq!(naive_migration_cells(&h_prev, &p_prev, &h_cur, &p_cur), 0);
     }
 
     #[test]
@@ -275,8 +423,18 @@ mod tests {
         // from base cells owned by proc 0 while the fine fragment sits on
         // proc 1.
         assert_eq!(moved_survivors(&p_prev, &p_cur), 32);
+        assert_eq!(naive_moved_survivors(&p_prev, &p_cur), 32);
         assert_eq!(interpolation_transfers(&h_prev, &h_cur, &p_cur), 32);
+        assert_eq!(naive_interpolation_transfers(&h_prev, &h_cur, &p_cur), 32);
         assert_eq!(migration_cells(&h_prev, &p_prev, &h_cur, &p_cur), 64);
+        // The combined accounting agrees with the parts.
+        let mut scratch = MetricScratch::default();
+        let total = migration_accounting(&h_prev, &p_prev, &h_cur, &p_cur, 2, &mut scratch);
+        assert_eq!(total, 64);
+        assert_eq!(
+            scratch.per_proc_mig(),
+            naive_per_proc_migration(&h_prev, &p_prev, &h_cur, &p_cur, 2)
+        );
     }
 
     #[test]
@@ -323,5 +481,9 @@ mod tests {
         assert_eq!(migration_cells(&h_prev, &p_prev, &h_cur, &p_remote), 64);
         let out = per_proc_migration(&h_prev, &p_prev, &h_cur, &p_remote, 2);
         assert_eq!(out, vec![64, 0]); // proc 0 ships the parent data
+        assert_eq!(
+            naive_per_proc_migration(&h_prev, &p_prev, &h_cur, &p_remote, 2),
+            out
+        );
     }
 }

@@ -1,9 +1,10 @@
 //! The trace-driven simulation driver.
 
-use crate::comm::{involved_comm_points, per_proc_comm, total_comm};
+use crate::comm::comm_accounting;
 use crate::exec::MachineModel;
+use crate::index::MetricScratch;
 use crate::metrics::StepMetrics;
-use crate::migration::{migration_cells, per_proc_migration};
+use crate::migration::migration_accounting;
 use samr_grid::GridHierarchy;
 use samr_partition::{Partition, Partitioner};
 use samr_trace::HierarchyTrace;
@@ -94,29 +95,54 @@ pub fn step_metrics<const D: usize>(
     cfg: &SimConfig,
     partition_cost: f64,
 ) -> StepMetrics {
+    step_metrics_with(
+        step,
+        h,
+        part,
+        prev,
+        cfg,
+        partition_cost,
+        &mut MetricScratch::default(),
+    )
+}
+
+/// [`step_metrics`] through a reusable [`MetricScratch`]: one combined
+/// communication walk and one combined migration walk per step, with the
+/// fragment index and per-processor volume buffers reused across steps.
+/// Returns exactly the same metrics as [`step_metrics`].
+#[allow(clippy::too_many_arguments)]
+pub fn step_metrics_with<const D: usize>(
+    step: u32,
+    h: &GridHierarchy<D>,
+    part: &Partition<D>,
+    prev: Option<(&GridHierarchy<D>, &Partition<D>)>,
+    cfg: &SimConfig,
+    partition_cost: f64,
+    scratch: &mut MetricScratch<D>,
+) -> StepMetrics {
     let total_points = h.total_points();
     let workload = h.workload();
-    let comm_cells = total_comm(h, part, cfg.ghost_width);
+    let acc = comm_accounting(h, part, cfg.ghost_width, scratch);
+    let comm_cells = acc.transfer_volume();
     // The §4.1 grid-relative metric counts *involved points*, not directed
     // transfers; `comm_cells` keeps the transfer volume for the time model.
-    let rel_comm = involved_comm_points(h, part, cfg.ghost_width) as f64 / workload.max(1) as f64;
-    let (migration, rel_migration, mig_out) = match prev {
+    let rel_comm = acc.involved_points() as f64 / workload.max(1) as f64;
+    let (migration, rel_migration) = match prev {
         Some((ph, pp)) => {
-            let m = migration_cells(ph, pp, h, part);
+            let m = migration_accounting(ph, pp, h, part, cfg.nprocs, scratch);
             let prev_points = ph.total_points().max(1);
-            (
-                m,
-                m as f64 / prev_points as f64,
-                per_proc_migration(ph, pp, h, part, cfg.nprocs),
-            )
+            (m, m as f64 / prev_points as f64)
         }
-        None => (0, 0.0, vec![0; cfg.nprocs]),
+        None => {
+            scratch.mig.clear();
+            scratch.mig.resize(cfg.nprocs, 0);
+            (0, 0.0)
+        }
     };
     let loads = part.loads(h.ratio);
-    let comm_per_proc = per_proc_comm(h, part, cfg.ghost_width);
     let step_time = cfg
         .machine
-        .step_time(&loads, &comm_per_proc, &mig_out, partition_cost);
+        .step_time(&loads, &scratch.vols, &scratch.mig, partition_cost);
     StepMetrics {
         step,
         total_points,
@@ -306,6 +332,37 @@ mod tests {
             assert_eq!(s.comm_cells, 0);
             assert_eq!(s.migration_cells, 0);
             assert!((s.load_imbalance - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn step_metrics_scratch_reuse_is_identical() {
+        // One dirty scratch across a whole trace gives exactly the
+        // fresh-scratch metrics at every step.
+        let trace = moving_trace(6);
+        let cfg = SimConfig {
+            nprocs: 4,
+            ..SimConfig::default()
+        };
+        let p = HybridPartitioner::default();
+        let mut scratch = MetricScratch::default();
+        let mut prev: Option<(GridHierarchy<2>, samr_partition::Partition<2>)> = None;
+        for snap in &trace.snapshots {
+            let part = p.partition(&snap.hierarchy, cfg.nprocs);
+            let prev_ref = prev.as_ref().map(|(h, pp)| (h, pp));
+            let fresh = step_metrics(snap.step, &snap.hierarchy, &part, prev_ref, &cfg, 1.0);
+            let prev_ref = prev.as_ref().map(|(h, pp)| (h, pp));
+            let reused = step_metrics_with(
+                snap.step,
+                &snap.hierarchy,
+                &part,
+                prev_ref,
+                &cfg,
+                1.0,
+                &mut scratch,
+            );
+            assert_eq!(fresh, reused, "step {}", snap.step);
+            prev = Some((snap.hierarchy.clone(), part));
         }
     }
 

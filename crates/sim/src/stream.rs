@@ -18,9 +18,10 @@
 //! whose hierarchy is unchanged under `reuse_unchanged`, so selector
 //! state evolves exactly as in a live run.
 
-use crate::simulate::{step_metrics, SimConfig, SimResult};
+use crate::index::MetricScratch;
+use crate::simulate::{step_metrics_with, SimConfig, SimResult};
 use rayon::prelude::*;
-use samr_partition::{Partition, Partitioner};
+use samr_partition::{Partition, PartitionScratch, Partitioner};
 use samr_trace::io::TraceIoError;
 use samr_trace::{Snapshot, SnapshotSource};
 
@@ -91,6 +92,11 @@ pub fn simulate_source_stats<const D: usize>(
     let mut carry: Option<(Snapshot<D>, Partition<D>)> = None;
     let mut peak_resident = 0usize;
     let mut consumed = 0usize;
+    // Arenas reused across every snapshot of the stream: the sequential
+    // partitioning path and the per-step metric walks are allocation-free
+    // at steady state.
+    let mut pscratch = PartitionScratch::<D>::default();
+    let mut mscratch = MetricScratch::<D>::default();
     loop {
         let mut buf: Vec<Snapshot<D>> = Vec::with_capacity(window);
         while buf.len() < window {
@@ -132,9 +138,12 @@ pub fn simulate_source_stats<const D: usize>(
                 };
                 (prev_part.clone(), 0.0)
             } else {
-                let part = pre[i]
-                    .take()
-                    .unwrap_or_else(|| partitioner.partition(&buf[i].hierarchy, cfg.nprocs));
+                let part = match pre[i].take() {
+                    Some(p) => p,
+                    None => {
+                        partitioner.partition_with(&buf[i].hierarchy, cfg.nprocs, &mut pscratch)
+                    }
+                };
                 (part, partitioner.cost_estimate(&buf[i].hierarchy))
             };
             eff.push(part);
@@ -143,13 +152,14 @@ pub fn simulate_source_stats<const D: usize>(
             } else {
                 Some((&buf[i - 1].hierarchy, &eff[i - 1]))
             };
-            let m = step_metrics(
+            let m = step_metrics_with(
                 buf[i].step,
                 &buf[i].hierarchy,
                 &eff[i],
                 prev_pair,
                 cfg,
                 cost,
+                &mut mscratch,
             );
             total_time += m.step_time;
             steps.push(m);

@@ -3,12 +3,12 @@
 //! against checked-in baselines.
 //!
 //! ```text
-//! samr bench [--suite kernels|partition|campaign|all] [--quick] [--out DIR]
+//! samr bench [--suite kernels|partition|campaign|sim|all] [--quick] [--out DIR]
 //! samr bench --check BASELINE.json [--check …] [--tolerance PCT] [--quick]
 //!            [--allow-budget-mismatch]
 //! ```
 //!
-//! Emit mode runs the selected suites (default: all three) and writes
+//! Emit mode runs the selected suites (default: all four) and writes
 //! one `BENCH_<suite>.json` per suite into `--out` (default: the
 //! current directory). Check mode loads each baseline file, re-runs
 //! that file's suite, and fails — exit status 1 — when any baseline
@@ -40,9 +40,10 @@ fn run_suite(suite: &str, budget: BenchBudget) -> Result<BenchReport, String> {
         "kernels" => suites::kernels_report(budget),
         "partition" => suites::partition_report(budget),
         "campaign" => suites::campaign_report(budget),
+        "sim" => suites::sim_report(budget),
         other => {
             return Err(format!(
-                "unknown suite '{other}' (expected kernels | partition | campaign | all)"
+                "unknown suite '{other}' (expected kernels | partition | campaign | sim | all)"
             ))
         }
     };
@@ -60,18 +61,23 @@ fn print_record(b: &BenchRecord) {
     }
 }
 
-/// For every `<name>`/`<name>_scalar` pair in a report, print the
-/// optimized-over-scalar speedup — the number the perf trajectory is
-/// judged by.
+/// For every `<name>`/`<name>_scalar` and `<name>`/`<name>_naive` pair
+/// in a report, print the optimized-over-baseline speedup — the number
+/// the perf trajectory is judged by.
 fn print_speedups(rep: &BenchReport) {
     for b in &rep.benches {
-        let Some(base) = rep.get(&format!("{}_scalar", b.name)) else {
+        let pair = [("_scalar", "scalar"), ("_naive", "naive")]
+            .into_iter()
+            .find_map(|(suffix, label)| {
+                rep.get(&format!("{}{suffix}", b.name)).map(|r| (r, label))
+            });
+        let Some((base, label)) = pair else {
             continue;
         };
         // A degenerate timing (ns_per_op of 0, or non-finite) must not
         // print as an infinite or NaN speedup.
         match speedup(base, b) {
-            Some(x) => eprintln!("  {:<28} {:>13.2}x vs scalar reference", b.name, x),
+            Some(x) => eprintln!("  {:<28} {:>13.2}x vs {label} reference", b.name, x),
             None => eprintln!("  {:<28} speedup undefined (degenerate timing)", b.name),
         }
     }
@@ -164,14 +170,15 @@ pub fn cmd_bench(args: &[String]) -> Result<(), String> {
         return Err("--allow-budget-mismatch only applies with --check".into());
     }
     let selected: Vec<&str> = match flag_value(args, "--suite").as_deref() {
-        None | Some("all") => vec!["kernels", "partition", "campaign"],
+        None | Some("all") => vec!["kernels", "partition", "campaign", "sim"],
         Some(s) => vec![match s {
             "kernels" => "kernels",
             "partition" => "partition",
             "campaign" => "campaign",
+            "sim" => "sim",
             other => {
                 return Err(format!(
-                    "unknown suite '{other}' (expected kernels | partition | campaign | all)"
+                    "unknown suite '{other}' (expected kernels | partition | campaign | sim | all)"
                 ))
             }
         }],
