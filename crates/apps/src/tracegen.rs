@@ -231,12 +231,20 @@ fn regrid<const D: usize>(
         let thr = threshold(parent);
         let mut flags = FlagField::new(parent_domain);
         for patch in &h.levels[parent].patches {
-            for p in patch.rect.iter_cells() {
-                let u: [f64; D] = std::array::from_fn(|i| (p[i] as f64 + 0.5) / extent[i] as f64);
-                if indicator(u) > thr {
-                    flags.set(p);
+            // Row-major single pass: the off-axis unit coordinates are
+            // fixed along a run, so only u[0] is recomputed per cell —
+            // with the exact same `(c + 0.5) / extent` expression as the
+            // historical per-cell loop, keeping traces byte-identical.
+            flags.mark_rows(&patch.rect, |row, run| {
+                let mut u: [f64; D] =
+                    std::array::from_fn(|i| (row[i] as f64 + 0.5) / extent[i] as f64);
+                for (k, cell) in run.iter_mut().enumerate() {
+                    u[0] = ((row[0] + k as i64) as f64 + 0.5) / extent[0] as f64;
+                    if indicator(u) > thr {
+                        *cell = true;
+                    }
                 }
-            }
+            });
         }
         if flags.is_empty() {
             break;
@@ -248,7 +256,7 @@ fn regrid<const D: usize>(
             &parent_domain,
             cfg.nesting_buffer,
         );
-        let clipped = clip_to_nesting(&candidates, &nest, cfg.min_block);
+        let clipped = clip_to_nesting(candidates, &nest, cfg.min_block);
         if clipped.is_empty() {
             break;
         }

@@ -1,6 +1,6 @@
 //! The fixed benchmark suites behind `samr bench`.
 //!
-//! Four suites, one report each:
+//! Five suites, one report each:
 //!
 //! - **kernels** — SFC key generation (2-D/3-D Morton and Hilbert,
 //!   encode and decode, optimized public path *and* the retained scalar
@@ -12,7 +12,12 @@
 //! - **sim** — the indexed communication/migration accounting against the
 //!   retained all-pairs `_naive` oracles, plus the scratch-reusing
 //!   partition path against the fresh-allocation one;
-//! - **campaign** — one end-to-end reduced campaign through the engine.
+//! - **campaign** — one end-to-end reduced campaign through the engine;
+//! - **regrid** — the trace-generation hot path: an end-to-end smoke
+//!   trace, row-major flag marking vs the per-cell `set` loop, the
+//!   arena-backed clusterer vs fresh allocation, and the tiered batch
+//!   SFC kernels (detected tier plus a forced-AVX2 run where the CPU
+//!   has it) vs their scalar references.
 //!
 //! Bench names are stable identifiers: the checked-in `BENCH_*.json`
 //! baselines and the CI regression check key on them.
@@ -407,6 +412,183 @@ pub fn sim_report(budget: BenchBudget) -> BenchReport {
     rep
 }
 
+/// The `regrid` suite: the trace-generation hot path that PR-level work
+/// vectorized — flag marking, clustering, batch SFC keys — each against
+/// the pattern it replaced, plus one end-to-end smoke trace so the
+/// composite pipeline is tracked as a single number.
+pub fn regrid_report(budget: BenchBudget) -> BenchReport {
+    use samr_apps::generate_trace;
+    use samr_geom::sfc::BatchIsa;
+    use std::hint::black_box;
+
+    let mut rep = BenchReport::new("regrid", budget);
+
+    // End-to-end trace generation at the smoke configuration: indicator
+    // evaluation, row-major flag marking, buffering, clustering and
+    // nesting for every regrid of a 10-step run.
+    let smoke_cfg = TraceGenConfig::smoke();
+    rep.benches
+        .push(bench_fn("tracegen_smoke_tp2d", budget, None, || {
+            generate_trace(AppKind::Tp2d, black_box(&smoke_cfg))
+                .snapshots
+                .len()
+        }));
+
+    // Flag marking over a 256² domain with the tracegen indicator shape
+    // (unit-coordinate ring). The optimized path is the row-major
+    // `mark_rows` single pass; the `_naive` twin is the historical
+    // per-cell `set` loop — identical indicator work, so the pair
+    // isolates the marking mechanics.
+    let dom = Rect2::from_extents(SIDE_2D as i64, SIDE_2D as i64);
+    let extent = dom.extent();
+    let indicator = |u: [f64; 2]| {
+        let dx = u[0] - 0.5;
+        let dy = u[1] - 0.5;
+        1.0 - ((dx * dx + dy * dy).sqrt() - 0.33).abs()
+    };
+    let thr = 0.98;
+    let cells = Some((KEYS_2D, "cells/s"));
+    rep.benches
+        .push(bench_fn("flag_mark_ring_256", budget, cells, || {
+            let mut flags = FlagField::new(dom);
+            flags.mark_rows(&dom, |row, run| {
+                let mut u = [0.0f64; 2];
+                u[1] = (row.y as f64 + 0.5) / extent.y as f64;
+                for (k, cell) in run.iter_mut().enumerate() {
+                    u[0] = ((row.x + k as i64) as f64 + 0.5) / extent.x as f64;
+                    if indicator(u) > thr {
+                        *cell = true;
+                    }
+                }
+            });
+            flags.count()
+        }));
+    rep.benches
+        .push(bench_fn("flag_mark_ring_256_naive", budget, cells, || {
+            let mut flags = FlagField::new(dom);
+            for p in dom.iter_cells() {
+                let u = [
+                    (p.x as f64 + 0.5) / extent.x as f64,
+                    (p.y as f64 + 0.5) / extent.y as f64,
+                ];
+                if indicator(u) > thr {
+                    flags.set(p);
+                }
+            }
+            flags.count()
+        }));
+
+    // Berger–Rigoutsos through the scratch arena vs fresh allocation —
+    // the regrid loop threads one `ClusterScratch` through every level
+    // of every regrid, so the arena delta is paid (or saved) per level.
+    let ring = ring_flags();
+    let scattered = scattered_flags();
+    let opts = ClusterOptions::paper_defaults();
+    let mut scratch = ClusterScratch::default();
+    rep.benches
+        .push(bench_fn("cluster_ring_arena", budget, None, || {
+            cluster_flags_with(black_box(&ring), &opts, &mut scratch).len()
+        }));
+    rep.benches
+        .push(bench_fn("cluster_ring_arena_naive", budget, None, || {
+            cluster_flags(black_box(&ring), &opts).len()
+        }));
+    rep.benches
+        .push(bench_fn("cluster_scattered_arena", budget, None, || {
+            cluster_flags_with(black_box(&scattered), &opts, &mut scratch).len()
+        }));
+    rep.benches.push(bench_fn(
+        "cluster_scattered_arena_naive",
+        budget,
+        None,
+        || cluster_flags(black_box(&scattered), &opts).len(),
+    ));
+
+    // Batch SFC encode — the partitioner's unit-ordering pass — through
+    // the best detected tier and, where the CPU has it, the forced AVX2
+    // tier, each against the per-key scalar-reference loop it replaced.
+    let keys2 = Some((KEYS_2D, "keys/s"));
+    let keys3 = Some((KEYS_3D, "keys/s"));
+    let coords2: Vec<[u64; 2]> = (0..SIDE_2D)
+        .flat_map(|y| (0..SIDE_2D).map(move |x| [x, y]))
+        .collect();
+    let coords3: Vec<[u64; 3]> = (0..SIDE_3D)
+        .flat_map(|z| (0..SIDE_3D).flat_map(move |y| (0..SIDE_3D).map(move |x| [x, y, z])))
+        .collect();
+    let mut out_keys: Vec<u64> = Vec::new();
+    rep.benches
+        .push(bench_fn("sfc_batch_morton2_64k", budget, keys2, || {
+            sfc::morton_keys(black_box(&coords2), &mut out_keys);
+            out_keys.last().copied()
+        }));
+    rep.benches.push(bench_fn(
+        "sfc_batch_morton2_64k_scalar",
+        budget,
+        keys2,
+        || {
+            let mut acc = 0u64;
+            for c in black_box(&coords2[..]) {
+                acc = acc.wrapping_add(scalar::morton_key(c[0], c[1]));
+            }
+            acc
+        },
+    ));
+    rep.benches
+        .push(bench_fn("sfc_batch_morton3_32k", budget, keys3, || {
+            sfc::morton_keys_3d(black_box(&coords3), &mut out_keys);
+            out_keys.last().copied()
+        }));
+    rep.benches.push(bench_fn(
+        "sfc_batch_morton3_32k_scalar",
+        budget,
+        keys3,
+        || {
+            let mut acc = 0u64;
+            for c in black_box(&coords3[..]) {
+                acc = acc.wrapping_add(scalar::morton_key_3d(c[0], c[1], c[2]));
+            }
+            acc
+        },
+    ));
+    if BatchIsa::Avx2.is_available() {
+        rep.benches
+            .push(bench_fn("sfc_avx2_morton2_64k", budget, keys2, || {
+                sfc::morton_keys_with(BatchIsa::Avx2, black_box(&coords2), &mut out_keys);
+                out_keys.last().copied()
+            }));
+        rep.benches.push(bench_fn(
+            "sfc_avx2_morton2_64k_scalar",
+            budget,
+            keys2,
+            || {
+                let mut acc = 0u64;
+                for c in black_box(&coords2[..]) {
+                    acc = acc.wrapping_add(scalar::morton_key(c[0], c[1]));
+                }
+                acc
+            },
+        ));
+        rep.benches
+            .push(bench_fn("sfc_avx2_morton3_32k", budget, keys3, || {
+                sfc::morton_keys_3d_with(BatchIsa::Avx2, black_box(&coords3), &mut out_keys);
+                out_keys.last().copied()
+            }));
+        rep.benches.push(bench_fn(
+            "sfc_avx2_morton3_32k_scalar",
+            budget,
+            keys3,
+            || {
+                let mut acc = 0u64;
+                for c in black_box(&coords3[..]) {
+                    acc = acc.wrapping_add(scalar::morton_key_3d(c[0], c[1], c[2]));
+                }
+                acc
+            },
+        ));
+    }
+    rep
+}
+
 /// The `campaign` suite: one reduced end-to-end campaign (trace
 /// generation from the engine cache, windowed simulation, metric fold)
 /// — the path `samr campaign` users actually pay for.
@@ -491,6 +673,35 @@ mod tests {
                 "missing naive twin of {name}"
             );
         }
+    }
+
+    #[test]
+    fn regrid_suite_pairs_every_optimized_bench_with_a_twin() {
+        let rep = regrid_report(BenchBudget {
+            target_ns: 1_000_000,
+            max_iters: 2,
+        });
+        validate(&rep).expect("valid regrid report");
+        assert!(rep.get("tracegen_smoke_tp2d").is_some());
+        for (name, suffix) in [
+            ("flag_mark_ring_256", "_naive"),
+            ("cluster_ring_arena", "_naive"),
+            ("cluster_scattered_arena", "_naive"),
+            ("sfc_batch_morton2_64k", "_scalar"),
+            ("sfc_batch_morton3_32k", "_scalar"),
+        ] {
+            assert!(rep.get(name).is_some(), "missing {name}");
+            assert!(
+                rep.get(&format!("{name}{suffix}")).is_some(),
+                "missing twin of {name}"
+            );
+        }
+        // The forced-AVX2 tier benches travel in pairs too (present only
+        // where the CPU executes the tier).
+        assert_eq!(
+            rep.get("sfc_avx2_morton2_64k").is_some(),
+            rep.get("sfc_avx2_morton2_64k_scalar").is_some()
+        );
     }
 
     #[test]

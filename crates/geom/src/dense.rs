@@ -141,6 +141,20 @@ impl<T, const D: usize> Grid<T, D> {
         }
     }
 
+    /// Visit every axis-0-contiguous run of `window` as `(run start
+    /// cell, mutable backing slice)` in row-major order — the writable
+    /// counterpart of [`Grid::runs_in`], paying one `linear_index` per
+    /// run instead of one bounds-checked `set` per cell. `window` must
+    /// lie inside the domain.
+    pub fn for_each_run_mut(&mut self, window: &AABox<D>, mut f: impl FnMut(Point<D>, &mut [T])) {
+        debug_assert!(self.domain.contains_rect(window), "{window:?} escapes");
+        let len0 = window.extent()[0] as usize;
+        for row in Self::rows_of(window) {
+            let start = self.domain.linear_index(row);
+            f(row, &mut self.data[start..start + len0]);
+        }
+    }
+
     /// The start point of every axis-0 run of `window`, in row-major
     /// order.
     fn rows_of(window: &AABox<D>) -> impl Iterator<Item = Point<D>> {

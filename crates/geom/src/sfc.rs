@@ -18,10 +18,12 @@
 //! Key generation sits on the hot path of every domain-based partitioner
 //! (one key per base cell per regrid), so the public functions are the
 //! *optimized* implementations: bulk Morton interleaving ([`morton_keys`]
-//! and friends, fed by [`sfc_keys_nd`]) uses the BMI2 `pdep`/`pext`
-//! parallel-bit instructions when the CPU has them — dispatched once per
-//! batch so the `#[target_feature]` loop inlines the intrinsics — with
-//! magic bit-masks otherwise, and the Hilbert loops are branchless: the
+//! and friends, fed by [`sfc_keys_nd`]) dispatches once per batch to the
+//! best instruction set the CPU executes ([`BatchIsa`]) — BMI2
+//! `pdep`/`pext` parallel-bit instructions first, then four-lane AVX2
+//! magic-mask ladders, then the portable scalar loop — so the
+//! `#[target_feature]` loop inlines the intrinsics; and the Hilbert
+//! loops are branchless: the
 //! quadrant reflection `n-1-x` is an XOR with `n-1` for power-of-two `n`,
 //! so reflect-and-swap becomes mask arithmetic with no data-dependent
 //! branches. The straightforward scalar implementations are retained in
@@ -58,7 +60,8 @@ const MORTON3_MASK: u64 = 0x1249_2492_4924_9249;
 
 /// The straightforward scalar implementations, kept as the reference
 /// oracles for the optimized public functions (and as the portable
-/// fallback for Morton interleaving on CPUs without BMI2).
+/// fallback for Morton interleaving on CPUs with neither BMI2 nor
+/// AVX2).
 ///
 /// Property tests assert the public `morton_*`/`hilbert_*` functions are
 /// bit-identical to these across random coordinates and every order.
@@ -308,14 +311,69 @@ pub mod scalar {
     }
 }
 
-/// `true` when the CPU executes BMI2 `pdep`/`pext` (Morton interleaving
-/// in two instructions instead of ten mask-shift pairs). Detection is
-/// cached by `std` behind an atomic load; the batch kernels pay it once
-/// per batch.
-#[cfg(target_arch = "x86_64")]
-#[inline(always)]
-fn has_bmi2() -> bool {
-    std::arch::is_x86_feature_detected!("bmi2")
+/// The instruction-set tier a batch Morton kernel runs with, chosen
+/// **once per batch**: `#[target_feature]` code cannot inline into
+/// ordinary callers, so a per-key dispatch pays a real function call per
+/// key and loses to the inlined scalar pipeline (see the batch-kernel
+/// notes below).
+///
+/// [`BatchIsa::detect`] picks the best tier this CPU executes; the
+/// `*_with` kernel variants ([`morton_keys_with`] and friends) accept an
+/// explicit tier so the property-test wall can force every available
+/// path — including the scalar fallback — through the same entry points
+/// and assert them bit-identical.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BatchIsa {
+    /// BMI2 `pdep`/`pext`: one parallel-bit-deposit instruction per axis.
+    Bmi2,
+    /// AVX2: four keys at a time through vectorized magic-mask ladders.
+    Avx2,
+    /// The portable scalar magic-mask loop (the reference mapping).
+    Scalar,
+}
+
+impl BatchIsa {
+    /// Every tier, best first — the preference order of
+    /// [`BatchIsa::detect`].
+    pub const ALL: [BatchIsa; 3] = [BatchIsa::Bmi2, BatchIsa::Avx2, BatchIsa::Scalar];
+
+    /// The best tier this CPU executes. Feature detection is cached by
+    /// `std` behind an atomic load; the batch kernels pay it once per
+    /// batch.
+    ///
+    /// BMI2 outranks AVX2: two `pdep`s per key beat the four-lane
+    /// mask-shift ladder wherever both exist. The AVX2 tier earns its
+    /// keep on the cores that ship AVX2 without (fast) BMI2 — there,
+    /// four lanes of the five-round ladder beat four scalar pipelines.
+    #[inline]
+    pub fn detect() -> Self {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("bmi2") {
+                return BatchIsa::Bmi2;
+            }
+            if std::arch::is_x86_feature_detected!("avx2") {
+                return BatchIsa::Avx2;
+            }
+        }
+        BatchIsa::Scalar
+    }
+
+    /// Does this CPU execute the tier? `Scalar` always does; the SIMD
+    /// tiers answer the runtime feature checks. The `*_with` kernels
+    /// assert this before dispatching.
+    #[inline]
+    pub fn is_available(self) -> bool {
+        match self {
+            #[cfg(target_arch = "x86_64")]
+            BatchIsa::Bmi2 => std::arch::is_x86_feature_detected!("bmi2"),
+            #[cfg(target_arch = "x86_64")]
+            BatchIsa::Avx2 => std::arch::is_x86_feature_detected!("avx2"),
+            #[cfg(not(target_arch = "x86_64"))]
+            BatchIsa::Bmi2 | BatchIsa::Avx2 => false,
+            BatchIsa::Scalar => true,
+        }
+    }
 }
 
 /// Morton key of a non-negative cell coordinate pair.
@@ -356,29 +414,42 @@ pub fn morton_decode_3d(key: u64) -> (u64, u64, u64) {
 // ---------------------------------------------------------------------
 // Batch Morton kernels.
 //
-// `pdep`/`pext` intrinsics carry `#[target_feature(enable = "bmi2")]`,
-// so they cannot inline into ordinary functions — a per-key dispatch
-// pays a real function call per key and loses to the inlined magic-mask
-// pipeline. Hoisting the dispatch to whole-slice granularity turns the
-// tables: one cached feature check per batch, then a loop *compiled
-// with BMI2 enabled* in which each key is two (2-D) or three (3-D)
-// `pdep`s. These are the kernels the SFC partitioner's unit-ordering
-// pass feeds; each is bit-identical to mapping its scalar reference
-// over the slice (property-tested in `tests/properties.rs`).
+// `pdep`/`pext` and AVX2 intrinsics carry `#[target_feature]`, so they
+// cannot inline into ordinary functions — a per-key dispatch pays a
+// real function call per key and loses to the inlined magic-mask
+// pipeline. Hoisting the dispatch to whole-slice granularity
+// ([`BatchIsa`]) turns the tables: one cached feature check per batch,
+// then a loop *compiled with the feature enabled* in which each key is
+// two (2-D) or three (3-D) `pdep`s, or four keys ride one vectorized
+// mask-shift ladder. These are the kernels the SFC partitioner's
+// unit-ordering pass feeds; each tier is bit-identical to mapping its
+// scalar reference over the slice (property-tested per available tier
+// in `tests/properties.rs`).
 
 /// Fill `out` with the Morton key of every `[x, y]` pair (clears `out`
-/// first).
+/// first). Dispatches to the best tier once per batch.
 pub fn morton_keys(coords: &[[u64; 2]], out: &mut Vec<u64>) {
+    morton_keys_with(BatchIsa::detect(), coords, out);
+}
+
+/// [`morton_keys`] through an explicitly chosen tier, which must be
+/// available on this CPU (asserted). Identical output for every tier.
+pub fn morton_keys_with(isa: BatchIsa, coords: &[[u64; 2]], out: &mut Vec<u64>) {
+    assert!(isa.is_available(), "{isa:?} is not available on this CPU");
     out.clear();
     out.reserve(coords.len());
-    #[cfg(target_arch = "x86_64")]
-    if has_bmi2() {
-        // SAFETY: guarded by the BMI2 runtime check above.
-        unsafe { morton_keys_bmi2(coords, out) };
-        return;
-    }
-    for c in coords {
-        out.push(scalar::morton_key(c[0], c[1]));
+    match isa {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: availability asserted above.
+        BatchIsa::Bmi2 => unsafe { morton_keys_bmi2(coords, out) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: availability asserted above.
+        BatchIsa::Avx2 => unsafe { avx2::morton_keys(coords, out) },
+        _ => {
+            for c in coords {
+                out.push(scalar::morton_key(c[0], c[1]));
+            }
+        }
     }
 }
 
@@ -392,19 +463,30 @@ unsafe fn morton_keys_bmi2(coords: &[[u64; 2]], out: &mut Vec<u64>) {
 }
 
 /// Fill `out` with the `(x, y)` decode of every key (clears `out`
-/// first).
+/// first). Dispatches to the best tier once per batch.
 pub fn morton_decodes(keys: &[u64], out: &mut Vec<[u64; 2]>) {
+    morton_decodes_with(BatchIsa::detect(), keys, out);
+}
+
+/// [`morton_decodes`] through an explicitly chosen tier, which must be
+/// available on this CPU (asserted). Identical output for every tier.
+pub fn morton_decodes_with(isa: BatchIsa, keys: &[u64], out: &mut Vec<[u64; 2]>) {
+    assert!(isa.is_available(), "{isa:?} is not available on this CPU");
     out.clear();
     out.reserve(keys.len());
-    #[cfg(target_arch = "x86_64")]
-    if has_bmi2() {
-        // SAFETY: guarded by the BMI2 runtime check above.
-        unsafe { morton_decodes_bmi2(keys, out) };
-        return;
-    }
-    for &k in keys {
-        let (x, y) = scalar::morton_decode(k);
-        out.push([x, y]);
+    match isa {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: availability asserted above.
+        BatchIsa::Bmi2 => unsafe { morton_decodes_bmi2(keys, out) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: availability asserted above.
+        BatchIsa::Avx2 => unsafe { avx2::morton_decodes(keys, out) },
+        _ => {
+            for &k in keys {
+                let (x, y) = scalar::morton_decode(k);
+                out.push([x, y]);
+            }
+        }
     }
 }
 
@@ -418,18 +500,29 @@ unsafe fn morton_decodes_bmi2(keys: &[u64], out: &mut Vec<[u64; 2]>) {
 }
 
 /// Fill `out` with the 3-D Morton key of every `[x, y, z]` triple
-/// (clears `out` first).
+/// (clears `out` first). Dispatches to the best tier once per batch.
 pub fn morton_keys_3d(coords: &[[u64; 3]], out: &mut Vec<u64>) {
+    morton_keys_3d_with(BatchIsa::detect(), coords, out);
+}
+
+/// [`morton_keys_3d`] through an explicitly chosen tier, which must be
+/// available on this CPU (asserted). Identical output for every tier.
+pub fn morton_keys_3d_with(isa: BatchIsa, coords: &[[u64; 3]], out: &mut Vec<u64>) {
+    assert!(isa.is_available(), "{isa:?} is not available on this CPU");
     out.clear();
     out.reserve(coords.len());
-    #[cfg(target_arch = "x86_64")]
-    if has_bmi2() {
-        // SAFETY: guarded by the BMI2 runtime check above.
-        unsafe { morton_keys_3d_bmi2(coords, out) };
-        return;
-    }
-    for c in coords {
-        out.push(scalar::morton_key_3d(c[0], c[1], c[2]));
+    match isa {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: availability asserted above.
+        BatchIsa::Bmi2 => unsafe { morton_keys_3d_bmi2(coords, out) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: availability asserted above.
+        BatchIsa::Avx2 => unsafe { avx2::morton_keys_3d(coords, out) },
+        _ => {
+            for c in coords {
+                out.push(scalar::morton_key_3d(c[0], c[1], c[2]));
+            }
+        }
     }
 }
 
@@ -447,19 +540,30 @@ unsafe fn morton_keys_3d_bmi2(coords: &[[u64; 3]], out: &mut Vec<u64>) {
 }
 
 /// Fill `out` with the `(x, y, z)` decode of every key (clears `out`
-/// first).
+/// first). Dispatches to the best tier once per batch.
 pub fn morton_decodes_3d(keys: &[u64], out: &mut Vec<[u64; 3]>) {
+    morton_decodes_3d_with(BatchIsa::detect(), keys, out);
+}
+
+/// [`morton_decodes_3d`] through an explicitly chosen tier, which must
+/// be available on this CPU (asserted). Identical output for every tier.
+pub fn morton_decodes_3d_with(isa: BatchIsa, keys: &[u64], out: &mut Vec<[u64; 3]>) {
+    assert!(isa.is_available(), "{isa:?} is not available on this CPU");
     out.clear();
     out.reserve(keys.len());
-    #[cfg(target_arch = "x86_64")]
-    if has_bmi2() {
-        // SAFETY: guarded by the BMI2 runtime check above.
-        unsafe { morton_decodes_3d_bmi2(keys, out) };
-        return;
-    }
-    for &k in keys {
-        let (x, y, z) = scalar::morton_decode_3d(k);
-        out.push([x, y, z]);
+    match isa {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: availability asserted above.
+        BatchIsa::Bmi2 => unsafe { morton_decodes_3d_bmi2(keys, out) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: availability asserted above.
+        BatchIsa::Avx2 => unsafe { avx2::morton_decodes_3d(keys, out) },
+        _ => {
+            for &k in keys {
+                let (x, y, z) = scalar::morton_decode_3d(k);
+                out.push([x, y, z]);
+            }
+        }
     }
 }
 
@@ -473,6 +577,268 @@ unsafe fn morton_decodes_3d_bmi2(keys: &[u64], out: &mut Vec<[u64; 3]>) {
             _pext_u64(k, MORTON3_MASK << 1),
             _pext_u64(k, MORTON3_MASK << 2),
         ]);
+    }
+}
+
+/// The AVX2 batch tier: four 64-bit keys per iteration through the same
+/// magic-mask ladders as [`scalar`], vectorized lane-wise. Every kernel
+/// resizes `out` (the caller has cleared and reserved it) and finishes
+/// the `len % 4` tail with the scalar reference, so the output is
+/// bit-identical to the scalar map for every length.
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use super::scalar;
+    use std::arch::x86_64::*;
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn splat(c: u64) -> __m256i {
+        _mm256_set1_epi64x(c as i64)
+    }
+
+    /// Lane-wise [`scalar::part1by1`]: interleave the low 32 bits of
+    /// each lane with zeros.
+    #[target_feature(enable = "avx2")]
+    unsafe fn part1by1(v: __m256i) -> __m256i {
+        let mut x = _mm256_and_si256(v, splat(0xffff_ffff));
+        x = _mm256_and_si256(
+            _mm256_or_si256(x, _mm256_slli_epi64::<16>(x)),
+            splat(0x0000_ffff_0000_ffff),
+        );
+        x = _mm256_and_si256(
+            _mm256_or_si256(x, _mm256_slli_epi64::<8>(x)),
+            splat(0x00ff_00ff_00ff_00ff),
+        );
+        x = _mm256_and_si256(
+            _mm256_or_si256(x, _mm256_slli_epi64::<4>(x)),
+            splat(0x0f0f_0f0f_0f0f_0f0f),
+        );
+        x = _mm256_and_si256(
+            _mm256_or_si256(x, _mm256_slli_epi64::<2>(x)),
+            splat(0x3333_3333_3333_3333),
+        );
+        _mm256_and_si256(
+            _mm256_or_si256(x, _mm256_slli_epi64::<1>(x)),
+            splat(0x5555_5555_5555_5555),
+        )
+    }
+
+    /// Lane-wise [`scalar::compact1by1`]: inverse of [`part1by1`].
+    #[target_feature(enable = "avx2")]
+    unsafe fn compact1by1(v: __m256i) -> __m256i {
+        let mut x = _mm256_and_si256(v, splat(0x5555_5555_5555_5555));
+        x = _mm256_and_si256(
+            _mm256_or_si256(x, _mm256_srli_epi64::<1>(x)),
+            splat(0x3333_3333_3333_3333),
+        );
+        x = _mm256_and_si256(
+            _mm256_or_si256(x, _mm256_srli_epi64::<2>(x)),
+            splat(0x0f0f_0f0f_0f0f_0f0f),
+        );
+        x = _mm256_and_si256(
+            _mm256_or_si256(x, _mm256_srli_epi64::<4>(x)),
+            splat(0x00ff_00ff_00ff_00ff),
+        );
+        x = _mm256_and_si256(
+            _mm256_or_si256(x, _mm256_srli_epi64::<8>(x)),
+            splat(0x0000_ffff_0000_ffff),
+        );
+        _mm256_and_si256(
+            _mm256_or_si256(x, _mm256_srli_epi64::<16>(x)),
+            splat(0xffff_ffff),
+        )
+    }
+
+    /// Lane-wise [`scalar::part1by2`]: interleave the low 21 bits of
+    /// each lane with two zeros each.
+    #[target_feature(enable = "avx2")]
+    unsafe fn part1by2(v: __m256i) -> __m256i {
+        let mut x = _mm256_and_si256(v, splat(0x1f_ffff));
+        x = _mm256_and_si256(
+            _mm256_or_si256(x, _mm256_slli_epi64::<32>(x)),
+            splat(0x001f_0000_0000_ffff),
+        );
+        x = _mm256_and_si256(
+            _mm256_or_si256(x, _mm256_slli_epi64::<16>(x)),
+            splat(0x001f_0000_ff00_00ff),
+        );
+        x = _mm256_and_si256(
+            _mm256_or_si256(x, _mm256_slli_epi64::<8>(x)),
+            splat(0x100f_00f0_0f00_f00f),
+        );
+        x = _mm256_and_si256(
+            _mm256_or_si256(x, _mm256_slli_epi64::<4>(x)),
+            splat(0x10c3_0c30_c30c_30c3),
+        );
+        _mm256_and_si256(
+            _mm256_or_si256(x, _mm256_slli_epi64::<2>(x)),
+            splat(0x1249_2492_4924_9249),
+        )
+    }
+
+    /// Lane-wise [`scalar::compact1by2`]: inverse of [`part1by2`].
+    #[target_feature(enable = "avx2")]
+    unsafe fn compact1by2(v: __m256i) -> __m256i {
+        let mut x = _mm256_and_si256(v, splat(0x1249_2492_4924_9249));
+        x = _mm256_and_si256(
+            _mm256_or_si256(x, _mm256_srli_epi64::<2>(x)),
+            splat(0x10c3_0c30_c30c_30c3),
+        );
+        x = _mm256_and_si256(
+            _mm256_or_si256(x, _mm256_srli_epi64::<4>(x)),
+            splat(0x100f_00f0_0f00_f00f),
+        );
+        x = _mm256_and_si256(
+            _mm256_or_si256(x, _mm256_srli_epi64::<8>(x)),
+            splat(0x001f_0000_ff00_00ff),
+        );
+        x = _mm256_and_si256(
+            _mm256_or_si256(x, _mm256_srli_epi64::<16>(x)),
+            splat(0x001f_0000_0000_ffff),
+        );
+        _mm256_and_si256(
+            _mm256_or_si256(x, _mm256_srli_epi64::<32>(x)),
+            splat(0x1f_ffff),
+        )
+    }
+
+    /// Batch 2-D Morton encode, four `[x, y]` pairs per iteration. The
+    /// 64-bit unpacks split x and y lanes but interleave the two source
+    /// registers 128-bit-half-wise, so the assembled keys come out as
+    /// `[k0 k2 k1 k3]` and a cross-lane permute restores memory order.
+    ///
+    /// # Safety
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn morton_keys(coords: &[[u64; 2]], out: &mut Vec<u64>) {
+        let n = coords.len();
+        out.resize(n, 0);
+        let src = coords.as_ptr().cast::<__m256i>();
+        let dst = out.as_mut_ptr();
+        let quads = n / 4;
+        for q in 0..quads {
+            // a = [x0 y0 x1 y1], b = [x2 y2 x3 y3]
+            let a = _mm256_loadu_si256(src.add(2 * q));
+            let b = _mm256_loadu_si256(src.add(2 * q + 1));
+            let xs = _mm256_unpacklo_epi64(a, b); // [x0 x2 x1 x3]
+            let ys = _mm256_unpackhi_epi64(a, b); // [y0 y2 y1 y3]
+            let key = _mm256_or_si256(part1by1(xs), _mm256_slli_epi64::<1>(part1by1(ys)));
+            let key = _mm256_permute4x64_epi64::<0b11_01_10_00>(key);
+            _mm256_storeu_si256(dst.add(4 * q).cast(), key);
+        }
+        for (i, c) in coords.iter().enumerate().skip(4 * quads) {
+            *dst.add(i) = scalar::morton_key(c[0], c[1]);
+        }
+    }
+
+    /// Batch 2-D Morton decode, four keys per iteration; the unpack +
+    /// half-select permutes re-interleave the x/y lanes into `[x, y]`
+    /// pair (AoS) order.
+    ///
+    /// # Safety
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn morton_decodes(keys: &[u64], out: &mut Vec<[u64; 2]>) {
+        let n = keys.len();
+        out.resize(n, [0, 0]);
+        let src = keys.as_ptr();
+        let dst = out.as_mut_ptr().cast::<__m256i>();
+        let quads = n / 4;
+        for q in 0..quads {
+            let k = _mm256_loadu_si256(src.add(4 * q).cast());
+            let xs = compact1by1(k);
+            let ys = compact1by1(_mm256_srli_epi64::<1>(k));
+            let lo = _mm256_unpacklo_epi64(xs, ys); // [x0 y0 x2 y2]
+            let hi = _mm256_unpackhi_epi64(xs, ys); // [x1 y1 x3 y3]
+            _mm256_storeu_si256(dst.add(2 * q), _mm256_permute2x128_si256::<0x20>(lo, hi));
+            _mm256_storeu_si256(
+                dst.add(2 * q + 1),
+                _mm256_permute2x128_si256::<0x31>(lo, hi),
+            );
+        }
+        for (i, &k) in keys.iter().enumerate().skip(4 * quads) {
+            let (x, y) = scalar::morton_decode(k);
+            *dst.cast::<[u64; 2]>().add(i) = [x, y];
+        }
+    }
+
+    /// Batch 3-D Morton encode, four `[x, y, z]` triples per iteration.
+    /// The stride-3 AoS layout does not line up with 64-bit unpacks, so
+    /// each axis register is gathered with lane inserts; the three
+    /// ladders are still four keys wide.
+    ///
+    /// # Safety
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn morton_keys_3d(coords: &[[u64; 3]], out: &mut Vec<u64>) {
+        let n = coords.len();
+        out.resize(n, 0);
+        let dst = out.as_mut_ptr();
+        let quads = n / 4;
+        for q in 0..quads {
+            let c = &coords[4 * q..4 * q + 4];
+            let xs = _mm256_set_epi64x(
+                c[3][0] as i64,
+                c[2][0] as i64,
+                c[1][0] as i64,
+                c[0][0] as i64,
+            );
+            let ys = _mm256_set_epi64x(
+                c[3][1] as i64,
+                c[2][1] as i64,
+                c[1][1] as i64,
+                c[0][1] as i64,
+            );
+            let zs = _mm256_set_epi64x(
+                c[3][2] as i64,
+                c[2][2] as i64,
+                c[1][2] as i64,
+                c[0][2] as i64,
+            );
+            let key = _mm256_or_si256(
+                part1by2(xs),
+                _mm256_or_si256(
+                    _mm256_slli_epi64::<1>(part1by2(ys)),
+                    _mm256_slli_epi64::<2>(part1by2(zs)),
+                ),
+            );
+            _mm256_storeu_si256(dst.add(4 * q).cast(), key);
+        }
+        for (i, c) in coords.iter().enumerate().skip(4 * quads) {
+            *dst.add(i) = scalar::morton_key_3d(c[0], c[1], c[2]);
+        }
+    }
+
+    /// Batch 3-D Morton decode, four keys per iteration; the per-axis
+    /// results bounce through stack temporaries into the stride-3 AoS
+    /// output.
+    ///
+    /// # Safety
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn morton_decodes_3d(keys: &[u64], out: &mut Vec<[u64; 3]>) {
+        let n = keys.len();
+        out.resize(n, [0, 0, 0]);
+        let quads = n / 4;
+        for q in 0..quads {
+            let k = _mm256_loadu_si256(keys.as_ptr().add(4 * q).cast());
+            let (mut xs, mut ys, mut zs) = ([0u64; 4], [0u64; 4], [0u64; 4]);
+            _mm256_storeu_si256(xs.as_mut_ptr().cast(), compact1by2(k));
+            _mm256_storeu_si256(
+                ys.as_mut_ptr().cast(),
+                compact1by2(_mm256_srli_epi64::<1>(k)),
+            );
+            _mm256_storeu_si256(
+                zs.as_mut_ptr().cast(),
+                compact1by2(_mm256_srli_epi64::<2>(k)),
+            );
+            for j in 0..4 {
+                out[4 * q + j] = [xs[j], ys[j], zs[j]];
+            }
+        }
+        for i in 4 * quads..n {
+            let (x, y, z) = scalar::morton_decode_3d(keys[i]);
+            out[i] = [x, y, z];
+        }
     }
 }
 
@@ -612,10 +978,10 @@ pub fn sfc_key_nd<const D: usize>(curve: SfcCurve, order: u32, c: [u64; D]) -> u
 
 /// Dimension-generic batch SFC keys: fill `out` with the key of every
 /// coordinate tuple under `curve` (clears `out` first). Bit-identical to
-/// mapping [`sfc_key_nd`] over the slice; Morton rides the BMI2 batch
-/// kernels ([`morton_keys`] / [`morton_keys_3d`]) so the partitioner's
-/// unit-ordering pass pays one feature dispatch per snapshot instead of
-/// one stub call per cell.
+/// mapping [`sfc_key_nd`] over the slice; Morton rides the tiered batch
+/// kernels ([`morton_keys`] / [`morton_keys_3d`], BMI2 or AVX2 per
+/// [`BatchIsa::detect`]) so the partitioner's unit-ordering pass pays
+/// one feature dispatch per snapshot instead of one stub call per cell.
 pub fn sfc_keys_nd<const D: usize>(
     curve: SfcCurve,
     order: u32,
@@ -648,8 +1014,8 @@ pub fn sfc_keys_nd<const D: usize>(
                 SfcCurve::Hilbert => {
                     // Transpose every tuple (branchy reference loop —
                     // the fast direction for encode), then hand the
-                    // whole batch to the BMI2 Morton kernel for the key
-                    // packing. Identical to per-key
+                    // whole batch to the tiered Morton kernel for the
+                    // key packing. Identical to per-key
                     // [`hilbert_key_3d`], which packs one key at a
                     // time via the scalar Morton interleave.
                     let ord = order.max(1);

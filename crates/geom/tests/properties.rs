@@ -13,8 +13,10 @@ use proptest::prelude::*;
 use samr_geom::boxops;
 use samr_geom::sfc::{
     hilbert_decode, hilbert_decode_3d, hilbert_key, hilbert_key_3d, morton_decode,
-    morton_decode_3d, morton_decodes, morton_decodes_3d, morton_key, morton_key_3d, morton_keys,
-    morton_keys_3d, scalar, MAX_ORDER, MAX_ORDER_3D,
+    morton_decode_3d, morton_decodes, morton_decodes_3d, morton_decodes_3d_with,
+    morton_decodes_with, morton_key, morton_key_3d, morton_keys, morton_keys_3d,
+    morton_keys_3d_with, morton_keys_with, scalar, sfc_key_nd, sfc_keys_nd, BatchIsa, SfcCurve,
+    MAX_ORDER, MAX_ORDER_3D,
 };
 use samr_geom::{Box3, Point2, Point3, Rect2, Region};
 
@@ -546,6 +548,82 @@ proptest! {
             .map(|&k| { let (x, y, z) = scalar::morton_decode_3d(k); [x, y, z] })
             .collect();
         prop_assert_eq!(&triples, &want);
+    }
+
+    #[test]
+    fn batch_kernels_bit_identical_on_every_tier(
+        tuples in proptest::collection::vec((any::<u64>(), any::<u64>(), any::<u64>()), 0..64),
+        raw_keys in proptest::collection::vec(any::<u64>(), 0..64),
+    ) {
+        // Force every tier this CPU executes — BMI2, AVX2, and the
+        // always-available scalar fallback — through the same `*_with`
+        // entry points and hold each one to the scalar-map oracle. On a
+        // BMI2 machine `detect()` never picks AVX2 or Scalar, so this
+        // is the only wall standing between those tiers and silent rot.
+        let m3 = (1u64 << MAX_ORDER_3D) - 1;
+        let c2: Vec<[u64; 2]> = tuples
+            .iter()
+            .map(|&(x, y, _)| [x & 0xffff_ffff, y & 0xffff_ffff])
+            .collect();
+        let c3: Vec<[u64; 3]> = tuples.iter().map(|&(x, y, z)| [x & m3, y & m3, z & m3]).collect();
+        let k3: Vec<u64> = raw_keys
+            .iter()
+            .map(|&k| k & ((1u64 << (3 * MAX_ORDER_3D)) - 1))
+            .collect();
+        let want2: Vec<u64> = c2.iter().map(|c| scalar::morton_key(c[0], c[1])).collect();
+        let want3: Vec<u64> = c3.iter().map(|c| scalar::morton_key_3d(c[0], c[1], c[2])).collect();
+        let wantd2: Vec<[u64; 2]> = raw_keys
+            .iter()
+            .map(|&k| { let (x, y) = scalar::morton_decode(k); [x, y] })
+            .collect();
+        let wantd3: Vec<[u64; 3]> = k3
+            .iter()
+            .map(|&k| { let (x, y, z) = scalar::morton_decode_3d(k); [x, y, z] })
+            .collect();
+        for isa in BatchIsa::ALL.into_iter().filter(|i| i.is_available()) {
+            let mut keys = Vec::new();
+            morton_keys_with(isa, &c2, &mut keys);
+            prop_assert_eq!(&keys, &want2, "2-D encode diverged on {:?}", isa);
+            morton_keys_3d_with(isa, &c3, &mut keys);
+            prop_assert_eq!(&keys, &want3, "3-D encode diverged on {:?}", isa);
+            let mut pairs = Vec::new();
+            morton_decodes_with(isa, &raw_keys, &mut pairs);
+            prop_assert_eq!(&pairs, &wantd2, "2-D decode diverged on {:?}", isa);
+            let mut triples = Vec::new();
+            morton_decodes_3d_with(isa, &k3, &mut triples);
+            prop_assert_eq!(&triples, &wantd3, "3-D decode diverged on {:?}", isa);
+        }
+    }
+
+    #[test]
+    fn sfc_keys_nd_matches_per_key_map(
+        tuples in proptest::collection::vec((any::<u64>(), any::<u64>(), any::<u64>()), 0..48),
+        order2 in 1u32..=MAX_ORDER,
+        order3 in 1u32..=MAX_ORDER_3D,
+    ) {
+        // The batch entry the partitioner's unit-ordering pass feeds must
+        // be an exact map of the per-key dispatch — both curves, both
+        // dimensions, every order (Hilbert's batched transpose+Morton
+        // packing included).
+        for curve in [SfcCurve::Morton, SfcCurve::Hilbert] {
+            let mask2 = (1u64 << order2) - 1;
+            let c2: Vec<[u64; 2]> = tuples
+                .iter()
+                .map(|&(x, y, _)| [x & mask2, y & mask2])
+                .collect();
+            let mut keys = Vec::new();
+            sfc_keys_nd(curve, order2, &c2, &mut keys);
+            let want: Vec<u64> = c2.iter().map(|&c| sfc_key_nd(curve, order2, c)).collect();
+            prop_assert_eq!(&keys, &want, "2-D {:?} order {}", curve, order2);
+            let mask3 = (1u64 << order3) - 1;
+            let c3: Vec<[u64; 3]> = tuples
+                .iter()
+                .map(|&(x, y, z)| [x & mask3, y & mask3, z & mask3])
+                .collect();
+            sfc_keys_nd(curve, order3, &c3, &mut keys);
+            let want: Vec<u64> = c3.iter().map(|&c| sfc_key_nd(curve, order3, c)).collect();
+            prop_assert_eq!(&keys, &want, "3-D {:?} order {}", curve, order3);
+        }
     }
 
     #[test]

@@ -56,17 +56,21 @@ struct Candidate<const D: usize> {
 /// Reusable scratch buffers for [`cluster_flags_with`].
 ///
 /// Berger–Rigoutsos churns through short-lived allocations — a signature
-/// `Vec` per candidate scan and a work queue per invocation. Callers that
-/// cluster repeatedly (the regrid step clusters one flag field per level
-/// per regrid) thread one `ClusterScratch` through and the recursion
-/// reuses the same buffers, allocating O(1) `Vec`s per call instead of
-/// O(candidate boxes).
+/// `Vec` per candidate scan, a work queue, and the accepted-box list per
+/// invocation. Callers that cluster repeatedly (the regrid step clusters
+/// one flag field per level per regrid) thread one `ClusterScratch`
+/// through and the recursion reuses the same buffers: after warm-up a
+/// call allocates nothing at all — the output slice is borrowed from the
+/// scratch arena.
 #[derive(Default)]
 pub struct ClusterScratch<const D: usize> {
     /// Signature buffer shared by every axis scan.
     sig: Vec<u32>,
     /// Pending-candidate stack.
     queue: Vec<Candidate<D>>,
+    /// Accepted boxes — the output arena [`cluster_flags_with`] borrows
+    /// its result slice from.
+    accepted: Vec<AABox<D>>,
 }
 
 /// Cluster the flagged cells of `flags` into boxes.
@@ -74,25 +78,33 @@ pub struct ClusterScratch<const D: usize> {
 /// Returned boxes are pairwise disjoint, contain every flagged cell, have
 /// extents `>= min_block` on every axis, and lie inside the flag domain.
 pub fn cluster_flags<const D: usize>(flags: &FlagField<D>, opts: &ClusterOptions) -> Vec<AABox<D>> {
-    cluster_flags_with(flags, opts, &mut ClusterScratch::default())
+    let mut scratch = ClusterScratch::default();
+    cluster_flags_with(flags, opts, &mut scratch).to_vec()
 }
 
 /// [`cluster_flags`] with caller-owned scratch buffers — identical
-/// output, no per-candidate allocations.
-pub fn cluster_flags_with<const D: usize>(
+/// output, zero allocations once the scratch is warm. The returned
+/// slice is borrowed from the scratch arena and stays valid until the
+/// next clustering call through the same scratch.
+pub fn cluster_flags_with<'a, const D: usize>(
     flags: &FlagField<D>,
     opts: &ClusterOptions,
-    scratch: &mut ClusterScratch<D>,
-) -> Vec<AABox<D>> {
+    scratch: &'a mut ClusterScratch<D>,
+) -> &'a [AABox<D>] {
     assert!(opts.min_block >= 1);
     assert!(
         (0.0..=1.0).contains(&opts.min_efficiency),
         "efficiency must be in [0,1]"
     );
-    let ClusterScratch { sig, queue } = scratch;
+    let ClusterScratch {
+        sig,
+        queue,
+        accepted,
+    } = scratch;
+    accepted.clear();
     let domain = flags.domain();
     let Some(bbox) = flags.bounding_box() else {
-        return Vec::new();
+        return accepted;
     };
     queue.clear();
     queue.push(Candidate {
@@ -100,7 +112,6 @@ pub fn cluster_flags_with<const D: usize>(
         bbox,
         flagged: flags.count_in(&bbox),
     });
-    let mut accepted: Vec<AABox<D>> = Vec::new();
 
     while let Some(c) = queue.pop() {
         if accepted.len() + queue.len() >= opts.max_boxes {
@@ -129,6 +140,16 @@ pub fn cluster_flags_with<const D: usize>(
     // historical `(lo.y, lo.x, hi.y, hi.x)` key, generalized).
     accepted.sort_by(|a, b| a.cmp_spatial(b));
     accepted
+}
+
+/// Byte-for-byte capacity diagnostics for benchmarks and tests: how many
+/// boxes the scratch arena currently holds without reallocating.
+impl<const D: usize> ClusterScratch<D> {
+    /// `true` once every internal buffer has a non-zero capacity — i.e.
+    /// subsequent same-shape clustering calls will not allocate.
+    pub fn is_warm(&self) -> bool {
+        self.sig.capacity() > 0 && self.queue.capacity() > 0 && self.accepted.capacity() > 0
+    }
 }
 
 /// Tight bounding box of flags restricted to `window`.
@@ -450,6 +471,9 @@ mod tests {
             let reused = cluster_flags_with(flags, &opts(), &mut scratch);
             assert_eq!(fresh, reused);
         }
+        // After non-trivial fields, every internal buffer (including the
+        // accepted-box output arena) retains capacity for the next call.
+        assert!(scratch.is_warm());
         // 3-D through the same (dimension-tagged) scratch type.
         let mut scratch3 = ClusterScratch::default();
         let f3 = FlagField::from_fn(Box3::from_extents(16, 16, 16), |p| {

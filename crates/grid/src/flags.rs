@@ -70,6 +70,29 @@ impl<const D: usize> FlagField<D> {
         }
     }
 
+    /// Bulk row-major flag marking: visit every axis-0-contiguous run of
+    /// `window` (clipped to the domain) as a mutable `bool` slice and let
+    /// `f` write cells directly — the error-estimator hot loop, which
+    /// would otherwise pay a bounds-checked [`FlagField::set`] per cell.
+    /// The maintained flag counter is refreshed from word-at-a-time run
+    /// counts before and after each visit, so `f` may set (or clear)
+    /// any subset of a run and the O(1) [`FlagField::count`] stays exact.
+    pub fn mark_rows(&mut self, window: &AABox<D>, mut f: impl FnMut(Point<D>, &mut [bool])) {
+        let Some(w) = self.grid.domain().intersect(window) else {
+            return;
+        };
+        let mut delta = 0i64;
+        self.grid.for_each_run_mut(&w, |row, run| {
+            let before = count_set(run);
+            f(row, run);
+            delta += count_set(run) as i64 - before as i64;
+        });
+        self.set_count = self
+            .set_count
+            .checked_add_signed(delta)
+            .expect("flag counter underflow");
+    }
+
     /// Number of flagged cells.
     pub fn count(&self) -> u64 {
         debug_assert_eq!(
@@ -266,6 +289,51 @@ mod tests {
         let w = Rect2::from_coords(2, 3, 4, 5);
         assert_eq!(f.signature_x(&w), vec![3, 3, 3]);
         assert_eq!(f.signature_y(&w), vec![3, 3, 3]);
+    }
+
+    #[test]
+    fn mark_rows_matches_per_cell_set() {
+        // Row-wise marking must agree with per-cell `set` — cells,
+        // counter, and clipping — including over already-set cells and
+        // a window that escapes the domain.
+        let pred = |p: Point2| (p.x * 5 + p.y * 3) % 7 < 2;
+        let windows = [
+            Rect2::from_coords(1, 2, 6, 5),
+            Rect2::from_coords(4, 4, 11, 11),   // clips
+            Rect2::from_coords(-3, -3, -1, -1), // fully outside
+        ];
+        let mut by_set = FlagField::new(d());
+        let mut by_rows = FlagField::new(d());
+        by_set.set(Point2::new(2, 3));
+        by_rows.set(Point2::new(2, 3));
+        for w in &windows {
+            for p in w.iter_cells() {
+                if pred(p) {
+                    by_set.set(p);
+                }
+            }
+            by_rows.mark_rows(w, |row, run| {
+                for (k, cell) in run.iter_mut().enumerate() {
+                    let p = Point2::new(row.x + k as i64, row.y);
+                    if pred(p) {
+                        *cell = true;
+                    }
+                }
+            });
+        }
+        assert_eq!(by_set, by_rows);
+        assert_eq!(by_set.count(), by_rows.count());
+        // A closure that clears cells keeps the counter exact too.
+        by_rows.mark_rows(&Rect2::from_coords(0, 0, 7, 3), |_, run| run.fill(false));
+        let live = by_rows.count();
+        assert_eq!(
+            live,
+            by_rows
+                .domain()
+                .iter_cells()
+                .filter(|&p| by_rows.is_set(p))
+                .count() as u64
+        );
     }
 
     #[test]
