@@ -22,6 +22,12 @@
 //!   Richtmyer–Meshkov instability with turbulent, random-looking
 //!   adaptation.
 //!
+//! Beyond the paper's four, [`pc2d`] is a *synthetic* two-regime
+//! phase-change workload (a spread plateau that collapses into a deeply
+//! nested corner singularity mid-run) built to exercise the adaptive
+//! repartitioning policy, where no single static partitioner choice is
+//! right for the whole run.
+//!
 //! Each kernel advances a uniform *reference* solution and exposes a
 //! normalized feature indicator; [`tracegen`] samples the indicator at
 //! every level's resolution, flags, buffers, clusters (Berger–Rigoutsos)
@@ -35,6 +41,7 @@
 pub mod bl2d;
 pub mod kernel;
 pub mod numerics;
+pub mod pc2d;
 pub mod rm2d;
 pub mod sc2d;
 pub mod sp3d;

@@ -22,6 +22,7 @@
 
 use crate::bl2d::Bl2d;
 use crate::kernel::Kernel;
+use crate::pc2d::Pc2d;
 use crate::rm2d::Rm2d;
 use crate::sc2d::Sc2d;
 use crate::sp3d::Sp3d;
@@ -49,6 +50,9 @@ pub enum AppKind {
     Sc2d,
     /// Richtmyer–Meshkov instability (VTF).
     Rm2d,
+    /// Synthetic two-regime phase-change workload (adaptive-policy
+    /// stressor).
+    Pc2d,
     /// Advecting spherical shell (3-D workload).
     Sp3d,
 }
@@ -61,12 +65,18 @@ impl AppKind {
     /// The 3-D workloads.
     pub const ALL_3D: [AppKind; 1] = [AppKind::Sp3d];
 
+    /// Synthetic workloads built to stress specific machinery rather
+    /// than reproduce a paper figure; excluded from the default
+    /// campaign axis ([`AppKind::ALL`]).
+    pub const SYNTHETIC: [AppKind; 1] = [AppKind::Pc2d];
+
     /// Every application of either dimension.
-    pub const EVERY: [AppKind; 5] = [
+    pub const EVERY: [AppKind; 6] = [
         AppKind::Rm2d,
         AppKind::Bl2d,
         AppKind::Sc2d,
         AppKind::Tp2d,
+        AppKind::Pc2d,
         AppKind::Sp3d,
     ];
 
@@ -77,6 +87,7 @@ impl AppKind {
             AppKind::Bl2d => "BL2D",
             AppKind::Sc2d => "SC2D",
             AppKind::Rm2d => "RM2D",
+            AppKind::Pc2d => "PC2D",
             AppKind::Sp3d => "SP3D",
         }
     }
@@ -98,6 +109,7 @@ impl AppKind {
             "BL2D" => Some(AppKind::Bl2d),
             "SC2D" => Some(AppKind::Sc2d),
             "RM2D" => Some(AppKind::Rm2d),
+            "PC2D" => Some(AppKind::Pc2d),
             "SP3D" => Some(AppKind::Sp3d),
             _ => None,
         }
@@ -200,6 +212,7 @@ pub fn make_kernel(kind: AppKind, cfg: &TraceGenConfig) -> Box<dyn Kernel> {
         AppKind::Bl2d => Box::new(Bl2d::new(cfg.ref_resolution, cfg.steps, cfg.seed)),
         AppKind::Sc2d => Box::new(Sc2d::new(cfg.ref_resolution, cfg.steps, cfg.seed)),
         AppKind::Rm2d => Box::new(Rm2d::new(cfg.ref_resolution, cfg.steps, cfg.seed)),
+        AppKind::Pc2d => Box::new(Pc2d::new(cfg.ref_resolution, cfg.steps, cfg.seed)),
         AppKind::Sp3d => panic!("SP3D is a 3-D workload; use generate_trace_any"),
     }
 }
@@ -668,8 +681,12 @@ mod tests {
         assert_eq!(AppKind::Rm2d.dim(), 2);
         assert_eq!(
             AppKind::EVERY.len(),
-            AppKind::ALL.len() + AppKind::ALL_3D.len()
+            AppKind::ALL.len() + AppKind::ALL_3D.len() + AppKind::SYNTHETIC.len()
         );
+        // The synthetic phase-change stressor is deliberately *not* part
+        // of the paper's figure axis.
+        assert!(!AppKind::ALL.contains(&AppKind::Pc2d));
+        assert_eq!(AppKind::Pc2d.dim(), 2);
         for kind in AppKind::EVERY {
             assert_eq!(AppKind::parse(kind.name()), Some(kind));
             assert!(!kind.describe(&TraceGenConfig::smoke()).is_empty());

@@ -1,6 +1,6 @@
 //! The fixed benchmark suites behind `samr bench`.
 //!
-//! Five suites, one report each:
+//! Six suites, one report each:
 //!
 //! - **kernels** — SFC key generation (2-D/3-D Morton and Hilbert,
 //!   encode and decode, optimized public path *and* the retained scalar
@@ -17,7 +17,14 @@
 //!   trace, row-major flag marking vs the per-cell `set` loop, the
 //!   arena-backed clusterer vs fresh allocation, and the tiered batch
 //!   SFC kernels (detected tier plus a forced-AVX2 run where the CPU
-//!   has it) vs their scalar references.
+//!   has it) vs their scalar references;
+//! - **adaptive** — the repartitioning-policy layer on the PC2D
+//!   phase-change workload: the static partitioner baselines, the
+//!   adaptive presets, and a never-switching policy whose gap to the
+//!   presets isolates the cost of actually switching. The suite
+//!   asserts the quality contract before timing anything: the adaptive
+//!   policy's simulated execution time must beat the best static
+//!   assignment on this workload.
 //!
 //! Bench names are stable identifiers: the checked-in `BENCH_*.json`
 //! baselines and the CI regression check key on them.
@@ -622,6 +629,115 @@ pub fn campaign_report(budget: BenchBudget) -> BenchReport {
     rep
 }
 
+/// The PC2D phase-change configuration the `adaptive` suite runs on: a
+/// 32² base with four levels regridding every step, so the mid-run flip
+/// from spread refinement to a corner point singularity lands in the
+/// trace immediately. Small enough to simulate in milliseconds, deep
+/// enough that a domain cut cannot balance the singular regime.
+pub fn phase_change_config() -> TraceGenConfig {
+    TraceGenConfig {
+        steps: 24,
+        base_cells: 32,
+        max_levels: 4,
+        ratio: 2,
+        regrid_interval: 1,
+        min_block: 2,
+        flag_buffer: 1,
+        nesting_buffer: 1,
+        cluster: ClusterOptions::paper_defaults(),
+        ref_resolution: 64,
+        seed: 2004,
+    }
+}
+
+/// The machine the `adaptive` suite simulates: computation-dominated
+/// (`slow-cpu`), where load imbalance — not communication — decides the
+/// execution time, so the singular regime punishes domain cuts.
+fn phase_change_sim() -> samr_sim::SimConfig {
+    samr_sim::SimConfig {
+        nprocs: 16,
+        machine: samr_sim::MachineModel::slow_cpu(),
+        ..samr_sim::SimConfig::default()
+    }
+}
+
+/// The `adaptive` suite.
+pub fn adaptive_report(budget: BenchBudget) -> BenchReport {
+    use samr_engine::{PartitionerSpec, PolicySpec};
+    use samr_trace::MemorySource;
+
+    let mut rep = BenchReport::new("adaptive", budget);
+    let cfg = phase_change_config();
+    let sim = phase_change_sim();
+    // One generation up front: every measured pass replays the in-memory
+    // trace, so the benches time the policy driver, not trace generation.
+    let trace = samr_apps::generate_trace(AppKind::Pc2d, &cfg);
+
+    let part = |name: &str| PartitionerSpec::parse(name).expect("registry name");
+    let policy = |name: &str| PolicySpec::parse(name).expect("policy name");
+    let run = |partitioner: &PartitionerSpec, pol: &PolicySpec| {
+        let mut source = MemorySource::new(&trace);
+        let (res, stats) = pol
+            .simulate_source::<2>(partitioner, &mut source, &sim)
+            .expect("in-memory sources never fail");
+        (res.total_time, stats.switches())
+    };
+
+    // Quality gate (the reason this suite exists): on the phase-change
+    // workload the adaptive policy must beat the *best* static
+    // assignment. A regression here means the policy layer stopped
+    // switching, or stopped paying off.
+    let statics = ["domain-sfc", "patch", "hybrid"];
+    let best_static = statics
+        .iter()
+        .map(|n| run(&part(n), &PolicySpec::Static).0)
+        .fold(f64::INFINITY, f64::min);
+    let (adaptive_time, switches) = run(&part("domain-sfc"), &policy("adaptive:balance"));
+    assert!(switches >= 1, "adaptive policy never switched on PC2D");
+    assert!(
+        adaptive_time < best_static,
+        "adaptive ({adaptive_time:.0}) no longer beats the best static ({best_static:.0})"
+    );
+
+    let steps = trace.len() as f64;
+    for name in statics {
+        let p = part(name);
+        rep.benches.push(bench_fn(
+            &format!("adaptive_static_{}", name.replace('-', "_")),
+            budget,
+            Some((steps, "steps/s")),
+            || run(&p, &PolicySpec::Static),
+        ));
+    }
+    for preset in ["balance", "eager", "patient"] {
+        let p = part("domain-sfc");
+        let pol = policy(&format!("adaptive:{preset}"));
+        rep.benches.push(bench_fn(
+            &format!("adaptive_policy_{preset}"),
+            budget,
+            Some((steps, "steps/s")),
+            || run(&p, &pol),
+        ));
+    }
+    // The switching-cost twin: a never-switching adaptive policy runs
+    // the exact same sequential window-1 policy driver as the presets
+    // (the static benches above use the windowed batch driver, so they
+    // are not directly comparable), so its gap to
+    // `adaptive_policy_balance` isolates what the mid-run switch and the
+    // repartitioned regime actually cost.
+    {
+        let p = part("domain-sfc");
+        let pol = PolicySpec::Adaptive(samr_meta::AdaptiveConfig::never());
+        rep.benches.push(bench_fn(
+            "adaptive_policy_never",
+            budget,
+            Some((steps, "steps/s")),
+            || run(&p, &pol),
+        ));
+    }
+    rep
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -702,6 +818,26 @@ mod tests {
             rep.get("sfc_avx2_morton2_64k").is_some(),
             rep.get("sfc_avx2_morton2_64k_scalar").is_some()
         );
+    }
+
+    #[test]
+    fn adaptive_suite_is_valid_and_pairs_policies_with_statics() {
+        let rep = adaptive_report(BenchBudget {
+            target_ns: 1_000_000,
+            max_iters: 2,
+        });
+        validate(&rep).expect("valid adaptive report");
+        for name in [
+            "adaptive_static_domain_sfc",
+            "adaptive_static_patch",
+            "adaptive_static_hybrid",
+            "adaptive_policy_balance",
+            "adaptive_policy_eager",
+            "adaptive_policy_patient",
+            "adaptive_policy_never",
+        ] {
+            assert!(rep.get(name).is_some(), "missing {name}");
+        }
     }
 
     #[test]

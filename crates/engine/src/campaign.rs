@@ -12,22 +12,32 @@ use crate::atomic::atomic_write;
 use crate::exec::RayonExecutor;
 use crate::merge::{CampaignManifest, CAMPAIGN_CSV};
 use crate::plan::{CampaignPlan, ShardStrategy};
+use crate::policy::PolicySpec;
 use crate::scenario::{Scenario, ScenarioOutcome};
 use crate::spec::PartitionerSpec;
 use samr_apps::{AppKind, TraceGenConfig};
 use samr_sim::{MachineModel, SimConfig};
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 /// A declarative sweep: the cartesian product of applications,
-/// partitioner specifications, processor counts, ghost widths and
-/// machine models over one trace configuration. The `dims` axis filters
-/// which spatial dimensions participate, so one campaign can sweep 2-D
-/// and 3-D workloads together (`dims: [2, 3]`) or pin either; the
-/// `machines` axis makes PAC-triple studies (application × partitioner ×
-/// machine) one campaign instead of one per machine.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+/// partitioner specifications, repartitioning policies, processor
+/// counts, ghost widths and machine models over one trace
+/// configuration. The `dims` axis filters which spatial dimensions
+/// participate, so one campaign can sweep 2-D and 3-D workloads
+/// together (`dims: [2, 3]`) or pin either; the `machines` axis makes
+/// PAC-triple studies (application × partitioner × machine) one
+/// campaign instead of one per machine; the `policies` axis pits
+/// static partitioner assignment against adaptive mid-run switching
+/// ([`PolicySpec`]) without multiplying campaigns.
+///
+/// Serde is hand-written so `policies` is omitted when it is the
+/// default `[Static]` (and tolerated when missing): the serialized
+/// spec feeds the plan hash, and every pre-policy campaign must keep
+/// its hash — and therefore its resumability and golden artifacts —
+/// byte-identical.
+#[derive(Clone, Debug, PartialEq)]
 pub struct CampaignSpec {
     /// Applications to sweep.
     pub apps: Vec<AppKind>,
@@ -49,6 +59,51 @@ pub struct CampaignSpec {
     /// Reuse the previous distribution on unchanged hierarchies (the
     /// paper's set-up; see [`SimConfig::reuse_unchanged`]).
     pub reuse_unchanged: bool,
+    /// Repartitioning policies to sweep (default `[Static]`; non-static
+    /// policies tag their scenario slugs `_a<preset>`).
+    pub policies: Vec<PolicySpec>,
+}
+
+impl Serialize for CampaignSpec {
+    fn serialize(&self) -> Value {
+        let mut entries = vec![
+            ("apps".to_string(), self.apps.serialize()),
+            ("dims".to_string(), self.dims.serialize()),
+            ("partitioners".to_string(), self.partitioners.serialize()),
+            ("nprocs".to_string(), self.nprocs.serialize()),
+            ("ghost_widths".to_string(), self.ghost_widths.serialize()),
+            ("trace".to_string(), self.trace.serialize()),
+            ("machines".to_string(), self.machines.serialize()),
+            (
+                "reuse_unchanged".to_string(),
+                self.reuse_unchanged.serialize(),
+            ),
+        ];
+        if self.policies != vec![PolicySpec::Static] {
+            entries.push(("policies".to_string(), self.policies.serialize()));
+        }
+        Value::Map(entries)
+    }
+}
+
+impl Deserialize for CampaignSpec {
+    fn deserialize(v: &Value) -> Result<Self, serde::Error> {
+        Ok(Self {
+            apps: serde::field(v, "apps")?,
+            dims: serde::field(v, "dims")?,
+            partitioners: serde::field(v, "partitioners")?,
+            nprocs: serde::field(v, "nprocs")?,
+            ghost_widths: serde::field(v, "ghost_widths")?,
+            trace: serde::field(v, "trace")?,
+            machines: serde::field(v, "machines")?,
+            reuse_unchanged: serde::field(v, "reuse_unchanged")?,
+            policies: match v.get("policies") {
+                Some(p) => Deserialize::deserialize(p)
+                    .map_err(|e| serde::Error::msg(format!("field `policies`: {e}")))?,
+                None => vec![PolicySpec::Static],
+            },
+        })
+    }
 }
 
 impl CampaignSpec {
@@ -66,6 +121,7 @@ impl CampaignSpec {
             trace,
             machines: vec![MachineModel::default()],
             reuse_unchanged: true,
+            policies: vec![PolicySpec::Static],
         }
     }
 
@@ -117,6 +173,13 @@ impl CampaignSpec {
         self
     }
 
+    /// Replace the repartitioning-policy axis (duplicates dropped,
+    /// order kept).
+    pub fn policies(mut self, policies: impl IntoIterator<Item = PolicySpec>) -> Self {
+        self.policies = dedup_axis(policies);
+        self
+    }
+
     /// The applications that actually expand: those whose dimension is on
     /// the `dims` axis.
     fn active_apps(&self) -> Vec<AppKind> {
@@ -131,6 +194,7 @@ impl CampaignSpec {
     pub fn len(&self) -> usize {
         self.active_apps().len()
             * self.partitioners.len()
+            * self.policies.len()
             * self.nprocs.len()
             * self.ghost_widths.len()
             * self.machines.len()
@@ -143,25 +207,32 @@ impl CampaignSpec {
 
     /// Expand the cartesian product into concrete scenarios, in a
     /// deterministic app-major order (apps, then partitioners, then
-    /// processor counts, then ghost widths, then machines).
+    /// policies, then processor counts, then ghost widths, then
+    /// machines). With the default `[Static]` policy axis the order is
+    /// byte-identical to the pre-policy expansion.
     pub fn scenarios(&self) -> Vec<Scenario> {
         let mut out = Vec::with_capacity(self.len());
         for app in self.active_apps() {
             for &partitioner in &self.partitioners {
-                for &nprocs in &self.nprocs {
-                    for &ghost_width in &self.ghost_widths {
-                        for &machine in &self.machines {
-                            out.push(Scenario::new(
-                                app,
-                                self.trace.clone(),
-                                partitioner,
-                                SimConfig {
-                                    nprocs,
-                                    ghost_width,
-                                    machine,
-                                    reuse_unchanged: self.reuse_unchanged,
-                                },
-                            ));
+                for &policy in &self.policies {
+                    for &nprocs in &self.nprocs {
+                        for &ghost_width in &self.ghost_widths {
+                            for &machine in &self.machines {
+                                out.push(
+                                    Scenario::new(
+                                        app,
+                                        self.trace.clone(),
+                                        partitioner,
+                                        SimConfig {
+                                            nprocs,
+                                            ghost_width,
+                                            machine,
+                                            reuse_unchanged: self.reuse_unchanged,
+                                        },
+                                    )
+                                    .with_policy(policy),
+                                );
+                            }
                         }
                     }
                 }

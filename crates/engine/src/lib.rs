@@ -17,9 +17,13 @@
 //!   [`samr_partition::PartitionerChoice`], plus the adaptive
 //!   meta-partitioner and the octant baseline), shared by the selector,
 //!   the benches and the CLI instead of three ad-hoc match blocks;
+//! - [`PolicySpec`]: the repartitioning-policy registry — static
+//!   assignment versus adaptive mid-run switching
+//!   ([`samr_meta::AdaptivePolicy`]) — swept as a first-class campaign
+//!   axis orthogonal to the partitioner axis;
 //! - [`Campaign`]: the plan → execute → merge front end over cartesian
-//!   sweeps (apps × partitioners × processor counts × ghost widths ×
-//!   machines). The [`plan`] layer expands a [`CampaignSpec`] into a
+//!   sweeps (apps × partitioners × policies × processor counts × ghost
+//!   widths × machines). The [`plan`] layer expands a [`CampaignSpec`] into a
 //!   deterministic, serializable [`CampaignPlan`] (stable scenario IDs,
 //!   globally unique artifact slugs, shard assignment via
 //!   [`ShardStrategy`]); the [`exec`] layer runs it behind the
@@ -68,6 +72,7 @@ pub mod exec;
 pub mod merge;
 pub mod pareto;
 pub mod plan;
+pub mod policy;
 pub mod resume;
 pub mod scenario;
 pub mod spec;
@@ -88,6 +93,7 @@ pub use pareto::{
     ParetoEntry, ParetoError, ParetoFront, ParetoPoint, CAMPAIGN_PARETO,
 };
 pub use plan::{CampaignPlan, PlannedScenario, ShardStrategy};
+pub use policy::PolicySpec;
 pub use resume::{Completion, CompletionRecord};
 pub use scenario::{Scenario, ScenarioOutcome, ScenarioSummary};
 pub use spec::PartitionerSpec;

@@ -530,6 +530,8 @@ mod tests {
             mean_rel_comm: objectives[1],
             mean_rel_migration: objectives[2],
             mean_partition_cost: objectives[3],
+            switches: 0,
+            switch_migration_cells: 0,
             comm_shape: crate::validation::ShapeStats::compare(&[0.0, 1.0], &[0.0, 1.0]),
             migration_shape: crate::validation::ShapeStats::compare(&[0.0, 1.0], &[0.0, 1.0]),
             scenario,

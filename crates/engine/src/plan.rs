@@ -163,13 +163,14 @@ fn unique_slugs(scenarios: &[Scenario]) -> Vec<String> {
 
 /// Rough relative cost of simulating one scenario, for size-aware
 /// sharding: snapshots to stream × cells per base grid, doubled for
-/// stateful selectors (strictly sequential, no snapshot parallelism).
-/// Only ratios matter — the estimate steers balance, not correctness.
+/// stateful selectors and non-static policies (both strictly
+/// sequential, no snapshot parallelism). Only ratios matter — the
+/// estimate steers balance, not correctness.
 fn scenario_weight(s: &Scenario) -> u128 {
     let cells = (s.trace.base_cells.max(1) as u128).pow(s.dim as u32);
     let steps = s.trace.steps.max(1) as u128;
-    let stateful = if s.partitioner.stateful() { 2 } else { 1 };
-    steps * cells * stateful
+    let sequential = s.partitioner.stateful() || !s.policy.is_static();
+    steps * cells * if sequential { 2 } else { 1 }
 }
 
 fn assign_shards(scenarios: &[Scenario], nshards: usize, strategy: ShardStrategy) -> Vec<usize> {

@@ -1,20 +1,26 @@
 //! One fully described pipeline run and its measured outcome.
 
+use crate::policy::PolicySpec;
 use crate::spec::PartitionerSpec;
 use crate::store::{cached_model, cached_source, cached_trace};
 use crate::validation::ShapeStats;
 use samr_apps::{AppKind, TraceGenConfig};
 use samr_core::ModelState;
-use samr_sim::{SimConfig, SimResult};
+use samr_sim::{SimConfig, SimResult, StreamStats};
 use samr_trace::{shared_source, AnySnapshotSource, HierarchyTrace, MemorySource};
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 use std::sync::Arc;
 
 /// A statically described experiment: everything needed to reproduce one
 /// trace → model → partition → simulate run. Serializable, so scenarios
 /// can be stored next to their artifacts and re-run from the description
 /// alone.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+///
+/// Serde is hand-written so the `policy` field is omitted when it is
+/// the default [`PolicySpec::Static`] (and tolerated when missing):
+/// static scenarios' JSON artifacts stay byte-identical to the
+/// pre-policy era, and pre-policy artifacts still parse.
+#[derive(Clone, Debug, PartialEq)]
 pub struct Scenario {
     /// Which application kernel produces the trace.
     pub app: AppKind,
@@ -26,8 +32,44 @@ pub struct Scenario {
     pub trace: TraceGenConfig,
     /// Which partitioner to run.
     pub partitioner: PartitionerSpec,
+    /// How the partitioner is driven over time (static, or adaptive
+    /// repartitioning that may switch mid-run).
+    pub policy: PolicySpec,
     /// Simulation configuration (processor count, ghost width, machine).
     pub sim: SimConfig,
+}
+
+impl Serialize for Scenario {
+    fn serialize(&self) -> Value {
+        let mut entries = vec![
+            ("app".to_string(), self.app.serialize()),
+            ("dim".to_string(), self.dim.serialize()),
+            ("trace".to_string(), self.trace.serialize()),
+            ("partitioner".to_string(), self.partitioner.serialize()),
+        ];
+        if self.policy != PolicySpec::Static {
+            entries.push(("policy".to_string(), self.policy.serialize()));
+        }
+        entries.push(("sim".to_string(), self.sim.serialize()));
+        Value::Map(entries)
+    }
+}
+
+impl Deserialize for Scenario {
+    fn deserialize(v: &Value) -> Result<Self, serde::Error> {
+        Ok(Self {
+            app: serde::field(v, "app")?,
+            dim: serde::field(v, "dim")?,
+            trace: serde::field(v, "trace")?,
+            partitioner: serde::field(v, "partitioner")?,
+            policy: match v.get("policy") {
+                Some(p) => Deserialize::deserialize(p)
+                    .map_err(|e| serde::Error::msg(format!("field `policy`: {e}")))?,
+                None => PolicySpec::Static,
+            },
+            sim: serde::field(v, "sim")?,
+        })
+    }
 }
 
 impl Scenario {
@@ -43,8 +85,15 @@ impl Scenario {
             dim: app.dim(),
             trace,
             partitioner,
+            policy: PolicySpec::Static,
             sim,
         }
+    }
+
+    /// The scenario with its repartitioning policy replaced.
+    pub fn with_policy(mut self, policy: PolicySpec) -> Self {
+        self.policy = policy;
+        self
     }
 
     /// The machine tag of the scenario's slug: empty for the default
@@ -56,8 +105,9 @@ impl Scenario {
 
     /// Stable slug identifying the scenario inside its campaign, used
     /// for artifact file names: `bl2d_hybrid_p16_g1`. Non-default
-    /// machines append `_m<machine>` and 3-D scenarios `_d3`;
-    /// default-machine 2-D slugs are unchanged from the 2-D-only era, so
+    /// machines append `_m<machine>`, 3-D scenarios `_d3`, non-static
+    /// policies `_a<preset>` (e.g. `_abalance`); default-machine 2-D
+    /// static-policy slugs are unchanged from the 2-D-only era, so
     /// existing artifact paths stay stable.
     pub fn slug(&self) -> String {
         let machine_suffix = if self.sim.machine == samr_sim::MachineModel::default() {
@@ -67,13 +117,14 @@ impl Scenario {
         };
         let dim_suffix = if self.dim == 3 { "_d3" } else { "" };
         format!(
-            "{}_{}_p{}_g{}{}{}",
+            "{}_{}_p{}_g{}{}{}{}",
             self.app.name().to_lowercase(),
             self.partitioner.slug(),
             self.sim.nprocs,
             self.sim.ghost_width,
             machine_suffix,
             dim_suffix,
+            self.policy.slug_suffix(),
         )
     }
 
@@ -94,10 +145,16 @@ impl Scenario {
         );
         let model = cached_model(self.app, &self.trace);
         let simulate = |source: &mut AnySnapshotSource| match source {
-            AnySnapshotSource::D2(s) => self.partitioner.simulate_source::<2>(s, &self.sim),
-            AnySnapshotSource::D3(s) => self.partitioner.simulate_source::<3>(s, &self.sim),
+            AnySnapshotSource::D2(s) => {
+                self.policy
+                    .simulate_source::<2>(&self.partitioner, s, &self.sim)
+            }
+            AnySnapshotSource::D3(s) => {
+                self.policy
+                    .simulate_source::<3>(&self.partitioner, s, &self.sim)
+            }
         };
-        let sim = cached_source(self.app, &self.trace)
+        let (sim, stats) = cached_source(self.app, &self.trace)
             .and_then(|mut source| simulate(&mut source))
             .unwrap_or_else(|_| {
                 // Disk trouble (full temp dir, reaped spill file) must
@@ -105,15 +162,17 @@ impl Scenario {
                 let mut source = shared_source(cached_trace(self.app, &self.trace));
                 simulate(&mut source).expect("in-memory snapshot sources cannot fail")
             });
-        outcome_from(self, sim, model)
+        outcome_from(self, sim, stats, model)
     }
 }
 
-/// Assemble a scenario outcome from its simulation result and shared
-/// model series (the tail shared by the streaming and batch paths).
+/// Assemble a scenario outcome from its simulation result, streaming
+/// statistics and shared model series (the tail shared by the streaming
+/// and batch paths).
 fn outcome_from(
     scenario: &Scenario,
     sim: SimResult,
+    stats: StreamStats,
     model: Arc<Vec<ModelState>>,
 ) -> ScenarioOutcome {
     // Step 0 has neither a migration measurement nor a β_m (no previous
@@ -127,6 +186,7 @@ fn outcome_from(
         migration_shape: ShapeStats::compare(&beta_m, &rel_mig),
         scenario: scenario.clone(),
         sim,
+        stats,
         model,
     }
 }
@@ -145,11 +205,15 @@ pub(crate) fn run_on_trace<const D: usize>(
     trace: &HierarchyTrace<D>,
     model: Arc<Vec<ModelState>>,
 ) -> ScenarioOutcome {
-    let sim = scenario
-        .partitioner
-        .simulate_source(&mut MemorySource::new(trace), &scenario.sim)
+    let (sim, stats) = scenario
+        .policy
+        .simulate_source(
+            &scenario.partitioner,
+            &mut MemorySource::new(trace),
+            &scenario.sim,
+        )
         .expect("in-memory snapshot sources cannot fail");
-    outcome_from(scenario, sim, model)
+    outcome_from(scenario, sim, stats, model)
 }
 
 /// The measured outcome of one scenario.
@@ -159,6 +223,9 @@ pub struct ScenarioOutcome {
     pub scenario: Scenario,
     /// Per-step simulation metrics under the scenario's partitioner.
     pub sim: SimResult,
+    /// Streaming-driver statistics: peak residency plus the policy's
+    /// switch events (empty under the static policy).
+    pub stats: StreamStats,
     /// Per-step model states over the same trace (shared across the
     /// scenarios of one application).
     pub model: Arc<Vec<ModelState>>,
@@ -206,16 +273,24 @@ impl ScenarioOutcome {
             mean_rel_comm: self.sim.steps.iter().map(|s| s.rel_comm).sum::<f64>() / n,
             mean_rel_migration: self.sim.steps.iter().map(|s| s.rel_migration).sum::<f64>() / n,
             mean_partition_cost: self.sim.steps.iter().map(|s| s.partition_cost).sum::<f64>() / n,
+            switches: self.stats.switches(),
+            switch_migration_cells: self.stats.switch_migration_cells(),
             comm_shape: self.comm_shape,
             migration_shape: self.migration_shape,
         }
     }
 
-    /// One-line human-readable digest (printed by the CLI).
+    /// One-line human-readable digest (printed by the CLI). Scenarios
+    /// under a non-static policy append their switch count.
     pub fn digest(&self) -> String {
         let s = self.summary();
+        let switches = if self.scenario.policy.is_static() {
+            String::new()
+        } else {
+            format!(" switches={}", s.switches)
+        };
         format!(
-            "{:24} total_time={:10.0} imbalance={:.3} rel_comm={:.4} rel_mig={:.4} comm_r={:.3} mig_r={:.3}",
+            "{:24} total_time={:10.0} imbalance={:.3} rel_comm={:.4} rel_mig={:.4} comm_r={:.3} mig_r={:.3}{}",
             self.scenario.slug(),
             s.total_time,
             s.mean_imbalance,
@@ -223,12 +298,18 @@ impl ScenarioOutcome {
             s.mean_rel_migration,
             s.comm_shape.correlation,
             s.migration_shape.correlation,
+            switches,
         )
     }
 }
 
 /// Aggregate summary of a scenario outcome — the JSON artifact schema.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+///
+/// Serde is hand-written for the same artifact-stability reason as
+/// [`Scenario`]'s: the switch fields are emitted only for non-static
+/// policies (a static policy cannot switch, so recording `0` would just
+/// churn every historical artifact) and default to zero when absent.
+#[derive(Clone, Debug)]
 pub struct ScenarioSummary {
     /// The scenario description (reproducible from this alone).
     pub scenario: Scenario,
@@ -247,10 +328,81 @@ pub struct ScenarioSummary {
     /// Mean partitioner-invocation cost per coarse step (machine-model
     /// units; the regrid-overhead axis of the Pareto analysis).
     pub mean_partition_cost: f64,
+    /// How many times the policy switched partitioners mid-run (always
+    /// `0` under the static policy).
+    pub switches: usize,
+    /// Total migration volume charged on switch steps (cells).
+    pub switch_migration_cells: u64,
     /// β_c vs. measured communication shape statistics.
     pub comm_shape: ShapeStats,
     /// β_m vs. measured migration shape statistics.
     pub migration_shape: ShapeStats,
+}
+
+impl Serialize for ScenarioSummary {
+    fn serialize(&self) -> Value {
+        let mut entries = vec![
+            ("scenario".to_string(), self.scenario.serialize()),
+            (
+                "partitioner_name".to_string(),
+                self.partitioner_name.serialize(),
+            ),
+            ("steps".to_string(), self.steps.serialize()),
+            ("total_time".to_string(), self.total_time.serialize()),
+            (
+                "mean_imbalance".to_string(),
+                self.mean_imbalance.serialize(),
+            ),
+            ("mean_rel_comm".to_string(), self.mean_rel_comm.serialize()),
+            (
+                "mean_rel_migration".to_string(),
+                self.mean_rel_migration.serialize(),
+            ),
+            (
+                "mean_partition_cost".to_string(),
+                self.mean_partition_cost.serialize(),
+            ),
+        ];
+        if self.scenario.policy != PolicySpec::Static {
+            entries.push(("switches".to_string(), self.switches.serialize()));
+            entries.push((
+                "switch_migration_cells".to_string(),
+                self.switch_migration_cells.serialize(),
+            ));
+        }
+        entries.push(("comm_shape".to_string(), self.comm_shape.serialize()));
+        entries.push((
+            "migration_shape".to_string(),
+            self.migration_shape.serialize(),
+        ));
+        Value::Map(entries)
+    }
+}
+
+impl Deserialize for ScenarioSummary {
+    fn deserialize(v: &Value) -> Result<Self, serde::Error> {
+        let optional_u64 = |name: &str| -> Result<u64, serde::Error> {
+            match v.get(name) {
+                Some(f) => Deserialize::deserialize(f)
+                    .map_err(|e| serde::Error::msg(format!("field `{name}`: {e}"))),
+                None => Ok(0),
+            }
+        };
+        Ok(Self {
+            scenario: serde::field(v, "scenario")?,
+            partitioner_name: serde::field(v, "partitioner_name")?,
+            steps: serde::field(v, "steps")?,
+            total_time: serde::field(v, "total_time")?,
+            mean_imbalance: serde::field(v, "mean_imbalance")?,
+            mean_rel_comm: serde::field(v, "mean_rel_comm")?,
+            mean_rel_migration: serde::field(v, "mean_rel_migration")?,
+            mean_partition_cost: serde::field(v, "mean_partition_cost")?,
+            switches: optional_u64("switches")? as usize,
+            switch_migration_cells: optional_u64("switch_migration_cells")?,
+            comm_shape: serde::field(v, "comm_shape")?,
+            migration_shape: serde::field(v, "migration_shape")?,
+        })
+    }
 }
 
 #[cfg(test)]

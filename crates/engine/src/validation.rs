@@ -175,7 +175,9 @@ impl ValidationRun {
             AppKind::Bl2d => 5,
             AppKind::Sc2d => 6,
             AppKind::Tp2d => 7,
-            AppKind::Sp3d => unreachable!("the paper's figures are 2-D"),
+            AppKind::Pc2d | AppKind::Sp3d => {
+                unreachable!("only the paper's four 2-D kernels have figures")
+            }
         }
     }
 
@@ -242,6 +244,7 @@ impl ValidationRun {
             trace: cfg.clone(),
             machines: vec![sim_cfg.machine],
             reuse_unchanged: sim_cfg.reuse_unchanged,
+            policies: vec![crate::policy::PolicySpec::Static],
         };
         let outcomes = crate::campaign::Campaign::run(&spec);
         // Scenario order is app-major with the hybrid spec first.

@@ -3,7 +3,7 @@
 //! repeated runs and across thread counts.
 
 use samr_apps::{AppKind, TraceGenConfig};
-use samr_engine::{Campaign, CampaignSpec, PartitionerSpec, Scenario};
+use samr_engine::{Campaign, CampaignSpec, PartitionerSpec, PolicySpec, Scenario};
 
 fn two_by_two() -> CampaignSpec {
     CampaignSpec::new(TraceGenConfig::smoke())
@@ -267,6 +267,75 @@ fn spilled_traces_produce_byte_identical_campaigns() {
         spilled == admitted,
         "disk-spilled and memory-admitted campaigns diverged"
     );
+}
+
+/// The policies axis is a first-class campaign dimension: it multiplies
+/// the expansion, tags adaptive slugs with `_a<preset>`, round-trips
+/// through the spec JSON, and leaves every default-policy artifact —
+/// spec bytes, plan hash, scenario slugs — exactly as it was before the
+/// axis existed.
+#[test]
+fn policies_axis_expands_tags_and_roundtrips() {
+    let adaptive = PolicySpec::parse("adaptive:balance").unwrap();
+    let spec = two_by_two().policies([PolicySpec::Static, adaptive]);
+    assert_eq!(spec.len(), 2 * two_by_two().len());
+
+    let scenarios = spec.scenarios();
+    let static_slugs: Vec<String> = scenarios
+        .iter()
+        .filter(|s| s.policy == PolicySpec::Static)
+        .map(Scenario::slug)
+        .collect();
+    let adaptive_slugs: Vec<String> = scenarios
+        .iter()
+        .filter(|s| s.policy == adaptive)
+        .map(Scenario::slug)
+        .collect();
+    // Static scenarios keep their pre-policy slugs; adaptive ones are
+    // tagged, so every slug in the doubled campaign stays unique.
+    let before: Vec<String> = two_by_two()
+        .scenarios()
+        .iter()
+        .map(Scenario::slug)
+        .collect();
+    assert_eq!(static_slugs, before);
+    assert!(adaptive_slugs.iter().all(|s| s.ends_with("_abalance")));
+
+    // The spec with a non-default axis round-trips through JSON; the
+    // default axis serializes to the exact pre-policy bytes (no
+    // "policies" key), so plan hashes of existing campaigns are stable.
+    let json = serde_json::to_string(&spec).unwrap();
+    assert!(json.contains("\"policies\""));
+    let back: CampaignSpec = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, spec);
+    let default_json = serde_json::to_string(&two_by_two()).unwrap();
+    assert!(!default_json.contains("policies"));
+}
+
+/// An adaptive-policy scenario runs end-to-end inside a campaign and
+/// reports its switch accounting in the summary JSON, which a static
+/// summary omits entirely.
+#[test]
+fn adaptive_policies_run_inside_campaigns() {
+    let spec = CampaignSpec::new(TraceGenConfig::smoke())
+        .apps([AppKind::Bl2d])
+        .partitioners([PartitionerSpec::parse("domain-sfc").unwrap()])
+        .policies([
+            PolicySpec::Static,
+            PolicySpec::parse("adaptive:eager").unwrap(),
+        ])
+        .nprocs([8]);
+    let outcomes = Campaign::run(&spec);
+    assert_eq!(outcomes.len(), 2);
+    for o in &outcomes {
+        assert!(o.sim.total_time > 0.0);
+        assert_eq!(o.sim.steps.len(), o.model.len());
+        let json = serde_json::to_string(&o.summary()).unwrap();
+        let has_switch_fields = json.contains("\"switches\"");
+        assert_eq!(has_switch_fields, o.scenario.policy != PolicySpec::Static);
+        let back: samr_engine::ScenarioSummary = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.switches, o.stats.switches());
+    }
 }
 
 #[test]

@@ -33,6 +33,8 @@ fn summary_with(v: [f64; 4]) -> ScenarioSummary {
         mean_rel_comm: v[1],
         mean_rel_migration: v[2],
         mean_partition_cost: v[3],
+        switches: 0,
+        switch_migration_cells: 0,
         comm_shape: ShapeStats::compare(&[0.0, 1.0], &[0.0, 1.0]),
         migration_shape: ShapeStats::compare(&[0.0, 1.0], &[0.0, 1.0]),
         scenario,

@@ -111,10 +111,12 @@ fn outcome(name: String, steps: &[StepMetrics], total: f64) -> RunOutcome {
 }
 
 /// Compare the three static partitioner families (default
-/// configurations) against the meta-partitioner, opening one snapshot
-/// stream per partitioner through `open` — the bounded-memory form: a
-/// trace on disk is re-read per pass instead of being held whole. Each
-/// pass runs strictly sequentially (the selectors are stateful).
+/// configurations) against the meta-partitioner. The snapshot stream is
+/// opened through `open` exactly **once** and drained into a shared
+/// in-memory trace that every pass replays — N compared partitioners
+/// cost one trace generation (an `open` backed by a generator used to
+/// regenerate the whole trace per pass). Each pass runs strictly
+/// sequentially (the selectors are stateful).
 pub fn compare_on_sources<const D: usize, S, F>(
     mut open: F,
     cfg: &SimConfig,
@@ -123,6 +125,14 @@ where
     S: SnapshotSource<D>,
     F: FnMut() -> Result<S, TraceIoError>,
 {
+    let trace = {
+        let mut source = open()?;
+        let mut t = HierarchyTrace::new(source.meta().clone());
+        while let Some(snap) = source.next_snapshot()? {
+            t.push(snap);
+        }
+        t
+    };
     let statics: Vec<Box<dyn Partitioner<D> + Sync>> = vec![
         Box::new(DomainSfcPartitioner::default()),
         Box::new(PatchPartitioner::default()),
@@ -130,13 +140,14 @@ where
     ];
     let mut static_runs = Vec::with_capacity(statics.len());
     for p in &statics {
-        let (steps, total) = run_sequential_source(&mut open()?, p.as_ref(), cfg)?;
+        let (steps, total) =
+            run_sequential_source(&mut MemorySource::new(&trace), p.as_ref(), cfg)?;
         static_runs.push(outcome(p.name(), &steps, total));
     }
     let meta = MetaPartitioner::for_machine(&cfg.machine);
-    let (steps, total) = run_sequential_source(&mut open()?, &meta, cfg)?;
+    let (steps, total) = run_sequential_source(&mut MemorySource::new(&trace), &meta, cfg)?;
     let octant = OctantMetaPartitioner::new();
-    let (osteps, ototal) = run_sequential_source(&mut open()?, &octant, cfg)?;
+    let (osteps, ototal) = run_sequential_source(&mut MemorySource::new(&trace), &octant, cfg)?;
     Ok(ComparisonResult {
         static_runs,
         meta_run: outcome(meta.name(), &steps, total),
@@ -198,6 +209,25 @@ mod tests {
             res.meta_run.total_time,
             res.best_static().total_time
         );
+    }
+
+    #[test]
+    fn comparison_generates_the_trace_once() {
+        // Five partitioners are compared, but the source is opened (and
+        // the trace therefore generated) exactly once.
+        let trace = generate_trace(AppKind::Tp2d, &TraceGenConfig::smoke());
+        let mut opens = 0usize;
+        let shared = compare_on_sources::<2, _, _>(
+            || {
+                opens += 1;
+                Ok(MemorySource::new(&trace))
+            },
+            &cfg(),
+        )
+        .unwrap();
+        assert_eq!(opens, 1);
+        // And the shared replay changes nothing about the outcomes.
+        assert_eq!(shared, compare_on_trace(&trace, &cfg()));
     }
 
     #[test]

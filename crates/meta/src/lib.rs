@@ -16,16 +16,22 @@
 //! - [`compare`]: the experiment driver comparing every *static*
 //!   partitioner choice against the dynamic meta-partitioner on a trace —
 //!   the proof-of-concept claim (§1/§3: even simple dynamic selection
-//!   reduces execution times) made reproducible.
+//!   reduces execution times) made reproducible;
+//! - [`policy`]: adaptive repartitioning policies — the
+//!   [`samr_sim::policy::PartitionPolicy`] implementations that switch
+//!   the partitioner *mid-run* when observed imbalance or communication
+//!   crosses a hysteresis threshold, paying the switch's migration bill.
 
 #![warn(missing_docs)]
 
 pub mod compare;
 pub mod meta;
 pub mod octant_meta;
+pub mod policy;
 pub mod selector;
 
 pub use compare::{compare_on_sources, compare_on_trace, ComparisonResult};
 pub use meta::MetaPartitioner;
 pub use octant_meta::OctantMetaPartitioner;
-pub use selector::{PartitionerChoice, Selector, SelectorConfig};
+pub use policy::{adaptive_presets, AdaptiveConfig, AdaptivePolicy};
+pub use selector::{PartitionerChoice, PatienceGate, Selector, SelectorConfig};

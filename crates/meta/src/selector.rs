@@ -71,13 +71,59 @@ impl Default for SelectorConfig {
     }
 }
 
+/// The consecutive-agreement switch guard — the "prevent over-reacting
+/// to sudden changes" idea of ArMADA's sliding window, factored out so
+/// the selector and the adaptive partition policies share one
+/// implementation instead of growing two.
+///
+/// The gate holds the *pending* candidate and its vote count. Each
+/// [`vote`](Self::vote) for the same candidate increments the count; a
+/// vote for a different candidate restarts it at one. The vote that
+/// reaches `patience` consecutive agreements clears the gate and returns
+/// `true` — the caller commits the switch. [`reset`](Self::reset) drops
+/// pending votes (the current choice was re-affirmed, or a phase
+/// boundary was crossed).
+#[derive(Clone, Debug, Default)]
+pub struct PatienceGate<T: Copy + PartialEq> {
+    pending: Option<(T, usize)>,
+}
+
+impl<T: Copy + PartialEq> PatienceGate<T> {
+    /// A gate with no pending votes.
+    pub fn new() -> Self {
+        Self { pending: None }
+    }
+
+    /// Cast one vote for switching to `candidate`; `true` means the
+    /// candidate has now agreed `patience` times in a row (clamped to at
+    /// least 1) and the switch should be committed.
+    pub fn vote(&mut self, candidate: T, patience: usize) -> bool {
+        let votes = match self.pending {
+            Some((c, n)) if c == candidate => n + 1,
+            _ => 1,
+        };
+        if votes >= patience.max(1) {
+            self.pending = None;
+            true
+        } else {
+            self.pending = Some((candidate, votes));
+            false
+        }
+    }
+
+    /// Drop any pending votes.
+    pub fn reset(&mut self) {
+        self.pending = None;
+    }
+}
+
 /// Stateful selector with hysteresis and switch patience.
 #[derive(Clone, Debug)]
 pub struct Selector {
     /// Thresholds.
     pub config: SelectorConfig,
     last: Option<(ClassificationPoint, PartitionerChoice)>,
-    pending: Option<(PartitionerChoice, usize)>,
+    gate: PatienceGate<PartitionerChoice>,
 }
 
 impl Selector {
@@ -86,7 +132,7 @@ impl Selector {
         Self {
             config,
             last: None,
-            pending: None,
+            gate: PatienceGate::new(),
         }
     }
 
@@ -169,25 +215,19 @@ impl Selector {
             return choice;
         };
         if anchor.distance(p) < self.config.hysteresis {
-            self.pending = None;
+            self.gate.reset();
             return current;
         }
         let mapped = self.map(input);
         if mapped == current {
-            self.pending = None;
+            self.gate.reset();
             self.last = Some((*p, current));
             return current;
         }
-        let votes = match self.pending {
-            Some((c, n)) if c == mapped => n + 1,
-            _ => 1,
-        };
-        if votes >= self.config.switch_patience.max(1) {
-            self.pending = None;
+        if self.gate.vote(mapped, self.config.switch_patience) {
             self.last = Some((*p, mapped));
             mapped
         } else {
-            self.pending = Some((mapped, votes));
             current
         }
     }
@@ -196,7 +236,7 @@ impl Selector {
     /// boundaries).
     pub fn reset(&mut self) {
         self.last = None;
-        self.pending = None;
+        self.gate.reset();
     }
 }
 
@@ -355,6 +395,25 @@ mod tests {
         s.select(&input(0.3, 0.3, 0.5, 0.1)); // agreeing again: reset
         let again = s.select(&input(0.9, 0.15, 0.5, 0.1)); // vote hybrid (1)
         assert_eq!(again, first, "patience must have been reset");
+    }
+
+    #[test]
+    fn patience_gate_counts_consecutive_votes_only() {
+        let mut g = PatienceGate::new();
+        assert!(!g.vote('a', 3));
+        assert!(!g.vote('a', 3));
+        assert!(g.vote('a', 3), "third consecutive vote commits");
+        // The gate cleared itself: the count restarts.
+        assert!(!g.vote('a', 3));
+        // A different candidate restarts the count.
+        assert!(!g.vote('b', 3));
+        assert!(!g.vote('a', 3));
+        // A reset drops pending votes.
+        g.reset();
+        assert!(!g.vote('a', 2));
+        assert!(g.vote('a', 2));
+        // Patience is clamped to at least one vote.
+        assert!(g.vote('c', 0));
     }
 
     #[test]

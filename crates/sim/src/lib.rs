@@ -20,10 +20,15 @@
 //!   counts and the paper's §4.1 *grid-relative* normalizations;
 //! - [`exec`]: a machine model turning cell counts into execution-time
 //!   estimates (used by the meta-partitioner experiments);
+//! - [`policy`]: partition policies — the runtime owner of the "which
+//!   partitioner" decision ([`StaticPolicy`] here; adaptive policies
+//!   implement the same [`PartitionPolicy`] contract upstack in
+//!   `samr-meta`);
 //! - [`stream`]: the windowed streaming driver — a
 //!   [`samr_trace::SnapshotSource`] in, per-step metrics out, with peak
 //!   residency bounded by the window size (snapshot-parallel within each
-//!   window; strictly sequential at window 1 for stateful selectors);
+//!   window; strictly sequential at window 1 for stateful selectors and
+//!   switching policies);
 //! - [`simulate`]: the batch facade that runs a whole
 //!   [`samr_trace::HierarchyTrace`] through the windowed driver.
 
@@ -34,11 +39,16 @@ pub mod exec;
 pub mod index;
 pub mod metrics;
 pub mod migration;
+pub mod policy;
 pub mod simulate;
 pub mod stream;
 
 pub use exec::MachineModel;
 pub use index::{FragIndex, MetricScratch};
 pub use metrics::{SeriesSummary, StepMetrics};
+pub use policy::{PartitionPolicy, PolicySwitch, StaticPolicy, SwitchEvent};
 pub use simulate::{simulate_trace, step_metrics, step_metrics_with, SimConfig, SimResult};
-pub use stream::{default_window, simulate_source, simulate_source_stats, StreamStats};
+pub use stream::{
+    default_window, simulate_policy_source_stats, simulate_source, simulate_source_stats,
+    StreamStats,
+};

@@ -19,6 +19,7 @@
 //! state evolves exactly as in a live run.
 
 use crate::index::MetricScratch;
+use crate::policy::{PartitionPolicy, PolicySwitch, StaticPolicy, SwitchEvent};
 use crate::simulate::{step_metrics_with, SimConfig, SimResult};
 use rayon::prelude::*;
 use samr_partition::{Partition, PartitionScratch, Partitioner};
@@ -55,15 +56,31 @@ pub fn default_window() -> usize {
     })
 }
 
-/// Residency accounting of one [`simulate_source_stats`] run, for tests
-/// and capacity planning.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+/// Residency and adaptation accounting of one
+/// [`simulate_source_stats`] / [`simulate_policy_source_stats`] run, for
+/// tests and capacity planning.
+#[derive(Clone, Debug, PartialEq)]
 pub struct StreamStats {
     /// Most snapshots ever live in the driver at once: the filled window
     /// plus the carried predecessor (so at most `window + 1`).
     pub peak_resident: usize,
     /// Total snapshots consumed from the source.
     pub snapshots: usize,
+    /// Every partitioner switch that took effect, in step order, with
+    /// its charged migration volume. Always empty for a static policy.
+    pub switch_events: Vec<SwitchEvent>,
+}
+
+impl StreamStats {
+    /// Number of partitioner switches that took effect.
+    pub fn switches(&self) -> usize {
+        self.switch_events.len()
+    }
+
+    /// Total grid points moved by switch steps — the adaptation bill.
+    pub fn switch_migration_cells(&self) -> u64 {
+        self.switch_events.iter().map(|e| e.migration_cells).sum()
+    }
 }
 
 /// Run a snapshot stream through `partitioner` on `cfg.nprocs`
@@ -80,9 +97,42 @@ pub fn simulate_source<const D: usize>(
 }
 
 /// [`simulate_source`] plus residency statistics.
+///
+/// The fixed-partitioner facade over [`simulate_policy_source_stats`]:
+/// wraps `partitioner` in a [`StaticPolicy`], which the policy driver
+/// reproduces byte-identically (pinned by this module's tests against
+/// the batch driver).
 pub fn simulate_source_stats<const D: usize>(
     source: &mut (dyn SnapshotSource<D> + '_),
     partitioner: &(dyn Partitioner<D> + Sync),
+    cfg: &SimConfig,
+    window: usize,
+) -> Result<(SimResult, StreamStats), TraceIoError> {
+    let mut policy = StaticPolicy::new(partitioner);
+    simulate_policy_source_stats(source, &mut policy, cfg, window)
+}
+
+/// Run a snapshot stream under a [`PartitionPolicy`] — the policy owns
+/// the partitioner and may switch it mid-stream.
+///
+/// Per snapshot the driver (1) repartitions with the policy's *current*
+/// partitioner (or reuses the previous distribution when the hierarchy
+/// is unchanged and no switch is pending), (2) computes the step's
+/// metrics against the carried predecessor, then (3) feeds the metrics
+/// to [`PartitionPolicy::observe`]. A returned [`PolicySwitch`] forces
+/// the next snapshot to repartition — even an unchanged one — so the
+/// switch materializes; that step's migration volume against the old
+/// distribution is the switch's charged cost, recorded as a
+/// [`SwitchEvent`] in the returned [`StreamStats`]. A switch requested
+/// on the final snapshot never takes effect and is charged nothing.
+///
+/// The window-parallel pre-partitioning fast path only applies to
+/// static policies (`window > 1` with a switching policy would
+/// pre-partition with a stale partitioner); adaptive policies run the
+/// strictly sequential regime regardless of `window`.
+pub fn simulate_policy_source_stats<const D: usize>(
+    source: &mut (dyn SnapshotSource<D> + '_),
+    policy: &mut (dyn PartitionPolicy<D> + '_),
     cfg: &SimConfig,
     window: usize,
 ) -> Result<(SimResult, StreamStats), TraceIoError> {
@@ -92,9 +142,15 @@ pub fn simulate_source_stats<const D: usize>(
     let mut carry: Option<(Snapshot<D>, Partition<D>)> = None;
     let mut peak_resident = 0usize;
     let mut consumed = 0usize;
+    // A switch the policy requested on the previous snapshot, waiting to
+    // materialize (and be charged) on the next repartitioning.
+    let mut pending: Option<PolicySwitch> = None;
+    let mut switch_events: Vec<SwitchEvent> = Vec::new();
     // Arenas reused across every snapshot of the stream: the sequential
     // partitioning path and the per-step metric walks are allocation-free
-    // at steady state.
+    // at steady state. Both arenas are partitioner-agnostic (pure
+    // geometry buffers), so reuse stays correct across a mid-stream
+    // partitioner change.
     let mut pscratch = PartitionScratch::<D>::default();
     let mut mscratch = MetricScratch::<D>::default();
     loop {
@@ -112,8 +168,11 @@ pub fn simulate_source_stats<const D: usize>(
         peak_resident = peak_resident.max(buf.len() + usize::from(carry.is_some()));
         // Pre-partition the whole window in parallel — except in the
         // sequential (window 1) regime, where partitioners run on demand
-        // so stateful selectors see exactly the live invocation order.
-        let mut pre: Vec<Option<Partition<D>>> = if window > 1 {
+        // so stateful selectors see exactly the live invocation order,
+        // and under switching policies, where the current partitioner is
+        // only known once the preceding step's metrics were observed.
+        let mut pre: Vec<Option<Partition<D>>> = if window > 1 && policy.is_static() {
+            let partitioner = policy.current();
             buf.par_iter()
                 .map(|s| Some(partitioner.partition(&s.hierarchy, cfg.nprocs)))
                 .collect()
@@ -122,7 +181,10 @@ pub fn simulate_source_stats<const D: usize>(
         };
         let mut eff: Vec<Partition<D>> = Vec::with_capacity(buf.len());
         for i in 0..buf.len() {
-            let unchanged = cfg.reuse_unchanged && {
+            // A pending switch suppresses the unchanged-hierarchy skip:
+            // the new partitioner must actually produce (and pay for) a
+            // distribution before any reuse may resume.
+            let unchanged = pending.is_none() && cfg.reuse_unchanged && {
                 let prev_h = if i == 0 {
                     carry.as_ref().map(|(s, _)| &s.hierarchy)
                 } else {
@@ -140,11 +202,13 @@ pub fn simulate_source_stats<const D: usize>(
             } else {
                 let part = match pre[i].take() {
                     Some(p) => p,
-                    None => {
-                        partitioner.partition_with(&buf[i].hierarchy, cfg.nprocs, &mut pscratch)
-                    }
+                    None => policy.current().partition_with(
+                        &buf[i].hierarchy,
+                        cfg.nprocs,
+                        &mut pscratch,
+                    ),
                 };
-                (part, partitioner.cost_estimate(&buf[i].hierarchy))
+                (part, policy.current().cost_estimate(&buf[i].hierarchy))
             };
             eff.push(part);
             let prev_pair = if i == 0 {
@@ -162,6 +226,18 @@ pub fn simulate_source_stats<const D: usize>(
                 &mut mscratch,
             );
             total_time += m.step_time;
+            if let Some(sw) = pending.take() {
+                switch_events.push(SwitchEvent {
+                    step: buf[i].step,
+                    from: sw.from,
+                    to: sw.to,
+                    migration_cells: m.migration_cells,
+                    partition_cost: cost,
+                });
+            }
+            if let Some(sw) = policy.observe(&m) {
+                pending = Some(sw);
+            }
             steps.push(m);
         }
         // Carry the window's last pair; everything else is dropped here,
@@ -177,7 +253,7 @@ pub fn simulate_source_stats<const D: usize>(
     }
     Ok((
         SimResult {
-            partitioner: partitioner.name(),
+            partitioner: policy.name(),
             nprocs: cfg.nprocs,
             steps,
             total_time,
@@ -185,6 +261,7 @@ pub fn simulate_source_stats<const D: usize>(
         StreamStats {
             peak_resident,
             snapshots: consumed,
+            switch_events,
         },
     ))
 }
@@ -250,6 +327,10 @@ mod tests {
             assert_eq!(streamed, batch, "window {window} diverged");
             assert_eq!(stats.snapshots, t.len());
             assert!(
+                stats.switch_events.is_empty(),
+                "static policies never switch"
+            );
+            assert!(
                 stats.peak_resident <= window + 1,
                 "window {window} held {} snapshots",
                 stats.peak_resident
@@ -304,6 +385,119 @@ mod tests {
             .collect();
         assert_eq!(calls, expected);
         assert!(calls.len() < t.len(), "the plateau must be reused");
+    }
+
+    /// A policy that switches from domain-SFC to hybrid once it sees a
+    /// given step, for driving the switch-charging machinery.
+    struct FlipAfter {
+        at: u32,
+        flipped: bool,
+        a: DomainSfcPartitioner,
+        b: HybridPartitioner,
+    }
+
+    impl FlipAfter {
+        fn new(at: u32) -> Self {
+            Self {
+                at,
+                flipped: false,
+                a: DomainSfcPartitioner::default(),
+                b: HybridPartitioner::default(),
+            }
+        }
+    }
+
+    impl crate::policy::PartitionPolicy<2> for FlipAfter {
+        fn name(&self) -> String {
+            "flip".into()
+        }
+        fn current(&self) -> &(dyn Partitioner<2> + Sync) {
+            if self.flipped {
+                &self.b
+            } else {
+                &self.a
+            }
+        }
+        fn observe(&mut self, m: &crate::StepMetrics) -> Option<crate::policy::PolicySwitch> {
+            if !self.flipped && m.step == self.at {
+                self.flipped = true;
+                Some(crate::policy::PolicySwitch {
+                    from: "domain".into(),
+                    to: "hybrid".into(),
+                })
+            } else {
+                None
+            }
+        }
+    }
+
+    #[test]
+    fn a_switch_forces_repartitioning_and_is_charged() {
+        // The trace's hierarchy is unchanged over steps 3..6; a switch
+        // observed at step 3 must still repartition step 4 (the reuse
+        // skip is suppressed) and charge that step's cost + migration.
+        let t = trace(11);
+        let cfg = SimConfig {
+            nprocs: 4,
+            ..SimConfig::default()
+        };
+        let static_run = simulate_trace(&t, &DomainSfcPartitioner::default(), &cfg);
+        assert_eq!(static_run.steps[4].partition_cost, 0.0, "plateau reuses");
+        let mut policy = FlipAfter::new(3);
+        let (res, stats) =
+            simulate_policy_source_stats(&mut MemorySource::new(&t), &mut policy, &cfg, 1).unwrap();
+        assert_eq!(res.partitioner, "flip");
+        assert_eq!(stats.switches(), 1);
+        let ev = &stats.switch_events[0];
+        assert_eq!(ev.step, 4);
+        assert_eq!((ev.from.as_str(), ev.to.as_str()), ("domain", "hybrid"));
+        assert!(ev.partition_cost > 0.0, "the switch step repartitions");
+        assert_eq!(res.steps[4].partition_cost, ev.partition_cost);
+        assert_eq!(res.steps[4].migration_cells, ev.migration_cells);
+        // Before the switch the run is byte-identical to the static one.
+        assert_eq!(res.steps[..4], static_run.steps[..4]);
+        // After the switch step the plateau reuse resumes (step 5 repeats
+        // step 4's hierarchy under the now-current partitioner).
+        assert_eq!(res.steps[5].partition_cost, 0.0);
+        assert_eq!(res.steps[5].migration_cells, 0);
+    }
+
+    #[test]
+    fn switching_is_window_invariant() {
+        // The pending switch must survive window boundaries: the policy
+        // path is strictly sequential for every window size.
+        let t = trace(11);
+        let cfg = SimConfig {
+            nprocs: 4,
+            ..SimConfig::default()
+        };
+        let mut p1 = FlipAfter::new(3);
+        let (base, base_stats) =
+            simulate_policy_source_stats(&mut MemorySource::new(&t), &mut p1, &cfg, 1).unwrap();
+        for window in [2usize, 3, 5, 64] {
+            let mut p = FlipAfter::new(3);
+            let (res, stats) =
+                simulate_policy_source_stats(&mut MemorySource::new(&t), &mut p, &cfg, window)
+                    .unwrap();
+            assert_eq!(res, base, "window {window} diverged");
+            assert_eq!(stats.switch_events, base_stats.switch_events);
+        }
+    }
+
+    #[test]
+    fn a_switch_pending_at_stream_end_is_dropped() {
+        // A switch requested on the final snapshot never materializes:
+        // no event, nothing charged.
+        let t = trace(5);
+        let cfg = SimConfig {
+            nprocs: 4,
+            ..SimConfig::default()
+        };
+        let mut policy = FlipAfter::new(4);
+        let (_, stats) =
+            simulate_policy_source_stats(&mut MemorySource::new(&t), &mut policy, &cfg, 1).unwrap();
+        assert_eq!(stats.switches(), 0);
+        assert!(stats.switch_events.is_empty());
     }
 
     #[test]

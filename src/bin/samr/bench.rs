@@ -3,12 +3,12 @@
 //! against checked-in baselines.
 //!
 //! ```text
-//! samr bench [--suite kernels|partition|campaign|sim|regrid|all] [--quick] [--out DIR]
+//! samr bench [--suite kernels|partition|campaign|sim|regrid|adaptive|all] [--quick] [--out DIR]
 //! samr bench --check BASELINE.json [--check …] [--tolerance PCT] [--quick]
 //!            [--allow-budget-mismatch]
 //! ```
 //!
-//! Emit mode runs the selected suites (default: all five) and writes
+//! Emit mode runs the selected suites (default: all six) and writes
 //! one `BENCH_<suite>.json` per suite into `--out` (default: the
 //! current directory). Check mode loads each baseline file, re-runs
 //! that file's suite, and fails — exit status 1 — when any baseline
@@ -42,9 +42,10 @@ fn run_suite(suite: &str, budget: BenchBudget) -> Result<BenchReport, String> {
         "campaign" => suites::campaign_report(budget),
         "sim" => suites::sim_report(budget),
         "regrid" => suites::regrid_report(budget),
+        "adaptive" => suites::adaptive_report(budget),
         other => {
             return Err(format!(
-                "unknown suite '{other}' (expected kernels | partition | campaign | sim | regrid | all)"
+                "unknown suite '{other}' (expected kernels | partition | campaign | sim | regrid | adaptive | all)"
             ))
         }
     };
@@ -171,16 +172,17 @@ pub fn cmd_bench(args: &[String]) -> Result<(), String> {
         return Err("--allow-budget-mismatch only applies with --check".into());
     }
     let selected: Vec<&str> = match flag_value(args, "--suite").as_deref() {
-        None | Some("all") => vec!["kernels", "partition", "campaign", "sim", "regrid"],
+        None | Some("all") => vec!["kernels", "partition", "campaign", "sim", "regrid", "adaptive"],
         Some(s) => vec![match s {
             "kernels" => "kernels",
             "partition" => "partition",
             "campaign" => "campaign",
             "sim" => "sim",
             "regrid" => "regrid",
+            "adaptive" => "adaptive",
             other => {
                 return Err(format!(
-                    "unknown suite '{other}' (expected kernels | partition | campaign | sim | regrid | all)"
+                    "unknown suite '{other}' (expected kernels | partition | campaign | sim | regrid | adaptive | all)"
                 ))
             }
         }],

@@ -8,13 +8,14 @@
 //! samr compare  <trace-file> [--nprocs N]
 //! samr campaign [--apps A,B] [--dims 2,3] [--partitioners P,Q] [--nprocs N,M]
 //!               [--ghost-widths G,H] [--config paper|reduced|smoke]
+//!               [--policies static,adaptive:balance,…]
 //!               [--machines uniform,fast-net,slow-net,slow-cpu] [--out DIR]
 //!               [--spec FILE] [--threads N] [--shard I/N | --workers N]
 //!               [--shard-strategy round-robin|size-aware]
 //!               [--resume] [--retries N]
 //! samr campaign-merge DIR… [--out DIR]
 //! samr pareto DIR [--objectives imbalance,comm,migration,overhead] [--predict]
-//! samr bench [--suite kernels|partition|campaign|sim|regrid|all] [--quick] [--out DIR]
+//! samr bench [--suite kernels|partition|campaign|sim|regrid|adaptive|all] [--quick] [--out DIR]
 //!            [--check BASELINE.json]… [--tolerance PCT] [--allow-budget-mismatch]
 //! samr apps
 //! samr partitioners
@@ -27,9 +28,10 @@
 //! per-step penalties; `simulate` runs a trace stream through the
 //! windowed partitioning driver and prints the measured per-step
 //! metrics; `compare` runs the META1 static-vs-dynamic comparison,
-//! re-opening the trace stream once per partitioner; `campaign` expands
-//! a cartesian sweep (apps × partitioners × nprocs × ghost widths ×
-//! machines) into a deterministic plan and executes it through
+//! draining the trace stream once and replaying it per partitioner;
+//! `campaign` expands a cartesian sweep (apps × partitioners × policies
+//! × nprocs × ghost widths × machines) into a deterministic plan and
+//! executes it through
 //! `samr-engine` — in-process rayon by default (optionally capped with
 //! `--threads`), one shard of the plan with `--shard I/N` (per-shard
 //! artifact directory plus JSON manifest), or `--workers N` child
@@ -55,8 +57,8 @@
 use samr::apps::{trace_source_any, AppKind, TraceGenConfig};
 use samr::engine::{
     build_thread_pool, configs, find_shard_dirs, merge_shards, Campaign, CampaignExecutor,
-    CampaignPlan, CampaignSpec, ExecOutput, PartitionerSpec, ShardExecutor, ShardStrategy,
-    WorkerExecutor,
+    CampaignPlan, CampaignSpec, ExecOutput, PartitionerSpec, PolicySpec, ShardExecutor,
+    ShardStrategy, WorkerExecutor,
 };
 use samr::meta::compare_on_sources;
 use samr::model::{ModelAccumulator, ModelConfig};
@@ -73,7 +75,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  samr generate <app> [--config paper|reduced|smoke] [--seed N] [--binary] [--out FILE]\n  samr analyze  <trace-file>\n  samr simulate <trace-file> [--partitioner NAME] [--nprocs N]\n  samr compare  <trace-file> [--nprocs N]\n  samr campaign [--apps A,B] [--dims 2,3] [--partitioners P,Q] [--nprocs N,M] [--ghost-widths G,H]\n                [--config paper|reduced|smoke] [--machines uniform,fast-net,slow-net,slow-cpu] [--out DIR]\n                [--spec FILE] [--threads N] [--shard I/N | --workers N] [--shard-strategy round-robin|size-aware]\n                [--resume] [--retries N]\n  samr campaign-merge DIR... [--out DIR]\n  samr pareto DIR [--objectives imbalance,comm,migration,overhead] [--predict]\n  samr bench [--suite kernels|partition|campaign|sim|regrid|all] [--quick] [--out DIR]\n             [--check BASELINE.json]... [--tolerance PCT] [--allow-budget-mismatch]\n  samr apps\n  samr partitioners"
+        "usage:\n  samr generate <app> [--config paper|reduced|smoke] [--seed N] [--binary] [--out FILE]\n  samr analyze  <trace-file>\n  samr simulate <trace-file> [--partitioner NAME] [--nprocs N]\n  samr compare  <trace-file> [--nprocs N]\n  samr campaign [--apps A,B] [--dims 2,3] [--partitioners P,Q] [--nprocs N,M] [--ghost-widths G,H]\n                [--config paper|reduced|smoke] [--policies static,adaptive:balance,...]\n                [--machines uniform,fast-net,slow-net,slow-cpu] [--out DIR]\n                [--spec FILE] [--threads N] [--shard I/N | --workers N] [--shard-strategy round-robin|size-aware]\n                [--resume] [--retries N]\n  samr campaign-merge DIR... [--out DIR]\n  samr pareto DIR [--objectives imbalance,comm,migration,overhead] [--predict]\n  samr bench [--suite kernels|partition|campaign|sim|regrid|adaptive|all] [--quick] [--out DIR]\n             [--check BASELINE.json]... [--tolerance PCT] [--allow-budget-mismatch]\n  samr apps\n  samr partitioners"
     );
     ExitCode::from(2)
 }
@@ -145,7 +147,7 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
     let app = args
         .first()
         .and_then(|a| AppKind::parse(a))
-        .ok_or("expected an application: TP2D | BL2D | SC2D | RM2D | SP3D")?;
+        .ok_or("expected an application: TP2D | BL2D | SC2D | RM2D | PC2D | SP3D")?;
     let mut cfg = parse_config(args)?;
     if let Some(seed) = flag_value(args, "--seed") {
         cfg.seed = seed.parse().map_err(|e| format!("bad seed: {e}"))?;
@@ -254,8 +256,8 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
 
 fn cmd_compare(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("expected a trace file")?;
-    // Sniff the dimension once, then re-open the stream per partitioner
-    // pass: five sequential sweeps, never more than two snapshots live.
+    // Sniff the dimension once; the comparison drains the stream a
+    // single time into a shared trace and replays it per partitioner.
     let dim = load_source(path)?.dim();
     let nprocs: usize = flag_value(args, "--nprocs")
         .map(|v| v.parse().map_err(|e| format!("bad nprocs: {e}")))
@@ -313,10 +315,11 @@ fn parse_campaign_spec(args: &[String]) -> Result<CampaignSpec, String> {
         // The spec file defines every campaign axis; silently ignoring
         // an axis flag next to it would run a different campaign than
         // the command line reads.
-        const AXIS_FLAGS: [&str; 8] = [
+        const AXIS_FLAGS: [&str; 9] = [
             "--apps",
             "--dims",
             "--partitioners",
+            "--policies",
             "--nprocs",
             "--ghost-widths",
             "--config",
@@ -347,6 +350,12 @@ fn parse_campaign_spec(args: &[String]) -> Result<CampaignSpec, String> {
         "--partitioners",
         vec![PartitionerSpec::parse("hybrid")?],
         PartitionerSpec::parse,
+    )?;
+    let policies = parse_list(
+        args,
+        "--policies",
+        vec![PolicySpec::Static],
+        PolicySpec::parse,
     )?;
     let nprocs = parse_list(args, "--nprocs", vec![16usize], |v| {
         v.parse().map_err(|e| format!("bad nprocs '{v}': {e}"))
@@ -380,6 +389,7 @@ fn parse_campaign_spec(args: &[String]) -> Result<CampaignSpec, String> {
         .apps(apps)
         .dims(dims)
         .partitioners(partitioners)
+        .policies(policies)
         .nprocs(nprocs)
         .ghost_widths(ghost_widths)
         .machines(machines))
@@ -442,10 +452,11 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
         .filter(|a| spec.dims.contains(&a.dim()))
         .count();
     eprintln!(
-        "campaign: {} scenarios ({} apps x {} partitioners x {} nprocs x {} ghost widths x {} machines, dims {:?}) -> {}",
+        "campaign: {} scenarios ({} apps x {} partitioners x {} policies x {} nprocs x {} ghost widths x {} machines, dims {:?}) -> {}",
         spec.len(),
         active_apps,
         spec.partitioners.len(),
+        spec.policies.len(),
         spec.nprocs.len(),
         spec.ghost_widths.len(),
         spec.machines.len(),
@@ -610,6 +621,24 @@ fn cmd_partitioners() -> Result<(), String> {
     println!("name,stateful,configured_name");
     for (name, spec) in PartitionerSpec::registry() {
         println!("{},{},{}", name, spec.stateful(), spec.name(&machine));
+    }
+    // The repartitioning-policy registry: every `--policies` value with
+    // the hysteresis thresholds the adaptive presets switch on.
+    println!();
+    println!("policy,imbalance_enter,imbalance_exit,comm_enter,patience,balanced");
+    for (name, spec) in PolicySpec::registry() {
+        match spec {
+            PolicySpec::Static => println!("{name},-,-,-,-,-"),
+            PolicySpec::Adaptive(cfg) => println!(
+                "{},{},{},{},{},{}",
+                name,
+                cfg.imbalance_enter,
+                cfg.imbalance_exit,
+                cfg.comm_enter,
+                cfg.switch_patience,
+                cfg.balanced.name(),
+            ),
+        }
     }
     Ok(())
 }
